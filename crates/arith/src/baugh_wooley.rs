@@ -1,0 +1,138 @@
+//! Baugh-Wooley signed multiplication (modified form).
+//!
+//! The classic way to build a **signed** multiplier from an AND-style
+//! array without Booth recoding: partial products touching exactly one
+//! sign bit are complemented (NAND instead of AND) and two constant 1 bits
+//! are injected at columns `m` and `2m−1`:
+//!
+//! `a·b = Σ_{i,j<m−1} aᵢbⱼ2^{i+j} + 2^{m−1}·Σ_{j<m−1} ¬(a_{m−1}bⱼ)·2^j
+//!       + 2^{m−1}·Σ_{i<m−1} ¬(aᵢb_{m−1})·2^i + a_{m−1}b_{m−1}·2^{2m−2}
+//!       + 2^m + 2^{2m−1}  (mod 2^{2m})`
+//!
+//! It keeps the AND array's regular matrix shape (useful for the CT ILP)
+//! while producing two's-complement products — a natural extension partner
+//! for GOMIL-AND when signed semantics are needed.
+
+use crate::bitmatrix::BitMatrix;
+use gomil_netlist::{NetId, Netlist};
+
+/// Builds the modified Baugh-Wooley partial products of a **signed**
+/// `m × m` multiplier. The matrix has `2m` columns; its weighted sum
+/// equals `a · b mod 2^{2m}` (two's complement).
+///
+/// # Panics
+///
+/// Panics if the operands differ in width or `m < 2`.
+pub fn baugh_wooley_ppg(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> BitMatrix {
+    let m = a.len();
+    assert_eq!(m, b.len(), "operands must have equal width");
+    assert!(m >= 2, "word length must be at least 2");
+    let width = 2 * m;
+    let mut matrix = BitMatrix::new(width);
+    let c1 = nl.const1();
+
+    for i in 0..m {
+        for j in 0..m {
+            let both_sign = i == m - 1 && j == m - 1;
+            let one_sign = (i == m - 1) ^ (j == m - 1);
+            let pp = if one_sign {
+                nl.nand(a[i], b[j])
+            } else {
+                nl.and(a[i], b[j])
+            };
+            let _ = both_sign; // both-sign term keeps the plain AND
+            matrix.push(i + j, pp);
+        }
+    }
+    matrix.push(m, c1);
+    matrix.push(2 * m - 1, c1);
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_value_mod(nl: &Netlist, m: &BitMatrix, inputs: &[u128], bits: usize) -> u128 {
+        let words: Vec<Vec<u64>> = nl
+            .inputs()
+            .iter()
+            .zip(inputs)
+            .map(|(p, &v)| {
+                p.bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| ((v >> i) & 1) as u64)
+                    .collect()
+            })
+            .collect();
+        let sim = nl.simulate(&words);
+        let mut acc: u128 = 0;
+        for j in 0..m.width() {
+            for &net in m.column(j) {
+                acc = acc.wrapping_add(((sim.net(net) & 1) as u128) << j);
+            }
+        }
+        acc & ((1 << bits) - 1)
+    }
+
+    fn check_exhaustive(m: usize) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", m);
+        let b = nl.add_input("b", m);
+        let mat = baugh_wooley_ppg(&mut nl, &a, &b);
+        let half = 1i64 << (m - 1);
+        let full = 1i64 << m;
+        for x in 0..full {
+            for y in 0..full {
+                let sx = if x >= half { x - full } else { x };
+                let sy = if y >= half { y - full } else { y };
+                let expect = ((sx * sy) as u64 & ((1u64 << (2 * m)) - 1)) as u128;
+                let got = matrix_value_mod(&nl, &mat, &[x as u128, y as u128], 2 * m);
+                assert_eq!(got, expect, "m={m} a={sx} b={sy}");
+            }
+        }
+    }
+
+    #[test]
+    fn baugh_wooley_exhaustive_2_to_6() {
+        for m in 2..=6 {
+            check_exhaustive(m);
+        }
+    }
+
+    #[test]
+    fn baugh_wooley_random_12x12() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 12);
+        let b = nl.add_input("b", 12);
+        let mat = baugh_wooley_ppg(&mut nl, &a, &b);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..300 {
+            let x = (rng.gen::<u16>() & 0xFFF) as i64;
+            let y = (rng.gen::<u16>() & 0xFFF) as i64;
+            let sx = if x >= 2048 { x - 4096 } else { x };
+            let sy = if y >= 2048 { y - 4096 } else { y };
+            let expect = ((sx * sy) as u64 & 0xFF_FFFF) as u128;
+            let got = matrix_value_mod(&nl, &mat, &[x as u128, y as u128], 24);
+            assert_eq!(got, expect, "a={sx} b={sy}");
+        }
+    }
+
+    #[test]
+    fn baugh_wooley_keeps_the_and_array_shape() {
+        // Same column heights as the unsigned AND array, plus the two
+        // constant bits — the regular matrix shape the CT ILP likes.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 8);
+        let b = nl.add_input("b", 8);
+        let bw = baugh_wooley_ppg(&mut nl, &a, &b);
+        let and = crate::ppg::and_ppg(&mut nl, &a, &b);
+        for j in 0..and.heights().len() {
+            let extra = u32::from(j == 8) + u32::from(j == 15);
+            assert_eq!(bw.heights()[j], and.heights()[j] + extra, "col {j}");
+        }
+    }
+}

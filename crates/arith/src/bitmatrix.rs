@@ -1,0 +1,127 @@
+//! Symbolic bit matrices of netlist wires.
+//!
+//! Where a [`Bcv`](crate::Bcv) only counts bits, a [`BitMatrix`] holds the
+//! actual nets: column `j` contains the wires of weight `2^j`. The partial
+//! product generators produce one, the compressor-tree realizer consumes
+//! and re-emits them, and the final two rows feed the CPA.
+
+use crate::bcv::Bcv;
+use gomil_netlist::NetId;
+
+/// A matrix of nets grouped by binary weight (column 0 = LSB).
+#[derive(Debug, Clone, Default)]
+pub struct BitMatrix {
+    cols: Vec<Vec<NetId>>,
+}
+
+impl BitMatrix {
+    /// An empty matrix with `width` columns.
+    pub fn new(width: usize) -> BitMatrix {
+        BitMatrix {
+            cols: vec![Vec::new(); width],
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Adds a bit of weight `2^col`, growing the matrix if needed.
+    pub fn push(&mut self, col: usize, net: NetId) {
+        if col >= self.cols.len() {
+            self.cols.resize(col + 1, Vec::new());
+        }
+        self.cols[col].push(net);
+    }
+
+    /// The nets in column `col` (empty slice when out of range).
+    pub fn column(&self, col: usize) -> &[NetId] {
+        self.cols.get(col).map(|c| c.as_slice()).unwrap_or(&[])
+    }
+
+    /// Mutable access to a column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column_mut(&mut self, col: usize) -> &mut Vec<NetId> {
+        &mut self.cols[col]
+    }
+
+    /// Column heights as a BCV.
+    pub fn heights(&self) -> Bcv {
+        self.cols.iter().map(|c| c.len() as u32).collect()
+    }
+
+    /// Total number of bits.
+    pub fn total_bits(&self) -> usize {
+        self.cols.iter().map(|c| c.len()).sum()
+    }
+
+    /// Extracts the two CPA operand rows from a matrix reduced to height
+    /// ≤ 2: returns `(row_a, row_b)` where columns with a single bit
+    /// contribute that bit to `row_a` and `None` to `row_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column has more than two bits.
+    pub fn two_rows(&self) -> (Vec<Option<NetId>>, Vec<Option<NetId>>) {
+        let mut a = Vec::with_capacity(self.width());
+        let mut b = Vec::with_capacity(self.width());
+        for (j, col) in self.cols.iter().enumerate() {
+            assert!(
+                col.len() <= 2,
+                "column {j} has {} bits; matrix is not reduced",
+                col.len()
+            );
+            a.push(col.first().copied());
+            b.push(col.get(1).copied());
+        }
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomil_netlist::Netlist;
+
+    #[test]
+    fn push_grows_and_heights_track() {
+        let mut n = Netlist::new("t");
+        let bits = n.add_input("a", 4);
+        let mut m = BitMatrix::new(2);
+        m.push(0, bits[0]);
+        m.push(3, bits[1]);
+        m.push(3, bits[2]);
+        assert_eq!(m.width(), 4);
+        assert_eq!(m.heights().counts(), &[1, 0, 0, 2]);
+        assert_eq!(m.total_bits(), 3);
+    }
+
+    #[test]
+    fn two_rows_splits_columns() {
+        let mut n = Netlist::new("t");
+        let bits = n.add_input("a", 3);
+        let mut m = BitMatrix::new(2);
+        m.push(0, bits[0]);
+        m.push(1, bits[1]);
+        m.push(1, bits[2]);
+        let (a, b) = m.two_rows();
+        assert_eq!(a, vec![Some(bits[0]), Some(bits[1])]);
+        assert_eq!(b, vec![None, Some(bits[2])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not reduced")]
+    fn two_rows_rejects_tall_columns() {
+        let mut n = Netlist::new("t");
+        let bits = n.add_input("a", 3);
+        let mut m = BitMatrix::new(1);
+        for b in bits {
+            m.push(0, b);
+        }
+        let _ = m.two_rows();
+    }
+}

@@ -1,0 +1,263 @@
+//! Radix-8 Booth partial product generation.
+//!
+//! Radix-8 recoding halves the row count again relative to radix-4
+//! (⌈m/3⌉ rows) at the cost of a hard multiple: ±3A, which needs a real
+//! adder. DesignWare-style generators weigh this architecture against
+//! radix-4 and non-Booth ones; this module provides it for the `pparch` /
+//! `apparch` candidate set and as an extension experiment.
+//!
+//! Encoding per digit `i` (covering bits `3i−1 … 3i+2` of `b`, two's
+//! complement): `d = −4·b₃ᵢ₊₂ + 2·b₃ᵢ₊₁ + b₃ᵢ + b₃ᵢ₋₁ ∈ {−4,…,4}`.
+//! Negative digits use the one's-complement + deferred `+1` trick and the
+//! same sign-extension elimination as the radix-4 generator: each row adds
+//! `¬s` one column above its MSB plus a compile-time constant correction.
+
+use crate::bitmatrix::BitMatrix;
+use gomil_netlist::{NetId, Netlist};
+
+/// Builds radix-8 Booth partial products of a **signed** `m × m`
+/// multiplier. The matrix has `2m` columns and its weighted sum equals
+/// `a · b mod 2^{2m}` (two's complement).
+///
+/// # Panics
+///
+/// Panics if the operands differ in width or `m < 3`.
+pub fn booth8_ppg(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> BitMatrix {
+    let m = a.len();
+    assert_eq!(m, b.len(), "operands must have equal width");
+    assert!(m >= 3, "radix-8 Booth needs at least 3-bit operands");
+
+    let rows = m.div_ceil(3);
+    let width = 2 * m;
+    // Row bit width: d·A with |d| ≤ 4 fits one's-complement-pending in
+    // m + 3 bits (MSB at j = m + 2).
+    let row_bits = m + 3;
+    let mut matrix = BitMatrix::new(width);
+    let c0 = nl.const0();
+    let c1 = nl.const1();
+
+    // Precompute 3A = A + 2A as an (m + 2)-bit signed value (ripple; this
+    // is the classic radix-8 "hard multiple" adder).
+    let three_a = {
+        let mut bits = Vec::with_capacity(m + 2);
+        // A sign-extended to m+2 bits plus (2A) sign-extended to m+2 bits.
+        let ax = |j: usize| if j < m { a[j] } else { a[m - 1] };
+        let two_ax = |j: usize| {
+            if j == 0 {
+                c0
+            } else if j - 1 < m {
+                a[j - 1]
+            } else {
+                a[m - 1]
+            }
+        };
+        let mut carry = c0;
+        for j in 0..m + 2 {
+            let (s, c) = nl.full_adder(ax(j), two_ax(j), carry);
+            bits.push(s);
+            carry = c;
+        }
+        bits
+    };
+
+    // b with sign extension and the implicit b₋₁ = 0.
+    let bx = |j: isize| -> NetId {
+        if j < 0 {
+            c0
+        } else if (j as usize) < m {
+            b[j as usize]
+        } else {
+            b[m - 1]
+        }
+    };
+
+    for i in 0..rows {
+        let b0 = bx(3 * i as isize - 1);
+        let b1 = bx(3 * i as isize);
+        let b2 = bx(3 * i as isize + 1);
+        let b3 = bx(3 * i as isize + 2);
+
+        // u = 2·b2 + b1 + b0 ∈ {0..4}; d = b3 ? u − 4 : u.
+        let b1x0 = nl.xor(b1, b0);
+        let b1a0 = nl.and(b1, b0);
+        let nb2 = nl.not(b2);
+        let u_is_1 = nl.and(nb2, b1x0); // ¬b2 ∧ (b1 ⊕ b0)
+        let u_is_3 = nl.and(b2, b1x0); // b2 ∧ (b1 ⊕ b0)
+        let u_is_4 = nl.and(b2, b1a0); // b2 ∧ b1 ∧ b0
+        let nb1a0 = nl.nor(b1, b0);
+        let u_is_0 = nl.and(nb2, nb1a0);
+        let t_a = nl.and(b2, nb1a0);
+        let u_is_2 = nl.ao21(t_a, nb2, b1a0); // (b2∧¬b1∧¬b0) ∨ (¬b2∧b1∧b0)
+
+        // |d| = b3 ? 4 − u : u  →  sel_k = b3 ? u==4−k : u==k.
+        let sel1 = nl.mux(b3, u_is_1, u_is_3);
+        let sel2 = u_is_2; // |d| = 2 ⇔ u = 2 regardless of the sign bit
+        let sel3 = nl.mux(b3, u_is_3, u_is_1);
+        let sel4 = nl.mux(b3, u_is_4, u_is_0);
+        // neg = d < 0 = b3 ∧ (u ≠ 4) … u == 4 with b3 gives d = 0.
+        let nu4 = nl.not(u_is_4);
+        let neg = nl.and(b3, nu4);
+
+        // Row bits j = 0..row_bits−1 (one's-complement form).
+        let ax = |j: usize| if j < m { a[j] } else { a[m - 1] };
+        let a3x = |j: usize| {
+            if j < m + 2 {
+                three_a[j]
+            } else {
+                three_a[m + 1]
+            }
+        };
+        let mut sign_bit = c0;
+        for j in 0..row_bits {
+            let v1 = nl.and(sel1, ax(j));
+            let v2 = if j >= 1 {
+                nl.and(sel2, ax(j - 1))
+            } else {
+                c0
+            };
+            let v3 = nl.and(sel3, a3x(j));
+            let v4 = if j >= 2 {
+                nl.and(sel4, ax(j - 2))
+            } else {
+                c0
+            };
+            let o1 = nl.or(v1, v2);
+            let o2 = nl.or(v3, v4);
+            let sel = nl.or(o1, o2);
+            let pp = nl.xor(sel, neg);
+            let col = 3 * i + j;
+            if col < width {
+                matrix.push(col, pp);
+            }
+            if j == row_bits - 1 {
+                sign_bit = pp;
+            }
+        }
+
+        // Sign-extension elimination: ¬s one column above the row MSB.
+        let col = 3 * i + row_bits;
+        if col < width {
+            let ns = nl.not(sign_bit);
+            matrix.push(col, ns);
+        }
+        // Deferred +1 for negative digits.
+        matrix.push(3 * i, neg);
+    }
+
+    // Constant correction C = (−Σᵢ 2^{3i+row_bits}) mod 2^{2m}.
+    let mut correction: u128 = 0;
+    for i in 0..rows {
+        let e = 3 * i + row_bits;
+        if e < width {
+            correction = correction.wrapping_sub(1u128.wrapping_shl(e as u32));
+        }
+    }
+    let mask: u128 = if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    correction &= mask;
+    for j in 0..width {
+        if (correction >> j) & 1 == 1 {
+            matrix.push(j, c1);
+        }
+    }
+
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_value_mod(nl: &Netlist, m: &BitMatrix, inputs: &[u128], bits: usize) -> u128 {
+        let words: Vec<Vec<u64>> = nl
+            .inputs()
+            .iter()
+            .zip(inputs)
+            .map(|(p, &v)| {
+                p.bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| ((v >> i) & 1) as u64)
+                    .collect()
+            })
+            .collect();
+        let sim = nl.simulate(&words);
+        let mut acc: u128 = 0;
+        for j in 0..m.width() {
+            for &net in m.column(j) {
+                acc = acc.wrapping_add(((sim.net(net) & 1) as u128) << j);
+            }
+        }
+        acc & ((1 << bits) - 1)
+    }
+
+    fn check_exhaustive(m: usize) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", m);
+        let b = nl.add_input("b", m);
+        let mat = booth8_ppg(&mut nl, &a, &b);
+        assert_eq!(mat.width(), 2 * m);
+        let half = 1i64 << (m - 1);
+        let full = 1i64 << m;
+        for x in 0..full {
+            for y in 0..full {
+                let sx = if x >= half { x - full } else { x };
+                let sy = if y >= half { y - full } else { y };
+                let expect = ((sx * sy) as u64 & ((1u64 << (2 * m)) - 1)) as u128;
+                let got = matrix_value_mod(&nl, &mat, &[x as u128, y as u128], 2 * m);
+                assert_eq!(got, expect, "m={m} a={sx} b={sy}");
+            }
+        }
+    }
+
+    #[test]
+    fn booth8_exhaustive_3x3() {
+        check_exhaustive(3);
+    }
+
+    #[test]
+    fn booth8_exhaustive_4x4() {
+        check_exhaustive(4);
+    }
+
+    #[test]
+    fn booth8_exhaustive_5x5() {
+        check_exhaustive(5);
+    }
+
+    #[test]
+    fn booth8_exhaustive_6x6() {
+        check_exhaustive(6);
+    }
+
+    #[test]
+    fn booth8_random_16x16() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 16);
+        let b = nl.add_input("b", 16);
+        let mat = booth8_ppg(&mut nl, &a, &b);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..300 {
+            let x = rng.gen::<u16>();
+            let y = rng.gen::<u16>();
+            let expect = (((x as i16 as i64) * (y as i16 as i64)) as u64 as u128) & 0xFFFF_FFFF;
+            let got = matrix_value_mod(&nl, &mat, &[x as u128, y as u128], 32);
+            assert_eq!(got, expect, "a={x:#x} b={y:#x}");
+        }
+    }
+
+    #[test]
+    fn booth8_matrix_is_shorter_than_booth4() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 24);
+        let b = nl.add_input("b", 24);
+        let m8 = booth8_ppg(&mut nl, &a, &b);
+        let m4 = crate::ppg::booth4_ppg(&mut nl, &a, &b);
+        assert!(m8.heights().height() < m4.heights().height());
+    }
+}

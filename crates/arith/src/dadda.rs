@@ -1,0 +1,129 @@
+//! Dadda-tree reduction schedules.
+//!
+//! Dadda reduction is the "as late and as little as possible" counterpart
+//! of Wallace: stage `k` only reduces columns down to the next height
+//! target `c_{s-1-k}` from the sequence 2, 3, 4, 6, 9, 13, … and therefore
+//! uses close to the minimum number of compressors. The GOMIL CT ILP's
+//! optimum can never be worse than Dadda's cost, which makes this module
+//! both a baseline and the ILP warm start.
+
+use crate::bcv::{min_stages, wallace_height_bound, Bcv};
+use crate::schedule::{CompressionSchedule, StageCounts};
+
+/// Builds the Dadda schedule for an initial BCV.
+pub fn dadda_schedule(v0: &Bcv) -> CompressionSchedule {
+    let mut sched = CompressionSchedule::new();
+    let s = min_stages(v0.height());
+    let mut v = v0.clone();
+    for k in (0..s).rev() {
+        let target = wallace_height_bound(k) as u32;
+        v = dadda_stage(&mut sched, &v, target);
+    }
+    // Irregular BCVs can leave a column above 2 when a target was capped by
+    // bit availability (a stage's compressors may only consume the bits the
+    // column actually holds, Eq. 6); regular multiplier BCVs never hit this.
+    while !v.is_reduced() {
+        v = dadda_stage(&mut sched, &v, 2);
+    }
+    sched
+}
+
+/// Plans and applies one Dadda stage reducing output heights toward
+/// `target`; returns the resulting BCV.
+fn dadda_stage(sched: &mut CompressionSchedule, v: &Bcv, target: u32) -> Bcv {
+    let w = v.len();
+    let mut stage = StageCounts::new(w);
+    // Process columns LSB→MSB. Carries produced at column j−1 land in the
+    // *output* of column j, so they raise the height the compressors at j
+    // must bring down but cannot themselves be consumed this stage.
+    let mut carry_in = 0u32;
+    for j in 0..w {
+        let mut height = v[j] + carry_in;
+        let mut f = 0u32;
+        let mut h = 0u32;
+        while height > target && 3 * (f + 1) <= v[j] {
+            if height == target + 1 {
+                break; // prefer a half adder for the final single step
+            }
+            f += 1;
+            height -= 2;
+        }
+        // Shave any remaining excess with half adders, within availability.
+        while height > target && 3 * f + 2 * (h + 1) <= v[j] {
+            h += 1;
+            height -= 1;
+        }
+        stage.full[j] = f;
+        stage.half[j] = h;
+        carry_in = f + h;
+    }
+    let out = CompressionSchedule::apply_stage(sched.stages.len(), &stage, v)
+        .expect("dadda stage respects per-column bit availability");
+    sched.stages.push(stage);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dadda_reduces_to_two_rows_in_min_stages() {
+        for m in [4usize, 6, 8, 16, 32, 64] {
+            let v0 = Bcv::and_ppg(m);
+            let sched = dadda_schedule(&v0);
+            let fin = sched.final_bcv(&v0).unwrap();
+            assert!(fin.is_reduced(), "m = {m}: {fin}");
+            assert_eq!(sched.num_stages() as u32, min_stages(m as u32), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn dadda_uses_no_more_compressors_than_wallace() {
+        for m in [6usize, 8, 16, 32] {
+            let v0 = Bcv::and_ppg(m);
+            let dadda = dadda_schedule(&v0);
+            let wallace = crate::wallace::wallace_schedule(&v0);
+            assert!(
+                dadda.cost(3.0, 2.0) <= wallace.cost(3.0, 2.0),
+                "m = {m}: dadda {} vs wallace {}",
+                dadda.cost(3.0, 2.0),
+                wallace.cost(3.0, 2.0)
+            );
+        }
+    }
+
+    #[test]
+    fn known_dadda_counts_for_8_bit() {
+        // Dadda's classical result for an 8×8 multiplier: 35 full adders
+        // and 7 half adders (48 bits reduced to 13 over 4 stages).
+        let v0 = Bcv::and_ppg(8);
+        let sched = dadda_schedule(&v0);
+        assert_eq!(sched.num_full(), 35);
+        assert_eq!(sched.num_half(), 7);
+    }
+
+    #[test]
+    fn intermediate_heights_respect_dadda_targets() {
+        let v0 = Bcv::and_ppg(16);
+        let sched = dadda_schedule(&v0);
+        let stages = sched.apply(&v0).unwrap();
+        let s = stages.len() as u32;
+        for (i, bcv) in stages.iter().enumerate() {
+            let target = wallace_height_bound(s - 1 - i as u32) as u32;
+            assert!(
+                bcv.height() <= target,
+                "stage {i}: height {} exceeds target {target}",
+                bcv.height()
+            );
+        }
+    }
+
+    #[test]
+    fn irregular_bcv_is_handled() {
+        let v0 = Bcv::new(vec![2, 4, 7, 7, 6, 5, 5, 3, 1]);
+        let sched = dadda_schedule(&v0);
+        let fin = sched.final_bcv(&v0).unwrap();
+        assert!(fin.is_reduced());
+    }
+}

@@ -1,0 +1,299 @@
+//! Partial product generators.
+//!
+//! Two PPG families from the paper:
+//!
+//! * [`and_ppg`] — the unsigned AND-gate array (`pp(i,j) = aᵢ·bⱼ`), whose
+//!   BCV is `[1, 2, …, m, …, 2, 1]`;
+//! * [`booth4_ppg`] — the signed radix-4 modified-Booth-encoding (MBE)
+//!   array with the standard sign-extension elimination: each row carries
+//!   its inverted sign bit one column above its MSB plus a compile-time
+//!   constant correction pattern, and the two's-complement `+1` of negative
+//!   digits is deferred into the matrix as a `neg` bit at the row's LSB
+//!   column.
+//!
+//! Both return a [`BitMatrix`] whose column-weighted sum equals the product
+//! (mod `2^width`), which the tests verify by simulation.
+
+use crate::bitmatrix::BitMatrix;
+use gomil_netlist::{NetId, Netlist};
+
+/// Which partial product generator a multiplier uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PpgKind {
+    /// Unsigned AND-gate array.
+    #[default]
+    And,
+    /// Signed radix-4 modified Booth encoding.
+    Booth4,
+    /// Signed radix-8 Booth encoding (hard ±3A multiple).
+    Booth8,
+    /// Signed Baugh-Wooley AND-style array.
+    BaughWooley,
+}
+
+impl PpgKind {
+    /// Human-readable short name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PpgKind::And => "AND",
+            PpgKind::Booth4 => "MBE",
+            PpgKind::Booth8 => "MBE8",
+            PpgKind::BaughWooley => "BW",
+        }
+    }
+
+    /// Whether products are two's-complement (vs. unsigned).
+    pub fn is_signed(self) -> bool {
+        !matches!(self, PpgKind::And)
+    }
+}
+
+/// Builds the AND-array partial products of an unsigned `a × b` multiplier.
+///
+/// The result has `a.len() + b.len() − 1` columns; its weighted sum equals
+/// the full product exactly (no wraparound).
+///
+/// # Panics
+///
+/// Panics if either operand is empty.
+pub fn and_ppg(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> BitMatrix {
+    assert!(!a.is_empty() && !b.is_empty(), "operands must be non-empty");
+    let mut m = BitMatrix::new(a.len() + b.len() - 1);
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = nl.and(ai, bj);
+            m.push(i + j, pp);
+        }
+    }
+    m
+}
+
+/// Builds radix-4 MBE partial products of a **signed** `m × m` multiplier
+/// (`m` even). The matrix has `2m` columns and its weighted sum equals
+/// `a · b mod 2^{2m}` (two's complement).
+///
+/// # Panics
+///
+/// Panics if the operands differ in width, are narrower than 2 bits, or
+/// have odd width.
+pub fn booth4_ppg(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> BitMatrix {
+    let m = a.len();
+    assert_eq!(m, b.len(), "operands must have equal width");
+    assert!(m >= 2, "word length must be at least 2");
+    assert!(m % 2 == 0, "radix-4 Booth supports even word lengths");
+
+    let rows = m / 2;
+    let width = 2 * m;
+    let mut matrix = BitMatrix::new(width);
+    let c0 = nl.const0();
+    let c1 = nl.const1();
+
+    for i in 0..rows {
+        let b_hi = b[2 * i + 1];
+        let b_mid = b[2 * i];
+        let b_lo = if i == 0 { c0 } else { b[2 * i - 1] };
+
+        // Booth digit d = −2·b_hi + b_mid + b_lo ∈ {−2,…,2}.
+        let one = nl.xor(b_mid, b_lo); // |d| = 1
+        let hi_ne_mid = nl.xor(b_hi, b_mid);
+        let not_one = nl.not(one);
+        let two = nl.and(hi_ne_mid, not_one); // |d| = 2
+        let mid_and_lo = nl.and(b_mid, b_lo);
+        let not_ml = nl.not(mid_and_lo);
+        let neg = nl.and(b_hi, not_ml); // d < 0
+
+        // Row bits j = 0..=m (one's-complement form; +1 deferred as `neg`).
+        let mut sign_bit = c0;
+        for j in 0..=m {
+            let aj = if j < m { a[j] } else { a[m - 1] };
+            let ajm1 = if j == 0 { c0 } else { a[j - 1] };
+            let t1 = nl.and(one, aj);
+            let sel = nl.ao21(t1, two, ajm1);
+            let pp = nl.xor(sel, neg);
+            let col = 2 * i + j;
+            if col < width {
+                matrix.push(col, pp);
+            }
+            if j == m {
+                sign_bit = pp;
+            }
+        }
+
+        // Sign-extension elimination: ¬s at column (2i + m + 1).
+        let col = 2 * i + m + 1;
+        if col < width {
+            let ns = nl.not(sign_bit);
+            matrix.push(col, ns);
+        }
+
+        // Deferred two's-complement +1 for negative digits.
+        matrix.push(2 * i, neg);
+    }
+
+    // Constant correction C = (−Σᵢ 2^{2i+m+1}) mod 2^{2m}.
+    let mut correction: u128 = 0;
+    for i in 0..rows {
+        let e = 2 * i + m + 1;
+        if e < width {
+            correction = correction.wrapping_sub(1u128.wrapping_shl(e as u32));
+        }
+    }
+    let mask: u128 = if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    correction &= mask;
+    for j in 0..width {
+        if (correction >> j) & 1 == 1 {
+            matrix.push(j, c1);
+        }
+    }
+
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Computes the weighted column sum of a matrix for lane 0 of a
+    /// simulation, mod 2^width.
+    fn matrix_value(nl: &Netlist, m: &BitMatrix, inputs: &[u128]) -> u128 {
+        matrix_value_masked(nl, m, inputs, None)
+    }
+
+    /// Like `matrix_value` but reduced mod 2^mask_bits (for two's-complement
+    /// matrices whose sum is only meaningful modulo the product width).
+    fn matrix_value_masked(
+        nl: &Netlist,
+        m: &BitMatrix,
+        inputs: &[u128],
+        mask_bits: Option<usize>,
+    ) -> u128 {
+        let words: Vec<Vec<u64>> = nl
+            .inputs()
+            .iter()
+            .zip(inputs)
+            .map(|(p, &v)| {
+                p.bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| ((v >> i) & 1) as u64)
+                    .collect()
+            })
+            .collect();
+        let sim = nl.simulate(&words);
+        let mut acc: u128 = 0;
+        for j in 0..m.width() {
+            for &net in m.column(j) {
+                acc = acc.wrapping_add(((sim.net(net) & 1) as u128) << j);
+            }
+        }
+        match mask_bits {
+            Some(w) if w < 128 => acc & ((1 << w) - 1),
+            _ => acc,
+        }
+    }
+
+    #[test]
+    fn and_ppg_exhaustive_4x4() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 4);
+        let b = nl.add_input("b", 4);
+        let m = and_ppg(&mut nl, &a, &b);
+        assert_eq!(m.width(), 7);
+        assert_eq!(m.heights().counts(), &[1, 2, 3, 4, 3, 2, 1]);
+        for x in 0..16u128 {
+            for y in 0..16u128 {
+                assert_eq!(matrix_value(&nl, &m, &[x, y]), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_ppg_rectangular() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 5);
+        let b = nl.add_input("b", 3);
+        let m = and_ppg(&mut nl, &a, &b);
+        assert_eq!(m.width(), 7);
+        for x in 0..32u128 {
+            for y in 0..8u128 {
+                assert_eq!(matrix_value(&nl, &m, &[x, y]), x * y);
+            }
+        }
+    }
+
+    #[test]
+    fn booth4_exhaustive_4x4_signed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 4);
+        let b = nl.add_input("b", 4);
+        let m = booth4_ppg(&mut nl, &a, &b);
+        assert_eq!(m.width(), 8);
+        for x in 0..16i64 {
+            for y in 0..16i64 {
+                let sx = if x >= 8 { x - 16 } else { x };
+                let sy = if y >= 8 { y - 16 } else { y };
+                let expect = ((sx * sy) as u64 & 0xFF) as u128;
+                let got = matrix_value_masked(&nl, &m, &[x as u128, y as u128], Some(m.width()));
+                assert_eq!(got, expect, "a={sx} b={sy}");
+            }
+        }
+    }
+
+    #[test]
+    fn booth4_exhaustive_6x6_signed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 6);
+        let b = nl.add_input("b", 6);
+        let m = booth4_ppg(&mut nl, &a, &b);
+        for x in 0..64i64 {
+            for y in 0..64i64 {
+                let sx = if x >= 32 { x - 64 } else { x };
+                let sy = if y >= 32 { y - 64 } else { y };
+                let expect = ((sx * sy) as u64 & 0xFFF) as u128;
+                let got = matrix_value_masked(&nl, &m, &[x as u128, y as u128], Some(m.width()));
+                assert_eq!(got, expect, "a={sx} b={sy}");
+            }
+        }
+    }
+
+    #[test]
+    fn booth4_random_16x16_signed() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 16);
+        let b = nl.add_input("b", 16);
+        let m = booth4_ppg(&mut nl, &a, &b);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..300 {
+            let x = rng.gen::<u16>();
+            let y = rng.gen::<u16>();
+            let expect = ((x as i16 as i64) * (y as i16 as i64)) as u64 as u128 & 0xFFFF_FFFF;
+            let got = matrix_value_masked(&nl, &m, &[x as u128, y as u128], Some(m.width()));
+            assert_eq!(got, expect, "a={x:#x} b={y:#x}");
+        }
+    }
+
+    #[test]
+    fn booth_matrix_is_shorter_than_and_matrix() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 16);
+        let b = nl.add_input("b", 16);
+        let and_m = and_ppg(&mut nl, &a, &b);
+        let booth_m = booth4_ppg(&mut nl, &a, &b);
+        assert!(booth_m.heights().height() < and_m.heights().height());
+    }
+
+    #[test]
+    #[should_panic(expected = "even word lengths")]
+    fn booth4_rejects_odd_width() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 5);
+        let b = nl.add_input("b", 5);
+        booth4_ppg(&mut nl, &a, &b);
+    }
+}

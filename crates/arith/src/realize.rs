@@ -1,0 +1,197 @@
+//! Compressor-tree realization: schedule → gates.
+//!
+//! The ILP (or Wallace/Dadda generator) decides *how many* compressors each
+//! stage applies per column; this module decides *which wires* they consume
+//! and instantiates the adder cells. Bits are consumed earliest-arrival
+//! first (recomputing static timing before each stage), the standard policy
+//! that keeps the realized critical path close to the stage bound.
+
+use crate::bitmatrix::BitMatrix;
+use crate::schedule::{CompressionSchedule, ScheduleError, StageCounts};
+use gomil_netlist::Netlist;
+
+/// Realizes a compression schedule on a bit matrix, returning the final
+/// (height ≤ 2, if the schedule is complete) matrix.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if a stage demands more bits in a column than
+/// the matrix holds.
+pub fn realize_schedule(
+    nl: &mut Netlist,
+    matrix: &BitMatrix,
+    schedule: &CompressionSchedule,
+) -> Result<BitMatrix, ScheduleError> {
+    let mut cur = matrix.clone();
+    for (i, stage) in schedule.stages.iter().enumerate() {
+        cur = realize_stage(nl, &cur, stage, i)?;
+    }
+    Ok(cur)
+}
+
+fn realize_stage(
+    nl: &mut Netlist,
+    matrix: &BitMatrix,
+    stage: &StageCounts,
+    stage_idx: usize,
+) -> Result<BitMatrix, ScheduleError> {
+    let timing = nl.timing();
+    let w = matrix.width();
+    let mut next = BitMatrix::new(w);
+    for j in 0..w {
+        let f = stage.full.get(j).copied().unwrap_or(0) as usize;
+        let h = stage.half.get(j).copied().unwrap_or(0) as usize;
+        let available = matrix.column(j).len();
+        if 3 * f + 2 * h > available {
+            return Err(ScheduleError {
+                stage: stage_idx,
+                col: j,
+                demanded: (3 * f + 2 * h) as u32,
+                available: available as u32,
+            });
+        }
+        // Earliest-arrival-first assignment.
+        let mut bits: Vec<_> = matrix.column(j).to_vec();
+        bits.sort_by(|a, b| {
+            timing
+                .arrival(*a)
+                .partial_cmp(&timing.arrival(*b))
+                .expect("arrival times are finite")
+        });
+        let mut it = bits.into_iter();
+        for _ in 0..f {
+            let a = it.next().expect("checked availability");
+            let b = it.next().expect("checked availability");
+            let c = it.next().expect("checked availability");
+            let (sum, carry) = nl.full_adder(a, b, c);
+            next.push(j, sum);
+            next.push(j + 1, carry);
+        }
+        for _ in 0..h {
+            let a = it.next().expect("checked availability");
+            let b = it.next().expect("checked availability");
+            let (sum, carry) = nl.half_adder(a, b);
+            next.push(j, sum);
+            next.push(j + 1, carry);
+        }
+        for rest in it {
+            next.push(j, rest);
+        }
+    }
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcv::Bcv;
+    use crate::dadda::dadda_schedule;
+    use crate::ppg::and_ppg;
+    use crate::wallace::wallace_schedule;
+
+    /// Builds a complete unsigned multiplier (PPG + CT + ripple CPA over the
+    /// final two rows) and checks products against native arithmetic.
+    fn check_multiplier(m: usize, use_dadda: bool) {
+        let mut nl = Netlist::new(format!("mul{m}"));
+        let a = nl.add_input("a", m);
+        let b = nl.add_input("b", m);
+        let pp = and_ppg(&mut nl, &a, &b);
+        let v0 = pp.heights();
+        let sched = if use_dadda {
+            dadda_schedule(&v0)
+        } else {
+            wallace_schedule(&v0)
+        };
+        let reduced = realize_schedule(&mut nl, &pp, &sched).unwrap();
+        assert_eq!(reduced.heights(), sched.final_bcv(&v0).unwrap());
+
+        // Naive final CPA: ripple across the two rows.
+        let (ra, rb) = reduced.two_rows();
+        let zero = nl.const0();
+        let mut carry = zero;
+        let mut out = Vec::new();
+        for j in 0..reduced.width() {
+            let x = ra[j].unwrap_or(zero);
+            let y = rb[j].unwrap_or(zero);
+            let (s, c) = nl.full_adder(x, y, carry);
+            out.push(s);
+            carry = c;
+        }
+        out.push(carry);
+        nl.add_output("p", out);
+
+        if m <= 5 {
+            for x in 0..(1u128 << m) {
+                for y in 0..(1u128 << m) {
+                    let p = nl.eval_ints(&[x, y], "p");
+                    assert_eq!(p & ((1 << (2 * m)) - 1), x * y, "{x}*{y}");
+                }
+            }
+        } else {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..200 {
+                let x = rng.gen_range(0..(1u128 << m));
+                let y = rng.gen_range(0..(1u128 << m));
+                let p = nl.eval_ints(&[x, y], "p");
+                assert_eq!(p & ((1 << (2 * m)) - 1), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_multiplier_4_bit_exhaustive() {
+        check_multiplier(4, false);
+    }
+
+    #[test]
+    fn dadda_multiplier_4_bit_exhaustive() {
+        check_multiplier(4, true);
+    }
+
+    #[test]
+    fn wallace_multiplier_8_bit_random() {
+        check_multiplier(8, false);
+    }
+
+    #[test]
+    fn dadda_multiplier_16_bit_random() {
+        check_multiplier(16, true);
+    }
+
+    #[test]
+    fn realization_rejects_invalid_schedule() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 2);
+        let b = nl.add_input("b", 2);
+        let pp = and_ppg(&mut nl, &a, &b);
+        let mut sched = CompressionSchedule::new();
+        let mut st = StageCounts::new(3);
+        st.full[0] = 1; // column 0 has 1 bit
+        sched.stages.push(st);
+        let err = realize_schedule(&mut nl, &pp, &sched).unwrap_err();
+        assert_eq!(err.col, 0);
+    }
+
+    #[test]
+    fn realized_heights_track_schedule_bcvs() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 6);
+        let b = nl.add_input("b", 6);
+        let pp = and_ppg(&mut nl, &a, &b);
+        let v0 = pp.heights();
+        assert_eq!(v0, Bcv::and_ppg(6));
+        let sched = wallace_schedule(&v0);
+        let mut cur = pp.clone();
+        for (i, bcv) in sched.apply(&v0).unwrap().iter().enumerate() {
+            cur = realize_stage(&mut nl, &cur, &sched.stages[i], i).unwrap();
+            // Realized width may lag the BCV when no top carry exists.
+            let realized = cur.heights();
+            for j in 0..bcv.len() {
+                let rj = if j < realized.len() { realized[j] } else { 0 };
+                assert_eq!(rj, bcv[j], "stage {i} column {j}");
+            }
+        }
+    }
+}

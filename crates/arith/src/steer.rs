@@ -1,0 +1,181 @@
+//! Target-steered reduction schedules.
+//!
+//! [`schedule_toward_target`] generalizes Dadda: intermediate stages
+//! follow the height bounds, while the final stage consumes columns down
+//! to a requested 1/2 profile where bit availability and same-stage
+//! carries permit — always respecting the paper's Eq. (4) (no compressor
+//! at the leftmost column, so the BCV length never grows).
+//!
+//! [`required_stages`] returns the smallest stage count for which a full
+//! reduction under that rule exists. For AND-array matrices this equals
+//! the Wallace stage count; some Booth-style profiles need one extra stage
+//! because their top column may not absorb an incoming carry while
+//! holding more than one bit.
+
+use crate::bcv::{min_stages, wallace_height_bound, Bcv};
+use crate::schedule::{CompressionSchedule, StageCounts};
+
+/// Builds a compression schedule that steers the final BCV toward
+/// `target` (entries 1 or 2) within `s` stages. Intermediate stages follow
+/// Dadda height bounds; the final stage consumes columns exactly down to
+/// the target where bit availability and same-stage carries permit.
+///
+/// Returns `None` when the matrix cannot be reduced to height ≤ 2 in `s`
+/// stages this way. The *achieved* BCV may differ from `target` where a
+/// same-stage carry makes height 1 impossible; callers re-read it from the
+/// schedule.
+pub fn schedule_toward_target(
+    v0: &Bcv,
+    s: usize,
+    target: &[u32],
+) -> Option<(CompressionSchedule, Bcv)> {
+    steer(v0, s, target, false)
+}
+
+/// Like [`schedule_toward_target`] but *modular*: compressors may be
+/// applied at the leftmost column, growing the BCV by one column per
+/// stage if carries demand it. Sound whenever the matrix width equals the
+/// full product width (Booth and Baugh-Wooley matrices are `2m` wide), as
+/// the extra column's weight is `2^{2m} ≡ 0` and gets truncated. Some
+/// Booth radix-8 profiles are unreducible under the strict rule and need
+/// this.
+pub fn schedule_toward_target_modular(
+    v0: &Bcv,
+    s: usize,
+    target: &[u32],
+) -> Option<(CompressionSchedule, Bcv)> {
+    steer(v0, s, target, true)
+}
+
+fn steer(v0: &Bcv, s: usize, target: &[u32], modular: bool) -> Option<(CompressionSchedule, Bcv)> {
+    let mut sched = CompressionSchedule::new();
+    let mut v = v0.clone();
+    for stage_no in 1..=s {
+        let remaining = s - stage_no; // stages after this one
+        let bound = wallace_height_bound(remaining as u32) as u32;
+        let w = v.len();
+        let mut stage = StageCounts::new(w);
+        let mut carry_in = 0u32;
+        for j in 0..w {
+            // Column goal: Dadda bound, sharpened to the exact target on
+            // the last stage. The leftmost column never hosts compressors
+            // (Eq. 4) so the BCV length stays fixed.
+            let goal = if remaining == 0 {
+                target.get(j).copied().unwrap_or(2).clamp(1, 2)
+            } else {
+                bound.max(target.get(j).copied().unwrap_or(2))
+            };
+            let mut height = v[j] + carry_in;
+            let mut f = 0u32;
+            let mut h = 0u32;
+            if j + 1 < w || modular {
+                while height > goal && 3 * (f + 1) <= v[j] && height >= goal + 2 {
+                    f += 1;
+                    height -= 2;
+                }
+                while height > goal && 3 * f + 2 * (h + 1) <= v[j] {
+                    h += 1;
+                    height -= 1;
+                }
+            }
+            stage.full[j] = f;
+            stage.half[j] = h;
+            carry_in = f + h;
+        }
+        v = CompressionSchedule::apply_stage(sched.stages.len(), &stage, &v).ok()?;
+        sched.stages.push(stage);
+    }
+    if !v.is_reduced() || v.iter().any(|c| c == 0) {
+        return None;
+    }
+    Some((sched, v))
+}
+
+/// The smallest stage count that can fully reduce `v0` under the strict
+/// no-leftmost-compressor rule (Eq. 4), or `None` when no such reduction
+/// exists at all — e.g. a Booth radix-8 profile whose top column cannot
+/// absorb the carry a taller neighbour must emit.
+pub fn try_required_stages(v0: &Bcv) -> Option<usize> {
+    let base = min_stages(v0.height()) as usize;
+    let all2 = vec![2u32; v0.len()];
+    (base..=base + 4)
+        .find(|&s| v0.is_reduced() || schedule_toward_target(v0, s.max(1), &all2).is_some())
+}
+
+/// The smallest stage count that can fully reduce `v0` under the strict
+/// no-leftmost-compressor rule; at least the Wallace stage count.
+///
+/// # Panics
+///
+/// Panics if no strict reduction exists (see [`try_required_stages`]).
+pub fn required_stages(v0: &Bcv) -> usize {
+    try_required_stages(v0)
+        .unwrap_or_else(|| panic!("no leftmost-free schedule exists for {v0}"))
+}
+
+/// The smallest stage count that fully reduces `v0` when leftmost-column
+/// compressors (and the resulting width growth) are allowed — always
+/// exists.
+///
+/// # Panics
+///
+/// Panics only on internal inconsistency (the modular rule can always
+/// reduce within `min_stages + 5`).
+pub fn required_stages_modular(v0: &Bcv) -> usize {
+    let base = min_stages(v0.height()) as usize;
+    let all2 = vec![2u32; v0.len() + 8];
+    (base..=base + 5)
+        .find(|&s| {
+            v0.is_reduced() || schedule_toward_target_modular(v0, s.max(1), &all2).is_some()
+        })
+        .unwrap_or_else(|| panic!("modular reduction failed for {v0} (internal error)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_ppg_needs_exactly_wallace_stages() {
+        for m in [4usize, 8, 16, 32, 64] {
+            let v0 = Bcv::and_ppg(m);
+            assert_eq!(required_stages(&v0) as u32, min_stages(m as u32), "m={m}");
+        }
+    }
+
+    #[test]
+    fn top_column_of_height_three_is_strictly_unreducible() {
+        // A top column of height 3 can never be compressed under Eq. 4 —
+        // no stage count helps; only the modular rule reduces it.
+        let v0 = Bcv::new(vec![3, 3, 3]);
+        assert_eq!(try_required_stages(&v0), None);
+        let s = required_stages_modular(&v0);
+        let all2 = vec![2u32; 8];
+        let (sched, vs) = schedule_toward_target_modular(&v0, s, &all2).unwrap();
+        assert!(vs.is_reduced());
+        assert_eq!(sched.final_bcv(&v0).unwrap(), vs);
+    }
+
+    #[test]
+    fn reduced_matrices_need_zero_stages() {
+        assert_eq!(required_stages(&Bcv::new(vec![1, 2, 2])), 0);
+    }
+
+    #[test]
+    fn strictly_unreducible_profile_is_detected_and_modular_handles_it() {
+        // Top column height 2 next to a height-3 column: any compressor at
+        // the neighbour pushes the top to 3, which may never be compressed
+        // under Eq. 4 — strictly unreducible.
+        // LSB-first; the top (last) column holds 2 bits next to a
+        // height-3 column — the profile the radix-8 Booth PPG emits at
+        // m = 6.
+        let v0 = Bcv::new(vec![2, 1, 1, 3, 2, 2, 2, 2, 2, 3, 2, 2]);
+        assert_eq!(try_required_stages(&v0), None);
+        let s = required_stages_modular(&v0);
+        let all2 = vec![2u32; v0.len() + 4];
+        let (sched, vs) = schedule_toward_target_modular(&v0, s, &all2).unwrap();
+        assert!(vs.is_reduced());
+        assert_eq!(sched.final_bcv(&v0).unwrap(), vs);
+        assert!(vs.len() > v0.len(), "width must have grown");
+    }
+}

@@ -1,0 +1,113 @@
+//! Wallace-tree reduction schedules.
+//!
+//! The classic Wallace scheme: at every stage, every column groups its bits
+//! into threes (each becoming a 3:2 compressor); a leftover pair becomes a
+//! 2:2 compressor; a single leftover bit passes through. This reduces any
+//! matrix in the minimum number of stages and is the reduction scheme
+//! behind the paper's `Wal-*` and `B-Wal-*` baselines.
+
+use crate::bcv::{min_stages, Bcv};
+use crate::schedule::{CompressionSchedule, StageCounts};
+
+/// Builds the Wallace schedule for an initial BCV.
+///
+/// Unlike the paper's ILP (which forbids it, Eq. 4), classic Wallace may
+/// apply compressors at the leftmost column; the resulting BCV can grow by
+/// one column (the product's top bit), exactly as in Fig. 1's dashed
+/// rectangle.
+pub fn wallace_schedule(v0: &Bcv) -> CompressionSchedule {
+    let mut sched = CompressionSchedule::new();
+    let mut v = v0.clone();
+    while !v.is_reduced() {
+        let w = v.len();
+        let mut stage = StageCounts::new(w);
+        for j in 0..w {
+            let h = v[j];
+            stage.full[j] = h / 3;
+            stage.half[j] = u32::from(h % 3 == 2);
+        }
+        v = CompressionSchedule::apply_stage(sched.stages.len(), &stage, &v)
+            .expect("wallace stage is feasible by construction");
+        sched.stages.push(stage);
+    }
+    sched
+}
+
+/// Convenience: the Wallace stage count for an `m × m` AND-PPG multiplier,
+/// which the paper fixes the ILP's `s` to.
+pub fn wallace_stages_for(m: usize) -> u32 {
+    min_stages(m as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_bit_first_stage_matches_hand_computation() {
+        // Hand-applied Wallace stage on V0 = [1,2,3,4,5,6,5,4,3,2,1]
+        // (LSB first) gives V1 = [1,1,2,3,3,4,4,4,2,2,2].
+        let v0 = Bcv::and_ppg(6);
+        let sched = wallace_schedule(&v0);
+        let stages = sched.apply(&v0).unwrap();
+        assert_eq!(stages[0].counts(), &[1, 1, 2, 3, 3, 4, 4, 4, 2, 2, 2]);
+    }
+
+    #[test]
+    fn six_bit_wallace_takes_three_stages() {
+        // Fig. 1 shows a 3-stage compressing process for m = 6.
+        let v0 = Bcv::and_ppg(6);
+        let sched = wallace_schedule(&v0);
+        assert_eq!(sched.num_stages(), 3);
+        let fin = sched.final_bcv(&v0).unwrap();
+        assert!(fin.is_reduced());
+    }
+
+    #[test]
+    fn stage_counts_match_theoretical_minimum() {
+        for m in [4usize, 6, 8, 12, 16, 24, 32, 48, 64] {
+            let v0 = Bcv::and_ppg(m);
+            let sched = wallace_schedule(&v0);
+            assert_eq!(
+                sched.num_stages() as u32,
+                wallace_stages_for(m),
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_adder_count_equals_bit_surplus() {
+        // Every 3:2 removes exactly one bit; 2:2 preserves totals. So
+        // F = total(V0) − total(V_s).
+        for m in [4usize, 8, 16] {
+            let v0 = Bcv::and_ppg(m);
+            let sched = wallace_schedule(&v0);
+            let fin = sched.final_bcv(&v0).unwrap();
+            assert_eq!(
+                sched.num_full(),
+                v0.total_bits() - fin.total_bits(),
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_booth_like_irregular_bcvs() {
+        let v0 = Bcv::new(vec![3, 1, 4, 2, 5, 5, 4, 3, 2, 2]);
+        let sched = wallace_schedule(&v0);
+        let fin = sched.final_bcv(&v0).unwrap();
+        assert!(fin.is_reduced());
+        assert_eq!(
+            sched.num_full(),
+            v0.total_bits() - fin.total_bits()
+        );
+    }
+
+    #[test]
+    fn already_reduced_matrix_needs_no_stages() {
+        let v0 = Bcv::new(vec![1, 2, 2, 1]);
+        let sched = wallace_schedule(&v0);
+        assert_eq!(sched.num_stages(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks (experiment E10): the computational kernels
+//! behind the reproduction, so performance regressions are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use gomil::{build_baseline, target_search, BaselineKind, Bcv, CtIlp, GomilConfig, PpgKind};
+use gomil_arith::{dadda_schedule, wallace_schedule};
+use gomil_ilp::{Cmp, Model, Sense};
+use gomil_prefix::optimize_prefix_tree;
+
+/// Simplex/B&B on a dense knapsack-style MILP.
+fn bench_milp_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_solver");
+    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    for n in [10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("knapsack", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut m = Model::new("k");
+                let xs: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+                let w: Vec<f64> = (0..n).map(|i| 3.0 + (i as f64 * 7.0) % 11.0).collect();
+                let v: Vec<f64> = (0..n).map(|i| 2.0 + (i as f64 * 5.0) % 13.0).collect();
+                let weight: gomil_ilp::LinExpr =
+                    xs.iter().zip(&w).map(|(&x, &wi)| wi * x).sum();
+                let value: gomil_ilp::LinExpr =
+                    xs.iter().zip(&v).map(|(&x, &vi)| vi * x).sum();
+                m.add_constraint("cap", weight, Cmp::Le, 2.5 * n as f64);
+                m.set_objective(value, Sense::Maximize);
+                m.solve().unwrap().objective()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The CT ILP end to end (build + presolve + branch and bound).
+fn bench_ct_ilp(c: &mut Criterion) {
+    // A tight budget keeps the m = 6 solve bounded; the solver returns the
+    // Dadda-seeded incumbent when it can't prove optimality in time.
+    let cfg = GomilConfig {
+        solver_budget: Duration::from_millis(300),
+        ..GomilConfig::fast()
+    };
+    let mut group = c.benchmark_group("ct_ilp");
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
+    for m in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::new("solve", m), &m, |bch, &m| {
+            let v0 = Bcv::and_ppg(m);
+            bch.iter(|| {
+                let ilp = CtIlp::build(&v0, &cfg);
+                ilp.solve(&cfg).unwrap().objective
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The interval DP at production sizes (127 columns = m = 64).
+fn bench_prefix_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_dp");
+    group.measurement_time(Duration::from_secs(4)).sample_size(20);
+    for n in [15usize, 63, 127] {
+        let leaf: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        group.bench_with_input(BenchmarkId::new("optimize", n), &n, |bch, _| {
+            bch.iter(|| optimize_prefix_tree(&leaf, 8.0).cost)
+        });
+    }
+    group.finish();
+}
+
+/// Reduction-schedule generators.
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedules");
+    group.measurement_time(Duration::from_secs(3));
+    for m in [16usize, 64] {
+        let v0 = Bcv::and_ppg(m);
+        group.bench_with_input(BenchmarkId::new("wallace", m), &m, |bch, _| {
+            bch.iter(|| wallace_schedule(&v0).num_full())
+        });
+        group.bench_with_input(BenchmarkId::new("dadda", m), &m, |bch, _| {
+            bch.iter(|| dadda_schedule(&v0).num_full())
+        });
+    }
+    group.finish();
+}
+
+/// The scalable global optimizer.
+fn bench_target_search(c: &mut Criterion) {
+    let cfg = GomilConfig::fast();
+    let mut group = c.benchmark_group("global");
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
+    for m in [16usize, 32] {
+        let v0 = Bcv::and_ppg(m);
+        group.bench_with_input(BenchmarkId::new("target_search", m), &m, |bch, _| {
+            bch.iter(|| target_search(&v0, &cfg).objective)
+        });
+    }
+    group.finish();
+}
+
+/// Building + measuring a full multiplier netlist (simulation included).
+fn bench_netlist_flow(c: &mut Criterion) {
+    let cfg = GomilConfig::fast();
+    let mut group = c.benchmark_group("netlist");
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
+    for m in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("wal_rca_build", m), &m, |bch, &m| {
+            bch.iter(|| {
+                build_baseline(BaselineKind::WalRca, m, &cfg)
+                    .netlist
+                    .num_gates()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("power_512v", m), &m, |bch, &m| {
+            let b = build_baseline(BaselineKind::WalRca, m, &cfg);
+            bch.iter(|| b.netlist.estimate_power(512, 7).total())
+        });
+    }
+    let _ = PpgKind::And; // silence unused-import lint churn across features
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_milp_solver,
+    bench_ct_ilp,
+    bench_prefix_dp,
+    bench_schedules,
+    bench_target_search,
+    bench_netlist_flow
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment E9: CT ILP vs Wallace vs Dadda compressor counts — the
+//! motivation of Section III-A (heuristic reduction schemes leave room on
+//! the table).
+//!
+//! Usage: `cargo run --release -p gomil-bench --bin ct_compare -- [m …]`
+
+use gomil::{Bcv, CtIlp, GomilConfig};
+use gomil_arith::{dadda_schedule, wallace_schedule};
+use gomil_bench::timed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms: Vec<usize> = {
+        let v: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if v.is_empty() {
+            (4..=16).collect()
+        } else {
+            v
+        }
+    };
+    let cfg = GomilConfig {
+        solver_budget: std::time::Duration::from_secs(15),
+        ..GomilConfig::default()
+    };
+
+    println!(
+        "{:<4} {:>14} {:>14} {:>14} {:>9} {:>10}",
+        "m", "wallace (F,H)", "dadda (F,H)", "ilp (F,H)", "ilp cost", "runtime"
+    );
+    for &m in &ms {
+        let v0 = Bcv::and_ppg(m);
+        let w = wallace_schedule(&v0);
+        let d = dadda_schedule(&v0);
+        let ilp = CtIlp::build(&v0, &cfg);
+        let (sol, took) = timed(|| ilp.solve(&cfg));
+        let sol = sol?;
+        let fmt = |f: u64, h: u64| format!("({f}, {h})");
+        println!(
+            "{:<4} {:>14} {:>14} {:>14} {:>9.0}{} {:>9.2?}",
+            m,
+            fmt(w.num_full(), w.num_half()),
+            fmt(d.num_full(), d.num_half()),
+            fmt(sol.schedule.num_full(), sol.schedule.num_half()),
+            sol.objective,
+            if sol.proven_optimal { "*" } else { " " },
+            took
+        );
+    }
+    println!("(* = optimality proven within the budget; costs are αF+βH with α=3, β=2)");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Experiment E3: the Fig. 2 / Example 1 prefix trees, plus the DP and IP
+//! optimizers on the same BCV.
+//!
+//! Usage: `cargo run --release -p gomil-bench --bin fig2_prefix_trees`
+
+use gomil::solve_fixed_prefix_ip;
+use gomil_bench::timed;
+use gomil_prefix::{leaf_types, optimize_prefix_tree, PrefixTree};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 1: input BCV [2,2,1,2,1,1] (paper order, MSB first).
+    let b = leaf_types(&[1, 1, 2, 1, 2, 2]);
+
+    println!("input BCV (MSB first): [2, 2, 1, 2, 1, 1]  — paper Example 1\n");
+
+    // The two hand-drawn structures of Fig. 2.
+    let t54 = PrefixTree::node(PrefixTree::leaf(5), PrefixTree::leaf(4));
+    let t32 = PrefixTree::node(PrefixTree::leaf(3), PrefixTree::leaf(2));
+    let fig2a = PrefixTree::node(
+        PrefixTree::node(t54, t32),
+        PrefixTree::node(PrefixTree::leaf(1), PrefixTree::leaf(0)),
+    );
+    let ca = fig2a.cost(&b);
+    println!(
+        "Fig. 2(a) tree {fig2a}: area {} delay {}   (paper: 16, 6)",
+        ca.area, ca.delay
+    );
+
+    println!("\nDP optimum per delay weight:");
+    println!("{:>6} {:>8} {:>8}  tree", "w", "area", "delay");
+    for w in [0.0, 1.0, 8.0, 32.0] {
+        let sol = optimize_prefix_tree(&b, w);
+        println!("{:>6} {:>8} {:>8}  {}", w, sol.area, sol.delay, sol.tree);
+    }
+
+    let (res, took) = timed(|| solve_fixed_prefix_ip(&b, 8.0, std::time::Duration::from_secs(30)));
+    let (tree, cost) = res?;
+    let tc = tree.cost(&b);
+    println!(
+        "\nIP (Eqs. 17–26, w = 8) in {took:.2?}: cost {cost} → area {} delay {}  {tree}",
+        tc.area, tc.delay
+    );
+    println!("(paper Fig. 2(b) achieves (16, 5); both optimizers must match or beat it)");
+    Ok(())
+}

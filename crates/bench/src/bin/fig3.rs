@@ -1,0 +1,88 @@
+//! Experiments E4/E5/E6: regenerates all three panels of the paper's
+//! Fig. 3 — delay, area and PDP (plus power, which the paper omits for
+//! space) for the eight designs at m ∈ {8, 16, 32, 64}, each normalized to
+//! `B-Wal-RCA`, with the per-design average over word lengths.
+//!
+//! Usage: `cargo run --release -p gomil-bench --bin fig3 -- [m …]`
+
+use gomil::GomilConfig;
+use gomil_bench::{build_roster, fig3_panel, rosters_to_json, timed, word_lengths_from_args};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let ms = word_lengths_from_args();
+    let cfg = GomilConfig::default();
+    let mut rosters: Vec<(usize, Vec<gomil::DesignReport>)> = Vec::new();
+
+    let mut designs: Vec<String> = Vec::new();
+    let mut delay = Vec::new();
+    let mut area = Vec::new();
+    let mut power = Vec::new();
+    let mut pdp = Vec::new();
+
+    for &m in &ms {
+        eprintln!("building the 8-design roster at m = {m} …");
+        let (reports, took) = timed(|| build_roster(m, &cfg));
+        let reports = reports?;
+        eprintln!("  done in {took:.1?}");
+        if designs.is_empty() {
+            designs = reports
+                .iter()
+                .map(|r| r.name.rsplit_once('-').map(|(n, _)| n.to_string()).unwrap_or_else(|| r.name.clone()))
+                .collect();
+        }
+        for r in &reports {
+            eprintln!("    {r}");
+        }
+        delay.push((m, reports.iter().map(|r| r.metrics.delay).collect()));
+        area.push((m, reports.iter().map(|r| r.metrics.area).collect()));
+        power.push((m, reports.iter().map(|r| r.metrics.power).collect()));
+        pdp.push((m, reports.iter().map(|r| r.metrics.pdp()).collect()));
+        rosters.push((m, reports));
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, rosters_to_json(&rosters))?;
+        eprintln!("wrote raw measurements to {path}");
+    }
+
+    println!("\n================ Fig. 3 reproduction ================\n");
+    println!("{}", fig3_panel("delay  [Fig. 3(a)]", &designs, &delay));
+    println!("{}", fig3_panel("area   [Fig. 3(b)]", &designs, &area));
+    println!("{}", fig3_panel("power  [omitted in paper]", &designs, &power));
+    println!("{}", fig3_panel("PDP    [Fig. 3(c)]", &designs, &pdp));
+
+    // The headline claims, computed from the measured averages.
+    let avg = |panel: &Vec<(usize, Vec<f64>)>, idx: usize| -> f64 {
+        panel
+            .iter()
+            .map(|(_, v)| v[idx] / v[0])
+            .sum::<f64>()
+            / panel.len() as f64
+    };
+    let idx = |name: &str| designs.iter().position(|d| d == name).expect("design");
+    let (gand, appa, ppa) = (idx("GOMIL-AND"), idx("apparch"), idx("pparch"));
+    println!("headline reductions (average over word lengths):");
+    println!(
+        "  GOMIL-AND PDP vs apparch: {:+.1}%   (paper: −70.99%)",
+        100.0 * (avg(&pdp, gand) / avg(&pdp, appa) - 1.0)
+    );
+    println!(
+        "  GOMIL-AND PDP vs pparch:  {:+.1}%   (paper: −62.74%)",
+        100.0 * (avg(&pdp, gand) / avg(&pdp, ppa) - 1.0)
+    );
+    println!(
+        "  GOMIL-AND delay vs B-Wal-RCA: {:+.1}%   (paper: −27.45%)",
+        100.0 * (avg(&delay, gand) - 1.0)
+    );
+    println!(
+        "  GOMIL-AND area vs B-Wal-RCA:  {:+.1}%   (paper: −33.36%)",
+        100.0 * (avg(&area, gand) - 1.0)
+    );
+    Ok(())
+}

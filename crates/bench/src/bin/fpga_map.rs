@@ -1,0 +1,34 @@
+//! Extension experiment: FPGA cost view. Maps every Fig. 3 design onto
+//! 6-input LUTs (the paper's stated future-work target architecture) and
+//! prints LUT counts and depths.
+//!
+//! Usage: `cargo run --release -p gomil-bench --bin fpga_map -- [m …]`
+
+use gomil::{build_baseline, build_gomil, BaselineKind, GomilConfig, PpgKind};
+use gomil_bench::word_lengths_from_args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = word_lengths_from_args();
+    let cfg = GomilConfig::default();
+    const K: usize = 6;
+
+    for &m in &ms {
+        println!("== m = {m}, {K}-LUT mapping ==");
+        println!("{:<16} {:>8} {:>8}", "design", "LUTs", "depth");
+        for kind in BaselineKind::all() {
+            let b = build_baseline(kind, m, &cfg);
+            let l = b.netlist.map_to_luts(K);
+            println!("{:<16} {:>8} {:>8}", b.name, l.luts, l.depth);
+        }
+        for ppg in [PpgKind::And, PpgKind::Booth4] {
+            let d = build_gomil(m, ppg, &cfg)?;
+            let l = d.build.netlist.map_to_luts(K);
+            println!("{:<16} {:>8} {:>8}", d.build.name, l.luts, l.depth);
+        }
+        println!();
+    }
+    println!("(LUT count stands in for FPGA area, depth for FPGA delay; the");
+    println!(" ASIC cost model's constants do not apply in this view — which");
+    println!(" is exactly why the paper calls FPGA synthesis future work.)");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Extension experiment: exact area-delay Pareto fronts of prefix trees
+//! (the paper's weighted objective only reaches the lower convex hull).
+//!
+//! Usage: `cargo run --release -p gomil-bench --bin pareto_front -- [m …]`
+
+use gomil::{optimize_global, Bcv, GomilConfig};
+use gomil_prefix::{leaf_types, pareto_prefix_front};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 1 first.
+    println!("== Example 1 BCV [2,2,1,2,1,1]: complete trade-off curve ==");
+    let leaf = leaf_types(&[1, 1, 2, 1, 2, 2]);
+    for p in pareto_prefix_front(&leaf) {
+        println!("  delay {:>3}  area {:>4}   {}", p.delay, p.area, p.tree);
+    }
+
+    let ms: Vec<usize> = {
+        let v: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+        if v.is_empty() { vec![8, 16, 32] } else { v }
+    };
+    let cfg = GomilConfig::default();
+    for m in ms {
+        let v0 = Bcv::and_ppg(m);
+        let sol = optimize_global(&v0, &cfg)?;
+        let b = leaf_types(sol.vs.counts());
+        println!("\n== m = {m}: front over GOMIL's V_s = {} ==", sol.vs);
+        for p in pareto_prefix_front(&b) {
+            println!("  delay {:>3}  area {:>4}", p.delay, p.area);
+        }
+    }
+    Ok(())
+}

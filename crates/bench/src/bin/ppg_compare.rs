@@ -1,0 +1,42 @@
+//! Extension experiment: GOMIL across all four partial product generators
+//! — unsigned AND array, signed Baugh-Wooley, radix-4 MBE, radix-8 Booth.
+//! The paper evaluates AND and MBE; BW and radix-8 complete the design
+//! space a generator like DesignWare weighs.
+//!
+//! Usage: `cargo run --release -p gomil-bench --bin ppg_compare -- [m …]`
+
+use gomil::{build_gomil, DesignReport, GomilConfig, PpgKind};
+use gomil_bench::word_lengths_from_args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = word_lengths_from_args();
+    let cfg = GomilConfig::default();
+    for &m in &ms {
+        println!("== GOMIL by PPG at m = {m} ==");
+        println!(
+            "{:<16} {:>9} {:>8} {:>10} {:>10} {:>8}",
+            "design", "area", "delay", "power", "PDP", "gates"
+        );
+        for ppg in [
+            PpgKind::And,
+            PpgKind::BaughWooley,
+            PpgKind::Booth4,
+            PpgKind::Booth8,
+        ] {
+            let d = build_gomil(m, ppg, &cfg)?;
+            let r = DesignReport::measure(&d.build, cfg.power_vectors);
+            assert!(r.verified, "{} failed verification", r.name);
+            println!(
+                "{:<16} {:>9.1} {:>8.2} {:>10.2} {:>10.1} {:>8}",
+                r.name,
+                r.metrics.area,
+                r.metrics.delay,
+                r.metrics.power,
+                r.metrics.pdp(),
+                r.gates
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Experiment E7: the GOMIL optimization runtime per word length.
+//!
+//! The paper reports 2325 s / 4840 s / 5510 s / 7200 s for m = 8/16/32/64
+//! under Gurobi with a (3600 + L³)-second cap; this reproduction scales the
+//! budget down (see `GomilConfig::solver_budget`) and reports what the
+//! from-scratch solver spends, split by strategy.
+//!
+//! Usage: `cargo run --release -p gomil-bench --bin runtime_table -- [m …]`
+
+use gomil::{optimize_global, Bcv, GomilConfig};
+use gomil_bench::{timed, word_lengths_from_args};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = word_lengths_from_args();
+    let cfg = GomilConfig::default();
+
+    println!(
+        "{:<6} {:>10} {:>14} {:>12} {:>12} {:>12}",
+        "m", "runtime", "strategy", "ct cost", "prefix cost", "objective"
+    );
+    println!(
+        "(paper, Gurobi, budget 3600+L³ s: m=8 → 2325 s, m=16 → 4840 s, m=32 → 5510 s, m=64 → 7200 s)"
+    );
+    for &m in &ms {
+        let v0 = Bcv::and_ppg(m);
+        let (sol, took) = timed(|| optimize_global(&v0, &cfg));
+        let sol = sol?;
+        println!(
+            "{:<6} {:>10.2?} {:>14} {:>12.1} {:>12.1} {:>12.1}",
+            m, took, sol.strategy, sol.ct_cost, sol.prefix_cost, sol.objective
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,247 @@
+//! Baseline multipliers from the paper's evaluation.
+//!
+//! Six comparison designs (Section IV):
+//!
+//! * `Wal-RCA`, `Wal-PPF` — AND PPG + Wallace tree, with a ripple-carry or
+//!   hybrid parallel-prefix/carry-select (PPF/CSL, [14]) final adder;
+//! * `B-Wal-RCA`, `B-Wal-PPF` — the Booth-encoded counterparts;
+//! * `pparch`, `apparch` — DesignWare-style selectors: each considers a
+//!   candidate set of architectures (non-Booth and Booth-recoded PPGs ×
+//!   several reduction/adder combinations) and keeps the delay-optimal
+//!   (`pparch`) or area-optimal (`apparch`) result, mirroring how Synopsys
+//!   describes those IP generators.
+
+use crate::config::GomilConfig;
+use crate::flow::{build_ppg, finish_product, MultiplierBuild};
+use gomil_arith::{dadda_schedule, realize_schedule, wallace_schedule, PpgKind};
+use gomil_netlist::Netlist;
+use gomil_prefix::{
+    ppf_csl_sum, prefix_sum, rca_sum, PrefixNetworkKind, PrefixTree, SelectStyle, TwoRows,
+};
+
+/// The baseline architectures of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// AND PPG, Wallace CT, ripple-carry CPA (the normalization baseline's
+    /// non-Booth sibling).
+    WalRca,
+    /// AND PPG, Wallace CT, PPF/CSL CPA.
+    WalPpf,
+    /// Booth PPG, Wallace CT, ripple-carry CPA — the paper normalizes
+    /// everything to this design.
+    BWalRca,
+    /// Booth PPG, Wallace CT, PPF/CSL CPA.
+    BWalPpf,
+    /// DesignWare-style delay-optimized selector.
+    Pparch,
+    /// DesignWare-style area-optimized selector.
+    Apparch,
+}
+
+impl BaselineKind {
+    /// The paper's display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineKind::WalRca => "Wal-RCA",
+            BaselineKind::WalPpf => "Wal-PPF",
+            BaselineKind::BWalRca => "B-Wal-RCA",
+            BaselineKind::BWalPpf => "B-Wal-PPF",
+            BaselineKind::Pparch => "pparch",
+            BaselineKind::Apparch => "apparch",
+        }
+    }
+
+    /// All six baselines in the paper's plotting order.
+    pub fn all() -> [BaselineKind; 6] {
+        [
+            BaselineKind::BWalRca,
+            BaselineKind::BWalPpf,
+            BaselineKind::WalRca,
+            BaselineKind::WalPpf,
+            BaselineKind::Apparch,
+            BaselineKind::Pparch,
+        ]
+    }
+}
+
+/// Which reduction scheme a fixed-architecture build uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reduction {
+    Wallace,
+    Dadda,
+}
+
+/// Which final adder a fixed-architecture build uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Adder {
+    Rca,
+    PpfCsl,
+    Network(PrefixNetworkKind),
+}
+
+/// Builds one fixed multiplier architecture.
+fn build_fixed(name: String, m: usize, ppg: PpgKind, red: Reduction, adder: Adder) -> MultiplierBuild {
+    let mut nl = Netlist::new(name.clone());
+    let a = nl.add_input("a", m);
+    let b = nl.add_input("b", m);
+    let pp = build_ppg(&mut nl, ppg, &a, &b);
+    let v0 = pp.heights();
+    let sched = match red {
+        Reduction::Wallace => wallace_schedule(&v0),
+        Reduction::Dadda => dadda_schedule(&v0),
+    };
+    let reduced = realize_schedule(&mut nl, &pp, &sched).expect("generator schedules are valid");
+    let rows = TwoRows::from_matrix(&reduced);
+    let sum = match adder {
+        Adder::Rca => rca_sum(&mut nl, &rows),
+        Adder::PpfCsl => {
+            let tree = PrefixTree::balanced(rows.width());
+            ppf_csl_sum(&mut nl, &rows, &tree, SelectStyle::Select)
+        }
+        Adder::Network(kind) => prefix_sum(&mut nl, &rows, kind),
+    };
+    let p = finish_product(&mut nl, sum, m);
+    nl.add_output("p", p);
+    nl.prune_dead();
+    MultiplierBuild {
+        name,
+        netlist: nl,
+        m,
+        ppg,
+    }
+}
+
+/// Builds the requested baseline at word length `m`.
+///
+/// # Panics
+///
+/// Panics if `m < 2` (or odd `m` for Booth-based baselines).
+pub fn build_baseline(kind: BaselineKind, m: usize, cfg: &GomilConfig) -> MultiplierBuild {
+    let name = format!("{}-{m}", kind.label());
+    match kind {
+        BaselineKind::WalRca => build_fixed(name, m, PpgKind::And, Reduction::Wallace, Adder::Rca),
+        BaselineKind::WalPpf => {
+            build_fixed(name, m, PpgKind::And, Reduction::Wallace, Adder::PpfCsl)
+        }
+        BaselineKind::BWalRca => {
+            build_fixed(name, m, PpgKind::Booth4, Reduction::Wallace, Adder::Rca)
+        }
+        BaselineKind::BWalPpf => {
+            build_fixed(name, m, PpgKind::Booth4, Reduction::Wallace, Adder::PpfCsl)
+        }
+        BaselineKind::Pparch => select_candidate(name, m, cfg, |metrics| (metrics.0, metrics.1)),
+        BaselineKind::Apparch => select_candidate(name, m, cfg, |metrics| (metrics.1, metrics.0)),
+    }
+}
+
+/// Builds the DesignWare-style candidate set and keeps the best by the
+/// given key extractor over `(delay, area)` (lexicographic).
+fn select_candidate(
+    name: String,
+    m: usize,
+    cfg: &GomilConfig,
+    key: fn((f64, f64)) -> (f64, f64),
+) -> MultiplierBuild {
+    let candidates: Vec<MultiplierBuild> = candidate_set(m)
+        .into_iter()
+        .map(|(label, ppg, red, adder)| {
+            build_fixed(format!("{name}/{label}"), m, ppg, red, adder)
+        })
+        .collect();
+    let _ = cfg;
+    let mut best: Option<(f64, f64, MultiplierBuild)> = None;
+    for c in candidates {
+        let delay = c.netlist.critical_delay();
+        let area = c.netlist.area();
+        let (k1, k2) = key((delay, area));
+        match &best {
+            Some((b1, b2, _)) if (k1, k2) >= (*b1, *b2) => {}
+            _ => best = Some((k1, k2, c)),
+        }
+    }
+    let mut chosen = best.expect("candidate set is non-empty").2;
+    chosen.name = name;
+    chosen
+}
+
+/// The architectures a DesignWare-style generator would weigh against each
+/// other: Radix-2 non-Booth and Radix-4 Booth PPGs crossed with reduction
+/// schemes and final adders from slow/small to fast/large.
+fn candidate_set(_m: usize) -> Vec<(&'static str, PpgKind, Reduction, Adder)> {
+    use Adder::*;
+    use PpgKind::*;
+    use Reduction::*;
+    vec![
+        ("and-dadda-rca", And, Dadda, Rca),
+        ("booth-dadda-rca", Booth4, Dadda, Rca),
+        ("and-dadda-bk", And, Dadda, Network(PrefixNetworkKind::BrentKung)),
+        ("booth-dadda-bk", Booth4, Dadda, Network(PrefixNetworkKind::BrentKung)),
+        ("and-wallace-sk", And, Wallace, Network(PrefixNetworkKind::Sklansky)),
+        ("booth-wallace-sk", Booth4, Wallace, Network(PrefixNetworkKind::Sklansky)),
+        ("and-wallace-ks", And, Wallace, Network(PrefixNetworkKind::KoggeStone)),
+        ("booth-wallace-ks", Booth4, Wallace, Network(PrefixNetworkKind::KoggeStone)),
+        ("and-wallace-ppf", And, Wallace, PpfCsl),
+        ("booth-wallace-ppf", Booth4, Wallace, PpfCsl),
+        ("and-dadda-hc", And, Dadda, Network(PrefixNetworkKind::HanCarlson)),
+        ("booth-dadda-lf", Booth4, Dadda, Network(PrefixNetworkKind::LadnerFischer)),
+        ("booth8-dadda-rca", Booth8, Dadda, Rca),
+        ("booth8-wallace-sk", Booth8, Wallace, Network(PrefixNetworkKind::Sklansky)),
+        ("booth8-wallace-ks", Booth8, Wallace, Network(PrefixNetworkKind::KoggeStone)),
+        ("bw-dadda-bk", BaughWooley, Dadda, Network(PrefixNetworkKind::BrentKung)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_are_functionally_correct_at_4_bits() {
+        let cfg = GomilConfig::fast();
+        for kind in BaselineKind::all() {
+            let b = build_baseline(kind, 4, &cfg);
+            b.verify().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+        }
+    }
+
+    #[test]
+    fn all_baselines_are_functionally_correct_at_8_bits() {
+        let cfg = GomilConfig::fast();
+        for kind in BaselineKind::all() {
+            let b = build_baseline(kind, 8, &cfg);
+            b.verify().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+        }
+    }
+
+    #[test]
+    fn ppf_baselines_are_faster_than_rca_baselines() {
+        let cfg = GomilConfig::fast();
+        let m = 16;
+        let rca = build_baseline(BaselineKind::WalRca, m, &cfg);
+        let ppf = build_baseline(BaselineKind::WalPpf, m, &cfg);
+        assert!(
+            ppf.netlist.critical_delay() < rca.netlist.critical_delay(),
+            "ppf {} vs rca {}",
+            ppf.netlist.critical_delay(),
+            rca.netlist.critical_delay()
+        );
+    }
+
+    #[test]
+    fn pparch_is_at_least_as_fast_as_apparch() {
+        let cfg = GomilConfig::fast();
+        let m = 8;
+        let p = build_baseline(BaselineKind::Pparch, m, &cfg);
+        let a = build_baseline(BaselineKind::Apparch, m, &cfg);
+        assert!(p.netlist.critical_delay() <= a.netlist.critical_delay() + 1e-9);
+        assert!(a.netlist.area() <= p.netlist.area() + 1e-9);
+    }
+
+    #[test]
+    fn booth_baselines_compute_signed_products() {
+        let cfg = GomilConfig::fast();
+        let b = build_baseline(BaselineKind::BWalRca, 4, &cfg);
+        // (-2) × 3 = -6 ≡ 250 mod 256.
+        assert_eq!(b.netlist.eval_ints(&[0xE, 0x3], "p"), 250);
+    }
+}

@@ -1,0 +1,175 @@
+//! `gomil` — command-line front end for the GOMIL reproduction.
+//!
+//! ```text
+//! gomil gen <m> [and|mbe] [--out FILE] [--no-verify]   generate + export Verilog
+//! gomil compare <m>                                    Fig. 3-style table at one width
+//! gomil prefix <heights MSB-first…> [--w W]            optimize a prefix BCV
+//! gomil trunc <m> <k>                                  truncated multiplier report
+//! gomil info                                           defaults and versions
+//! ```
+
+use gomil::{
+    build_baseline, build_gomil, build_gomil_truncated, normalize, BaselineKind, DesignReport,
+    GomilConfig, PpgKind,
+};
+use gomil_prefix::{leaf_types, optimize_prefix_tree};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("prefix") => cmd_prefix(&args[1..]),
+        Some("trunc") => cmd_trunc(&args[1..]),
+        Some("info") => cmd_info(),
+        _ => {
+            eprintln!("usage: gomil <gen|compare|prefix|trunc|info> …  (see --help in README)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_m(args: &[String]) -> Result<usize, Box<dyn std::error::Error>> {
+    args.first()
+        .ok_or("missing word length argument")?
+        .parse::<usize>()
+        .map_err(|e| format!("bad word length: {e}").into())
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let m = parse_m(args)?;
+    let ppg = if args.iter().any(|a| a == "mbe" || a == "booth") {
+        PpgKind::Booth4
+    } else {
+        PpgKind::And
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1));
+    let verify = !args.iter().any(|a| a == "--no-verify");
+
+    let cfg = GomilConfig::default();
+    let design = build_gomil(m, ppg, &cfg)?;
+    if verify {
+        design.build.verify().map_err(std::io::Error::other)?;
+        eprintln!("verified: {} computes correct products", design.build.name);
+    }
+    eprintln!(
+        "V_s = {}  |  CT cost {}  |  prefix cost {}  [{}]",
+        design.solution.vs,
+        design.solution.ct_cost,
+        design.solution.prefix_cost,
+        design.solution.strategy
+    );
+    let verilog = design.build.netlist.to_verilog();
+    match out {
+        Some(path) => {
+            std::fs::File::create(path)?.write_all(verilog.as_bytes())?;
+            eprintln!(
+                "wrote {path} ({} gates)",
+                design.build.netlist.num_gates()
+            );
+        }
+        None => print!("{verilog}"),
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> CliResult {
+    let m = parse_m(args)?;
+    let cfg = GomilConfig::default();
+    let mut reports = Vec::new();
+    for kind in BaselineKind::all() {
+        reports.push(DesignReport::measure(
+            &build_baseline(kind, m, &cfg),
+            cfg.power_vectors,
+        ));
+    }
+    for ppg in [PpgKind::And, PpgKind::Booth4] {
+        let d = build_gomil(m, ppg, &cfg)?;
+        reports.push(DesignReport::measure(&d.build, cfg.power_vectors));
+    }
+    for r in &reports {
+        if !r.verified {
+            return Err(format!("{} failed verification", r.name).into());
+        }
+        eprintln!("{r}");
+    }
+    println!(
+        "\n{:<18} {:>8} {:>8} {:>8} {:>8}   (normalized to B-Wal-RCA)",
+        "design", "delay", "area", "power", "pdp"
+    );
+    for row in normalize(&reports, "B-Wal-RCA") {
+        println!(
+            "{:<18} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            row.name, row.delay, row.area, row.power, row.pdp
+        );
+    }
+    Ok(())
+}
+
+fn cmd_prefix(args: &[String]) -> CliResult {
+    let w = args
+        .iter()
+        .position(|a| a == "--w")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse::<f64>())
+        .transpose()?
+        .unwrap_or(8.0);
+    let mut heights: Vec<u32> = args
+        .iter()
+        .take_while(|a| *a != "--w")
+        .map(|s| s.parse::<u32>())
+        .collect::<Result<_, _>>()?;
+    if heights.is_empty() {
+        return Err("provide column heights (MSB first), e.g. 2 2 1 2 1 1".into());
+    }
+    heights.reverse();
+    let b = leaf_types(&heights);
+    let sol = optimize_prefix_tree(&b, w);
+    println!("area  = {}", sol.area);
+    println!("delay = {}", sol.delay);
+    println!("cost  = {} (A + {w}·D)", sol.cost);
+    println!("tree  = {}", sol.tree);
+    Ok(())
+}
+
+fn cmd_trunc(args: &[String]) -> CliResult {
+    let m = parse_m(args)?;
+    let k = args
+        .get(1)
+        .ok_or("missing truncation depth")?
+        .parse::<usize>()?;
+    let cfg = GomilConfig::default();
+    let d = build_gomil_truncated(m, k, &cfg)?;
+    let met = d.build.netlist.metrics(cfg.power_vectors);
+    let e = d.build.error_stats();
+    println!("{}: {met}", d.build.name);
+    println!(
+        "error: max |e| = {}, mean = {:.3}, rmse = {:.3} over {} samples",
+        e.max_abs, e.mean, e.rmse, e.samples
+    );
+    Ok(())
+}
+
+fn cmd_info() -> CliResult {
+    let cfg = GomilConfig::default();
+    println!("gomil reproduction of Xiao/Qian/Liu, DATE 2021");
+    println!(
+        "defaults: w = {}, L = {}, α = {}, β = {}, solver budget = {:?}, arrival-aware = {}",
+        cfg.w, cfg.l, cfg.alpha, cfg.beta, cfg.solver_budget, cfg.arrival_aware
+    );
+    Ok(())
+}

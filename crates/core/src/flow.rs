@@ -1,0 +1,385 @@
+//! End-to-end GOMIL multiplier construction.
+//!
+//! `operands → PPG → (globally optimized) CT → PPF/CSL adder → product`,
+//! with built-in functional verification against native integer
+//! multiplication.
+
+use crate::config::GomilConfig;
+use crate::global::{optimize_global, GlobalSolution};
+use gomil_arith::{and_ppg, baugh_wooley_ppg, booth4_ppg, booth8_ppg, realize_schedule, PpgKind};
+use gomil_ilp::SolveError;
+use gomil_netlist::{NetId, Netlist};
+use gomil_prefix::{leaf_types, optimize_prefix_tree_with_arrivals, ppf_csl_sum, PrefixTree, TwoRows};
+
+/// Area split of a multiplier by pipeline region (paper Section III:
+/// "the CT dominates the area of a multiplier, while the CT and the
+/// prefix structure together dominate the delay").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RegionBreakdown {
+    /// Partial product generator area.
+    pub ppg: f64,
+    /// Compressor tree area.
+    pub ct: f64,
+    /// Carry-propagation adder area.
+    pub cpa: f64,
+}
+
+impl RegionBreakdown {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.ppg + self.ct + self.cpa
+    }
+}
+
+/// A constructed multiplier netlist plus its provenance.
+#[derive(Debug, Clone)]
+pub struct MultiplierBuild {
+    /// Short design name (e.g. `GOMIL-AND-8`).
+    pub name: String,
+    /// The gate-level implementation; inputs `a`, `b`, output `p` (2m bits).
+    pub netlist: Netlist,
+    /// Word length.
+    pub m: usize,
+    /// Which PPG the design uses (Booth implies signed semantics).
+    pub ppg: PpgKind,
+}
+
+impl MultiplierBuild {
+    /// Whether the product is two's-complement or unsigned.
+    pub fn is_signed(&self) -> bool {
+        self.ppg.is_signed()
+    }
+
+    /// The product this design should compute, reduced mod `2^{2m}`.
+    pub fn expected_product(&self, x: u128, y: u128) -> u128 {
+        let m = self.m;
+        let mask: u128 = if 2 * m >= 128 { u128::MAX } else { (1 << (2 * m)) - 1 };
+        if self.is_signed() {
+            let sx = sign_extend(x, m);
+            let sy = sign_extend(y, m);
+            (sx.wrapping_mul(sy) as u128) & mask
+        } else {
+            x.wrapping_mul(y) & mask
+        }
+    }
+
+    /// Functionally verifies the netlist: exhaustive for `m ≤ 6`, seeded
+    /// random sampling otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching input pair.
+    pub fn verify(&self) -> Result<(), String> {
+        let m = self.m;
+        let check = |x: u128, y: u128| -> Result<(), String> {
+            let got = self.netlist.eval_ints(&[x, y], "p");
+            let want = self.expected_product(x, y);
+            if got != want {
+                return Err(format!(
+                    "{}: {x} × {y} = {want}, netlist produced {got}",
+                    self.name
+                ));
+            }
+            Ok(())
+        };
+        if m <= 6 {
+            for x in 0..(1u128 << m) {
+                for y in 0..(1u128 << m) {
+                    check(x, y)?;
+                }
+            }
+        } else {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ m as u64);
+            let mask = (1u128 << m) - 1;
+            // Corner cases plus random samples.
+            let corners = [0u128, 1, mask, mask - 1, 1 << (m - 1), (1 << (m - 1)) - 1];
+            for &x in &corners {
+                for &y in &corners {
+                    check(x, y)?;
+                }
+            }
+            for _ in 0..300 {
+                check(rng.gen::<u128>() & mask, rng.gen::<u128>() & mask)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn sign_extend(x: u128, m: usize) -> i128 {
+    let shift = 128 - m as u32;
+    ((x as i128) << shift) >> shift
+}
+
+/// Emits the partial product matrix for the chosen PPG.
+pub(crate) fn build_ppg(
+    nl: &mut Netlist,
+    ppg: PpgKind,
+    a: &[NetId],
+    b: &[NetId],
+) -> gomil_arith::BitMatrix {
+    match ppg {
+        PpgKind::And => and_ppg(nl, a, b),
+        PpgKind::Booth4 => booth4_ppg(nl, a, b),
+        PpgKind::Booth8 => booth8_ppg(nl, a, b),
+        PpgKind::BaughWooley => baugh_wooley_ppg(nl, a, b),
+    }
+}
+
+/// Truncates/pads a CPA output to the `2m`-bit product port.
+pub(crate) fn finish_product(nl: &mut Netlist, mut sum: Vec<NetId>, m: usize) -> Vec<NetId> {
+    sum.truncate(2 * m);
+    while sum.len() < 2 * m {
+        let z = nl.const0();
+        sum.push(z);
+    }
+    sum
+}
+
+/// A GOMIL-optimized multiplier together with the optimization record.
+#[derive(Debug, Clone)]
+pub struct GomilDesign {
+    /// The constructed netlist.
+    pub build: MultiplierBuild,
+    /// The joint CT + prefix decision that produced it (paper cost model).
+    pub solution: GlobalSolution,
+    /// The prefix tree actually realized — differs from
+    /// [`GlobalSolution::tree`] when
+    /// [`arrival_aware`](crate::GomilConfig::arrival_aware) re-optimization
+    /// is enabled.
+    pub realized_tree: PrefixTree,
+    /// Area by pipeline region, measured before dead-logic pruning.
+    pub regions: RegionBreakdown,
+}
+
+/// Builds a GOMIL-optimized `m × m` multiplier with the given PPG.
+///
+/// # Errors
+///
+/// Propagates ILP solver failures (the search path cannot fail).
+///
+/// # Panics
+///
+/// Panics if `m < 2`, or `m` is odd with a Booth PPG.
+pub fn build_gomil(m: usize, ppg: PpgKind, cfg: &GomilConfig) -> Result<GomilDesign, SolveError> {
+    let mut nl = Netlist::new(format!("gomil_{}_{m}", ppg.label().to_lowercase()));
+    let a = nl.add_input("a", m);
+    let b = nl.add_input("b", m);
+    let pp = build_ppg(&mut nl, ppg, &a, &b);
+    let v0 = pp.heights();
+    let area_after_ppg = nl.area();
+
+    let solution = optimize_global(&v0, cfg)?;
+    let reduced = realize_schedule(&mut nl, &pp, &solution.schedule)
+        .expect("optimizer schedules are validated");
+    let area_after_ct = nl.area();
+    let rows = TwoRows::from_matrix(&reduced);
+
+    // Optionally re-optimize the tree against the CT's realized arrival
+    // profile (extension; see `GomilConfig::arrival_aware`). Arrivals are
+    // converted to Table-I delay units via the typical realized delay of a
+    // prefix node's generate path.
+    let tree = if cfg.arrival_aware {
+        const NODE_DELAY_UNIT: f64 = 1.1;
+        let timing = nl.timing();
+        let arrivals: Vec<f64> = (0..rows.width())
+            .map(|j| {
+                rows.column(j)
+                    .iter()
+                    .map(|&b| timing.arrival(b))
+                    .fold(0.0, f64::max)
+                    / NODE_DELAY_UNIT
+            })
+            .collect();
+        let b = leaf_types(solution.vs.counts());
+        optimize_prefix_tree_with_arrivals(&b, cfg.w, &arrivals).tree
+    } else {
+        solution.tree.clone()
+    };
+    let sum = ppf_csl_sum(&mut nl, &rows, &tree, cfg.select_style);
+    let p = finish_product(&mut nl, sum, m);
+    nl.add_output("p", p);
+    let regions = RegionBreakdown {
+        ppg: area_after_ppg,
+        ct: area_after_ct - area_after_ppg,
+        cpa: nl.area() - area_after_ct,
+    };
+    nl.prune_dead();
+
+    Ok(GomilDesign {
+        build: MultiplierBuild {
+            name: format!("GOMIL-{}-{m}", ppg.label()),
+            netlist: nl,
+            m,
+            ppg,
+        },
+        solution,
+        realized_tree: tree,
+        regions,
+    })
+}
+
+/// Builds a GOMIL-optimized rectangular `m × n` **unsigned** multiplier
+/// (AND-array PPG; the paper notes the method "can be easily adapted to
+/// handle the more general case with unequal operand length").
+///
+/// The output port `p` has `m + n` bits.
+///
+/// # Errors
+///
+/// Propagates ILP solver failures.
+///
+/// # Panics
+///
+/// Panics if either width is < 2.
+pub fn build_gomil_rect(
+    m: usize,
+    n: usize,
+    cfg: &GomilConfig,
+) -> Result<GomilDesign, SolveError> {
+    assert!(m >= 2 && n >= 2, "operand widths must be at least 2");
+    let mut nl = Netlist::new(format!("gomil_and_{m}x{n}"));
+    let a = nl.add_input("a", m);
+    let b = nl.add_input("b", n);
+    let pp = and_ppg(&mut nl, &a, &b);
+    let v0 = pp.heights();
+
+    let solution = optimize_global(&v0, cfg)?;
+    let reduced = realize_schedule(&mut nl, &pp, &solution.schedule)
+        .expect("optimizer schedules are validated");
+    let rows = TwoRows::from_matrix(&reduced);
+    let tree = if cfg.arrival_aware {
+        const NODE_DELAY_UNIT: f64 = 1.1;
+        let timing = nl.timing();
+        let arrivals: Vec<f64> = (0..rows.width())
+            .map(|j| {
+                rows.column(j)
+                    .iter()
+                    .map(|&bit| timing.arrival(bit))
+                    .fold(0.0, f64::max)
+                    / NODE_DELAY_UNIT
+            })
+            .collect();
+        let lb = leaf_types(solution.vs.counts());
+        optimize_prefix_tree_with_arrivals(&lb, cfg.w, &arrivals).tree
+    } else {
+        solution.tree.clone()
+    };
+    let mut sum = ppf_csl_sum(&mut nl, &rows, &tree, cfg.select_style);
+    sum.truncate(m + n);
+    while sum.len() < m + n {
+        let z = nl.const0();
+        sum.push(z);
+    }
+    nl.add_output("p", sum);
+    nl.prune_dead();
+
+    Ok(GomilDesign {
+        build: MultiplierBuild {
+            name: format!("GOMIL-AND-{m}x{n}"),
+            netlist: nl,
+            m: m.max(n), // used only for verification masks via expected_product
+            ppg: PpgKind::And,
+        },
+        solution,
+        realized_tree: tree,
+        regions: RegionBreakdown::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gomil_and_4_bit_is_correct_exhaustively() {
+        let d = build_gomil(4, PpgKind::And, &GomilConfig::fast()).unwrap();
+        d.build.verify().unwrap();
+        assert!(d.build.netlist.check().is_empty(), "{:?}", d.build.netlist.check());
+    }
+
+    #[test]
+    fn gomil_and_6_bit_is_correct_exhaustively() {
+        let d = build_gomil(6, PpgKind::And, &GomilConfig::fast()).unwrap();
+        d.build.verify().unwrap();
+    }
+
+    #[test]
+    fn gomil_mbe_4_bit_is_correct_exhaustively() {
+        let d = build_gomil(4, PpgKind::Booth4, &GomilConfig::fast()).unwrap();
+        d.build.verify().unwrap();
+    }
+
+    #[test]
+    fn gomil_and_8_bit_random_and_corners() {
+        let d = build_gomil(8, PpgKind::And, &GomilConfig::fast()).unwrap();
+        d.build.verify().unwrap();
+    }
+
+    #[test]
+    fn gomil_mbe_8_bit_random_and_corners() {
+        let d = build_gomil(8, PpgKind::Booth4, &GomilConfig::fast()).unwrap();
+        d.build.verify().unwrap();
+    }
+
+    #[test]
+    fn ct_dominates_the_multiplier_area() {
+        // Section III of the paper: "the CT dominates the area of a
+        // multiplier". Check the realized breakdown at m = 16.
+        let d = build_gomil(16, PpgKind::And, &GomilConfig::fast()).unwrap();
+        let r = d.regions;
+        assert!(r.ct > r.ppg, "ct {} vs ppg {}", r.ct, r.ppg);
+        assert!(r.ct > r.cpa, "ct {} vs cpa {}", r.ct, r.cpa);
+        assert!(r.ct > 0.4 * r.total(), "ct share {}", r.ct / r.total());
+        assert!((r.total() - (r.ppg + r.ct + r.cpa)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gomil_booth8_6_bit_is_correct_exhaustively() {
+        let d = build_gomil(6, PpgKind::Booth8, &GomilConfig::fast()).unwrap();
+        d.build.verify().unwrap();
+        assert!(d.build.is_signed());
+    }
+
+    #[test]
+    fn gomil_baugh_wooley_6_bit_is_correct_exhaustively() {
+        let d = build_gomil(6, PpgKind::BaughWooley, &GomilConfig::fast()).unwrap();
+        d.build.verify().unwrap();
+        assert!(d.build.is_signed());
+    }
+
+    #[test]
+    fn gomil_booth8_12_bit_random() {
+        let d = build_gomil(12, PpgKind::Booth8, &GomilConfig::fast()).unwrap();
+        d.build.verify().unwrap();
+    }
+
+    #[test]
+    fn rectangular_gomil_multiplier_is_correct() {
+        // 6 × 4: exhaustive (1024 products).
+        let d = build_gomil_rect(6, 4, &GomilConfig::fast()).unwrap();
+        for x in 0..64u128 {
+            for y in 0..16u128 {
+                let got = d.build.netlist.eval_ints(&[x, y], "p");
+                assert_eq!(got, x * y, "{x}×{y}");
+            }
+        }
+        assert!(d.build.netlist.check().is_empty());
+    }
+
+    #[test]
+    fn signed_expectation_matches_two_complement() {
+        let b = MultiplierBuild {
+            name: "t".into(),
+            netlist: Netlist::new("t"),
+            m: 4,
+            ppg: PpgKind::Booth4,
+        };
+        // (-1) × (-1) = 1; (-8) × 2 = -16 ≡ 240 mod 256.
+        assert_eq!(b.expected_product(0xF, 0xF), 1);
+        assert_eq!(b.expected_product(0x8, 0x2), 240);
+    }
+}

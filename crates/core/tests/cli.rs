@@ -1,0 +1,46 @@
+//! End-to-end tests of the `gomil` CLI binary.
+
+use std::process::Command;
+
+fn gomil(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gomil"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn info_prints_paper_defaults() {
+    let out = gomil(&["info"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("w = 8"));
+    assert!(text.contains("L = 10"));
+}
+
+#[test]
+fn prefix_solves_example_1() {
+    let out = gomil(&["prefix", "2", "2", "1", "2", "1", "1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("area  = 16"));
+    assert!(text.contains("delay = 5"));
+}
+
+#[test]
+fn gen_writes_verilog_to_stdout() {
+    let out = gomil(&["gen", "4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("module "));
+    assert!(text.contains("output [7:0] p;"));
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("verified"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = gomil(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,651 @@
+//! Branch-and-bound driver for mixed-integer models.
+//!
+//! Strategy:
+//!
+//! * presolve (bound tightening) once up front;
+//! * standardize to a slack-equality LP form, *compressing
+//!   out* variables fixed by presolve so the dense tableau stays small;
+//! * best-bound node selection with a last-in dive bias, deltas stored in a
+//!   parent-pointer arena;
+//! * branching on the most fractional integer variable;
+//! * incumbents from (a) a caller-supplied warm start, (b) LP solutions that
+//!   happen to be integral, and (c) a round-and-repair heuristic that fixes
+//!   the integers to rounded values and re-solves the LP for the continuous
+//!   variables.
+//!
+//! The search honours wall-clock and node limits and reports the best proven
+//! bound, mirroring how the paper runs Gurobi under a runtime cap.
+
+use crate::model::{Cmp, Model, Sense, VarKind};
+use crate::presolve::presolve;
+use crate::propagate::propagate_bounds;
+use crate::simplex::{solve_lp, LpOutcome, LpProblem, FEAS_TOL};
+use crate::solution::{Solution, SolveError, SolveStatus};
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`Model::solve_with`].
+#[derive(Debug, Clone)]
+pub struct BranchConfig {
+    /// Wall-clock limit for the whole search.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of branch-and-bound nodes.
+    pub node_limit: u64,
+    /// Stop when `(incumbent − bound)/max(1,|incumbent|)` falls below this.
+    pub gap_tol: f64,
+    /// Optional warm-start assignment (full values, indexed by variable
+    /// index). Rejected silently if infeasible.
+    pub initial: Option<Vec<f64>>,
+    /// Simplex iteration budget per LP solve.
+    pub max_lp_iters: u64,
+    /// Run the round-and-repair heuristic every this many nodes (0 = off).
+    pub heuristic_period: u64,
+}
+
+impl Default for BranchConfig {
+    fn default() -> BranchConfig {
+        BranchConfig {
+            time_limit: Some(Duration::from_secs(60)),
+            node_limit: 200_000,
+            gap_tol: 1e-6,
+            initial: None,
+            max_lp_iters: 2_000_000,
+            heuristic_period: 20,
+        }
+    }
+}
+
+impl BranchConfig {
+    /// A config with the given time limit and otherwise default settings.
+    pub fn with_time_limit(limit: Duration) -> BranchConfig {
+        BranchConfig {
+            time_limit: Some(limit),
+            ..BranchConfig::default()
+        }
+    }
+}
+
+/// Mapping from model variables to compressed LP columns.
+struct Standardized {
+    lp: LpProblem,
+    /// Fixed value per model variable (meaningful when `col_of_var` is None).
+    fixed_val: Vec<f64>,
+    /// Model variable index per LP structural column.
+    var_of_col: Vec<u32>,
+    /// Model objective constant (plus contribution of fixed variables).
+    obj_offset: f64,
+    /// Whether each surviving column is integer-constrained.
+    col_is_int: Vec<bool>,
+}
+
+/// Builds the slack-augmented LP, dropping presolve-fixed columns and
+/// redundant rows.
+fn standardize(model: &Model, lb: &[f64], ub: &[f64], redundant: &[bool], minimize_costs: &[f64]) -> Standardized {
+    let n = model.num_vars();
+    let mut col_of_var: Vec<Option<u32>> = vec![None; n]; // local compression map
+    let mut fixed_val = vec![0.0; n];
+    let mut var_of_col = Vec::new();
+    let mut obj_offset = model.objective.constant();
+    let mut costs = Vec::new();
+    let mut clb = Vec::new();
+    let mut cub = Vec::new();
+    let mut col_is_int = Vec::new();
+
+    for i in 0..n {
+        if (ub[i] - lb[i]).abs() <= FEAS_TOL && lb[i].is_finite() {
+            fixed_val[i] = lb[i];
+            obj_offset += minimize_costs[i] * lb[i];
+        } else {
+            col_of_var[i] = Some(var_of_col.len() as u32);
+            var_of_col.push(i as u32);
+            costs.push(minimize_costs[i]);
+            clb.push(lb[i]);
+            cub.push(ub[i]);
+            col_is_int.push(model.vars[i].kind != VarKind::Continuous);
+        }
+    }
+    let ns = var_of_col.len();
+
+    let mut rows = Vec::new();
+    let mut rhs = Vec::new();
+    for (ci, c) in model.constraints.iter().enumerate() {
+        if redundant[ci] {
+            continue;
+        }
+        let mut row: Vec<(u32, f64)> = Vec::with_capacity(c.expr.len() + 1);
+        let mut b = c.rhs;
+        for (v, coef) in c.expr.iter() {
+            match col_of_var[v.index()] {
+                Some(col) => row.push((col, coef)),
+                None => b -= coef * fixed_val[v.index()],
+            }
+        }
+        if row.is_empty() {
+            continue; // fully fixed row; presolve guarantees it is satisfied
+        }
+        let slack_col = (ns + rows.len()) as u32;
+        row.push((slack_col, 1.0));
+        match c.cmp {
+            Cmp::Le => {
+                clb.push(0.0);
+                cub.push(f64::INFINITY);
+            }
+            Cmp::Ge => {
+                clb.push(f64::NEG_INFINITY);
+                cub.push(0.0);
+            }
+            Cmp::Eq => {
+                clb.push(0.0);
+                cub.push(0.0);
+            }
+        }
+        costs.push(0.0);
+        rows.push(row);
+        rhs.push(b);
+    }
+
+    let num_cols = ns + rows.len();
+    Standardized {
+        lp: LpProblem {
+            num_structural: ns,
+            num_cols,
+            costs,
+            lb: clb,
+            ub: cub,
+            rows,
+            rhs,
+        },
+        fixed_val,
+        var_of_col,
+        obj_offset,
+        col_is_int,
+    }
+}
+
+/// A branch decision: tighten one column's bound.
+#[derive(Debug, Clone, Copy)]
+struct BoundDelta {
+    col: u32,
+    /// True: set lower bound; false: set upper bound.
+    is_lower: bool,
+    value: f64,
+}
+
+struct NodeArena {
+    /// (parent index or usize::MAX, delta)
+    nodes: Vec<(usize, BoundDelta)>,
+}
+
+impl NodeArena {
+    fn apply(&self, mut idx: usize, lb: &mut [f64], ub: &mut [f64]) {
+        while idx != usize::MAX {
+            let (parent, d) = self.nodes[idx];
+            let c = d.col as usize;
+            if d.is_lower {
+                if d.value > lb[c] {
+                    lb[c] = d.value;
+                }
+            } else if d.value < ub[c] {
+                ub[c] = d.value;
+            }
+            idx = parent;
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct OpenNode {
+    bound: f64,
+    depth: u32,
+    arena_idx: usize,
+    /// The branching that created this node, for pseudocost updates:
+    /// `(column, went_up, parent LP objective, fractional distance)`.
+    branch: Option<(usize, bool, f64, f64)>,
+}
+
+impl Eq for OpenNode {}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; we want the smallest bound first, with a
+        // preference for deeper nodes (diving) on ties.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Expands a compressed LP solution back to full model-variable space.
+fn expand(std: &Standardized, x: &[f64]) -> Vec<f64> {
+    let mut out = std.fixed_val.clone();
+    for (col, &v) in x.iter().enumerate() {
+        out[std.var_of_col[col] as usize] = v;
+    }
+    out
+}
+
+/// Solves `model` by branch and bound.
+///
+/// # Errors
+///
+/// * [`SolveError::Infeasible`] / [`SolveError::Unbounded`] for models with
+///   no optimum.
+/// * [`SolveError::Limit`] when a limit fires before any feasible point.
+/// * [`SolveError::Numerical`] on simplex breakdown.
+pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveError> {
+    let start = Instant::now();
+    let maximize = model.sense == Sense::Maximize;
+
+    // Internal costs are always "minimize".
+    let mut costs = vec![0.0; model.num_vars()];
+    for (v, c) in model.objective.iter() {
+        costs[v.index()] = if maximize { -c } else { c };
+    }
+
+    let pre = presolve(model);
+    if pre.infeasible {
+        return Err(SolveError::Infeasible);
+    }
+    let std = standardize(model, &pre.lb, &pre.ub, &pre.redundant, &costs);
+    // `std.obj_offset` holds the raw model constant plus fixed-variable cost
+    // contributions (the latter already in minimize space). In maximize mode
+    // the constant must enter minimize space negated.
+    let signed_const = if maximize {
+        -model.objective.constant()
+    } else {
+        model.objective.constant()
+    };
+    let obj_offset = std.obj_offset - model.objective.constant() + signed_const;
+
+    let mut lp_iters_total: u64 = 0;
+    let mut nodes_explored: u64 = 0;
+
+    // Incumbent tracking in minimize space.
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (full model values, minimize obj)
+    let record = |vals: Vec<f64>, inc: &mut Option<(Vec<f64>, f64)>| {
+        let obj: f64 = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| costs[i] * v)
+            .sum::<f64>()
+            + if maximize { -model.objective.constant() } else { model.objective.constant() };
+        if inc.as_ref().map_or(true, |(_, best)| obj < best - 1e-9) {
+            *inc = Some((vals, obj));
+        }
+    };
+
+    if let Some(init) = &config.initial {
+        if model.is_feasible(init, FEAS_TOL * 10.0) {
+            record(init.clone(), &mut incumbent);
+        }
+    }
+
+    // Root node.
+    let arena = &mut NodeArena { nodes: Vec::new() };
+    let mut heap = BinaryHeap::new();
+    heap.push(OpenNode {
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+        arena_idx: usize::MAX,
+        branch: None,
+    });
+    // Pseudocosts: average objective degradation per unit of fractional
+    // distance, per column and branching direction.
+    let ns = std.lp.num_structural;
+    let mut pc_up = vec![(0.0f64, 0u32); ns];
+    let mut pc_down = vec![(0.0f64, 0u32); ns];
+
+    let mut best_open_bound = f64::NEG_INFINITY;
+    let mut limit_hit: Option<String> = None;
+    let mut saw_unbounded_root = false;
+
+    let mut lb_buf = vec![0.0; std.lp.num_cols];
+    let mut ub_buf = vec![0.0; std.lp.num_cols];
+
+    while let Some(node) = heap.pop() {
+        // Prune against incumbent.
+        if let Some((_, best)) = &incumbent {
+            if node.bound >= best - config.gap_tol * best.abs().max(1.0) {
+                continue;
+            }
+        }
+        if let Some(tl) = config.time_limit {
+            if start.elapsed() > tl {
+                limit_hit = Some(format!("time limit {tl:?}"));
+                best_open_bound = node.bound;
+                break;
+            }
+        }
+        if nodes_explored >= config.node_limit {
+            limit_hit = Some(format!("node limit {}", config.node_limit));
+            best_open_bound = node.bound;
+            break;
+        }
+        nodes_explored += 1;
+
+        // Materialize bounds for this node, then propagate them through
+        // the rows (often fixes chains or proves the node empty cheaply).
+        lb_buf.copy_from_slice(&std.lp.lb);
+        ub_buf.copy_from_slice(&std.lp.ub);
+        arena.apply(node.arena_idx, &mut lb_buf, &mut ub_buf);
+        if lb_buf
+            .iter()
+            .zip(ub_buf.iter())
+            .any(|(l, u)| *l > u + FEAS_TOL)
+        {
+            continue; // branching made it empty
+        }
+        if !propagate_bounds(&std.lp, &mut lb_buf, &mut ub_buf, &std.col_is_int, 3) {
+            continue; // propagation proved infeasibility
+        }
+
+        let mut lp = std.lp.clone();
+        lp.lb = lb_buf.clone();
+        lp.ub = ub_buf.clone();
+        let (outcome, iters) = solve_lp(&lp, config.max_lp_iters)?;
+        lp_iters_total += iters;
+        let (x, lp_obj) = match outcome {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                if node.depth == 0 && incumbent.is_none() {
+                    saw_unbounded_root = true;
+                    break;
+                }
+                continue;
+            }
+            LpOutcome::Optimal { x, obj } => (x, obj + obj_offset),
+        };
+
+        // Pseudocost update from the branching that created this node.
+        if let Some((col, up, parent_obj, dist)) = node.branch {
+            let gain = ((lp_obj - parent_obj) / dist.max(1e-6)).max(0.0);
+            let slot = if up { &mut pc_up[col] } else { &mut pc_down[col] };
+            slot.0 += gain;
+            slot.1 += 1;
+        }
+
+        if let Some((_, best)) = &incumbent {
+            if lp_obj >= best - config.gap_tol * best.abs().max(1.0) {
+                continue;
+            }
+        }
+
+        // Branching column: pseudocost product score, falling back to
+        // most-fractional while a column is unobserved.
+        let avg = |table: &[(f64, u32)]| -> f64 {
+            let (s, n) = table
+                .iter()
+                .fold((0.0, 0u32), |(s, n), &(ts, tn)| (s + ts, n + tn));
+            if n > 0 {
+                s / n as f64
+            } else {
+                1.0
+            }
+        };
+        let global_up = avg(&pc_up);
+        let global_down = avg(&pc_down);
+        let mut frac_col: Option<(usize, f64)> = None;
+        let mut best_score = -1.0f64;
+        for (c, &xi) in x.iter().enumerate() {
+            if std.col_is_int[c] {
+                let f = (xi - xi.round()).abs();
+                if f > FEAS_TOL {
+                    let d_up = xi.ceil() - xi;
+                    let d_down = xi - xi.floor();
+                    let e_up = if pc_up[c].1 > 0 {
+                        pc_up[c].0 / pc_up[c].1 as f64
+                    } else {
+                        global_up
+                    };
+                    let e_down = if pc_down[c].1 > 0 {
+                        pc_down[c].0 / pc_down[c].1 as f64
+                    } else {
+                        global_down
+                    };
+                    let score = (e_up * d_up).max(1e-8) * (e_down * d_down).max(1e-8);
+                    if score > best_score {
+                        best_score = score;
+                        frac_col = Some((c, f));
+                    }
+                }
+            }
+        }
+
+        match frac_col {
+            None => {
+                // Integral LP optimum: new incumbent.
+                let mut vals = expand(&std, &x);
+                for (i, v) in vals.iter_mut().enumerate() {
+                    if model.vars[i].kind != VarKind::Continuous {
+                        *v = v.round();
+                    }
+                }
+                record(vals, &mut incumbent);
+            }
+            Some((c, _)) => {
+                // Heuristic: round and repair occasionally.
+                if config.heuristic_period > 0 && nodes_explored % config.heuristic_period == 1 {
+                    if let Some(vals) =
+                        crate::heur::round_and_repair(&lp, &std.col_is_int, &x, config.max_lp_iters)
+                    {
+                        let full = expand(&std, &vals);
+                        if model.is_feasible(&full, FEAS_TOL * 10.0) {
+                            record(full, &mut incumbent);
+                        }
+                    }
+                }
+                let xi = x[c];
+                let down = xi.floor();
+                let up = xi.ceil();
+                let depth = node.depth + 1;
+                for (is_lower, value, dist) in
+                    [(false, down, xi - down), (true, up, up - xi)]
+                {
+                    arena.nodes.push((
+                        node.arena_idx,
+                        BoundDelta {
+                            col: c as u32,
+                            is_lower,
+                            value,
+                        },
+                    ));
+                    heap.push(OpenNode {
+                        bound: lp_obj,
+                        depth,
+                        arena_idx: arena.nodes.len() - 1,
+                        branch: Some((c, is_lower, lp_obj, dist)),
+                    });
+                }
+            }
+        }
+    }
+
+    if saw_unbounded_root {
+        return Err(SolveError::Unbounded);
+    }
+
+    let flip = |v: f64| if maximize { -v } else { v };
+    match (incumbent, limit_hit) {
+        (Some((vals, obj)), None) => Ok(Solution {
+            values: vals,
+            objective: flip(obj),
+            best_bound: flip(obj),
+            status: SolveStatus::Optimal,
+            nodes: nodes_explored,
+            lp_iterations: lp_iters_total,
+        }),
+        (Some((vals, obj)), Some(_)) => {
+            let bound = best_open_bound.min(obj);
+            Ok(Solution {
+                values: vals,
+                objective: flip(obj),
+                best_bound: flip(bound),
+                status: SolveStatus::Feasible,
+                nodes: nodes_explored,
+                lp_iterations: lp_iters_total,
+            })
+        }
+        (None, None) => Err(SolveError::Infeasible),
+        (None, Some(l)) => Err(SolveError::Limit(l)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("c1", x + y, Cmp::Le, 4.0);
+        m.set_objective(3.0 * x + 2.0 * y, Sense::Maximize);
+        let s = m.solve().unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // Classic 0/1 knapsack: weights 2,3,4,5 values 3,4,5,6 cap 5 -> best 7 (items 1+2).
+        let mut m = Model::new("knap");
+        let items: Vec<_> = (0..4).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let w = [2.0, 3.0, 4.0, 5.0];
+        let v = [3.0, 4.0, 5.0, 6.0];
+        let weight: crate::LinExpr = items.iter().zip(w.iter()).map(|(&x, &wi)| wi * x).sum();
+        let value: crate::LinExpr = items.iter().zip(v.iter()).map(|(&x, &vi)| vi * x).sum();
+        m.add_constraint("cap", weight, Cmp::Le, 5.0);
+        m.set_objective(value, Sense::Maximize);
+        let s = m.solve().unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() - 7.0).abs() < 1e-6);
+        assert_eq!(s.int_value(items[0]), 1);
+        assert_eq!(s.int_value(items[1]), 1);
+    }
+
+    #[test]
+    fn integer_rounding_gap() {
+        // min x s.t. 2x >= 5, x integer -> x = 3 (LP gives 2.5).
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_constraint("c", 2.0 * x, Cmp::Ge, 5.0);
+        m.set_objective(crate::LinExpr::from(x), Sense::Minimize);
+        let s = m.solve().unwrap();
+        assert_eq!(s.int_value(x), 3);
+        assert!(s.is_optimal());
+    }
+
+    #[test]
+    fn infeasible_integer_model() {
+        // 0 <= x <= 1 integer, 2x = 1 -> infeasible.
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 1.0);
+        m.add_constraint("c", 2.0 * x, Cmp::Eq, 1.0);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let mut m = Model::new("t");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c", x + y, Cmp::Le, 1.0);
+        m.set_objective(x + y, Sense::Maximize);
+        let cfg = BranchConfig {
+            initial: Some(vec![1.0, 0.0]),
+            ..BranchConfig::default()
+        };
+        let s = m.solve_with(&cfg).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_constant_is_reported() {
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 5.0);
+        m.set_objective(x + 10.0, Sense::Minimize);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximize_with_constant() {
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 5.0);
+        m.set_objective(x + 10.0, Sense::Maximize);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 15.0).abs() < 1e-6, "got {}", s.objective());
+    }
+
+    #[test]
+    fn equality_constrained_integers() {
+        // x + y = 7, x - y = 1, integers: x=4, y=3.
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_constraint("s", x + y, Cmp::Eq, 7.0);
+        m.add_constraint("d", x - y, Cmp::Eq, 1.0);
+        m.set_objective(crate::LinExpr::new(), Sense::Minimize);
+        let s = m.solve().unwrap();
+        assert_eq!(s.int_value(x), 4);
+        assert_eq!(s.int_value(y), 3);
+    }
+
+    /// Brute-force cross-check on random small ILPs.
+    #[test]
+    fn random_ilps_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..40 {
+            let nv = 4;
+            let mut m = Model::new("r");
+            let vars: Vec<_> = (0..nv).map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0)).collect();
+            let mut cons = Vec::new();
+            for ci in 0..3 {
+                let a: Vec<f64> = (0..nv).map(|_| rng.gen_range(-2i64..=3) as f64).collect();
+                let b = rng.gen_range(0i64..=10) as f64;
+                let expr: crate::LinExpr = vars.iter().zip(a.iter()).map(|(&v, &c)| c * v).sum();
+                m.add_constraint(format!("c{ci}"), expr, Cmp::Le, b);
+                cons.push((a, b));
+            }
+            let c: Vec<f64> = (0..nv).map(|_| rng.gen_range(-3i64..=3) as f64).collect();
+            let obj: crate::LinExpr = vars.iter().zip(c.iter()).map(|(&v, &co)| co * v).sum();
+            m.set_objective(obj, Sense::Minimize);
+
+            // Brute force over 4^4 = 256 points.
+            let mut best = f64::INFINITY;
+            for code in 0..256 {
+                let xs: Vec<f64> = (0..nv).map(|i| ((code >> (2 * i)) & 3) as f64).collect();
+                if cons
+                    .iter()
+                    .all(|(a, b)| a.iter().zip(&xs).map(|(ai, xi)| ai * xi).sum::<f64>() <= *b + 1e-9)
+                {
+                    best = best.min(c.iter().zip(&xs).map(|(ci, xi)| ci * xi).sum());
+                }
+            }
+            match m.solve() {
+                Ok(s) => {
+                    assert!(s.is_optimal(), "trial {trial} not optimal");
+                    assert!(
+                        (s.objective() - best).abs() < 1e-5,
+                        "trial {trial}: solver {} vs brute {best}",
+                        s.objective()
+                    );
+                }
+                Err(SolveError::Infeasible) => {
+                    assert!(best.is_infinite(), "trial {trial}: solver infeasible, brute {best}");
+                }
+                Err(e) => panic!("trial {trial}: {e}"),
+            }
+        }
+    }
+}

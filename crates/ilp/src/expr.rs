@@ -1,0 +1,349 @@
+//! Linear expressions over model variables.
+//!
+//! A [`LinExpr`] is a sparse linear form `Σ cᵢ·xᵢ + k`. Expressions are built
+//! with ordinary operators so that model code reads like the mathematical
+//! formulation:
+//!
+//! ```
+//! use gomil_ilp::{Model, LinExpr};
+//!
+//! let mut m = Model::new("demo");
+//! let x = m.add_continuous("x", 0.0, 10.0);
+//! let y = m.add_continuous("y", 0.0, 10.0);
+//! let e: LinExpr = 3.0 * x + 2.0 * y + 1.0;
+//! assert_eq!(e.constant(), 1.0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A handle to a decision variable in a [`Model`](crate::Model).
+///
+/// `Var`s are cheap indices; they are only meaningful for the model that
+/// created them. Using a `Var` with a different model is a logic error that
+/// the model detects by bounds-checking the index where possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Index of the variable inside its model (column index).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a variable handle from a raw index.
+    ///
+    /// Intended for iteration over all model columns; prefer keeping the
+    /// original handles around.
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A sparse linear expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Terms are kept merged and sorted by variable index, so equality of two
+/// expressions is structural equality of the canonical form.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<Var, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A constant expression with no variable terms.
+    pub fn constant_expr(value: f64) -> LinExpr {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: value,
+        }
+    }
+
+    /// Creates the expression `coeff · var`.
+    pub fn term(var: Var, coeff: f64) -> LinExpr {
+        let mut e = LinExpr::new();
+        e.add_term(var, coeff);
+        e
+    }
+
+    /// Adds `coeff · var` to the expression, merging with any existing term.
+    pub fn add_term(&mut self, var: Var, coeff: f64) {
+        let c = self.terms.entry(var).or_insert(0.0);
+        *c += coeff;
+        if *c == 0.0 {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, value: f64) {
+        self.constant += value;
+    }
+
+    /// The constant part of the expression.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variable terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Coefficient of `var`, or 0 when absent.
+    pub fn coeff(&self, var: Var) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates the expression against a full assignment vector indexed by
+    /// variable index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term's variable index is out of range for `values`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Sums an iterator of expressions (useful where `Iterator::sum` would
+    /// need type annotations).
+    pub fn sum<I: IntoIterator<Item = LinExpr>>(items: I) -> LinExpr {
+        let mut acc = LinExpr::new();
+        for e in items {
+            acc += e;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.iter() {
+            if first {
+                write!(f, "{c} {v}")?;
+                first = false;
+            } else if c < 0.0 {
+                write!(f, " - {} {v}", -c)?;
+            } else {
+                write!(f, " + {c} {v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0.0 {
+            if self.constant < 0.0 {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> LinExpr {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> LinExpr {
+        LinExpr::constant_expr(c)
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, -c);
+        }
+        self.constant -= rhs.constant;
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign:ident, $lhs:ty, $rhs:ty) => {
+        impl $trait<$rhs> for $lhs {
+            type Output = LinExpr;
+            fn $method(self, rhs: $rhs) -> LinExpr {
+                let mut e: LinExpr = self.into();
+                let r: LinExpr = rhs.into();
+                e.$assign(r);
+                e
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, add_assign, LinExpr, LinExpr);
+impl_binop!(Add, add, add_assign, LinExpr, Var);
+impl_binop!(Add, add, add_assign, LinExpr, f64);
+impl_binop!(Add, add, add_assign, Var, LinExpr);
+impl_binop!(Add, add, add_assign, Var, Var);
+impl_binop!(Add, add, add_assign, Var, f64);
+impl_binop!(Add, add, add_assign, f64, LinExpr);
+impl_binop!(Add, add, add_assign, f64, Var);
+impl_binop!(Sub, sub, sub_assign, LinExpr, LinExpr);
+impl_binop!(Sub, sub, sub_assign, LinExpr, Var);
+impl_binop!(Sub, sub, sub_assign, LinExpr, f64);
+impl_binop!(Sub, sub, sub_assign, Var, LinExpr);
+impl_binop!(Sub, sub, sub_assign, Var, Var);
+impl_binop!(Sub, sub, sub_assign, Var, f64);
+impl_binop!(Sub, sub, sub_assign, f64, LinExpr);
+impl_binop!(Sub, sub, sub_assign, f64, Var);
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr::constant_expr(0.0) - self
+    }
+}
+
+impl Mul<f64> for Var {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        LinExpr::term(self, rhs)
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: Var) -> LinExpr {
+        LinExpr::term(rhs, self)
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        let mut out = LinExpr::constant_expr(self.constant * rhs);
+        for (v, c) in self.terms {
+            out.add_term(v, c * rhs);
+        }
+        out
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: LinExpr) -> LinExpr {
+        rhs * self
+    }
+}
+
+impl std::iter::Sum for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        let mut acc = LinExpr::new();
+        for e in iter {
+            acc += e;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> (Var, Var, Var) {
+        (Var(0), Var(1), Var(2))
+    }
+
+    #[test]
+    fn term_merging_cancels_to_zero() {
+        let (x, _, _) = vars();
+        let e = 2.0 * x - 2.0 * x + 5.0;
+        assert!(e.is_empty());
+        assert_eq!(e.constant(), 5.0);
+    }
+
+    #[test]
+    fn mixed_operator_chains() {
+        let (x, y, z) = vars();
+        let e = 3.0 * x + y - 2.0 * z + 4.0 - 1.0 * y;
+        assert_eq!(e.coeff(x), 3.0);
+        assert_eq!(e.coeff(y), 0.0);
+        assert_eq!(e.coeff(z), -2.0);
+        assert_eq!(e.constant(), 4.0);
+    }
+
+    #[test]
+    fn eval_matches_manual_computation() {
+        let (x, y, _) = vars();
+        let e = 2.0 * x + 3.0 * y + 1.0;
+        assert_eq!(e.eval(&[1.0, 2.0, 0.0]), 2.0 + 6.0 + 1.0);
+    }
+
+    #[test]
+    fn scaling_distributes_over_terms_and_constant() {
+        let (x, y, _) = vars();
+        let e = (x + 2.0 * y + 3.0) * 2.0;
+        assert_eq!(e.coeff(x), 2.0);
+        assert_eq!(e.coeff(y), 4.0);
+        assert_eq!(e.constant(), 6.0);
+    }
+
+    #[test]
+    fn negation() {
+        let (x, _, _) = vars();
+        let e = -(2.0 * x + 1.0);
+        assert_eq!(e.coeff(x), -2.0);
+        assert_eq!(e.constant(), -1.0);
+    }
+
+    #[test]
+    fn sum_of_expressions() {
+        let (x, y, _) = vars();
+        let e: LinExpr = vec![LinExpr::from(x), LinExpr::from(y), 1.0.into()]
+            .into_iter()
+            .sum();
+        assert_eq!(e.coeff(x), 1.0);
+        assert_eq!(e.coeff(y), 1.0);
+        assert_eq!(e.constant(), 1.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (x, y, _) = vars();
+        let e = 2.0 * x - 1.0 * y + 3.0;
+        assert_eq!(format!("{e}"), "2 x0 - 1 x1 + 3");
+    }
+}

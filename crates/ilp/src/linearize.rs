@@ -1,0 +1,272 @@
+//! Standard linearizations of non-linear constructs.
+//!
+//! The prefix-structure IP in the GOMIL paper (Eqs. 17–26) contains three
+//! non-linear components — `max{x,y}`, `min{…}`, and products with binary
+//! variables — which the paper notes "can all be transformed into linear
+//! constraints". This module provides exactly those transformations as
+//! methods on [`Model`].
+
+use crate::expr::{LinExpr, Var};
+use crate::model::{Cmp, Model};
+
+impl Model {
+    /// Adds `z = x ∧ y` for binaries `x`, `y`; returns the new binary `z`.
+    ///
+    /// Encoded as `z ≤ x`, `z ≤ y`, `z ≥ x + y − 1`.
+    pub fn and_binary(&mut self, name: impl Into<String>, x: Var, y: Var) -> Var {
+        let name = name.into();
+        let z = self.add_binary(&name);
+        self.add_constraint(format!("{name}_le_x"), z - x, Cmp::Le, 0.0);
+        self.add_constraint(format!("{name}_le_y"), z - y, Cmp::Le, 0.0);
+        self.add_constraint(format!("{name}_ge"), x + y - z, Cmp::Le, 1.0);
+        z
+    }
+
+    /// Adds `z = x ∨ y` for binaries `x`, `y`; returns the new binary `z`.
+    ///
+    /// Note `x + y − x·y` (Eq. 11 of the paper) is exactly boolean OR.
+    pub fn or_binary(&mut self, name: impl Into<String>, x: Var, y: Var) -> Var {
+        let name = name.into();
+        let z = self.add_binary(&name);
+        self.add_constraint(format!("{name}_ge_x"), x - z, Cmp::Le, 0.0);
+        self.add_constraint(format!("{name}_ge_y"), y - z, Cmp::Le, 0.0);
+        self.add_constraint(format!("{name}_le"), z - x - y, Cmp::Le, 0.0);
+        z
+    }
+
+    /// Adds `z = x₁ ∨ x₂ ∨ …` for a non-empty slice of binaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn or_of(&mut self, name: impl Into<String>, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty(), "or_of requires at least one variable");
+        let name = name.into();
+        let z = self.add_binary(&name);
+        let mut sum = LinExpr::new();
+        for (k, &x) in xs.iter().enumerate() {
+            self.add_constraint(format!("{name}_ge{k}"), x - z, Cmp::Le, 0.0);
+            sum += LinExpr::from(x);
+        }
+        self.add_constraint(format!("{name}_le"), z - sum, Cmp::Le, 0.0);
+        z
+    }
+
+    /// Adds `z = b · x` where `b` is binary and `x` is any variable with
+    /// finite bounds `[xlb, xub]`; returns continuous `z`.
+    ///
+    /// Standard McCormick-style encoding:
+    /// `z ≤ xub·b`, `z ≥ xlb·b`, `z ≤ x − xlb·(1−b)`, `z ≥ x − xub·(1−b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xlb > xub` or either bound is infinite.
+    pub fn product_bin(
+        &mut self,
+        name: impl Into<String>,
+        b: Var,
+        x: Var,
+        xlb: f64,
+        xub: f64,
+    ) -> Var {
+        assert!(
+            xlb.is_finite() && xub.is_finite() && xlb <= xub,
+            "product_bin needs finite ordered bounds"
+        );
+        let name = name.into();
+        let z = self.add_continuous(&name, xlb.min(0.0), xub.max(0.0));
+        self.add_constraint(format!("{name}_ub"), z - xub * b, Cmp::Le, 0.0);
+        self.add_constraint(format!("{name}_lb"), xlb * b - z, Cmp::Le, 0.0);
+        // z ≤ x − xlb·(1−b)   ⇔   z − x − xlb·b ≤ −xlb
+        self.add_constraint(format!("{name}_x_u"), z - x - xlb * b, Cmp::Le, -xlb);
+        // z ≥ x − xub·(1−b)   ⇔   x − z + xub·b ≤ xub
+        self.add_constraint(format!("{name}_x_l"), x - z + xub * b, Cmp::Le, xub);
+        z
+    }
+
+    /// Adds the one-sided constraint `target ≥ expr − big_m·(1−b)`:
+    /// when binary `b` is 1, forces `target ≥ expr`.
+    ///
+    /// This is the workhorse of the prefix IP: together with a minimizing
+    /// objective that is monotone in `target`, it implements the selected-
+    /// branch equalities of Eqs. (24)–(25) without auxiliary products.
+    pub fn indicator_ge(
+        &mut self,
+        name: impl Into<String>,
+        b: Var,
+        target: impl Into<LinExpr>,
+        expr: impl Into<LinExpr>,
+        big_m: f64,
+    ) {
+        // target ≥ expr − M(1−b)  ⇔  expr − target − M·(1−b) ≤ 0
+        //                         ⇔  expr − target + M·b ≤ M
+        let e = expr.into() - target.into() + big_m * LinExpr::from(b);
+        self.add_constraint(name, e, Cmp::Le, big_m);
+    }
+
+    /// Adds `target ≥ expr` unconditionally (lower-bound form of `max`).
+    ///
+    /// With a minimizing objective monotone in `target`, posting this for
+    /// each operand makes `target = max{…}` at the optimum.
+    pub fn max_lower_bound(
+        &mut self,
+        name: impl Into<String>,
+        target: impl Into<LinExpr>,
+        expr: impl Into<LinExpr>,
+    ) {
+        let e = expr.into() - target.into();
+        self.add_constraint(name, e, Cmp::Le, 0.0);
+    }
+
+    /// Adds `z = max(xs)` exactly, using one selector binary per operand.
+    ///
+    /// `span` must bound `max(xs) − min(xs)` from above (a valid big-M).
+    /// Returns the continuous `z` constrained to `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn exact_max(
+        &mut self,
+        name: impl Into<String>,
+        xs: &[Var],
+        lb: f64,
+        ub: f64,
+        span: f64,
+    ) -> Var {
+        assert!(!xs.is_empty(), "exact_max requires at least one variable");
+        let name = name.into();
+        let z = self.add_continuous(&name, lb, ub);
+        let mut sel_sum = LinExpr::new();
+        for (k, &x) in xs.iter().enumerate() {
+            self.add_constraint(format!("{name}_ge{k}"), LinExpr::from(x) - z, Cmp::Le, 0.0);
+            let y = self.add_binary(format!("{name}_sel{k}"));
+            // z ≤ x + span·(1−y)
+            self.add_constraint(
+                format!("{name}_le{k}"),
+                LinExpr::from(z) - x + span * LinExpr::from(y),
+                Cmp::Le,
+                span,
+            );
+            sel_sum += LinExpr::from(y);
+        }
+        self.add_constraint(format!("{name}_sel"), sel_sum, Cmp::Eq, 1.0);
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    #[test]
+    fn and_binary_truth_table() {
+        for (x0, y0, z0) in [(0.0, 0.0, 0.0), (0.0, 1.0, 0.0), (1.0, 0.0, 0.0), (1.0, 1.0, 1.0)] {
+            let mut m = Model::new("t");
+            let x = m.add_binary("x");
+            let y = m.add_binary("y");
+            let z = m.and_binary("z", x, y);
+            m.set_var_bounds(x, x0, x0);
+            m.set_var_bounds(y, y0, y0);
+            // Push z both ways to confirm it is forced.
+            for sense in [Sense::Minimize, Sense::Maximize] {
+                let mut mm = m.clone();
+                mm.set_objective(LinExpr::from(z), sense);
+                let s = mm.solve().unwrap();
+                assert_eq!(s.int_value(z) as f64, z0, "x={x0} y={y0} sense={sense:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_binary_truth_table() {
+        for (x0, y0, z0) in [(0.0, 0.0, 0.0), (0.0, 1.0, 1.0), (1.0, 0.0, 1.0), (1.0, 1.0, 1.0)] {
+            let mut m = Model::new("t");
+            let x = m.add_binary("x");
+            let y = m.add_binary("y");
+            let z = m.or_binary("z", x, y);
+            m.set_var_bounds(x, x0, x0);
+            m.set_var_bounds(y, y0, y0);
+            for sense in [Sense::Minimize, Sense::Maximize] {
+                let mut mm = m.clone();
+                mm.set_objective(LinExpr::from(z), sense);
+                let s = mm.solve().unwrap();
+                assert_eq!(s.int_value(z) as f64, z0);
+            }
+        }
+    }
+
+    #[test]
+    fn or_of_many() {
+        let mut m = Model::new("t");
+        let xs: Vec<_> = (0..4).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let z = m.or_of("z", &xs);
+        for (i, &x) in xs.iter().enumerate() {
+            let v = if i == 2 { 1.0 } else { 0.0 };
+            m.set_var_bounds(x, v, v);
+        }
+        m.set_objective(LinExpr::from(z), Sense::Minimize);
+        let s = m.solve().unwrap();
+        assert_eq!(s.int_value(z), 1);
+    }
+
+    #[test]
+    fn product_bin_matches_multiplication() {
+        for b0 in [0.0, 1.0] {
+            for x0 in [-2.0, 0.0, 3.5] {
+                let mut m = Model::new("t");
+                let b = m.add_binary("b");
+                let x = m.add_continuous("x", -5.0, 5.0);
+                let z = m.product_bin("z", b, x, -5.0, 5.0);
+                m.set_var_bounds(b, b0, b0);
+                m.set_var_bounds(x, x0, x0);
+                m.set_objective(LinExpr::new(), Sense::Minimize);
+                let s = m.solve().unwrap();
+                assert!(
+                    (s.value(z) - b0 * x0).abs() < 1e-6,
+                    "b={b0} x={x0} z={}",
+                    s.value(z)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_max_selects_largest() {
+        let mut m = Model::new("t");
+        let a = m.add_continuous("a", 0.0, 10.0);
+        let b = m.add_continuous("b", 0.0, 10.0);
+        let z = m.exact_max("z", &[a, b], 0.0, 10.0, 10.0);
+        m.set_var_bounds(a, 3.0, 3.0);
+        m.set_var_bounds(b, 7.0, 7.0);
+        // Even when minimized, z must stay at the max.
+        m.set_objective(LinExpr::from(z), Sense::Minimize);
+        let s = m.solve().unwrap();
+        assert!((s.value(z) - 7.0).abs() < 1e-6);
+        // And maximizing cannot push it above the max.
+        let mut m2 = Model::new("t2");
+        let a = m2.add_continuous("a", 4.0, 4.0);
+        let b = m2.add_continuous("b", 1.0, 1.0);
+        let z = m2.exact_max("z", &[a, b], 0.0, 10.0, 10.0);
+        m2.set_objective(LinExpr::from(z), Sense::Maximize);
+        let s = m2.solve().unwrap();
+        assert!((s.value(z) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indicator_ge_binds_only_when_active() {
+        let mut m = Model::new("t");
+        let b = m.add_binary("b");
+        let t = m.add_continuous("t", 0.0, 100.0);
+        m.indicator_ge("i", b, t, LinExpr::constant_expr(42.0), 1000.0);
+        m.set_objective(LinExpr::from(t), Sense::Minimize);
+        // b free: solver sets b = 0 and t = 0.
+        let s = m.solve().unwrap();
+        assert!(s.value(t).abs() < 1e-6);
+        // Force b = 1: now t >= 42.
+        m.set_var_bounds(b, 1.0, 1.0);
+        let s = m.solve().unwrap();
+        assert!((s.value(t) - 42.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,105 @@
+//! CPLEX LP-format export for debugging and cross-checking models.
+
+use crate::model::{Model, Sense, VarKind};
+use std::fmt::Write as _;
+
+impl Model {
+    /// Renders the model in CPLEX LP format.
+    ///
+    /// Useful for eyeballing a formulation or feeding it to an external
+    /// solver when one is available.
+    pub fn to_lp_format(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "\\ model: {}", self.name());
+        let _ = writeln!(
+            s,
+            "{}",
+            match self.sense {
+                Sense::Minimize => "Minimize",
+                Sense::Maximize => "Maximize",
+            }
+        );
+        let _ = write!(s, " obj:");
+        for (v, c) in self.objective.iter() {
+            let _ = write!(s, " {} {}", fmt_coef(c), self.var_name(v));
+        }
+        if self.objective.constant() != 0.0 {
+            let _ = write!(s, " {}", fmt_coef(self.objective.constant()));
+        }
+        let _ = writeln!(s, "\nSubject To");
+        for c in &self.constraints {
+            let _ = write!(s, " {}:", sanitize(&c.name));
+            for (v, a) in c.expr.iter() {
+                let _ = write!(s, " {} {}", fmt_coef(a), self.var_name(v));
+            }
+            let _ = writeln!(s, " {} {}", c.cmp, c.rhs);
+        }
+        let _ = writeln!(s, "Bounds");
+        for (i, v) in self.vars.iter().enumerate() {
+            let name = &self.vars[i].name;
+            let _ = match (v.lb.is_finite(), v.ub.is_finite()) {
+                (true, true) => writeln!(s, " {} <= {} <= {}", v.lb, name, v.ub),
+                (true, false) => writeln!(s, " {} >= {}", name, v.lb),
+                (false, true) => writeln!(s, " {} <= {}", name, v.ub),
+                (false, false) => writeln!(s, " {} free", name),
+            };
+        }
+        let generals: Vec<&str> = self
+            .vars
+            .iter()
+            .filter(|v| v.kind == VarKind::Integer)
+            .map(|v| v.name.as_str())
+            .collect();
+        if !generals.is_empty() {
+            let _ = writeln!(s, "Generals\n {}", generals.join(" "));
+        }
+        let binaries: Vec<&str> = self
+            .vars
+            .iter()
+            .filter(|v| v.kind == VarKind::Binary)
+            .map(|v| v.name.as_str())
+            .collect();
+        if !binaries.is_empty() {
+            let _ = writeln!(s, "Binaries\n {}", binaries.join(" "));
+        }
+        let _ = writeln!(s, "End");
+        s
+    }
+}
+
+fn fmt_coef(c: f64) -> String {
+    if c >= 0.0 {
+        format!("+{c}")
+    } else {
+        format!("{c}")
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cmp as _Cmp;
+
+    #[test]
+    fn export_contains_all_sections() {
+        let mut m = Model::new("demo");
+        let x = m.add_binary("x");
+        let y = m.add_integer("y", 0.0, 9.0);
+        let z = m.add_continuous("z", 0.0, f64::INFINITY);
+        m.add_constraint("row a", x + y + z, _Cmp::Le, 5.0);
+        m.set_objective(x + 2.0 * y, Sense::Maximize);
+        let lp = m.to_lp_format();
+        assert!(lp.contains("Maximize"));
+        assert!(lp.contains("row_a:"));
+        assert!(lp.contains("Generals"));
+        assert!(lp.contains("Binaries"));
+        assert!(lp.contains("z >= 0"));
+        assert!(lp.ends_with("End\n"));
+    }
+}

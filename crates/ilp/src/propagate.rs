@@ -1,0 +1,162 @@
+//! Per-node bound propagation on the standardized (slack-equality) form.
+//!
+//! Branch-and-bound nodes tighten a single variable bound; activity
+//! propagation pushes that change through the equality rows before the LP
+//! runs, often fixing whole chains of variables (the CT ILP's conservation
+//! rows are exactly this shape) or proving the node empty without a
+//! simplex call.
+
+use crate::simplex::{LpProblem, FEAS_TOL};
+
+/// Tightens `lb`/`ub` in place by activity propagation over `lp`'s rows.
+/// `is_int[c]` marks integer-constrained structural columns (slacks are
+/// continuous). Returns `false` if some bound pair crosses (node is
+/// infeasible).
+pub(crate) fn propagate_bounds(
+    lp: &LpProblem,
+    lb: &mut [f64],
+    ub: &mut [f64],
+    is_int: &[bool],
+    passes: usize,
+) -> bool {
+    for _ in 0..passes {
+        let mut changed = false;
+        for (row, &b) in lp.rows.iter().zip(&lp.rhs) {
+            // Row reads Σ a_c·x_c = b (slack included).
+            let mut min_act = 0.0f64;
+            let mut max_act = 0.0f64;
+            for &(c, a) in row {
+                let c = c as usize;
+                if a > 0.0 {
+                    min_act += a * lb[c];
+                    max_act += a * ub[c];
+                } else {
+                    min_act += a * ub[c];
+                    max_act += a * lb[c];
+                }
+            }
+            if min_act > b + FEAS_TOL || max_act < b - FEAS_TOL {
+                return false;
+            }
+            if !min_act.is_finite() && !max_act.is_finite() {
+                continue;
+            }
+            for &(c, a) in row {
+                let c = c as usize;
+                let (own_min, own_max) = if a > 0.0 {
+                    (a * lb[c], a * ub[c])
+                } else {
+                    (a * ub[c], a * lb[c])
+                };
+                // Residual bounds of the rest of the row; each side of
+                // `a·x ∈ [b − rest_max, b − rest_min]` is only usable when
+                // the corresponding residual is finite.
+                let rest_min = min_act - own_min;
+                let rest_max = max_act - own_max;
+                let int_col = c < lp.num_structural && is_int[c];
+                let apply = |which_lb: Option<f64>, which_ub: Option<f64>,
+                                 lb: &mut [f64],
+                                 ub: &mut [f64],
+                                 changed: &mut bool| {
+                    if let Some(mut v) = which_lb {
+                        if int_col {
+                            v = (v - FEAS_TOL).ceil();
+                        }
+                        if v > lb[c] + 1e-9 {
+                            lb[c] = v;
+                            *changed = true;
+                        }
+                    }
+                    if let Some(mut v) = which_ub {
+                        if int_col {
+                            v = (v + FEAS_TOL).floor();
+                        }
+                        if v < ub[c] - 1e-9 {
+                            ub[c] = v;
+                            *changed = true;
+                        }
+                    }
+                };
+                let (new_lb, new_ub) = if a > 0.0 {
+                    (
+                        rest_max.is_finite().then(|| (b - rest_max) / a),
+                        rest_min.is_finite().then(|| (b - rest_min) / a),
+                    )
+                } else {
+                    (
+                        rest_min.is_finite().then(|| (b - rest_min) / a),
+                        rest_max.is_finite().then(|| (b - rest_max) / a),
+                    )
+                };
+                apply(new_lb, new_ub, lb, ub, &mut changed);
+                if lb[c] > ub[c] + FEAS_TOL {
+                    return false;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One equality row: x + y + s = 5 with s ∈ [0,0] (an Eq constraint),
+    /// x,y integer in [0,10]. Fixing x ≥ 4 must force y ≤ 1.
+    #[test]
+    fn equality_chain_tightens() {
+        let lp = LpProblem {
+            num_structural: 2,
+            num_cols: 3,
+            costs: vec![0.0; 3],
+            lb: vec![0.0, 0.0, 0.0],
+            ub: vec![10.0, 10.0, 0.0],
+            rows: vec![vec![(0, 1.0), (1, 1.0), (2, 1.0)]],
+            rhs: vec![5.0],
+        };
+        let mut lb = lp.lb.clone();
+        let mut ub = lp.ub.clone();
+        lb[0] = 4.0; // branch decision
+        assert!(propagate_bounds(&lp, &mut lb, &mut ub, &[true, true], 4));
+        assert_eq!(ub[1], 1.0);
+    }
+
+    #[test]
+    fn crossing_bounds_detected() {
+        let lp = LpProblem {
+            num_structural: 1,
+            num_cols: 2,
+            costs: vec![0.0; 2],
+            lb: vec![0.0, 0.0],
+            ub: vec![1.0, 0.0],
+            rows: vec![vec![(0, 1.0), (1, 1.0)]],
+            rhs: vec![3.0], // x = 3 impossible with x ≤ 1
+        };
+        let mut lb = lp.lb.clone();
+        let mut ub = lp.ub.clone();
+        assert!(!propagate_bounds(&lp, &mut lb, &mut ub, &[true], 4));
+    }
+
+    #[test]
+    fn le_row_with_free_slack_does_not_overtighten() {
+        // x + s = 4 with s ∈ [0, ∞): i.e. x ≤ 4; x ∈ [0, 10] integer.
+        let lp = LpProblem {
+            num_structural: 1,
+            num_cols: 2,
+            costs: vec![0.0; 2],
+            lb: vec![0.0, 0.0],
+            ub: vec![10.0, f64::INFINITY],
+            rows: vec![vec![(0, 1.0), (1, 1.0)]],
+            rhs: vec![4.0],
+        };
+        let mut lb = lp.lb.clone();
+        let mut ub = lp.ub.clone();
+        assert!(propagate_bounds(&lp, &mut lb, &mut ub, &[true], 4));
+        assert_eq!(ub[0], 4.0);
+        assert_eq!(lb[0], 0.0);
+    }
+}

@@ -1,0 +1,776 @@
+//! Bounded-variable primal simplex.
+//!
+//! This is the LP engine underneath the branch-and-bound solver in
+//! [`branch`](crate::branch). It implements the classic two-phase tableau
+//! simplex generalized to variables with lower *and* upper bounds, which is
+//! essential here: almost every variable in the GOMIL formulations is a
+//! binary or a small bounded integer, and bounded-variable pivoting keeps
+//! those bounds out of the constraint matrix entirely.
+//!
+//! Algorithm outline:
+//!
+//! 1. Convert `A·x {≤,≥,=} b` to equalities with one slack per row
+//!    (`s ∈ [0,∞)`, `(−∞,0]`, or `[0,0]` respectively).
+//! 2. Put all structural variables at a finite bound, slacks basic. Rows
+//!    whose slack value violates the slack bounds get an artificial column;
+//!    phase 1 minimizes the sum of artificials.
+//! 3. Phase 2 minimizes the true cost with artificials pinned to zero.
+//! 4. Entering-variable choice is Dantzig pricing with an automatic switch
+//!    to Bland's rule after a run of degenerate pivots (anti-cycling). The
+//!    ratio test breaks ties toward the largest pivot element for stability.
+//!
+//! The tableau is dense (`rows × cols` of `f64`); problem sizes in this
+//! repository stay within a few thousand rows, for which dense pivoting is
+//! both simple and fast.
+
+use crate::solution::SolveError;
+
+/// Feasibility / integrality tolerance used throughout the solver.
+pub const FEAS_TOL: f64 = 1e-6;
+/// Reduced-cost optimality tolerance.
+pub const OPT_TOL: f64 = 1e-7;
+/// Smallest acceptable pivot magnitude.
+const PIVOT_TOL: f64 = 1e-8;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const STALL_LIMIT: u32 = 60;
+
+/// A standardized LP: minimize `costs·x` subject to sparse equality rows
+/// (after slack augmentation) and column bounds.
+#[derive(Debug, Clone)]
+pub(crate) struct LpProblem {
+    /// Number of structural columns (the caller's variables).
+    pub num_structural: usize,
+    /// Total columns including slacks (structural first, then slacks).
+    pub num_cols: usize,
+    /// Phase-2 cost per column (slack costs are zero).
+    pub costs: Vec<f64>,
+    /// Lower bound per column (may be `-INFINITY`).
+    pub lb: Vec<f64>,
+    /// Upper bound per column (may be `INFINITY`).
+    pub ub: Vec<f64>,
+    /// Sparse rows: `(column, coefficient)`; each row implicitly `= rhs`
+    /// and already includes its slack column.
+    pub rows: Vec<Vec<(u32, f64)>>,
+    /// Right-hand sides.
+    pub rhs: Vec<f64>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone)]
+pub(crate) enum LpOutcome {
+    /// Proven optimal basic solution.
+    Optimal {
+        /// Values for the structural columns only.
+        x: Vec<f64>,
+        /// Optimal objective value.
+        obj: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// Cost decreases without bound.
+    Unbounded,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColStatus {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+struct Tableau {
+    rows: usize,
+    cols: usize,
+    /// Dense `rows × cols`, row-major: current `B⁻¹·A`.
+    t: Vec<f64>,
+    /// Reduced-cost row for the active phase objective.
+    d: Vec<f64>,
+    /// Basic column per row.
+    basis: Vec<u32>,
+    /// Status of every column.
+    status: Vec<ColStatus>,
+    /// Current value of every column (authoritative for nonbasic columns;
+    /// kept in sync for basic ones).
+    val: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    iterations: u64,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.t[r * self.cols + c]
+    }
+
+    /// Performs a pivot: column `q` enters the basis at row `r`.
+    fn pivot(&mut self, r: usize, q: usize) {
+        let cols = self.cols;
+        let piv = self.t[r * cols + q];
+        debug_assert!(piv.abs() > PIVOT_TOL, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        // Normalize pivot row.
+        let (before, rest) = self.t.split_at_mut(r * cols);
+        let (prow, after) = rest.split_at_mut(cols);
+        for v in prow.iter_mut() {
+            *v *= inv;
+        }
+        prow[q] = 1.0; // exact
+        // Eliminate q from all other rows.
+        let eliminate = |row: &mut [f64]| {
+            let f = row[q];
+            if f != 0.0 {
+                for (v, p) in row.iter_mut().zip(prow.iter()) {
+                    *v -= f * *p;
+                }
+                row[q] = 0.0; // exact
+            }
+        };
+        for row in before.chunks_exact_mut(cols) {
+            eliminate(row);
+        }
+        for row in after.chunks_exact_mut(cols) {
+            eliminate(row);
+        }
+        // Objective row.
+        let f = self.d[q];
+        if f != 0.0 {
+            for (v, p) in self.d.iter_mut().zip(prow.iter()) {
+                *v -= f * *p;
+            }
+            self.d[q] = 0.0;
+        }
+        self.basis[r] = q as u32;
+    }
+
+    /// Rebuilds the reduced-cost row for a cost vector: `d = c − c_B·T`.
+    fn rebuild_costs(&mut self, costs: &[f64]) {
+        self.d.copy_from_slice(costs);
+        for r in 0..self.rows {
+            let cb = costs[self.basis[r] as usize];
+            if cb != 0.0 {
+                let row = &self.t[r * self.cols..(r + 1) * self.cols];
+                for (dv, tv) in self.d.iter_mut().zip(row.iter()) {
+                    *dv -= cb * tv;
+                }
+            }
+        }
+        for r in 0..self.rows {
+            self.d[self.basis[r] as usize] = 0.0;
+        }
+    }
+
+    /// Runs primal simplex on the current phase objective until optimal or
+    /// unbounded. Returns `None` on unboundedness.
+    fn optimize(&mut self, max_iters: u64) -> Result<(), SimplexStop> {
+        let mut stalled: u32 = 0;
+        loop {
+            if self.iterations >= max_iters {
+                return Err(SimplexStop::IterationLimit);
+            }
+            let bland = stalled >= STALL_LIMIT;
+            // --- Pricing: pick entering column.
+            let mut enter: Option<(usize, f64)> = None; // (col, signed direction)
+            let mut best_score = OPT_TOL;
+            for j in 0..self.cols {
+                let (dir, score) = match self.status[j] {
+                    ColStatus::Basic => continue,
+                    ColStatus::AtLower => (1.0, -self.d[j]),
+                    ColStatus::AtUpper => (-1.0, self.d[j]),
+                };
+                if score > best_score {
+                    enter = Some((j, dir));
+                    if bland {
+                        break; // lowest eligible index
+                    }
+                    best_score = score;
+                }
+            }
+            let Some((q, dir)) = enter else {
+                return Ok(()); // optimal
+            };
+            self.iterations += 1;
+
+            // --- Ratio test (bounded variables).
+            // Entering variable moves by t ≥ 0 in direction `dir`.
+            let mut t_max = self.ub[q] - self.lb[q]; // bound-flip distance
+            let mut leave: Option<usize> = None; // limiting row
+            let mut leave_piv: f64 = 0.0;
+            for r in 0..self.rows {
+                let alpha = dir * self.at(r, q);
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let b = self.basis[r] as usize;
+                let xb = self.val[b];
+                // x_b changes by −alpha · t.
+                let limit = if alpha > 0.0 {
+                    if self.lb[b].is_finite() {
+                        (xb - self.lb[b]) / alpha
+                    } else {
+                        continue;
+                    }
+                } else if self.ub[b].is_finite() {
+                    (xb - self.ub[b]) / alpha
+                } else {
+                    continue;
+                };
+                let limit = limit.max(0.0);
+                // Prefer strictly smaller ratios; break near-ties toward the
+                // largest pivot magnitude for numerical stability.
+                if limit < t_max - 1e-9
+                    || (limit < t_max + 1e-9 && alpha.abs() > leave_piv.abs())
+                {
+                    t_max = limit.min(t_max);
+                    leave = Some(r);
+                    leave_piv = self.at(r, q);
+                }
+            }
+
+            if t_max.is_infinite() {
+                return Err(SimplexStop::Unbounded);
+            }
+            if t_max <= 1e-10 {
+                stalled += 1;
+            } else {
+                stalled = 0;
+            }
+
+            // --- Apply the move.
+            if t_max > 0.0 {
+                for r in 0..self.rows {
+                    let a = self.at(r, q);
+                    if a != 0.0 {
+                        let b = self.basis[r] as usize;
+                        self.val[b] -= dir * t_max * a;
+                    }
+                }
+                self.val[q] += dir * t_max;
+            }
+            match leave {
+                None => {
+                    // Bound flip: q jumps to its opposite bound.
+                    self.status[q] = match self.status[q] {
+                        ColStatus::AtLower => {
+                            self.val[q] = self.ub[q];
+                            ColStatus::AtUpper
+                        }
+                        ColStatus::AtUpper => {
+                            self.val[q] = self.lb[q];
+                            ColStatus::AtLower
+                        }
+                        ColStatus::Basic => unreachable!(),
+                    };
+                }
+                Some(r) => {
+                    let b = self.basis[r] as usize;
+                    // Leaving variable lands exactly on the bound it hit.
+                    let alpha = dir * self.at(r, q);
+                    self.status[b] = if alpha > 0.0 {
+                        self.val[b] = self.lb[b];
+                        ColStatus::AtLower
+                    } else {
+                        self.val[b] = self.ub[b];
+                        ColStatus::AtUpper
+                    };
+                    self.status[q] = ColStatus::Basic;
+                    self.pivot(r, q);
+                }
+            }
+        }
+    }
+}
+
+enum SimplexStop {
+    Unbounded,
+    IterationLimit,
+}
+
+/// Solves a standardized LP.
+///
+/// `max_iters` bounds the total simplex iterations across both phases.
+pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64), SolveError> {
+    let m = p.rows.len();
+    let n = p.num_cols;
+
+    // Trivial case: no constraints — put every column at its cheapest bound.
+    if m == 0 {
+        let mut x = vec![0.0; p.num_structural];
+        let mut obj = 0.0;
+        for j in 0..p.num_structural {
+            let c = p.costs[j];
+            let v = if c > 0.0 {
+                p.lb[j]
+            } else if c < 0.0 {
+                p.ub[j]
+            } else if p.lb[j].is_finite() {
+                p.lb[j]
+            } else {
+                p.ub[j].min(0.0)
+            };
+            if !v.is_finite() && c != 0.0 {
+                return Ok((LpOutcome::Unbounded, 0));
+            }
+            let v = if v.is_finite() { v } else { 0.0 };
+            x[j] = v;
+            obj += c * v;
+        }
+        return Ok((LpOutcome::Optimal { x, obj }, 0));
+    }
+
+    for &c in &p.costs {
+        if !c.is_finite() {
+            return Err(SolveError::Numerical("non-finite cost coefficient".into()));
+        }
+    }
+
+    // --- Initial point: structural columns at a finite bound.
+    let mut val = vec![0.0; n];
+    let mut status = vec![ColStatus::AtLower; n];
+    for j in 0..n {
+        if p.lb[j].is_finite() {
+            val[j] = p.lb[j];
+            status[j] = ColStatus::AtLower;
+        } else if p.ub[j].is_finite() {
+            val[j] = p.ub[j];
+            status[j] = ColStatus::AtUpper;
+        } else {
+            // Free column: model it nonbasic at 0 by treating it as at a
+            // phantom lower bound; it may enter the basis and then behaves
+            // normally. (Free columns never leave the basis afterwards
+            // because the ratio test skips infinite bounds.)
+            val[j] = 0.0;
+            status[j] = ColStatus::AtLower;
+        }
+    }
+
+    // Residual per row given the nonbasic point (slacks included in rows).
+    // We decide per row whether the slack can be basic (residual within its
+    // bounds) or whether an artificial column is needed.
+    let mut artificial_rows: Vec<(usize, f64)> = Vec::new(); // (row, sign)
+    let mut basis: Vec<u32> = Vec::with_capacity(m);
+    let slack_col = |r: usize| p.num_structural + r;
+
+    let mut residuals = vec![0.0; m];
+    for r in 0..m {
+        let mut acc = p.rhs[r];
+        for &(c, a) in &p.rows[r] {
+            let c = c as usize;
+            if c != slack_col(r) {
+                acc -= a * val[c];
+            }
+        }
+        // Row is: slack_coeff · s = acc (slack coefficient is 1.0 by
+        // construction in `standardize`).
+        residuals[r] = acc;
+    }
+
+    for r in 0..m {
+        let s = slack_col(r);
+        let v = residuals[r];
+        if v >= p.lb[s] - FEAS_TOL && v <= p.ub[s] + FEAS_TOL {
+            // Slack absorbs the residual and is basic.
+            val[s] = v;
+            status[s] = ColStatus::Basic;
+            basis.push(s as u32);
+        } else {
+            // Slack parks at its nearest bound; artificial covers the rest.
+            let sb = if v < p.lb[s] { p.lb[s] } else { p.ub[s] };
+            val[s] = sb;
+            status[s] = if sb == p.lb[s] {
+                ColStatus::AtLower
+            } else {
+                ColStatus::AtUpper
+            };
+            let gap = v - sb;
+            artificial_rows.push((r, gap.signum()));
+            basis.push(u32::MAX); // patched below once artificials exist
+        }
+    }
+
+    let num_art = artificial_rows.len();
+    let total_cols = n + num_art;
+
+    // --- Build the dense tableau.
+    let mut t = vec![0.0; m * total_cols];
+    for r in 0..m {
+        for &(c, a) in &p.rows[r] {
+            t[r * total_cols + c as usize] = a;
+        }
+    }
+    let mut lb = p.lb.clone();
+    let mut ub = p.ub.clone();
+    let mut phase1_costs = vec![0.0; total_cols];
+    let mut full_val = val;
+    full_val.resize(total_cols, 0.0);
+    let mut full_status = status;
+    full_status.resize(total_cols, ColStatus::AtLower);
+    lb.resize(total_cols, 0.0);
+    ub.resize(total_cols, f64::INFINITY);
+
+    for (k, &(r, sign)) in artificial_rows.iter().enumerate() {
+        let col = n + k;
+        // A basic column must read +1 in its own row (tableau = B⁻¹A), so
+        // rows whose artificial would carry −1 are negated wholesale.
+        if sign < 0.0 {
+            for v in &mut t[r * total_cols..(r + 1) * total_cols] {
+                *v = -*v;
+            }
+        }
+        t[r * total_cols + col] = 1.0;
+        phase1_costs[col] = 1.0;
+        let s = slack_col(r);
+        let gap = residuals[r] - full_val[s];
+        full_val[col] = gap * sign; // = |gap| ≥ 0
+        full_status[col] = ColStatus::Basic;
+        basis[r] = col as u32;
+    }
+
+    let mut tab = Tableau {
+        rows: m,
+        cols: total_cols,
+        t,
+        d: vec![0.0; total_cols],
+        basis,
+        status: full_status,
+        val: full_val,
+        lb,
+        ub,
+        iterations: 0,
+    };
+
+    // --- Phase 1.
+    if num_art > 0 {
+        tab.rebuild_costs(&phase1_costs);
+        match tab.optimize(max_iters) {
+            Ok(()) => {}
+            Err(SimplexStop::Unbounded) => {
+                return Err(SolveError::Numerical(
+                    "phase-1 objective unbounded (internal error)".into(),
+                ))
+            }
+            Err(SimplexStop::IterationLimit) => {
+                return Err(SolveError::Numerical(format!(
+                    "simplex iteration limit {max_iters} hit in phase 1"
+                )))
+            }
+        }
+        let infeas: f64 = (n..total_cols).map(|j| tab.val[j]).sum();
+        if infeas > FEAS_TOL * 10.0 {
+            return Ok((LpOutcome::Infeasible, tab.iterations));
+        }
+        // Pin artificials to zero so phase 2 cannot reuse them.
+        for j in n..total_cols {
+            tab.lb[j] = 0.0;
+            tab.ub[j] = 0.0;
+            if tab.status[j] != ColStatus::Basic {
+                tab.status[j] = ColStatus::AtLower;
+                tab.val[j] = 0.0;
+            } else {
+                tab.val[j] = 0.0; // basic at zero: harmless (degenerate)
+            }
+        }
+    }
+
+    // --- Phase 2.
+    let mut phase2_costs = p.costs.clone();
+    phase2_costs.resize(total_cols, 0.0);
+    tab.rebuild_costs(&phase2_costs);
+    match tab.optimize(max_iters) {
+        Ok(()) => {}
+        Err(SimplexStop::Unbounded) => return Ok((LpOutcome::Unbounded, tab.iterations)),
+        Err(SimplexStop::IterationLimit) => {
+            return Err(SolveError::Numerical(format!(
+                "simplex iteration limit {max_iters} hit in phase 2"
+            )))
+        }
+    }
+
+    let x: Vec<f64> = tab.val[..p.num_structural].to_vec();
+    let obj = x
+        .iter()
+        .zip(p.costs.iter())
+        .map(|(v, c)| v * c)
+        .sum::<f64>();
+    Ok((LpOutcome::Optimal { x, obj }, tab.iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an LpProblem from dense rows `a·x cmp rhs` with structural
+    /// bounds; mirrors what `branch::standardize` does.
+    fn lp(
+        costs: Vec<f64>,
+        bounds: Vec<(f64, f64)>,
+        cons: Vec<(Vec<f64>, i8, f64)>, // -1: <=, 0: =, 1: >=
+    ) -> LpProblem {
+        let ns = costs.len();
+        let m = cons.len();
+        let mut lb: Vec<f64> = bounds.iter().map(|b| b.0).collect();
+        let mut ub: Vec<f64> = bounds.iter().map(|b| b.1).collect();
+        let mut rows = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        for (r, (a, cmp, b)) in cons.into_iter().enumerate() {
+            let mut row: Vec<(u32, f64)> = a
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(j, &v)| (j as u32, v))
+                .collect();
+            row.push(((ns + r) as u32, 1.0));
+            match cmp {
+                -1 => {
+                    lb.push(0.0);
+                    ub.push(f64::INFINITY);
+                }
+                1 => {
+                    lb.push(f64::NEG_INFINITY);
+                    ub.push(0.0);
+                }
+                _ => {
+                    lb.push(0.0);
+                    ub.push(0.0);
+                }
+            }
+            rows.push(row);
+            rhs.push(b);
+        }
+        let mut costs = costs;
+        costs.resize(ns + m, 0.0);
+        LpProblem {
+            num_structural: ns,
+            num_cols: ns + m,
+            costs,
+            lb,
+            ub,
+            rows,
+            rhs,
+        }
+    }
+
+    fn solve(p: &LpProblem) -> LpOutcome {
+        solve_lp(p, 100_000).expect("numerical failure").0
+    }
+
+    #[test]
+    fn simple_2d_maximization_as_min() {
+        // max 3x+2y s.t. x+y<=4, x+3y<=6, x,y>=0  -> min -3x-2y, opt at (4,0), obj 12.
+        let p = lp(
+            vec![-3.0, -2.0],
+            vec![(0.0, f64::INFINITY), (0.0, f64::INFINITY)],
+            vec![
+                (vec![1.0, 1.0], -1, 4.0),
+                (vec![1.0, 3.0], -1, 6.0),
+            ],
+        );
+        match solve(&p) {
+            LpOutcome::Optimal { x, obj } => {
+                assert!((obj + 12.0).abs() < 1e-6, "obj={obj}");
+                assert!((x[0] - 4.0).abs() < 1e-6);
+                assert!(x[1].abs() < 1e-6);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_ge_constraints_need_phase1() {
+        // min x+y s.t. x+y>=2, x-y=1 -> x=1.5, y=0.5, obj 2.
+        let p = lp(
+            vec![1.0, 1.0],
+            vec![(0.0, f64::INFINITY), (0.0, f64::INFINITY)],
+            vec![(vec![1.0, 1.0], 1, 2.0), (vec![1.0, -1.0], 0, 1.0)],
+        );
+        match solve(&p) {
+            LpOutcome::Optimal { x, obj } => {
+                assert!((obj - 2.0).abs() < 1e-6);
+                assert!((x[0] - 1.5).abs() < 1e-6);
+                assert!((x[1] - 0.5).abs() < 1e-6);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x <= 1 and x >= 2.
+        let p = lp(
+            vec![0.0],
+            vec![(0.0, f64::INFINITY)],
+            vec![(vec![1.0], -1, 1.0), (vec![1.0], 1, 2.0)],
+        );
+        assert!(matches!(solve(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // min -x s.t. x >= 0 (no upper bound).
+        let p = lp(
+            vec![-1.0],
+            vec![(0.0, f64::INFINITY)],
+            vec![(vec![1.0], 1, 0.0)],
+        );
+        assert!(matches!(solve(&p), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn respects_upper_bounds_via_bound_flip() {
+        // min -x - y with x,y in [0, 3] and x + y <= 5: optimum (3, 2) or (2, 3).
+        let p = lp(
+            vec![-1.0, -1.0],
+            vec![(0.0, 3.0), (0.0, 3.0)],
+            vec![(vec![1.0, 1.0], -1, 5.0)],
+        );
+        match solve(&p) {
+            LpOutcome::Optimal { x, obj } => {
+                assert!((obj + 5.0).abs() < 1e-6);
+                assert!(x[0] <= 3.0 + 1e-9 && x[1] <= 3.0 + 1e-9);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-ish / highly degenerate: several redundant constraints
+        // through the origin.
+        let p = lp(
+            vec![-1.0, -1.0, -1.0],
+            vec![
+                (0.0, f64::INFINITY),
+                (0.0, f64::INFINITY),
+                (0.0, f64::INFINITY),
+            ],
+            vec![
+                (vec![1.0, 0.0, 0.0], -1, 0.0),
+                (vec![1.0, 1.0, 0.0], -1, 0.0),
+                (vec![1.0, 1.0, 1.0], -1, 1.0),
+                (vec![0.0, 1.0, 1.0], -1, 1.0),
+                (vec![0.0, 0.0, 1.0], -1, 1.0),
+            ],
+        );
+        match solve(&p) {
+            LpOutcome::Optimal { obj, .. } => assert!((obj + 1.0).abs() < 1e-6),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x with x in [-5, 5], x >= -3  ->  x = -3.
+        let p = lp(
+            vec![1.0],
+            vec![(-5.0, 5.0)],
+            vec![(vec![1.0], 1, -3.0)],
+        );
+        match solve(&p) {
+            LpOutcome::Optimal { x, obj } => {
+                assert!((obj + 3.0).abs() < 1e-6);
+                assert!((x[0] + 3.0).abs() < 1e-6);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_constraints_puts_vars_at_cheapest_bound() {
+        let p = lp(vec![1.0, -1.0], vec![(0.0, 2.0), (0.0, 2.0)], vec![]);
+        match solve(&p) {
+            LpOutcome::Optimal { x, obj } => {
+                assert_eq!(x, vec![0.0, 2.0]);
+                assert_eq!(obj, -2.0);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_with_bounded_vars() {
+        // min 2x + 3y s.t. x + y = 10, x in [0,4], y in [0,20]  -> x=4, y=6, obj 26.
+        let p = lp(
+            vec![2.0, 3.0],
+            vec![(0.0, 4.0), (0.0, 20.0)],
+            vec![(vec![1.0, 1.0], 0, 10.0)],
+        );
+        match solve(&p) {
+            LpOutcome::Optimal { x, obj } => {
+                assert!((obj - 26.0).abs() < 1e-6);
+                assert!((x[0] - 4.0).abs() < 1e-6);
+                assert!((x[1] - 6.0).abs() < 1e-6);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    /// Randomized cross-check: LPs whose optimum we can compute by brute
+    /// force over basic feasible points of a transportation-like structure.
+    #[test]
+    fn random_lps_match_enumerated_vertices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..60 {
+            // 2 vars, 3 random <= constraints with positive coefficients,
+            // bounded box: optimum is at one of the O(25) intersection
+            // points; enumerate them.
+            let c = [rng.gen_range(-5.0..5.0f64), rng.gen_range(-5.0..5.0f64)];
+            let mut cons = Vec::new();
+            for _ in 0..3 {
+                cons.push((
+                    vec![rng.gen_range(0.1..3.0f64), rng.gen_range(0.1..3.0f64)],
+                    -1i8,
+                    rng.gen_range(1.0..8.0f64),
+                ));
+            }
+            let p = lp(
+                c.to_vec(),
+                vec![(0.0, 6.0), (0.0, 6.0)],
+                cons.clone(),
+            );
+            let LpOutcome::Optimal { obj, .. } = solve(&p) else {
+                panic!("trial {trial}: expected optimal");
+            };
+            // Brute force: intersect all pairs of active boundaries.
+            let mut lines: Vec<(f64, f64, f64)> = vec![
+                (1.0, 0.0, 0.0),
+                (0.0, 1.0, 0.0),
+                (1.0, 0.0, 6.0),
+                (0.0, 1.0, 6.0),
+            ];
+            for (a, _, b) in &cons {
+                lines.push((a[0], a[1], *b));
+            }
+            let feasible = |x: f64, y: f64| {
+                x >= -1e-9
+                    && y >= -1e-9
+                    && x <= 6.0 + 1e-9
+                    && y <= 6.0 + 1e-9
+                    && cons
+                        .iter()
+                        .all(|(a, _, b)| a[0] * x + a[1] * y <= b + 1e-9)
+            };
+            let mut best = f64::INFINITY;
+            for i in 0..lines.len() {
+                for j in i + 1..lines.len() {
+                    let (a1, b1, c1) = lines[i];
+                    let (a2, b2, c2) = lines[j];
+                    let det = a1 * b2 - a2 * b1;
+                    if det.abs() < 1e-9 {
+                        continue;
+                    }
+                    let x = (c1 * b2 - c2 * b1) / det;
+                    let y = (a1 * c2 - a2 * c1) / det;
+                    if feasible(x, y) {
+                        best = best.min(c[0] * x + c[1] * y);
+                    }
+                }
+            }
+            assert!(
+                (obj - best).abs() < 1e-5,
+                "trial {trial}: simplex {obj} vs enumerated {best}"
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Solver results and errors.
+
+use crate::expr::Var;
+use std::error::Error;
+use std::fmt;
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// The returned solution is optimal (within tolerances).
+    Optimal,
+    /// A feasible solution was found but the search hit a limit before
+    /// proving optimality; the reported bound gives the remaining gap.
+    Feasible,
+}
+
+/// A (mixed-)integer solution returned by the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    pub(crate) values: Vec<f64>,
+    pub(crate) objective: f64,
+    pub(crate) best_bound: f64,
+    pub(crate) status: SolveStatus,
+    pub(crate) nodes: u64,
+    pub(crate) lp_iterations: u64,
+}
+
+impl Solution {
+    /// Value of a variable in this solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    pub fn value(&self, var: Var) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Value of an integer variable rounded to the nearest integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    pub fn int_value(&self, var: Var) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// The full assignment, indexed by variable index.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Objective value of the returned assignment.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Best proven bound on the optimal objective. Equals
+    /// [`objective`](Self::objective) when the status is
+    /// [`SolveStatus::Optimal`].
+    pub fn best_bound(&self) -> f64 {
+        self.best_bound
+    }
+
+    /// Relative optimality gap `|objective − bound| / max(1, |objective|)`.
+    pub fn gap(&self) -> f64 {
+        (self.objective - self.best_bound).abs() / self.objective.abs().max(1.0)
+    }
+
+    /// Termination status.
+    pub fn status(&self) -> SolveStatus {
+        self.status
+    }
+
+    /// Whether optimality was proven.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+
+    /// Number of branch-and-bound nodes explored.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Total simplex iterations across all LP relaxations.
+    pub fn lp_iterations(&self) -> u64 {
+        self.lp_iterations
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} objective={} bound={} nodes={} lp_iters={}",
+            self.status, self.objective, self.best_bound, self.nodes, self.lp_iterations
+        )
+    }
+}
+
+/// Errors produced by [`Model::solve`](crate::Model::solve).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The constraints admit no assignment.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// A limit (time, nodes) stopped the search before any feasible point
+    /// was found. Contains a human-readable description of the limit.
+    Limit(String),
+    /// The model is malformed (e.g. NaN coefficient) or numerically
+    /// intractable for the solver.
+    Numerical(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => f.write_str("model is infeasible"),
+            SolveError::Unbounded => f.write_str("model is unbounded"),
+            SolveError::Limit(s) => write!(f, "search limit reached before finding a solution: {s}"),
+            SolveError::Numerical(s) => write!(f, "numerical failure: {s}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_is_zero_for_proven_optimum() {
+        let s = Solution {
+            values: vec![1.0],
+            objective: 5.0,
+            best_bound: 5.0,
+            status: SolveStatus::Optimal,
+            nodes: 1,
+            lp_iterations: 3,
+        };
+        assert_eq!(s.gap(), 0.0);
+        assert!(s.is_optimal());
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        assert_eq!(SolveError::Infeasible.to_string(), "model is infeasible");
+        assert!(SolveError::Limit("10s".into()).to_string().contains("10s"));
+    }
+
+    #[test]
+    fn solution_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Solution>();
+        assert_send_sync::<SolveError>();
+    }
+}

@@ -1,0 +1,237 @@
+//! Gate library and technology cost model.
+//!
+//! The cost numbers are relative units shaped after the NanGate 45 nm Open
+//! Cell Library that the paper synthesizes with: areas are expressed in
+//! NAND2-equivalents and delays in normalized gate-delay units. Only the
+//! *ratios* matter for reproducing the paper's comparisons, since every
+//! reported figure is normalized to the `B-Wal-RCA` baseline.
+
+use std::fmt;
+
+/// Fixed wire capacitance added to every net's load.
+pub const WIRE_LOAD: f64 = 0.3;
+/// Reference load a cell's nominal delay is specified at (one typical
+/// input pin plus local wire).
+pub const REF_LOAD: f64 = 1.3;
+/// Extra wire capacitance per bit-column pitch a connection spans beyond
+/// its own column. Long-reach networks (Kogge-Stone especially) pay for
+/// their wiring through this term, as they do physically.
+pub const SPAN_WIRE_LOAD: f64 = 0.12;
+
+/// Load-dependent cell delay (logical-effort style): the nominal delay
+/// scales with the driven capacitance, so high-fanout nodes — e.g. the
+/// inner nodes of a Sklansky network — genuinely cost time, as they do in
+/// a physical library. Loads beyond 4× the reference are assumed to be
+/// driven through a fanout-of-4 buffer tree (what synthesis would insert),
+/// so the penalty grows logarithmically rather than linearly there.
+pub fn delay_with_load(kind: GateKind, load: f64) -> f64 {
+    let x = load / REF_LOAD;
+    let base = kind.delay() * (0.55 + 0.45 * x.min(4.0));
+    let buffered = if x > 4.0 {
+        GateKind::Buf.delay() * (x / 4.0).log(4.0).ceil()
+    } else {
+        0.0
+    };
+    base + buffered
+}
+
+/// The primitive cell kinds understood by the netlist, simulator, timer and
+/// Verilog writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input placeholder (no logic, no cost).
+    Input,
+    /// Constant 0 driver.
+    Const0,
+    /// Constant 1 driver.
+    Const1,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: inputs `[sel, a, b]`, output `sel ? b : a`.
+    Mux2,
+    /// 3-input majority (full-adder carry cell).
+    Maj3,
+    /// AND-OR gate `a | (b & c)` (prefix generate cell).
+    Ao21,
+}
+
+impl GateKind {
+    /// Number of input pins.
+    pub fn arity(self) -> usize {
+        use GateKind::*;
+        match self {
+            Input | Const0 | Const1 => 0,
+            Buf | Not => 1,
+            And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 => 2,
+            Mux2 | Maj3 | Ao21 => 3,
+        }
+    }
+
+    /// Cell area in NAND2-equivalent units.
+    pub fn area(self) -> f64 {
+        use GateKind::*;
+        match self {
+            Input | Const0 | Const1 => 0.0,
+            Buf => 1.0,
+            Not => 0.53,
+            Nand2 | Nor2 => 1.0,
+            And2 | Or2 => 1.33,
+            Xor2 | Xnor2 => 2.0,
+            Mux2 => 2.33,
+            Maj3 => 2.33,
+            Ao21 => 1.67,
+        }
+    }
+
+    /// Pin-to-output delay in normalized gate-delay units.
+    pub fn delay(self) -> f64 {
+        use GateKind::*;
+        match self {
+            Input | Const0 | Const1 => 0.0,
+            Buf => 0.6,
+            Not => 0.35,
+            Nand2 | Nor2 => 0.7,
+            And2 | Or2 => 1.0,
+            Xor2 | Xnor2 => 1.4,
+            Mux2 => 1.4,
+            Maj3 => 1.3,
+            Ao21 => 1.2,
+        }
+    }
+
+    /// Relative input-pin capacitance, used as the switching-power load
+    /// weight of nets that drive this gate.
+    pub fn input_load(self) -> f64 {
+        use GateKind::*;
+        match self {
+            Input | Const0 | Const1 => 0.0,
+            Not | Buf => 1.0,
+            Nand2 | Nor2 => 1.0,
+            And2 | Or2 => 1.1,
+            Xor2 | Xnor2 => 1.6,
+            Mux2 | Maj3 | Ao21 => 1.3,
+        }
+    }
+
+    /// Evaluates the boolean function on 64 parallel lanes.
+    ///
+    /// `ins` must contain exactly [`arity`](Self::arity) words; unused
+    /// positions of the fixed-size array are ignored.
+    #[inline]
+    pub fn eval(self, ins: [u64; 3]) -> u64 {
+        use GateKind::*;
+        let [a, b, c] = ins;
+        match self {
+            Input => 0,
+            Const0 => 0,
+            Const1 => !0,
+            Buf => a,
+            Not => !a,
+            And2 => a & b,
+            Or2 => a | b,
+            Nand2 => !(a & b),
+            Nor2 => !(a | b),
+            Xor2 => a ^ b,
+            Xnor2 => !(a ^ b),
+            Mux2 => (!a & b) | (a & c),
+            Maj3 => (a & b) | (a & c) | (b & c),
+            Ao21 => a | (b & c),
+        }
+    }
+
+    /// Verilog expression template with `$0..$2` input placeholders.
+    pub fn verilog_expr(self) -> &'static str {
+        use GateKind::*;
+        match self {
+            Input => "$0",
+            Const0 => "1'b0",
+            Const1 => "1'b1",
+            Buf => "$0",
+            Not => "~$0",
+            And2 => "$0 & $1",
+            Or2 => "$0 | $1",
+            Nand2 => "~($0 & $1)",
+            Nor2 => "~($0 | $1)",
+            Xor2 => "$0 ^ $1",
+            Xnor2 => "~($0 ^ $1)",
+            Mux2 => "$0 ? $2 : $1",
+            Maj3 => "($0 & $1) | ($0 & $2) | ($1 & $2)",
+            Ao21 => "$0 | ($1 & $2)",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_usage() {
+        for k in [
+            GateKind::Not,
+            GateKind::And2,
+            GateKind::Maj3,
+            GateKind::Mux2,
+            GateKind::Ao21,
+        ] {
+            assert!(k.arity() >= 1);
+        }
+        assert_eq!(GateKind::Input.arity(), 0);
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        let t = !0u64;
+        let f = 0u64;
+        assert_eq!(GateKind::And2.eval([t, f, 0]), f);
+        assert_eq!(GateKind::Or2.eval([t, f, 0]), t);
+        assert_eq!(GateKind::Xor2.eval([t, t, 0]), f);
+        assert_eq!(GateKind::Nand2.eval([t, t, 0]), f);
+        assert_eq!(GateKind::Nor2.eval([f, f, 0]), t);
+        assert_eq!(GateKind::Xnor2.eval([t, f, 0]), f);
+        // Mux: sel=1 selects input 2.
+        assert_eq!(GateKind::Mux2.eval([t, f, t]), t);
+        assert_eq!(GateKind::Mux2.eval([f, f, t]), f);
+        // Majority.
+        assert_eq!(GateKind::Maj3.eval([t, t, f]), t);
+        assert_eq!(GateKind::Maj3.eval([t, f, f]), f);
+        // AO21: a | (b & c).
+        assert_eq!(GateKind::Ao21.eval([f, t, t]), t);
+        assert_eq!(GateKind::Ao21.eval([f, t, f]), f);
+    }
+
+    #[test]
+    fn xor_costs_more_than_nand() {
+        assert!(GateKind::Xor2.area() > GateKind::Nand2.area());
+        assert!(GateKind::Xor2.delay() > GateKind::Nand2.delay());
+    }
+
+    #[test]
+    fn lane_parallelism_is_bitwise() {
+        // Two lanes with different values in one word.
+        let a = 0b10u64;
+        let b = 0b11u64;
+        assert_eq!(GateKind::And2.eval([a, b, 0]), 0b10);
+        assert_eq!(GateKind::Xor2.eval([a, b, 0]), 0b01);
+    }
+}

@@ -1,0 +1,65 @@
+//! # gomil-netlist — gate-level netlist substrate
+//!
+//! The GOMIL paper evaluates its multipliers with a commercial flow
+//! (Design Compiler + PrimeTime on NanGate 45 nm). This crate is the
+//! self-contained stand-in used by the reproduction:
+//!
+//! * a [`Netlist`] builder over a small [`GateKind`] cell library with
+//!   NanGate-flavoured relative area/delay/load costs;
+//! * 64-lane bit-parallel [simulation](Netlist::simulate) for functional
+//!   verification;
+//! * [static timing analysis](Netlist::critical_delay);
+//! * [switching-activity power estimation](Netlist::estimate_power) and
+//!   combined [`DesignMetrics`];
+//! * [structural Verilog export](Netlist::to_verilog) and
+//!   [sanity checks](Netlist::check).
+//!
+//! ## Example
+//!
+//! ```
+//! use gomil_netlist::Netlist;
+//!
+//! // A 4-bit ripple-carry adder.
+//! let mut n = Netlist::new("rca4");
+//! let a = n.add_input("a", 4);
+//! let b = n.add_input("b", 4);
+//! let mut carry = n.const0();
+//! let mut sum = Vec::new();
+//! for i in 0..4 {
+//!     let (s, c) = n.full_adder(a[i], b[i], carry);
+//!     sum.push(s);
+//!     carry = c;
+//! }
+//! sum.push(carry);
+//! n.add_output("sum", sum);
+//!
+//! assert_eq!(n.eval_ints(&[9, 8], "sum"), 17);
+//! assert!(n.check().is_empty());
+//! let m = n.metrics(256);
+//! assert!(m.area > 0.0 && m.delay > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod gate;
+mod lut;
+mod metrics;
+#[allow(clippy::module_inception)]
+mod netlist;
+mod power;
+mod sim;
+mod sta;
+mod verilog;
+mod verilog_parse;
+
+pub use check::CheckIssue;
+pub use gate::{delay_with_load, GateKind, REF_LOAD, SPAN_WIRE_LOAD, WIRE_LOAD};
+pub use lut::LutMetrics;
+pub use metrics::DesignMetrics;
+pub use netlist::{Cell, NetId, Netlist, Port};
+pub use power::PowerEstimate;
+pub use sim::SimVectors;
+pub use sta::Timing;
+pub use verilog_parse::ParseVerilogError;

@@ -1,0 +1,470 @@
+//! Structural netlist representation and builder.
+//!
+//! A [`Netlist`] is a DAG of single-output cells over nets. Construction is
+//! define-before-use: a gate can only read nets that already exist, so the
+//! cell list is a valid topological order by construction and combinational
+//! loops are impossible. This makes simulation and timing single passes.
+
+use crate::gate::GateKind;
+use std::fmt;
+
+/// Handle to a net (a single wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index of the net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One cell instance: a gate driving exactly one net.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Gate function.
+    pub kind: GateKind,
+    /// Input nets, length = `kind.arity()`.
+    pub inputs: [NetId; 3],
+    /// Driven net.
+    pub output: NetId,
+    /// Estimated wire span of each input connection, in bit-column pitches
+    /// (≥ 1). Builders that know their geometry — prefix networks,
+    /// carry-select blocks — declare how far each operand travels; the
+    /// timing and power models charge extra wire capacitance on the read
+    /// nets accordingly.
+    pub spans: [f64; 3],
+}
+
+/// A named output port (a bus of nets, LSB first).
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Port name as it appears in exported Verilog.
+    pub name: String,
+    /// Bus bits, least significant first.
+    pub bits: Vec<NetId>,
+}
+
+/// A combinational gate-level netlist.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    cells: Vec<Cell>,
+    /// Driver cell index per net (cells are in topological order).
+    driver: Vec<u32>,
+    inputs: Vec<Port>,
+    outputs: Vec<Port>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist named `name`.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            cells: Vec::new(),
+            driver: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            const0: None,
+            const1: None,
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All cells in topological order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Declared input ports.
+    pub fn inputs(&self) -> &[Port] {
+        &self.inputs
+    }
+
+    /// Declared output ports.
+    pub fn outputs(&self) -> &[Port] {
+        &self.outputs
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.driver.len()
+    }
+
+    /// The cell driving `net`.
+    pub fn driver_of(&self, net: NetId) -> &Cell {
+        &self.cells[self.driver[net.index()] as usize]
+    }
+
+    fn new_net(&mut self, kind: GateKind, inputs: [NetId; 3], spans: [f64; 3]) -> NetId {
+        for i in 0..kind.arity() {
+            assert!(
+                inputs[i].index() < self.driver.len(),
+                "gate input {} is not a defined net",
+                inputs[i]
+            );
+        }
+        let net = NetId(self.driver.len() as u32);
+        self.driver.push(self.cells.len() as u32);
+        self.cells.push(Cell {
+            kind,
+            inputs,
+            output: net,
+            spans: spans.map(|x| x.max(1.0)),
+        });
+        net
+    }
+
+    /// Declares an input bus of `width` bits (LSB first) and returns its
+    /// nets.
+    pub fn add_input(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let z = NetId(0); // dummy padding, never read for arity-0 cells
+        let bits: Vec<NetId> = (0..width)
+            .map(|_| self.new_net(GateKind::Input, [z; 3], [1.0; 3]))
+            .collect();
+        self.inputs.push(Port {
+            name: name.into(),
+            bits: bits.clone(),
+        });
+        bits
+    }
+
+    /// Declares an output bus. Bits are LSB first.
+    pub fn add_output(&mut self, name: impl Into<String>, bits: Vec<NetId>) {
+        for &b in &bits {
+            assert!(b.index() < self.driver.len(), "output bit {b} undefined");
+        }
+        self.outputs.push(Port {
+            name: name.into(),
+            bits,
+        });
+    }
+
+    /// The constant-0 net (created on first use, then shared).
+    pub fn const0(&mut self) -> NetId {
+        if let Some(n) = self.const0 {
+            return n;
+        }
+        let n = self.new_net(GateKind::Const0, [NetId(0); 3], [1.0; 3]);
+        self.const0 = Some(n);
+        n
+    }
+
+    /// The constant-1 net (created on first use, then shared).
+    pub fn const1(&mut self) -> NetId {
+        if let Some(n) = self.const1 {
+            return n;
+        }
+        let n = self.new_net(GateKind::Const1, [NetId(0); 3], [1.0; 3]);
+        self.const1 = Some(n);
+        n
+    }
+
+    /// Adds a gate and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins` has the wrong length for `kind` or references an
+    /// undefined net.
+    pub fn gate(&mut self, kind: GateKind, ins: &[NetId]) -> NetId {
+        assert_eq!(ins.len(), kind.arity(), "wrong input count for {kind}");
+        let mut padded = [NetId(0); 3];
+        padded[..ins.len()].copy_from_slice(ins);
+        self.new_net(kind, padded, [1.0; 3])
+    }
+
+    /// Adds a gate declaring, per input pin, how many bit-column pitches
+    /// its wire spans (used by builders that know their physical reach,
+    /// e.g. a Kogge-Stone level at distance `d` whose lower operand
+    /// travels `d` columns). Spans are clamped to at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins`/`spans` have the wrong length for `kind` or `ins`
+    /// references an undefined net.
+    pub fn gate_spanned(&mut self, kind: GateKind, ins: &[NetId], spans: &[f64]) -> NetId {
+        assert_eq!(ins.len(), kind.arity(), "wrong input count for {kind}");
+        assert_eq!(spans.len(), kind.arity(), "one span per input pin");
+        let mut padded = [NetId(0); 3];
+        padded[..ins.len()].copy_from_slice(ins);
+        let mut sp = [1.0; 3];
+        sp[..spans.len()].copy_from_slice(spans);
+        self.new_net(kind, padded, sp)
+    }
+
+    /// `a ∧ b`
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::And2, &[a, b])
+    }
+    /// `a ∨ b`
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Or2, &[a, b])
+    }
+    /// `a ⊕ b`
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xor2, &[a, b])
+    }
+    /// `¬a`
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Not, &[a])
+    }
+    /// `¬(a ∧ b)`
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Nand2, &[a, b])
+    }
+    /// `¬(a ∨ b)`
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Nor2, &[a, b])
+    }
+    /// `¬(a ⊕ b)`
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xnor2, &[a, b])
+    }
+    /// `sel ? hi : lo`
+    pub fn mux(&mut self, sel: NetId, lo: NetId, hi: NetId) -> NetId {
+        self.gate(GateKind::Mux2, &[sel, lo, hi])
+    }
+    /// 3-input majority.
+    pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.gate(GateKind::Maj3, &[a, b, c])
+    }
+    /// `a ∨ (b ∧ c)`
+    pub fn ao21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.gate(GateKind::Ao21, &[a, b, c])
+    }
+
+    /// Full adder on `(a, b, cin)`; returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, cin);
+        let carry = self.maj3(a, b, cin);
+        (sum, carry)
+    }
+
+    /// Half adder on `(a, b)`; returns `(sum, carry)`.
+    pub fn half_adder(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        let sum = self.xor(a, b);
+        let carry = self.and(a, b);
+        (sum, carry)
+    }
+
+    /// Removes logic cells that are unreachable from any declared output
+    /// (dead-logic elimination, as a synthesis tool would). Primary inputs
+    /// are always kept so the port list is stable. Returns the number of
+    /// cells removed.
+    ///
+    /// Existing [`NetId`]s are invalidated by this pass; call it only when
+    /// construction is finished.
+    pub fn prune_dead(&mut self) -> usize {
+        // Mark the cone of influence of the outputs.
+        let mut live = vec![false; self.driver.len()];
+        let mut stack: Vec<NetId> = self
+            .outputs
+            .iter()
+            .flat_map(|p| p.bits.iter().copied())
+            .collect();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut live[n.index()], true) {
+                continue;
+            }
+            let cell = &self.cells[self.driver[n.index()] as usize];
+            for i in 0..cell.kind.arity() {
+                stack.push(cell.inputs[i]);
+            }
+        }
+        // Inputs always survive (ports must not change).
+        for p in &self.inputs {
+            for b in &p.bits {
+                live[b.index()] = true;
+            }
+        }
+
+        // Compact: rebuild cells in order, remapping net ids.
+        let mut remap: Vec<u32> = vec![u32::MAX; self.driver.len()];
+        let mut new_cells = Vec::with_capacity(self.cells.len());
+        let mut new_driver = Vec::with_capacity(self.driver.len());
+        let mut removed = 0usize;
+        for cell in &self.cells {
+            if !live[cell.output.index()] {
+                removed += 1;
+                continue;
+            }
+            let mut c = cell.clone();
+            for i in 0..c.kind.arity() {
+                let m = remap[c.inputs[i].index()];
+                debug_assert_ne!(m, u32::MAX, "live cell reads dead net");
+                c.inputs[i] = NetId(m);
+            }
+            let new_net = NetId(new_driver.len() as u32);
+            remap[c.output.index()] = new_net.0;
+            c.output = new_net;
+            new_driver.push(new_cells.len() as u32);
+            new_cells.push(c);
+        }
+        self.cells = new_cells;
+        self.driver = new_driver;
+        let remap_net = |n: &mut NetId| *n = NetId(remap[n.index()]);
+        for p in &mut self.inputs {
+            p.bits.iter_mut().for_each(remap_net);
+        }
+        for p in &mut self.outputs {
+            p.bits.iter_mut().for_each(remap_net);
+        }
+        self.const0 = self.const0.and_then(|n| {
+            (remap[n.index()] != u32::MAX).then(|| NetId(remap[n.index()]))
+        });
+        self.const1 = self.const1.and_then(|n| {
+            (remap[n.index()] != u32::MAX).then(|| NetId(remap[n.index()]))
+        });
+        removed
+    }
+
+    /// Total cell area (sum of per-gate areas).
+    pub fn area(&self) -> f64 {
+        self.cells.iter().map(|c| c.kind.area()).sum()
+    }
+
+    /// Gate count per kind, for reports.
+    pub fn gate_histogram(&self) -> Vec<(GateKind, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for c in &self.cells {
+            map.entry(format!("{}", c.kind))
+                .or_insert((c.kind, 0usize))
+                .1 += 1;
+        }
+        map.into_values().collect()
+    }
+
+    /// Number of logic cells (excluding inputs and constants).
+    pub fn num_gates(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| {
+                !matches!(
+                    c.kind,
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1
+                )
+            })
+            .count()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist {}: {} nets, {} gates, area {:.1}",
+            self.name,
+            self.num_nets(),
+            self.num_gates(),
+            self.area()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_before_use_is_enforced() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1);
+        // A net id from the future:
+        let bogus = NetId(99);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut n2 = n.clone();
+            n2.and(a[0], bogus);
+        }));
+        assert!(result.is_err());
+        let _ = n.const0();
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut n = Netlist::new("t");
+        let c0a = n.const0();
+        let c0b = n.const0();
+        assert_eq!(c0a, c0b);
+        assert_eq!(n.num_nets(), 1);
+    }
+
+    #[test]
+    fn full_adder_structure() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1)[0];
+        let b = n.add_input("b", 1)[0];
+        let c = n.add_input("c", 1)[0];
+        let (s, co) = n.full_adder(a, b, c);
+        n.add_output("s", vec![s]);
+        n.add_output("co", vec![co]);
+        assert_eq!(n.num_gates(), 3); // xor, xor, maj
+        assert!(n.area() > 0.0);
+    }
+
+    #[test]
+    fn prune_removes_dead_cells_and_preserves_function() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 2);
+        let live = n.xor(a[0], a[1]);
+        let dead1 = n.and(a[0], a[1]);
+        let _dead2 = n.or(dead1, a[0]);
+        n.add_output("o", vec![live]);
+        assert_eq!(n.prune_dead(), 2);
+        assert!(n.check().is_empty());
+        assert_eq!(n.eval_ints(&[0b01, 0], "o") & 1, 1);
+        assert_eq!(n.eval_ints(&[0b11, 0], "o") & 1, 0);
+    }
+
+    #[test]
+    fn prune_keeps_inputs_and_is_idempotent() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 3);
+        let x = n.and(a[0], a[1]); // a[2] never used but stays a port
+        n.add_output("o", vec![x]);
+        assert_eq!(n.prune_dead(), 0);
+        assert_eq!(n.prune_dead(), 0);
+        assert_eq!(n.inputs()[0].bits.len(), 3);
+    }
+
+    #[test]
+    fn prune_drops_unused_constants() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1);
+        let _c = n.const1();
+        n.add_output("o", vec![a[0]]);
+        n.prune_dead();
+        // const1 was dead; asking again must recreate it safely.
+        let c2 = n.const1();
+        n.add_output("one", vec![c2]);
+        assert_eq!(n.eval_ints(&[0], "one"), 1);
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 2);
+        n.and(a[0], a[1]);
+        n.and(a[0], a[1]);
+        n.xor(a[0], a[1]);
+        let h = n.gate_histogram();
+        let and_count = h
+            .iter()
+            .find(|(k, _)| *k == GateKind::And2)
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(and_count, 2);
+    }
+}

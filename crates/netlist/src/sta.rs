@@ -1,0 +1,188 @@
+//! Static timing analysis.
+//!
+//! Computes per-net arrival times in one topological pass (cells are stored
+//! in topological order by construction) and extracts the critical path.
+//! This substitutes for the PrimeTime delay measurements in the paper; the
+//! per-gate delays come from [`GateKind::delay`](crate::GateKind::delay).
+
+use crate::gate::{delay_with_load, SPAN_WIRE_LOAD, WIRE_LOAD};
+use crate::netlist::{NetId, Netlist};
+
+/// Timing analysis results.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    arrival: Vec<f64>,
+}
+
+impl Timing {
+    /// Arrival time of a net (0 for primary inputs and constants).
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.arrival[net.index()]
+    }
+
+    /// Latest arrival among the given nets.
+    pub fn max_arrival(&self, nets: &[NetId]) -> f64 {
+        nets.iter()
+            .map(|n| self.arrival[n.index()])
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Netlist {
+    /// Runs static timing analysis with load-dependent cell delays: each
+    /// net's load is the wire constant plus the input-pin capacitances of
+    /// its readers, and a cell's delay scales with the load it drives
+    /// (logical-effort style). This is what makes high-fanout prefix
+    /// networks pay a realistic price.
+    pub fn timing(&self) -> Timing {
+        let mut load = vec![WIRE_LOAD; self.num_nets()];
+        for cell in self.cells() {
+            for i in 0..cell.kind.arity() {
+                load[cell.inputs[i].index()] +=
+                    cell.kind.input_load() + SPAN_WIRE_LOAD * (cell.spans[i] - 1.0);
+            }
+        }
+        let mut arrival = vec![0.0f64; self.num_nets()];
+        for cell in self.cells() {
+            let arity = cell.kind.arity();
+            if arity == 0 {
+                continue;
+            }
+            let worst = (0..arity)
+                .map(|i| arrival[cell.inputs[i].index()])
+                .fold(0.0, f64::max);
+            arrival[cell.output.index()] =
+                worst + delay_with_load(cell.kind, load[cell.output.index()]);
+        }
+        Timing { arrival }
+    }
+
+    /// Critical-path delay: the worst arrival over all declared outputs.
+    pub fn critical_delay(&self) -> f64 {
+        let t = self.timing();
+        self.outputs()
+            .iter()
+            .flat_map(|p| p.bits.iter())
+            .map(|n| t.arrival(*n))
+            .fold(0.0, f64::max)
+    }
+
+    /// Traces one critical path from the worst output back to an input,
+    /// returning the nets on it (output first).
+    pub fn critical_path(&self) -> Vec<NetId> {
+        let t = self.timing();
+        let mut cur = match self
+            .outputs()
+            .iter()
+            .flat_map(|p| p.bits.iter().copied())
+            .max_by(|a, b| t.arrival(*a).partial_cmp(&t.arrival(*b)).unwrap())
+        {
+            Some(n) => n,
+            None => return Vec::new(),
+        };
+        let mut path = vec![cur];
+        loop {
+            let cell = self.driver_of(cur);
+            let arity = cell.kind.arity();
+            if arity == 0 {
+                break;
+            }
+            cur = (0..arity)
+                .map(|i| cell.inputs[i])
+                .max_by(|a, b| t.arrival(*a).partial_cmp(&t.arrival(*b)).unwrap())
+                .expect("arity >= 1");
+            path.push(cur);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn chain_delay_accumulates_with_loads() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1)[0];
+        let b = n.add_input("b", 1)[0];
+        let x1 = n.and(a, b);
+        let x2 = n.and(x1, b);
+        let x3 = n.and(x2, b);
+        n.add_output("o", vec![x3]);
+        // x1 and x2 each drive one AND pin; x3 drives only the output wire.
+        let driven = delay_with_load(GateKind::And2, WIRE_LOAD + GateKind::And2.input_load());
+        let last = delay_with_load(GateKind::And2, WIRE_LOAD);
+        let d = n.critical_delay();
+        assert!((d - (2.0 * driven + last)).abs() < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn parallel_paths_take_max() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1)[0];
+        let b = n.add_input("b", 1)[0];
+        let slow = n.xor(a, b);
+        let fast = n.nand(a, b);
+        let out = n.and(slow, fast);
+        n.add_output("o", vec![out]);
+        let and_pin = WIRE_LOAD + GateKind::And2.input_load();
+        let expect = delay_with_load(GateKind::Xor2, and_pin)
+            + delay_with_load(GateKind::And2, WIRE_LOAD);
+        assert!((n.critical_delay() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_slows_a_driver_down() {
+        let build = |fanout: usize| {
+            let mut n = Netlist::new("t");
+            let a = n.add_input("a", 2);
+            let x = n.and(a[0], a[1]);
+            let mut outs = Vec::new();
+            for _ in 0..fanout {
+                outs.push(n.xor(x, a[0]));
+            }
+            n.add_output("o", outs);
+            n.critical_delay()
+        };
+        assert!(build(8) > build(1), "higher fanout must cost delay");
+    }
+
+    #[test]
+    fn critical_path_reaches_an_input() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1)[0];
+        let b = n.add_input("b", 1)[0];
+        let x = n.xor(a, b);
+        let y = n.and(x, b);
+        n.add_output("o", vec![y]);
+        let path = n.critical_path();
+        assert_eq!(path.first(), Some(&y));
+        let last = *path.last().unwrap();
+        assert!(matches!(n.driver_of(last).kind, GateKind::Input));
+    }
+
+    #[test]
+    fn ripple_carry_is_linear_in_width() {
+        let delay_of = |w: usize| {
+            let mut n = Netlist::new("rca");
+            let a = n.add_input("a", w);
+            let b = n.add_input("b", w);
+            let mut carry = n.const0();
+            let mut bits = Vec::new();
+            for i in 0..w {
+                let (s, c) = n.full_adder(a[i], b[i], carry);
+                bits.push(s);
+                carry = c;
+            }
+            bits.push(carry);
+            n.add_output("sum", bits);
+            n.critical_delay()
+        };
+        let d8 = delay_of(8);
+        let d16 = delay_of(16);
+        // Roughly doubles with width.
+        assert!(d16 > 1.7 * d8 && d16 < 2.3 * d8, "d8={d8} d16={d16}");
+    }
+}

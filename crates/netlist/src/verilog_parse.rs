@@ -1,0 +1,374 @@
+//! Structural Verilog import (round-trip subset).
+//!
+//! Parses the subset of Verilog that [`Netlist::to_verilog`] emits —
+//! single module, bus ports, `wire` declarations and one `assign` per
+//! cell — back into a [`Netlist`]. Together with the simulator this gives
+//! an export/import round-trip check: the re-imported design must behave
+//! identically, which the integration tests verify for whole multipliers.
+
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a Verilog source could not be imported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based source line of the problem.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseVerilogError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseVerilogError {
+    ParseVerilogError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One parsed `assign` right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+enum Rhs {
+    Const(bool),
+    Copy(String),
+    Gate(GateKind, Vec<String>),
+}
+
+impl Netlist {
+    /// Parses a module previously produced by [`Netlist::to_verilog`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseVerilogError`] on any construct outside the emitted
+    /// subset (multiple modules, operators other than the gate library,
+    /// undeclared identifiers, combinational cycles).
+    pub fn from_verilog(src: &str) -> Result<Netlist, ParseVerilogError> {
+        let mut name = String::new();
+        let mut inputs: Vec<(String, usize)> = Vec::new();
+        let mut outputs: Vec<(String, usize)> = Vec::new();
+        let mut assigns: Vec<(usize, String, Rhs)> = Vec::new();
+
+        for (ln, raw) in src.lines().enumerate() {
+            let line = ln + 1;
+            let t = raw.trim().trim_end_matches(';').trim();
+            if t.is_empty() || t == "endmodule" {
+                continue;
+            }
+            if let Some(rest) = t.strip_prefix("module ") {
+                let module_name = rest.split('(').next().unwrap_or("").trim();
+                if module_name.is_empty() {
+                    return Err(err(line, "missing module name"));
+                }
+                name = module_name.to_string();
+            } else if let Some(rest) = t.strip_prefix("input ") {
+                inputs.push(parse_port(rest, line)?);
+            } else if let Some(rest) = t.strip_prefix("output ") {
+                outputs.push(parse_port(rest, line)?);
+            } else if t.starts_with("wire ") {
+                // Wire widths are implicit (1 bit); nothing to record.
+            } else if let Some(rest) = t.strip_prefix("assign ") {
+                let (lhs, rhs) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err(line, "assign without '='"))?;
+                assigns.push((line, lhs.trim().to_string(), parse_rhs(rhs.trim(), line)?));
+            } else {
+                return Err(err(line, format!("unsupported construct: {t}")));
+            }
+        }
+        if name.is_empty() {
+            return Err(err(1, "no module declaration found"));
+        }
+
+        let mut nl = Netlist::new(name);
+        let mut nets: HashMap<String, NetId> = HashMap::new();
+        for (pname, width) in &inputs {
+            let bits = nl.add_input(pname.clone(), *width);
+            for (i, b) in bits.into_iter().enumerate() {
+                nets.insert(format!("{pname}[{i}]"), b);
+            }
+        }
+
+        // Assigns arrive in the emitter's topological order, but accept any
+        // order by iterating to a fixpoint.
+        let mut pending: Vec<(usize, String, Rhs)> = assigns;
+        let mut out_bits: HashMap<String, NetId> = HashMap::new();
+        loop {
+            let mut progressed = false;
+            let mut next_round = Vec::new();
+            for (line, lhs, rhs) in pending {
+                let ready = match &rhs {
+                    Rhs::Const(_) => true,
+                    Rhs::Copy(a) => nets.contains_key(a),
+                    Rhs::Gate(_, ins) => ins.iter().all(|i| nets.contains_key(i)),
+                };
+                if !ready {
+                    next_round.push((line, lhs, rhs));
+                    continue;
+                }
+                progressed = true;
+                let net = match rhs {
+                    Rhs::Const(true) => nl.const1(),
+                    Rhs::Const(false) => nl.const0(),
+                    Rhs::Copy(a) => nets[&a],
+                    Rhs::Gate(kind, ins) => {
+                        let in_nets: Vec<NetId> = ins.iter().map(|i| nets[i]).collect();
+                        nl.gate(kind, &in_nets)
+                    }
+                };
+                // Output-bit assign (`p[3] = …`) vs internal wire.
+                if let Some((port, _)) = split_indexed(&lhs) {
+                    if outputs.iter().any(|(n, _)| n == &port) {
+                        out_bits.insert(lhs.clone(), net);
+                        continue;
+                    }
+                }
+                nets.insert(lhs, net);
+            }
+            if next_round.is_empty() {
+                break;
+            }
+            if !progressed {
+                let (line, lhs, _) = &next_round[0];
+                return Err(err(
+                    *line,
+                    format!("unresolvable or cyclic assignment to {lhs}"),
+                ));
+            }
+            pending = next_round;
+        }
+
+        for (pname, width) in &outputs {
+            let mut bits = Vec::with_capacity(*width);
+            for i in 0..*width {
+                let key = format!("{pname}[{i}]");
+                let bit = out_bits
+                    .get(&key)
+                    .or_else(|| nets.get(&key))
+                    .copied()
+                    .ok_or_else(|| err(0, format!("output bit {key} never assigned")))?;
+                bits.push(bit);
+            }
+            nl.add_output(pname.clone(), bits);
+        }
+        Ok(nl)
+    }
+}
+
+/// Parses `[hi:0] name` into `(name, width)`.
+fn parse_port(rest: &str, line: usize) -> Result<(String, usize), ParseVerilogError> {
+    let rest = rest.trim();
+    let (range, name) = rest
+        .strip_prefix('[')
+        .and_then(|r| r.split_once(']'))
+        .ok_or_else(|| err(line, "port without a [msb:0] range"))?;
+    let hi: usize = range
+        .split(':')
+        .next()
+        .and_then(|h| h.trim().parse().ok())
+        .ok_or_else(|| err(line, "malformed port range"))?;
+    Ok((name.trim().to_string(), hi + 1))
+}
+
+fn split_indexed(s: &str) -> Option<(String, usize)> {
+    let (base, idx) = s.split_once('[')?;
+    let idx = idx.strip_suffix(']')?.parse().ok()?;
+    Some((base.to_string(), idx))
+}
+
+/// Parses the emitted expression shapes back to gate kinds.
+fn parse_rhs(rhs: &str, line: usize) -> Result<Rhs, ParseVerilogError> {
+    let rhs = rhs.trim();
+    match rhs {
+        "1'b0" => return Ok(Rhs::Const(false)),
+        "1'b1" => return Ok(Rhs::Const(true)),
+        _ => {}
+    }
+    // Mux: `sel ? hi : lo`.
+    if let Some((sel, rest)) = split_top(rhs, '?') {
+        let (hi, lo) =
+            split_top(&rest, ':').ok_or_else(|| err(line, "malformed conditional"))?;
+        return Ok(Rhs::Gate(
+            GateKind::Mux2,
+            vec![ident(&sel, line)?, ident(&lo, line)?, ident(&hi, line)?],
+        ));
+    }
+    // Majority: `(a & b) | (a & c) | (b & c)`.
+    if rhs.matches('|').count() == 2 && rhs.matches('&').count() == 3 {
+        let parts: Vec<&str> = rhs.split('|').collect();
+        let mut ids = Vec::new();
+        for p in &parts {
+            let inner = p.trim().trim_start_matches('(').trim_end_matches(')');
+            let (a, b) = inner
+                .split_once('&')
+                .ok_or_else(|| err(line, "malformed majority term"))?;
+            ids.push((ident(a, line)?, ident(b, line)?));
+        }
+        let (a, b) = ids[0].clone();
+        let c = ids[1].1.clone();
+        return Ok(Rhs::Gate(GateKind::Maj3, vec![a, b, c]));
+    }
+    // AO21: `a | (b & c)`.
+    if let Some((l, r)) = split_top(rhs, '|') {
+        let r = r.trim();
+        if r.starts_with('(') && r.contains('&') {
+            let inner = r.trim_start_matches('(').trim_end_matches(')');
+            let (b, c) = inner
+                .split_once('&')
+                .ok_or_else(|| err(line, "malformed and-or"))?;
+            if !l.contains(['&', '|', '^', '~']) {
+                return Ok(Rhs::Gate(
+                    GateKind::Ao21,
+                    vec![ident(&l, line)?, ident(b, line)?, ident(c, line)?],
+                ));
+            }
+        }
+        if !l.contains(['&', '^']) && !r.contains(['&', '^', '(']) {
+            return Ok(Rhs::Gate(
+                GateKind::Or2,
+                vec![ident(&l, line)?, ident(r, line)?],
+            ));
+        }
+    }
+    // Inverted forms.
+    if let Some(inner) = rhs.strip_prefix("~(") {
+        let inner = inner.strip_suffix(')').ok_or_else(|| err(line, "unbalanced ~()"))?;
+        for (op, kind) in [('&', GateKind::Nand2), ('|', GateKind::Nor2), ('^', GateKind::Xnor2)] {
+            if let Some((a, b)) = inner.split_once(op) {
+                return Ok(Rhs::Gate(kind, vec![ident(a, line)?, ident(b, line)?]));
+            }
+        }
+        return Err(err(line, "unrecognized inverted expression"));
+    }
+    if let Some(a) = rhs.strip_prefix('~') {
+        return Ok(Rhs::Gate(GateKind::Not, vec![ident(a, line)?]));
+    }
+    // Plain binary gates.
+    for (op, kind) in [('&', GateKind::And2), ('^', GateKind::Xor2)] {
+        if let Some((a, b)) = rhs.split_once(op) {
+            return Ok(Rhs::Gate(kind, vec![ident(a, line)?, ident(b, line)?]));
+        }
+    }
+    // Bare identifier: a copy (port forwarding / buffer).
+    Ok(Rhs::Copy(ident(rhs, line)?))
+}
+
+/// Splits at the first top-level (non-parenthesized) occurrence of `op`.
+fn split_top(s: &str, op: char) -> Option<(String, String)> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            _ if c == op && depth == 0 => {
+                return Some((s[..i].to_string(), s[i + 1..].to_string()));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn ident(s: &str, line: usize) -> Result<String, ParseVerilogError> {
+    let s = s.trim().trim_start_matches('(').trim_end_matches(')').trim();
+    if s.is_empty()
+        || !s
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '[' || c == ']')
+    {
+        return Err(err(line, format!("not a plain identifier: {s:?}")));
+    }
+    Ok(s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(nl: &Netlist) -> Netlist {
+        let v = nl.to_verilog();
+        Netlist::from_verilog(&v).unwrap_or_else(|e| panic!("{e}\n{v}"))
+    }
+
+    #[test]
+    fn half_adder_roundtrip() {
+        let mut nl = Netlist::new("ha");
+        let a = nl.add_input("a", 1);
+        let b = nl.add_input("b", 1);
+        let (s, c) = nl.half_adder(a[0], b[0]);
+        nl.add_output("o", vec![s, c]);
+        let re = roundtrip(&nl);
+        for x in 0..2u128 {
+            for y in 0..2u128 {
+                assert_eq!(nl.eval_ints(&[x, y], "o"), re.eval_ints(&[x, y], "o"));
+            }
+        }
+    }
+
+    #[test]
+    fn all_gate_kinds_roundtrip() {
+        use GateKind::*;
+        let mut nl = Netlist::new("all");
+        let a = nl.add_input("a", 3);
+        let mut outs = Vec::new();
+        for k in [Not] {
+            outs.push(nl.gate(k, &[a[0]]));
+        }
+        for k in [And2, Or2, Nand2, Nor2, Xor2, Xnor2] {
+            outs.push(nl.gate(k, &[a[0], a[1]]));
+        }
+        for k in [Mux2, Maj3, Ao21] {
+            outs.push(nl.gate(k, &[a[0], a[1], a[2]]));
+        }
+        let c0 = nl.const0();
+        let c1 = nl.const1();
+        outs.push(c0);
+        outs.push(c1);
+        nl.add_output("o", outs);
+        let re = roundtrip(&nl);
+        for v in 0..8u128 {
+            assert_eq!(
+                nl.eval_ints(&[v], "o"),
+                re.eval_ints(&[v], "o"),
+                "input {v:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ripple_adder_roundtrip() {
+        let mut nl = Netlist::new("rca");
+        let a = nl.add_input("a", 6);
+        let b = nl.add_input("b", 6);
+        let mut carry = nl.const0();
+        let mut bits = Vec::new();
+        for i in 0..6 {
+            let (s, c) = nl.full_adder(a[i], b[i], carry);
+            bits.push(s);
+            carry = c;
+        }
+        bits.push(carry);
+        nl.add_output("sum", bits);
+        let re = roundtrip(&nl);
+        for (x, y) in [(0u128, 0u128), (63, 63), (40, 23), (17, 5)] {
+            assert_eq!(re.eval_ints(&[x, y], "sum"), x + y);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Netlist::from_verilog("always @(posedge clk)").is_err());
+        assert!(Netlist::from_verilog("module m (a);\n  input [0:0] a;\n  assign x = a[0] ** 2;\nendmodule").is_err());
+        let e = Netlist::from_verilog("wire x;").unwrap_err();
+        assert!(e.to_string().contains("module"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Classic all-carry prefix networks.
+//!
+//! These compute `(G_{i:0}, P_{i:0})` for *every* position `i` — what a
+//! conventional parallel-prefix adder needs. Kogge-Stone is the paper's
+//! fast-but-large reference [8]; Sklansky and Brent-Kung round out the
+//! candidate set used by the DesignWare-style baseline selector. All
+//! networks automatically benefit from the typed-node degenerations because
+//! they are built on [`combine`](crate::combine).
+
+use crate::ggp::{combine_spanned, GgpWires};
+use gomil_netlist::Netlist;
+
+/// Topology of an all-carry prefix network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefixNetworkKind {
+    /// Kogge-Stone: minimal depth, maximal wiring/area.
+    KoggeStone,
+    /// Sklansky: minimal depth, high fanout, fewer nodes.
+    Sklansky,
+    /// Brent-Kung: nearly double depth, minimal nodes.
+    BrentKung,
+    /// Han-Carlson: Kogge-Stone on odd positions + one fix-up level —
+    /// roughly half the wiring for one extra level.
+    HanCarlson,
+    /// Ladner-Fischer: Sklansky with halved fanout via a final level.
+    LadnerFischer,
+    /// Serial chain (ripple in GP space); the area floor.
+    Serial,
+}
+
+impl PrefixNetworkKind {
+    /// Short name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefixNetworkKind::KoggeStone => "kogge-stone",
+            PrefixNetworkKind::Sklansky => "sklansky",
+            PrefixNetworkKind::BrentKung => "brent-kung",
+            PrefixNetworkKind::HanCarlson => "han-carlson",
+            PrefixNetworkKind::LadnerFischer => "ladner-fischer",
+            PrefixNetworkKind::Serial => "serial",
+        }
+    }
+}
+
+/// Builds the chosen network over per-column input pairs, returning
+/// `out[i] = GGP_{i:0}` for every `i`.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn all_carries(
+    nl: &mut Netlist,
+    inputs: &[GgpWires],
+    kind: PrefixNetworkKind,
+) -> Vec<GgpWires> {
+    assert!(!inputs.is_empty(), "prefix network needs at least one column");
+    match kind {
+        PrefixNetworkKind::KoggeStone => kogge_stone(nl, inputs),
+        PrefixNetworkKind::Sklansky => sklansky(nl, inputs),
+        PrefixNetworkKind::BrentKung => brent_kung(nl, inputs),
+        PrefixNetworkKind::HanCarlson => han_carlson(nl, inputs),
+        PrefixNetworkKind::LadnerFischer => ladner_fischer(nl, inputs),
+        PrefixNetworkKind::Serial => serial(nl, inputs),
+    }
+}
+
+fn kogge_stone(nl: &mut Netlist, inputs: &[GgpWires]) -> Vec<GgpWires> {
+    let n = inputs.len();
+    let mut cur = inputs.to_vec();
+    let mut dist = 1;
+    while dist < n {
+        let mut next = cur.clone();
+        for i in dist..n {
+            next[i] = combine_spanned(nl, cur[i], cur[i - dist], dist as f64);
+        }
+        cur = next;
+        dist *= 2;
+    }
+    cur
+}
+
+fn sklansky(nl: &mut Netlist, inputs: &[GgpWires]) -> Vec<GgpWires> {
+    let n = inputs.len();
+    let mut cur = inputs.to_vec();
+    let mut level = 0;
+    while (1usize << level) < n {
+        let block = 1usize << level;
+        let mut next = cur.clone();
+        for i in 0..n {
+            if (i / block) % 2 == 1 {
+                let j = (i / block) * block - 1;
+                next[i] = combine_spanned(nl, cur[i], cur[j], (i - j) as f64);
+            }
+        }
+        cur = next;
+        level += 1;
+    }
+    cur
+}
+
+fn brent_kung(nl: &mut Netlist, inputs: &[GgpWires]) -> Vec<GgpWires> {
+    let n = inputs.len();
+    let mut cur = inputs.to_vec();
+    // Up-sweep: after step d, positions i with (i+1) divisible by 2^{d+1}
+    // hold the prefix of their aligned 2^{d+1} block.
+    let mut d = 1;
+    while d < n {
+        for i in (2 * d - 1..n).step_by(2 * d) {
+            cur[i] = combine_spanned(nl, cur[i], cur[i - d], d as f64);
+        }
+        d *= 2;
+    }
+    // Down-sweep: fill in the remaining positions coarse-to-fine.
+    d /= 2;
+    while d >= 1 {
+        for i in (3 * d - 1..n).step_by(2 * d) {
+            cur[i] = combine_spanned(nl, cur[i], cur[i - d], d as f64);
+        }
+        d /= 2;
+    }
+    cur
+}
+
+fn han_carlson(nl: &mut Netlist, inputs: &[GgpWires]) -> Vec<GgpWires> {
+    // Stage 0: odd positions absorb their even neighbour; then Kogge-Stone
+    // over the odd positions only; final fix-up gives even positions their
+    // prefix from the odd one below.
+    let n = inputs.len();
+    let mut cur = inputs.to_vec();
+    for i in (1..n).step_by(2) {
+        cur[i] = combine_spanned(nl, cur[i], cur[i - 1], 1.0);
+    }
+    let mut dist = 2;
+    while dist < n {
+        let mut next = cur.clone();
+        for i in (1..n).step_by(2) {
+            if i >= dist {
+                next[i] = combine_spanned(nl, cur[i], cur[i - dist], dist as f64);
+            }
+        }
+        cur = next;
+        dist *= 2;
+    }
+    // Fix-up: even position i (> 0) combines with the complete prefix at
+    // i − 1 (odd).
+    let snapshot = cur.clone();
+    for i in (2..n).step_by(2) {
+        cur[i] = combine_spanned(nl, snapshot[i], snapshot[i - 1], 1.0);
+    }
+    cur
+}
+
+fn ladner_fischer(nl: &mut Netlist, inputs: &[GgpWires]) -> Vec<GgpWires> {
+    // Sklansky over the odd positions (after the same pre-merge as
+    // Han-Carlson), then the even fix-up level: a common Ladner-Fischer
+    // realization with fanout halved relative to plain Sklansky.
+    let n = inputs.len();
+    let mut cur = inputs.to_vec();
+    for i in (1..n).step_by(2) {
+        cur[i] = combine_spanned(nl, cur[i], cur[i - 1], 1.0);
+    }
+    // Sklansky on indices {1, 3, 5, …} — treat odd index i as rank (i−1)/2.
+    let ranks = n / 2;
+    let mut level = 0;
+    while (1usize << level) < ranks {
+        let block = 1usize << level;
+        let mut next = cur.clone();
+        for r in 0..ranks {
+            if (r / block) % 2 == 1 {
+                let j = (r / block) * block - 1; // rank of the feeding prefix
+                let i = 2 * r + 1;
+                let src = 2 * j + 1;
+                next[i] = combine_spanned(nl, cur[i], cur[src], (i - src) as f64);
+            }
+        }
+        cur = next;
+        level += 1;
+    }
+    let snapshot = cur.clone();
+    for i in (2..n).step_by(2) {
+        cur[i] = combine_spanned(nl, snapshot[i], snapshot[i - 1], 1.0);
+    }
+    cur
+}
+
+fn serial(nl: &mut Netlist, inputs: &[GgpWires]) -> Vec<GgpWires> {
+    let mut out = Vec::with_capacity(inputs.len());
+    let mut acc = inputs[0];
+    out.push(acc);
+    for &inp in &inputs[1..] {
+        acc = combine_spanned(nl, inp, acc, 1.0);
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ggp::input_ggp;
+    use crate::tree::reference_ggp;
+    use gomil_netlist::Netlist;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const ALL_KINDS: [PrefixNetworkKind; 6] = [
+        PrefixNetworkKind::KoggeStone,
+        PrefixNetworkKind::Sklansky,
+        PrefixNetworkKind::BrentKung,
+        PrefixNetworkKind::HanCarlson,
+        PrefixNetworkKind::LadnerFischer,
+        PrefixNetworkKind::Serial,
+    ];
+
+    /// Random two-row shapes and values for every width 1..=17 and every
+    /// network kind, cross-checked against the boolean reference fold.
+    #[test]
+    fn every_network_computes_every_prefix() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in 1..=17usize {
+            for kind in ALL_KINDS {
+                // Random column shapes: height 1 or 2.
+                let heights: Vec<u32> = (0..n).map(|_| rng.gen_range(1..=2)).collect();
+                let nbits: usize = heights.iter().sum::<u32>() as usize;
+                let mut nl = Netlist::new("t");
+                let bits = nl.add_input("x", nbits);
+                let mut inputs = Vec::new();
+                let mut idx = Vec::new(); // (bit offset, height) per column
+                let mut off = 0;
+                for &h in &heights {
+                    let col: Vec<_> = (0..h as usize).map(|k| bits[off + k]).collect();
+                    inputs.push(input_ggp(&mut nl, &col));
+                    idx.push((off, h));
+                    off += h as usize;
+                }
+                let carries = all_carries(&mut nl, &inputs, kind);
+                assert_eq!(carries.len(), n);
+                let g_nets: Vec<_> = carries
+                    .iter()
+                    .map(|c| c.g_or_const0(&mut nl))
+                    .collect();
+                let p_nets: Vec<_> = carries.iter().map(|c| c.p).collect();
+                nl.add_output("g", g_nets);
+                nl.add_output("p", p_nets);
+
+                for _ in 0..16 {
+                    let val: u128 = rng.gen::<u64>() as u128 & ((1 << nbits) - 1);
+                    let words: Vec<Vec<u64>> = vec![(0..nbits)
+                        .map(|i| ((val >> i) & 1) as u64)
+                        .collect()];
+                    let sim = nl.simulate(&words);
+                    let row_a: Vec<Option<bool>> = idx
+                        .iter()
+                        .map(|&(o, _)| Some((val >> o) & 1 == 1))
+                        .collect();
+                    let row_b: Vec<Option<bool>> = idx
+                        .iter()
+                        .map(|&(o, h)| {
+                            if h == 2 {
+                                Some((val >> (o + 1)) & 1 == 1)
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    let gp = nl.outputs();
+                    for i in 0..n {
+                        let got_g = sim.bus_lane(&gp[0].bits, 0) >> i & 1 == 1;
+                        let got_p = sim.bus_lane(&gp[1].bits, 0) >> i & 1 == 1;
+                        let (rg, rp) = reference_ggp(&row_a, &row_b, i, 0);
+                        assert_eq!(got_g, rg, "{}: n={n} i={i} G", kind.label());
+                        assert_eq!(got_p, rp, "{}: n={n} i={i} P", kind.label());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn han_carlson_uses_fewer_nodes_than_kogge_stone() {
+        let count = |kind: PrefixNetworkKind| {
+            let mut nl = Netlist::new("t");
+            let bits = nl.add_input("x", 64);
+            let inputs: Vec<_> = (0..32)
+                .map(|i| input_ggp(&mut nl, &[bits[2 * i], bits[2 * i + 1]]))
+                .collect();
+            let carries = all_carries(&mut nl, &inputs, kind);
+            let outs: Vec<_> = carries.iter().map(|c| c.g_or_const0(&mut nl)).collect();
+            nl.add_output("c", outs);
+            nl.num_gates()
+        };
+        assert!(count(PrefixNetworkKind::HanCarlson) < count(PrefixNetworkKind::KoggeStone));
+        assert!(count(PrefixNetworkKind::LadnerFischer) < count(PrefixNetworkKind::KoggeStone));
+    }
+
+    #[test]
+    fn kogge_stone_is_shallowest_brent_kung_smallest() {
+        let build = |kind: PrefixNetworkKind| {
+            let mut nl = Netlist::new("t");
+            let bits = nl.add_input("x", 32);
+            let inputs: Vec<_> = (0..16)
+                .map(|i| input_ggp(&mut nl, &[bits[2 * i], bits[2 * i + 1]]))
+                .collect();
+            let carries = all_carries(&mut nl, &inputs, kind);
+            let outs: Vec<_> = carries.iter().map(|c| c.g_or_const0(&mut nl)).collect();
+            nl.add_output("c", outs);
+            (nl.critical_delay(), nl.area())
+        };
+        let (ks_d, ks_a) = build(PrefixNetworkKind::KoggeStone);
+        let (sk_d, sk_a) = build(PrefixNetworkKind::Sklansky);
+        let (bk_d, bk_a) = build(PrefixNetworkKind::BrentKung);
+        let (se_d, se_a) = build(PrefixNetworkKind::Serial);
+        assert!(ks_d <= sk_d + 1e-9 && ks_d <= bk_d && ks_d < se_d);
+        assert!(bk_a < ks_a, "brent-kung {bk_a} should be smaller than kogge-stone {ks_a}");
+        assert!(se_a <= bk_a + 1e-9);
+        assert!(sk_a < ks_a);
+    }
+}

@@ -1,0 +1,522 @@
+//! Carry-propagation adders over irregular two-row operands.
+//!
+//! The CT hands the CPA a matrix whose columns hold one *or* two bits —
+//! the irregular shape that Section III-B of the paper exploits. This
+//! module realizes the final sum four ways:
+//!
+//! * [`rca_sum`] — ripple-carry chain (`Wal-RCA` baselines);
+//! * [`prefix_sum`] — a classic all-carry network (Kogge-Stone etc.) plus
+//!   the sum XOR row;
+//! * [`ppf_csl_sum`] — the paper's chosen architecture [14]: an optimized
+//!   prefix *tree* supplies carries at its right-spine boundaries and
+//!   carry-select blocks (CSL) produce the in-between sum bits; the
+//!   carry-select-and-skip variant (CSSA, [10]) bounds the internal ripple
+//!   of long blocks.
+//!
+//! Every adder returns `width + 1` sum bits (the top bit is the carry out)
+//! and is verified against integer addition by simulation.
+
+use crate::classic::{all_carries, PrefixNetworkKind};
+use crate::ggp::{combine_spanned, input_ggp, GgpWires};
+use gomil_netlist::GateKind;
+use crate::tree::PrefixTree;
+use gomil_arith::BitMatrix;
+use gomil_netlist::{NetId, Netlist};
+
+/// The final-sum architecture of a carry-select block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SelectStyle {
+    /// Plain ripple from the block carry (no selection).
+    Ripple,
+    /// Carry select (CSL): conditional sums for carry-in 0/1, one mux row.
+    #[default]
+    Select,
+    /// Carry select and skip (CSSA): sub-blocks of bounded ripple chained
+    /// by fast AO21 skip carries, then selected.
+    SelectSkip,
+}
+
+/// A two-row operand: per column an optional bit in each row.
+#[derive(Debug, Clone, Default)]
+pub struct TwoRows {
+    /// First row (columns with ≥ 1 bit).
+    pub a: Vec<Option<NetId>>,
+    /// Second row (columns with 2 bits).
+    pub b: Vec<Option<NetId>>,
+}
+
+impl TwoRows {
+    /// Extracts the rows of a reduced (height ≤ 2) bit matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column holds more than two bits.
+    pub fn from_matrix(matrix: &BitMatrix) -> TwoRows {
+        let (a, b) = matrix.two_rows();
+        TwoRows { a, b }
+    }
+
+    /// Builds the two rows of a conventional adder (`a + b`, equal widths).
+    pub fn from_operands(a: &[NetId], b: &[NetId]) -> TwoRows {
+        TwoRows {
+            a: a.iter().copied().map(Some).collect(),
+            b: b.iter().copied().map(Some).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Bits present in column `j` (0, 1, or 2 of them).
+    pub fn column(&self, j: usize) -> Vec<NetId> {
+        let mut v = Vec::with_capacity(2);
+        if let Some(x) = self.a[j] {
+            v.push(x);
+        }
+        if let Some(x) = self.b[j] {
+            v.push(x);
+        }
+        v
+    }
+
+    /// Per-column XOR (the half-sum used by every prefix-style adder).
+    fn half_sums(&self, nl: &mut Netlist) -> Vec<NetId> {
+        (0..self.width())
+            .map(|j| match (self.a[j], self.b[j]) {
+                (Some(x), Some(y)) => nl.xor(x, y),
+                (Some(x), None) | (None, Some(x)) => x,
+                (None, None) => nl.const0(),
+            })
+            .collect()
+    }
+
+    /// Per-column GGP input pairs.
+    fn ggp_inputs(&self, nl: &mut Netlist) -> Vec<GgpWires> {
+        (0..self.width())
+            .map(|j| {
+                let col = self.column(j);
+                if col.is_empty() {
+                    let p = nl.const0();
+                    GgpWires { g: None, p }
+                } else {
+                    input_ggp(nl, &col)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Ripple-carry sum; returns `width + 1` bits.
+///
+/// # Panics
+///
+/// Panics if the operand is empty.
+pub fn rca_sum(nl: &mut Netlist, rows: &TwoRows) -> Vec<NetId> {
+    let w = rows.width();
+    assert!(w > 0, "operand must be non-empty");
+    let mut out = Vec::with_capacity(w + 1);
+    let mut carry: Option<NetId> = None;
+    for j in 0..w {
+        let col = rows.column(j);
+        let (s, c) = match (col.as_slice(), carry) {
+            ([], None) => (nl.const0(), None),
+            ([], Some(ci)) => (ci, None),
+            ([x], None) => (*x, None),
+            ([x], Some(ci)) => {
+                let (s, c) = nl.half_adder(*x, ci);
+                (s, Some(c))
+            }
+            ([x, y], None) => {
+                let (s, c) = nl.half_adder(*x, *y);
+                (s, Some(c))
+            }
+            ([x, y], Some(ci)) => {
+                let (s, c) = nl.full_adder(*x, *y, ci);
+                (s, Some(c))
+            }
+            _ => unreachable!("columns have at most 2 bits"),
+        };
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry.unwrap_or_else(|| nl.const0()));
+    out
+}
+
+/// Parallel-prefix sum with the chosen all-carry network; returns
+/// `width + 1` bits.
+///
+/// # Panics
+///
+/// Panics if the operand is empty.
+pub fn prefix_sum(nl: &mut Netlist, rows: &TwoRows, kind: PrefixNetworkKind) -> Vec<NetId> {
+    let w = rows.width();
+    assert!(w > 0, "operand must be non-empty");
+    let xs = rows.half_sums(nl);
+    let inputs = rows.ggp_inputs(nl);
+    let carries = all_carries(nl, &inputs, kind);
+    let mut out = Vec::with_capacity(w + 1);
+    out.push(xs[0]);
+    for j in 1..w {
+        let c = carries[j - 1].g_or_const0(nl);
+        out.push(nl.xor(xs[j], c));
+    }
+    out.push(carries[w - 1].g_or_const0(nl));
+    out
+}
+
+/// The paper's hybrid parallel-prefix / carry-select sum: the prefix `tree`
+/// provides carries at its right-spine boundaries; `style` realizes the
+/// blocks in between. Returns `width + 1` bits.
+///
+/// # Panics
+///
+/// Panics if the operand is empty or the tree does not span
+/// `[width−1 : 0]`.
+pub fn ppf_csl_sum(
+    nl: &mut Netlist,
+    rows: &TwoRows,
+    tree: &PrefixTree,
+    style: SelectStyle,
+) -> Vec<NetId> {
+    let w = rows.width();
+    assert!(w > 0, "operand must be non-empty");
+    assert_eq!(tree.span(), (w - 1, 0), "tree must span the whole operand");
+    let xs = rows.half_sums(nl);
+    let inputs = rows.ggp_inputs(nl);
+    let (_, spine) = tree.realize(nl, &inputs);
+
+    // Spine boundaries sorted ascending; always starts at 0 (the [0:0]
+    // leaf) and ends at w−1 (the root).
+    let mut bounds: Vec<(usize, GgpWires)> = spine;
+    bounds.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(bounds.first().map(|(i, _)| *i), Some(0));
+    debug_assert_eq!(bounds.last().map(|(i, _)| *i), Some(w - 1));
+
+    let mut sum = vec![None::<NetId>; w + 1];
+    sum[0] = Some(xs[0]); // carry-in of the whole CPA is 0
+    let top_carry = bounds.last().expect("non-empty spine").1;
+    sum[w] = Some(top_carry.g_or_const0(nl));
+
+    for t in 0..bounds.len() {
+        let (lo_bound, ref cin_ggp) = bounds[t];
+        // Segment covers sum bits (lo_bound+1) ..= hi, where hi is the next
+        // boundary (or w−1 at the top).
+        let hi = if t + 1 < bounds.len() {
+            bounds[t + 1].0
+        } else {
+            w - 1
+        };
+        if hi <= lo_bound {
+            continue;
+        }
+        let cin = cin_ggp.g_or_const0(nl);
+        let cols: Vec<usize> = (lo_bound + 1..=hi).collect();
+        let bits = select_block(nl, &inputs, &xs, &cols, cin, style);
+        for (k, s) in bits.into_iter().enumerate() {
+            sum[lo_bound + 1 + k] = Some(s);
+        }
+    }
+
+    sum.into_iter()
+        .map(|s| s.expect("all sum bits covered by segments"))
+        .collect()
+}
+
+/// Produces the sum bits of `cols` given the block carry-in `cin`.
+///
+/// The per-column `(g, p)` wires are shared with the prefix tree's leaf
+/// inputs, and no carry logic is emitted past the last column of a block
+/// (the next boundary's carry comes from the tree).
+fn select_block(
+    nl: &mut Netlist,
+    ggp: &[GgpWires],
+    xs: &[NetId],
+    cols: &[usize],
+    cin: NetId,
+    style: SelectStyle,
+) -> Vec<NetId> {
+    match style {
+        SelectStyle::Ripple => ripple_block(nl, ggp, xs, cols, cin),
+        SelectStyle::Select => {
+            let (s0, s1) = conditional_sums(nl, ggp, xs, cols);
+            // The select wire fans out from the boundary carry across the
+            // whole block.
+            s0.into_iter()
+                .zip(s1)
+                .enumerate()
+                .map(|(k, (a, b))| {
+                    nl.gate_spanned(GateKind::Mux2, &[cin, a, b], &[(k + 1) as f64, 1.0, 1.0])
+                })
+                .collect()
+        }
+        SelectStyle::SelectSkip => {
+            // Carry-select-and-skip: sub-blocks of bounded internal ripple
+            // whose carry-ins come from a block-level lookahead — the
+            // sub-block (G, P) prefixes are folded in parallel *from the
+            // inputs* (a Sklansky network over the blocks), so once the
+            // segment's late carry `cin` arrives, each block pays a single
+            // AO21 plus its select mux. This is what keeps long CSLs from
+            // dominating the CPA delay (the paper's reason for CSSA, [10]).
+            const SUB: usize = 4;
+            let mut out = Vec::with_capacity(cols.len());
+            let chunks: Vec<&[usize]> = cols.chunks(SUB).collect();
+            // Block GGPs and their prefix: pre[k] = blk_k ∘ … ∘ blk_0.
+            let blocks: Vec<GgpWires> =
+                chunks.iter().map(|c| block_ggp(nl, ggp, c)).collect();
+            let pre = crate::classic::all_carries(
+                nl,
+                &blocks,
+                crate::classic::PrefixNetworkKind::Sklansky,
+            );
+            for (si, chunk) in chunks.iter().enumerate() {
+                let (s0, s1) = conditional_sums(nl, ggp, xs, chunk);
+                // Carry into this block: c = G_{pre} + P_{pre}·cin. The
+                // cin wire reaches from the segment boundary to here.
+                let reach = (si * SUB + 1) as f64;
+                let carry = if si == 0 {
+                    cin
+                } else {
+                    let p = pre[si - 1];
+                    match p.g {
+                        Some(g) => nl.gate_spanned(
+                            GateKind::Ao21,
+                            &[g, p.p, cin],
+                            &[1.0, 1.0, reach],
+                        ),
+                        None => {
+                            nl.gate_spanned(GateKind::And2, &[p.p, cin], &[1.0, reach])
+                        }
+                    }
+                };
+                for (k, (a, b)) in s0.into_iter().zip(s1).enumerate() {
+                    out.push(nl.gate_spanned(
+                        GateKind::Mux2,
+                        &[carry, a, b],
+                        &[(k + 1) as f64, 1.0, 1.0],
+                    ));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Ripple chain over `cols` with explicit carry-in; returns the sum bits.
+/// Carries ride the shared `(g, p)` wires: `c' = g + p·c`.
+fn ripple_block(
+    nl: &mut Netlist,
+    ggp: &[GgpWires],
+    xs: &[NetId],
+    cols: &[usize],
+    cin: NetId,
+) -> Vec<NetId> {
+    let mut out = Vec::with_capacity(cols.len());
+    let mut carry = cin;
+    for (idx, &j) in cols.iter().enumerate() {
+        out.push(nl.xor(xs[j], carry));
+        if idx + 1 < cols.len() {
+            carry = match ggp[j].g {
+                Some(g) => nl.ao21(g, ggp[j].p, carry),
+                None => nl.and(ggp[j].p, carry),
+            };
+        }
+    }
+    out
+}
+
+/// Conditional sums of `cols` for carry-in 0 and 1, sharing the column
+/// `(g, p)` wires; no carry logic after the last column.
+fn conditional_sums(
+    nl: &mut Netlist,
+    ggp: &[GgpWires],
+    xs: &[NetId],
+    cols: &[usize],
+) -> (Vec<NetId>, Vec<NetId>) {
+    let mut s0 = Vec::with_capacity(cols.len());
+    let mut s1 = Vec::with_capacity(cols.len());
+    // Carries of the cin = 0 and cin = 1 chains; `None` encodes the
+    // constant (0 for c0, 1 for c1).
+    let mut c0: Option<NetId> = None;
+    let mut c1: Option<NetId> = None;
+    for (idx, &j) in cols.iter().enumerate() {
+        let x = xs[j];
+        match c0 {
+            None => s0.push(x),
+            Some(c) => s0.push(nl.xor(x, c)),
+        }
+        match c1 {
+            None => s1.push(nl.not(x)),
+            Some(c) => s1.push(nl.xor(x, c)),
+        }
+        if idx + 1 == cols.len() {
+            break;
+        }
+        let (g, p) = (ggp[j].g, ggp[j].p);
+        c0 = match (g, c0) {
+            (None, None) => None,
+            (Some(gc), None) => Some(gc),
+            (None, Some(c)) => Some(nl.and(p, c)),
+            (Some(gc), Some(c)) => Some(nl.ao21(gc, p, c)),
+        };
+        c1 = match (g, c1) {
+            (None, None) => Some(p),
+            (Some(gc), None) => Some(nl.or(gc, p)),
+            (None, Some(c)) => Some(nl.and(p, c)),
+            (Some(gc), Some(c)) => Some(nl.ao21(gc, p, c)),
+        };
+    }
+    (s0, s1)
+}
+
+/// Group `(G, P)` of a set of columns, folded serially over the shared
+/// column wires (blocks are short).
+fn block_ggp(nl: &mut Netlist, ggp: &[GgpWires], cols: &[usize]) -> GgpWires {
+    let mut acc: Option<GgpWires> = None;
+    for &j in cols {
+        acc = Some(match acc {
+            None => ggp[j],
+            Some(lo) => combine_spanned(nl, ggp[j], lo, 1.0),
+        });
+    }
+    acc.expect("non-empty block")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a random irregular two-row operand of width `w`, returns the
+    /// netlist inputs and a closure-friendly shape description.
+    fn random_rows(nl: &mut Netlist, w: usize, rng: &mut StdRng) -> (TwoRows, Vec<u32>) {
+        let heights: Vec<u32> = (0..w).map(|_| rng.gen_range(1..=2)).collect();
+        let nbits: usize = heights.iter().sum::<u32>() as usize;
+        let bits = nl.add_input("x", nbits);
+        let mut rows = TwoRows::default();
+        let mut off = 0;
+        for &h in &heights {
+            rows.a.push(Some(bits[off]));
+            rows.b.push(if h == 2 { Some(bits[off + 1]) } else { None });
+            off += h as usize;
+        }
+        (rows, heights)
+    }
+
+    /// The integer value the operand represents for input word `val`.
+    fn expected_sum(heights: &[u32], val: u128) -> u128 {
+        let mut acc = 0u128;
+        let mut off = 0;
+        for (j, &h) in heights.iter().enumerate() {
+            for k in 0..h {
+                if (val >> (off + k as usize)) & 1 == 1 {
+                    acc += 1 << j;
+                }
+            }
+            off += h as usize;
+        }
+        acc
+    }
+
+    fn check_adder<F>(build: F, seed: u64)
+    where
+        F: Fn(&mut Netlist, &TwoRows) -> Vec<NetId>,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for w in 1..=14usize {
+            let mut nl = Netlist::new("t");
+            let (rows, heights) = random_rows(&mut nl, w, &mut rng);
+            let sum = build(&mut nl, &rows);
+            assert_eq!(sum.len(), w + 1);
+            nl.add_output("s", sum);
+            let nbits: usize = heights.iter().sum::<u32>() as usize;
+            for _ in 0..40 {
+                let val = (rng.gen::<u128>()) & ((1 << nbits) - 1);
+                let got = nl.eval_ints(&[val], "s");
+                assert_eq!(got, expected_sum(&heights, val), "w={w} val={val:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rca_matches_integer_addition() {
+        check_adder(|nl, r| rca_sum(nl, r), 1);
+    }
+
+    #[test]
+    fn kogge_stone_matches_integer_addition() {
+        check_adder(|nl, r| prefix_sum(nl, r, PrefixNetworkKind::KoggeStone), 2);
+    }
+
+    #[test]
+    fn sklansky_matches_integer_addition() {
+        check_adder(|nl, r| prefix_sum(nl, r, PrefixNetworkKind::Sklansky), 3);
+    }
+
+    #[test]
+    fn brent_kung_matches_integer_addition() {
+        check_adder(|nl, r| prefix_sum(nl, r, PrefixNetworkKind::BrentKung), 4);
+    }
+
+    #[test]
+    fn ppf_csl_matches_integer_addition_all_styles() {
+        for (seed, style) in [
+            (5, SelectStyle::Ripple),
+            (6, SelectStyle::Select),
+            (7, SelectStyle::SelectSkip),
+        ] {
+            check_adder(
+                move |nl, r| {
+                    let tree = PrefixTree::balanced(r.width());
+                    ppf_csl_sum(nl, r, &tree, style)
+                },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn ppf_with_serial_tree_matches_too() {
+        check_adder(
+            |nl, r| {
+                let tree = PrefixTree::serial(r.width());
+                ppf_csl_sum(nl, r, &tree, SelectStyle::Select)
+            },
+            8,
+        );
+    }
+
+    #[test]
+    fn ppf_with_dp_optimal_tree_matches() {
+        use crate::dp::optimize_prefix_tree;
+        check_adder(
+            |nl, r| {
+                let leaf_b: Vec<bool> = (0..r.width()).map(|j| r.b[j].is_some()).collect();
+                let tree = optimize_prefix_tree(&leaf_b, 8.0).tree;
+                ppf_csl_sum(nl, r, &tree, SelectStyle::SelectSkip)
+            },
+            9,
+        );
+    }
+
+    #[test]
+    fn prefix_adders_are_faster_than_rca_at_width() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut nl_r = Netlist::new("rca");
+        let (rows_r, _) = random_rows(&mut nl_r, 32, &mut rng);
+        let s = rca_sum(&mut nl_r, &rows_r);
+        nl_r.add_output("s", s);
+
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut nl_k = Netlist::new("ks");
+        let (rows_k, _) = random_rows(&mut nl_k, 32, &mut rng);
+        let s = prefix_sum(&mut nl_k, &rows_k, PrefixNetworkKind::KoggeStone);
+        nl_k.add_output("s", s);
+
+        assert!(nl_k.critical_delay() < 0.55 * nl_r.critical_delay());
+        assert!(nl_k.area() > nl_r.area()); // the classic area cost of KS
+    }
+}

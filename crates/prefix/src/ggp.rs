@@ -1,0 +1,257 @@
+//! Group generate/propagate (GGP) algebra.
+//!
+//! Implements Section II-B / III-B of the paper: GGP pairs, the `∘`
+//! operator, the two input-node types (■ for 2-bit columns, □ for 1-bit
+//! columns) and the four internal-node types (○, ▲, △, ●) that arise when
+//! one or both operands have a constant-zero generate signal. The
+//! `b`-flag of a pair (`G` is constant 0 vs. a real signal) is represented
+//! structurally: [`GgpWires::g`] is `None` exactly when `b = 0`, so the
+//! cheapest node degeneration is applied automatically.
+//!
+//! The module also exposes the paper's Table I cost model, which the DP
+//! optimizer and the IP formulation share.
+
+use gomil_netlist::{NetId, Netlist};
+
+/// Area of an input node per Table I: `A(b) = 2b`.
+pub fn input_area(b: bool) -> f64 {
+    if b {
+        2.0
+    } else {
+        0.0
+    }
+}
+
+/// Delay of an input node per Table I: `D(b) = b`.
+pub fn input_delay(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Area of an internal node per Table I / Eq. (13):
+/// `A(b₁, b₂) = b₁·b₂ + b₂ + 1` where `b₁` types the upper (more
+/// significant) operand and `b₂` the lower.
+pub fn internal_area(b_hi: bool, b_lo: bool) -> f64 {
+    (u8::from(b_hi && b_lo) + u8::from(b_lo) + 1) as f64
+}
+
+/// Delay of an internal node per Table I / Eq. (13): `D = b₁·b₂ + 1`.
+pub fn internal_delay(b_hi: bool, b_lo: bool) -> f64 {
+    (u8::from(b_hi && b_lo) + 1) as f64
+}
+
+/// The `b` flag of a combined pair (Eq. 11): boolean OR.
+pub fn combined_b(b_hi: bool, b_lo: bool) -> bool {
+    b_hi || b_lo
+}
+
+/// A GGP pair as wires: `g = None` encodes the `b = 0` type (generate is
+/// the constant 0 and costs nothing to keep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GgpWires {
+    /// Group generate, absent when constantly 0.
+    pub g: Option<NetId>,
+    /// Group propagate.
+    pub p: NetId,
+}
+
+impl GgpWires {
+    /// The type flag `b` of this pair.
+    pub fn b(&self) -> bool {
+        self.g.is_some()
+    }
+
+    /// The generate wire, materializing a constant 0 when absent.
+    pub fn g_or_const0(&self, nl: &mut Netlist) -> NetId {
+        match self.g {
+            Some(g) => g,
+            None => nl.const0(),
+        }
+    }
+}
+
+/// Builds the input node for a column holding one or two bits.
+///
+/// * two bits `(u, v)` → ■: `(g, p) = (u·v, u+v)` (2 gates);
+/// * one bit `v` → □: `(g, p) = (0, v)` (free).
+///
+/// # Panics
+///
+/// Panics if the column holds zero or more than two bits.
+pub fn input_ggp(nl: &mut Netlist, column: &[NetId]) -> GgpWires {
+    match column {
+        [v] => GgpWires { g: None, p: *v },
+        [u, v] => GgpWires {
+            g: Some(nl.and(*u, *v)),
+            p: nl.or(*u, *v),
+        },
+        _ => panic!(
+            "prefix input column must hold 1 or 2 bits, got {}",
+            column.len()
+        ),
+    }
+}
+
+/// Applies the `∘` operator: `(G,P) = (G_hi + P_hi·G_lo, P_hi·P_lo)`,
+/// instantiating only the gates the operand types require (the ○/▲/△/●
+/// degenerations of the paper).
+pub fn combine(nl: &mut Netlist, hi: GgpWires, lo: GgpWires) -> GgpWires {
+    combine_spanned(nl, hi, lo, 1.0)
+}
+
+/// Like [`combine`], declaring that the *lower* operand's wires span
+/// `span` bit-column pitches (e.g. the level distance of a Kogge-Stone
+/// node; the node sits at the upper operand's position), so the
+/// timing/power models charge the corresponding wire capacitance.
+pub fn combine_spanned(nl: &mut Netlist, hi: GgpWires, lo: GgpWires, span: f64) -> GgpWires {
+    use gomil_netlist::GateKind;
+    let p = nl.gate_spanned(GateKind::And2, &[hi.p, lo.p], &[1.0, span]);
+    let g = match (hi.g, lo.g) {
+        (None, None) => None, // ○
+        (None, Some(gl)) => {
+            Some(nl.gate_spanned(GateKind::And2, &[hi.p, gl], &[1.0, span])) // ▲
+        }
+        (Some(gh), None) => Some(gh), // △ (generate passes through)
+        (Some(gh), Some(gl)) => {
+            let t = nl.gate_spanned(GateKind::And2, &[hi.p, gl], &[1.0, span]);
+            Some(nl.gate_spanned(GateKind::Or2, &[gh, t], &[1.0, 1.0])) // ●
+        }
+    };
+    GgpWires { g, p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_areas_and_delays() {
+        // Input nodes.
+        assert_eq!(input_area(false), 0.0);
+        assert_eq!(input_area(true), 2.0);
+        assert_eq!(input_delay(false), 0.0);
+        assert_eq!(input_delay(true), 1.0);
+        // Internal nodes, rows of Table I: (b_hi, b_lo) -> (area, delay).
+        assert_eq!(
+            (internal_area(false, false), internal_delay(false, false)),
+            (1.0, 1.0) // ○
+        );
+        assert_eq!(
+            (internal_area(false, true), internal_delay(false, true)),
+            (2.0, 1.0) // ▲
+        );
+        assert_eq!(
+            (internal_area(true, false), internal_delay(true, false)),
+            (1.0, 1.0) // △
+        );
+        assert_eq!(
+            (internal_area(true, true), internal_delay(true, true)),
+            (3.0, 2.0) // ●
+        );
+    }
+
+    #[test]
+    fn combined_b_is_boolean_or() {
+        // Eq. (11): b = b1 + b2 − b1·b2.
+        for b1 in [false, true] {
+            for b2 in [false, true] {
+                let expect = (b1 as i32) + (b2 as i32) - (b1 as i32) * (b2 as i32) == 1;
+                assert_eq!(combined_b(b1, b2), expect);
+            }
+        }
+    }
+
+    /// Behavioral reference: computes (G, P) over a two-row bit range by
+    /// folding the ∘ operator on booleans.
+    fn reference_gp(cols: &[(bool, Option<bool>)]) -> (bool, bool) {
+        // cols LSB-first; returns (G, P) over the whole range.
+        let mut acc: Option<(bool, bool)> = None;
+        for &(x, y) in cols {
+            let (g, p) = match y {
+                Some(y) => (x && y, x || y),
+                None => (false, x),
+            };
+            acc = Some(match acc {
+                None => (g, p),
+                // acc is the LOWER part; new column is MORE significant.
+                Some((gl, pl)) => (g || (p && gl), p && pl),
+            });
+        }
+        acc.unwrap()
+    }
+
+    #[test]
+    fn combine_matches_boolean_semantics_exhaustively() {
+        // Three columns with mixed 1-bit/2-bit shapes, all input values.
+        for shape in 0..8u32 {
+            let shapes: Vec<bool> = (0..3).map(|i| (shape >> i) & 1 == 1).collect();
+            let nbits: usize = shapes.iter().map(|&two| if two { 2 } else { 1 }).sum();
+            for val in 0..(1u32 << nbits) {
+                let mut nl = Netlist::new("t");
+                let bits = nl.add_input("x", nbits);
+                let mut cols = Vec::new();
+                let mut ref_cols = Vec::new();
+                let mut idx = 0;
+                for &two in &shapes {
+                    if two {
+                        cols.push(vec![bits[idx], bits[idx + 1]]);
+                        ref_cols.push((
+                            (val >> idx) & 1 == 1,
+                            Some((val >> (idx + 1)) & 1 == 1),
+                        ));
+                        idx += 2;
+                    } else {
+                        cols.push(vec![bits[idx]]);
+                        ref_cols.push(((val >> idx) & 1 == 1, None));
+                        idx += 1;
+                    }
+                }
+                let ggps: Vec<GgpWires> =
+                    cols.iter().map(|c| input_ggp(&mut nl, c)).collect();
+                // Fold: hi = column 2, lo = columns [0..1] folded.
+                let lo = combine(&mut nl, ggps[1], ggps[0]);
+                let root = combine(&mut nl, ggps[2], lo);
+                let g_net = root.g_or_const0(&mut nl);
+                nl.add_output("gp", vec![g_net, root.p]);
+                let out = nl.eval_ints(&[val as u128], "gp");
+                let (rg, rp) = reference_gp(&ref_cols);
+                assert_eq!(out & 1 == 1, rg, "G mismatch shape={shape:03b} val={val:b}");
+                assert_eq!((out >> 1) & 1 == 1, rp, "P mismatch shape={shape:03b} val={val:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_nodes_use_fewer_gates() {
+        // ● costs more gates than ○.
+        let mut nl1 = Netlist::new("t1");
+        let x = nl1.add_input("x", 4);
+        let a = input_ggp(&mut nl1, &[x[0], x[1]]);
+        let b = input_ggp(&mut nl1, &[x[2], x[3]]);
+        let before = nl1.num_gates();
+        combine(&mut nl1, a, b);
+        let full_cost = nl1.num_gates() - before;
+
+        let mut nl2 = Netlist::new("t2");
+        let y = nl2.add_input("y", 2);
+        let a = input_ggp(&mut nl2, &[y[0]]);
+        let b = input_ggp(&mut nl2, &[y[1]]);
+        let before = nl2.num_gates();
+        combine(&mut nl2, a, b);
+        let degenerate_cost = nl2.num_gates() - before;
+
+        assert_eq!(full_cost, 3); // AND + OR for g, AND for p: the ● node
+        assert_eq!(degenerate_cost, 1); // the ○ node: single AND
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 2 bits")]
+    fn input_ggp_rejects_tall_columns() {
+        let mut nl = Netlist::new("t");
+        let x = nl.add_input("x", 3);
+        input_ggp(&mut nl, &x);
+    }
+}

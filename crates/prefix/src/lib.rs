@@ -1,0 +1,47 @@
+//! # gomil-prefix — prefix structures and final adders
+//!
+//! The CPA side of the GOMIL reproduction (Sections II-B and III-B of the
+//! paper):
+//!
+//! * [`GgpWires`] and [`combine`] — the generate/propagate `∘` algebra with
+//!   the typed-node degenerations of Table I (a structurally-absent
+//!   generate wire *is* the `b = 0` type);
+//! * [`PrefixTree`] — binary interval trees with the paper's cost model and
+//!   netlist realization (right-spine carries included);
+//! * [`optimize_prefix_tree`] — the exact interval DP of Eqs. 14–16;
+//! * [`all_carries`] — classic Kogge-Stone / Sklansky / Brent-Kung / serial
+//!   networks;
+//! * [`rca_sum`], [`prefix_sum`], [`ppf_csl_sum`] — complete final adders
+//!   over irregular two-row operands, including the paper's hybrid
+//!   parallel-prefix/carry-select architecture with CSL or CSSA blocks.
+//!
+//! ## Example: optimize and realize the paper's Example 1
+//!
+//! ```
+//! use gomil_prefix::{leaf_types, optimize_prefix_tree};
+//!
+//! // Input BCV [2,2,1,2,1,1] (paper order, MSB first) → LSB-first heights.
+//! let b = leaf_types(&[1, 1, 2, 1, 2, 2]);
+//! let sol = optimize_prefix_tree(&b, 8.0);
+//! assert!(sol.delay <= 5.0); // beats Fig. 2(a)'s delay of 6
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classic;
+mod cpa;
+mod dp;
+mod ggp;
+mod pareto;
+mod tree;
+
+pub use classic::{all_carries, PrefixNetworkKind};
+pub use cpa::{ppf_csl_sum, prefix_sum, rca_sum, SelectStyle, TwoRows};
+pub use dp::{dp_tables, dp_tables_with_arrivals, optimize_prefix_tree, optimize_prefix_tree_with_arrivals, DpSolution, DpTables};
+pub use pareto::{pareto_prefix_front, ParetoPoint};
+pub use ggp::{
+    combine, combined_b, input_area, input_delay, input_ggp, internal_area, internal_delay,
+    GgpWires,
+};
+pub use tree::{leaf_types, reference_ggp, PrefixTree, TreeCost};

@@ -1,0 +1,227 @@
+//! Exact area-delay Pareto fronts for prefix trees.
+//!
+//! The paper co-minimizes `A + w·D` for one weight at a time; sweeping `w`
+//! only reaches the *lower convex hull* of the trade-off curve. This
+//! module upgrades the interval DP to carry the full set of non-dominated
+//! `(delay, area)` pairs per interval, so the complete Pareto front —
+//! including non-convex points no weight can select — is available.
+//!
+//! Complexity is `O(n⁵)` worst case (front sizes are bounded by the delay
+//! range, which is `O(len)`); practical up to the m = 32 multiplier width
+//! (63 columns) in well under a second.
+
+use crate::ggp::{combined_b, input_area, input_delay, internal_area, internal_delay};
+use crate::tree::PrefixTree;
+
+/// One non-dominated point of an interval's trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Point {
+    delay: f64,
+    area: f64,
+    /// Cut point (0 for leaves).
+    cut: usize,
+    /// Index into the hi child's front (unused for leaves).
+    hi: u32,
+    /// Index into the lo child's front.
+    lo: u32,
+}
+
+/// A full interval front, sorted by increasing delay / decreasing area.
+#[derive(Debug, Clone, Default)]
+struct Front {
+    points: Vec<Point>,
+    b: bool,
+}
+
+/// One entry of the final Pareto front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Tree delay under the paper's Table I model.
+    pub delay: f64,
+    /// Tree area under the paper's Table I model.
+    pub area: f64,
+    /// A tree achieving exactly this point.
+    pub tree: PrefixTree,
+}
+
+/// Computes the exact Pareto front of prefix trees over `[n−1:0]` for leaf
+/// types `leaf_b`, sorted by increasing delay.
+///
+/// # Panics
+///
+/// Panics if `leaf_b` is empty.
+pub fn pareto_prefix_front(leaf_b: &[bool]) -> Vec<ParetoPoint> {
+    let n = leaf_b.len();
+    assert!(n > 0, "need at least one column");
+
+    // fronts[i][j] for j ≤ i, keyed as i*n + j.
+    let mut fronts: Vec<Front> = vec![Front::default(); n * n];
+    for (i, &b) in leaf_b.iter().enumerate() {
+        fronts[i * n + i] = Front {
+            points: vec![Point {
+                delay: input_delay(b),
+                area: input_area(b),
+                cut: 0,
+                hi: 0,
+                lo: 0,
+            }],
+            b,
+        };
+    }
+
+    for len in 1..n {
+        for j in 0..n - len {
+            let i = j + len;
+            let mut candidates: Vec<Point> = Vec::new();
+            for k in j + 1..=i {
+                let hi = &fronts[i * n + k];
+                let lo = &fronts[(k - 1) * n + j];
+                let na = internal_area(hi.b, lo.b);
+                let nd = internal_delay(hi.b, lo.b);
+                for (hidx, hp) in hi.points.iter().enumerate() {
+                    for (lidx, lp) in lo.points.iter().enumerate() {
+                        candidates.push(Point {
+                            delay: hp.delay.max(lp.delay) + nd,
+                            area: hp.area + lp.area + na,
+                            cut: k,
+                            hi: hidx as u32,
+                            lo: lidx as u32,
+                        });
+                    }
+                }
+            }
+            // Non-dominated filter: sort by (delay, area); keep strictly
+            // improving areas.
+            candidates.sort_by(|a, b| {
+                a.delay
+                    .partial_cmp(&b.delay)
+                    .unwrap()
+                    .then(a.area.partial_cmp(&b.area).unwrap())
+            });
+            let mut kept: Vec<Point> = Vec::new();
+            for c in candidates {
+                match kept.last() {
+                    Some(last) if c.area >= last.area - 1e-12 => {
+                        // Same or worse area at same-or-later delay.
+                        if (c.delay - last.delay).abs() < 1e-12 && c.area < last.area {
+                            kept.pop();
+                            kept.push(c);
+                        }
+                    }
+                    _ => kept.push(c),
+                }
+            }
+            let b = combined_b(fronts[i * n + i].b, fronts[(i - 1) * n + j].b);
+            fronts[i * n + j] = Front { points: kept, b };
+        }
+    }
+
+    let root = &fronts[(n - 1) * n];
+    root.points
+        .iter()
+        .enumerate()
+        .map(|(idx, p)| ParetoPoint {
+            delay: p.delay,
+            area: p.area,
+            tree: rebuild(&fronts, n, n - 1, 0, idx),
+        })
+        .collect()
+}
+
+fn rebuild(fronts: &[Front], n: usize, i: usize, j: usize, idx: usize) -> PrefixTree {
+    if i == j {
+        return PrefixTree::leaf(i);
+    }
+    let p = fronts[i * n + j].points[idx];
+    PrefixTree::node(
+        rebuild(fronts, n, i, p.cut, p.hi as usize),
+        rebuild(fronts, n, p.cut - 1, j, p.lo as usize),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::optimize_prefix_tree;
+
+    #[test]
+    fn front_points_are_mutually_non_dominated_and_exact() {
+        let leaf: Vec<bool> = vec![false, false, true, false, true, true]; // Example 1
+        let front = pareto_prefix_front(&leaf);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[1].delay > w[0].delay);
+            assert!(w[1].area < w[0].area);
+        }
+        // Every point's tree must cost exactly what the front claims.
+        for p in &front {
+            let c = p.tree.cost(&leaf);
+            assert_eq!((c.area, c.delay), (p.area, p.delay));
+        }
+        // The paper's Fig. 2(b) point (16, 5) must be on or dominated by
+        // the front; and the w = 0 optimum (minimum area) is its last
+        // entry.
+        assert!(front
+            .iter()
+            .any(|p| p.delay <= 5.0 && p.area <= 16.0));
+    }
+
+    #[test]
+    fn weighted_optima_lie_on_the_front() {
+        let leaf: Vec<bool> = (0..12).map(|i| i % 3 != 1).collect();
+        let front = pareto_prefix_front(&leaf);
+        for w in [0.0, 0.5, 1.0, 2.0, 8.0, 64.0] {
+            let sol = optimize_prefix_tree(&leaf, w);
+            let best_on_front = front
+                .iter()
+                .map(|p| p.area + w * p.delay)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (sol.cost - best_on_front).abs() < 1e-9,
+                "w={w}: weighted {} vs front {best_on_front}",
+                sol.cost
+            );
+        }
+    }
+
+    #[test]
+    fn front_can_hold_non_convex_points() {
+        // With all-equal leaves the curve is usually convex, but the front
+        // must at minimum contain both extremes: min delay and min area.
+        let leaf = vec![true; 10];
+        let front = pareto_prefix_front(&leaf);
+        let min_delay = optimize_prefix_tree(&leaf, 1e6);
+        let min_area = optimize_prefix_tree(&leaf, 0.0);
+        assert_eq!(front.first().unwrap().delay, min_delay.delay);
+        assert_eq!(front.last().unwrap().area, min_area.area);
+    }
+
+    #[test]
+    fn production_size_front_is_tractable() {
+        // 63 columns = the m = 32 multiplier. (The front can be small —
+        // even a single point when the minimum area is reachable at the
+        // minimum delay — but its extremes must match the weighted DP.)
+        let leaf: Vec<bool> = (0..63).map(|i| i % 2 == 0).collect();
+        let front = pareto_prefix_front(&leaf);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[1].delay > w[0].delay && w[1].area < w[0].area);
+        }
+        let min_delay = optimize_prefix_tree(&leaf, 1e6);
+        let min_area = optimize_prefix_tree(&leaf, 0.0);
+        assert_eq!(front.first().unwrap().delay, min_delay.delay);
+        assert_eq!(front.last().unwrap().area, min_area.area);
+    }
+
+    #[test]
+    fn example_1_front_is_exactly_two_points() {
+        // The paper's Example 1 BCV: the complete trade-off curve is
+        // {(delay 5, area 16), (delay 6, area 15)} — note the weighted DP
+        // at w = 0 reports (8, 15) because it does not tie-break delay;
+        // only the Pareto DP exposes the true curve.
+        let leaf = vec![false, false, true, false, true, true];
+        let front = pareto_prefix_front(&leaf);
+        let pts: Vec<(f64, f64)> = front.iter().map(|p| (p.delay, p.area)).collect();
+        assert_eq!(pts, vec![(5.0, 16.0), (6.0, 15.0)]);
+    }
+}

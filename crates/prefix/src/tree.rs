@@ -1,0 +1,499 @@
+//! Prefix trees over column intervals.
+//!
+//! A [`PrefixTree`] is a binary tree producing the GGP pair of an interval
+//! `[i:j]` from the pairs of `[i:k]` and `[k−1:j]` (Eq. 1); the cut points
+//! `k` are what the paper's DP / IP optimizes. The tree can be costed under
+//! the paper's Table I model and realized into gates, and its right spine
+//! yields the carries `c_t = G_{t:0}` that the PPF/CSL adder consumes.
+
+use crate::ggp::{
+    combine_spanned, combined_b, input_area, input_delay, internal_area, internal_delay,
+    GgpWires,
+};
+use gomil_netlist::Netlist;
+#[cfg(test)]
+use gomil_netlist::NetId;
+use std::fmt;
+
+/// A prefix tree producing the GGP pair of one column interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixTree {
+    /// A single column `[i:i]` (an input node).
+    Leaf {
+        /// Column index.
+        col: usize,
+    },
+    /// An internal node combining `[i:k]` (hi) with `[k−1:j]` (lo).
+    Node {
+        /// Upper sub-interval.
+        hi: Box<PrefixTree>,
+        /// Lower sub-interval.
+        lo: Box<PrefixTree>,
+    },
+}
+
+/// Paper-model cost of a tree: `(area, delay, b)` per Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeCost {
+    /// Total node area.
+    pub area: f64,
+    /// Critical-path node delay.
+    pub delay: f64,
+    /// Output pair type flag.
+    pub b: bool,
+}
+
+impl PrefixTree {
+    /// A leaf for column `col`.
+    pub fn leaf(col: usize) -> PrefixTree {
+        PrefixTree::Leaf { col }
+    }
+
+    /// An internal node joining `hi` over `[i:k]` and `lo` over `[k−1:j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two intervals are not adjacent with `hi` above `lo`.
+    pub fn node(hi: PrefixTree, lo: PrefixTree) -> PrefixTree {
+        let (_, hi_lo) = hi.span();
+        let (lo_hi, _) = lo.span();
+        assert_eq!(
+            hi_lo,
+            lo_hi + 1,
+            "sub-intervals must be adjacent: hi ends at {hi_lo}, lo starts at {lo_hi}"
+        );
+        PrefixTree::Node {
+            hi: Box::new(hi),
+            lo: Box::new(lo),
+        }
+    }
+
+    /// The interval `(i, j)` this tree produces (`i ≥ j`).
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            PrefixTree::Leaf { col } => (*col, *col),
+            PrefixTree::Node { hi, lo } => (hi.span().0, lo.span().1),
+        }
+    }
+
+    /// Number of internal nodes.
+    pub fn num_internal_nodes(&self) -> usize {
+        match self {
+            PrefixTree::Leaf { .. } => 0,
+            PrefixTree::Node { hi, lo } => 1 + hi.num_internal_nodes() + lo.num_internal_nodes(),
+        }
+    }
+
+    /// Evaluates the paper's Table I cost model on this tree.
+    ///
+    /// `leaf_b[col]` is the type flag of column `col`
+    /// (`V_s[col] == 2`, Eq. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf column is out of range for `leaf_b`.
+    pub fn cost(&self, leaf_b: &[bool]) -> TreeCost {
+        match self {
+            PrefixTree::Leaf { col } => {
+                let b = leaf_b[*col];
+                TreeCost {
+                    area: input_area(b),
+                    delay: input_delay(b),
+                    b,
+                }
+            }
+            PrefixTree::Node { hi, lo } => {
+                let ch = hi.cost(leaf_b);
+                let cl = lo.cost(leaf_b);
+                TreeCost {
+                    area: ch.area + cl.area + internal_area(ch.b, cl.b),
+                    delay: ch.delay.max(cl.delay) + internal_delay(ch.b, cl.b),
+                    b: combined_b(ch.b, cl.b),
+                }
+            }
+        }
+    }
+
+    /// The paper's combined objective `C = A + w·D`.
+    pub fn weighted_cost(&self, leaf_b: &[bool], w: f64) -> f64 {
+        let c = self.cost(leaf_b);
+        c.area + w * c.delay
+    }
+
+    /// Realizes the tree into gates.
+    ///
+    /// `inputs[col]` is the GGP pair of column `col` (from
+    /// [`input_ggp`](crate::input_ggp)). Returns the root pair and, for
+    /// every node whose interval ends at column `j = 0` (the right spine,
+    /// root and leaf included), the pair `(i, GGP_{i:0})` — these provide
+    /// the carries `c_i` for the carry-select stage.
+    ///
+    /// The root pair's `p` wire is **not** computed (no CPA consumer ever
+    /// reads it, since the carry-in is 0); it aliases the upper child's
+    /// propagate and must not be used. All other realized pairs are exact.
+    pub fn realize(
+        &self,
+        nl: &mut Netlist,
+        inputs: &[GgpWires],
+    ) -> (GgpWires, Vec<(usize, GgpWires)>) {
+        let mut spine = Vec::new();
+        let root = self.realize_inner(nl, inputs, &mut spine, true);
+        (root, spine)
+    }
+
+    fn realize_inner(
+        &self,
+        nl: &mut Netlist,
+        inputs: &[GgpWires],
+        spine: &mut Vec<(usize, GgpWires)>,
+        is_root: bool,
+    ) -> GgpWires {
+        let out = match self {
+            PrefixTree::Leaf { col } => inputs[*col],
+            PrefixTree::Node { hi, lo } => {
+                let h = hi.realize_inner(nl, inputs, spine, false);
+                let l = lo.realize_inner(nl, inputs, spine, false);
+                // Operand wires reach roughly from each child's interval
+                // midpoint: half the joined interval in column pitches.
+                let (ti, tj) = self.span();
+                let reach = ((ti - tj + 1) as f64 / 2.0).max(1.0);
+                if is_root {
+                    // Nothing consumes the root's group propagate (the CPA
+                    // carry-in is 0), so skip its AND gate; the returned
+                    // `p` aliases the upper child's and must not be read.
+                    use gomil_netlist::GateKind;
+                    let g = match (h.g, l.g) {
+                        (None, None) => None,
+                        (None, Some(gl)) => {
+                            Some(nl.gate_spanned(GateKind::And2, &[h.p, gl], &[1.0, reach]))
+                        }
+                        (Some(gh), None) => Some(gh),
+                        (Some(gh), Some(gl)) => {
+                            let t =
+                                nl.gate_spanned(GateKind::And2, &[h.p, gl], &[1.0, reach]);
+                            Some(nl.gate_spanned(GateKind::Or2, &[gh, t], &[1.0, 1.0]))
+                        }
+                    };
+                    GgpWires { g, p: h.p }
+                } else {
+                    combine_spanned(nl, h, l, reach)
+                }
+            }
+        };
+        let (i, j) = self.span();
+        if j == 0 {
+            spine.push((i, out));
+        }
+        out
+    }
+
+    /// A serial (ripple-like) tree: `((…(n−1 ∘ n−2) …) ∘ 0)` built as the
+    /// right-deep chain `[n−1] ∘ [n−2:0]`. Useful as a baseline and a
+    /// DP sanity bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn serial(n: usize) -> PrefixTree {
+        assert!(n > 0, "tree needs at least one column");
+        let mut t = PrefixTree::leaf(0);
+        for col in 1..n {
+            t = PrefixTree::node(PrefixTree::leaf(col), t);
+        }
+        t
+    }
+
+    /// A balanced tree over `[n−1:0]` (recursive halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn balanced(n: usize) -> PrefixTree {
+        assert!(n > 0, "tree needs at least one column");
+        fn build(i: usize, j: usize) -> PrefixTree {
+            if i == j {
+                PrefixTree::leaf(i)
+            } else {
+                let k = (i + j + 1).div_ceil(2).max(j + 1).min(i);
+                PrefixTree::node(build(i, k), build(k - 1, j))
+            }
+        }
+        build(n - 1, 0)
+    }
+}
+
+impl PrefixTree {
+    /// Renders the tree as a Fig. 2-style ASCII diagram: columns left to
+    /// right are MSB→LSB (the paper's convention), one row per tree level;
+    /// `●`-style node markers show where the operator lands and `─` runs
+    /// show the interval each node covers.
+    ///
+    /// `leaf_b[col]` selects the input-node symbol (`■` for 2-bit columns,
+    /// `□` for 1-bit ones) and the internal symbols ○▲△● per Table I.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf column is out of range for `leaf_b`.
+    pub fn render(&self, leaf_b: &[bool]) -> String {
+        let (hi, lo) = self.span();
+        // Collect nodes per depth: (depth, i, j, symbol).
+        fn walk(
+            t: &PrefixTree,
+            leaf_b: &[bool],
+            depth: usize,
+            out: &mut Vec<(usize, usize, usize, char)>,
+        ) -> (usize, bool) {
+            match t {
+                PrefixTree::Leaf { col } => (depth, leaf_b[*col]),
+                PrefixTree::Node { hi, lo } => {
+                    let (dh, bh) = walk(hi, leaf_b, depth, out);
+                    let (dl, bl) = walk(lo, leaf_b, depth, out);
+                    let d = dh.max(dl) + 1;
+                    let sym = match (bh, bl) {
+                        (false, false) => '○',
+                        (false, true) => '▲',
+                        (true, false) => '△',
+                        (true, true) => '●',
+                    };
+                    let (i, j) = t.span();
+                    out.push((d, i, j, sym));
+                    (d, bh || bl)
+                }
+            }
+        }
+        let mut nodes = Vec::new();
+        let (max_depth, _) = walk(self, leaf_b, 0, &mut nodes);
+
+        let col_of = |i: usize| (hi - i) * 2; // MSB leftmost, 2 chars/col
+        let width = col_of(lo) + 1;
+        let mut lines: Vec<Vec<char>> = Vec::new();
+        // Header: input node row.
+        let mut head = vec![' '; width];
+        for c in lo..=hi {
+            head[col_of(c)] = if leaf_b[c] { '■' } else { '□' };
+        }
+        lines.push(head);
+        for d in 1..=max_depth {
+            let mut row = vec![' '; width];
+            for &(nd, i, j, sym) in &nodes {
+                if nd == d {
+                    for x in col_of(i)..=col_of(j) {
+                        if row[x] == ' ' {
+                            row[x] = '─';
+                        }
+                    }
+                    row[col_of(j)] = sym;
+                    row[col_of(i)] = '┬';
+                }
+            }
+            lines.push(row);
+        }
+        lines
+            .into_iter()
+            .map(|l| l.into_iter().collect::<String>().trim_end().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for PrefixTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixTree::Leaf { col } => write!(f, "{col}"),
+            PrefixTree::Node { hi, lo } => write!(f, "({hi}∘{lo})"),
+        }
+    }
+}
+
+/// Behavioral reference for `(G_{i:j}, P_{i:j})` over a two-row operand:
+/// used by tests and the CPA verifier.
+pub fn reference_ggp(
+    a: &[Option<bool>],
+    b: &[Option<bool>],
+    i: usize,
+    j: usize,
+) -> (bool, bool) {
+    let mut acc: Option<(bool, bool)> = None;
+    for col in j..=i {
+        let (g, p) = match (a[col], b[col]) {
+            (Some(x), Some(y)) => (x && y, x || y),
+            (Some(x), None) | (None, Some(x)) => (false, x),
+            (None, None) => (false, false),
+        };
+        acc = Some(match acc {
+            None => (g, p),
+            Some((gl, pl)) => (g || (p && gl), p && pl),
+        });
+    }
+    acc.expect("non-empty interval")
+}
+
+/// Extracts the full leaf-type vector `b[i] = (V_s[i] == 2)` from column
+/// heights; the paper's Eq. (10).
+///
+/// # Panics
+///
+/// Panics if any column height is outside `1..=2`.
+pub fn leaf_types(heights: &[u32]) -> Vec<bool> {
+    heights
+        .iter()
+        .map(|&h| match h {
+            1 => false,
+            2 => true,
+            other => panic!("prefix input column height must be 1 or 2, got {other}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2 / Example 1: input BCV [2,2,1,2,1,1] (paper MSB-first) has
+    /// leaf types LSB-first [1,1,2,1,2,2] → b = [false,false,true,false,true,true].
+    fn fig2_leaf_b() -> Vec<bool> {
+        leaf_types(&[1, 1, 2, 1, 2, 2])
+    }
+
+    #[test]
+    fn fig2a_tree_costs_16_area_6_delay() {
+        // Fig. 2(a): root cut at k=2 combines (G_{5:2}, P_{5:2}) with
+        // (G_{1:0}, P_{1:0}) via a △ node; the upper part is balanced as
+        // ((5∘4)∘(3∘2)). Total per Table I: area 16, delay 6.
+        let t54 = PrefixTree::node(PrefixTree::leaf(5), PrefixTree::leaf(4));
+        let t32 = PrefixTree::node(PrefixTree::leaf(3), PrefixTree::leaf(2));
+        let hi = PrefixTree::node(t54, t32);
+        let lo = PrefixTree::node(PrefixTree::leaf(1), PrefixTree::leaf(0));
+        let tree = PrefixTree::node(hi, lo);
+        let c = tree.cost(&fig2_leaf_b());
+        assert_eq!(c.area, 16.0);
+        assert_eq!(c.delay, 6.0);
+    }
+
+    #[test]
+    fn render_draws_every_level() {
+        let b = vec![false, false, true, false, true, true];
+        let t54 = PrefixTree::node(PrefixTree::leaf(5), PrefixTree::leaf(4));
+        let t32 = PrefixTree::node(PrefixTree::leaf(3), PrefixTree::leaf(2));
+        let hi = PrefixTree::node(t54, t32);
+        let lo = PrefixTree::node(PrefixTree::leaf(1), PrefixTree::leaf(0));
+        let tree = PrefixTree::node(hi, lo);
+        let art = tree.render(&b);
+        let lines: Vec<&str> = art.lines().collect();
+        // Header + 3 levels (depth of this tree is 3).
+        assert_eq!(lines.len(), 4, "{art}");
+        assert!(lines[0].contains('■') && lines[0].contains('□'));
+        // The root is a △ node per the paper's text.
+        assert!(art.contains('△'), "{art}");
+        assert!(art.contains('●') || art.contains('○') || art.contains('▲'));
+    }
+
+    #[test]
+    fn serial_and_balanced_cover_the_full_interval() {
+        for n in 1..=9 {
+            assert_eq!(PrefixTree::serial(n).span(), (n - 1, 0));
+            assert_eq!(PrefixTree::balanced(n).span(), (n - 1, 0));
+            assert_eq!(PrefixTree::serial(n).num_internal_nodes(), n - 1);
+            assert_eq!(PrefixTree::balanced(n).num_internal_nodes(), n - 1);
+        }
+    }
+
+    #[test]
+    fn balanced_tree_is_shallower_than_serial() {
+        let b = vec![true; 16];
+        let serial = PrefixTree::serial(16).cost(&b);
+        let balanced = PrefixTree::balanced(16).cost(&b);
+        assert!(balanced.delay < serial.delay);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn node_rejects_non_adjacent_intervals() {
+        PrefixTree::node(PrefixTree::leaf(5), PrefixTree::leaf(2));
+    }
+
+    #[test]
+    fn realized_tree_matches_reference_semantics() {
+        use crate::ggp::input_ggp;
+        // 5 columns, mixed heights: heights [2,1,2,1,1].
+        let heights = [2u32, 1, 2, 1, 1];
+        let nbits: usize = heights.iter().sum::<u32>() as usize;
+        for val in 0..(1u32 << nbits) {
+            let mut nl = Netlist::new("t");
+            let bits = nl.add_input("x", nbits);
+            let mut cols: Vec<Vec<NetId>> = Vec::new();
+            let mut row_a = Vec::new();
+            let mut row_b = Vec::new();
+            let mut idx = 0;
+            for &h in &heights {
+                let mut c = Vec::new();
+                for k in 0..h {
+                    c.push(bits[idx + k as usize]);
+                }
+                row_a.push(Some((val >> idx) & 1 == 1));
+                row_b.push(if h == 2 {
+                    Some((val >> (idx + 1)) & 1 == 1)
+                } else {
+                    None
+                });
+                idx += h as usize;
+                cols.push(c);
+            }
+            let inputs: Vec<GgpWires> = cols.iter().map(|c| input_ggp(&mut nl, c)).collect();
+            // Embed the 4-column balanced tree as the root's lower child so
+            // its pair (a non-root spine node) carries a valid `p` too.
+            let tree = PrefixTree::node(PrefixTree::leaf(4), PrefixTree::balanced(4));
+            let (root, spine) = tree.realize(&mut nl, &inputs);
+            let g = root.g_or_const0(&mut nl);
+            let inner = spine
+                .iter()
+                .find(|(i, _)| *i == 3)
+                .expect("inner spine node [3:0]")
+                .1;
+            let ig = inner.g_or_const0(&mut nl);
+            nl.add_output("gp", vec![g, ig, inner.p]);
+            let out = nl.eval_ints(&[val as u128], "gp");
+            let (rg, _) = reference_ggp(&row_a, &row_b, 4, 0);
+            let (irg, irp) = reference_ggp(&row_a, &row_b, 3, 0);
+            assert_eq!(out & 1 == 1, rg, "root G val={val:b}");
+            assert_eq!((out >> 1) & 1 == 1, irg, "inner G val={val:b}");
+            assert_eq!((out >> 2) & 1 == 1, irp, "inner P val={val:b}");
+            // Spine contains the root interval; every entry ends at col 0.
+            assert!(spine.iter().any(|(i, _)| *i == 4));
+        }
+    }
+
+    #[test]
+    fn spine_carries_match_reference_for_serial_tree() {
+        // Serial tree exposes every carry c_i on its spine.
+        let heights = [2u32, 2, 2, 2];
+        let nbits = 8usize;
+        let tree = PrefixTree::serial(4);
+        for val in (0..256u32).step_by(7) {
+            let mut nl = Netlist::new("t");
+            let bits = nl.add_input("x", nbits);
+            let mut inputs = Vec::new();
+            let mut row_a = Vec::new();
+            let mut row_b = Vec::new();
+            for (ci, &_h) in heights.iter().enumerate() {
+                let u = bits[2 * ci];
+                let v = bits[2 * ci + 1];
+                inputs.push(crate::ggp::input_ggp(&mut nl, &[u, v]));
+                row_a.push(Some((val >> (2 * ci)) & 1 == 1));
+                row_b.push(Some((val >> (2 * ci + 1)) & 1 == 1));
+            }
+            let (_, spine) = tree.realize(&mut nl, &inputs);
+            assert_eq!(spine.len(), 4); // leaf [0:0] plus nodes [1:0], [2:0], [3:0]
+            let g_nets: Vec<NetId> = spine
+                .iter()
+                .map(|(_, w)| w.g_or_const0(&mut nl))
+                .collect();
+            nl.add_output("c", g_nets);
+            let got = nl.eval_ints(&[val as u128], "c");
+            for (k, (i, _)) in spine.iter().enumerate() {
+                let (rg, _) = reference_ggp(&row_a, &row_b, *i, 0);
+                assert_eq!((got >> k) & 1 == 1, rg, "carry c_{i} val={val:08b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Approximate-multiplier exploration (the paper's future-work extension):
+//! sweeps the truncation depth of a GOMIL-optimized multiplier and prints
+//! the hardware-cost / arithmetic-error trade-off.
+//!
+//! Run with: `cargo run --release --example approx_multiplier -- [m]`
+//! (default m = 8).
+
+use gomil::{build_gomil_truncated, GomilConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let cfg = GomilConfig::default();
+
+    println!("truncated GOMIL-AND multiplier, m = {m} (errors vs exact product)\n");
+    println!(
+        "{:<6} {:>9} {:>8} {:>10} {:>10} {:>11} {:>10}",
+        "k", "area", "delay", "PDP", "max |e|", "mean e", "RMSE"
+    );
+    for k in 0..m {
+        let d = build_gomil_truncated(m, k, &cfg)?;
+        let met = d.build.netlist.metrics(cfg.power_vectors);
+        let e = d.build.error_stats();
+        println!(
+            "{:<6} {:>9.1} {:>8.2} {:>10.1} {:>10} {:>11.2} {:>10.2}",
+            k,
+            met.area,
+            met.delay,
+            met.pdp(),
+            e.max_abs,
+            e.mean,
+            e.rmse
+        );
+    }
+    println!("\n(k = number of dropped low product columns; a compile-time");
+    println!(" compensation constant re-centres the error distribution)");
+    Ok(())
+}

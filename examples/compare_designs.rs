@@ -1,0 +1,52 @@
+//! Fig. 3-style comparison at one word length: builds the six baseline
+//! multipliers plus GOMIL-AND and GOMIL-MBE, measures delay/area/power/PDP
+//! and prints them normalized to `B-Wal-RCA`, exactly like the paper's
+//! plots.
+//!
+//! Run with: `cargo run --release --example compare_designs -- [m]`
+//! (default m = 8).
+
+use gomil::{
+    build_baseline, build_gomil, normalize, BaselineKind, DesignReport, GomilConfig, PpgKind,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(8);
+    let cfg = GomilConfig::default();
+
+    println!("building designs at m = {m} …");
+    let mut reports = Vec::new();
+    for kind in BaselineKind::all() {
+        let b = build_baseline(kind, m, &cfg);
+        let r = DesignReport::measure(&b, cfg.power_vectors);
+        println!("  {r}");
+        reports.push(r);
+    }
+    for ppg in [PpgKind::And, PpgKind::Booth4] {
+        let d = build_gomil(m, ppg, &cfg)?;
+        let r = DesignReport::measure(&d.build, cfg.power_vectors);
+        println!("  {r}   [{}]", d.solution.strategy);
+        reports.push(r);
+    }
+
+    if reports.iter().any(|r| !r.verified) {
+        return Err("a design failed functional verification".into());
+    }
+
+    println!("\nnormalized to B-Wal-RCA (cf. paper Fig. 3):");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8}",
+        "design", "delay", "area", "power", "pdp"
+    );
+    for row in normalize(&reports, "B-Wal-RCA") {
+        println!(
+            "{:<18} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            row.name, row.delay, row.area, row.power, row.pdp
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Prefix-structure explorer: reproduces the paper's Example 1 / Fig. 2
+//! and lets you optimize arbitrary BCVs with different delay weights.
+//!
+//! Run with: `cargo run --release --example prefix_explorer -- [heights…]`
+//! where `heights` are column heights MSB-first, e.g. `2 2 1 2 1 1`
+//! (the paper's Example 1, which is the default).
+
+use gomil::PrefixTree;
+use gomil_prefix::{leaf_types, optimize_prefix_tree};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Heights arrive MSB-first (paper convention); flip to LSB-first.
+    let mut heights: Vec<u32> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse())
+        .collect::<Result<_, _>>()?;
+    if heights.is_empty() {
+        heights = vec![2, 2, 1, 2, 1, 1]; // Example 1 of the paper
+    }
+    heights.reverse();
+    let leaf_b = leaf_types(&heights);
+    let n = leaf_b.len();
+
+    println!(
+        "input BCV (MSB first): {:?}",
+        heights.iter().rev().collect::<Vec<_>>()
+    );
+    println!("leaf types b (LSB first): {leaf_b:?}\n");
+
+    println!(
+        "{:>6} {:>8} {:>8} {:>10}  tree",
+        "w", "area", "delay", "A + w·D"
+    );
+    for w in [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0] {
+        let sol = optimize_prefix_tree(&leaf_b, w);
+        println!(
+            "{:>6} {:>8} {:>8} {:>10}  {}",
+            w, sol.area, sol.delay, sol.cost, sol.tree
+        );
+    }
+
+    // Reference structures for scale.
+    println!("\nreference structures:");
+    for (name, tree) in [
+        ("serial", PrefixTree::serial(n)),
+        ("balanced", PrefixTree::balanced(n)),
+    ] {
+        let c = tree.cost(&leaf_b);
+        println!(
+            "{name:>9}: area {:>5} delay {:>5}  {tree}",
+            c.area, c.delay
+        );
+    }
+    // Draw the w = 8 optimum the way the paper draws Fig. 2.
+    let sol = optimize_prefix_tree(&leaf_b, 8.0);
+    println!("\nw = 8 optimal structure (MSB on the left, ■/□ inputs, ○▲△● nodes):\n");
+    println!("{}", sol.tree.render(&leaf_b));
+    println!(
+        "\n(paper Fig. 2: the two hand-drawn trees for this BCV cost (16, 6) and (16, 5));"
+    );
+    println!("the DP finds the weighted optimum among all Catalan-many trees.");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: optimize an 8-bit multiplier with GOMIL and compare it to a
+//! classic Wallace/RCA design.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gomil::{
+    build_baseline, build_gomil, BaselineKind, DesignReport, GomilConfig, PpgKind,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = 8;
+    let cfg = GomilConfig::default();
+
+    println!("== GOMIL quickstart: {m}-bit unsigned multiplier ==\n");
+
+    // 1. The GOMIL-optimized design (AND-gate PPG).
+    let gomil = build_gomil(m, PpgKind::And, &cfg)?;
+    gomil.build.verify().map_err(std::io::Error::other)?;
+    println!(
+        "GOMIL decision [{}]:\n  final BCV V_s  = {}\n  CT cost αF+βH  = {}\n  prefix A + wD  = {}\n  prefix tree    = {}\n",
+        gomil.solution.strategy,
+        gomil.solution.vs,
+        gomil.solution.ct_cost,
+        gomil.solution.prefix_cost,
+        gomil.solution.tree,
+    );
+
+    // 2. A classic baseline for scale.
+    let wal_rca = build_baseline(BaselineKind::WalRca, m, &cfg);
+    wal_rca.verify().map_err(std::io::Error::other)?;
+
+    // 3. Measure both with the same substrate.
+    let a = DesignReport::measure(&gomil.build, cfg.power_vectors);
+    let b = DesignReport::measure(&wal_rca, cfg.power_vectors);
+    println!("{a}");
+    println!("{b}");
+    println!(
+        "\nGOMIL vs Wal-RCA: delay ×{:.2}, area ×{:.2}, PDP ×{:.2}",
+        a.metrics.delay / b.metrics.delay,
+        a.metrics.area / b.metrics.area,
+        a.metrics.pdp() / b.metrics.pdp(),
+    );
+    Ok(())
+}

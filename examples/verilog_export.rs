@@ -1,0 +1,37 @@
+//! Exports a GOMIL-optimized multiplier as structural Verilog — the same
+//! artifact the paper's C++ generator hands to Design Compiler.
+//!
+//! Run with:
+//! `cargo run --release --example verilog_export -- [m] [and|mbe] [out.v]`
+
+use gomil::{build_gomil, GomilConfig, PpgKind};
+use std::io::Write;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let m: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(8);
+    let ppg = match args.next().as_deref() {
+        Some("mbe") | Some("booth") => PpgKind::Booth4,
+        _ => PpgKind::And,
+    };
+    let out_path = args.next();
+
+    let cfg = GomilConfig::default();
+    let design = build_gomil(m, ppg, &cfg)?;
+    design.build.verify().map_err(std::io::Error::other)?;
+
+    let verilog = design.build.netlist.to_verilog();
+    match out_path {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(verilog.as_bytes())?;
+            eprintln!(
+                "wrote {} ({} gates, verified) to {path}",
+                design.build.name,
+                design.build.netlist.num_gates()
+            );
+        }
+        None => print!("{verilog}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the GOMIL reproduction workspace.
+//!
+//! Re-exports every sub-crate so the repo-level integration tests and
+//! examples can reach the whole stack through one dependency. See the
+//! [`gomil`] crate for the paper's contribution and `README.md` for the
+//! project overview.
+
+pub use gomil;
+pub use gomil_arith;
+pub use gomil_ilp;
+pub use gomil_netlist;
+pub use gomil_prefix;

@@ -1,0 +1,160 @@
+//! Cross-crate end-to-end tests: every multiplier architecture in the
+//! repository, built on real gates and verified against native integer
+//! multiplication; plus the qualitative orderings the paper's Fig. 3
+//! depends on.
+
+use gomil::{
+    build_baseline, build_gomil, BaselineKind, DesignReport, GomilConfig, PpgKind,
+};
+
+fn cfg() -> GomilConfig {
+    GomilConfig::fast()
+}
+
+#[test]
+fn every_design_is_functionally_correct_at_6_bits() {
+    // 6 bits: exhaustive (4096 products per design). Booth variants need
+    // even widths, which 6 satisfies.
+    for kind in BaselineKind::all() {
+        let b = build_baseline(kind, 6, &cfg());
+        b.verify().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+    }
+    for ppg in [PpgKind::And, PpgKind::Booth4] {
+        let d = build_gomil(6, ppg, &cfg()).unwrap();
+        d.build.verify().unwrap();
+    }
+}
+
+#[test]
+fn every_design_is_functionally_correct_at_16_bits() {
+    for kind in BaselineKind::all() {
+        let b = build_baseline(kind, 16, &cfg());
+        b.verify().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+    }
+    for ppg in [PpgKind::And, PpgKind::Booth4] {
+        let d = build_gomil(16, ppg, &cfg()).unwrap();
+        d.build.verify().unwrap();
+    }
+}
+
+#[test]
+fn gomil_netlists_carry_no_dead_logic() {
+    for ppg in [PpgKind::And, PpgKind::Booth4] {
+        let d = build_gomil(8, ppg, &cfg()).unwrap();
+        let issues = d.build.netlist.check();
+        assert!(issues.is_empty(), "{}: {issues:?}", d.build.name);
+    }
+}
+
+#[test]
+fn fig3_qualitative_orderings_hold_at_16_bits() {
+    // The orderings the paper's Fig. 3 narrative rests on, at m = 16,
+    // phrased for this repo's cost model (see EXPERIMENTS.md E4-E6 for the
+    // one documented deviation: our DesignWare `pparch` stand-in is built
+    // from the same idealized substrate, so GOMIL ties rather than beats
+    // it):
+    //  (1) Wal-PPF is faster than Wal-RCA (prefix CPA helps delay);
+    //  (2) GOMIL-AND is not slower than Wal-PPF;
+    //  (3) GOMIL-AND is smaller than the same-PPG prefix baseline Wal-PPF;
+    //  (4) GOMIL-AND has a better PDP than every fixed (non-selector)
+    //      baseline, and stays within 15% of the selector-chosen pparch.
+    let m = 16;
+    let c = cfg();
+    let mut reports = std::collections::HashMap::new();
+    for kind in BaselineKind::all() {
+        let b = build_baseline(kind, m, &c);
+        reports.insert(
+            kind.label().to_string(),
+            DesignReport::measure(&b, c.power_vectors),
+        );
+    }
+    let g = build_gomil(m, PpgKind::And, &c).unwrap();
+    let g_rep = DesignReport::measure(&g.build, c.power_vectors);
+
+    let d = |k: &str| reports[k].metrics.delay;
+    let a = |k: &str| reports[k].metrics.area;
+    let pdp = |k: &str| reports[k].metrics.pdp();
+
+    assert!(d("Wal-PPF") < d("Wal-RCA"), "(1) PPF {} vs RCA {}", d("Wal-PPF"), d("Wal-RCA"));
+    assert!(
+        g_rep.metrics.delay <= d("Wal-PPF") * 1.02,
+        "(2) GOMIL {} vs Wal-PPF {}",
+        g_rep.metrics.delay,
+        d("Wal-PPF")
+    );
+    assert!(
+        g_rep.metrics.area < a("Wal-PPF"),
+        "(3) GOMIL {} vs Wal-PPF {}",
+        g_rep.metrics.area,
+        a("Wal-PPF")
+    );
+    for fixed in ["B-Wal-RCA", "B-Wal-PPF", "Wal-RCA", "Wal-PPF", "apparch"] {
+        assert!(
+            g_rep.metrics.pdp() < pdp(fixed),
+            "(4) GOMIL pdp {} vs {fixed} {}",
+            g_rep.metrics.pdp(),
+            pdp(fixed)
+        );
+    }
+    assert!(
+        g_rep.metrics.pdp() <= pdp("pparch") * 1.15,
+        "(4) GOMIL pdp {} vs pparch {}",
+        g_rep.metrics.pdp(),
+        pdp("pparch")
+    );
+}
+
+#[test]
+fn verilog_exports_are_syntactically_plausible_for_all_designs() {
+    let c = cfg();
+    for kind in [BaselineKind::WalRca, BaselineKind::Pparch] {
+        let b = build_baseline(kind, 8, &c);
+        let v = b.netlist.to_verilog();
+        assert!(v.starts_with("module "));
+        assert!(v.contains("input [7:0] a;"));
+        assert!(v.contains("output [15:0] p;"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+    let d = build_gomil(8, PpgKind::And, &c).unwrap();
+    let v = d.build.netlist.to_verilog();
+    assert!(v.contains("output [15:0] p;"));
+}
+
+#[test]
+fn gomil_global_solution_is_consistent_with_its_netlist() {
+    let c = cfg();
+    let d = build_gomil(8, PpgKind::And, &c).unwrap();
+    // The schedule's claimed final BCV matches the tree's span.
+    assert_eq!(d.solution.vs.len(), d.solution.tree.span().0 + 1);
+    // The compressor counts in the netlist match the schedule: each 3:2 is
+    // 2 XOR + 1 MAJ3, each 2:2 is 1 XOR + 1 AND — so MAJ3 count equals F
+    // exactly (the CPA introduces no MAJ3 in the PPF path).
+    let maj3 = d
+        .build
+        .netlist
+        .cells()
+        .iter()
+        .filter(|cell| cell.kind == gomil_netlist::GateKind::Maj3)
+        .count() as u64;
+    assert_eq!(maj3, d.solution.schedule.num_full());
+}
+
+#[test]
+fn verilog_roundtrip_preserves_multiplier_semantics() {
+    // Export a whole GOMIL multiplier to Verilog, parse it back, and
+    // compare the two netlists product-for-product.
+    let c = cfg();
+    let d = build_gomil(6, PpgKind::And, &c).unwrap();
+    let source = d.build.netlist.to_verilog();
+    let reimported = gomil_netlist::Netlist::from_verilog(&source)
+        .expect("emitted verilog parses back");
+    for x in 0..64u128 {
+        for y in 0..64u128 {
+            assert_eq!(
+                d.build.netlist.eval_ints(&[x, y], "p"),
+                reimported.eval_ints(&[x, y], "p"),
+                "{x} × {y}"
+            );
+        }
+    }
+}

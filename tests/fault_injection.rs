@@ -1,0 +1,111 @@
+//! Failure-injection tests: the verification machinery must actually
+//! catch broken hardware, wrong schedules, and corrupted artifacts — a
+//! test suite that can only pass is not a test suite.
+
+use gomil::{build_gomil, build_gomil_truncated, GomilConfig, MultiplierBuild, PpgKind};
+use gomil_arith::{and_ppg, Bcv, CompressionSchedule, StageCounts};
+use gomil_netlist::Netlist;
+
+fn cfg() -> GomilConfig {
+    GomilConfig::fast()
+}
+
+#[test]
+fn verify_rejects_an_adder_posing_as_a_multiplier() {
+    // A netlist with the right ports computing a + b instead of a × b.
+    let mut nl = Netlist::new("impostor");
+    let a = nl.add_input("a", 4);
+    let b = nl.add_input("b", 4);
+    let mut carry = nl.const0();
+    let mut bits = Vec::new();
+    for i in 0..4 {
+        let (s, c) = nl.full_adder(a[i], b[i], carry);
+        bits.push(s);
+        carry = c;
+    }
+    bits.push(carry);
+    let zero = nl.const0();
+    while bits.len() < 8 {
+        bits.push(zero);
+    }
+    nl.add_output("p", bits);
+    let fake = MultiplierBuild {
+        name: "fake".into(),
+        netlist: nl,
+        m: 4,
+        ppg: PpgKind::And,
+    };
+    let err = fake.verify().expect_err("an adder is not a multiplier");
+    assert!(err.contains('×'), "error should name the failing product: {err}");
+}
+
+#[test]
+fn verify_rejects_bit_order_corruption() {
+    // Corrupt the exported Verilog by swapping two product-bit
+    // assignments, re-import, and confirm verification catches it.
+    let d = build_gomil(4, PpgKind::And, &cfg()).unwrap();
+    let v = d.build.netlist.to_verilog();
+    let corrupted = v
+        .replace("assign p[1] = ", "assign p[@] = ")
+        .replace("assign p[2] = ", "assign p[1] = ")
+        .replace("assign p[@] = ", "assign p[2] = ");
+    assert_ne!(v, corrupted, "the export must contain both assignments");
+    let broken = Netlist::from_verilog(&corrupted).expect("still well-formed");
+    let fake = MultiplierBuild {
+        name: "bit-swapped".into(),
+        netlist: broken,
+        m: 4,
+        ppg: PpgKind::And,
+    };
+    assert!(fake.verify().is_err(), "swapped product bits must be caught");
+}
+
+#[test]
+fn schedule_validation_catches_oversubscription() {
+    let mut nl = Netlist::new("t");
+    let a = nl.add_input("a", 3);
+    let b = nl.add_input("b", 3);
+    let pp = and_ppg(&mut nl, &a, &b);
+    // A stage demanding a full adder in a 1-bit column.
+    let mut sched = CompressionSchedule::new();
+    let mut st = StageCounts::new(pp.width());
+    st.full[0] = 1;
+    sched.stages.push(st);
+    let err = sched.apply(&pp.heights()).unwrap_err();
+    assert_eq!(err.col, 0);
+    assert!(gomil_arith::realize_schedule(&mut nl, &pp, &sched).is_err());
+}
+
+#[test]
+fn truncated_multiplier_fails_exact_verification() {
+    // Negative control: the approximate flow must NOT pass the exact
+    // verifier once any column is dropped.
+    let d = build_gomil_truncated(6, 3, &cfg()).unwrap();
+    assert!(d.build.verify().is_err());
+    // …while its error statistics stay within the documented bound.
+    let e = d.build.error_stats();
+    assert!(e.max_abs > 0);
+}
+
+#[test]
+fn verilog_parser_rejects_corrupted_exports() {
+    let d = build_gomil(4, PpgKind::And, &cfg()).unwrap();
+    let v = d.build.netlist.to_verilog();
+    // Cut the file in half: must not parse into something silently wrong.
+    let truncated = &v[..v.len() / 2];
+    assert!(Netlist::from_verilog(truncated).is_err());
+    // Corrupt an operator into an unsupported one.
+    let corrupted = v.replacen(" ^ ", " ** ", 1);
+    assert!(Netlist::from_verilog(&corrupted).is_err());
+}
+
+#[test]
+fn schedule_for_wrong_width_is_rejected_by_realization() {
+    let mut nl = Netlist::new("t");
+    let a = nl.add_input("a", 4);
+    let b = nl.add_input("b", 4);
+    let pp = and_ppg(&mut nl, &a, &b);
+    // A Dadda schedule computed for a *different* (taller) matrix.
+    let wrong = gomil_arith::dadda_schedule(&Bcv::and_ppg(6));
+    assert!(gomil_arith::realize_schedule(&mut nl, &pp, &wrong).is_err());
+}

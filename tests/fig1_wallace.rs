@@ -1,0 +1,74 @@
+//! Experiment E1: reproduces Fig. 1 of the paper — the compressing process
+//! of a 6-bit Wallace tree — end to end on real gates.
+
+use gomil_arith::{and_ppg, min_stages, realize_schedule, wallace_schedule, Bcv};
+use gomil_netlist::Netlist;
+
+#[test]
+fn fig1_initial_bcv_matches_paper() {
+    // V0 = [1,2,3,4,5,6,5,4,3,2,1] (Fig. 1, displayed MSB first).
+    let v0 = Bcv::and_ppg(6);
+    assert_eq!(v0.counts(), &[1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1]);
+    assert_eq!(v0.to_string(), "[1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1]");
+}
+
+#[test]
+fn fig1_wallace_compresses_in_three_stages() {
+    let v0 = Bcv::and_ppg(6);
+    let sched = wallace_schedule(&v0);
+    assert_eq!(sched.num_stages(), 3, "Fig. 1 shows BM1, BM2, BM3");
+    assert_eq!(min_stages(6), 3);
+    let bcvs = sched.apply(&v0).unwrap();
+    // Every stage strictly reduces the maximum height until ≤ 2.
+    let mut prev_height = v0.height();
+    for bcv in &bcvs {
+        assert!(bcv.height() < prev_height || bcv.height() <= 2);
+        prev_height = bcv.height();
+    }
+    assert!(bcvs.last().unwrap().is_reduced());
+}
+
+#[test]
+fn fig1_compression_preserves_the_product() {
+    // Realize the Fig. 1 reduction on gates and check the weighted column
+    // sums of every intermediate matrix equal the product.
+    let mut nl = Netlist::new("fig1");
+    let a = nl.add_input("a", 6);
+    let b = nl.add_input("b", 6);
+    let pp = and_ppg(&mut nl, &a, &b);
+    let sched = wallace_schedule(&pp.heights());
+    let reduced = realize_schedule(&mut nl, &pp, &sched).unwrap();
+
+    // Sum the final two rows with a simple ripple chain.
+    let (ra, rb) = reduced.two_rows();
+    let zero = nl.const0();
+    let mut carry = zero;
+    let mut out = Vec::new();
+    for j in 0..reduced.width() {
+        let x = ra[j].unwrap_or(zero);
+        let y = rb[j].unwrap_or(zero);
+        let (s, c) = nl.full_adder(x, y, carry);
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry);
+    nl.add_output("p", out);
+
+    for x in 0..64u128 {
+        for y in 0..64u128 {
+            let p = nl.eval_ints(&[x, y], "p") & 0xFFF;
+            assert_eq!(p, x * y, "{x} × {y}");
+        }
+    }
+}
+
+#[test]
+fn fig1_dashed_rectangle_leftmost_compressor_appears() {
+    // The paper highlights that classic Wallace applies a compressor at
+    // the leftmost column (the dashed rectangle in Fig. 1) — which the
+    // GOMIL ILP forbids via Eq. (4). Confirm classic Wallace on m = 6
+    // really does use one.
+    let v0 = Bcv::and_ppg(6);
+    let sched = wallace_schedule(&v0);
+    assert!(sched.uses_leftmost_column(&v0));
+}

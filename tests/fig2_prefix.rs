@@ -1,0 +1,76 @@
+//! Experiments E2 + E3: Table I node costs and the Fig. 2 / Example 1
+//! prefix trees, including the DP and IP optimizers finding the better of
+//! the two hand-drawn structures.
+
+use gomil::solve_fixed_prefix_ip;
+use gomil_prefix::{
+    internal_area, internal_delay, leaf_types, optimize_prefix_tree, PrefixTree,
+};
+use std::time::Duration;
+
+/// Example 1's BCV is [2,2,1,2,1,1] in the paper's MSB-first order.
+fn fig2_leaf_b() -> Vec<bool> {
+    leaf_types(&[1, 1, 2, 1, 2, 2])
+}
+
+#[test]
+fn table1_internal_node_costs() {
+    // (b_hi, b_lo) → (area, delay) per Table I.
+    assert_eq!((internal_area(false, false), internal_delay(false, false)), (1.0, 1.0));
+    assert_eq!((internal_area(false, true), internal_delay(false, true)), (2.0, 1.0));
+    assert_eq!((internal_area(true, false), internal_delay(true, false)), (1.0, 1.0));
+    assert_eq!((internal_area(true, true), internal_delay(true, true)), (3.0, 2.0));
+}
+
+#[test]
+fn fig2a_structure_costs_16_and_6() {
+    let b = fig2_leaf_b();
+    // Root cut at k = 2 (a △ node per the paper's text), upper part
+    // balanced: (((5∘4)∘(3∘2)) ∘ (1∘0)).
+    let t54 = PrefixTree::node(PrefixTree::leaf(5), PrefixTree::leaf(4));
+    let t32 = PrefixTree::node(PrefixTree::leaf(3), PrefixTree::leaf(2));
+    let hi = PrefixTree::node(t54, t32);
+    let lo = PrefixTree::node(PrefixTree::leaf(1), PrefixTree::leaf(0));
+    let c = PrefixTree::node(hi, lo).cost(&b);
+    assert_eq!((c.area, c.delay), (16.0, 6.0));
+}
+
+#[test]
+fn fig2b_cost_is_achievable() {
+    // The paper's second tree achieves (16, 5): some tree with area 16 and
+    // delay 5 exists. The weighted DP must therefore reach cost
+    // ≤ 16 + 5w for every w.
+    let b = fig2_leaf_b();
+    for w in [0.0, 1.0, 4.0, 8.0, 32.0] {
+        let sol = optimize_prefix_tree(&b, w);
+        assert!(
+            sol.cost <= 16.0 + 5.0 * w + 1e-9,
+            "w={w}: DP cost {} should beat Fig. 2(b)'s 16 + 5w",
+            sol.cost
+        );
+    }
+}
+
+#[test]
+fn dp_finds_delay_5_at_paper_weight() {
+    let b = fig2_leaf_b();
+    let sol = optimize_prefix_tree(&b, 8.0); // the paper's w
+    assert!(sol.delay <= 5.0, "delay {}", sol.delay);
+    assert!(sol.area <= 16.0, "area {}", sol.area);
+    // Reconstructed tree agrees with the table values.
+    let c = sol.tree.cost(&b);
+    assert_eq!((c.area, c.delay), (sol.area, sol.delay));
+}
+
+#[test]
+fn prefix_ip_agrees_with_dp_on_example1() {
+    let b = fig2_leaf_b();
+    let dp = optimize_prefix_tree(&b, 8.0);
+    let (tree, cost) = solve_fixed_prefix_ip(&b, 8.0, Duration::from_secs(30)).unwrap();
+    assert!(
+        (cost - dp.cost).abs() < 1e-6,
+        "IP {cost} vs DP {}",
+        dp.cost
+    );
+    assert!((tree.weighted_cost(&b, 8.0) - cost).abs() < 1e-6);
+}

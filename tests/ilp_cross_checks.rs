@@ -1,0 +1,105 @@
+//! Cross-checks between the ILP formulations and their combinatorial
+//! counterparts: the heart of the reproduction's trust story.
+
+use gomil::{joint_ilp, target_search, Bcv, CtIlp, GomilConfig};
+use gomil_arith::{dadda_schedule, wallace_schedule};
+use gomil_prefix::{leaf_types, optimize_prefix_tree};
+
+fn cfg() -> GomilConfig {
+    GomilConfig {
+        solver_budget: std::time::Duration::from_secs(8),
+        ..GomilConfig::fast()
+    }
+}
+
+#[test]
+fn ct_ilp_optimum_never_exceeds_heuristics() {
+    for m in [4usize, 6, 8] {
+        let v0 = Bcv::and_ppg(m);
+        let ilp = CtIlp::build(&v0, &cfg());
+        let sol = ilp.solve(&cfg()).unwrap();
+        let dadda = dadda_schedule(&v0).cost(3.0, 2.0);
+        let wallace = wallace_schedule(&v0).cost(3.0, 2.0);
+        assert!(sol.objective <= dadda + 1e-6, "m={m}");
+        assert!(sol.objective <= wallace + 1e-6, "m={m}");
+        // And the returned schedule replays to exactly that cost.
+        assert!((sol.schedule.cost(3.0, 2.0) - sol.objective).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn ct_ilp_f_count_obeys_conservation_law() {
+    // F = total(V0) − total(Vs) for any feasible point, so the ILP's F must
+    // satisfy it too — a strong structural check on the formulation.
+    let v0 = Bcv::and_ppg(6);
+    let ilp = CtIlp::build(&v0, &cfg());
+    let sol = ilp.solve(&cfg()).unwrap();
+    let fin = sol.schedule.final_bcv(&v0).unwrap();
+    assert_eq!(sol.schedule.num_full(), v0.total_bits() - fin.total_bits());
+}
+
+#[test]
+fn joint_ilp_objective_decomposes_correctly() {
+    // The reported solution's objective must equal its CT cost plus the
+    // full-width DP prefix cost of its Vs — i.e. extraction is consistent.
+    let v0 = Bcv::and_ppg(4);
+    let sol = joint_ilp(&v0, &cfg()).unwrap();
+    let b = leaf_types(sol.vs.counts());
+    let dp = optimize_prefix_tree(&b, cfg().w);
+    assert!((sol.prefix_cost - dp.cost).abs() < 1e-9);
+    assert!((sol.objective - sol.ct_cost - sol.prefix_cost).abs() < 1e-9);
+}
+
+#[test]
+fn joint_paths_agree_on_tiny_instances() {
+    // For m = 4 the joint ILP (often proven optimal within budget) and the
+    // target search should land within a small band of each other; and the
+    // ILP can never be *better* than the best-known when search dominates
+    // the final choice.
+    let v0 = Bcv::and_ppg(4);
+    let ilp = joint_ilp(&v0, &cfg()).unwrap();
+    let search = target_search(&v0, &cfg());
+    let rel = (ilp.objective - search.objective).abs() / search.objective;
+    assert!(
+        rel < 0.15,
+        "joint ILP {} vs search {} diverge by {rel:.2}",
+        ilp.objective,
+        search.objective
+    );
+}
+
+#[test]
+fn target_search_improves_on_decoupled_optimization() {
+    // The whole point of GOMIL: joint optimization beats optimizing the CT
+    // alone and then the prefix structure for whatever Vs came out. At
+    // minimum it must never be worse; at m = 16 the search should find a
+    // strictly better Vs than Dadda's natural output (more height-1
+    // columns where the prefix gains outweigh the extra compressors).
+    let mut improved_any = false;
+    for m in [8usize, 16, 24] {
+        let v0 = Bcv::and_ppg(m);
+        let dadda = dadda_schedule(&v0);
+        let vs = dadda.final_bcv(&v0).unwrap();
+        let decoupled = dadda.cost(3.0, 2.0)
+            + optimize_prefix_tree(&leaf_types(vs.counts()), cfg().w).cost;
+        let sol = target_search(&v0, &cfg());
+        assert!(sol.objective <= decoupled + 1e-9, "m={m}");
+        if sol.objective < decoupled - 1e-9 {
+            improved_any = true;
+        }
+    }
+    assert!(
+        improved_any,
+        "joint optimization should strictly improve at least one width"
+    );
+}
+
+#[test]
+fn booth_bcv_joint_flow_works() {
+    // A Booth-shaped BCV (width 2m, irregular) through the search path.
+    let v0 = Bcv::new(vec![4, 2, 5, 3, 5, 4, 5, 3, 4, 2, 3, 1, 2, 1, 1, 1]);
+    let sol = target_search(&v0, &cfg());
+    assert!(sol.vs.is_reduced());
+    assert_eq!(sol.vs.len(), v0.len());
+    assert!(sol.objective > 0.0);
+}

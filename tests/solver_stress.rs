@@ -1,0 +1,150 @@
+//! Stress tests for the MILP substrate on structured problems with known
+//! optima — the classes of structure the GOMIL formulations exercise
+//! (assignment-style selectors, big-M indicators, equality chains).
+
+use gomil_ilp::{BranchConfig, Cmp, LinExpr, Model, Sense, SolveError};
+use std::time::Duration;
+
+/// n×n assignment problems have integral LP relaxations; the solver should
+/// crack them at the root node.
+#[test]
+fn assignment_problem_is_solved_at_the_root() {
+    let n = 6;
+    let cost = |i: usize, j: usize| ((i * 7 + j * 13) % 10) as f64 + 1.0;
+    let mut m = Model::new("assign");
+    let mut x = vec![vec![]; n];
+    for i in 0..n {
+        for j in 0..n {
+            x[i].push(m.add_binary(format!("x{i}_{j}")));
+        }
+    }
+    for i in 0..n {
+        let row: LinExpr = (0..n).map(|j| LinExpr::from(x[i][j])).sum();
+        m.add_constraint(format!("r{i}"), row, Cmp::Eq, 1.0);
+        let col: LinExpr = (0..n).map(|j| LinExpr::from(x[j][i])).sum();
+        m.add_constraint(format!("c{i}"), col, Cmp::Eq, 1.0);
+    }
+    let obj: LinExpr = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| cost(i, j) * x[i][j])
+        .sum();
+    m.set_objective(obj, Sense::Minimize);
+    let sol = m.solve().unwrap();
+    assert!(sol.is_optimal());
+
+    // Brute-force the optimum over all 720 permutations.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = f64::INFINITY;
+    permute(&mut perm, 0, &mut |p| {
+        let c: f64 = p.iter().enumerate().map(|(i, &j)| cost(i, j)).sum();
+        if c < best {
+            best = c;
+        }
+    });
+    assert!((sol.objective() - best).abs() < 1e-6);
+}
+
+fn permute(p: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == p.len() {
+        f(p);
+        return;
+    }
+    for i in k..p.len() {
+        p.swap(k, i);
+        permute(p, k + 1, f);
+        p.swap(k, i);
+    }
+}
+
+/// A chain of equality-linked integers (like the CT's BCV conservation).
+#[test]
+fn equality_chain_propagates() {
+    let n = 20;
+    let mut m = Model::new("chain");
+    let xs: Vec<_> = (0..n).map(|i| m.add_integer(format!("x{i}"), 0.0, 100.0)).collect();
+    // x0 = 7; x_{i+1} = x_i + 2.
+    m.add_constraint("base", LinExpr::from(xs[0]), Cmp::Eq, 7.0);
+    for i in 0..n - 1 {
+        m.add_eq(format!("l{i}"), LinExpr::from(xs[i + 1]), xs[i] + 2.0);
+    }
+    m.set_objective(LinExpr::from(xs[n - 1]), Sense::Minimize);
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.int_value(xs[n - 1]), 7 + 2 * (n as i64 - 1));
+}
+
+/// Big-M selector structure, the skeleton of the prefix IP: choose one of
+/// k branches, each forcing a different lower bound; the solver must pick
+/// the cheapest branch.
+#[test]
+fn big_m_selector_picks_cheapest_branch() {
+    let mut m = Model::new("sel");
+    let costs = [9.0, 4.0, 6.0, 11.0];
+    let t: Vec<_> = (0..4).map(|k| m.add_binary(format!("t{k}"))).collect();
+    let y = m.add_continuous("y", 0.0, 100.0);
+    let tsum: LinExpr = t.iter().map(|&v| LinExpr::from(v)).sum();
+    m.add_constraint("one", tsum, Cmp::Eq, 1.0);
+    for (k, &c) in costs.iter().enumerate() {
+        // y >= c − M(1−t_k)
+        m.indicator_ge(format!("b{k}"), t[k], y, LinExpr::constant_expr(c), 1000.0);
+    }
+    m.set_objective(LinExpr::from(y), Sense::Minimize);
+    let sol = m.solve().unwrap();
+    assert!((sol.objective() - 4.0).abs() < 1e-6);
+    assert_eq!(sol.int_value(t[1]), 1);
+}
+
+/// Infeasibility from conflicting big-M selections must be detected, not
+/// mis-reported as unbounded or numerically failed.
+#[test]
+fn conflicting_selectors_are_infeasible() {
+    let mut m = Model::new("conflict");
+    let a = m.add_binary("a");
+    let b = m.add_binary("b");
+    m.add_constraint("both", a + b, Cmp::Ge, 2.0);
+    m.add_constraint("not_both", a + b, Cmp::Le, 1.0);
+    assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+}
+
+/// Time limits return the incumbent with Feasible status rather than
+/// erroring, when a warm start exists.
+#[test]
+fn time_limit_returns_warm_start_incumbent() {
+    // A knapsack big enough that 0 ms can't prove optimality.
+    let n = 30;
+    let mut m = Model::new("k");
+    let xs: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    let w: Vec<f64> = (0..n).map(|i| 2.0 + ((i * 37) % 9) as f64).collect();
+    let v: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 17) % 11) as f64).collect();
+    let weight: LinExpr = xs.iter().zip(&w).map(|(&x, &wi)| wi * x).sum();
+    let value: LinExpr = xs.iter().zip(&v).map(|(&x, &vi)| vi * x).sum();
+    m.add_constraint("cap", weight, Cmp::Le, 40.0);
+    m.set_objective(value, Sense::Maximize);
+    let cfg = BranchConfig {
+        time_limit: Some(Duration::from_millis(0)),
+        initial: Some(vec![0.0; n]), // all-zero is feasible
+        ..BranchConfig::default()
+    };
+    let sol = m.solve_with(&cfg).unwrap();
+    assert!(sol.objective() >= 0.0);
+    // With zero budget the bound cannot have closed unless the heuristic
+    // got lucky; either way the result must be a valid assignment.
+    assert!(m.is_feasible(sol.values(), 1e-6));
+}
+
+/// Larger CT-shaped model: the m = 12 compressor-tree ILP solved under a
+/// budget, checked for schedule validity (not optimality).
+#[test]
+fn ct_shaped_model_stays_tractable() {
+    use gomil::{Bcv, CtIlp, GomilConfig};
+    let cfg = GomilConfig {
+        solver_budget: Duration::from_secs(10),
+        ..GomilConfig::fast()
+    };
+    let v0 = Bcv::and_ppg(12);
+    let ilp = CtIlp::build(&v0, &cfg);
+    let sol = ilp.solve(&cfg).unwrap();
+    let fin = sol.schedule.final_bcv(&v0).unwrap();
+    assert!(fin.is_reduced());
+    let dadda = gomil_arith::dadda_schedule(&v0).cost(3.0, 2.0);
+    assert!(sol.objective <= dadda + 1e-6);
+}
