@@ -31,14 +31,14 @@ pub fn baugh_wooley_ppg(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> BitMatrix
     let mut matrix = BitMatrix::new(width);
     let c1 = nl.const1();
 
-    for i in 0..m {
-        for j in 0..m {
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
             let both_sign = i == m - 1 && j == m - 1;
             let one_sign = (i == m - 1) ^ (j == m - 1);
             let pp = if one_sign {
-                nl.nand(a[i], b[j])
+                nl.nand(ai, bj)
             } else {
-                nl.and(a[i], b[j])
+                nl.and(ai, bj)
             };
             let _ = both_sign; // both-sign term keeps the plain AND
             matrix.push(i + j, pp);

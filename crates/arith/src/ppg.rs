@@ -80,7 +80,7 @@ pub fn booth4_ppg(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> BitMatrix {
     let m = a.len();
     assert_eq!(m, b.len(), "operands must have equal width");
     assert!(m >= 2, "word length must be at least 2");
-    assert!(m % 2 == 0, "radix-4 Booth supports even word lengths");
+    assert!(m.is_multiple_of(2), "radix-4 Booth supports even word lengths");
 
     let rows = m / 2;
     let width = 2 * m;

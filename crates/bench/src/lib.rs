@@ -1,6 +1,6 @@
 //! Shared harness code for the figure/table regeneration binaries.
 //!
-//! Each experiment of the paper (see `DESIGN.md`, Section 5) has a binary
+//! Each experiment of the paper (see `DESIGN.md`, Section 6) has a binary
 //! under `src/bin/`; this library holds the pieces they share: building
 //! the full design roster at a word length, timing the optimizer, and
 //! pretty-printing normalized tables.
@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 
 use gomil::{
-    build_baseline, build_gomil, BaselineKind, DesignReport, GomilConfig, PpgKind, SolveError,
+    build_baseline, build_gomil, BaselineKind, DesignReport, GomilConfig, GomilError, PpgKind,
 };
 use std::time::{Duration, Instant};
 
@@ -37,7 +37,7 @@ pub const DESIGN_ORDER: [&str; 8] = [
 ///
 /// Panics on a functional verification failure — a benchmark over an
 /// incorrect multiplier would be meaningless.
-pub fn build_roster(m: usize, cfg: &GomilConfig) -> Result<Vec<DesignReport>, SolveError> {
+pub fn build_roster(m: usize, cfg: &GomilConfig) -> Result<Vec<DesignReport>, GomilError> {
     let mut out = Vec::with_capacity(8);
     for kind in BaselineKind::all() {
         let b = build_baseline(kind, m, cfg);

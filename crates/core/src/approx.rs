@@ -12,14 +12,15 @@
 //! products (exhaustive for small word lengths, seeded sampling above).
 
 use crate::config::GomilConfig;
-use crate::flow::{finish_product, GomilDesign, MultiplierBuild, RegionBreakdown};
-use crate::global::optimize_global;
-use gomil_arith::{and_ppg, realize_schedule, BitMatrix, PpgKind};
-use gomil_ilp::SolveError;
-use gomil_netlist::Netlist;
-use gomil_prefix::{
-    leaf_types, optimize_prefix_tree_with_arrivals, ppf_csl_sum, TwoRows,
+use crate::error::GomilError;
+use crate::flow::{
+    choose_realized_tree, finish_product, pipeline_budget, GomilDesign, MultiplierBuild,
+    RegionBreakdown,
 };
+use crate::global::optimize_global_with_budget;
+use gomil_arith::{and_ppg, realize_schedule, BitMatrix, PpgKind};
+use gomil_netlist::Netlist;
+use gomil_prefix::{ppf_csl_sum, TwoRows};
 
 /// Empirical error statistics of an approximate multiplier.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -46,22 +47,26 @@ pub struct ErrorStats {
 ///
 /// # Errors
 ///
-/// Propagates ILP solver failures.
-///
-/// # Panics
-///
-/// Panics if `m < 2` or `truncated_columns ≥ m` (dropping half the matrix
-/// or more leaves no multiplier to speak of).
+/// [`GomilError::InvalidInput`] if `m < 2` or `truncated_columns ≥ m`
+/// (dropping half the matrix or more leaves no multiplier to speak of);
+/// otherwise only internal failures the degradation ladder could not
+/// absorb.
 pub fn build_gomil_truncated(
     m: usize,
     truncated_columns: usize,
     cfg: &GomilConfig,
-) -> Result<GomilDesign, SolveError> {
-    assert!(m >= 2, "word length must be at least 2");
-    assert!(
-        truncated_columns < m,
-        "cannot truncate {truncated_columns} of {m} columns"
-    );
+) -> Result<GomilDesign, GomilError> {
+    if m < 2 {
+        return Err(GomilError::InvalidInput(format!(
+            "word length must be at least 2, got {m}"
+        )));
+    }
+    if truncated_columns >= m {
+        return Err(GomilError::InvalidInput(format!(
+            "cannot truncate {truncated_columns} of {m} columns"
+        )));
+    }
+    let budget = pipeline_budget(cfg);
     let k = truncated_columns;
     let mut nl = Netlist::new(format!("gomil_trunc{k}_{m}"));
     let a = nl.add_input("a", m);
@@ -113,27 +118,11 @@ pub fn build_gomil_truncated(
         }
     }
 
-    let solution = optimize_global(&v0, cfg)?;
+    let solution = optimize_global_with_budget(&v0, cfg, &budget)?;
     let reduced = realize_schedule(&mut nl, &shifted, &solution.schedule)
-        .expect("optimizer schedules are validated");
+        .map_err(|e| GomilError::Realization(format!("{}: {e}", nl.name())))?;
     let rows = TwoRows::from_matrix(&reduced);
-    let tree = if cfg.arrival_aware {
-        const NODE_DELAY_UNIT: f64 = 1.1;
-        let timing = nl.timing();
-        let arrivals: Vec<f64> = (0..rows.width())
-            .map(|j| {
-                rows.column(j)
-                    .iter()
-                    .map(|&bit| timing.arrival(bit))
-                    .fold(0.0, f64::max)
-                    / NODE_DELAY_UNIT
-            })
-            .collect();
-        let lb = leaf_types(solution.vs.counts());
-        optimize_prefix_tree_with_arrivals(&lb, cfg.w, &arrivals).tree
-    } else {
-        solution.tree.clone()
-    };
+    let tree = choose_realized_tree(&nl, &rows, &solution, cfg, &budget);
     let sum = ppf_csl_sum(&mut nl, &rows, &tree, cfg.select_style);
 
     // Reassemble the product: low constant bits, then the summed columns.
@@ -293,8 +282,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot truncate")]
-    fn over_truncation_is_rejected() {
-        let _ = build_gomil_truncated(6, 6, &cfg());
+    fn over_truncation_is_rejected_with_a_typed_error() {
+        let err = build_gomil_truncated(6, 6, &cfg()).unwrap_err();
+        assert!(matches!(err, GomilError::InvalidInput(_)), "{err:?}");
+        assert!(err.to_string().contains("cannot truncate"), "{err}");
     }
 }

@@ -1,7 +1,8 @@
 //! `gomil` — command-line front end for the GOMIL reproduction.
 //!
 //! ```text
-//! gomil gen <m> [and|mbe] [--out FILE] [--no-verify]   generate + export Verilog
+//! gomil gen <m> [and|mbe] [--out FILE] [--no-verify] [--budget-ms N]
+//!                                                      generate + export Verilog
 //! gomil compare <m>                                    Fig. 3-style table at one width
 //! gomil prefix <heights MSB-first…> [--w W]            optimize a prefix BCV
 //! gomil trunc <m> <k>                                  truncated multiplier report
@@ -9,8 +10,8 @@
 //! ```
 
 use gomil::{
-    build_baseline, build_gomil, build_gomil_truncated, normalize, BaselineKind, DesignReport,
-    GomilConfig, PpgKind,
+    build_baseline, build_gomil, build_gomil_truncated, normalize, solve_summary, BaselineKind,
+    DesignReport, GomilConfig, PpgKind,
 };
 use gomil_prefix::{leaf_types, optimize_prefix_tree};
 use std::io::Write as _;
@@ -40,6 +41,22 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
+/// Parses shared optimizer flags: `--budget-ms N` bounds the whole
+/// pipeline with a wall-clock deadline (expiry degrades the optimizer
+/// down its fallback ladder instead of failing the command).
+fn cfg_from_args(args: &[String]) -> GomilConfig {
+    let mut cfg = GomilConfig::default();
+    if let Some(ms) = args
+        .iter()
+        .position(|a| a == "--budget-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        cfg.pipeline_budget = Some(std::time::Duration::from_millis(ms));
+    }
+    cfg
+}
+
 fn parse_m(args: &[String]) -> Result<usize, Box<dyn std::error::Error>> {
     args.first()
         .ok_or("missing word length argument")?
@@ -60,10 +77,10 @@ fn cmd_gen(args: &[String]) -> CliResult {
         .and_then(|i| args.get(i + 1));
     let verify = !args.iter().any(|a| a == "--no-verify");
 
-    let cfg = GomilConfig::default();
+    let cfg = cfg_from_args(args);
     let design = build_gomil(m, ppg, &cfg)?;
     if verify {
-        design.build.verify().map_err(std::io::Error::other)?;
+        design.build.verify()?;
         eprintln!("verified: {} computes correct products", design.build.name);
     }
     eprintln!(
@@ -73,6 +90,7 @@ fn cmd_gen(args: &[String]) -> CliResult {
         design.solution.prefix_cost,
         design.solution.strategy
     );
+    eprint!("{}", solve_summary(&design.solution));
     let verilog = design.build.netlist.to_verilog();
     match out {
         Some(path) => {

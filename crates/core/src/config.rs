@@ -20,6 +20,15 @@ pub struct GomilConfig {
     /// `3600 + L³` seconds; this reproduction scales that down so the full
     /// benchmark suite runs on a laptop.
     pub solver_budget: Duration,
+    /// End-to-end wall-clock budget for one pipeline run
+    /// ([`build_gomil`](crate::build_gomil) and friends). `None` (the
+    /// default) means "each ILP solve keeps its own `solver_budget` and
+    /// nothing else is bounded". When set, a single deadline is threaded
+    /// through every optimizer stage — the joint ILP, the target-search
+    /// hill-climb and the prefix DPs — and expiry degrades the run down
+    /// the fallback ladder rather than failing it (the final Dadda rung is
+    /// never budget-checked, so a verified multiplier always comes back).
+    pub pipeline_budget: Option<Duration>,
     /// Carry-select block style of the final CPA; the paper replaces CSL
     /// with CSSA when a long block dominates delay.
     pub select_style: SelectStyle,
@@ -40,6 +49,7 @@ impl Default for GomilConfig {
             alpha: 3.0,
             beta: 2.0,
             solver_budget: Duration::from_secs(10),
+            pipeline_budget: None,
             select_style: SelectStyle::SelectSkip,
             power_vectors: 512,
             arrival_aware: true,
@@ -53,6 +63,16 @@ impl GomilConfig {
     pub fn with_budget(budget: Duration) -> GomilConfig {
         GomilConfig {
             solver_budget: budget,
+            ..GomilConfig::default()
+        }
+    }
+
+    /// A configuration with an end-to-end pipeline deadline (see
+    /// [`pipeline_budget`](GomilConfig::pipeline_budget)) and paper
+    /// defaults elsewhere.
+    pub fn with_pipeline_budget(budget: Duration) -> GomilConfig {
+        GomilConfig {
+            pipeline_budget: Some(budget),
             ..GomilConfig::default()
         }
     }

@@ -13,7 +13,9 @@
 //! total bits remain in `V_s`.
 
 use crate::config::GomilConfig;
+use crate::global::SolveStats;
 use gomil_arith::{dadda_schedule, required_stages, Bcv, CompressionSchedule, StageCounts};
+use gomil_budget::Budget;
 use gomil_ilp::{BranchConfig, Cmp, LinExpr, Model, Sense, SolveError, Var};
 
 /// Handles to the CT ILP's variables, for embedding into the global model.
@@ -117,8 +119,8 @@ impl CtIlp {
         }
 
         // Eq. (9): final heights in 0..=2 (≥ 0 already via bounds).
-        for j in 0..n {
-            model.set_var_bounds(vs[stages - 1][j], 0.0, 2.0);
+        for &v in &vs[stages - 1] {
+            model.set_var_bounds(v, 0.0, 2.0);
         }
 
         // Eq. (2)/(3): objective α·F + β·H.
@@ -173,6 +175,22 @@ impl CtIlp {
     /// Propagates solver errors; `Infeasible` cannot occur for valid BCVs
     /// because Dadda is always a witness.
     pub fn solve(&self, cfg: &GomilConfig) -> Result<CtSolution, SolveError> {
+        self.solve_budgeted(cfg, &Budget::unlimited())
+    }
+
+    /// [`solve`](CtIlp::solve) under a shared wall-clock budget: branch and
+    /// bound stops at the earlier of `cfg.solver_budget` and the budget's
+    /// deadline, and reacts to cooperative cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; budget expiry without an incumbent
+    /// surfaces as [`SolveError::Limit`].
+    pub fn solve_budgeted(
+        &self,
+        cfg: &GomilConfig,
+        budget: &Budget,
+    ) -> Result<CtSolution, SolveError> {
         // Prefer a Dadda warm start; fall back to the steered generator
         // when Dadda's shape doesn't fit this model (leftmost-column use
         // or a bumped stage count on irregular profiles).
@@ -184,6 +202,7 @@ impl CtIlp {
         });
         let branch = BranchConfig {
             time_limit: Some(cfg.solver_budget),
+            budget: budget.clone(),
             initial,
             ..BranchConfig::default()
         };
@@ -192,6 +211,7 @@ impl CtIlp {
         Ok(CtSolution {
             objective: sol.objective(),
             proven_optimal: sol.is_optimal(),
+            stats: SolveStats::from(&sol),
             schedule,
         })
     }
@@ -219,6 +239,8 @@ pub struct CtSolution {
     pub objective: f64,
     /// Whether branch and bound proved optimality within the budget.
     pub proven_optimal: bool,
+    /// Branch-and-bound statistics of the solve.
+    pub stats: SolveStats,
     /// The extracted (validated-by-construction) schedule.
     pub schedule: CompressionSchedule,
 }

@@ -1,0 +1,91 @@
+//! Typed errors for the end-to-end GOMIL flow.
+//!
+//! Earlier versions surfaced core failures as bare [`SolveError`]s or
+//! `String`s; [`GomilError`] gives every failure mode of the pipeline a
+//! typed home so callers can distinguish "your input is wrong" from "the
+//! optimizer gave up" from "the constructed hardware is broken".
+
+use gomil_budget::BudgetExceeded;
+use gomil_ilp::SolveError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure of the GOMIL construction pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GomilError {
+    /// The caller's request is malformed (word length too small, odd width
+    /// with a Booth PPG, over-truncation, …). These used to be panics.
+    InvalidInput(String),
+    /// The ILP machinery failed in a way the degradation ladder could not
+    /// absorb.
+    Solve(SolveError),
+    /// The wall-clock budget expired before even the cheapest fallback
+    /// could run.
+    Budget(BudgetExceeded),
+    /// A validated schedule could not be realized as gates — an internal
+    /// invariant violation, never expected on release builds.
+    Realization(String),
+    /// Functional verification found a mismatching input pair; the message
+    /// names the design and the first counterexample.
+    Verification(String),
+}
+
+impl fmt::Display for GomilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GomilError::InvalidInput(s) => write!(f, "invalid input: {s}"),
+            GomilError::Solve(e) => write!(f, "solver failure: {e}"),
+            GomilError::Budget(e) => write!(f, "pipeline budget exhausted: {e}"),
+            GomilError::Realization(s) => write!(f, "schedule realization failed: {s}"),
+            GomilError::Verification(s) => write!(f, "verification failed: {s}"),
+        }
+    }
+}
+
+impl Error for GomilError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GomilError::Solve(e) => Some(e),
+            GomilError::Budget(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for GomilError {
+    fn from(e: SolveError) -> GomilError {
+        GomilError::Solve(e)
+    }
+}
+
+impl From<BudgetExceeded> for GomilError {
+    fn from(e: BudgetExceeded) -> GomilError {
+        GomilError::Budget(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed_by_failure_class() {
+        assert!(GomilError::InvalidInput("m = 1".into())
+            .to_string()
+            .starts_with("invalid input"));
+        assert!(GomilError::from(SolveError::Infeasible)
+            .to_string()
+            .contains("infeasible"));
+        assert!(GomilError::Verification("x".into())
+            .to_string()
+            .starts_with("verification failed"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_sourced() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<GomilError>();
+        let e = GomilError::from(SolveError::Unbounded);
+        assert!(e.source().is_some());
+    }
+}

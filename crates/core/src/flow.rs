@@ -5,11 +5,13 @@
 //! multiplication.
 
 use crate::config::GomilConfig;
-use crate::global::{optimize_global, GlobalSolution};
+use crate::error::GomilError;
+use crate::global::{optimize_global_with_budget, GlobalSolution};
 use gomil_arith::{and_ppg, baugh_wooley_ppg, booth4_ppg, booth8_ppg, realize_schedule, PpgKind};
-use gomil_ilp::SolveError;
+use gomil_budget::Budget;
 use gomil_netlist::{NetId, Netlist};
-use gomil_prefix::{leaf_types, optimize_prefix_tree_with_arrivals, ppf_csl_sum, PrefixTree, TwoRows};
+use gomil_prefix::{dp_tables_budgeted, leaf_types, ppf_csl_sum, PrefixTree, TwoRows};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Area split of a multiplier by pipeline region (paper Section III:
 /// "the CT dominates the area of a multiplier, while the CT and the
@@ -69,17 +71,18 @@ impl MultiplierBuild {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first mismatching input pair.
-    pub fn verify(&self) -> Result<(), String> {
+    /// [`GomilError::Verification`] describing the first mismatching input
+    /// pair.
+    pub fn verify(&self) -> Result<(), GomilError> {
         let m = self.m;
-        let check = |x: u128, y: u128| -> Result<(), String> {
+        let check = |x: u128, y: u128| -> Result<(), GomilError> {
             let got = self.netlist.eval_ints(&[x, y], "p");
             let want = self.expected_product(x, y);
             if got != want {
-                return Err(format!(
+                return Err(GomilError::Verification(format!(
                     "{}: {x} × {y} = {want}, netlist produced {got}",
                     self.name
-                ));
+                )));
             }
             Ok(())
         };
@@ -139,6 +142,60 @@ pub(crate) fn finish_product(nl: &mut Netlist, mut sum: Vec<NetId>, m: usize) ->
     sum
 }
 
+/// The pipeline budget configured for one end-to-end build (unlimited when
+/// [`GomilConfig::pipeline_budget`] is `None`).
+pub(crate) fn pipeline_budget(cfg: &GomilConfig) -> Budget {
+    match cfg.pipeline_budget {
+        Some(limit) => Budget::with_limit(limit),
+        None => Budget::unlimited(),
+    }
+}
+
+/// Chooses the prefix tree to realize: the solution's full-width optimum,
+/// or — when [`arrival_aware`](GomilConfig::arrival_aware) is on and budget
+/// remains — a re-optimized tree seeded with the CT's realized per-column
+/// arrival times. Budget expiry mid-DP falls back to the plain tree rather
+/// than failing the build.
+pub(crate) fn choose_realized_tree(
+    nl: &Netlist,
+    rows: &TwoRows,
+    solution: &GlobalSolution,
+    cfg: &GomilConfig,
+    budget: &Budget,
+) -> PrefixTree {
+    if !cfg.arrival_aware {
+        return solution.tree.clone();
+    }
+    // Arrivals are converted to Table-I delay units via the typical
+    // realized delay of a prefix node's generate path.
+    const NODE_DELAY_UNIT: f64 = 1.1;
+    let timing = nl.timing();
+    let arrivals: Vec<f64> = (0..rows.width())
+        .map(|j| {
+            rows.column(j)
+                .iter()
+                .map(|&bit| timing.arrival(bit))
+                .fold(0.0, f64::max)
+                / NODE_DELAY_UNIT
+        })
+        .collect();
+    let b = leaf_types(solution.vs.counts());
+    match dp_tables_budgeted(&b, cfg.w, Some(&arrivals), budget) {
+        Ok(t) => t.tree(b.len() - 1, 0),
+        Err(_) => solution.tree.clone(),
+    }
+}
+
+/// Converts a caught panic payload into a [`GomilError::Realization`].
+fn panic_to_error(payload: Box<dyn std::any::Any + Send>) -> GomilError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    GomilError::Realization(format!("internal panic during construction: {msg}"))
+}
+
 /// A GOMIL-optimized multiplier together with the optimization record.
 #[derive(Debug, Clone)]
 pub struct GomilDesign {
@@ -157,14 +214,45 @@ pub struct GomilDesign {
 
 /// Builds a GOMIL-optimized `m × m` multiplier with the given PPG.
 ///
+/// Resilience contract: invalid requests come back as
+/// [`GomilError::InvalidInput`] (not panics); internal panics anywhere in
+/// the construction are caught and surfaced as
+/// [`GomilError::Realization`]; and under a
+/// [`pipeline_budget`](GomilConfig::pipeline_budget) the optimizer
+/// degrades down its fallback ladder rather than failing, so budget
+/// expiry still yields a correct multiplier (see
+/// [`GlobalSolution::degradation`]).
+///
 /// # Errors
 ///
-/// Propagates ILP solver failures (the search path cannot fail).
-///
-/// # Panics
-///
-/// Panics if `m < 2`, or `m` is odd with a Booth PPG.
-pub fn build_gomil(m: usize, ppg: PpgKind, cfg: &GomilConfig) -> Result<GomilDesign, SolveError> {
+/// [`GomilError::InvalidInput`] for bad requests, otherwise only internal
+/// failures the degradation ladder could not absorb.
+pub fn build_gomil(m: usize, ppg: PpgKind, cfg: &GomilConfig) -> Result<GomilDesign, GomilError> {
+    if m < 2 {
+        return Err(GomilError::InvalidInput(format!(
+            "word length must be at least 2, got {m}"
+        )));
+    }
+    if ppg == PpgKind::Booth4 && !m.is_multiple_of(2) {
+        return Err(GomilError::InvalidInput(format!(
+            "radix-4 Booth supports even word lengths, got {m}"
+        )));
+    }
+    if ppg == PpgKind::Booth8 && m < 3 {
+        return Err(GomilError::InvalidInput(format!(
+            "radix-8 Booth needs at least 3-bit operands, got {m}"
+        )));
+    }
+    catch_unwind(AssertUnwindSafe(|| build_gomil_inner(m, ppg, cfg)))
+        .unwrap_or_else(|payload| Err(panic_to_error(payload)))
+}
+
+fn build_gomil_inner(
+    m: usize,
+    ppg: PpgKind,
+    cfg: &GomilConfig,
+) -> Result<GomilDesign, GomilError> {
+    let budget = pipeline_budget(cfg);
     let mut nl = Netlist::new(format!("gomil_{}_{m}", ppg.label().to_lowercase()));
     let a = nl.add_input("a", m);
     let b = nl.add_input("b", m);
@@ -172,33 +260,15 @@ pub fn build_gomil(m: usize, ppg: PpgKind, cfg: &GomilConfig) -> Result<GomilDes
     let v0 = pp.heights();
     let area_after_ppg = nl.area();
 
-    let solution = optimize_global(&v0, cfg)?;
+    let solution = optimize_global_with_budget(&v0, cfg, &budget)?;
     let reduced = realize_schedule(&mut nl, &pp, &solution.schedule)
-        .expect("optimizer schedules are validated");
+        .map_err(|e| GomilError::Realization(format!("{}: {e}", nl.name())))?;
     let area_after_ct = nl.area();
     let rows = TwoRows::from_matrix(&reduced);
 
     // Optionally re-optimize the tree against the CT's realized arrival
-    // profile (extension; see `GomilConfig::arrival_aware`). Arrivals are
-    // converted to Table-I delay units via the typical realized delay of a
-    // prefix node's generate path.
-    let tree = if cfg.arrival_aware {
-        const NODE_DELAY_UNIT: f64 = 1.1;
-        let timing = nl.timing();
-        let arrivals: Vec<f64> = (0..rows.width())
-            .map(|j| {
-                rows.column(j)
-                    .iter()
-                    .map(|&b| timing.arrival(b))
-                    .fold(0.0, f64::max)
-                    / NODE_DELAY_UNIT
-            })
-            .collect();
-        let b = leaf_types(solution.vs.counts());
-        optimize_prefix_tree_with_arrivals(&b, cfg.w, &arrivals).tree
-    } else {
-        solution.tree.clone()
-    };
+    // profile (extension; see `GomilConfig::arrival_aware`).
+    let tree = choose_realized_tree(&nl, &rows, &solution, cfg, &budget);
     let sum = ppf_csl_sum(&mut nl, &rows, &tree, cfg.select_style);
     let p = finish_product(&mut nl, sum, m);
     nl.add_output("p", p);
@@ -230,44 +300,30 @@ pub fn build_gomil(m: usize, ppg: PpgKind, cfg: &GomilConfig) -> Result<GomilDes
 ///
 /// # Errors
 ///
-/// Propagates ILP solver failures.
-///
-/// # Panics
-///
-/// Panics if either width is < 2.
+/// [`GomilError::InvalidInput`] if either width is < 2; otherwise only
+/// internal failures the degradation ladder could not absorb.
 pub fn build_gomil_rect(
     m: usize,
     n: usize,
     cfg: &GomilConfig,
-) -> Result<GomilDesign, SolveError> {
-    assert!(m >= 2 && n >= 2, "operand widths must be at least 2");
+) -> Result<GomilDesign, GomilError> {
+    if m < 2 || n < 2 {
+        return Err(GomilError::InvalidInput(format!(
+            "operand widths must be at least 2, got {m}×{n}"
+        )));
+    }
+    let budget = pipeline_budget(cfg);
     let mut nl = Netlist::new(format!("gomil_and_{m}x{n}"));
     let a = nl.add_input("a", m);
     let b = nl.add_input("b", n);
     let pp = and_ppg(&mut nl, &a, &b);
     let v0 = pp.heights();
 
-    let solution = optimize_global(&v0, cfg)?;
+    let solution = optimize_global_with_budget(&v0, cfg, &budget)?;
     let reduced = realize_schedule(&mut nl, &pp, &solution.schedule)
-        .expect("optimizer schedules are validated");
+        .map_err(|e| GomilError::Realization(format!("{}: {e}", nl.name())))?;
     let rows = TwoRows::from_matrix(&reduced);
-    let tree = if cfg.arrival_aware {
-        const NODE_DELAY_UNIT: f64 = 1.1;
-        let timing = nl.timing();
-        let arrivals: Vec<f64> = (0..rows.width())
-            .map(|j| {
-                rows.column(j)
-                    .iter()
-                    .map(|&bit| timing.arrival(bit))
-                    .fold(0.0, f64::max)
-                    / NODE_DELAY_UNIT
-            })
-            .collect();
-        let lb = leaf_types(solution.vs.counts());
-        optimize_prefix_tree_with_arrivals(&lb, cfg.w, &arrivals).tree
-    } else {
-        solution.tree.clone()
-    };
+    let tree = choose_realized_tree(&nl, &rows, &solution, cfg, &budget);
     let mut sum = ppf_csl_sum(&mut nl, &rows, &tree, cfg.select_style);
     sum.truncate(m + n);
     while sum.len() < m + n {
@@ -368,6 +424,35 @@ mod tests {
             }
         }
         assert!(d.build.netlist.check().is_empty());
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors_not_panics() {
+        let cfg = GomilConfig::fast();
+        assert!(matches!(
+            build_gomil(1, PpgKind::And, &cfg),
+            Err(GomilError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            build_gomil(5, PpgKind::Booth4, &cfg),
+            Err(GomilError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            build_gomil_rect(1, 4, &cfg),
+            Err(GomilError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn zero_pipeline_budget_still_builds_a_correct_multiplier() {
+        let cfg = GomilConfig {
+            pipeline_budget: Some(std::time::Duration::ZERO),
+            ..GomilConfig::fast()
+        };
+        let d = build_gomil(6, PpgKind::And, &cfg).unwrap();
+        d.build.verify().unwrap();
+        let report = &d.solution.degradation;
+        assert_eq!(report.winner, Some(crate::global::Rung::DaddaPrefix));
     }
 
     #[test]

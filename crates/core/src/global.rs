@@ -1,8 +1,10 @@
-//! Global CT + prefix optimization (paper Section III-C).
+//! Global CT + prefix optimization (paper Section III-C) behind a
+//! graceful-degradation ladder.
 //!
 //! The coupling variable between the two ILPs is the CT's output BCV
 //! `V_s`: its entries decide both the compressor cost and the leaf types
-//! of the prefix structure. Two solution paths are provided:
+//! of the prefix structure. Several solution paths are provided, ordered
+//! best-first:
 //!
 //! * [`joint_ilp`] — the paper's formulation: CT constraints + prefix IP
 //!   constraints + the combined objective `α·F + β·H + c_{L−1:0}`
@@ -10,22 +12,220 @@
 //!   (exactly how the paper runs Gurobi, with its `3600 + L³` second cap),
 //!   followed by the paper's post-pass: re-optimize the *full-width*
 //!   prefix structure for the resulting `V_s`.
+//! * a *truncated* ILP — the CT ILP alone (the prefix coupling truncated
+//!   away) plus the exact full-width prefix DP as a post-pass; much
+//!   smaller and numerically tamer than the joint model.
 //! * [`target_search`] — a scalable joint optimizer for large word lengths
 //!   where a from-scratch MILP solver cannot close the gap: hill-climbing
 //!   over final-height target profiles, with each candidate evaluated
 //!   *exactly* (a targeted-Dadda schedule generator for the CT side and
 //!   the full interval DP for the prefix side). Unlike the truncated ILP
 //!   it scores the complete prefix cost, not just `c_{L−1:0}`.
+//! * plain Dadda + optimal prefix — the unconditional last resort; never
+//!   budget-checked, cannot fail.
 //!
-//! [`optimize_global`] runs the appropriate path(s) and keeps the better
-//! solution; tests verify the two agree on small instances.
+//! [`optimize_global`] runs the ladder: each rung is attempted under the
+//! shared wall-clock [`Budget`] and inside a panic guard, failures are
+//! recorded in a typed [`DegradationReport`], and the best surviving
+//! solution wins. Tests verify the strategies agree on small instances.
 
 use crate::config::GomilConfig;
 use crate::ct_ilp::CtIlp;
+use crate::error::GomilError;
 use crate::prefix_ilp::{add_prefix_constraints, LeafB};
 use gomil_arith::{dadda_schedule, required_stages_modular, schedule_toward_target, schedule_toward_target_modular, try_required_stages, Bcv, CompressionSchedule};
-use gomil_ilp::{BranchConfig, LinExpr, Sense, SolveError};
-use gomil_prefix::{leaf_types, optimize_prefix_tree, PrefixTree};
+use gomil_budget::{Budget, BudgetExceeded};
+use gomil_ilp::{
+    BranchConfig, IncumbentSource, LinExpr, Sense, Solution, SolveError, WarmStartStatus,
+};
+use gomil_prefix::{dp_tables_budgeted, leaf_types, optimize_prefix_tree, PrefixTree};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// One rung of the graceful-degradation ladder, ordered best-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// The paper's joint ILP (Eq. 27).
+    JointIlp,
+    /// CT-only ILP with the exact prefix DP post-pass.
+    TruncatedIlp,
+    /// Hill-climb over final-height target profiles.
+    TargetSearch,
+    /// Plain Dadda schedule + optimal full-width prefix tree.
+    DaddaPrefix,
+}
+
+impl Rung {
+    /// The strategy string recorded in [`GlobalSolution::strategy`] when
+    /// this rung produces the winning solution.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::JointIlp => "joint-ilp",
+            Rung::TruncatedIlp => "truncated-ilp",
+            Rung::TargetSearch => "target-search",
+            Rung::DaddaPrefix => "dadda-prefix",
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a ladder rung failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RungFailure {
+    /// The ILP machinery reported an error.
+    Solve(SolveError),
+    /// The shared wall-clock budget expired mid-rung with nothing usable.
+    Budget(BudgetExceeded),
+    /// The rung panicked; the payload message is preserved. The panic is
+    /// contained — later rungs still run.
+    Panic(String),
+}
+
+impl fmt::Display for RungFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RungFailure::Solve(e) => write!(f, "{e}"),
+            RungFailure::Budget(e) => write!(f, "{e}"),
+            RungFailure::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+/// What happened when a rung was attempted (or deliberately not).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RungOutcome {
+    /// The rung produced a feasible global solution with this objective.
+    Succeeded {
+        /// Achieved combined objective `ct_cost + prefix_cost`.
+        objective: f64,
+    },
+    /// The rung ran and failed.
+    Failed(RungFailure),
+    /// The rung was not run; the reason explains why (size guard, budget
+    /// already spent, or an earlier rung already succeeded).
+    Skipped(String),
+}
+
+/// One ladder entry: a rung and what became of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungAttempt {
+    /// Which rung.
+    pub rung: Rung,
+    /// Its outcome.
+    pub outcome: RungOutcome,
+}
+
+impl fmt::Display for RungAttempt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            RungOutcome::Succeeded { objective } => {
+                write!(f, "{}: ok (objective {objective})", self.rung)
+            }
+            RungOutcome::Failed(why) => write!(f, "{}: failed ({why})", self.rung),
+            RungOutcome::Skipped(why) => write!(f, "{}: skipped ({why})", self.rung),
+        }
+    }
+}
+
+/// A typed record of the degradation ladder's run: every rung attempted,
+/// every failure absorbed, and which rung's solution won.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DegradationReport {
+    /// Rungs in attempt order.
+    pub attempts: Vec<RungAttempt>,
+    /// The rung whose solution was returned, once the ladder finished.
+    pub winner: Option<Rung>,
+}
+
+impl DegradationReport {
+    /// Whether any rung actually failed (as opposed to being skipped) —
+    /// i.e. the pipeline had to absorb a fault to produce its answer.
+    pub fn degraded(&self) -> bool {
+        self.attempts
+            .iter()
+            .any(|a| matches!(a.outcome, RungOutcome::Failed(_)))
+    }
+
+    /// The recorded attempt for `rung`, if it appears in the report.
+    pub fn attempt(&self, rung: Rung) -> Option<&RungAttempt> {
+        self.attempts.iter().find(|a| a.rung == rung)
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        match self.winner {
+            Some(w) => write!(f, "; winner: {w}"),
+            None => write!(f, "; no winner"),
+        }
+    }
+}
+
+/// Branch-and-bound statistics of an ILP-backed rung, surfaced so reports
+/// and the CLI can print how the solve went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveStats {
+    /// Wall-clock time of the solve (including any numerical retry).
+    pub wall_time: Duration,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Total simplex iterations across LP relaxations.
+    pub lp_iterations: u64,
+    /// Whether optimality was proven within the budget.
+    pub proven_optimal: bool,
+    /// Relative optimality gap of the returned incumbent.
+    pub gap: f64,
+    /// Which mechanism produced the incumbent.
+    pub incumbent_source: IncumbentSource,
+    /// Outcome of warm-start validation.
+    pub warm_start: WarmStartStatus,
+    /// Whether the independent post-solve certifier accepted the solution.
+    pub certified: bool,
+}
+
+impl From<&Solution> for SolveStats {
+    fn from(s: &Solution) -> SolveStats {
+        SolveStats {
+            wall_time: s.wall_time(),
+            nodes: s.nodes(),
+            lp_iterations: s.lp_iterations(),
+            proven_optimal: s.is_optimal(),
+            gap: s.gap(),
+            incumbent_source: s.incumbent_source(),
+            warm_start: s.warm_start().clone(),
+            certified: s.certificate().is_some(),
+        }
+    }
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {:.1?}: {} nodes, {} LP iterations, gap {:.2}%, incumbent from {}, warm start {}, {}",
+            if self.proven_optimal { "optimal" } else { "feasible" },
+            self.wall_time,
+            self.nodes,
+            self.lp_iterations,
+            100.0 * self.gap,
+            self.incumbent_source,
+            self.warm_start,
+            if self.certified { "certified" } else { "uncertified" },
+        )
+    }
+}
 
 /// A complete jointly-optimized design decision.
 #[derive(Debug, Clone)]
@@ -42,8 +242,14 @@ pub struct GlobalSolution {
     pub prefix_cost: f64,
     /// Combined objective `ct_cost + prefix_cost`.
     pub objective: f64,
-    /// Which optimizer produced it.
+    /// Which optimizer produced it (a [`Rung::label`]).
     pub strategy: &'static str,
+    /// Branch-and-bound statistics, when an ILP rung produced the winner
+    /// (`None` for the search and Dadda rungs, which do not run an ILP).
+    pub solver_stats: Option<SolveStats>,
+    /// How the degradation ladder got here. Empty (no attempts) for
+    /// solutions produced by calling a single strategy directly.
+    pub degradation: DegradationReport,
 }
 
 /// Scores a schedule + BCV pair under the global objective (full-width
@@ -70,7 +276,37 @@ fn solution_from(
         prefix_cost,
         objective: ct_cost + prefix_cost,
         strategy,
+        solver_stats: None,
+        degradation: DegradationReport::default(),
     }
+}
+
+/// Budget-aware variant of [`solution_from`]: the prefix DP aborts when the
+/// budget expires, so a hill-climb can bail out mid-candidate.
+fn solution_from_budgeted(
+    vs: Bcv,
+    schedule: CompressionSchedule,
+    cfg: &GomilConfig,
+    strategy: &'static str,
+    budget: &Budget,
+) -> Result<GlobalSolution, BudgetExceeded> {
+    let ct_cost = schedule.cost(cfg.alpha, cfg.beta);
+    let b = leaf_types(vs.counts());
+    let t = dp_tables_budgeted(&b, cfg.w, None, budget)?;
+    let n = b.len();
+    let (area, delay) = t.area_delay(n - 1, 0);
+    let prefix_cost = area + cfg.w * delay;
+    Ok(GlobalSolution {
+        tree: t.tree(n - 1, 0),
+        schedule,
+        vs,
+        ct_cost,
+        prefix_cost,
+        objective: ct_cost + prefix_cost,
+        strategy,
+        solver_stats: None,
+        degradation: DegradationReport::default(),
+    })
 }
 
 /// Joint optimization by hill-climbing over final-height target profiles.
@@ -79,6 +315,24 @@ fn solution_from(
 /// flipping every column's target (1 ↔ 2), keeping the first strict
 /// improvement of the exact global objective. Deterministic.
 pub fn target_search(v0: &Bcv, cfg: &GomilConfig) -> GlobalSolution {
+    target_search_budgeted(v0, cfg, &Budget::unlimited())
+        .expect("unlimited budget cannot expire")
+}
+
+/// Budget-aware [`target_search`]: the hill-climb checks the budget before
+/// each candidate and returns the best solution found so far once it
+/// expires.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] only if the budget died before even the Dadda seed
+/// could be scored — in that case there is no solution to degrade to at
+/// this rung (the ladder's final rung ignores budgets instead).
+pub fn target_search_budgeted(
+    v0: &Bcv,
+    cfg: &GomilConfig,
+    budget: &Budget,
+) -> Result<GlobalSolution, BudgetExceeded> {
     // Strict (Eq. 4) when possible; otherwise the modular rule (leftmost
     // compressors allowed, width may grow — sound for full-product-width
     // matrices; see `schedule_toward_target_modular`).
@@ -97,31 +351,45 @@ pub fn target_search(v0: &Bcv, cfg: &GomilConfig) -> GlobalSolution {
     // Seed: plain Dadda (always feasible) — its own achieved profile.
     let dadda = dadda_schedule(v0);
     let dadda_vs = dadda.final_bcv(v0).expect("dadda is valid");
-    let mut best = solution_from(dadda_vs.clone(), dadda, cfg, "target-search");
+    let mut best = solution_from_budgeted(dadda_vs.clone(), dadda, cfg, "target-search", budget)?;
     let mut target: Vec<u32> = dadda_vs.counts().to_vec();
 
     // Also try the steered generator on the seed profile (it may already
     // differ from plain Dadda by preferring cheap columns).
-    if let Some((sched, vs)) = steer(&target) {
-        let cand = solution_from(vs, sched, cfg, "target-search");
-        if cand.objective < best.objective {
-            best = cand;
+    if budget.check().is_ok() {
+        if let Some((sched, vs)) = steer(&target) {
+            if let Ok(cand) = solution_from_budgeted(vs, sched, cfg, "target-search", budget) {
+                if cand.objective < best.objective {
+                    best = cand;
+                }
+            }
         }
     }
 
     let n = v0.len();
     let max_rounds = 2 * n + 10;
-    for _round in 0..max_rounds {
+    'climb: for _round in 0..max_rounds {
         let mut improved = false;
         for j in 0..n {
+            if budget.exhausted() {
+                break 'climb;
+            }
             let old = target[j];
             target[j] = if old == 1 { 2 } else { 1 };
             if let Some((sched, vs)) = steer(&target) {
-                let cand = solution_from(vs, sched, cfg, "target-search");
-                if cand.objective < best.objective - 1e-9 {
-                    best = cand;
-                    improved = true;
-                    continue; // keep the flip
+                match solution_from_budgeted(vs, sched, cfg, "target-search", budget) {
+                    Ok(cand) if cand.objective < best.objective - 1e-9 => {
+                        best = cand;
+                        improved = true;
+                        continue; // keep the flip
+                    }
+                    Err(_) => {
+                        // Budget died scoring this candidate: keep the
+                        // incumbent and stop climbing.
+                        target[j] = old;
+                        break 'climb;
+                    }
+                    Ok(_) => {}
                 }
             }
             target[j] = old; // revert
@@ -130,7 +398,7 @@ pub fn target_search(v0: &Bcv, cfg: &GomilConfig) -> GlobalSolution {
             break;
         }
     }
-    best
+    Ok(best)
 }
 
 /// The paper's joint ILP (Eq. 27 with the `L` truncation), warm-started
@@ -143,6 +411,22 @@ pub fn target_search(v0: &Bcv, cfg: &GomilConfig) -> GlobalSolution {
 /// Propagates solver failures. Warm starting makes `Limit` without an
 /// incumbent impossible for valid inputs.
 pub fn joint_ilp(v0: &Bcv, cfg: &GomilConfig) -> Result<GlobalSolution, SolveError> {
+    joint_ilp_budgeted(v0, cfg, &Budget::unlimited())
+}
+
+/// [`joint_ilp`] under a shared wall-clock budget: branch and bound
+/// respects the *earlier* of `cfg.solver_budget` and the budget's
+/// deadline, and reacts to cooperative cancellation.
+///
+/// # Errors
+///
+/// Propagates solver failures; budget expiry without an incumbent
+/// surfaces as [`SolveError::Limit`].
+pub fn joint_ilp_budgeted(
+    v0: &Bcv,
+    cfg: &GomilConfig,
+    budget: &Budget,
+) -> Result<GlobalSolution, SolveError> {
     let n = v0.len();
     // The paper's formulation needs a leftmost-free reduction to exist
     // (Eq. 4); profiles without one go to the modular target search.
@@ -201,39 +485,245 @@ pub fn joint_ilp(v0: &Bcv, cfg: &GomilConfig) -> Result<GlobalSolution, SolveErr
 
     let branch = BranchConfig {
         time_limit: Some(cfg.solver_budget),
+        budget: budget.clone(),
         initial,
         ..BranchConfig::default()
     };
     let sol = model.solve_with(&branch)?;
     let schedule = ct.extract_schedule(sol.values());
     let vs = schedule.final_bcv(v0).expect("solver output is feasible");
-    Ok(solution_from(vs, schedule, cfg, "joint-ilp"))
+    let mut out = solution_from(vs, schedule, cfg, "joint-ilp");
+    out.solver_stats = Some(SolveStats::from(&sol));
+    Ok(out)
 }
 
-/// Runs the joint optimization, choosing the strategy by problem size and
-/// keeping the better of the ILP and search results when both run.
+/// The truncated-ILP rung: solve the CT ILP alone (the prefix coupling
+/// truncated away) and post-pass with the exact full-width prefix DP.
+fn truncated_ilp_budgeted(
+    v0: &Bcv,
+    cfg: &GomilConfig,
+    budget: &Budget,
+) -> Result<GlobalSolution, SolveError> {
+    if try_required_stages(v0).is_none() {
+        return Err(SolveError::Infeasible);
+    }
+    let ct = CtIlp::build(v0, cfg);
+    let ct_sol = ct.solve_budgeted(cfg, budget)?;
+    let vs = ct_sol
+        .schedule
+        .final_bcv(v0)
+        .expect("solver output is feasible");
+    let mut out = solution_from(vs, ct_sol.schedule, cfg, "truncated-ilp");
+    out.solver_stats = Some(ct_sol.stats);
+    Ok(out)
+}
+
+/// Runs a rung's closure inside a panic guard, converting an unwind into a
+/// typed [`RungFailure::Panic`] so the ladder can move on.
+fn guarded(
+    f: impl FnOnce() -> Result<GlobalSolution, RungFailure>,
+) -> Result<GlobalSolution, RungFailure> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(RungFailure::Panic(msg))
+        }
+    }
+}
+
+/// Runs the joint optimization, choosing the strategy by problem size,
+/// keeping the better of the ILP and search results when both run, and
+/// degrading down the ladder instead of failing when a rung errors out.
+///
+/// Equivalent to [`optimize_global_with_budget`] with the budget taken
+/// from [`GomilConfig::pipeline_budget`] (unlimited when `None`).
 ///
 /// # Errors
 ///
-/// Propagates solver failures from the ILP path.
-pub fn optimize_global(v0: &Bcv, cfg: &GomilConfig) -> Result<GlobalSolution, SolveError> {
-    let searched = target_search(v0, cfg);
-    // The joint ILP's size grows as Θ(n·L²); past ~16 columns a dense-
-    // tableau B&B stops being productive within sane budgets, and the
-    // search path (which scores the *full* prefix cost) takes over. This
-    // mirrors the paper's own scalability concession (the L truncation and
-    // runtime cap).
-    if v0.len() <= 16 {
-        match joint_ilp(v0, cfg) {
-            Ok(ilp) if ilp.objective < searched.objective => return Ok(ilp),
-            Ok(_) => {}
-            // A budgeted joint solve may end without an incumbent on
-            // irregular profiles; the search result stands in that case.
-            Err(SolveError::Limit(_)) | Err(SolveError::Infeasible) => {}
-            Err(e) => return Err(e),
+/// Only if every rung — including the unconditional Dadda fallback —
+/// failed, which indicates an internal bug rather than a hard instance.
+pub fn optimize_global(v0: &Bcv, cfg: &GomilConfig) -> Result<GlobalSolution, GomilError> {
+    let budget = match cfg.pipeline_budget {
+        Some(limit) => Budget::with_limit(limit),
+        None => Budget::unlimited(),
+    };
+    optimize_global_with_budget(v0, cfg, &budget)
+}
+
+/// The degradation ladder under an explicit shared budget: joint ILP →
+/// truncated ILP → target search → plain Dadda + optimal prefix.
+///
+/// Rules of the ladder:
+///
+/// * the joint ILP only runs for ≤ 16 columns (its size grows as
+///   `Θ(n·L²)`; past that a dense-tableau B&B stops being productive
+///   within sane budgets — this mirrors the paper's own scalability
+///   concession, the `L` truncation and runtime cap);
+/// * the truncated ILP only runs if the joint ILP *failed* (when the
+///   joint model succeeds its answer dominates; when it was skipped for
+///   size the CT-only model would be skipped for the same reason);
+/// * the target search always runs while budget remains, and the best
+///   objective across successful rungs wins;
+/// * the final Dadda rung runs only when nothing else succeeded and is
+///   never budget-checked, so a solution always comes back;
+/// * every rung executes inside a panic guard — a crashing rung is
+///   recorded as [`RungFailure::Panic`] and the ladder continues.
+///
+/// The returned solution carries the full [`DegradationReport`].
+///
+/// # Errors
+///
+/// Only if every rung failed (an internal bug by construction).
+pub fn optimize_global_with_budget(
+    v0: &Bcv,
+    cfg: &GomilConfig,
+    budget: &Budget,
+) -> Result<GlobalSolution, GomilError> {
+    fn record(
+        attempts: &mut Vec<RungAttempt>,
+        best: &mut Option<(Rung, GlobalSolution)>,
+        rung: Rung,
+        sol: GlobalSolution,
+    ) {
+        attempts.push(RungAttempt {
+            rung,
+            outcome: RungOutcome::Succeeded {
+                objective: sol.objective,
+            },
+        });
+        let better = match best {
+            Some((_, incumbent)) => sol.objective < incumbent.objective - 1e-9,
+            None => true,
+        };
+        if better {
+            *best = Some((rung, sol));
         }
     }
-    Ok(searched)
+    let mut attempts: Vec<RungAttempt> = Vec::new();
+    let mut best: Option<(Rung, GlobalSolution)> = None;
+
+    // Rung 1: the paper's joint ILP.
+    if v0.len() > 16 {
+        attempts.push(RungAttempt {
+            rung: Rung::JointIlp,
+            outcome: RungOutcome::Skipped(format!(
+                "{} columns exceed the joint ILP's practical size (16)",
+                v0.len()
+            )),
+        });
+    } else if try_required_stages(v0).is_none() {
+        attempts.push(RungAttempt {
+            rung: Rung::JointIlp,
+            outcome: RungOutcome::Skipped(
+                "profile has no leftmost-free reduction (Eq. 4)".to_string(),
+            ),
+        });
+    } else if let Err(reason) = budget.check() {
+        attempts.push(RungAttempt {
+            rung: Rung::JointIlp,
+            outcome: RungOutcome::Skipped(format!("budget already exhausted: {reason}")),
+        });
+    } else {
+        match guarded(|| joint_ilp_budgeted(v0, cfg, budget).map_err(RungFailure::Solve)) {
+            Ok(sol) => record(&mut attempts, &mut best, Rung::JointIlp, sol),
+            Err(why) => attempts.push(RungAttempt {
+                rung: Rung::JointIlp,
+                outcome: RungOutcome::Failed(why),
+            }),
+        }
+    }
+
+    // Rung 2: CT-only ILP, a repair path for joint-model failures.
+    let joint_failed = matches!(
+        attempts.last(),
+        Some(RungAttempt {
+            rung: Rung::JointIlp,
+            outcome: RungOutcome::Failed(_),
+        })
+    );
+    if !joint_failed {
+        let why = if best.is_some() {
+            "joint ILP succeeded".to_string()
+        } else {
+            "joint ILP was not attempted".to_string()
+        };
+        attempts.push(RungAttempt {
+            rung: Rung::TruncatedIlp,
+            outcome: RungOutcome::Skipped(why),
+        });
+    } else if let Err(reason) = budget.check() {
+        attempts.push(RungAttempt {
+            rung: Rung::TruncatedIlp,
+            outcome: RungOutcome::Skipped(format!("budget already exhausted: {reason}")),
+        });
+    } else {
+        match guarded(|| truncated_ilp_budgeted(v0, cfg, budget).map_err(RungFailure::Solve)) {
+            Ok(sol) => record(&mut attempts, &mut best, Rung::TruncatedIlp, sol),
+            Err(why) => attempts.push(RungAttempt {
+                rung: Rung::TruncatedIlp,
+                outcome: RungOutcome::Failed(why),
+            }),
+        }
+    }
+
+    // Rung 3: the target search — always competitive, scores the full
+    // prefix cost, and its result is kept when it beats the ILPs.
+    if let Err(reason) = budget.check() {
+        attempts.push(RungAttempt {
+            rung: Rung::TargetSearch,
+            outcome: RungOutcome::Skipped(format!("budget already exhausted: {reason}")),
+        });
+    } else {
+        match guarded(|| target_search_budgeted(v0, cfg, budget).map_err(RungFailure::Budget)) {
+            Ok(sol) => record(&mut attempts, &mut best, Rung::TargetSearch, sol),
+            Err(why) => attempts.push(RungAttempt {
+                rung: Rung::TargetSearch,
+                outcome: RungOutcome::Failed(why),
+            }),
+        }
+    }
+
+    // Rung 4: plain Dadda + optimal prefix — unconditional last resort,
+    // deliberately not budget-checked so *something* always comes back.
+    if best.is_some() {
+        attempts.push(RungAttempt {
+            rung: Rung::DaddaPrefix,
+            outcome: RungOutcome::Skipped("an earlier rung already succeeded".to_string()),
+        });
+    } else {
+        match guarded(|| {
+            let dadda = dadda_schedule(v0);
+            let vs = dadda
+                .final_bcv(v0)
+                .map_err(|e| RungFailure::Solve(SolveError::Numerical(e.to_string())))?;
+            Ok(solution_from(vs, dadda, cfg, "dadda-prefix"))
+        }) {
+            Ok(sol) => record(&mut attempts, &mut best, Rung::DaddaPrefix, sol),
+            Err(why) => attempts.push(RungAttempt {
+                rung: Rung::DaddaPrefix,
+                outcome: RungOutcome::Failed(why),
+            }),
+        }
+    }
+
+    let report = DegradationReport {
+        winner: best.as_ref().map(|(rung, _)| *rung),
+        attempts,
+    };
+    match best {
+        Some((_, mut sol)) => {
+            sol.degradation = report;
+            Ok(sol)
+        }
+        None => Err(GomilError::Solve(SolveError::Numerical(format!(
+            "every degradation rung failed: {report}"
+        )))),
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +777,10 @@ mod tests {
         assert!(fin.is_reduced());
         assert!(fin.iter().all(|c| (1..=2).contains(&c)));
         assert_eq!(sol.tree.span(), (v0.len() - 1, 0));
+        // ILP rungs surface their branch-and-bound statistics.
+        let stats = sol.solver_stats.expect("joint ILP records stats");
+        assert!(stats.certified, "solutions are auto-certified");
+        assert!(stats.nodes >= 1);
     }
 
     #[test]
@@ -295,6 +789,62 @@ mod tests {
         let both = optimize_global(&v0, &cfg()).unwrap();
         let searched = target_search(&v0, &cfg());
         assert!(both.objective <= searched.objective + 1e-9);
+        // The winning rung is recorded and matches the strategy string.
+        let winner = both.degradation.winner.expect("ladder picked a winner");
+        assert_eq!(winner.label(), both.strategy);
+        assert!(!both.degradation.degraded(), "no rung should have failed");
+    }
+
+    #[test]
+    fn ladder_reports_every_rung() {
+        let v0 = Bcv::and_ppg(4);
+        let sol = optimize_global(&v0, &cfg()).unwrap();
+        let rungs: Vec<Rung> = sol.degradation.attempts.iter().map(|a| a.rung).collect();
+        assert_eq!(
+            rungs,
+            vec![
+                Rung::JointIlp,
+                Rung::TruncatedIlp,
+                Rung::TargetSearch,
+                Rung::DaddaPrefix
+            ]
+        );
+        // The display renders without panicking and names the winner.
+        let text = sol.degradation.to_string();
+        assert!(text.contains("winner"), "{text}");
+    }
+
+    #[test]
+    fn dead_budget_still_returns_a_verified_fallback() {
+        let v0 = Bcv::and_ppg(8);
+        let dead = Budget::with_limit(Duration::ZERO);
+        let sol = optimize_global_with_budget(&v0, &cfg(), &dead).unwrap();
+        // Everything except the unconditional Dadda rung was skipped or
+        // failed on budget, so Dadda must have won.
+        assert_eq!(sol.degradation.winner, Some(Rung::DaddaPrefix));
+        assert_eq!(sol.strategy, "dadda-prefix");
+        let fin = sol.schedule.final_bcv(&v0).unwrap();
+        assert!(fin.is_reduced());
+    }
+
+    #[test]
+    fn cancellation_degrades_to_dadda() {
+        let v0 = Bcv::and_ppg(6);
+        let b = Budget::unlimited();
+        b.cancel();
+        let sol = optimize_global_with_budget(&v0, &cfg(), &b).unwrap();
+        assert_eq!(sol.degradation.winner, Some(Rung::DaddaPrefix));
+        let text = sol.degradation.to_string();
+        assert!(text.contains("cancelled"), "{text}");
+    }
+
+    #[test]
+    fn budgeted_search_matches_unbudgeted_when_unconstrained() {
+        let v0 = Bcv::and_ppg(8);
+        let free = target_search(&v0, &cfg());
+        let budgeted =
+            target_search_budgeted(&v0, &cfg(), &Budget::unlimited()).unwrap();
+        assert_eq!(free.objective, budgeted.objective);
     }
 
     #[test]

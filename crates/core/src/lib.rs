@@ -27,13 +27,23 @@
 //! ```
 //! use gomil::{build_gomil, GomilConfig, PpgKind};
 //!
-//! # fn main() -> Result<(), gomil::SolveError> {
+//! # fn main() -> Result<(), gomil::GomilError> {
 //! let design = build_gomil(4, PpgKind::And, &GomilConfig::fast())?;
 //! design.build.verify().expect("multiplier is functionally correct");
 //! println!("{}", design.build.netlist.to_verilog());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Resilience
+//!
+//! Every failure of the pipeline is a typed [`GomilError`]; panics are
+//! contained. [`optimize_global`] runs a graceful-degradation ladder
+//! (joint ILP → truncated ILP → target search → plain Dadda + optimal
+//! prefix) under an optional end-to-end wall-clock budget
+//! ([`GomilConfig::pipeline_budget`]), recording every absorbed failure in
+//! a [`DegradationReport`]. ILP solutions are re-checked by an independent
+//! certifier before being trusted (see [`gomil_ilp::certify`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +52,7 @@ mod approx;
 mod baselines;
 mod config;
 mod ct_ilp;
+mod error;
 mod flow;
 mod global;
 mod prefix_ilp;
@@ -51,13 +62,19 @@ pub use approx::{build_gomil_truncated, ErrorStats};
 pub use baselines::{build_baseline, BaselineKind};
 pub use config::GomilConfig;
 pub use ct_ilp::{CtIlp, CtSolution};
+pub use error::GomilError;
 pub use flow::{build_gomil, build_gomil_rect, GomilDesign, MultiplierBuild, RegionBreakdown};
-pub use global::{joint_ilp, optimize_global, target_search, GlobalSolution};
+pub use global::{
+    joint_ilp, joint_ilp_budgeted, optimize_global, optimize_global_with_budget, target_search,
+    target_search_budgeted, DegradationReport, GlobalSolution, Rung, RungAttempt, RungFailure,
+    RungOutcome, SolveStats,
+};
 pub use prefix_ilp::{add_prefix_constraints, solve_fixed_prefix_ip, LeafB, PrefixVars};
-pub use report::{format_table, normalize, DesignReport, NormalizedRow};
+pub use report::{format_table, normalize, solve_summary, DesignReport, NormalizedRow};
 
 // Re-export the things downstream code almost always needs alongside.
 pub use gomil_arith::{required_stages, schedule_toward_target, Bcv, CompressionSchedule, PpgKind};
-pub use gomil_ilp::SolveError;
+pub use gomil_budget::{Budget, BudgetExceeded};
+pub use gomil_ilp::{IncumbentSource, SolveError, WarmStartStatus};
 pub use gomil_netlist::DesignMetrics;
 pub use gomil_prefix::{PrefixTree, SelectStyle};

@@ -5,6 +5,7 @@
 //! produces the same normalized rows.
 
 use crate::flow::MultiplierBuild;
+use crate::global::GlobalSolution;
 use gomil_netlist::DesignMetrics;
 use std::fmt;
 
@@ -50,6 +51,32 @@ impl fmt::Display for DesignReport {
             if self.verified { "" } else { "  [VERIFY FAILED]" }
         )
     }
+}
+
+/// Renders how the optimizer arrived at a [`GlobalSolution`]: the winning
+/// strategy and its cost split, the branch-and-bound statistics when an
+/// ILP rung won, and the degradation-ladder record when any rung was
+/// skipped or absorbed a failure.
+pub fn solve_summary(sol: &GlobalSolution) -> String {
+    let mut s = format!(
+        "strategy: {} (objective {} = CT {} + prefix {})\n",
+        sol.strategy, sol.objective, sol.ct_cost, sol.prefix_cost
+    );
+    if let Some(stats) = &sol.solver_stats {
+        s.push_str(&format!("solver:   {stats}\n"));
+    }
+    if !sol.degradation.attempts.is_empty() {
+        s.push_str(&format!(
+            "ladder:   {}{}\n",
+            sol.degradation,
+            if sol.degradation.degraded() {
+                "  [DEGRADED]"
+            } else {
+                ""
+            }
+        ));
+    }
+    s
 }
 
 /// One row of a Fig. 3-style normalized comparison.
@@ -134,5 +161,15 @@ mod tests {
     #[should_panic(expected = "not among reports")]
     fn normalize_requires_the_baseline() {
         normalize(&[], "B-Wal-RCA");
+    }
+
+    #[test]
+    fn solve_summary_names_strategy_and_ladder() {
+        let v0 = gomil_arith::Bcv::and_ppg(4);
+        let sol = crate::global::optimize_global(&v0, &GomilConfig::fast()).unwrap();
+        let s = solve_summary(&sol);
+        assert!(s.contains("strategy:"), "{s}");
+        assert!(s.contains("ladder:"), "{s}");
+        assert!(s.contains("winner"), "{s}");
     }
 }

@@ -16,30 +16,49 @@
 //! The search honours wall-clock and node limits and reports the best proven
 //! bound, mirroring how the paper runs Gurobi under a runtime cap.
 
+use crate::certify::certify_values;
 use crate::model::{Cmp, Model, Sense, VarKind};
-use crate::presolve::presolve;
+use crate::presolve::presolve_with_budget;
 use crate::propagate::propagate_bounds;
-use crate::simplex::{solve_lp, LpOutcome, LpProblem, FEAS_TOL};
-use crate::solution::{Solution, SolveError, SolveStatus};
+use crate::simplex::{solve_lp, LpError, LpOutcome, LpProblem, SimplexOpts, FEAS_TOL};
+use crate::solution::{IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus};
+use gomil_budget::Budget;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 /// Configuration for [`Model::solve_with`].
 #[derive(Debug, Clone)]
 pub struct BranchConfig {
-    /// Wall-clock limit for the whole search.
+    /// Wall-clock limit for the whole search. Combined with
+    /// [`budget`](Self::budget): whichever deadline is earlier wins.
     pub time_limit: Option<Duration>,
     /// Maximum number of branch-and-bound nodes.
     pub node_limit: u64,
     /// Stop when `(incumbent − bound)/max(1,|incumbent|)` falls below this.
     pub gap_tol: f64,
     /// Optional warm-start assignment (full values, indexed by variable
-    /// index). Rejected silently if infeasible.
+    /// index). Validated up front; the outcome (including the violated
+    /// constraint on rejection) is reported in
+    /// [`Solution::warm_start`](crate::Solution::warm_start).
     pub initial: Option<Vec<f64>>,
     /// Simplex iteration budget per LP solve.
     pub max_lp_iters: u64,
     /// Run the round-and-repair heuristic every this many nodes (0 = off).
     pub heuristic_period: u64,
+    /// Shared wall-clock budget / cancellation token. Checked between nodes
+    /// and inside the simplex pivot loop, so one pipeline-level budget
+    /// bounds the whole search. Defaults to unlimited.
+    pub budget: Budget,
+    /// Use Bland's anti-cycling rule from the first pivot of every LP.
+    /// Slow but cycle-proof; set by the numerical-retry path.
+    pub force_bland: bool,
+    /// Multiplier on the simplex optimality tolerance (values > 1 relax
+    /// it). Set to 10 by the numerical-retry path.
+    pub tol_scale: f64,
+    /// When `true`, [`Model::solve_with`](crate::Model::solve_with) retries
+    /// a [`SolveError::Numerical`] failure once with `force_bland` and a
+    /// relaxed `tol_scale` before giving up.
+    pub numerical_retry: bool,
 }
 
 impl Default for BranchConfig {
@@ -51,6 +70,10 @@ impl Default for BranchConfig {
             initial: None,
             max_lp_iters: 2_000_000,
             heuristic_period: 20,
+            budget: Budget::unlimited(),
+            force_bland: false,
+            tol_scale: 1.0,
+            numerical_retry: true,
         }
     }
 }
@@ -61,6 +84,15 @@ impl BranchConfig {
         BranchConfig {
             time_limit: Some(limit),
             ..BranchConfig::default()
+        }
+    }
+
+    /// The effective budget for one solve: the configured budget narrowed
+    /// by [`time_limit`](Self::time_limit), sharing its cancel flag.
+    pub(crate) fn effective_budget(&self) -> Budget {
+        match self.time_limit {
+            Some(tl) => self.budget.child_with_limit(tl),
+            None => self.budget.clone(),
         }
     }
 }
@@ -241,6 +273,13 @@ fn expand(std: &Standardized, x: &[f64]) -> Vec<f64> {
 pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveError> {
     let start = Instant::now();
     let maximize = model.sense == Sense::Maximize;
+    let budget = config.effective_budget();
+    let lp_opts = SimplexOpts {
+        max_iters: config.max_lp_iters,
+        force_bland: config.force_bland,
+        tol_scale: config.tol_scale,
+        budget: budget.clone(),
+    };
 
     // Internal costs are always "minimize".
     let mut costs = vec![0.0; model.num_vars()];
@@ -248,7 +287,7 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
         costs[v.index()] = if maximize { -c } else { c };
     }
 
-    let pre = presolve(model);
+    let pre = presolve_with_budget(model, &budget);
     if pre.infeasible {
         return Err(SolveError::Infeasible);
     }
@@ -267,22 +306,31 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
     let mut nodes_explored: u64 = 0;
 
     // Incumbent tracking in minimize space.
-    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (full model values, minimize obj)
-    let record = |vals: Vec<f64>, inc: &mut Option<(Vec<f64>, f64)>| {
+    type Incumbent = (Vec<f64>, f64, IncumbentSource);
+    let mut incumbent: Option<Incumbent> = None; // (full model values, minimize obj, source)
+    let record = |vals: Vec<f64>, source: IncumbentSource, inc: &mut Option<Incumbent>| {
         let obj: f64 = vals
             .iter()
             .enumerate()
             .map(|(i, v)| costs[i] * v)
             .sum::<f64>()
             + if maximize { -model.objective.constant() } else { model.objective.constant() };
-        if inc.as_ref().map_or(true, |(_, best)| obj < best - 1e-9) {
-            *inc = Some((vals, obj));
+        if inc.as_ref().is_none_or(|(_, best, _)| obj < best - 1e-9) {
+            *inc = Some((vals, obj, source));
         }
     };
 
+    // Validate any warm start up front; the outcome (with the exact
+    // violation on rejection) is surfaced on the returned Solution instead
+    // of being dropped silently.
+    let mut warm_start = WarmStartStatus::NotProvided;
     if let Some(init) = &config.initial {
-        if model.is_feasible(init, FEAS_TOL * 10.0) {
-            record(init.clone(), &mut incumbent);
+        match certify_values(model, init, FEAS_TOL * 10.0) {
+            Ok(_) => {
+                warm_start = WarmStartStatus::Accepted;
+                record(init.clone(), IncumbentSource::WarmStart, &mut incumbent);
+            }
+            Err(why) => warm_start = WarmStartStatus::Rejected(why),
         }
     }
 
@@ -310,17 +358,15 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
 
     while let Some(node) = heap.pop() {
         // Prune against incumbent.
-        if let Some((_, best)) = &incumbent {
+        if let Some((_, best, _)) = &incumbent {
             if node.bound >= best - config.gap_tol * best.abs().max(1.0) {
                 continue;
             }
         }
-        if let Some(tl) = config.time_limit {
-            if start.elapsed() > tl {
-                limit_hit = Some(format!("time limit {tl:?}"));
-                best_open_bound = node.bound;
-                break;
-            }
+        if let Err(reason) = budget.check() {
+            limit_hit = Some(reason.to_string());
+            best_open_bound = node.bound;
+            break;
         }
         if nodes_explored >= config.node_limit {
             limit_hit = Some(format!("node limit {}", config.node_limit));
@@ -348,7 +394,17 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
         let mut lp = std.lp.clone();
         lp.lb = lb_buf.clone();
         lp.ub = ub_buf.clone();
-        let (outcome, iters) = solve_lp(&lp, config.max_lp_iters)?;
+        let (outcome, iters) = match solve_lp(&lp, &lp_opts) {
+            Ok(r) => r,
+            Err(LpError::Budget(reason)) => {
+                // Budget ran out inside the pivot loop: stop gracefully with
+                // the incumbent found so far, like any other limit.
+                limit_hit = Some(reason.to_string());
+                best_open_bound = node.bound;
+                break;
+            }
+            Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
+        };
         lp_iters_total += iters;
         let (x, lp_obj) = match outcome {
             LpOutcome::Infeasible => continue,
@@ -370,7 +426,7 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
             slot.1 += 1;
         }
 
-        if let Some((_, best)) = &incumbent {
+        if let Some((_, best, _)) = &incumbent {
             if lp_obj >= best - config.gap_tol * best.abs().max(1.0) {
                 continue;
             }
@@ -426,17 +482,17 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
                         *v = v.round();
                     }
                 }
-                record(vals, &mut incumbent);
+                record(vals, IncumbentSource::LpIntegral, &mut incumbent);
             }
             Some((c, _)) => {
                 // Heuristic: round and repair occasionally.
                 if config.heuristic_period > 0 && nodes_explored % config.heuristic_period == 1 {
                     if let Some(vals) =
-                        crate::heur::round_and_repair(&lp, &std.col_is_int, &x, config.max_lp_iters)
+                        crate::heur::round_and_repair(&lp, &std.col_is_int, &x, &lp_opts)
                     {
                         let full = expand(&std, &vals);
                         if model.is_feasible(&full, FEAS_TOL * 10.0) {
-                            record(full, &mut incumbent);
+                            record(full, IncumbentSource::Heuristic, &mut incumbent);
                         }
                     }
                 }
@@ -472,15 +528,19 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
 
     let flip = |v: f64| if maximize { -v } else { v };
     match (incumbent, limit_hit) {
-        (Some((vals, obj)), None) => Ok(Solution {
+        (Some((vals, obj, source)), None) => Ok(Solution {
             values: vals,
             objective: flip(obj),
             best_bound: flip(obj),
             status: SolveStatus::Optimal,
             nodes: nodes_explored,
             lp_iterations: lp_iters_total,
+            wall_time: start.elapsed(),
+            incumbent_source: source,
+            warm_start,
+            certificate: None,
         }),
-        (Some((vals, obj)), Some(_)) => {
+        (Some((vals, obj, source)), Some(_)) => {
             let bound = best_open_bound.min(obj);
             Ok(Solution {
                 values: vals,
@@ -489,6 +549,10 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
                 status: SolveStatus::Feasible,
                 nodes: nodes_explored,
                 lp_iterations: lp_iters_total,
+                wall_time: start.elapsed(),
+                incumbent_source: source,
+                warm_start,
+                certificate: None,
             })
         }
         (None, None) => Err(SolveError::Infeasible),
@@ -565,6 +629,84 @@ mod tests {
         };
         let s = m.solve_with(&cfg).unwrap();
         assert!((s.objective() - 1.0).abs() < 1e-6);
+        assert_eq!(*s.warm_start(), WarmStartStatus::Accepted);
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_rejected_with_reason() {
+        let mut m = Model::new("t");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("cap", x + y, Cmp::Le, 1.0);
+        m.set_objective(x + y, Sense::Maximize);
+        let cfg = BranchConfig {
+            initial: Some(vec![1.0, 1.0]), // violates "cap"
+            ..BranchConfig::default()
+        };
+        let s = m.solve_with(&cfg).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-6);
+        match s.warm_start() {
+            WarmStartStatus::Rejected(crate::CertifyError::ConstraintViolation {
+                constraint,
+                ..
+            }) => assert_eq!(constraint, "cap"),
+            other => panic!("expected rejection naming the constraint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_returns_warm_start_incumbent() {
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_constraint("c", 2.0 * x, Cmp::Ge, 5.0);
+        m.set_objective(crate::LinExpr::from(x), Sense::Minimize);
+        let cfg = BranchConfig {
+            budget: Budget::with_limit(Duration::ZERO),
+            time_limit: None,
+            initial: Some(vec![4.0]),
+            ..BranchConfig::default()
+        };
+        let s = m.solve_with(&cfg).unwrap();
+        assert_eq!(s.status(), SolveStatus::Feasible);
+        assert_eq!(s.int_value(x), 4);
+        assert_eq!(s.incumbent_source(), IncumbentSource::WarmStart);
+        assert!(s.certificate().is_some());
+    }
+
+    #[test]
+    fn exhausted_budget_without_incumbent_is_a_limit_error() {
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_constraint("c", 2.0 * x, Cmp::Ge, 5.0);
+        m.set_objective(crate::LinExpr::from(x), Sense::Minimize);
+        let cfg = BranchConfig {
+            budget: Budget::with_limit(Duration::ZERO),
+            time_limit: None,
+            ..BranchConfig::default()
+        };
+        assert!(matches!(
+            m.solve_with(&cfg).unwrap_err(),
+            SolveError::Limit(_)
+        ));
+    }
+
+    #[test]
+    fn cancellation_stops_the_search() {
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_constraint("c", 2.0 * x, Cmp::Ge, 5.0);
+        m.set_objective(crate::LinExpr::from(x), Sense::Minimize);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let cfg = BranchConfig {
+            budget,
+            time_limit: None,
+            ..BranchConfig::default()
+        };
+        match m.solve_with(&cfg).unwrap_err() {
+            SolveError::Limit(msg) => assert!(msg.contains("cancelled"), "{msg}"),
+            other => panic!("unexpected: {other}"),
+        }
     }
 
     #[test]

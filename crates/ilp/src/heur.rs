@@ -1,6 +1,6 @@
 //! Primal heuristics for branch and bound.
 
-use crate::simplex::{solve_lp, LpOutcome, LpProblem, FEAS_TOL};
+use crate::simplex::{solve_lp, LpOutcome, LpProblem, SimplexOpts, FEAS_TOL};
 
 /// Round-and-repair heuristic.
 ///
@@ -8,12 +8,14 @@ use crate::simplex::{solve_lp, LpOutcome, LpProblem, FEAS_TOL};
 /// columns, and re-solves the LP over the remaining continuous columns so
 /// that derived variables (e.g. big-M linearization outputs) become
 /// consistent again. Returns the repaired structural assignment if the fixed
-/// LP is feasible.
+/// LP is feasible. A budget failure inside the repair LP simply drops the
+/// heuristic result; the caller's main loop notices the exhausted budget on
+/// its next check.
 pub(crate) fn round_and_repair(
     lp: &LpProblem,
     col_is_int: &[bool],
     x: &[f64],
-    max_iters: u64,
+    opts: &SimplexOpts,
 ) -> Option<Vec<f64>> {
     let mut fixed = lp.clone();
     let mut any_frac = false;
@@ -30,7 +32,7 @@ pub(crate) fn round_and_repair(
     if !any_frac {
         return Some(x[..lp.num_structural].to_vec());
     }
-    match solve_lp(&fixed, max_iters) {
+    match solve_lp(&fixed, opts) {
         Ok((LpOutcome::Optimal { x, .. }, _)) => Some(x),
         _ => None,
     }
@@ -54,7 +56,9 @@ mod tests {
             rows: vec![vec![(0, -2.0), (1, 1.0), (2, 1.0)]],
             rhs: vec![0.0],
         };
-        let out = round_and_repair(&lp, &[true, false], &[0.6, 1.2], 10_000).unwrap();
+        let out =
+            round_and_repair(&lp, &[true, false], &[0.6, 1.2], &SimplexOpts::with_max_iters(10_000))
+                .unwrap();
         assert_eq!(out[0], 1.0);
         assert!((out[1] - 2.0).abs() < 1e-6);
     }
@@ -71,6 +75,8 @@ mod tests {
             rows: vec![vec![(0, 1.0), (1, 1.0)]],
             rhs: vec![0.4],
         };
-        assert!(round_and_repair(&lp, &[true], &[0.6], 10_000).is_none());
+        assert!(
+            round_and_repair(&lp, &[true], &[0.6], &SimplexOpts::with_max_iters(10_000)).is_none()
+        );
     }
 }

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod branch;
+pub mod certify;
 mod expr;
 mod heur;
 mod linearize;
@@ -60,8 +61,10 @@ pub(crate) mod simplex;
 mod solution;
 
 pub use branch::BranchConfig;
+pub use certify::{certify, certify_values, Certificate, CertifyError};
 pub use expr::{LinExpr, Var};
+pub use gomil_budget::{Budget, BudgetExceeded};
 pub use model::{Cmp, Model, Sense, VarKind};
 pub use presolve::Presolved;
 pub use simplex::FEAS_TOL;
-pub use solution::{Solution, SolveError, SolveStatus};
+pub use solution::{IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus};

@@ -21,9 +21,11 @@
 //! ```
 
 use crate::branch::{self, BranchConfig};
+use crate::certify;
 use crate::expr::{LinExpr, Var};
 use crate::solution::{SolveError, Solution};
 use std::fmt;
+use std::time::Instant;
 
 /// The integrality class of a decision variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -280,23 +282,68 @@ impl Model {
 
     /// Solves the model with default configuration.
     ///
+    /// The returned solution has passed the independent post-solve check in
+    /// [`certify`](crate::certify); see [`Model::solve_with`].
+    ///
     /// # Errors
     ///
     /// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`] for
-    /// models without an optimum, and [`SolveError::Limit`] when a resource
-    /// limit stops the search before any feasible point is found.
+    /// models without an optimum, [`SolveError::Limit`] when a resource
+    /// limit stops the search before any feasible point is found, and
+    /// [`SolveError::Certify`] if the solver's answer fails the post-solve
+    /// check (a solver bug).
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        branch::solve(self, &BranchConfig::default())
+        self.solve_with(&BranchConfig::default())
     }
 
     /// Solves with an explicit branch-and-bound configuration (time limits,
-    /// warm start, gap tolerance).
+    /// wall-clock budget, warm start, gap tolerance).
+    ///
+    /// This is the resilient entry point on top of the raw
+    /// [`branch::solve`](crate::branch::solve) engine. It adds two layers:
+    ///
+    /// * **Numerical retry** — when the engine reports
+    ///   [`SolveError::Numerical`] and
+    ///   [`numerical_retry`](BranchConfig::numerical_retry) is on, the solve
+    ///   is repeated once with Bland's anti-cycling pivot rule and relaxed
+    ///   tolerances before the error is propagated.
+    /// * **Certification** — every solution is re-checked against the
+    ///   original model by [`certify::certify`] and carries the resulting
+    ///   [`Certificate`](crate::certify::Certificate); a check failure
+    ///   surfaces as [`SolveError::Certify`] instead of a wrong answer.
     ///
     /// # Errors
     ///
     /// See [`Model::solve`].
     pub fn solve_with(&self, config: &BranchConfig) -> Result<Solution, SolveError> {
-        branch::solve(self, config)
+        let start = Instant::now();
+        let mut sol = match branch::solve(self, config) {
+            Ok(sol) => sol,
+            Err(SolveError::Numerical(first))
+                if config.numerical_retry && !config.force_bland =>
+            {
+                let retry = BranchConfig {
+                    force_bland: true,
+                    tol_scale: 10.0,
+                    ..config.clone()
+                };
+                branch::solve(self, &retry).map_err(|e| match e {
+                    SolveError::Numerical(second) => SolveError::Numerical(format!(
+                        "{first}; retry with Bland's rule also failed: {second}"
+                    )),
+                    other => other,
+                })?
+            }
+            Err(e) => return Err(e),
+        };
+        sol.wall_time = start.elapsed();
+        match certify::certify(self, &sol) {
+            Ok(cert) => {
+                sol.certificate = Some(cert);
+                Ok(sol)
+            }
+            Err(e) => Err(SolveError::Certify(e)),
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::model::{Cmp, Model, VarKind};
 use crate::simplex::FEAS_TOL;
+use gomil_budget::Budget;
 
 /// Result of presolving a model.
 #[derive(Debug, Clone)]
@@ -27,6 +28,12 @@ pub struct Presolved {
 
 /// Runs activity-based bound tightening to a fixpoint (bounded passes).
 pub fn presolve(model: &Model) -> Presolved {
+    presolve_with_budget(model, &Budget::unlimited())
+}
+
+/// Like [`presolve`], but stops tightening early (keeping whatever bounds
+/// it has derived so far, which are always valid) once `budget` expires.
+pub fn presolve_with_budget(model: &Model, budget: &Budget) -> Presolved {
     let n = model.num_vars();
     let mut lb: Vec<f64> = (0..n).map(|i| model.vars[i].lb).collect();
     let mut ub: Vec<f64> = (0..n).map(|i| model.vars[i].ub).collect();
@@ -43,6 +50,9 @@ pub fn presolve(model: &Model) -> Presolved {
     let mut infeasible = false;
 
     'outer: for _pass in 0..20 {
+        if budget.exhausted() {
+            break;
+        }
         let mut changed = false;
         for (ci, c) in model.constraints.iter().enumerate() {
             if redundant[ci] {

@@ -23,7 +23,7 @@
 //! repository stay within a few thousand rows, for which dense pivoting is
 //! both simple and fast.
 
-use crate::solution::SolveError;
+use gomil_budget::{Budget, BudgetExceeded};
 
 /// Feasibility / integrality tolerance used throughout the solver.
 pub const FEAS_TOL: f64 = 1e-6;
@@ -33,6 +33,59 @@ pub const OPT_TOL: f64 = 1e-7;
 const PIVOT_TOL: f64 = 1e-8;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 const STALL_LIMIT: u32 = 60;
+/// Pivot iterations between wall-clock budget checks (a budget check costs
+/// a clock read, so it is amortized over a batch of pivots).
+const BUDGET_CHECK_PERIOD: u64 = 256;
+
+/// Knobs for one LP solve.
+#[derive(Debug, Clone)]
+pub(crate) struct SimplexOpts {
+    /// Total simplex iterations allowed across both phases.
+    pub max_iters: u64,
+    /// Use Bland's rule from the first pivot instead of only after a
+    /// degenerate stall. Slower but cycle-proof; used by the numerical
+    /// retry path.
+    pub force_bland: bool,
+    /// Multiplier on the reduced-cost optimality tolerance. Values > 1
+    /// terminate earlier on numerically marginal problems.
+    pub tol_scale: f64,
+    /// Wall-clock budget checked every [`BUDGET_CHECK_PERIOD`] pivots.
+    pub budget: Budget,
+}
+
+impl Default for SimplexOpts {
+    fn default() -> SimplexOpts {
+        SimplexOpts {
+            max_iters: u64::MAX,
+            force_bland: false,
+            tol_scale: 1.0,
+            budget: Budget::unlimited(),
+        }
+    }
+}
+
+impl SimplexOpts {
+    /// Options with only an iteration cap set.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn with_max_iters(max_iters: u64) -> SimplexOpts {
+        SimplexOpts {
+            max_iters,
+            ..SimplexOpts::default()
+        }
+    }
+}
+
+/// Why an LP solve could not run to completion. Unlike
+/// [`SolveError`](crate::SolveError) this keeps budget exhaustion separate
+/// from genuine numerical trouble, so branch and bound can stop gracefully
+/// with its incumbent on the former and propagate the latter.
+#[derive(Debug, Clone)]
+pub(crate) enum LpError {
+    /// The shared wall-clock budget ran out mid-solve.
+    Budget(BudgetExceeded),
+    /// Simplex breakdown (iteration cap, non-finite data).
+    Numerical(String),
+}
 
 /// A standardized LP: minimize `costs·x` subject to sparse equality rows
 /// (after slack augmentation) and column bounds.
@@ -160,18 +213,24 @@ impl Tableau {
         }
     }
 
-    /// Runs primal simplex on the current phase objective until optimal or
-    /// unbounded. Returns `None` on unboundedness.
-    fn optimize(&mut self, max_iters: u64) -> Result<(), SimplexStop> {
+    /// Runs primal simplex on the current phase objective until optimal,
+    /// unbounded, or stopped by an iteration/budget limit.
+    fn optimize(&mut self, opts: &SimplexOpts) -> Result<(), SimplexStop> {
         let mut stalled: u32 = 0;
+        let opt_tol = OPT_TOL * opts.tol_scale.max(1.0);
         loop {
-            if self.iterations >= max_iters {
+            if self.iterations >= opts.max_iters {
                 return Err(SimplexStop::IterationLimit);
             }
-            let bland = stalled >= STALL_LIMIT;
+            if self.iterations.is_multiple_of(BUDGET_CHECK_PERIOD) {
+                if let Err(reason) = opts.budget.check() {
+                    return Err(SimplexStop::Budget(reason));
+                }
+            }
+            let bland = opts.force_bland || stalled >= STALL_LIMIT;
             // --- Pricing: pick entering column.
             let mut enter: Option<(usize, f64)> = None; // (col, signed direction)
-            let mut best_score = OPT_TOL;
+            let mut best_score = opt_tol;
             for j in 0..self.cols {
                 let (dir, score) = match self.status[j] {
                     ColStatus::Basic => continue,
@@ -284,12 +343,11 @@ impl Tableau {
 enum SimplexStop {
     Unbounded,
     IterationLimit,
+    Budget(BudgetExceeded),
 }
 
-/// Solves a standardized LP.
-///
-/// `max_iters` bounds the total simplex iterations across both phases.
-pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64), SolveError> {
+/// Solves a standardized LP under the given options.
+pub(crate) fn solve_lp(p: &LpProblem, opts: &SimplexOpts) -> Result<(LpOutcome, u64), LpError> {
     let m = p.rows.len();
     let n = p.num_cols;
 
@@ -297,7 +355,7 @@ pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64)
     if m == 0 {
         let mut x = vec![0.0; p.num_structural];
         let mut obj = 0.0;
-        for j in 0..p.num_structural {
+        for (j, xj) in x.iter_mut().enumerate() {
             let c = p.costs[j];
             let v = if c > 0.0 {
                 p.lb[j]
@@ -312,7 +370,7 @@ pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64)
                 return Ok((LpOutcome::Unbounded, 0));
             }
             let v = if v.is_finite() { v } else { 0.0 };
-            x[j] = v;
+            *xj = v;
             obj += c * v;
         }
         return Ok((LpOutcome::Optimal { x, obj }, 0));
@@ -320,7 +378,7 @@ pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64)
 
     for &c in &p.costs {
         if !c.is_finite() {
-            return Err(SolveError::Numerical("non-finite cost coefficient".into()));
+            return Err(LpError::Numerical("non-finite cost coefficient".into()));
         }
     }
 
@@ -352,7 +410,7 @@ pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64)
     let slack_col = |r: usize| p.num_structural + r;
 
     let mut residuals = vec![0.0; m];
-    for r in 0..m {
+    for (r, res) in residuals.iter_mut().enumerate() {
         let mut acc = p.rhs[r];
         for &(c, a) in &p.rows[r] {
             let c = c as usize;
@@ -362,12 +420,11 @@ pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64)
         }
         // Row is: slack_coeff · s = acc (slack coefficient is 1.0 by
         // construction in `standardize`).
-        residuals[r] = acc;
+        *res = acc;
     }
 
-    for r in 0..m {
+    for (r, &v) in residuals.iter().enumerate() {
         let s = slack_col(r);
-        let v = residuals[r];
         if v >= p.lb[s] - FEAS_TOL && v <= p.ub[s] + FEAS_TOL {
             // Slack absorbs the residual and is basic.
             val[s] = v;
@@ -442,18 +499,20 @@ pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64)
     // --- Phase 1.
     if num_art > 0 {
         tab.rebuild_costs(&phase1_costs);
-        match tab.optimize(max_iters) {
+        match tab.optimize(opts) {
             Ok(()) => {}
             Err(SimplexStop::Unbounded) => {
-                return Err(SolveError::Numerical(
+                return Err(LpError::Numerical(
                     "phase-1 objective unbounded (internal error)".into(),
                 ))
             }
             Err(SimplexStop::IterationLimit) => {
-                return Err(SolveError::Numerical(format!(
-                    "simplex iteration limit {max_iters} hit in phase 1"
+                return Err(LpError::Numerical(format!(
+                    "simplex iteration limit {} hit in phase 1",
+                    opts.max_iters
                 )))
             }
+            Err(SimplexStop::Budget(reason)) => return Err(LpError::Budget(reason)),
         }
         let infeas: f64 = (n..total_cols).map(|j| tab.val[j]).sum();
         if infeas > FEAS_TOL * 10.0 {
@@ -476,14 +535,16 @@ pub(crate) fn solve_lp(p: &LpProblem, max_iters: u64) -> Result<(LpOutcome, u64)
     let mut phase2_costs = p.costs.clone();
     phase2_costs.resize(total_cols, 0.0);
     tab.rebuild_costs(&phase2_costs);
-    match tab.optimize(max_iters) {
+    match tab.optimize(opts) {
         Ok(()) => {}
         Err(SimplexStop::Unbounded) => return Ok((LpOutcome::Unbounded, tab.iterations)),
         Err(SimplexStop::IterationLimit) => {
-            return Err(SolveError::Numerical(format!(
-                "simplex iteration limit {max_iters} hit in phase 2"
+            return Err(LpError::Numerical(format!(
+                "simplex iteration limit {} hit in phase 2",
+                opts.max_iters
             )))
         }
+        Err(SimplexStop::Budget(reason)) => return Err(LpError::Budget(reason)),
     }
 
     let x: Vec<f64> = tab.val[..p.num_structural].to_vec();
@@ -551,7 +612,41 @@ mod tests {
     }
 
     fn solve(p: &LpProblem) -> LpOutcome {
-        solve_lp(p, 100_000).expect("numerical failure").0
+        solve_lp(p, &SimplexOpts::with_max_iters(100_000))
+            .expect("numerical failure")
+            .0
+    }
+
+    #[test]
+    fn exhausted_budget_stops_the_solve() {
+        let p = lp(
+            vec![-3.0, -2.0],
+            vec![(0.0, f64::INFINITY), (0.0, f64::INFINITY)],
+            vec![(vec![1.0, 1.0], -1, 4.0), (vec![1.0, 3.0], -1, 6.0)],
+        );
+        let opts = SimplexOpts {
+            budget: Budget::with_limit(std::time::Duration::ZERO),
+            ..SimplexOpts::default()
+        };
+        assert!(matches!(solve_lp(&p, &opts), Err(LpError::Budget(_))));
+    }
+
+    #[test]
+    fn forced_bland_reaches_the_same_optimum() {
+        let p = lp(
+            vec![-3.0, -2.0],
+            vec![(0.0, f64::INFINITY), (0.0, f64::INFINITY)],
+            vec![(vec![1.0, 1.0], -1, 4.0), (vec![1.0, 3.0], -1, 6.0)],
+        );
+        let opts = SimplexOpts {
+            force_bland: true,
+            tol_scale: 10.0,
+            ..SimplexOpts::with_max_iters(100_000)
+        };
+        match solve_lp(&p, &opts).unwrap().0 {
+            LpOutcome::Optimal { obj, .. } => assert!((obj + 12.0).abs() < 1e-6),
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

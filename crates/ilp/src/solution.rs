@@ -1,8 +1,10 @@
 //! Solver results and errors.
 
+use crate::certify::{Certificate, CertifyError};
 use crate::expr::Var;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Why the solver stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -14,6 +16,53 @@ pub enum SolveStatus {
     Feasible,
 }
 
+/// Where the returned incumbent assignment came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncumbentSource {
+    /// The caller-supplied warm start was never improved upon.
+    WarmStart,
+    /// An LP relaxation happened to be integral.
+    LpIntegral,
+    /// The round-and-repair heuristic produced it.
+    Heuristic,
+}
+
+impl fmt::Display for IncumbentSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IncumbentSource::WarmStart => "warm start",
+            IncumbentSource::LpIntegral => "integral LP relaxation",
+            IncumbentSource::Heuristic => "round-and-repair heuristic",
+        })
+    }
+}
+
+/// What happened to the warm start the caller supplied (if any).
+///
+/// Warm starts used to be rejected silently; the solver now validates them
+/// up front and reports the outcome here, including the exact violation for
+/// a rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarmStartStatus {
+    /// No warm start was supplied.
+    NotProvided,
+    /// The warm start was feasible and was installed as the initial
+    /// incumbent.
+    Accepted,
+    /// The warm start was infeasible; the violation explains why.
+    Rejected(CertifyError),
+}
+
+impl fmt::Display for WarmStartStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmStartStatus::NotProvided => f.write_str("not provided"),
+            WarmStartStatus::Accepted => f.write_str("accepted"),
+            WarmStartStatus::Rejected(e) => write!(f, "rejected: {e}"),
+        }
+    }
+}
+
 /// A (mixed-)integer solution returned by the solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
@@ -23,6 +72,10 @@ pub struct Solution {
     pub(crate) status: SolveStatus,
     pub(crate) nodes: u64,
     pub(crate) lp_iterations: u64,
+    pub(crate) wall_time: Duration,
+    pub(crate) incumbent_source: IncumbentSource,
+    pub(crate) warm_start: WarmStartStatus,
+    pub(crate) certificate: Option<Certificate>,
 }
 
 impl Solution {
@@ -85,6 +138,30 @@ impl Solution {
     pub fn lp_iterations(&self) -> u64 {
         self.lp_iterations
     }
+
+    /// Wall-clock time the search spent (including a numerical retry, when
+    /// the solve went through [`Model::solve_with`](crate::Model::solve_with)).
+    pub fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+
+    /// Which mechanism produced the returned incumbent.
+    pub fn incumbent_source(&self) -> IncumbentSource {
+        self.incumbent_source
+    }
+
+    /// Outcome of warm-start validation.
+    pub fn warm_start(&self) -> &WarmStartStatus {
+        &self.warm_start
+    }
+
+    /// The certificate attached by the automatic post-solve check, when the
+    /// solution came from [`Model::solve`](crate::Model::solve) or
+    /// [`Model::solve_with`](crate::Model::solve_with). `None` for solutions
+    /// obtained from the raw [`branch::solve`](crate::branch::solve) engine.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        self.certificate.as_ref()
+    }
 }
 
 impl fmt::Display for Solution {
@@ -110,6 +187,10 @@ pub enum SolveError {
     /// The model is malformed (e.g. NaN coefficient) or numerically
     /// intractable for the solver.
     Numerical(String),
+    /// The solver produced an answer, but the independent post-solve check
+    /// found it violates the original model. This indicates a solver bug;
+    /// the result must not be trusted.
+    Certify(CertifyError),
 }
 
 impl fmt::Display for SolveError {
@@ -119,6 +200,7 @@ impl fmt::Display for SolveError {
             SolveError::Unbounded => f.write_str("model is unbounded"),
             SolveError::Limit(s) => write!(f, "search limit reached before finding a solution: {s}"),
             SolveError::Numerical(s) => write!(f, "numerical failure: {s}"),
+            SolveError::Certify(e) => write!(f, "solution failed certification: {e}"),
         }
     }
 }
@@ -138,6 +220,10 @@ mod tests {
             status: SolveStatus::Optimal,
             nodes: 1,
             lp_iterations: 3,
+            wall_time: Duration::from_millis(1),
+            incumbent_source: IncumbentSource::LpIntegral,
+            warm_start: WarmStartStatus::NotProvided,
+            certificate: None,
         };
         assert_eq!(s.gap(), 0.0);
         assert!(s.is_optimal());

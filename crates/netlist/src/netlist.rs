@@ -109,11 +109,10 @@ impl Netlist {
     }
 
     fn new_net(&mut self, kind: GateKind, inputs: [NetId; 3], spans: [f64; 3]) -> NetId {
-        for i in 0..kind.arity() {
+        for input in inputs.iter().take(kind.arity()) {
             assert!(
-                inputs[i].index() < self.driver.len(),
-                "gate input {} is not a defined net",
-                inputs[i]
+                input.index() < self.driver.len(),
+                "gate input {input} is not a defined net"
             );
         }
         let net = NetId(self.driver.len() as u32);

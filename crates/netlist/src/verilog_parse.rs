@@ -320,9 +320,7 @@ mod tests {
         let mut nl = Netlist::new("all");
         let a = nl.add_input("a", 3);
         let mut outs = Vec::new();
-        for k in [Not] {
-            outs.push(nl.gate(k, &[a[0]]));
-        }
+        outs.push(nl.gate(Not, &[a[0]]));
         for k in [And2, Or2, Nand2, Nor2, Xor2, Xnor2] {
             outs.push(nl.gate(k, &[a[0], a[1]]));
         }

@@ -443,7 +443,7 @@ mod tests {
 
     #[test]
     fn rca_matches_integer_addition() {
-        check_adder(|nl, r| rca_sum(nl, r), 1);
+        check_adder(rca_sum, 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::ggp::{input_area, input_delay, internal_area, internal_delay};
 use crate::tree::PrefixTree;
+use gomil_budget::{Budget, BudgetExceeded};
 
 /// Result of a DP optimization over the full interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +99,29 @@ pub fn dp_tables(leaf_b: &[bool], w: f64) -> DpTables {
 /// Panics if `leaf_b` is empty, `w` is negative, or `arrivals` has the
 /// wrong length.
 pub fn dp_tables_with_arrivals(leaf_b: &[bool], w: f64, arrivals: Option<&[f64]>) -> DpTables {
+    dp_tables_budgeted(leaf_b, w, arrivals, &Budget::unlimited())
+        .expect("unlimited budget cannot expire")
+}
+
+/// Like [`dp_tables_with_arrivals`], but abandons the `O(n³)` fill (checked
+/// once per outer interval length) when `budget` expires.
+///
+/// Unlike presolve, partially filled DP tables are useless, so expiry
+/// returns the typed [`BudgetExceeded`] error instead of a degraded table.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] if the budget ran out before the tables were complete.
+///
+/// # Panics
+///
+/// Same input validation as [`dp_tables_with_arrivals`].
+pub fn dp_tables_budgeted(
+    leaf_b: &[bool],
+    w: f64,
+    arrivals: Option<&[f64]>,
+    budget: &Budget,
+) -> Result<DpTables, BudgetExceeded> {
     let n = leaf_b.len();
     assert!(n > 0, "need at least one column");
     assert!(w >= 0.0, "delay weight must be non-negative");
@@ -128,6 +152,7 @@ pub fn dp_tables_with_arrivals(leaf_b: &[bool], w: f64, arrivals: Option<&[f64]>
     }
     // Recurrence (Eq. 15 / 21).
     for len in 1..n {
+        budget.check()?;
         for j in 0..n - len {
             let i = j + len;
             let mut best = f64::INFINITY;
@@ -152,7 +177,7 @@ pub fn dp_tables_with_arrivals(leaf_b: &[bool], w: f64, arrivals: Option<&[f64]>
             t.delay[id] = best_tuple.2;
         }
     }
-    t
+    Ok(t)
 }
 
 /// Optimizes the prefix tree for the whole interval `[n−1:0]`.
@@ -328,11 +353,21 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_budget_aborts_the_dp() {
+        let leaf_b: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        let dead = Budget::with_limit(std::time::Duration::ZERO);
+        assert!(dp_tables_budgeted(&leaf_b, 8.0, None, &dead).is_err());
+        let alive = Budget::unlimited();
+        let t = dp_tables_budgeted(&leaf_b, 8.0, None, &alive).unwrap();
+        assert!((t.cost(31, 0) - dp_tables(&leaf_b, 8.0).cost(31, 0)).abs() < 1e-12);
+    }
+
+    #[test]
     fn tables_expose_subinterval_optima() {
         let leaf_b = vec![true, false, true, true];
         let t = dp_tables(&leaf_b, 2.0);
         // Sub-interval costs are individually optimal (cross-check two).
-        let sub = optimize_prefix_tree(&leaf_b[1..=2].iter().map(|&b| b).collect::<Vec<_>>(), 2.0);
+        let sub = optimize_prefix_tree(&leaf_b[1..=2], 2.0);
         // Interval [2:1] in the full table equals interval [1:0] of the
         // shifted sub-problem.
         assert!((t.cost(2, 1) - sub.cost).abs() < 1e-9);

@@ -38,7 +38,10 @@ mod tree;
 
 pub use classic::{all_carries, PrefixNetworkKind};
 pub use cpa::{ppf_csl_sum, prefix_sum, rca_sum, SelectStyle, TwoRows};
-pub use dp::{dp_tables, dp_tables_with_arrivals, optimize_prefix_tree, optimize_prefix_tree_with_arrivals, DpSolution, DpTables};
+pub use dp::{
+    dp_tables, dp_tables_budgeted, dp_tables_with_arrivals, optimize_prefix_tree,
+    optimize_prefix_tree_with_arrivals, DpSolution, DpTables,
+};
 pub use pareto::{pareto_prefix_front, ParetoPoint};
 pub use ggp::{
     combine, combined_b, input_area, input_delay, input_ggp, internal_area, internal_delay,

@@ -277,9 +277,9 @@ impl PrefixTree {
             let mut row = vec![' '; width];
             for &(nd, i, j, sym) in &nodes {
                 if nd == d {
-                    for x in col_of(i)..=col_of(j) {
-                        if row[x] == ' ' {
-                            row[x] = '─';
+                    for cell in &mut row[col_of(i)..=col_of(j)] {
+                        if *cell == ' ' {
+                            *cell = '─';
                         }
                     }
                     row[col_of(j)] = sym;

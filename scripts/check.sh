@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in the order that fails fastest.
+#
+#   scripts/check.sh            # build + tests + clippy
+#
+# Works fully offline (the workspace has no network dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root integration tests)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

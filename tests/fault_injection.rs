@@ -2,9 +2,14 @@
 //! catch broken hardware, wrong schedules, and corrupted artifacts — a
 //! test suite that can only pass is not a test suite.
 
-use gomil::{build_gomil, build_gomil_truncated, GomilConfig, MultiplierBuild, PpgKind};
+use gomil::{
+    build_gomil, build_gomil_truncated, GomilConfig, GomilError, MultiplierBuild, PpgKind, Rung,
+    RungOutcome,
+};
 use gomil_arith::{and_ppg, Bcv, CompressionSchedule, StageCounts};
+use gomil_ilp::{certify_values, CertifyError, Cmp, LinExpr, Model, Sense};
 use gomil_netlist::Netlist;
+use std::time::Duration;
 
 fn cfg() -> GomilConfig {
     GomilConfig::fast()
@@ -36,7 +41,14 @@ fn verify_rejects_an_adder_posing_as_a_multiplier() {
         ppg: PpgKind::And,
     };
     let err = fake.verify().expect_err("an adder is not a multiplier");
-    assert!(err.contains('×'), "error should name the failing product: {err}");
+    assert!(
+        matches!(err, GomilError::Verification(_)),
+        "verification failures must be typed: {err:?}"
+    );
+    assert!(
+        err.to_string().contains('×'),
+        "error should name the failing product: {err}"
+    );
 }
 
 #[test]
@@ -97,6 +109,68 @@ fn verilog_parser_rejects_corrupted_exports() {
     // Corrupt an operator into an unsupported one.
     let corrupted = v.replacen(" ^ ", " ** ", 1);
     assert!(Netlist::from_verilog(&corrupted).is_err());
+}
+
+#[test]
+fn dead_pipeline_budget_degrades_to_a_verified_fallback() {
+    // Inject a rung failure: a zero pipeline budget kills every optimizer
+    // rung, so the build must come back through the unconditional Dadda
+    // fallback — still functionally correct, with the ladder's record
+    // attached naming what happened.
+    let cfg = GomilConfig {
+        pipeline_budget: Some(Duration::ZERO),
+        ..cfg()
+    };
+    let d = build_gomil(8, PpgKind::And, &cfg).expect("degraded build must still succeed");
+    d.build.verify().expect("fallback multiplier must be correct");
+    let report = &d.solution.degradation;
+    assert_eq!(report.winner, Some(Rung::DaddaPrefix), "{report}");
+    assert_eq!(d.solution.strategy, "dadda-prefix");
+    // Every rung appears in the report, and none of the budgeted ones won.
+    assert_eq!(report.attempts.len(), 4, "{report}");
+    for attempt in &report.attempts {
+        if attempt.rung != Rung::DaddaPrefix {
+            assert!(
+                !matches!(attempt.outcome, RungOutcome::Succeeded { .. }),
+                "{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn certifier_rejects_corrupted_assignments() {
+    // An independent check must catch a "solution" that violates the
+    // model, not just trust the solver's word.
+    let mut m = Model::new("cert_negative");
+    let x = m.add_integer("x", 0.0, 3.0);
+    let y = m.add_integer("y", 0.0, 3.0);
+    m.add_constraint("cap", LinExpr::from(x) + y, Cmp::Le, 4.0);
+    m.set_objective(LinExpr::from(x) + y, Sense::Maximize);
+
+    // A genuinely feasible point passes.
+    assert!(certify_values(&m, &[1.0, 3.0], 1e-6).is_ok());
+    // Constraint violation is typed and names the constraint.
+    match certify_values(&m, &[3.0, 3.0], 1e-6) {
+        Err(CertifyError::ConstraintViolation { constraint, .. }) => {
+            assert_eq!(constraint, "cap");
+        }
+        other => panic!("expected a constraint violation, got {other:?}"),
+    }
+    // Fractional values for integer variables are rejected.
+    assert!(matches!(
+        certify_values(&m, &[0.5, 1.0], 1e-6),
+        Err(CertifyError::IntegralityViolation { .. })
+    ));
+    // Out-of-bounds and wrong-arity assignments are rejected.
+    assert!(matches!(
+        certify_values(&m, &[-1.0, 0.0], 1e-6),
+        Err(CertifyError::BoundViolation { .. })
+    ));
+    assert!(matches!(
+        certify_values(&m, &[1.0], 1e-6),
+        Err(CertifyError::WrongArity { .. })
+    ));
 }
 
 #[test]

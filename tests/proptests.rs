@@ -208,12 +208,12 @@ proptest! {
             .collect();
         nl.add_output("o", out_bits);
         let before: Vec<u64> = {
-            let sim = nl.simulate(&[stimulus.clone()]);
+            let sim = nl.simulate(std::slice::from_ref(&stimulus));
             nl.outputs()[0].bits.iter().map(|&b| sim.net(b)).collect()
         };
         nl.prune_dead();
         let after: Vec<u64> = {
-            let sim = nl.simulate(&[stimulus.clone()]);
+            let sim = nl.simulate(std::slice::from_ref(&stimulus));
             nl.outputs()[0].bits.iter().map(|&b| sim.net(b)).collect()
         };
         prop_assert_eq!(before, after);

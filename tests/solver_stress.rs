@@ -13,13 +13,13 @@ fn assignment_problem_is_solved_at_the_root() {
     let cost = |i: usize, j: usize| ((i * 7 + j * 13) % 10) as f64 + 1.0;
     let mut m = Model::new("assign");
     let mut x = vec![vec![]; n];
-    for i in 0..n {
+    for (i, xi) in x.iter_mut().enumerate() {
         for j in 0..n {
-            x[i].push(m.add_binary(format!("x{i}_{j}")));
+            xi.push(m.add_binary(format!("x{i}_{j}")));
         }
     }
-    for i in 0..n {
-        let row: LinExpr = (0..n).map(|j| LinExpr::from(x[i][j])).sum();
+    for (i, xi) in x.iter().enumerate() {
+        let row: LinExpr = xi.iter().map(|&v| LinExpr::from(v)).sum();
         m.add_constraint(format!("r{i}"), row, Cmp::Eq, 1.0);
         let col: LinExpr = (0..n).map(|j| LinExpr::from(x[j][i])).sum();
         m.add_constraint(format!("c{i}"), col, Cmp::Eq, 1.0);
@@ -129,6 +129,77 @@ fn time_limit_returns_warm_start_incumbent() {
     // With zero budget the bound cannot have closed unless the heuristic
     // got lucky; either way the result must be a valid assignment.
     assert!(m.is_feasible(sol.values(), 1e-6));
+}
+
+/// A pathological model (dense knapsack with near-degenerate weights —
+/// the kind that makes branch and bound thrash) under a 100 ms wall-clock
+/// budget must return within a small multiple of the budget, not hang.
+#[test]
+fn pathological_model_respects_the_wall_clock_budget() {
+    use gomil_ilp::Budget;
+    use std::time::Instant;
+
+    let n = 60;
+    let mut m = Model::new("pathological");
+    let xs: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    // Near-identical weights/values defeat pseudocost branching: the tree
+    // has astronomically many symmetric incumbent-tying nodes.
+    let w: Vec<f64> = (0..n).map(|i| 10.0 + ((i * 31) % 3) as f64 * 1e-3).collect();
+    let v: Vec<f64> = (0..n).map(|i| 10.0 + ((i * 17) % 5) as f64 * 1e-3).collect();
+    let weight: LinExpr = xs.iter().zip(&w).map(|(&x, &wi)| wi * x).sum();
+    let value: LinExpr = xs.iter().zip(&v).map(|(&x, &vi)| vi * x).sum();
+    m.add_constraint("cap", weight, Cmp::Le, 10.0 * (n as f64) / 2.0);
+    m.set_objective(value, Sense::Maximize);
+
+    let budget = Duration::from_millis(100);
+    let t0 = Instant::now();
+    let cfg = BranchConfig {
+        budget: Budget::with_limit(budget),
+        initial: Some(vec![0.0; n]),
+        ..BranchConfig::default()
+    };
+    let sol = m.solve_with(&cfg).unwrap();
+    let elapsed = t0.elapsed();
+    // "Small multiple": one in-flight LP relaxation may overshoot the
+    // deadline (budget checks are periodic), but nothing close to 2×
+    // should survive on this model size.
+    assert!(
+        elapsed < budget * 2,
+        "solve took {elapsed:?} against a {budget:?} budget"
+    );
+    assert!(m.is_feasible(sol.values(), 1e-6));
+    // The returned incumbent is auto-certified like any other solution.
+    assert!(sol.certificate().is_some());
+}
+
+/// The end-to-end pipeline under a 100 ms budget: `build_gomil` must come
+/// back within a small multiple of the budget with a *verified* multiplier
+/// (degrading to cheaper rungs as needed), never hang and never panic.
+#[test]
+fn pipeline_budget_bounds_end_to_end_latency() {
+    use gomil::{build_gomil, GomilConfig, PpgKind};
+    use std::time::Instant;
+
+    let budget = Duration::from_millis(100);
+    let cfg = GomilConfig {
+        pipeline_budget: Some(budget),
+        ..GomilConfig::fast()
+    };
+    let t0 = Instant::now();
+    let d = build_gomil(16, PpgKind::And, &cfg).expect("budgeted build must degrade, not fail");
+    let elapsed = t0.elapsed();
+    d.build.verify().expect("budgeted build must stay correct");
+    // Netlist construction/verification is outside the optimizer budget;
+    // allow a generous-but-bounded envelope over it.
+    assert!(
+        elapsed < budget * 2 + Duration::from_secs(2),
+        "build took {elapsed:?} against a {budget:?} budget"
+    );
+    assert!(
+        d.solution.degradation.winner.is_some(),
+        "{}",
+        d.solution.degradation
+    );
 }
 
 /// Larger CT-shaped model: the m = 12 compressor-tree ILP solved under a

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! Implements benchmark groups, `BenchmarkId`, `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros with simple wall-clock
+//! measurement (fixed warm-up, mean/min report, no statistics or HTML
+//! output).
+//!
+//! Because `cargo test` also executes `harness = false` bench targets,
+//! benches run in **quick mode** (one warm-up + one sample per benchmark)
+//! unless `CRITERION_FULL=1` is set, keeping the test suite fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a label plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("solve", 16)` → `solve/16`.
+    pub fn new(label: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: label.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.label, self.parameter)
+    }
+}
+
+/// Times closures handed to it by the benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    num_samples: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.num_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                // The result is dropped; observable side effects (and the
+                // non-inlinable call boundary) keep the work from being
+                // optimized out in practice for these workloads.
+                let _ = routine();
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed / self.iters_per_sample.max(1) as u32);
+        }
+    }
+}
+
+/// A named set of related benchmarks, created by
+/// [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target measurement time (accepted for API compatibility;
+    /// the stub always runs a fixed number of samples).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the number of samples per benchmark (full mode only).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            num_samples: if self.quick { 1 } else { self.sample_size },
+        };
+        f(&mut b, input);
+        if b.samples.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id);
+            return self;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{}/{}: mean {:?}, min {:?} ({} sample{})",
+            self.name,
+            id,
+            mean,
+            min,
+            b.samples.len(),
+            if b.samples.len() == 1 { "" } else { "s" }
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Creates a driver; quick mode unless `CRITERION_FULL=1`.
+    pub fn new() -> Self {
+        Criterion {
+            quick: std::env::var("CRITERION_FULL").map_or(true, |v| v != "1"),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            quick: self.quick,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_secs(1)).sample_size(3);
+        for n in [2u64, 4] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |bch, &n| {
+                bch.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats_label_and_param() {
+        assert_eq!(BenchmarkId::new("solve", 16).to_string(), "solve/16");
+    }
+}

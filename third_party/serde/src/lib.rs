@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate (marker-trait subset).
+//!
+//! Nothing in this workspace serializes *through* serde (JSON artifacts
+//! are hand-written), but some types carry optional
+//! `#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]`
+//! attributes for downstream consumers. This stub supplies the traits and
+//! no-op derives so those annotations compile offline.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stand-in).
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

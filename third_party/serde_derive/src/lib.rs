@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stand-in: they accept the serde attribute namespace and emit nothing,
+//! so `#[derive(Serialize)]` annotations compile without generating code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
