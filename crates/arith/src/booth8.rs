@@ -110,17 +110,9 @@ pub fn booth8_ppg(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> BitMatrix {
         let mut sign_bit = c0;
         for j in 0..row_bits {
             let v1 = nl.and(sel1, ax(j));
-            let v2 = if j >= 1 {
-                nl.and(sel2, ax(j - 1))
-            } else {
-                c0
-            };
+            let v2 = if j >= 1 { nl.and(sel2, ax(j - 1)) } else { c0 };
             let v3 = nl.and(sel3, a3x(j));
-            let v4 = if j >= 2 {
-                nl.and(sel4, ax(j - 2))
-            } else {
-                c0
-            };
+            let v4 = if j >= 2 { nl.and(sel4, ax(j - 2)) } else { c0 };
             let o1 = nl.or(v1, v2);
             let o2 = nl.or(v3, v4);
             let sel = nl.or(o1, o2);

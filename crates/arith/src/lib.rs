@@ -54,5 +54,8 @@ pub use dadda::dadda_schedule;
 pub use ppg::{and_ppg, booth4_ppg, PpgKind};
 pub use realize::realize_schedule;
 pub use schedule::{CompressionSchedule, ScheduleError, StageCounts};
-pub use steer::{required_stages, required_stages_modular, schedule_toward_target, schedule_toward_target_modular, try_required_stages};
+pub use steer::{
+    required_stages, required_stages_modular, schedule_toward_target,
+    schedule_toward_target_modular, try_required_stages,
+};
 pub use wallace::{wallace_schedule, wallace_stages_for};

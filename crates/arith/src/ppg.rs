@@ -32,6 +32,28 @@ pub enum PpgKind {
 }
 
 impl PpgKind {
+    /// Every PPG family, in report order.
+    pub fn all() -> [PpgKind; 4] {
+        [
+            PpgKind::And,
+            PpgKind::Booth4,
+            PpgKind::Booth8,
+            PpgKind::BaughWooley,
+        ]
+    }
+
+    /// Parses a [`label`](Self::label) or common alias (case-insensitive):
+    /// `and`, `mbe`/`booth`/`booth4`, `mbe8`/`booth8`, `bw`/`baugh-wooley`.
+    pub fn from_name(name: &str) -> Option<PpgKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "and" => Some(PpgKind::And),
+            "mbe" | "booth" | "booth4" => Some(PpgKind::Booth4),
+            "mbe8" | "booth8" => Some(PpgKind::Booth8),
+            "bw" | "baugh-wooley" | "baughwooley" => Some(PpgKind::BaughWooley),
+            _ => None,
+        }
+    }
+
     /// Human-readable short name used in reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -80,7 +102,10 @@ pub fn booth4_ppg(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> BitMatrix {
     let m = a.len();
     assert_eq!(m, b.len(), "operands must have equal width");
     assert!(m >= 2, "word length must be at least 2");
-    assert!(m.is_multiple_of(2), "radix-4 Booth supports even word lengths");
+    assert!(
+        m.is_multiple_of(2),
+        "radix-4 Booth supports even word lengths"
+    );
 
     let rows = m / 2;
     let width = 2 * m;
@@ -295,5 +320,15 @@ mod tests {
         let a = nl.add_input("a", 5);
         let b = nl.add_input("b", 5);
         booth4_ppg(&mut nl, &a, &b);
+    }
+
+    #[test]
+    fn every_label_parses_back_to_its_kind() {
+        for kind in PpgKind::all() {
+            assert_eq!(PpgKind::from_name(kind.label()), Some(kind));
+            assert_eq!(PpgKind::from_name(&kind.label().to_lowercase()), Some(kind));
+        }
+        assert_eq!(PpgKind::from_name("booth"), Some(PpgKind::Booth4));
+        assert_eq!(PpgKind::from_name("nonesuch"), None);
     }
 }

@@ -115,7 +115,11 @@ impl CompressionSchedule {
     ///
     /// Returns [`ScheduleError`] if some column demands more input bits
     /// than it has (violating Eq. 6).
-    pub fn apply_stage(stage_idx: usize, stage: &StageCounts, v: &Bcv) -> Result<Bcv, ScheduleError> {
+    pub fn apply_stage(
+        stage_idx: usize,
+        stage: &StageCounts,
+        v: &Bcv,
+    ) -> Result<Bcv, ScheduleError> {
         let w = v.len();
         let mut out: Vec<u32> = Vec::with_capacity(w + 1);
         for j in 0..w {

@@ -109,8 +109,7 @@ pub fn try_required_stages(v0: &Bcv) -> Option<usize> {
 ///
 /// Panics if no strict reduction exists (see [`try_required_stages`]).
 pub fn required_stages(v0: &Bcv) -> usize {
-    try_required_stages(v0)
-        .unwrap_or_else(|| panic!("no leftmost-free schedule exists for {v0}"))
+    try_required_stages(v0).unwrap_or_else(|| panic!("no leftmost-free schedule exists for {v0}"))
 }
 
 /// The smallest stage count that fully reduces `v0` when leftmost-column
@@ -125,9 +124,7 @@ pub fn required_stages_modular(v0: &Bcv) -> usize {
     let base = min_stages(v0.height()) as usize;
     let all2 = vec![2u32; v0.len() + 8];
     (base..=base + 5)
-        .find(|&s| {
-            v0.is_reduced() || schedule_toward_target_modular(v0, s.max(1), &all2).is_some()
-        })
+        .find(|&s| v0.is_reduced() || schedule_toward_target_modular(v0, s.max(1), &all2).is_some())
         .unwrap_or_else(|| panic!("modular reduction failed for {v0} (internal error)"))
 }
 

@@ -68,11 +68,7 @@ mod tests {
         for m in [4usize, 6, 8, 12, 16, 24, 32, 48, 64] {
             let v0 = Bcv::and_ppg(m);
             let sched = wallace_schedule(&v0);
-            assert_eq!(
-                sched.num_stages() as u32,
-                wallace_stages_for(m),
-                "m = {m}"
-            );
+            assert_eq!(sched.num_stages() as u32, wallace_stages_for(m), "m = {m}");
         }
     }
 
@@ -98,10 +94,7 @@ mod tests {
         let sched = wallace_schedule(&v0);
         let fin = sched.final_bcv(&v0).unwrap();
         assert!(fin.is_reduced());
-        assert_eq!(
-            sched.num_full(),
-            v0.total_bits() - fin.total_bits()
-        );
+        assert_eq!(sched.num_full(), v0.total_bits() - fin.total_bits());
     }
 
     #[test]

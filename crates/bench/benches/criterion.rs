@@ -2,16 +2,18 @@
 //! behind the reproduction, so performance regressions are visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use gomil::{build_baseline, target_search, BaselineKind, Bcv, CtIlp, GomilConfig, PpgKind};
 use gomil_arith::{dadda_schedule, wallace_schedule};
 use gomil_ilp::{Cmp, Model, Sense};
 use gomil_prefix::optimize_prefix_tree;
+use std::time::Duration;
 
 /// Simplex/B&B on a dense knapsack-style MILP.
 fn bench_milp_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("milp_solver");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
     for n in [10usize, 20, 40] {
         group.bench_with_input(BenchmarkId::new("knapsack", n), &n, |bch, &n| {
             bch.iter(|| {
@@ -19,10 +21,8 @@ fn bench_milp_solver(c: &mut Criterion) {
                 let xs: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
                 let w: Vec<f64> = (0..n).map(|i| 3.0 + (i as f64 * 7.0) % 11.0).collect();
                 let v: Vec<f64> = (0..n).map(|i| 2.0 + (i as f64 * 5.0) % 13.0).collect();
-                let weight: gomil_ilp::LinExpr =
-                    xs.iter().zip(&w).map(|(&x, &wi)| wi * x).sum();
-                let value: gomil_ilp::LinExpr =
-                    xs.iter().zip(&v).map(|(&x, &vi)| vi * x).sum();
+                let weight: gomil_ilp::LinExpr = xs.iter().zip(&w).map(|(&x, &wi)| wi * x).sum();
+                let value: gomil_ilp::LinExpr = xs.iter().zip(&v).map(|(&x, &vi)| vi * x).sum();
                 m.add_constraint("cap", weight, Cmp::Le, 2.5 * n as f64);
                 m.set_objective(value, Sense::Maximize);
                 m.solve().unwrap().objective()
@@ -59,7 +59,9 @@ fn bench_ct_ilp(c: &mut Criterion) {
 /// The interval DP at production sizes (127 columns = m = 64).
 fn bench_prefix_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefix_dp");
-    group.measurement_time(Duration::from_secs(4)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(20);
     for n in [15usize, 63, 127] {
         let leaf: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         group.bench_with_input(BenchmarkId::new("optimize", n), &n, |bch, _| {

@@ -1,0 +1,91 @@
+//! Experiment: throughput of the `gomil-serve` batch service — cold
+//! (every request solves) versus warm (cache + singleflight absorb the
+//! duplicates), plus the dedup and warm-start counters behind the
+//! speedup. Writes `BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p gomil-bench --bin batch_throughput --
+//! [m …] [--json FILE]`
+
+use gomil::{serve_service, GomilConfig, PpgKind, ServeConfig, SolveRequest};
+use gomil_bench::timed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let ms: Vec<usize> = {
+        let named: Vec<usize> = args.iter().filter_map(|s| s.parse().ok()).collect();
+        if named.is_empty() {
+            vec![8, 12, 16, 24]
+        } else {
+            named
+        }
+    };
+
+    // `fast()` keeps the solver budget small so the benchmark measures
+    // the service overheads, not one giant branch and bound.
+    let cfg = GomilConfig::fast();
+    let svc = serve_service(&cfg, ServeConfig::default())?;
+
+    // The duplicated request list of the acceptance scenario: every
+    // (m, PPG) twice, duplicates adjacent so they overlap in flight.
+    let requests: Vec<SolveRequest> = ms
+        .iter()
+        .flat_map(|&m| {
+            PpgKind::all()
+                .into_iter()
+                .filter(move |&ppg| !(ppg == PpgKind::Booth4 && m % 2 != 0))
+                .map(move |ppg| SolveRequest { m, ppg })
+        })
+        .flat_map(|r| [r.clone(), r])
+        .collect();
+
+    eprintln!("cold wave: {} requests …", requests.len());
+    let (cold_results, cold) = timed(|| svc.run_batch(&requests));
+    let cold_errors = cold_results.iter().filter(|r| r.is_err()).count();
+    eprintln!("  done in {cold:.1?} ({cold_errors} errors)");
+
+    eprintln!("warm wave: same {} requests …", requests.len());
+    let (warm_results, warm) = timed(|| svc.run_batch(&requests));
+    let warm_errors = warm_results.iter().filter(|r| r.is_err()).count();
+    eprintln!("  done in {warm:.1?} ({warm_errors} errors)");
+
+    let report = svc.report();
+    println!("{report}");
+    let n = requests.len() as f64;
+    let cold_rps = n / cold.as_secs_f64().max(1e-9);
+    let warm_rps = n / warm.as_secs_f64().max(1e-9);
+    println!("cold: {cold_rps:.2} req/s   warm: {warm_rps:.2} req/s");
+
+    let json = format!(
+        "{{\n  \"bench\": \"batch_throughput\",\n  \"word_lengths\": [{}],\n  \
+         \"requests_per_wave\": {},\n  \"jobs\": {},\n  \
+         \"cold_seconds\": {},\n  \"warm_seconds\": {},\n  \
+         \"cold_requests_per_sec\": {},\n  \"warm_requests_per_sec\": {},\n  \
+         \"solves\": {},\n  \"cache_hits\": {},\n  \"dedup_joins\": {},\n  \
+         \"warm_start_hints\": {},\n  \"hit_rate\": {},\n  \
+         \"errors\": {}\n}}\n",
+        ms.iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        requests.len(),
+        ServeConfig::default().jobs,
+        cold.as_secs_f64(),
+        warm.as_secs_f64(),
+        cold_rps,
+        warm_rps,
+        report.solves,
+        report.hits,
+        report.dedup_joins,
+        report.warm_hints,
+        report.hit_rate(),
+        cold_errors + warm_errors,
+    );
+    std::fs::write(&json_path, json)?;
+    eprintln!("wrote {json_path}");
+    Ok(())
+}

@@ -28,12 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &m in &ms {
         eprintln!("building the 8-design roster at m = {m} …");
         let (reports, took) = timed(|| build_roster(m, &cfg));
-        let reports = reports?;
+        let reports = match reports {
+            Ok(r) => r,
+            Err(e) => {
+                // One bad width must not abort the sweep; the panel is
+                // simply missing that column.
+                eprintln!("  skipping m = {m}: {e}");
+                continue;
+            }
+        };
         eprintln!("  done in {took:.1?}");
         if designs.is_empty() {
             designs = reports
                 .iter()
-                .map(|r| r.name.rsplit_once('-').map(|(n, _)| n.to_string()).unwrap_or_else(|| r.name.clone()))
+                .map(|r| {
+                    r.name
+                        .rsplit_once('-')
+                        .map(|(n, _)| n.to_string())
+                        .unwrap_or_else(|| r.name.clone())
+                })
                 .collect();
         }
         for r in &reports {
@@ -46,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rosters.push((m, reports));
     }
 
+    if rosters.is_empty() {
+        return Err("every requested word length failed to build".into());
+    }
     if let Some(path) = &json_path {
         std::fs::write(path, rosters_to_json(&rosters))?;
         eprintln!("wrote raw measurements to {path}");
@@ -54,16 +70,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n================ Fig. 3 reproduction ================\n");
     println!("{}", fig3_panel("delay  [Fig. 3(a)]", &designs, &delay));
     println!("{}", fig3_panel("area   [Fig. 3(b)]", &designs, &area));
-    println!("{}", fig3_panel("power  [omitted in paper]", &designs, &power));
+    println!(
+        "{}",
+        fig3_panel("power  [omitted in paper]", &designs, &power)
+    );
     println!("{}", fig3_panel("PDP    [Fig. 3(c)]", &designs, &pdp));
 
     // The headline claims, computed from the measured averages.
     let avg = |panel: &Vec<(usize, Vec<f64>)>, idx: usize| -> f64 {
-        panel
-            .iter()
-            .map(|(_, v)| v[idx] / v[0])
-            .sum::<f64>()
-            / panel.len() as f64
+        panel.iter().map(|(_, v)| v[idx] / v[0]).sum::<f64>() / panel.len() as f64
     };
     let idx = |name: &str| designs.iter().position(|d| d == name).expect("design");
     let (gand, appa, ppa) = (idx("GOMIL-AND"), idx("apparch"), idx("pparch"));

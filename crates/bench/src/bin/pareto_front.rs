@@ -15,8 +15,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let ms: Vec<usize> = {
-        let v: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
-        if v.is_empty() { vec![8, 16, 32] } else { v }
+        let v: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if v.is_empty() {
+            vec![8, 16, 32]
+        } else {
+            v
+        }
     };
     let cfg = GomilConfig::default();
     for m in ms {

@@ -11,8 +11,15 @@ use gomil_bench::timed;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ms: Vec<usize> = {
-        let v: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
-        if v.is_empty() { vec![4, 6, 8] } else { v }
+        let v: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if v.is_empty() {
+            vec![4, 6, 8]
+        } else {
+            v
+        }
     };
     let cfg = GomilConfig {
         solver_budget: std::time::Duration::from_secs(10),

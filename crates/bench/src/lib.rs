@@ -31,25 +31,32 @@ pub const DESIGN_ORDER: [&str; 8] = [
 ///
 /// # Errors
 ///
-/// Propagates ILP solver failures from the GOMIL builds.
-///
-/// # Panics
-///
-/// Panics on a functional verification failure — a benchmark over an
-/// incorrect multiplier would be meaningless.
+/// Propagates ILP solver failures from the GOMIL builds, and returns
+/// [`GomilError::Verification`] if any constructed design fails functional
+/// verification — a benchmark over an incorrect multiplier would be
+/// meaningless, but one bad width should not abort a whole sweep.
 pub fn build_roster(m: usize, cfg: &GomilConfig) -> Result<Vec<DesignReport>, GomilError> {
+    fn measured(
+        build: &gomil::MultiplierBuild,
+        power_vectors: usize,
+    ) -> Result<DesignReport, GomilError> {
+        let r = DesignReport::measure(build, power_vectors);
+        if !r.verified {
+            return Err(GomilError::Verification(format!(
+                "{} failed functional verification",
+                r.name
+            )));
+        }
+        Ok(r)
+    }
     let mut out = Vec::with_capacity(8);
     for kind in BaselineKind::all() {
         let b = build_baseline(kind, m, cfg);
-        let r = DesignReport::measure(&b, cfg.power_vectors);
-        assert!(r.verified, "{} failed functional verification", r.name);
-        out.push(r);
+        out.push(measured(&b, cfg.power_vectors)?);
     }
     for ppg in [PpgKind::And, PpgKind::Booth4] {
         let d = build_gomil(m, ppg, cfg)?;
-        let r = DesignReport::measure(&d.build, cfg.power_vectors);
-        assert!(r.verified, "{} failed functional verification", r.name);
-        out.push(r);
+        out.push(measured(&d.build, cfg.power_vectors)?);
     }
     Ok(out)
 }

@@ -172,7 +172,10 @@ impl MultiplierBuild {
             for _ in 0..2000 {
                 let x = rng.gen::<u128>() & mask;
                 let y = rng.gen::<u128>() & mask;
-                stats.add(self.netlist.eval_ints(&[x, y], "p"), self.expected_product(x, y));
+                stats.add(
+                    self.netlist.eval_ints(&[x, y], "p"),
+                    self.expected_product(x, y),
+                );
             }
         }
         stats.finish()

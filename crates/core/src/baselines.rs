@@ -80,7 +80,13 @@ enum Adder {
 }
 
 /// Builds one fixed multiplier architecture.
-fn build_fixed(name: String, m: usize, ppg: PpgKind, red: Reduction, adder: Adder) -> MultiplierBuild {
+fn build_fixed(
+    name: String,
+    m: usize,
+    ppg: PpgKind,
+    red: Reduction,
+    adder: Adder,
+) -> MultiplierBuild {
     let mut nl = Netlist::new(name.clone());
     let a = nl.add_input("a", m);
     let b = nl.add_input("b", m);
@@ -144,9 +150,7 @@ fn select_candidate(
 ) -> MultiplierBuild {
     let candidates: Vec<MultiplierBuild> = candidate_set(m)
         .into_iter()
-        .map(|(label, ppg, red, adder)| {
-            build_fixed(format!("{name}/{label}"), m, ppg, red, adder)
-        })
+        .map(|(label, ppg, red, adder)| build_fixed(format!("{name}/{label}"), m, ppg, red, adder))
         .collect();
     let _ = cfg;
     let mut best: Option<(f64, f64, MultiplierBuild)> = None;
@@ -174,20 +178,75 @@ fn candidate_set(_m: usize) -> Vec<(&'static str, PpgKind, Reduction, Adder)> {
     vec![
         ("and-dadda-rca", And, Dadda, Rca),
         ("booth-dadda-rca", Booth4, Dadda, Rca),
-        ("and-dadda-bk", And, Dadda, Network(PrefixNetworkKind::BrentKung)),
-        ("booth-dadda-bk", Booth4, Dadda, Network(PrefixNetworkKind::BrentKung)),
-        ("and-wallace-sk", And, Wallace, Network(PrefixNetworkKind::Sklansky)),
-        ("booth-wallace-sk", Booth4, Wallace, Network(PrefixNetworkKind::Sklansky)),
-        ("and-wallace-ks", And, Wallace, Network(PrefixNetworkKind::KoggeStone)),
-        ("booth-wallace-ks", Booth4, Wallace, Network(PrefixNetworkKind::KoggeStone)),
+        (
+            "and-dadda-bk",
+            And,
+            Dadda,
+            Network(PrefixNetworkKind::BrentKung),
+        ),
+        (
+            "booth-dadda-bk",
+            Booth4,
+            Dadda,
+            Network(PrefixNetworkKind::BrentKung),
+        ),
+        (
+            "and-wallace-sk",
+            And,
+            Wallace,
+            Network(PrefixNetworkKind::Sklansky),
+        ),
+        (
+            "booth-wallace-sk",
+            Booth4,
+            Wallace,
+            Network(PrefixNetworkKind::Sklansky),
+        ),
+        (
+            "and-wallace-ks",
+            And,
+            Wallace,
+            Network(PrefixNetworkKind::KoggeStone),
+        ),
+        (
+            "booth-wallace-ks",
+            Booth4,
+            Wallace,
+            Network(PrefixNetworkKind::KoggeStone),
+        ),
         ("and-wallace-ppf", And, Wallace, PpfCsl),
         ("booth-wallace-ppf", Booth4, Wallace, PpfCsl),
-        ("and-dadda-hc", And, Dadda, Network(PrefixNetworkKind::HanCarlson)),
-        ("booth-dadda-lf", Booth4, Dadda, Network(PrefixNetworkKind::LadnerFischer)),
+        (
+            "and-dadda-hc",
+            And,
+            Dadda,
+            Network(PrefixNetworkKind::HanCarlson),
+        ),
+        (
+            "booth-dadda-lf",
+            Booth4,
+            Dadda,
+            Network(PrefixNetworkKind::LadnerFischer),
+        ),
         ("booth8-dadda-rca", Booth8, Dadda, Rca),
-        ("booth8-wallace-sk", Booth8, Wallace, Network(PrefixNetworkKind::Sklansky)),
-        ("booth8-wallace-ks", Booth8, Wallace, Network(PrefixNetworkKind::KoggeStone)),
-        ("bw-dadda-bk", BaughWooley, Dadda, Network(PrefixNetworkKind::BrentKung)),
+        (
+            "booth8-wallace-sk",
+            Booth8,
+            Wallace,
+            Network(PrefixNetworkKind::Sklansky),
+        ),
+        (
+            "booth8-wallace-ks",
+            Booth8,
+            Wallace,
+            Network(PrefixNetworkKind::KoggeStone),
+        ),
+        (
+            "bw-dadda-bk",
+            BaughWooley,
+            Dadda,
+            Network(PrefixNetworkKind::BrentKung),
+        ),
     ]
 }
 
@@ -200,7 +259,8 @@ mod tests {
         let cfg = GomilConfig::fast();
         for kind in BaselineKind::all() {
             let b = build_baseline(kind, 4, &cfg);
-            b.verify().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            b.verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
         }
     }
 
@@ -209,7 +269,8 @@ mod tests {
         let cfg = GomilConfig::fast();
         for kind in BaselineKind::all() {
             let b = build_baseline(kind, 8, &cfg);
-            b.verify().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            b.verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
         }
     }
 

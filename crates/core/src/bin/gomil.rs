@@ -4,17 +4,23 @@
 //! gomil gen <m> [and|mbe] [--out FILE] [--no-verify] [--budget-ms N]
 //!                                                      generate + export Verilog
 //! gomil compare <m>                                    Fig. 3-style table at one width
+//! gomil batch <m,m,…> [--all-ppg] [--jobs N] [--repeat K]
+//!             [--cache FILE|--no-cache-file] [--budget-ms N]
+//!                                                      concurrent batch via gomil-serve
+//! gomil serve --requests FILE [--jobs N] [--cache FILE|--no-cache-file]
+//!             [--budget-ms N]                          serve a request file
 //! gomil prefix <heights MSB-first…> [--w W]            optimize a prefix BCV
 //! gomil trunc <m> <k>                                  truncated multiplier report
 //! gomil info                                           defaults and versions
 //! ```
 
 use gomil::{
-    build_baseline, build_gomil, build_gomil_truncated, normalize, solve_summary, BaselineKind,
-    DesignReport, GomilConfig, PpgKind,
+    build_baseline, build_gomil, build_gomil_truncated, normalize, serve_service, solve_summary,
+    BaselineKind, DesignReport, GomilConfig, PpgKind, ServeConfig, SolveRequest,
 };
 use gomil_prefix::{leaf_types, optimize_prefix_tree};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -22,11 +28,15 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("prefix") => cmd_prefix(&args[1..]),
         Some("trunc") => cmd_trunc(&args[1..]),
         Some("info") => cmd_info(),
         _ => {
-            eprintln!("usage: gomil <gen|compare|prefix|trunc|info> …  (see --help in README)");
+            eprintln!(
+                "usage: gomil <gen|compare|batch|serve|prefix|trunc|info> …  (see --help in README)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -95,10 +105,7 @@ fn cmd_gen(args: &[String]) -> CliResult {
     match out {
         Some(path) => {
             std::fs::File::create(path)?.write_all(verilog.as_bytes())?;
-            eprintln!(
-                "wrote {path} ({} gates)",
-                design.build.netlist.num_gates()
-            );
+            eprintln!("wrote {path} ({} gates)", design.build.netlist.num_gates());
         }
         None => print!("{verilog}"),
     }
@@ -134,6 +141,162 @@ fn cmd_compare(args: &[String]) -> CliResult {
             "{:<18} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             row.name, row.delay, row.area, row.power, row.pdp
         );
+    }
+    Ok(())
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+}
+
+/// Parses the `gomil-serve` tuning flags shared by `batch` and `serve`.
+/// The cache persists to `gomil-serve-cache.tsv` in the working directory
+/// unless `--cache FILE` overrides the path or `--no-cache-file` disables
+/// persistence.
+fn serve_config_from_args(args: &[String]) -> ServeConfig {
+    let mut sc = ServeConfig::default();
+    if let Some(jobs) = flag_value(args, "--jobs").and_then(|s| s.parse().ok()) {
+        sc.jobs = jobs;
+    }
+    sc.cache_path = if args.iter().any(|a| a == "--no-cache-file") {
+        None
+    } else {
+        Some(
+            flag_value(args, "--cache")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("gomil-serve-cache.tsv")),
+        )
+    };
+    if args.iter().any(|a| a == "--no-warm-start") {
+        sc.warm_start = false;
+    }
+    sc
+}
+
+/// Whether `build_gomil` accepts this (m, PPG) pair — mirrors its input
+/// validation so `batch --all-ppg` can skip unsupported combinations
+/// instead of printing per-request errors.
+fn ppg_supported(m: usize, ppg: PpgKind) -> bool {
+    if m < 2 {
+        return false;
+    }
+    match ppg {
+        PpgKind::Booth4 => m.is_multiple_of(2),
+        PpgKind::Booth8 => m >= 3,
+        _ => true,
+    }
+}
+
+fn print_results(
+    requests: &[SolveRequest],
+    results: &[Result<gomil::ServeOutcome, gomil::ServeError>],
+) {
+    for (req, res) in requests.iter().zip(results) {
+        match res {
+            Ok(outcome) => println!("{outcome}"),
+            Err(e) => println!("{req}: {e}"),
+        }
+    }
+}
+
+fn finish_service(svc: &gomil::SolveService) -> CliResult {
+    let saved = svc.persist()?;
+    if saved > 0 {
+        eprintln!("persisted {saved} cache entries");
+    }
+    println!("\n{}", svc.report());
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> CliResult {
+    let ms: Vec<usize> = args
+        .first()
+        .ok_or("usage: gomil batch <m,m,…> [--all-ppg] [--jobs N] [--repeat K]")?
+        .split(',')
+        .map(|s| s.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad word-length list: {e}"))?;
+    let all_ppg = args.iter().any(|a| a == "--all-ppg");
+    let repeat = flag_value(args, "--repeat")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(2)
+        .max(1);
+    let cfg = cfg_from_args(args);
+    let svc = serve_service(&cfg, serve_config_from_args(args))?;
+
+    let ppgs: &[PpgKind] = if all_ppg {
+        &PpgKind::all()
+    } else {
+        &[PpgKind::And]
+    };
+    let base: Vec<SolveRequest> = ms
+        .iter()
+        .flat_map(|&m| ppgs.iter().map(move |&ppg| SolveRequest { m, ppg }))
+        .filter(|r| ppg_supported(r.m, r.ppg))
+        .collect();
+    if base.is_empty() {
+        return Err("no valid (m, PPG) requests in the batch".into());
+    }
+    // The duplicated request list: adjacent same-key duplicates overlap in
+    // flight and coalesce through singleflight; the later waves (--repeat)
+    // re-submit the whole list and are answered from the cache.
+    let wave: Vec<SolveRequest> = base.iter().flat_map(|r| [r.clone(), r.clone()]).collect();
+    for round in 0..repeat {
+        let results = svc.run_batch(&wave);
+        if round == 0 {
+            // Print each request once (even indices are the first of each
+            // duplicate pair).
+            let firsts: Vec<_> = results.iter().step_by(2).cloned().collect();
+            print_results(&base, &firsts);
+        }
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        if failed > 0 {
+            eprintln!(
+                "wave {}: {failed} of {} requests failed",
+                round + 1,
+                results.len()
+            );
+        }
+    }
+    finish_service(&svc)
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let path = flag_value(args, "--requests")
+        .ok_or("usage: gomil serve --requests FILE [--jobs N] [--cache FILE]")?;
+    let text = std::fs::read_to_string(path)?;
+    let mut requests = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let m = fields
+            .next()
+            .expect("non-empty line has a first field")
+            .parse::<usize>()
+            .map_err(|e| format!("{path}:{}: bad word length: {e}", idx + 1))?;
+        let ppg = match fields.next() {
+            None => PpgKind::And,
+            Some(name) => PpgKind::from_name(name)
+                .ok_or_else(|| format!("{path}:{}: unknown PPG {name:?}", idx + 1))?,
+        };
+        requests.push(SolveRequest { m, ppg });
+    }
+    if requests.is_empty() {
+        return Err(format!("{path}: no requests (lines are `<m> [ppg]`)").into());
+    }
+    let cfg = cfg_from_args(args);
+    let svc = serve_service(&cfg, serve_config_from_args(args))?;
+    let results = svc.run_batch(&requests);
+    print_results(&requests, &results);
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    finish_service(&svc)?;
+    if failed > 0 {
+        return Err(format!("{failed} of {} requests failed", results.len()).into());
     }
     Ok(())
 }

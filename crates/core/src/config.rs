@@ -77,6 +77,31 @@ impl GomilConfig {
         }
     }
 
+    /// Canonical encoding of every configuration field that determines the
+    /// *result* of a solve, as opposed to its latency — the configuration
+    /// half of a service cache key (see the `gomil-serve` crate).
+    ///
+    /// Field order is fixed, values use Rust's shortest-roundtrip float
+    /// formatting, and the string is single-line and tab-free, so two
+    /// configs produce the same fingerprint iff every solve-relevant field
+    /// is equal, however the structs were constructed. The two budgets
+    /// ([`solver_budget`](Self::solver_budget) and
+    /// [`pipeline_budget`](Self::pipeline_budget)) are deliberately
+    /// excluded: they bound wall-clock, not the certified optimum, and the
+    /// serving layer refuses to cache budget-degraded results instead
+    /// (see `gomil-serve`'s caching contract).
+    pub fn solve_fingerprint(&self) -> String {
+        let style = match self.select_style {
+            SelectStyle::Ripple => "ripple",
+            SelectStyle::Select => "select",
+            SelectStyle::SelectSkip => "select-skip",
+        };
+        format!(
+            "w={};l={};alpha={};beta={};style={style};arrival={};pv={}",
+            self.w, self.l, self.alpha, self.beta, self.arrival_aware, self.power_vectors
+        )
+    }
+
     /// A fast configuration for tests: small budgets, fewer power vectors.
     pub fn fast() -> GomilConfig {
         GomilConfig {
@@ -98,5 +123,23 @@ mod tests {
         assert_eq!(c.l, 10);
         assert_eq!(c.alpha, 3.0);
         assert_eq!(c.beta, 2.0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_budgets_but_tracks_solve_fields() {
+        use std::time::Duration;
+        let base = GomilConfig::default();
+        let budgeted = GomilConfig {
+            solver_budget: Duration::from_millis(1),
+            pipeline_budget: Some(Duration::from_millis(2)),
+            ..GomilConfig::default()
+        };
+        assert_eq!(base.solve_fingerprint(), budgeted.solve_fingerprint());
+        let other_w = GomilConfig {
+            w: 9.0,
+            ..GomilConfig::default()
+        };
+        assert_ne!(base.solve_fingerprint(), other_w.solve_fingerprint());
+        assert!(!base.solve_fingerprint().contains(['\t', '\n']));
     }
 }

@@ -264,10 +264,7 @@ mod tests {
         let fin = sol.schedule.final_bcv(&v0).unwrap();
         assert!(fin.is_reduced(), "final {fin}");
         // F is forced by total bits: F = 16 − ΣV_s.
-        assert_eq!(
-            sol.schedule.num_full(),
-            v0.total_bits() - fin.total_bits()
-        );
+        assert_eq!(sol.schedule.num_full(), v0.total_bits() - fin.total_bits());
         // Optimal cost can't exceed Dadda's.
         let dadda = dadda_schedule(&v0);
         assert!(sol.objective <= dadda.cost(3.0, 2.0) + 1e-6);
@@ -280,7 +277,11 @@ mod tests {
         let sol = ilp.solve(&cfg()).unwrap();
         let dadda = dadda_schedule(&v0).cost(3.0, 2.0);
         let wallace = wallace_schedule(&v0).cost(3.0, 2.0);
-        assert!(sol.objective <= dadda + 1e-6, "ilp {} dadda {dadda}", sol.objective);
+        assert!(
+            sol.objective <= dadda + 1e-6,
+            "ilp {} dadda {dadda}",
+            sol.objective
+        );
         assert!(sol.objective <= wallace + 1e-6);
         let fin = sol.schedule.final_bcv(&v0).unwrap();
         assert!(fin.is_reduced());

@@ -6,7 +6,9 @@
 
 use crate::config::GomilConfig;
 use crate::error::GomilError;
-use crate::global::{optimize_global_with_budget, GlobalSolution};
+use crate::global::{
+    optimize_global_hinted, optimize_global_with_budget, GlobalSolution, WarmStartHint,
+};
 use gomil_arith::{and_ppg, baugh_wooley_ppg, booth4_ppg, booth8_ppg, realize_schedule, PpgKind};
 use gomil_budget::Budget;
 use gomil_netlist::{NetId, Netlist};
@@ -56,7 +58,11 @@ impl MultiplierBuild {
     /// The product this design should compute, reduced mod `2^{2m}`.
     pub fn expected_product(&self, x: u128, y: u128) -> u128 {
         let m = self.m;
-        let mask: u128 = if 2 * m >= 128 { u128::MAX } else { (1 << (2 * m)) - 1 };
+        let mask: u128 = if 2 * m >= 128 {
+            u128::MAX
+        } else {
+            (1 << (2 * m)) - 1
+        };
         if self.is_signed() {
             let sx = sign_extend(x, m);
             let sy = sign_extend(y, m);
@@ -228,6 +234,26 @@ pub struct GomilDesign {
 /// [`GomilError::InvalidInput`] for bad requests, otherwise only internal
 /// failures the degradation ladder could not absorb.
 pub fn build_gomil(m: usize, ppg: PpgKind, cfg: &GomilConfig) -> Result<GomilDesign, GomilError> {
+    build_gomil_with_hint(m, ppg, cfg, None)
+}
+
+/// [`build_gomil`] seeded with a neighboring solve's incumbent: the hint's
+/// final-height profile is adapted to this design's width and offered to
+/// the optimizer's ILP warm starts and target search (see
+/// [`WarmStartHint`]). A hint never changes which designs are feasible —
+/// only how fast a good incumbent is found — so `None` is exactly
+/// [`build_gomil`]. Used by the `gomil-serve` layer to accelerate queued
+/// neighbor requests.
+///
+/// # Errors
+///
+/// Same contract as [`build_gomil`].
+pub fn build_gomil_with_hint(
+    m: usize,
+    ppg: PpgKind,
+    cfg: &GomilConfig,
+    hint: Option<&WarmStartHint>,
+) -> Result<GomilDesign, GomilError> {
     if m < 2 {
         return Err(GomilError::InvalidInput(format!(
             "word length must be at least 2, got {m}"
@@ -243,7 +269,7 @@ pub fn build_gomil(m: usize, ppg: PpgKind, cfg: &GomilConfig) -> Result<GomilDes
             "radix-8 Booth needs at least 3-bit operands, got {m}"
         )));
     }
-    catch_unwind(AssertUnwindSafe(|| build_gomil_inner(m, ppg, cfg)))
+    catch_unwind(AssertUnwindSafe(|| build_gomil_inner(m, ppg, cfg, hint)))
         .unwrap_or_else(|payload| Err(panic_to_error(payload)))
 }
 
@@ -251,6 +277,7 @@ fn build_gomil_inner(
     m: usize,
     ppg: PpgKind,
     cfg: &GomilConfig,
+    hint: Option<&WarmStartHint>,
 ) -> Result<GomilDesign, GomilError> {
     let budget = pipeline_budget(cfg);
     let mut nl = Netlist::new(format!("gomil_{}_{m}", ppg.label().to_lowercase()));
@@ -260,7 +287,7 @@ fn build_gomil_inner(
     let v0 = pp.heights();
     let area_after_ppg = nl.area();
 
-    let solution = optimize_global_with_budget(&v0, cfg, &budget)?;
+    let solution = optimize_global_hinted(&v0, cfg, &budget, hint)?;
     let reduced = realize_schedule(&mut nl, &pp, &solution.schedule)
         .map_err(|e| GomilError::Realization(format!("{}: {e}", nl.name())))?;
     let area_after_ct = nl.area();
@@ -302,11 +329,7 @@ fn build_gomil_inner(
 ///
 /// [`GomilError::InvalidInput`] if either width is < 2; otherwise only
 /// internal failures the degradation ladder could not absorb.
-pub fn build_gomil_rect(
-    m: usize,
-    n: usize,
-    cfg: &GomilConfig,
-) -> Result<GomilDesign, GomilError> {
+pub fn build_gomil_rect(m: usize, n: usize, cfg: &GomilConfig) -> Result<GomilDesign, GomilError> {
     if m < 2 || n < 2 {
         return Err(GomilError::InvalidInput(format!(
             "operand widths must be at least 2, got {m}×{n}"
@@ -354,7 +377,11 @@ mod tests {
     fn gomil_and_4_bit_is_correct_exhaustively() {
         let d = build_gomil(4, PpgKind::And, &GomilConfig::fast()).unwrap();
         d.build.verify().unwrap();
-        assert!(d.build.netlist.check().is_empty(), "{:?}", d.build.netlist.check());
+        assert!(
+            d.build.netlist.check().is_empty(),
+            "{:?}",
+            d.build.netlist.check()
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ use crate::config::GomilConfig;
 use crate::ct_ilp::CtIlp;
 use crate::error::GomilError;
 use crate::prefix_ilp::{add_prefix_constraints, LeafB};
-use gomil_arith::{dadda_schedule, required_stages_modular, schedule_toward_target, schedule_toward_target_modular, try_required_stages, Bcv, CompressionSchedule};
+use gomil_arith::{
+    dadda_schedule, required_stages_modular, schedule_toward_target,
+    schedule_toward_target_modular, try_required_stages, Bcv, CompressionSchedule,
+};
 use gomil_budget::{Budget, BudgetExceeded};
 use gomil_ilp::{
     BranchConfig, IncumbentSource, LinExpr, Sense, Solution, SolveError, WarmStartStatus,
@@ -141,6 +144,11 @@ pub struct DegradationReport {
     pub attempts: Vec<RungAttempt>,
     /// The rung whose solution was returned, once the ladder finished.
     pub winner: Option<Rung>,
+    /// Whether the shared wall-clock budget was already exhausted (or
+    /// cancelled) when the ladder finished — the returned solution may
+    /// have been shaped by the deadline even if no rung outright failed
+    /// (e.g. a hill-climb that stopped mid-round).
+    pub budget_exhausted: bool,
 }
 
 impl DegradationReport {
@@ -150,6 +158,19 @@ impl DegradationReport {
         self.attempts
             .iter()
             .any(|a| matches!(a.outcome, RungOutcome::Failed(_)))
+    }
+
+    /// Whether the wall-clock budget shaped this result: the budget
+    /// expired by the end of the ladder, or some rung failed on it. Such
+    /// a solution is still correct and certified, but a more generous
+    /// budget could have produced a better one — serving layers use this
+    /// to decide what is worth caching.
+    pub fn budget_limited(&self) -> bool {
+        self.budget_exhausted
+            || self
+                .attempts
+                .iter()
+                .any(|a| matches!(a.outcome, RungOutcome::Failed(RungFailure::Budget(_))))
     }
 
     /// The recorded attempt for `rung`, if it appears in the report.
@@ -252,6 +273,43 @@ pub struct GlobalSolution {
     pub degradation: DegradationReport,
 }
 
+/// A completed solve's incumbent profile, offered to a *neighboring*
+/// solve (same width with another PPG, or an adjacent width) as a warm
+/// start.
+///
+/// What transfers between neighbors is not the raw ILP assignment — the
+/// variable spaces differ — but the final-height profile `V_s`: the
+/// steered schedule generator re-derives a feasible schedule toward the
+/// donor's profile in the recipient's geometry, and that schedule seeds
+/// both the joint ILP (via the certified warm-start path, so a bad hint
+/// is rejected with the violated constraint named, never trusted) and the
+/// target-search hill-climb. Hints only ever change how fast the
+/// optimizer closes, not which solutions are feasible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmStartHint {
+    /// Donor final-height column counts (LSB first, entries 1 or 2).
+    pub counts: Vec<u32>,
+}
+
+impl WarmStartHint {
+    /// Extracts the hint a finished solution donates.
+    pub fn from_solution(sol: &GlobalSolution) -> WarmStartHint {
+        WarmStartHint {
+            counts: sol.vs.counts().to_vec(),
+        }
+    }
+
+    /// Adapts the donor profile to a recipient with `n` columns: clamps
+    /// entries into the valid final-height range `1..=2` and pads or
+    /// truncates to `n` (new columns default to height 2, the cheaper
+    /// target for the CT side).
+    pub fn adapted(&self, n: usize) -> Vec<u32> {
+        let mut t: Vec<u32> = self.counts.iter().map(|&c| c.clamp(1, 2)).collect();
+        t.resize(n, 2);
+        t
+    }
+}
+
 /// Scores a schedule + BCV pair under the global objective (full-width
 /// prefix cost), also returning the tree.
 fn score(vs: &Bcv, schedule: &CompressionSchedule, cfg: &GomilConfig) -> (f64, f64, PrefixTree) {
@@ -315,8 +373,7 @@ fn solution_from_budgeted(
 /// flipping every column's target (1 ↔ 2), keeping the first strict
 /// improvement of the exact global objective. Deterministic.
 pub fn target_search(v0: &Bcv, cfg: &GomilConfig) -> GlobalSolution {
-    target_search_budgeted(v0, cfg, &Budget::unlimited())
-        .expect("unlimited budget cannot expire")
+    target_search_budgeted(v0, cfg, &Budget::unlimited()).expect("unlimited budget cannot expire")
 }
 
 /// Budget-aware [`target_search`]: the hill-climb checks the budget before
@@ -332,6 +389,24 @@ pub fn target_search_budgeted(
     v0: &Bcv,
     cfg: &GomilConfig,
     budget: &Budget,
+) -> Result<GlobalSolution, BudgetExceeded> {
+    target_search_hinted(v0, cfg, budget, None)
+}
+
+/// [`target_search_budgeted`] seeded with a neighboring solve's incumbent
+/// profile: the hint is scored as an extra starting candidate and, when it
+/// wins, the hill-climb continues from the donor's profile instead of
+/// Dadda's — typically saving the early rounds of the climb.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] only if the budget died before even the Dadda seed
+/// could be scored (hints never make failure more likely).
+pub fn target_search_hinted(
+    v0: &Bcv,
+    cfg: &GomilConfig,
+    budget: &Budget,
+    hint: Option<&WarmStartHint>,
 ) -> Result<GlobalSolution, BudgetExceeded> {
     // Strict (Eq. 4) when possible; otherwise the modular rule (leftmost
     // compressors allowed, width may grow — sound for full-product-width
@@ -361,6 +436,22 @@ pub fn target_search_budgeted(
             if let Ok(cand) = solution_from_budgeted(vs, sched, cfg, "target-search", budget) {
                 if cand.objective < best.objective {
                     best = cand;
+                }
+            }
+        }
+    }
+
+    // A donated neighbor profile competes as a third seed; when it wins,
+    // the climb continues from the donor's profile.
+    if let Some(h) = hint {
+        if budget.check().is_ok() {
+            let ht = h.adapted(target.len());
+            if let Some((sched, vs)) = steer(&ht) {
+                if let Ok(cand) = solution_from_budgeted(vs, sched, cfg, "target-search", budget) {
+                    if cand.objective < best.objective {
+                        best = cand;
+                        target = ht;
+                    }
                 }
             }
         }
@@ -427,6 +518,26 @@ pub fn joint_ilp_budgeted(
     cfg: &GomilConfig,
     budget: &Budget,
 ) -> Result<GlobalSolution, SolveError> {
+    joint_ilp_hinted(v0, cfg, budget, None)
+}
+
+/// [`joint_ilp_budgeted`] with an optional neighbor incumbent hand-off:
+/// the donated profile is steered into a feasible schedule for *this*
+/// geometry and offered to branch and bound alongside the Dadda seed via
+/// the certified warm-start path ([`BranchConfig::extra_starts`]) — the
+/// certifier validates every candidate, so a stale or mismatched hint is
+/// dropped, never trusted.
+///
+/// # Errors
+///
+/// Propagates solver failures; budget expiry without an incumbent
+/// surfaces as [`SolveError::Limit`].
+pub fn joint_ilp_hinted(
+    v0: &Bcv,
+    cfg: &GomilConfig,
+    budget: &Budget,
+    hint: Option<&WarmStartHint>,
+) -> Result<GlobalSolution, SolveError> {
     let n = v0.len();
     // The paper's formulation needs a leftmost-free reduction to exist
     // (Eq. 4); profiles without one go to the modular target search.
@@ -460,18 +571,9 @@ pub fn joint_ilp_budgeted(
     let objective = ct.objective.clone() + pv.root_cost.clone();
     model.set_objective(objective, Sense::Minimize);
 
-    // Warm start: Dadda (or the steered generator when Dadda's shape
-    // doesn't fit) + DP prefix values on its profile.
-    let dadda = dadda_schedule(v0);
-    let seed = match ct.warm_start(&dadda) {
-        Some(values) => Some((values, dadda.final_bcv(v0).expect("dadda is valid"))),
-        None => {
-            let all2 = vec![2u32; n];
-            schedule_toward_target(v0, ct.stages, &all2)
-                .and_then(|(sched, vs)| ct.warm_start(&sched).map(|vals| (vals, vs)))
-        }
-    };
-    let initial = seed.map(|(mut values, vs)| {
+    // Completes a CT-side warm start into full model space: leaf binaries
+    // from the profile, prefix variables from the DP.
+    let complete_seed = |mut values: Vec<f64>, vs: &Bcv| -> Vec<f64> {
         values.resize(model.num_vars(), 0.0);
         let leaf_vals: Vec<bool> = vs.iter().map(|c| c == 2).collect();
         for (i, lb) in leaves.iter().enumerate() {
@@ -481,12 +583,41 @@ pub fn joint_ilp_budgeted(
         }
         pv.warm_start_into(&mut values, &leaf_vals);
         values
-    });
+    };
+
+    // Warm-start candidates, best-guess first: the donated neighbor
+    // profile (when present and steerable), then Dadda, then — only if
+    // both failed — the all-2 steered profile. The first becomes the
+    // validated `initial`; the rest ride along as handed-off incumbents.
+    let mut seeds: Vec<Vec<f64>> = Vec::new();
+    if let Some(h) = hint {
+        if let Some((sched, vs)) = schedule_toward_target(v0, ct.stages, &h.adapted(n)) {
+            if let Some(values) = ct.warm_start(&sched) {
+                seeds.push(complete_seed(values, &vs));
+            }
+        }
+    }
+    let dadda = dadda_schedule(v0);
+    if let Some(values) = ct.warm_start(&dadda) {
+        let vs = dadda.final_bcv(v0).expect("dadda is valid");
+        seeds.push(complete_seed(values, &vs));
+    }
+    if seeds.is_empty() {
+        let all2 = vec![2u32; n];
+        if let Some((sched, vs)) = schedule_toward_target(v0, ct.stages, &all2) {
+            if let Some(values) = ct.warm_start(&sched) {
+                seeds.push(complete_seed(values, &vs));
+            }
+        }
+    }
+    let mut seeds = seeds.into_iter();
+    let initial = seeds.next();
 
     let branch = BranchConfig {
         time_limit: Some(cfg.solver_budget),
         budget: budget.clone(),
         initial,
+        extra_starts: seeds.collect(),
         ..BranchConfig::default()
     };
     let sol = model.solve_with(&branch)?;
@@ -584,6 +715,23 @@ pub fn optimize_global_with_budget(
     cfg: &GomilConfig,
     budget: &Budget,
 ) -> Result<GlobalSolution, GomilError> {
+    optimize_global_hinted(v0, cfg, budget, None)
+}
+
+/// [`optimize_global_with_budget`] with a neighbor incumbent hand-off:
+/// the hint seeds both ILP rungs' warm starts and the target search (see
+/// [`WarmStartHint`]). Used by the serving layer to accelerate queued
+/// neighbor requests; `None` is exactly the unhinted ladder.
+///
+/// # Errors
+///
+/// Only if every rung failed (an internal bug by construction).
+pub fn optimize_global_hinted(
+    v0: &Bcv,
+    cfg: &GomilConfig,
+    budget: &Budget,
+    hint: Option<&WarmStartHint>,
+) -> Result<GlobalSolution, GomilError> {
     fn record(
         attempts: &mut Vec<RungAttempt>,
         best: &mut Option<(Rung, GlobalSolution)>,
@@ -629,7 +777,7 @@ pub fn optimize_global_with_budget(
             outcome: RungOutcome::Skipped(format!("budget already exhausted: {reason}")),
         });
     } else {
-        match guarded(|| joint_ilp_budgeted(v0, cfg, budget).map_err(RungFailure::Solve)) {
+        match guarded(|| joint_ilp_hinted(v0, cfg, budget, hint).map_err(RungFailure::Solve)) {
             Ok(sol) => record(&mut attempts, &mut best, Rung::JointIlp, sol),
             Err(why) => attempts.push(RungAttempt {
                 rung: Rung::JointIlp,
@@ -679,7 +827,7 @@ pub fn optimize_global_with_budget(
             outcome: RungOutcome::Skipped(format!("budget already exhausted: {reason}")),
         });
     } else {
-        match guarded(|| target_search_budgeted(v0, cfg, budget).map_err(RungFailure::Budget)) {
+        match guarded(|| target_search_hinted(v0, cfg, budget, hint).map_err(RungFailure::Budget)) {
             Ok(sol) => record(&mut attempts, &mut best, Rung::TargetSearch, sol),
             Err(why) => attempts.push(RungAttempt {
                 rung: Rung::TargetSearch,
@@ -714,6 +862,7 @@ pub fn optimize_global_with_budget(
     let report = DegradationReport {
         winner: best.as_ref().map(|(rung, _)| *rung),
         attempts,
+        budget_exhausted: budget.check().is_err(),
     };
     match best {
         Some((_, mut sol)) => {
@@ -842,8 +991,7 @@ mod tests {
     fn budgeted_search_matches_unbudgeted_when_unconstrained() {
         let v0 = Bcv::and_ppg(8);
         let free = target_search(&v0, &cfg());
-        let budgeted =
-            target_search_budgeted(&v0, &cfg(), &Budget::unlimited()).unwrap();
+        let budgeted = target_search_budgeted(&v0, &cfg(), &Budget::unlimited()).unwrap();
         assert_eq!(free.objective, budgeted.objective);
     }
 

@@ -57,20 +57,26 @@ mod flow;
 mod global;
 mod prefix_ilp;
 mod report;
+mod service;
 
 pub use approx::{build_gomil_truncated, ErrorStats};
 pub use baselines::{build_baseline, BaselineKind};
 pub use config::GomilConfig;
 pub use ct_ilp::{CtIlp, CtSolution};
 pub use error::GomilError;
-pub use flow::{build_gomil, build_gomil_rect, GomilDesign, MultiplierBuild, RegionBreakdown};
+pub use flow::{
+    build_gomil, build_gomil_rect, build_gomil_with_hint, GomilDesign, MultiplierBuild,
+    RegionBreakdown,
+};
 pub use global::{
-    joint_ilp, joint_ilp_budgeted, optimize_global, optimize_global_with_budget, target_search,
-    target_search_budgeted, DegradationReport, GlobalSolution, Rung, RungAttempt, RungFailure,
-    RungOutcome, SolveStats,
+    joint_ilp, joint_ilp_budgeted, joint_ilp_hinted, optimize_global, optimize_global_hinted,
+    optimize_global_with_budget, target_search, target_search_budgeted, target_search_hinted,
+    DegradationReport, GlobalSolution, Rung, RungAttempt, RungFailure, RungOutcome, SolveStats,
+    WarmStartHint,
 };
 pub use prefix_ilp::{add_prefix_constraints, solve_fixed_prefix_ip, LeafB, PrefixVars};
 pub use report::{format_table, normalize, solve_summary, DesignReport, NormalizedRow};
+pub use service::{gomil_solver, serve_service};
 
 // Re-export the things downstream code almost always needs alongside.
 pub use gomil_arith::{required_stages, schedule_toward_target, Bcv, CompressionSchedule, PpgKind};
@@ -78,3 +84,7 @@ pub use gomil_budget::{Budget, BudgetExceeded};
 pub use gomil_ilp::{IncumbentSource, SolveError, WarmStartStatus};
 pub use gomil_netlist::DesignMetrics;
 pub use gomil_prefix::{PrefixTree, SelectStyle};
+pub use gomil_serve::{
+    MetricsReport, ServeConfig, ServeError, ServeOutcome, SolveKey, SolveRequest, SolveService,
+    SolverFn, WarmHint,
+};

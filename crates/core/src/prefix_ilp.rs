@@ -161,13 +161,21 @@ pub fn add_prefix_constraints(
                 vars.q.insert((i, j, k), q);
 
                 // Sub-interval a/d as expressions (leaf or variable).
-                let a_hi = if i == k { leaf_a(&vars, i) } else { vars.a[&(i, k)].into() };
+                let a_hi = if i == k {
+                    leaf_a(&vars, i)
+                } else {
+                    vars.a[&(i, k)].into()
+                };
                 let a_lo = if k - 1 == j {
                     leaf_a(&vars, j)
                 } else {
                     vars.a[&(k - 1, j)].into()
                 };
-                let d_hi = if i == k { leaf_d(&vars, i) } else { vars.d[&(i, k)].into() };
+                let d_hi = if i == k {
+                    leaf_d(&vars, i)
+                } else {
+                    vars.d[&(i, k)].into()
+                };
                 let d_lo = if k - 1 == j {
                     leaf_d(&vars, j)
                 } else {
@@ -249,7 +257,11 @@ impl PrefixVars {
         }
         for (&(i, j, k), &qv) in &self.q {
             if let BVal::Var(v) = qv {
-                values[v.index()] = if b_of(i, k) && b_of(k - 1, j) { 1.0 } else { 0.0 };
+                values[v.index()] = if b_of(i, k) && b_of(k - 1, j) {
+                    1.0
+                } else {
+                    0.0
+                };
             }
         }
         for (&(i, j), ts) in &self.t {
@@ -327,7 +339,13 @@ mod tests {
 
     #[test]
     fn ip_matches_dp_on_small_instances() {
-        for (mask, n) in [(0b0u32, 3usize), (0b101, 3), (0b1111, 4), (0b0110, 4), (0b10110, 5)] {
+        for (mask, n) in [
+            (0b0u32, 3usize),
+            (0b101, 3),
+            (0b1111, 4),
+            (0b0110, 4),
+            (0b10110, 5),
+        ] {
             let leaf: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
             for w in [0.0, 1.0, 8.0] {
                 let dp = optimize_prefix_tree(&leaf, w);

@@ -48,7 +48,11 @@ impl fmt::Display for DesignReport {
             self.m,
             self.metrics,
             self.gates,
-            if self.verified { "" } else { "  [VERIFY FAILED]" }
+            if self.verified {
+                ""
+            } else {
+                "  [VERIFY FAILED]"
+            }
         )
     }
 }

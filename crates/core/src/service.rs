@@ -1,0 +1,102 @@
+//! Bridge from the generic `gomil-serve` infrastructure to the real GOMIL
+//! pipeline.
+//!
+//! `gomil-serve` is deliberately solver-agnostic (it depends only on the
+//! arithmetic/netlist/budget crates), so the cache + singleflight + worker
+//! pool can be tested with synthetic solvers. This module supplies the
+//! production [`SolverFn`]: one end-to-end [`build_gomil_with_hint`] run
+//! per request, measured and flattened into a [`ServeOutcome`].
+
+use crate::config::GomilConfig;
+use crate::flow::{build_gomil_with_hint, GomilDesign};
+use crate::global::{Rung, WarmStartHint};
+use gomil_serve::{ServeConfig, ServeError, ServeOutcome, SolveService, SolverFn};
+use std::io;
+
+/// Flattens a finished design into the service's cacheable record.
+///
+/// The `degraded` flag implements the serving layer's caching contract: a
+/// result is degraded — served to its requester but never cached — when
+/// the ladder absorbed a rung failure, when the wall-clock budget shaped
+/// the result ([`DegradationReport::budget_limited`]), or when the
+/// last-resort Dadda rung won (which only happens after every optimizing
+/// rung failed or was budget-skipped). A more generous retry could improve
+/// all three, so none may be pinned in the cache.
+///
+/// [`DegradationReport::budget_limited`]: crate::DegradationReport::budget_limited
+fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
+    let sol = &design.solution;
+    let degradation = &sol.degradation;
+    let degraded = degradation.degraded()
+        || degradation.budget_limited()
+        || degradation.winner == Some(Rung::DaddaPrefix);
+    ServeOutcome {
+        name: design.build.name.clone(),
+        m: design.build.m,
+        ppg: design.build.ppg,
+        metrics: design.build.netlist.metrics(cfg.power_vectors),
+        gates: design.build.netlist.num_gates(),
+        verified: design.build.verify().is_ok(),
+        strategy: sol.strategy.to_string(),
+        objective: sol.objective,
+        degraded,
+        vs_counts: sol.vs.counts().to_vec(),
+    }
+}
+
+/// The production solver for a [`SolveService`]: each request runs the
+/// full GOMIL pipeline under `cfg`, seeded with the neighbor incumbent the
+/// service hands over (see [`build_gomil_with_hint`]).
+pub fn gomil_solver(cfg: &GomilConfig) -> Box<SolverFn> {
+    let cfg = cfg.clone();
+    Box::new(move |req, warm| {
+        let hint = warm.map(|h| WarmStartHint {
+            counts: h.counts.clone(),
+        });
+        let design = build_gomil_with_hint(req.m, req.ppg, &cfg, hint.as_ref())
+            .map_err(|e| ServeError::Solve(e.to_string()))?;
+        Ok(outcome_from(&design, &cfg))
+    })
+}
+
+/// A ready-to-serve [`SolveService`] over the real GOMIL pipeline: the
+/// cache key fingerprint is [`GomilConfig::solve_fingerprint`] and the
+/// solver is [`gomil_solver`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from loading an existing cache file
+/// ([`ServeConfig::cache_path`]).
+pub fn serve_service(cfg: &GomilConfig, serve: ServeConfig) -> io::Result<SolveService> {
+    SolveService::new(cfg.solve_fingerprint(), gomil_solver(cfg), serve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomil_arith::PpgKind;
+    use gomil_serve::SolveRequest;
+
+    #[test]
+    fn real_pipeline_outcomes_are_cached_and_byte_equal() {
+        let cfg = GomilConfig::fast();
+        let svc = serve_service(&cfg, ServeConfig::default()).unwrap();
+        let req = SolveRequest {
+            m: 4,
+            ppg: PpgKind::And,
+        };
+        let fresh = svc.serve_one(&req).unwrap();
+        assert!(fresh.verified, "pipeline output must verify");
+        assert!(!fresh.degraded, "unbudgeted small solve must not degrade");
+        let cached = svc.serve_one(&req).unwrap();
+        assert_eq!(fresh, cached);
+        assert_eq!(
+            fresh.to_line(),
+            cached.to_line(),
+            "byte-equal via the wire format"
+        );
+        let r = svc.report();
+        assert_eq!(r.solves, 1);
+        assert_eq!(r.hits, 1);
+    }
+}

@@ -30,7 +30,11 @@ fn prefix_solves_example_1() {
 #[test]
 fn gen_writes_verilog_to_stdout() {
     let out = gomil(&["gen", "4"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("module "));
     assert!(text.contains("output [7:0] p;"));

@@ -41,6 +41,13 @@ pub struct BranchConfig {
     /// constraint on rejection) is reported in
     /// [`Solution::warm_start`](crate::Solution::warm_start).
     pub initial: Option<Vec<f64>>,
+    /// Incumbent hand-off: additional candidate assignments beyond
+    /// [`initial`](Self::initial) — e.g. a neighboring solve's incumbent
+    /// adapted to this model. Each candidate is validated by the same
+    /// independent certifier as the warm start; feasible candidates
+    /// compete on objective, so a bad hand-off can never worsen the
+    /// result, only fail to help.
+    pub extra_starts: Vec<Vec<f64>>,
     /// Simplex iteration budget per LP solve.
     pub max_lp_iters: u64,
     /// Run the round-and-repair heuristic every this many nodes (0 = off).
@@ -68,6 +75,7 @@ impl Default for BranchConfig {
             node_limit: 200_000,
             gap_tol: 1e-6,
             initial: None,
+            extra_starts: Vec::new(),
             max_lp_iters: 2_000_000,
             heuristic_period: 20,
             budget: Budget::unlimited(),
@@ -112,7 +120,13 @@ struct Standardized {
 
 /// Builds the slack-augmented LP, dropping presolve-fixed columns and
 /// redundant rows.
-fn standardize(model: &Model, lb: &[f64], ub: &[f64], redundant: &[bool], minimize_costs: &[f64]) -> Standardized {
+fn standardize(
+    model: &Model,
+    lb: &[f64],
+    ub: &[f64],
+    redundant: &[bool],
+    minimize_costs: &[f64],
+) -> Standardized {
     let n = model.num_vars();
     let mut col_of_var: Vec<Option<u32>> = vec![None; n]; // local compression map
     let mut fixed_val = vec![0.0; n];
@@ -314,7 +328,11 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
             .enumerate()
             .map(|(i, v)| costs[i] * v)
             .sum::<f64>()
-            + if maximize { -model.objective.constant() } else { model.objective.constant() };
+            + if maximize {
+                -model.objective.constant()
+            } else {
+                model.objective.constant()
+            };
         if inc.as_ref().is_none_or(|(_, best, _)| obj < best - 1e-9) {
             *inc = Some((vals, obj, source));
         }
@@ -331,6 +349,19 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
                 record(init.clone(), IncumbentSource::WarmStart, &mut incumbent);
             }
             Err(why) => warm_start = WarmStartStatus::Rejected(why),
+        }
+    }
+
+    // Handed-off incumbents: validated exactly like the warm start and
+    // admitted through `record`, which keeps whichever candidate has the
+    // best objective. An infeasible hand-off is simply ignored (the donor
+    // solved a *neighboring* model, so mismatches are expected).
+    for cand in &config.extra_starts {
+        if certify_values(model, cand, FEAS_TOL * 10.0).is_ok() {
+            if warm_start == WarmStartStatus::NotProvided {
+                warm_start = WarmStartStatus::Accepted;
+            }
+            record(cand.clone(), IncumbentSource::WarmStart, &mut incumbent);
         }
     }
 
@@ -421,7 +452,11 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
         // Pseudocost update from the branching that created this node.
         if let Some((col, up, parent_obj, dist)) = node.branch {
             let gain = ((lp_obj - parent_obj) / dist.max(1e-6)).max(0.0);
-            let slot = if up { &mut pc_up[col] } else { &mut pc_down[col] };
+            let slot = if up {
+                &mut pc_up[col]
+            } else {
+                &mut pc_down[col]
+            };
             slot.0 += gain;
             slot.1 += 1;
         }
@@ -500,9 +535,7 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
                 let down = xi.floor();
                 let up = xi.ceil();
                 let depth = node.depth + 1;
-                for (is_lower, value, dist) in
-                    [(false, down, xi - down), (true, up, up - xi)]
-                {
+                for (is_lower, value, dist) in [(false, down, xi - down), (true, up, up - xi)] {
                     arena.nodes.push((
                         node.arena_idx,
                         BoundDelta {
@@ -655,6 +688,28 @@ mod tests {
     }
 
     #[test]
+    fn handed_off_incumbents_compete_on_objective() {
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_constraint("c", 2.0 * x, Cmp::Ge, 5.0);
+        m.set_objective(crate::LinExpr::from(x), Sense::Minimize);
+        // No `initial`; two hand-offs — one infeasible (ignored), one
+        // feasible. Under a dead budget the best feasible hand-off is
+        // exactly what comes back.
+        let cfg = BranchConfig {
+            budget: Budget::with_limit(Duration::ZERO),
+            time_limit: None,
+            extra_starts: vec![vec![1.0], vec![4.0]], // 1.0 violates "c"
+            ..BranchConfig::default()
+        };
+        let s = m.solve_with(&cfg).unwrap();
+        assert_eq!(s.status(), SolveStatus::Feasible);
+        assert_eq!(s.int_value(x), 4);
+        assert_eq!(*s.warm_start(), WarmStartStatus::Accepted);
+        assert_eq!(s.incumbent_source(), IncumbentSource::WarmStart);
+    }
+
+    #[test]
     fn exhausted_budget_returns_warm_start_incumbent() {
         let mut m = Model::new("t");
         let x = m.add_integer("x", 0.0, 10.0);
@@ -750,7 +805,9 @@ mod tests {
         for trial in 0..40 {
             let nv = 4;
             let mut m = Model::new("r");
-            let vars: Vec<_> = (0..nv).map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0)).collect();
+            let vars: Vec<_> = (0..nv)
+                .map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0))
+                .collect();
             let mut cons = Vec::new();
             for ci in 0..3 {
                 let a: Vec<f64> = (0..nv).map(|_| rng.gen_range(-2i64..=3) as f64).collect();
@@ -767,10 +824,9 @@ mod tests {
             let mut best = f64::INFINITY;
             for code in 0..256 {
                 let xs: Vec<f64> = (0..nv).map(|i| ((code >> (2 * i)) & 3) as f64).collect();
-                if cons
-                    .iter()
-                    .all(|(a, b)| a.iter().zip(&xs).map(|(ai, xi)| ai * xi).sum::<f64>() <= *b + 1e-9)
-                {
+                if cons.iter().all(|(a, b)| {
+                    a.iter().zip(&xs).map(|(ai, xi)| ai * xi).sum::<f64>() <= *b + 1e-9
+                }) {
                     best = best.min(c.iter().zip(&xs).map(|(ci, xi)| ci * xi).sum());
                 }
             }
@@ -784,7 +840,10 @@ mod tests {
                     );
                 }
                 Err(SolveError::Infeasible) => {
-                    assert!(best.is_infinite(), "trial {trial}: solver infeasible, brute {best}");
+                    assert!(
+                        best.is_infinite(),
+                        "trial {trial}: solver infeasible, brute {best}"
+                    );
                 }
                 Err(e) => panic!("trial {trial}: {e}"),
             }

@@ -165,7 +165,11 @@ pub struct Certificate {
 /// # Errors
 ///
 /// The first violation found, as a typed [`CertifyError`].
-pub fn certify_values(model: &Model, values: &[f64], tol: f64) -> Result<Certificate, CertifyError> {
+pub fn certify_values(
+    model: &Model,
+    values: &[f64],
+    tol: f64,
+) -> Result<Certificate, CertifyError> {
     if values.len() != model.num_vars() {
         return Err(CertifyError::WrongArity {
             expected: model.num_vars(),

@@ -56,9 +56,13 @@ mod tests {
             rows: vec![vec![(0, -2.0), (1, 1.0), (2, 1.0)]],
             rhs: vec![0.0],
         };
-        let out =
-            round_and_repair(&lp, &[true, false], &[0.6, 1.2], &SimplexOpts::with_max_iters(10_000))
-                .unwrap();
+        let out = round_and_repair(
+            &lp,
+            &[true, false],
+            &[0.6, 1.2],
+            &SimplexOpts::with_max_iters(10_000),
+        )
+        .unwrap();
         assert_eq!(out[0], 1.0);
         assert!((out[1] - 2.0).abs() < 1e-6);
     }

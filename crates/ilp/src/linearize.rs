@@ -162,7 +162,12 @@ mod tests {
 
     #[test]
     fn and_binary_truth_table() {
-        for (x0, y0, z0) in [(0.0, 0.0, 0.0), (0.0, 1.0, 0.0), (1.0, 0.0, 0.0), (1.0, 1.0, 1.0)] {
+        for (x0, y0, z0) in [
+            (0.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (1.0, 0.0, 0.0),
+            (1.0, 1.0, 1.0),
+        ] {
             let mut m = Model::new("t");
             let x = m.add_binary("x");
             let y = m.add_binary("y");
@@ -181,7 +186,12 @@ mod tests {
 
     #[test]
     fn or_binary_truth_table() {
-        for (x0, y0, z0) in [(0.0, 0.0, 0.0), (0.0, 1.0, 1.0), (1.0, 0.0, 1.0), (1.0, 1.0, 1.0)] {
+        for (x0, y0, z0) in [
+            (0.0, 0.0, 0.0),
+            (0.0, 1.0, 1.0),
+            (1.0, 0.0, 1.0),
+            (1.0, 1.0, 1.0),
+        ] {
             let mut m = Model::new("t");
             let x = m.add_binary("x");
             let y = m.add_binary("y");

@@ -23,7 +23,7 @@
 use crate::branch::{self, BranchConfig};
 use crate::certify;
 use crate::expr::{LinExpr, Var};
-use crate::solution::{SolveError, Solution};
+use crate::solution::{Solution, SolveError};
 use std::fmt;
 use std::time::Instant;
 
@@ -121,7 +121,10 @@ impl Model {
     ///
     /// Panics if `lb > ub` or either bound is NaN.
     pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lb: f64, ub: f64) -> Var {
-        assert!(!lb.is_nan() && !ub.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lb <= ub, "variable lower bound exceeds upper bound");
         let (lb, ub) = match kind {
             VarKind::Binary => (lb.max(0.0), ub.min(1.0)),
@@ -176,7 +179,12 @@ impl Model {
 
     /// Convenience for an equality constraint `lhs = rhs` between two
     /// expressions.
-    pub fn add_eq(&mut self, name: impl Into<String>, lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) {
+    pub fn add_eq(
+        &mut self,
+        name: impl Into<String>,
+        lhs: impl Into<LinExpr>,
+        rhs: impl Into<LinExpr>,
+    ) {
         let e = lhs.into() - rhs.into();
         self.add_constraint(name, e, Cmp::Eq, 0.0);
     }
@@ -319,9 +327,7 @@ impl Model {
         let start = Instant::now();
         let mut sol = match branch::solve(self, config) {
             Ok(sol) => sol,
-            Err(SolveError::Numerical(first))
-                if config.numerical_retry && !config.force_bland =>
-            {
+            Err(SolveError::Numerical(first)) if config.numerical_retry && !config.force_bland => {
                 let retry = BranchConfig {
                     force_bland: true,
                     tol_scale: 10.0,

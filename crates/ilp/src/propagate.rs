@@ -54,10 +54,11 @@ pub(crate) fn propagate_bounds(
                 let rest_min = min_act - own_min;
                 let rest_max = max_act - own_max;
                 let int_col = c < lp.num_structural && is_int[c];
-                let apply = |which_lb: Option<f64>, which_ub: Option<f64>,
-                                 lb: &mut [f64],
-                                 ub: &mut [f64],
-                                 changed: &mut bool| {
+                let apply = |which_lb: Option<f64>,
+                             which_ub: Option<f64>,
+                             lb: &mut [f64],
+                             ub: &mut [f64],
+                             changed: &mut bool| {
                     if let Some(mut v) = which_lb {
                         if int_col {
                             v = (v - FEAS_TOL).ceil();

@@ -169,7 +169,7 @@ impl Tableau {
             *v *= inv;
         }
         prow[q] = 1.0; // exact
-        // Eliminate q from all other rows.
+                       // Eliminate q from all other rows.
         let eliminate = |row: &mut [f64]| {
             let f = row[q];
             if f != 0.0 {
@@ -277,9 +277,7 @@ impl Tableau {
                 let limit = limit.max(0.0);
                 // Prefer strictly smaller ratios; break near-ties toward the
                 // largest pivot magnitude for numerical stability.
-                if limit < t_max - 1e-9
-                    || (limit < t_max + 1e-9 && alpha.abs() > leave_piv.abs())
-                {
+                if limit < t_max - 1e-9 || (limit < t_max + 1e-9 && alpha.abs() > leave_piv.abs()) {
                     t_max = limit.min(t_max);
                     leave = Some(r);
                     leave_piv = self.at(r, q);
@@ -655,10 +653,7 @@ mod tests {
         let p = lp(
             vec![-3.0, -2.0],
             vec![(0.0, f64::INFINITY), (0.0, f64::INFINITY)],
-            vec![
-                (vec![1.0, 1.0], -1, 4.0),
-                (vec![1.0, 3.0], -1, 6.0),
-            ],
+            vec![(vec![1.0, 1.0], -1, 4.0), (vec![1.0, 3.0], -1, 6.0)],
         );
         match solve(&p) {
             LpOutcome::Optimal { x, obj } => {
@@ -755,11 +750,7 @@ mod tests {
     #[test]
     fn negative_lower_bounds() {
         // min x with x in [-5, 5], x >= -3  ->  x = -3.
-        let p = lp(
-            vec![1.0],
-            vec![(-5.0, 5.0)],
-            vec![(vec![1.0], 1, -3.0)],
-        );
+        let p = lp(vec![1.0], vec![(-5.0, 5.0)], vec![(vec![1.0], 1, -3.0)]);
         match solve(&p) {
             LpOutcome::Optimal { x, obj } => {
                 assert!((obj + 3.0).abs() < 1e-6);
@@ -819,11 +810,7 @@ mod tests {
                     rng.gen_range(1.0..8.0f64),
                 ));
             }
-            let p = lp(
-                c.to_vec(),
-                vec![(0.0, 6.0), (0.0, 6.0)],
-                cons.clone(),
-            );
+            let p = lp(c.to_vec(), vec![(0.0, 6.0), (0.0, 6.0)], cons.clone());
             let LpOutcome::Optimal { obj, .. } = solve(&p) else {
                 panic!("trial {trial}: expected optimal");
             };
@@ -842,9 +829,7 @@ mod tests {
                     && y >= -1e-9
                     && x <= 6.0 + 1e-9
                     && y <= 6.0 + 1e-9
-                    && cons
-                        .iter()
-                        .all(|(a, _, b)| a[0] * x + a[1] * y <= b + 1e-9)
+                    && cons.iter().all(|(a, _, b)| a[0] * x + a[1] * y <= b + 1e-9)
             };
             let mut best = f64::INFINITY;
             for i in 0..lines.len() {

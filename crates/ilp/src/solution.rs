@@ -198,7 +198,9 @@ impl fmt::Display for SolveError {
         match self {
             SolveError::Infeasible => f.write_str("model is infeasible"),
             SolveError::Unbounded => f.write_str("model is unbounded"),
-            SolveError::Limit(s) => write!(f, "search limit reached before finding a solution: {s}"),
+            SolveError::Limit(s) => {
+                write!(f, "search limit reached before finding a solution: {s}")
+            }
             SolveError::Numerical(s) => write!(f, "numerical failure: {s}"),
             SolveError::Certify(e) => write!(f, "solution failed certification: {e}"),
         }

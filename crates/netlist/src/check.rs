@@ -131,7 +131,9 @@ mod tests {
         let _dead = n.xor(a[0], a[0]);
         n.add_output("o", vec![a[0]]);
         let issues = n.check();
-        assert!(issues.iter().any(|i| matches!(i, CheckIssue::DeadLogic { count: 1 })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, CheckIssue::DeadLogic { count: 1 })));
         assert!(issues
             .iter()
             .any(|i| matches!(i, CheckIssue::UnusedInput { bit: 1, .. })));

@@ -62,8 +62,7 @@ impl Netlist {
             for i in 0..cell.kind.arity() {
                 let f = cell.inputs[i].index();
                 let fk = self.driver_of(cell.inputs[i]).kind;
-                let is_source =
-                    matches!(fk, GateKind::Input | GateKind::Const0 | GateKind::Const1);
+                let is_source = matches!(fk, GateKind::Input | GateKind::Const0 | GateKind::Const1);
                 if is_source || is_root[f] {
                     s.insert(f as u32);
                 } else {
@@ -147,7 +146,10 @@ mod tests {
     #[test]
     fn xor_chain_packs_into_wide_luts() {
         // A 6-input XOR chain fits exactly one 6-LUT.
-        assert_eq!(xor_chain(6).map_to_luts(6), LutMetrics { luts: 1, depth: 1 });
+        assert_eq!(
+            xor_chain(6).map_to_luts(6),
+            LutMetrics { luts: 1, depth: 1 }
+        );
         // 11 inputs: greedy cuts once → 2 levels, small count.
         let m = xor_chain(11).map_to_luts(6);
         assert!(m.luts <= 3, "{m:?}");

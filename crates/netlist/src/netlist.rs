@@ -321,12 +321,12 @@ impl Netlist {
         for p in &mut self.outputs {
             p.bits.iter_mut().for_each(remap_net);
         }
-        self.const0 = self.const0.and_then(|n| {
-            (remap[n.index()] != u32::MAX).then(|| NetId(remap[n.index()]))
-        });
-        self.const1 = self.const1.and_then(|n| {
-            (remap[n.index()] != u32::MAX).then(|| NetId(remap[n.index()]))
-        });
+        self.const0 = self
+            .const0
+            .and_then(|n| (remap[n.index()] != u32::MAX).then(|| NetId(remap[n.index()])));
+        self.const1 = self
+            .const1
+            .and_then(|n| (remap[n.index()] != u32::MAX).then(|| NetId(remap[n.index()])));
         removed
     }
 

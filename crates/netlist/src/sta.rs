@@ -128,8 +128,8 @@ mod tests {
         let out = n.and(slow, fast);
         n.add_output("o", vec![out]);
         let and_pin = WIRE_LOAD + GateKind::And2.input_load();
-        let expect = delay_with_load(GateKind::Xor2, and_pin)
-            + delay_with_load(GateKind::And2, WIRE_LOAD);
+        let expect =
+            delay_with_load(GateKind::Xor2, and_pin) + delay_with_load(GateKind::And2, WIRE_LOAD);
         assert!((n.critical_delay() - expect).abs() < 1e-9);
     }
 

@@ -19,7 +19,12 @@ impl Netlist {
         for p in self.outputs() {
             ports.push(p.name.clone());
         }
-        let _ = writeln!(s, "module {} ({});", sanitize(self.name()), ports.join(", "));
+        let _ = writeln!(
+            s,
+            "module {} ({});",
+            sanitize(self.name()),
+            ports.join(", ")
+        );
         for p in self.inputs() {
             let _ = writeln!(s, "  input [{}:0] {};", p.bits.len() - 1, p.name);
         }
@@ -70,7 +75,13 @@ fn net_ref(names: &[String], n: NetId) -> &str {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

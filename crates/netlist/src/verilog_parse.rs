@@ -195,8 +195,7 @@ fn parse_rhs(rhs: &str, line: usize) -> Result<Rhs, ParseVerilogError> {
     }
     // Mux: `sel ? hi : lo`.
     if let Some((sel, rest)) = split_top(rhs, '?') {
-        let (hi, lo) =
-            split_top(&rest, ':').ok_or_else(|| err(line, "malformed conditional"))?;
+        let (hi, lo) = split_top(&rest, ':').ok_or_else(|| err(line, "malformed conditional"))?;
         return Ok(Rhs::Gate(
             GateKind::Mux2,
             vec![ident(&sel, line)?, ident(&lo, line)?, ident(&hi, line)?],
@@ -241,8 +240,14 @@ fn parse_rhs(rhs: &str, line: usize) -> Result<Rhs, ParseVerilogError> {
     }
     // Inverted forms.
     if let Some(inner) = rhs.strip_prefix("~(") {
-        let inner = inner.strip_suffix(')').ok_or_else(|| err(line, "unbalanced ~()"))?;
-        for (op, kind) in [('&', GateKind::Nand2), ('|', GateKind::Nor2), ('^', GateKind::Xnor2)] {
+        let inner = inner
+            .strip_suffix(')')
+            .ok_or_else(|| err(line, "unbalanced ~()"))?;
+        for (op, kind) in [
+            ('&', GateKind::Nand2),
+            ('|', GateKind::Nor2),
+            ('^', GateKind::Xnor2),
+        ] {
             if let Some((a, b)) = inner.split_once(op) {
                 return Ok(Rhs::Gate(kind, vec![ident(a, line)?, ident(b, line)?]));
             }
@@ -279,7 +284,11 @@ fn split_top(s: &str, op: char) -> Option<(String, String)> {
 }
 
 fn ident(s: &str, line: usize) -> Result<String, ParseVerilogError> {
-    let s = s.trim().trim_start_matches('(').trim_end_matches(')').trim();
+    let s = s
+        .trim()
+        .trim_start_matches('(')
+        .trim_end_matches(')')
+        .trim();
     if s.is_empty()
         || !s
             .chars()
@@ -365,7 +374,10 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(Netlist::from_verilog("always @(posedge clk)").is_err());
-        assert!(Netlist::from_verilog("module m (a);\n  input [0:0] a;\n  assign x = a[0] ** 2;\nendmodule").is_err());
+        assert!(Netlist::from_verilog(
+            "module m (a);\n  input [0:0] a;\n  assign x = a[0] ** 2;\nendmodule"
+        )
+        .is_err());
         let e = Netlist::from_verilog("wire x;").unwrap_err();
         assert!(e.to_string().contains("module"));
     }

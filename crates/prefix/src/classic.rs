@@ -53,7 +53,10 @@ pub fn all_carries(
     inputs: &[GgpWires],
     kind: PrefixNetworkKind,
 ) -> Vec<GgpWires> {
-    assert!(!inputs.is_empty(), "prefix network needs at least one column");
+    assert!(
+        !inputs.is_empty(),
+        "prefix network needs at least one column"
+    );
     match kind {
         PrefixNetworkKind::KoggeStone => kogge_stone(nl, inputs),
         PrefixNetworkKind::Sklansky => sklansky(nl, inputs),
@@ -235,19 +238,15 @@ mod tests {
                 }
                 let carries = all_carries(&mut nl, &inputs, kind);
                 assert_eq!(carries.len(), n);
-                let g_nets: Vec<_> = carries
-                    .iter()
-                    .map(|c| c.g_or_const0(&mut nl))
-                    .collect();
+                let g_nets: Vec<_> = carries.iter().map(|c| c.g_or_const0(&mut nl)).collect();
                 let p_nets: Vec<_> = carries.iter().map(|c| c.p).collect();
                 nl.add_output("g", g_nets);
                 nl.add_output("p", p_nets);
 
                 for _ in 0..16 {
                     let val: u128 = rng.gen::<u64>() as u128 & ((1 << nbits) - 1);
-                    let words: Vec<Vec<u64>> = vec![(0..nbits)
-                        .map(|i| ((val >> i) & 1) as u64)
-                        .collect()];
+                    let words: Vec<Vec<u64>> =
+                        vec![(0..nbits).map(|i| ((val >> i) & 1) as u64).collect()];
                     let sim = nl.simulate(&words);
                     let row_a: Vec<Option<bool>> = idx
                         .iter()
@@ -311,7 +310,10 @@ mod tests {
         let (bk_d, bk_a) = build(PrefixNetworkKind::BrentKung);
         let (se_d, se_a) = build(PrefixNetworkKind::Serial);
         assert!(ks_d <= sk_d + 1e-9 && ks_d <= bk_d && ks_d < se_d);
-        assert!(bk_a < ks_a, "brent-kung {bk_a} should be smaller than kogge-stone {ks_a}");
+        assert!(
+            bk_a < ks_a,
+            "brent-kung {bk_a} should be smaller than kogge-stone {ks_a}"
+        );
         assert!(se_a <= bk_a + 1e-9);
         assert!(sk_a < ks_a);
     }

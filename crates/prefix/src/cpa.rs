@@ -18,9 +18,9 @@
 
 use crate::classic::{all_carries, PrefixNetworkKind};
 use crate::ggp::{combine_spanned, input_ggp, GgpWires};
-use gomil_netlist::GateKind;
 use crate::tree::PrefixTree;
 use gomil_arith::BitMatrix;
+use gomil_netlist::GateKind;
 use gomil_netlist::{NetId, Netlist};
 
 /// The final-sum architecture of a carry-select block.
@@ -264,8 +264,7 @@ fn select_block(
             let mut out = Vec::with_capacity(cols.len());
             let chunks: Vec<&[usize]> = cols.chunks(SUB).collect();
             // Block GGPs and their prefix: pre[k] = blk_k ∘ … ∘ blk_0.
-            let blocks: Vec<GgpWires> =
-                chunks.iter().map(|c| block_ggp(nl, ggp, c)).collect();
+            let blocks: Vec<GgpWires> = chunks.iter().map(|c| block_ggp(nl, ggp, c)).collect();
             let pre = crate::classic::all_carries(
                 nl,
                 &blocks,
@@ -281,14 +280,10 @@ fn select_block(
                 } else {
                     let p = pre[si - 1];
                     match p.g {
-                        Some(g) => nl.gate_spanned(
-                            GateKind::Ao21,
-                            &[g, p.p, cin],
-                            &[1.0, 1.0, reach],
-                        ),
-                        None => {
-                            nl.gate_spanned(GateKind::And2, &[p.p, cin], &[1.0, reach])
+                        Some(g) => {
+                            nl.gate_spanned(GateKind::Ao21, &[g, p.p, cin], &[1.0, 1.0, reach])
                         }
+                        None => nl.gate_spanned(GateKind::And2, &[p.p, cin], &[1.0, reach]),
                     }
                 };
                 for (k, (a, b)) in s0.into_iter().zip(s1).enumerate() {

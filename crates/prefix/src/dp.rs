@@ -160,11 +160,9 @@ pub fn dp_tables_budgeted(
             for k in j + 1..=i {
                 let b_hi = t.b[i * n + k];
                 let b_lo = t.b[(k - 1) * n + j];
-                let a = t.area[i * n + k]
-                    + t.area[(k - 1) * n + j]
-                    + internal_area(b_hi, b_lo);
-                let d = t.delay[i * n + k].max(t.delay[(k - 1) * n + j])
-                    + internal_delay(b_hi, b_lo);
+                let a = t.area[i * n + k] + t.area[(k - 1) * n + j] + internal_area(b_hi, b_lo);
+                let d =
+                    t.delay[i * n + k].max(t.delay[(k - 1) * n + j]) + internal_delay(b_hi, b_lo);
                 let c = a + w * d;
                 if c < best - 1e-12 {
                     best = c;
@@ -196,11 +194,7 @@ pub fn optimize_prefix_tree(leaf_b: &[bool], w: f64) -> DpSolution {
 /// # Panics
 ///
 /// See [`dp_tables_with_arrivals`].
-pub fn optimize_prefix_tree_with_arrivals(
-    leaf_b: &[bool],
-    w: f64,
-    arrivals: &[f64],
-) -> DpSolution {
+pub fn optimize_prefix_tree_with_arrivals(leaf_b: &[bool], w: f64, arrivals: &[f64]) -> DpSolution {
     solution_from_tables(
         dp_tables_with_arrivals(leaf_b, w, Some(arrivals)),
         leaf_b.len(),
@@ -259,9 +253,7 @@ mod tests {
                         dp.cost
                     );
                     // Reconstructed tree must actually cost what DP claims.
-                    assert!(
-                        (dp.tree.weighted_cost(&leaf_b, w) - dp.cost).abs() < 1e-9
-                    );
+                    assert!((dp.tree.weighted_cost(&leaf_b, w) - dp.cost).abs() < 1e-9);
                 }
             }
         }
@@ -322,17 +314,13 @@ mod tests {
         let eval = |tree: &PrefixTree| -> f64 {
             fn go(t: &PrefixTree, leaf: &[bool], arr: &[f64]) -> (f64, bool) {
                 match t {
-                    PrefixTree::Leaf { col } => (
-                        arr[*col] + crate::ggp::input_delay(leaf[*col]),
-                        leaf[*col],
-                    ),
+                    PrefixTree::Leaf { col } => {
+                        (arr[*col] + crate::ggp::input_delay(leaf[*col]), leaf[*col])
+                    }
                     PrefixTree::Node { hi, lo } => {
                         let (dh, bh) = go(hi, leaf, arr);
                         let (dl, bl) = go(lo, leaf, arr);
-                        (
-                            dh.max(dl) + crate::ggp::internal_delay(bh, bl),
-                            bh || bl,
-                        )
+                        (dh.max(dl) + crate::ggp::internal_delay(bh, bl), bh || bl)
                     }
                 }
             }

@@ -198,10 +198,7 @@ mod tests {
                 for &two in &shapes {
                     if two {
                         cols.push(vec![bits[idx], bits[idx + 1]]);
-                        ref_cols.push((
-                            (val >> idx) & 1 == 1,
-                            Some((val >> (idx + 1)) & 1 == 1),
-                        ));
+                        ref_cols.push(((val >> idx) & 1 == 1, Some((val >> (idx + 1)) & 1 == 1)));
                         idx += 2;
                     } else {
                         cols.push(vec![bits[idx]]);
@@ -209,8 +206,7 @@ mod tests {
                         idx += 1;
                     }
                 }
-                let ggps: Vec<GgpWires> =
-                    cols.iter().map(|c| input_ggp(&mut nl, c)).collect();
+                let ggps: Vec<GgpWires> = cols.iter().map(|c| input_ggp(&mut nl, c)).collect();
                 // Fold: hi = column 2, lo = columns [0..1] folded.
                 let lo = combine(&mut nl, ggps[1], ggps[0]);
                 let root = combine(&mut nl, ggps[2], lo);
@@ -219,7 +215,11 @@ mod tests {
                 let out = nl.eval_ints(&[val as u128], "gp");
                 let (rg, rp) = reference_gp(&ref_cols);
                 assert_eq!(out & 1 == 1, rg, "G mismatch shape={shape:03b} val={val:b}");
-                assert_eq!((out >> 1) & 1 == 1, rp, "P mismatch shape={shape:03b} val={val:b}");
+                assert_eq!(
+                    (out >> 1) & 1 == 1,
+                    rp,
+                    "P mismatch shape={shape:03b} val={val:b}"
+                );
             }
         }
     }

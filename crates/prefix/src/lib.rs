@@ -42,9 +42,9 @@ pub use dp::{
     dp_tables, dp_tables_budgeted, dp_tables_with_arrivals, optimize_prefix_tree,
     optimize_prefix_tree_with_arrivals, DpSolution, DpTables,
 };
-pub use pareto::{pareto_prefix_front, ParetoPoint};
 pub use ggp::{
     combine, combined_b, input_area, input_delay, input_ggp, internal_area, internal_delay,
     GgpWires,
 };
+pub use pareto::{pareto_prefix_front, ParetoPoint};
 pub use tree::{leaf_types, reference_ggp, PrefixTree, TreeCost};

@@ -161,9 +161,7 @@ mod tests {
         // The paper's Fig. 2(b) point (16, 5) must be on or dominated by
         // the front; and the w = 0 optimum (minimum area) is its last
         // entry.
-        assert!(front
-            .iter()
-            .any(|p| p.delay <= 5.0 && p.area <= 16.0));
+        assert!(front.iter().any(|p| p.delay <= 5.0 && p.area <= 16.0));
     }
 
     #[test]

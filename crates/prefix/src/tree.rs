@@ -7,12 +7,11 @@
 //! yields the carries `c_t = G_{t:0}` that the PPF/CSL adder consumes.
 
 use crate::ggp::{
-    combine_spanned, combined_b, input_area, input_delay, internal_area, internal_delay,
-    GgpWires,
+    combine_spanned, combined_b, input_area, input_delay, internal_area, internal_delay, GgpWires,
 };
-use gomil_netlist::Netlist;
 #[cfg(test)]
 use gomil_netlist::NetId;
+use gomil_netlist::Netlist;
 use std::fmt;
 
 /// A prefix tree producing the GGP pair of one column interval.
@@ -169,8 +168,7 @@ impl PrefixTree {
                         }
                         (Some(gh), None) => Some(gh),
                         (Some(gh), Some(gl)) => {
-                            let t =
-                                nl.gate_spanned(GateKind::And2, &[h.p, gl], &[1.0, reach]);
+                            let t = nl.gate_spanned(GateKind::And2, &[h.p, gl], &[1.0, reach]);
                             Some(nl.gate_spanned(GateKind::Or2, &[gh, t], &[1.0, 1.0]))
                         }
                     };
@@ -307,12 +305,7 @@ impl fmt::Display for PrefixTree {
 
 /// Behavioral reference for `(G_{i:j}, P_{i:j})` over a two-row operand:
 /// used by tests and the CPA verifier.
-pub fn reference_ggp(
-    a: &[Option<bool>],
-    b: &[Option<bool>],
-    i: usize,
-    j: usize,
-) -> (bool, bool) {
+pub fn reference_ggp(a: &[Option<bool>], b: &[Option<bool>], i: usize, j: usize) -> (bool, bool) {
     let mut acc: Option<(bool, bool)> = None;
     for col in j..=i {
         let (g, p) = match (a[col], b[col]) {
@@ -484,10 +477,7 @@ mod tests {
             }
             let (_, spine) = tree.realize(&mut nl, &inputs);
             assert_eq!(spine.len(), 4); // leaf [0:0] plus nodes [1:0], [2:0], [3:0]
-            let g_nets: Vec<NetId> = spine
-                .iter()
-                .map(|(_, w)| w.g_or_const0(&mut nl))
-                .collect();
+            let g_nets: Vec<NetId> = spine.iter().map(|(_, w)| w.g_or_const0(&mut nl)).collect();
             nl.add_output("c", g_nets);
             let got = nl.eval_ints(&[val as u128], "c");
             for (k, (i, _)) in spine.iter().enumerate() {

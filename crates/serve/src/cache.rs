@@ -1,0 +1,284 @@
+//! Sharded LRU result cache with optional on-disk persistence.
+//!
+//! Shard selection uses the key's stable FNV hash, so contention between
+//! worker threads splits across `shards` independent mutexes instead of
+//! one global lock. Each shard holds an LRU-ordered map bounded at
+//! `capacity / shards` entries; recency is a monotone tick shared by all
+//! shards (an `AtomicU64`), so eviction is a cheap min-scan of the full
+//! shard — fine at the few-thousand-entry capacities this service runs.
+//!
+//! Persistence is a line-per-entry text file (`canonical key \t outcome`)
+//! using Rust's shortest-roundtrip float formatting, so a reloaded entry
+//! is bit-identical to the one saved. Corrupted lines are skipped, not
+//! fatal: a damaged cache file degrades to a partial (or cold) cache.
+
+use crate::key::SolveKey;
+use crate::outcome::ServeOutcome;
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Version tag of the persisted format; bumped on incompatible changes so
+/// stale files are ignored rather than misparsed.
+const PERSIST_HEADER: &str = "gomil-serve-cache v1";
+
+struct Entry {
+    value: ServeOutcome,
+    last_used: u64,
+}
+
+type Shard = HashMap<String, Entry>;
+
+/// A sharded, bounded, persistable map from [`SolveKey`] to
+/// [`ServeOutcome`]. All methods take `&self`; internal mutexes make it
+/// shareable across worker threads.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedCache {
+    /// A cache with `shards` shards holding at most ~`capacity` entries in
+    /// total (each shard is bounded at `ceil(capacity / shards)`, minimum
+    /// one entry).
+    pub fn new(shards: usize, capacity: usize) -> ShardedCache {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &SolveKey) -> &Mutex<Shard> {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    fn lock(&self, key: &SolveKey) -> std::sync::MutexGuard<'_, Shard> {
+        // A panic while holding a shard lock poisons only that shard;
+        // recover the data rather than cascading the panic across workers.
+        self.shard(key).lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Looks `key` up, refreshing its recency. Records a hit or miss.
+    pub fn get(&self, key: &SolveKey) -> Option<ServeOutcome> {
+        let mut shard = self.lock(key);
+        match shard.get_mut(key.canonical()) {
+            Some(e) => {
+                e.last_used = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the shard's
+    /// least-recently-used entry if the shard is full.
+    pub fn insert(&self, key: &SolveKey, value: ServeOutcome) {
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.lock(key);
+        if shard.len() >= self.per_shard_capacity && !shard.contains_key(key.canonical()) {
+            if let Some(lru) = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(key.canonical().to_string(), Entry { value, last_used });
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits recorded by [`get`](Self::get).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses recorded by [`get`](Self::get).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU policy.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Writes every entry to `path` (atomically via a sibling `.tmp` file
+    /// renamed into place). Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<usize> {
+        let tmp = path.with_extension("tmp");
+        let mut written = 0usize;
+        {
+            let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(out, "{PERSIST_HEADER}")?;
+            for shard in &self.shards {
+                let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+                for (canonical, entry) in shard.iter() {
+                    writeln!(out, "{canonical}\t{}", entry.value.to_line())?;
+                    written += 1;
+                }
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(written)
+    }
+
+    /// Loads entries persisted by [`save`](Self::save), inserting them with
+    /// cold recency. Malformed lines and version-mismatched files are
+    /// skipped silently (a damaged file means a colder cache, not a
+    /// failed service). Returns the number of entries loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (other than the file simply not
+    /// existing, which loads zero entries).
+    pub fn load(&self, path: &Path) -> io::Result<usize> {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut lines = io::BufReader::new(file).lines();
+        match lines.next() {
+            Some(Ok(header)) if header == PERSIST_HEADER => {}
+            _ => return Ok(0),
+        }
+        let mut loaded = 0usize;
+        for line in lines {
+            let line = line?;
+            let Some((canonical, rest)) = line.split_once('\t') else {
+                continue;
+            };
+            let Some(outcome) = ServeOutcome::from_line(rest) else {
+                continue;
+            };
+            self.insert(&SolveKey::from_canonical(canonical.to_string()), outcome);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomil_arith::PpgKind;
+    use gomil_netlist::DesignMetrics;
+
+    fn outcome(m: usize, tag: &str) -> ServeOutcome {
+        ServeOutcome {
+            name: format!("D-{tag}-{m}"),
+            m,
+            ppg: PpgKind::And,
+            metrics: DesignMetrics {
+                area: m as f64 * 1.5,
+                delay: 3.25,
+                power: 0.5,
+            },
+            gates: 10 * m,
+            verified: true,
+            strategy: "target-search".into(),
+            objective: 100.0 + m as f64,
+            degraded: false,
+            vs_counts: vec![1, 2],
+        }
+    }
+
+    fn key(m: usize) -> SolveKey {
+        SolveKey::new(m, PpgKind::And, "w=8")
+    }
+
+    #[test]
+    fn get_after_insert_hits_and_counts() {
+        let c = ShardedCache::new(4, 16);
+        assert!(c.get(&key(8)).is_none());
+        c.insert(&key(8), outcome(8, "a"));
+        assert_eq!(c.get(&key(8)).unwrap().name, "D-a-8");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        // One shard of capacity 2 makes the eviction order observable.
+        let c = ShardedCache::new(1, 2);
+        c.insert(&key(1), outcome(1, "a"));
+        c.insert(&key(2), outcome(2, "a"));
+        let _ = c.get(&key(1)); // refresh 1; 2 becomes LRU
+        c.insert(&key(3), outcome(3, "a"));
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none(), "stalest entry must be evicted");
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let dir = std::env::temp_dir().join("gomil-serve-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.cache");
+        let c = ShardedCache::new(4, 16);
+        for m in [4usize, 6, 8] {
+            c.insert(&key(m), outcome(m, "p"));
+        }
+        assert_eq!(c.save(&path).unwrap(), 3);
+
+        let d = ShardedCache::new(2, 16); // different shard count is fine
+        assert_eq!(d.load(&path).unwrap(), 3);
+        for m in [4usize, 6, 8] {
+            assert_eq!(d.get(&key(m)).unwrap(), outcome(m, "p"));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_load_cold() {
+        let c = ShardedCache::new(2, 8);
+        let missing = std::env::temp_dir().join("gomil-serve-does-not-exist.cache");
+        assert_eq!(c.load(&missing).unwrap(), 0);
+
+        let dir = std::env::temp_dir().join("gomil-serve-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("corrupt.cache");
+        std::fs::write(&bad, "wrong header\njunk\n").unwrap();
+        assert_eq!(c.load(&bad).unwrap(), 0);
+        std::fs::write(&bad, format!("{PERSIST_HEADER}\nnot-a-valid-entry\n")).unwrap();
+        assert_eq!(c.load(&bad).unwrap(), 0);
+        std::fs::remove_file(&bad).unwrap();
+    }
+}

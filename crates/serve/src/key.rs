@@ -1,0 +1,116 @@
+//! Canonical cache keys for solve requests.
+//!
+//! A GOMIL solve is a deterministic function of the word length, the PPG
+//! kind and the solve-relevant configuration fields, so a cache key must
+//! be exactly that tuple — no more (budgets shape *latency*, not the
+//! certified optimum, and are excluded so a request served under a tight
+//! deadline can still be answered by a cached full-quality result) and no
+//! less. The configuration half arrives as a caller-produced canonical
+//! *fingerprint* string (see `GomilConfig::solve_fingerprint` in the
+//! `gomil` crate), keeping this crate independent of the config type.
+
+use gomil_arith::PpgKind;
+use std::fmt;
+
+/// FNV-1a 64-bit hash — tiny, dependency-free and *stable across
+/// processes* (unlike `std`'s `DefaultHasher`, whose seeds are
+/// deliberately randomized), which the persisted cache relies on.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The canonical identity of one solve request.
+///
+/// Two keys are equal iff the solves they describe are guaranteed to
+/// produce identical results; the canonical string is the persisted/hashed
+/// form and the 64-bit hash picks the cache shard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SolveKey {
+    canonical: String,
+    hash: u64,
+}
+
+impl SolveKey {
+    /// Builds the key for an `m × m` multiplier with PPG `ppg` under the
+    /// configuration identified by `fingerprint`.
+    ///
+    /// `fingerprint` must be a canonical encoding of every solve-relevant
+    /// configuration field (same fields ⇒ same string, any differing field
+    /// ⇒ different string) and must not contain tab or newline characters
+    /// (they delimit the persisted cache format).
+    pub fn new(m: usize, ppg: PpgKind, fingerprint: &str) -> SolveKey {
+        debug_assert!(
+            !fingerprint.contains(['\t', '\n']),
+            "fingerprint must stay single-line and tab-free"
+        );
+        let canonical = format!("v1;m={m};ppg={};{fingerprint}", ppg.label());
+        let hash = fnv1a_64(canonical.as_bytes());
+        SolveKey { canonical, hash }
+    }
+
+    /// Re-wraps an already-canonical string (used when reloading the
+    /// persisted cache).
+    pub fn from_canonical(canonical: String) -> SolveKey {
+        let hash = fnv1a_64(canonical.as_bytes());
+        SolveKey { canonical, hash }
+    }
+
+    /// The canonical string form.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The stable 64-bit hash of the canonical form.
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+
+    /// Shard index for a cache with `shards` shards.
+    pub fn shard(&self, shards: usize) -> usize {
+        (self.hash % shards.max(1) as u64) as usize
+    }
+}
+
+impl fmt::Display for SolveKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{:016x}]", self.canonical, self.hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn keys_separate_m_ppg_and_fingerprint() {
+        let k = SolveKey::new(8, PpgKind::And, "w=8");
+        assert_eq!(k, SolveKey::new(8, PpgKind::And, "w=8"));
+        assert_ne!(k, SolveKey::new(9, PpgKind::And, "w=8"));
+        assert_ne!(k, SolveKey::new(8, PpgKind::Booth4, "w=8"));
+        assert_ne!(k, SolveKey::new(8, PpgKind::And, "w=9"));
+    }
+
+    #[test]
+    fn canonical_roundtrips_through_persistence_form() {
+        let k = SolveKey::new(16, PpgKind::Booth8, "w=8;l=10");
+        let back = SolveKey::from_canonical(k.canonical().to_string());
+        assert_eq!(k, back);
+        assert_eq!(k.hash64(), back.hash64());
+        assert_eq!(k.shard(8), back.shard(8));
+    }
+}

@@ -1,0 +1,234 @@
+//! Service observability: counters and per-rung latency histograms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper edges (milliseconds) of the latency histogram buckets; the last
+/// bucket is open-ended.
+pub const LATENCY_BUCKETS: [u64; 5] = [10, 100, 1_000, 10_000, u64::MAX];
+
+/// A latency histogram for one degradation-ladder rung (or the synthetic
+/// `cache-hit` row).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RungLatency {
+    /// Sample counts per [`LATENCY_BUCKETS`] bucket.
+    pub buckets: [u64; 5],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of sample durations in microseconds (for the mean).
+    pub total_us: u64,
+}
+
+impl RungLatency {
+    fn record(&mut self, took: Duration) {
+        let ms = took.as_millis() as u64;
+        let idx = LATENCY_BUCKETS
+            .iter()
+            .position(|&edge| ms < edge)
+            .unwrap_or(LATENCY_BUCKETS.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_us += took.as_micros() as u64;
+    }
+
+    /// Mean latency over all samples.
+    pub fn mean(&self) -> Duration {
+        match self.total_us.checked_div(self.count) {
+            Some(us) => Duration::from_micros(us),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// Thread-safe counters a [`SolveService`](crate::SolveService) maintains
+/// while draining batches.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests accepted.
+    pub requests: AtomicU64,
+    /// Solves actually executed (ILP pipeline runs) — cache hits and
+    /// singleflight joins do not count.
+    pub solves: AtomicU64,
+    /// Solves that came back degraded (budget-shaped or failure-absorbing).
+    pub degraded: AtomicU64,
+    /// Requests that failed outright.
+    pub errors: AtomicU64,
+    /// Solves that were offered a neighbor's incumbent as a warm start.
+    pub warm_hints: AtomicU64,
+    /// Peak depth of the bounded job queue.
+    pub queue_peak: AtomicU64,
+    latency: Mutex<BTreeMap<String, RungLatency>>,
+}
+
+impl ServiceMetrics {
+    /// Records one latency sample for `rung` (a `Rung::label` string, or
+    /// `cache-hit` for served-from-cache requests).
+    pub fn record_latency(&self, rung: &str, took: Duration) {
+        let mut map = self.latency.lock().unwrap_or_else(|p| p.into_inner());
+        map.entry(rung.to_string()).or_default().record(took);
+    }
+
+    /// Raises the recorded queue-depth peak to at least `depth`.
+    pub fn note_queue_depth(&self, depth: usize) {
+        self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-rung latency histograms.
+    pub fn latency_snapshot(&self) -> Vec<(String, RungLatency)> {
+        self.latency
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// A point-in-time summary of one service's counters, renderable as the
+/// CLI's metrics table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Requests accepted.
+    pub requests: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Singleflight joins (deduplicated concurrent requests).
+    pub dedup_joins: u64,
+    /// Solves executed.
+    pub solves: u64,
+    /// Degraded solves (served, not cached).
+    pub degraded: u64,
+    /// Failed requests.
+    pub errors: u64,
+    /// Solves offered a warm-start hint.
+    pub warm_hints: u64,
+    /// Peak job-queue depth.
+    pub queue_peak: u64,
+    /// Entries currently cached.
+    pub cache_len: usize,
+    /// Per-rung latency histograms, alphabetical by rung.
+    pub per_rung: Vec<(String, RungLatency)>,
+}
+
+impl MetricsReport {
+    /// Cache hit rate over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "── service metrics ────────────────────────────────────────"
+        )?;
+        writeln!(
+            f,
+            "requests {:>6}   solves {:>6}   errors {:>6}   degraded {:>4}",
+            self.requests, self.solves, self.errors, self.degraded
+        )?;
+        writeln!(
+            f,
+            "hits     {:>6}   misses {:>6}   hit-rate {:>5.1}%  evictions {:>3}",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.evictions
+        )?;
+        writeln!(
+            f,
+            "dedup joins {:>3}   warm-start hints {:>3}   queue peak {:>4}   cached {:>4}",
+            self.dedup_joins, self.warm_hints, self.queue_peak, self.cache_len
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>6} {:>9} | {:>6} {:>7} {:>6} {:>6} {:>6}",
+            "latency/rung", "count", "mean", "<10ms", "<100ms", "<1s", "<10s", "≥10s"
+        )?;
+        for (rung, h) in &self.per_rung {
+            writeln!(
+                f,
+                "{:<14} {:>6} {:>9.1?} | {:>6} {:>7} {:>6} {:>6} {:>6}",
+                rung,
+                h.count,
+                h.mean(),
+                h.buckets[0],
+                h.buckets[1],
+                h.buckets[2],
+                h.buckets[3],
+                h.buckets[4]
+            )?;
+        }
+        write!(
+            f,
+            "───────────────────────────────────────────────────────────"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let mut h = RungLatency::default();
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_millis(50));
+        h.record(Duration::from_millis(500));
+        h.record(Duration::from_secs(5));
+        h.record(Duration::from_secs(50));
+        assert_eq!(h.buckets, [1, 1, 1, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert!(h.mean() > Duration::from_secs(10));
+    }
+
+    #[test]
+    fn report_renders_every_counter() {
+        let m = ServiceMetrics::default();
+        m.requests.store(10, Ordering::Relaxed);
+        m.record_latency("joint-ilp", Duration::from_millis(3));
+        m.record_latency("cache-hit", Duration::from_micros(20));
+        m.note_queue_depth(7);
+        m.note_queue_depth(3); // must not lower the peak
+        let report = MetricsReport {
+            requests: 10,
+            hits: 4,
+            misses: 6,
+            evictions: 1,
+            dedup_joins: 2,
+            solves: 6,
+            degraded: 1,
+            errors: 0,
+            warm_hints: 3,
+            queue_peak: m.queue_peak.load(Ordering::Relaxed),
+            cache_len: 5,
+            per_rung: m.latency_snapshot(),
+        };
+        assert_eq!(report.queue_peak, 7);
+        assert!((report.hit_rate() - 0.4).abs() < 1e-12);
+        let text = report.to_string();
+        for needle in [
+            "hits",
+            "dedup joins",
+            "joint-ilp",
+            "cache-hit",
+            "queue peak",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The cacheable result of one solve.
+
+use gomil_arith::PpgKind;
+use gomil_netlist::DesignMetrics;
+use std::fmt;
+
+/// Everything the service returns (and persists) for one request: the
+/// measured quality-of-results plus the optimizer provenance.
+///
+/// Deliberately *flat* — no netlist — so an entry costs a few hundred
+/// bytes in memory and one line on disk; callers that need the gates
+/// re-run `build_gomil` (the report tells them the exact strategy and
+/// objective they will get).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServeOutcome {
+    /// Design name (e.g. `GOMIL-AND-16`).
+    pub name: String,
+    /// Word length.
+    pub m: usize,
+    /// Partial product generator.
+    pub ppg: PpgKind,
+    /// Measured area/delay/power.
+    pub metrics: DesignMetrics,
+    /// Logic gate count.
+    pub gates: usize,
+    /// Whether functional verification passed.
+    pub verified: bool,
+    /// Winning optimizer rung (a `Rung::label` string).
+    pub strategy: String,
+    /// Combined objective `ct_cost + prefix_cost` of the winning solution.
+    pub objective: f64,
+    /// Whether the degradation ladder absorbed a failure or was shaped by
+    /// budget expiry. Degraded outcomes are served but never cached.
+    pub degraded: bool,
+    /// Final BCV column counts (LSB first, entries 1 or 2) — the incumbent
+    /// profile offered to neighbor requests as a warm start.
+    pub vs_counts: Vec<u32>,
+}
+
+impl ServeOutcome {
+    /// Serializes to one tab-separated line (field order is the struct
+    /// order; floats use Rust's shortest-roundtrip formatting, so
+    /// [`from_line`](Self::from_line) reproduces them bit-exactly).
+    pub fn to_line(&self) -> String {
+        let counts: Vec<String> = self.vs_counts.iter().map(u32::to_string).collect();
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.name.replace(['\t', '\n'], " "),
+            self.m,
+            self.ppg.label(),
+            self.metrics.area,
+            self.metrics.delay,
+            self.metrics.power,
+            self.gates,
+            self.verified,
+            self.strategy,
+            self.objective,
+            self.degraded,
+            counts.join(","),
+        )
+    }
+
+    /// Parses a [`to_line`](Self::to_line) record; `None` on any malformed
+    /// field (a corrupted persisted entry is skipped, not fatal).
+    pub fn from_line(line: &str) -> Option<ServeOutcome> {
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() != 12 {
+            return None;
+        }
+        let vs_counts = if f[11].is_empty() {
+            Vec::new()
+        } else {
+            f[11]
+                .split(',')
+                .map(|c| c.parse::<u32>().ok())
+                .collect::<Option<Vec<u32>>>()?
+        };
+        Some(ServeOutcome {
+            name: f[0].to_string(),
+            m: f[1].parse().ok()?,
+            ppg: PpgKind::from_name(f[2])?,
+            metrics: DesignMetrics {
+                area: f[3].parse().ok()?,
+                delay: f[4].parse().ok()?,
+                power: f[5].parse().ok()?,
+            },
+            gates: f[6].parse().ok()?,
+            verified: f[7].parse().ok()?,
+            strategy: f[8].to_string(),
+            objective: f[9].parse().ok()?,
+            degraded: f[10].parse().ok()?,
+            vs_counts,
+        })
+    }
+}
+
+impl fmt::Display for ServeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} m={:<3} {} gates={} [{}{}]",
+            self.name,
+            self.m,
+            self.metrics,
+            self.gates,
+            self.strategy,
+            if self.degraded { ", degraded" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeOutcome {
+        ServeOutcome {
+            name: "GOMIL-AND-8".into(),
+            m: 8,
+            ppg: PpgKind::And,
+            metrics: DesignMetrics {
+                area: 123.456789,
+                delay: 0.1 + 0.2, // deliberately non-representable exactly
+                power: 7.25,
+            },
+            gates: 321,
+            verified: true,
+            strategy: "joint-ilp".into(),
+            objective: 456.125,
+            degraded: false,
+            vs_counts: vec![1, 2, 2, 1],
+        }
+    }
+
+    #[test]
+    fn line_roundtrip_is_bit_exact() {
+        let o = sample();
+        let back = ServeOutcome::from_line(&o.to_line()).unwrap();
+        assert_eq!(o, back);
+        assert_eq!(o.metrics.delay.to_bits(), back.metrics.delay.to_bits());
+        assert_eq!(o.to_line(), back.to_line());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_fatal() {
+        assert!(ServeOutcome::from_line("garbage").is_none());
+        assert!(ServeOutcome::from_line("").is_none());
+        let mut truncated = sample().to_line();
+        truncated.truncate(truncated.len() / 2);
+        assert!(ServeOutcome::from_line(&truncated).is_none());
+    }
+}

@@ -46,18 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("balanced", PrefixTree::balanced(n)),
     ] {
         let c = tree.cost(&leaf_b);
-        println!(
-            "{name:>9}: area {:>5} delay {:>5}  {tree}",
-            c.area, c.delay
-        );
+        println!("{name:>9}: area {:>5} delay {:>5}  {tree}", c.area, c.delay);
     }
     // Draw the w = 8 optimum the way the paper draws Fig. 2.
     let sol = optimize_prefix_tree(&leaf_b, 8.0);
     println!("\nw = 8 optimal structure (MSB on the left, ■/□ inputs, ○▲△● nodes):\n");
     println!("{}", sol.tree.render(&leaf_b));
-    println!(
-        "\n(paper Fig. 2: the two hand-drawn trees for this BCV cost (16, 6) and (16, 5));"
-    );
+    println!("\n(paper Fig. 2: the two hand-drawn trees for this BCV cost (16, 6) and (16, 5));");
     println!("the DP finds the weighted optimum among all Catalan-many trees.");
     Ok(())
 }

@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gomil::{
-    build_baseline, build_gomil, BaselineKind, DesignReport, GomilConfig, PpgKind,
-};
+use gomil::{build_baseline, build_gomil, BaselineKind, DesignReport, GomilConfig, PpgKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = 8;

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full local gate: everything CI would run, in the order that fails fastest.
 #
-#   scripts/check.sh            # build + tests + clippy
+#   scripts/check.sh            # fmt + build + tests + clippy
 #
 # Works fully offline (the workspace has no network dependencies).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --release

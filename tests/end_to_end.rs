@@ -3,9 +3,7 @@
 //! multiplication; plus the qualitative orderings the paper's Fig. 3
 //! depends on.
 
-use gomil::{
-    build_baseline, build_gomil, BaselineKind, DesignReport, GomilConfig, PpgKind,
-};
+use gomil::{build_baseline, build_gomil, BaselineKind, DesignReport, GomilConfig, PpgKind};
 
 fn cfg() -> GomilConfig {
     GomilConfig::fast()
@@ -17,7 +15,8 @@ fn every_design_is_functionally_correct_at_6_bits() {
     // even widths, which 6 satisfies.
     for kind in BaselineKind::all() {
         let b = build_baseline(kind, 6, &cfg());
-        b.verify().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+        b.verify()
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
     }
     for ppg in [PpgKind::And, PpgKind::Booth4] {
         let d = build_gomil(6, ppg, &cfg()).unwrap();
@@ -29,7 +28,8 @@ fn every_design_is_functionally_correct_at_6_bits() {
 fn every_design_is_functionally_correct_at_16_bits() {
     for kind in BaselineKind::all() {
         let b = build_baseline(kind, 16, &cfg());
-        b.verify().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+        b.verify()
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
     }
     for ppg in [PpgKind::And, PpgKind::Booth4] {
         let d = build_gomil(16, ppg, &cfg()).unwrap();
@@ -75,7 +75,12 @@ fn fig3_qualitative_orderings_hold_at_16_bits() {
     let a = |k: &str| reports[k].metrics.area;
     let pdp = |k: &str| reports[k].metrics.pdp();
 
-    assert!(d("Wal-PPF") < d("Wal-RCA"), "(1) PPF {} vs RCA {}", d("Wal-PPF"), d("Wal-RCA"));
+    assert!(
+        d("Wal-PPF") < d("Wal-RCA"),
+        "(1) PPF {} vs RCA {}",
+        d("Wal-PPF"),
+        d("Wal-RCA")
+    );
     assert!(
         g_rep.metrics.delay <= d("Wal-PPF") * 1.02,
         "(2) GOMIL {} vs Wal-PPF {}",
@@ -146,8 +151,8 @@ fn verilog_roundtrip_preserves_multiplier_semantics() {
     let c = cfg();
     let d = build_gomil(6, PpgKind::And, &c).unwrap();
     let source = d.build.netlist.to_verilog();
-    let reimported = gomil_netlist::Netlist::from_verilog(&source)
-        .expect("emitted verilog parses back");
+    let reimported =
+        gomil_netlist::Netlist::from_verilog(&source).expect("emitted verilog parses back");
     for x in 0..64u128 {
         for y in 0..64u128 {
             assert_eq!(

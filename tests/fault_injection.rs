@@ -69,7 +69,10 @@ fn verify_rejects_bit_order_corruption() {
         m: 4,
         ppg: PpgKind::And,
     };
-    assert!(fake.verify().is_err(), "swapped product bits must be caught");
+    assert!(
+        fake.verify().is_err(),
+        "swapped product bits must be caught"
+    );
 }
 
 #[test]
@@ -122,7 +125,9 @@ fn dead_pipeline_budget_degrades_to_a_verified_fallback() {
         ..cfg()
     };
     let d = build_gomil(8, PpgKind::And, &cfg).expect("degraded build must still succeed");
-    d.build.verify().expect("fallback multiplier must be correct");
+    d.build
+        .verify()
+        .expect("fallback multiplier must be correct");
     let report = &d.solution.degradation;
     assert_eq!(report.winner, Some(Rung::DaddaPrefix), "{report}");
     assert_eq!(d.solution.strategy, "dadda-prefix");

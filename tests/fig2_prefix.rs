@@ -3,9 +3,7 @@
 //! the two hand-drawn structures.
 
 use gomil::solve_fixed_prefix_ip;
-use gomil_prefix::{
-    internal_area, internal_delay, leaf_types, optimize_prefix_tree, PrefixTree,
-};
+use gomil_prefix::{internal_area, internal_delay, leaf_types, optimize_prefix_tree, PrefixTree};
 use std::time::Duration;
 
 /// Example 1's BCV is [2,2,1,2,1,1] in the paper's MSB-first order.
@@ -16,10 +14,22 @@ fn fig2_leaf_b() -> Vec<bool> {
 #[test]
 fn table1_internal_node_costs() {
     // (b_hi, b_lo) → (area, delay) per Table I.
-    assert_eq!((internal_area(false, false), internal_delay(false, false)), (1.0, 1.0));
-    assert_eq!((internal_area(false, true), internal_delay(false, true)), (2.0, 1.0));
-    assert_eq!((internal_area(true, false), internal_delay(true, false)), (1.0, 1.0));
-    assert_eq!((internal_area(true, true), internal_delay(true, true)), (3.0, 2.0));
+    assert_eq!(
+        (internal_area(false, false), internal_delay(false, false)),
+        (1.0, 1.0)
+    );
+    assert_eq!(
+        (internal_area(false, true), internal_delay(false, true)),
+        (2.0, 1.0)
+    );
+    assert_eq!(
+        (internal_area(true, false), internal_delay(true, false)),
+        (1.0, 1.0)
+    );
+    assert_eq!(
+        (internal_area(true, true), internal_delay(true, true)),
+        (3.0, 2.0)
+    );
 }
 
 #[test]
@@ -67,10 +77,6 @@ fn prefix_ip_agrees_with_dp_on_example1() {
     let b = fig2_leaf_b();
     let dp = optimize_prefix_tree(&b, 8.0);
     let (tree, cost) = solve_fixed_prefix_ip(&b, 8.0, Duration::from_secs(30)).unwrap();
-    assert!(
-        (cost - dp.cost).abs() < 1e-6,
-        "IP {cost} vs DP {}",
-        dp.cost
-    );
+    assert!((cost - dp.cost).abs() < 1e-6, "IP {cost} vs DP {}", dp.cost);
     assert!((tree.weighted_cost(&b, 8.0) - cost).abs() < 1e-6);
 }

@@ -80,8 +80,8 @@ fn target_search_improves_on_decoupled_optimization() {
         let v0 = Bcv::and_ppg(m);
         let dadda = dadda_schedule(&v0);
         let vs = dadda.final_bcv(&v0).unwrap();
-        let decoupled = dadda.cost(3.0, 2.0)
-            + optimize_prefix_tree(&leaf_types(vs.counts()), cfg().w).cost;
+        let decoupled =
+            dadda.cost(3.0, 2.0) + optimize_prefix_tree(&leaf_types(vs.counts()), cfg().w).cost;
         let sol = target_search(&v0, &cfg());
         assert!(sol.objective <= decoupled + 1e-9, "m={m}");
         if sol.objective < decoupled - 1e-9 {

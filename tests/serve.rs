@@ -1,0 +1,291 @@
+//! Integration tests of the `gomil-serve` layer against the real GOMIL
+//! pipeline: cache-key determinism, singleflight dedup under heavy thread
+//! fan-in, the degraded-results-are-never-cached contract, and
+//! byte-equality of cached versus fresh solves across persistence.
+
+use gomil::{
+    serve_service, DesignMetrics, GomilConfig, PpgKind, SelectStyle, ServeConfig, ServeOutcome,
+    SolveKey, SolveRequest, SolveService, SolverFn,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Cache-key determinism (the regression surface of the caching contract).
+// ---------------------------------------------------------------------
+
+#[test]
+fn identical_configs_produce_identical_keys() {
+    let a = GomilConfig::default();
+    let b = GomilConfig::default();
+    for ppg in PpgKind::all() {
+        let ka = SolveKey::new(16, ppg, &a.solve_fingerprint());
+        let kb = SolveKey::new(16, ppg, &b.solve_fingerprint());
+        assert_eq!(ka, kb);
+        assert_eq!(ka.canonical(), kb.canonical());
+        assert_eq!(ka.hash64(), kb.hash64());
+        // The canonical string is the wire format: it must roundtrip.
+        assert_eq!(SolveKey::from_canonical(ka.canonical().to_string()), ka);
+    }
+}
+
+#[test]
+fn every_solve_relevant_field_changes_the_key() {
+    let base = GomilConfig::default();
+    let key = |cfg: &GomilConfig| SolveKey::new(16, PpgKind::And, &cfg.solve_fingerprint());
+    let variants = [
+        GomilConfig {
+            w: 9.0,
+            ..GomilConfig::default()
+        },
+        GomilConfig {
+            l: 11,
+            ..GomilConfig::default()
+        },
+        GomilConfig {
+            alpha: 4.0,
+            ..GomilConfig::default()
+        },
+        GomilConfig {
+            beta: 1.0,
+            ..GomilConfig::default()
+        },
+        GomilConfig {
+            select_style: SelectStyle::Ripple,
+            ..GomilConfig::default()
+        },
+        GomilConfig {
+            arrival_aware: false,
+            ..GomilConfig::default()
+        },
+        GomilConfig {
+            power_vectors: 64,
+            ..GomilConfig::default()
+        },
+    ];
+    for (i, v) in variants.iter().enumerate() {
+        assert_ne!(key(&base), key(v), "variant {i} must change the key");
+    }
+    // Word length and PPG are part of the key too.
+    assert_ne!(
+        SolveKey::new(16, PpgKind::And, &base.solve_fingerprint()),
+        SolveKey::new(17, PpgKind::And, &base.solve_fingerprint()),
+    );
+    assert_ne!(
+        SolveKey::new(16, PpgKind::And, &base.solve_fingerprint()),
+        SolveKey::new(16, PpgKind::Booth4, &base.solve_fingerprint()),
+    );
+}
+
+#[test]
+fn budgets_do_not_change_the_key() {
+    let base = GomilConfig::default();
+    let budgeted = GomilConfig {
+        solver_budget: Duration::from_millis(7),
+        pipeline_budget: Some(Duration::from_millis(13)),
+        ..GomilConfig::default()
+    };
+    assert_eq!(
+        SolveKey::new(32, PpgKind::Booth4, &base.solve_fingerprint()),
+        SolveKey::new(32, PpgKind::Booth4, &budgeted.solve_fingerprint()),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Singleflight under thread fan-in.
+// ---------------------------------------------------------------------
+
+fn synthetic_outcome(req: &SolveRequest) -> ServeOutcome {
+    ServeOutcome {
+        name: format!("SYN-{}-{}", req.ppg.label(), req.m),
+        m: req.m,
+        ppg: req.ppg,
+        metrics: DesignMetrics {
+            area: req.m as f64,
+            delay: 1.0,
+            power: 1.0,
+        },
+        gates: req.m,
+        verified: true,
+        strategy: "target-search".into(),
+        objective: req.m as f64,
+        degraded: false,
+        vs_counts: vec![2; 2 * req.m - 1],
+    }
+}
+
+#[test]
+fn thirty_two_threads_on_four_keys_solve_exactly_four_times() {
+    let invocations = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&invocations);
+    let solver: Box<SolverFn> = Box::new(move |req, _| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        // Long enough that all duplicates of a key are in flight together.
+        std::thread::sleep(Duration::from_millis(50));
+        Ok(synthetic_outcome(req))
+    });
+    let svc = SolveService::new(
+        "fan-in-test".into(),
+        solver,
+        ServeConfig {
+            jobs: 32,
+            queue_capacity: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // 32 concurrent requests over 4 distinct keys.
+    let requests: Vec<SolveRequest> = (0..32)
+        .map(|i| SolveRequest {
+            m: 8 + (i % 4),
+            ppg: PpgKind::And,
+        })
+        .collect();
+    let results = svc.run_batch(&requests);
+    assert!(results.iter().all(Result::is_ok));
+
+    assert_eq!(
+        invocations.load(Ordering::SeqCst),
+        4,
+        "exactly one solver invocation per distinct key"
+    );
+    let report = svc.report();
+    assert_eq!(report.solves, 4);
+    assert_eq!(
+        report.dedup_joins + report.hits,
+        28,
+        "the other 28 requests joined a flight or hit the cache"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Degraded results are served but never poison the cache (real pipeline).
+// ---------------------------------------------------------------------
+
+#[test]
+fn dead_budget_batch_degrades_per_request_without_poisoning_the_cache() {
+    let dir = std::env::temp_dir().join(format!("gomil-serve-poison-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_file = dir.join("cache.tsv");
+
+    let starved = GomilConfig {
+        pipeline_budget: Some(Duration::ZERO),
+        ..GomilConfig::fast()
+    };
+    let svc = serve_service(
+        &starved,
+        ServeConfig {
+            jobs: 2,
+            cache_path: Some(cache_file.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let requests = [
+        SolveRequest {
+            m: 4,
+            ppg: PpgKind::And,
+        },
+        SolveRequest {
+            m: 5,
+            ppg: PpgKind::And,
+        },
+    ];
+    for res in svc.run_batch(&requests) {
+        let outcome = res.expect("a dead budget degrades, it does not fail");
+        assert!(
+            outcome.degraded,
+            "zero budget must mark the result degraded"
+        );
+        assert!(
+            outcome.verified,
+            "even degraded results are correct multipliers"
+        );
+    }
+    assert_eq!(
+        svc.cache_len(),
+        0,
+        "degraded results must not enter the cache"
+    );
+    assert_eq!(svc.persist().unwrap(), 0, "nothing to persist");
+
+    // A healthy service over the same cache file starts cold: the starved
+    // batch left nothing behind to be mistaken for an optimum.
+    let healthy = serve_service(
+        &GomilConfig::fast(),
+        ServeConfig {
+            jobs: 2,
+            cache_path: Some(cache_file),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(healthy.cache_len(), 0);
+    let fresh = healthy
+        .serve_one(&SolveRequest {
+            m: 4,
+            ppg: PpgKind::And,
+        })
+        .unwrap();
+    assert!(!fresh.degraded);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Cached results are byte-equal to fresh solves, including across
+// persistence (real pipeline).
+// ---------------------------------------------------------------------
+
+#[test]
+fn cached_results_are_byte_equal_to_fresh_solves_across_persistence() {
+    let dir = std::env::temp_dir().join(format!("gomil-serve-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_file = dir.join("cache.tsv");
+    let cfg = GomilConfig::fast();
+    let req = SolveRequest {
+        m: 6,
+        ppg: PpgKind::And,
+    };
+
+    let first = serve_service(
+        &cfg,
+        ServeConfig {
+            jobs: 1,
+            cache_path: Some(cache_file.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let fresh = first.serve_one(&req).unwrap();
+    let hit = first.serve_one(&req).unwrap();
+    assert_eq!(fresh, hit);
+    assert_eq!(
+        fresh.to_line(),
+        hit.to_line(),
+        "in-memory hit is byte-equal"
+    );
+    assert_eq!(first.persist().unwrap(), 1);
+
+    // A new service process loads the persisted entry and answers without
+    // a single new solve, byte-for-byte identically.
+    let second = serve_service(
+        &cfg,
+        ServeConfig {
+            jobs: 1,
+            cache_path: Some(cache_file),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(second.cache_len(), 1);
+    let reloaded = second.serve_one(&req).unwrap();
+    assert_eq!(
+        reloaded.to_line(),
+        fresh.to_line(),
+        "persisted hit is byte-equal"
+    );
+    assert_eq!(second.report().solves, 0, "no new ILP solve after reload");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -61,7 +61,9 @@ fn permute(p: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
 fn equality_chain_propagates() {
     let n = 20;
     let mut m = Model::new("chain");
-    let xs: Vec<_> = (0..n).map(|i| m.add_integer(format!("x{i}"), 0.0, 100.0)).collect();
+    let xs: Vec<_> = (0..n)
+        .map(|i| m.add_integer(format!("x{i}"), 0.0, 100.0))
+        .collect();
     // x0 = 7; x_{i+1} = x_i + 2.
     m.add_constraint("base", LinExpr::from(xs[0]), Cmp::Eq, 7.0);
     for i in 0..n - 1 {
@@ -144,8 +146,12 @@ fn pathological_model_respects_the_wall_clock_budget() {
     let xs: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
     // Near-identical weights/values defeat pseudocost branching: the tree
     // has astronomically many symmetric incumbent-tying nodes.
-    let w: Vec<f64> = (0..n).map(|i| 10.0 + ((i * 31) % 3) as f64 * 1e-3).collect();
-    let v: Vec<f64> = (0..n).map(|i| 10.0 + ((i * 17) % 5) as f64 * 1e-3).collect();
+    let w: Vec<f64> = (0..n)
+        .map(|i| 10.0 + ((i * 31) % 3) as f64 * 1e-3)
+        .collect();
+    let v: Vec<f64> = (0..n)
+        .map(|i| 10.0 + ((i * 17) % 5) as f64 * 1e-3)
+        .collect();
     let weight: LinExpr = xs.iter().zip(&w).map(|(&x, &wi)| wi * x).sum();
     let value: LinExpr = xs.iter().zip(&v).map(|(&x, &vi)| vi * x).sum();
     m.add_constraint("cap", weight, Cmp::Le, 10.0 * (n as f64) / 2.0);

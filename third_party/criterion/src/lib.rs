@@ -170,7 +170,9 @@ mod tests {
 
     fn sample_bench(c: &mut Criterion) {
         let mut group = c.benchmark_group("g");
-        group.measurement_time(Duration::from_secs(1)).sample_size(3);
+        group
+            .measurement_time(Duration::from_secs(1))
+            .sample_size(3);
         for n in [2u64, 4] {
             group.bench_with_input(BenchmarkId::new("sum", n), &n, |bch, &n| {
                 bch.iter(|| (0..n).sum::<u64>())

@@ -364,11 +364,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (__a, __b) = (&$a, &$b);
-        $crate::prop_assert!(
-            __a != __b,
-            "assertion failed: both sides equal `{:?}`",
-            __a
-        );
+        $crate::prop_assert!(__a != __b, "assertion failed: both sides equal `{:?}`", __a);
     }};
 }
 
