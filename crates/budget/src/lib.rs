@@ -135,6 +135,58 @@ impl Budget {
     }
 }
 
+/// Amortizes [`Budget::check`] for very hot loops.
+///
+/// `Budget::check` reads the clock on every call; inner loops that run
+/// millions of times (simplex pivots, parallel node acquisition) only need
+/// deadline resolution of "soon", not "this iteration". A checker samples
+/// the real budget every `period`-th call and answers from the cached
+/// verdict in between. Once the budget is exceeded the verdict is sticky:
+/// every subsequent call fails immediately without touching the clock.
+#[derive(Debug, Clone)]
+pub struct BudgetChecker {
+    budget: Budget,
+    period: u32,
+    calls: u32,
+    tripped: Option<BudgetExceeded>,
+}
+
+impl BudgetChecker {
+    /// Wraps `budget`, consulting it every `period` calls (`period` is
+    /// clamped to at least 1).
+    pub fn new(budget: Budget, period: u32) -> Self {
+        BudgetChecker {
+            budget,
+            period: period.max(1),
+            calls: 0,
+            tripped: None,
+        }
+    }
+
+    /// Amortized [`Budget::check`]: the first call and every `period`-th
+    /// call after it consult the real budget; the rest return the cached
+    /// verdict.
+    pub fn check(&mut self) -> Result<(), BudgetExceeded> {
+        if let Some(why) = self.tripped {
+            return Err(why);
+        }
+        let sample = self.calls == 0;
+        self.calls = (self.calls + 1) % self.period;
+        if sample {
+            if let Err(why) = self.budget.check() {
+                self.tripped = Some(why);
+                return Err(why);
+            }
+        }
+        Ok(())
+    }
+
+    /// The wrapped budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +231,28 @@ mod tests {
         let child = parent.child_with_limit(Duration::ZERO);
         assert!(child.exhausted());
         assert!(child.deadline().is_some());
+    }
+
+    #[test]
+    fn checker_samples_on_schedule_and_trips_sticky() {
+        let budget = Budget::unlimited();
+        let mut c = BudgetChecker::new(budget.clone(), 4);
+        assert!(c.check().is_ok()); // call 0: samples, ok
+        budget.cancel();
+        // Calls 1–3 run off the cached verdict and must still pass.
+        for _ in 0..3 {
+            assert!(c.check().is_ok());
+        }
+        // Call 4 samples again and trips.
+        assert_eq!(c.check(), Err(BudgetExceeded::Cancelled));
+        // Tripped verdict is sticky regardless of phase.
+        assert_eq!(c.check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn checker_period_is_clamped_to_one() {
+        let budget = Budget::with_limit(Duration::ZERO);
+        let mut c = BudgetChecker::new(budget, 0);
+        assert_eq!(c.check(), Err(BudgetExceeded::Deadline));
     }
 }

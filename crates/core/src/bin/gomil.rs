@@ -2,17 +2,22 @@
 //!
 //! ```text
 //! gomil gen <m> [and|mbe] [--out FILE] [--no-verify] [--budget-ms N]
-//!                                                      generate + export Verilog
+//!             [--solver-jobs N]                        generate + export Verilog
 //! gomil compare <m>                                    Fig. 3-style table at one width
 //! gomil batch <m,m,…> [--all-ppg] [--jobs N] [--repeat K]
-//!             [--cache FILE|--no-cache-file] [--budget-ms N]
+//!             [--cache FILE|--no-cache-file] [--budget-ms N] [--solver-jobs N]
 //!                                                      concurrent batch via gomil-serve
 //! gomil serve --requests FILE [--jobs N] [--cache FILE|--no-cache-file]
-//!             [--budget-ms N]                          serve a request file
+//!             [--budget-ms N] [--solver-jobs N]        serve a request file
 //! gomil prefix <heights MSB-first…> [--w W]            optimize a prefix BCV
 //! gomil trunc <m> <k>                                  truncated multiplier report
 //! gomil info                                           defaults and versions
 //! ```
+//!
+//! `--jobs` sizes the *service* worker pool (requests in flight);
+//! `--solver-jobs` sizes the *branch-and-bound* worker pool inside each
+//! individual ILP solve. They compose: `--jobs 4 --solver-jobs 2` runs up
+//! to four pipelines, each searching its tree with two threads.
 
 use gomil::{
     build_baseline, build_gomil, build_gomil_truncated, normalize, serve_service, solve_summary,
@@ -53,7 +58,9 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 /// Parses shared optimizer flags: `--budget-ms N` bounds the whole
 /// pipeline with a wall-clock deadline (expiry degrades the optimizer
-/// down its fallback ladder instead of failing the command).
+/// down its fallback ladder instead of failing the command), and
+/// `--solver-jobs N` runs each branch-and-bound solve with `N` worker
+/// threads (1, the default, is the sequential solver).
 fn cfg_from_args(args: &[String]) -> GomilConfig {
     let mut cfg = GomilConfig::default();
     if let Some(ms) = args
@@ -63,6 +70,14 @@ fn cfg_from_args(args: &[String]) -> GomilConfig {
         .and_then(|s| s.parse::<u64>().ok())
     {
         cfg.pipeline_budget = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(jobs) = args
+        .iter()
+        .position(|a| a == "--solver-jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        cfg.solver_jobs = jobs.max(1);
     }
     cfg
 }
@@ -349,8 +364,8 @@ fn cmd_info() -> CliResult {
     let cfg = GomilConfig::default();
     println!("gomil reproduction of Xiao/Qian/Liu, DATE 2021");
     println!(
-        "defaults: w = {}, L = {}, α = {}, β = {}, solver budget = {:?}, arrival-aware = {}",
-        cfg.w, cfg.l, cfg.alpha, cfg.beta, cfg.solver_budget, cfg.arrival_aware
+        "defaults: w = {}, L = {}, α = {}, β = {}, solver budget = {:?}, arrival-aware = {}, solver jobs = {}",
+        cfg.w, cfg.l, cfg.alpha, cfg.beta, cfg.solver_budget, cfg.arrival_aware, cfg.solver_jobs
     );
     Ok(())
 }

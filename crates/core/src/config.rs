@@ -39,6 +39,13 @@ pub struct GomilConfig {
     /// Eq. 14 assumes all CPA inputs arrive at time 0). Costs one extra
     /// `O(n³)` DP; set to `false` for the paper-faithful structure.
     pub arrival_aware: bool,
+    /// Worker threads for each branch-and-bound solve (CLI
+    /// `--solver-jobs`). `1` (the default) is the sequential legacy
+    /// solver; larger values run the parallel node search. Like the
+    /// budgets this is a latency knob, not a result knob — parallel search
+    /// proves the same optima — so it is excluded from
+    /// [`solve_fingerprint`](Self::solve_fingerprint).
+    pub solver_jobs: usize,
 }
 
 impl Default for GomilConfig {
@@ -53,6 +60,7 @@ impl Default for GomilConfig {
             select_style: SelectStyle::SelectSkip,
             power_vectors: 512,
             arrival_aware: true,
+            solver_jobs: 1,
         }
     }
 }
@@ -90,6 +98,10 @@ impl GomilConfig {
     /// excluded: they bound wall-clock, not the certified optimum, and the
     /// serving layer refuses to cache budget-degraded results instead
     /// (see `gomil-serve`'s caching contract).
+    /// [`solver_jobs`](Self::solver_jobs) is excluded for the same reason:
+    /// parallel branch and bound proves the same objective value, it only
+    /// changes how fast (and, among ties, *which* optimal assignment comes
+    /// back — the cache stores one certified optimum either way).
     pub fn solve_fingerprint(&self) -> String {
         let style = match self.select_style {
             SelectStyle::Ripple => "ripple",
@@ -132,6 +144,7 @@ mod tests {
         let budgeted = GomilConfig {
             solver_budget: Duration::from_millis(1),
             pipeline_budget: Some(Duration::from_millis(2)),
+            solver_jobs: 8,
             ..GomilConfig::default()
         };
         assert_eq!(base.solve_fingerprint(), budgeted.solve_fingerprint());

@@ -204,6 +204,7 @@ impl CtIlp {
             time_limit: Some(cfg.solver_budget),
             budget: budget.clone(),
             initial,
+            jobs: cfg.solver_jobs,
             ..BranchConfig::default()
         };
         let sol = self.model.solve_with(&branch)?;

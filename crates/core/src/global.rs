@@ -39,7 +39,8 @@ use gomil_arith::{
 };
 use gomil_budget::{Budget, BudgetExceeded};
 use gomil_ilp::{
-    BranchConfig, IncumbentSource, LinExpr, Sense, Solution, SolveError, WarmStartStatus,
+    BranchConfig, IncumbentEvent, IncumbentSource, LinExpr, Model, Sense, Solution, SolveError,
+    WarmStartStatus,
 };
 use gomil_prefix::{dp_tables_budgeted, leaf_types, optimize_prefix_tree, PrefixTree};
 use std::fmt;
@@ -202,6 +203,10 @@ pub struct SolveStats {
     pub wall_time: Duration,
     /// Branch-and-bound nodes explored.
     pub nodes: u64,
+    /// Nodes discarded without children (bound cutoff or infeasibility).
+    pub nodes_pruned: u64,
+    /// Nodes split into two children.
+    pub nodes_branched: u64,
     /// Total simplex iterations across LP relaxations.
     pub lp_iterations: u64,
     /// Whether optimality was proven within the budget.
@@ -214,6 +219,11 @@ pub struct SolveStats {
     pub warm_start: WarmStartStatus,
     /// Whether the independent post-solve certifier accepted the solution.
     pub certified: bool,
+    /// Every incumbent improvement (time from solve start, objective,
+    /// source) in admission order.
+    pub improvements: Vec<IncumbentEvent>,
+    /// Worker threads that explored the branch-and-bound tree.
+    pub jobs: usize,
 }
 
 impl From<&Solution> for SolveStats {
@@ -221,12 +231,16 @@ impl From<&Solution> for SolveStats {
         SolveStats {
             wall_time: s.wall_time(),
             nodes: s.nodes(),
+            nodes_pruned: s.nodes_pruned(),
+            nodes_branched: s.nodes_branched(),
             lp_iterations: s.lp_iterations(),
             proven_optimal: s.is_optimal(),
             gap: s.gap(),
             incumbent_source: s.incumbent_source(),
             warm_start: s.warm_start().clone(),
             certified: s.certificate().is_some(),
+            improvements: s.incumbent_timeline().to_vec(),
+            jobs: s.jobs(),
         }
     }
 }
@@ -235,15 +249,28 @@ impl fmt::Display for SolveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} in {:.1?}: {} nodes, {} LP iterations, gap {:.2}%, incumbent from {}, warm start {}, {}",
-            if self.proven_optimal { "optimal" } else { "feasible" },
+            "{} in {:.1?}: {} nodes ({} pruned, {} branched), {} LP iterations, gap {:.2}%, \
+             {} incumbent improvement(s), incumbent from {}, warm start {}, {}, jobs {}",
+            if self.proven_optimal {
+                "optimal"
+            } else {
+                "feasible"
+            },
             self.wall_time,
             self.nodes,
+            self.nodes_pruned,
+            self.nodes_branched,
             self.lp_iterations,
             100.0 * self.gap,
+            self.improvements.len(),
             self.incumbent_source,
             self.warm_start,
-            if self.certified { "certified" } else { "uncertified" },
+            if self.certified {
+                "certified"
+            } else {
+                "uncertified"
+            },
+            self.jobs,
         )
     }
 }
@@ -538,6 +565,57 @@ pub fn joint_ilp_hinted(
     budget: &Budget,
     hint: Option<&WarmStartHint>,
 ) -> Result<GlobalSolution, SolveError> {
+    let jm = build_joint_model(v0, cfg, hint)?;
+    let mut seeds = jm.seeds.into_iter();
+    let initial = seeds.next();
+
+    let branch = BranchConfig {
+        time_limit: Some(cfg.solver_budget),
+        budget: budget.clone(),
+        initial,
+        extra_starts: seeds.collect(),
+        jobs: cfg.solver_jobs,
+        ..BranchConfig::default()
+    };
+    let sol = jm.model.solve_with(&branch)?;
+    let schedule = jm.ct.extract_schedule(sol.values());
+    let vs = schedule.final_bcv(v0).expect("solver output is feasible");
+    let mut out = solution_from(vs, schedule, cfg, "joint-ilp");
+    out.solver_stats = Some(SolveStats::from(&sol));
+    Ok(out)
+}
+
+/// The assembled joint CT + prefix ILP (Eq. 27) together with its
+/// warm-start seeds and the CT formulation needed to decode a solution.
+///
+/// Produced by [`build_joint_model`]; [`joint_ilp_hinted`] is the normal
+/// consumer, but benchmarks and tests use it to drive
+/// [`Model::solve_with`] directly (e.g. to compare solver configurations
+/// on the identical model).
+pub struct JointModel {
+    /// The ILP over CT and prefix variables with the Eq. 27 objective.
+    pub model: Model,
+    /// Warm-start candidate assignments, best-guess first (each a full
+    /// model-space vector suitable for [`BranchConfig::initial`] /
+    /// [`BranchConfig::extra_starts`]).
+    pub seeds: Vec<Vec<f64>>,
+    /// The CT formulation, for [`CtIlp::extract_schedule`] on a solution.
+    pub ct: CtIlp,
+}
+
+/// Assembles the paper's joint ILP (Eq. 27 with the `L` truncation) for
+/// `v0`, including warm-start seeds (donated hint first when steerable,
+/// then Dadda, then an all-2 steered profile as a last resort).
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when the profile has no leftmost-free
+/// reduction (Eq. 4), in which case the formulation is undefined.
+pub fn build_joint_model(
+    v0: &Bcv,
+    cfg: &GomilConfig,
+    hint: Option<&WarmStartHint>,
+) -> Result<JointModel, SolveError> {
     let n = v0.len();
     // The paper's formulation needs a leftmost-free reduction to exist
     // (Eq. 4); profiles without one go to the modular target search.
@@ -610,22 +688,7 @@ pub fn joint_ilp_hinted(
             }
         }
     }
-    let mut seeds = seeds.into_iter();
-    let initial = seeds.next();
-
-    let branch = BranchConfig {
-        time_limit: Some(cfg.solver_budget),
-        budget: budget.clone(),
-        initial,
-        extra_starts: seeds.collect(),
-        ..BranchConfig::default()
-    };
-    let sol = model.solve_with(&branch)?;
-    let schedule = ct.extract_schedule(sol.values());
-    let vs = schedule.final_bcv(v0).expect("solver output is feasible");
-    let mut out = solution_from(vs, schedule, cfg, "joint-ilp");
-    out.solver_stats = Some(SolveStats::from(&sol));
-    Ok(out)
+    Ok(JointModel { model, seeds, ct })
 }
 
 /// The truncated-ILP rung: solve the CT ILP alone (the prefix coupling

@@ -69,10 +69,10 @@ pub use flow::{
     RegionBreakdown,
 };
 pub use global::{
-    joint_ilp, joint_ilp_budgeted, joint_ilp_hinted, optimize_global, optimize_global_hinted,
-    optimize_global_with_budget, target_search, target_search_budgeted, target_search_hinted,
-    DegradationReport, GlobalSolution, Rung, RungAttempt, RungFailure, RungOutcome, SolveStats,
-    WarmStartHint,
+    build_joint_model, joint_ilp, joint_ilp_budgeted, joint_ilp_hinted, optimize_global,
+    optimize_global_hinted, optimize_global_with_budget, target_search, target_search_budgeted,
+    target_search_hinted, DegradationReport, GlobalSolution, JointModel, Rung, RungAttempt,
+    RungFailure, RungOutcome, SolveStats, WarmStartHint,
 };
 pub use prefix_ilp::{add_prefix_constraints, solve_fixed_prefix_ip, LeafB, PrefixVars};
 pub use report::{format_table, normalize, solve_summary, DesignReport, NormalizedRow};

@@ -175,5 +175,19 @@ mod tests {
         assert!(s.contains("strategy:"), "{s}");
         assert!(s.contains("ladder:"), "{s}");
         assert!(s.contains("winner"), "{s}");
+        if sol.solver_stats.is_some() {
+            // The solver line carries the full branch-and-bound telemetry.
+            for needle in [
+                "solver:",
+                "nodes",
+                "pruned",
+                "branched",
+                "LP iterations",
+                "gap",
+                "jobs",
+            ] {
+                assert!(s.contains(needle), "missing {needle} in:\n{s}");
+            }
+        }
     }
 }

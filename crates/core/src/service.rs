@@ -30,6 +30,12 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
     let degraded = degradation.degraded()
         || degradation.budget_limited()
         || degradation.winner == Some(Rung::DaddaPrefix);
+    // Non-ILP rungs (target search, Dadda) carry no branch-and-bound
+    // stats; their telemetry fields stay zero.
+    let (solver_nodes, solver_lp_iters, solver_gap) = match &sol.solver_stats {
+        Some(stats) => (stats.nodes, stats.lp_iterations, stats.gap),
+        None => (0, 0, 0.0),
+    };
     ServeOutcome {
         name: design.build.name.clone(),
         m: design.build.m,
@@ -41,6 +47,9 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
         objective: sol.objective,
         degraded,
         vs_counts: sol.vs.counts().to_vec(),
+        solver_nodes,
+        solver_lp_iters,
+        solver_gap,
     }
 }
 

@@ -15,13 +15,27 @@
 //!
 //! The search honours wall-clock and node limits and reports the best proven
 //! bound, mirroring how the paper runs Gurobi under a runtime cap.
+//!
+//! With [`BranchConfig::jobs`] > 1 the node loop is handed to the
+//! [parallel engine](crate::parallel): a fixed worker pool drains the same
+//! best-first queue under a mutex, sharing one atomic incumbent so any
+//! worker's improvement immediately tightens pruning everywhere. `jobs = 1`
+//! (the default) runs the sequential loop below, byte-for-byte the legacy
+//! behavior.
+//!
+//! Node bounds are NaN-checked on admission ([`checked_bound`]): the node
+//! comparator uses [`f64::total_cmp`], which is a total order even over NaN,
+//! but a NaN bound would still make best-first selection meaningless, so it
+//! is reported as a numerical failure instead of being enqueued.
 
 use crate::certify::certify_values;
 use crate::model::{Cmp, Model, Sense, VarKind};
 use crate::presolve::presolve_with_budget;
 use crate::propagate::propagate_bounds;
 use crate::simplex::{solve_lp, LpError, LpOutcome, LpProblem, SimplexOpts, FEAS_TOL};
-use crate::solution::{IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus};
+use crate::solution::{
+    IncumbentEvent, IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus,
+};
 use gomil_budget::Budget;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
@@ -66,6 +80,13 @@ pub struct BranchConfig {
     /// a [`SolveError::Numerical`] failure once with `force_bland` and a
     /// relaxed `tol_scale` before giving up.
     pub numerical_retry: bool,
+    /// Worker threads exploring the branch-and-bound tree. `0` and `1`
+    /// both mean sequential search (the legacy single-threaded loop);
+    /// larger values run the [parallel engine](crate::parallel). Parallel
+    /// search proves the same optima but may return a *different* optimal
+    /// assignment when several exist, and node/iteration counts become
+    /// timing-dependent.
+    pub jobs: usize,
 }
 
 impl Default for BranchConfig {
@@ -82,6 +103,7 @@ impl Default for BranchConfig {
             force_bland: false,
             tol_scale: 1.0,
             numerical_retry: true,
+            jobs: 1,
         }
     }
 }
@@ -106,16 +128,16 @@ impl BranchConfig {
 }
 
 /// Mapping from model variables to compressed LP columns.
-struct Standardized {
-    lp: LpProblem,
+pub(crate) struct Standardized {
+    pub(crate) lp: LpProblem,
     /// Fixed value per model variable (meaningful when `col_of_var` is None).
-    fixed_val: Vec<f64>,
+    pub(crate) fixed_val: Vec<f64>,
     /// Model variable index per LP structural column.
-    var_of_col: Vec<u32>,
+    pub(crate) var_of_col: Vec<u32>,
     /// Model objective constant (plus contribution of fixed variables).
-    obj_offset: f64,
+    pub(crate) obj_offset: f64,
     /// Whether each surviving column is integer-constrained.
-    col_is_int: Vec<bool>,
+    pub(crate) col_is_int: Vec<bool>,
 }
 
 /// Builds the slack-augmented LP, dropping presolve-fixed columns and
@@ -210,11 +232,25 @@ fn standardize(
 
 /// A branch decision: tighten one column's bound.
 #[derive(Debug, Clone, Copy)]
-struct BoundDelta {
-    col: u32,
+pub(crate) struct BoundDelta {
+    pub(crate) col: u32,
     /// True: set lower bound; false: set upper bound.
-    is_lower: bool,
-    value: f64,
+    pub(crate) is_lower: bool,
+    pub(crate) value: f64,
+}
+
+impl BoundDelta {
+    /// Tightens `lb`/`ub` by this delta (never loosens).
+    pub(crate) fn tighten(&self, lb: &mut [f64], ub: &mut [f64]) {
+        let c = self.col as usize;
+        if self.is_lower {
+            if self.value > lb[c] {
+                lb[c] = self.value;
+            }
+        } else if self.value < ub[c] {
+            ub[c] = self.value;
+        }
+    }
 }
 
 struct NodeArena {
@@ -226,17 +262,27 @@ impl NodeArena {
     fn apply(&self, mut idx: usize, lb: &mut [f64], ub: &mut [f64]) {
         while idx != usize::MAX {
             let (parent, d) = self.nodes[idx];
-            let c = d.col as usize;
-            if d.is_lower {
-                if d.value > lb[c] {
-                    lb[c] = d.value;
-                }
-            } else if d.value < ub[c] {
-                ub[c] = d.value;
-            }
+            d.tighten(lb, ub);
             idx = parent;
         }
     }
+}
+
+/// Rejects a NaN node bound before it can reach the open-node heap.
+///
+/// `OpenNode`'s comparator is [`f64::total_cmp`], so a NaN no longer
+/// *corrupts* heap order — but a node whose LP relaxation evaluated to NaN
+/// has no meaningful place in a best-first search either, so the solve is
+/// aborted as a numerical failure (which the
+/// [`numerical_retry`](BranchConfig::numerical_retry) path then retries
+/// with Bland's rule).
+pub(crate) fn checked_bound(bound: f64) -> Result<f64, SolveError> {
+    if bound.is_nan() {
+        return Err(SolveError::Numerical(
+            "LP relaxation produced a NaN node bound; refusing to enqueue it".into(),
+        ));
+    }
+    Ok(bound)
 }
 
 #[derive(PartialEq)]
@@ -253,11 +299,14 @@ impl Eq for OpenNode {}
 impl Ord for OpenNode {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; we want the smallest bound first, with a
-        // preference for deeper nodes (diving) on ties.
+        // preference for deeper nodes (diving) on ties. `total_cmp` keeps
+        // this a lawful total order even for NaN bounds (which
+        // `checked_bound` rejects upstream anyway): NaN sorts after every
+        // real bound instead of silently comparing "equal" to everything
+        // and corrupting the heap invariant.
         other
             .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&self.bound)
             .then(self.depth.cmp(&other.depth))
     }
 }
@@ -268,7 +317,7 @@ impl PartialOrd for OpenNode {
 }
 
 /// Expands a compressed LP solution back to full model-variable space.
-fn expand(std: &Standardized, x: &[f64]) -> Vec<f64> {
+pub(crate) fn expand(std: &Standardized, x: &[f64]) -> Vec<f64> {
     let mut out = std.fixed_val.clone();
     for (col, &v) in x.iter().enumerate() {
         out[std.var_of_col[col] as usize] = v;
@@ -276,15 +325,178 @@ fn expand(std: &Standardized, x: &[f64]) -> Vec<f64> {
     out
 }
 
-/// Solves `model` by branch and bound.
-///
-/// # Errors
-///
-/// * [`SolveError::Infeasible`] / [`SolveError::Unbounded`] for models with
-///   no optimum.
-/// * [`SolveError::Limit`] when a limit fires before any feasible point.
-/// * [`SolveError::Numerical`] on simplex breakdown.
-pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveError> {
+/// Pseudocost tables: average objective degradation per unit of fractional
+/// distance, per column and branching direction.
+pub(crate) struct PcTables {
+    up: Vec<(f64, u32)>,
+    down: Vec<(f64, u32)>,
+}
+
+impl PcTables {
+    pub(crate) fn new(num_structural: usize) -> PcTables {
+        PcTables {
+            up: vec![(0.0, 0); num_structural],
+            down: vec![(0.0, 0); num_structural],
+        }
+    }
+
+    /// Records the observed degradation of one branching: child LP bound
+    /// `lp_obj` against its parent's `parent_obj` over distance `dist`.
+    pub(crate) fn observe(
+        &mut self,
+        col: usize,
+        up: bool,
+        parent_obj: f64,
+        dist: f64,
+        lp_obj: f64,
+    ) {
+        let gain = ((lp_obj - parent_obj) / dist.max(1e-6)).max(0.0);
+        let slot = if up {
+            &mut self.up[col]
+        } else {
+            &mut self.down[col]
+        };
+        slot.0 += gain;
+        slot.1 += 1;
+    }
+
+    /// Branching column for the fractional LP point `x`: pseudocost product
+    /// score, falling back to the global average while a column is
+    /// unobserved. `None` means `x` is integral.
+    pub(crate) fn pick_branch(&self, x: &[f64], col_is_int: &[bool]) -> Option<(usize, f64)> {
+        let avg = |table: &[(f64, u32)]| -> f64 {
+            let (s, n) = table
+                .iter()
+                .fold((0.0, 0u32), |(s, n), &(ts, tn)| (s + ts, n + tn));
+            if n > 0 {
+                s / n as f64
+            } else {
+                1.0
+            }
+        };
+        let global_up = avg(&self.up);
+        let global_down = avg(&self.down);
+        let mut frac_col: Option<(usize, f64)> = None;
+        let mut best_score = -1.0f64;
+        for (c, &xi) in x.iter().enumerate() {
+            if col_is_int[c] {
+                let f = (xi - xi.round()).abs();
+                if f > FEAS_TOL {
+                    let d_up = xi.ceil() - xi;
+                    let d_down = xi - xi.floor();
+                    let e_up = if self.up[c].1 > 0 {
+                        self.up[c].0 / self.up[c].1 as f64
+                    } else {
+                        global_up
+                    };
+                    let e_down = if self.down[c].1 > 0 {
+                        self.down[c].0 / self.down[c].1 as f64
+                    } else {
+                        global_down
+                    };
+                    let score = (e_up * d_up).max(1e-8) * (e_down * d_down).max(1e-8);
+                    if score > best_score {
+                        best_score = score;
+                        frac_col = Some((c, f));
+                    }
+                }
+            }
+        }
+        frac_col
+    }
+}
+
+/// An incumbent in minimize space: full model values, minimize-space
+/// objective, and provenance.
+pub(crate) type Incumbent = (Vec<f64>, f64, IncumbentSource);
+
+/// Everything both search engines need, immutable for the whole solve.
+pub(crate) struct SearchCtx<'a> {
+    pub(crate) model: &'a Model,
+    pub(crate) config: &'a BranchConfig,
+    pub(crate) maximize: bool,
+    pub(crate) budget: Budget,
+    pub(crate) lp_opts: SimplexOpts,
+    /// Per-variable objective costs in minimize space.
+    pub(crate) costs: Vec<f64>,
+    pub(crate) std: Standardized,
+    /// Added to raw LP objectives to express them in (minimize-space)
+    /// model objective terms.
+    pub(crate) obj_offset: f64,
+    pub(crate) start: Instant,
+}
+
+impl SearchCtx<'_> {
+    /// Minimize-space objective of a full model assignment.
+    pub(crate) fn eval_obj(&self, vals: &[f64]) -> f64 {
+        vals.iter()
+            .enumerate()
+            .map(|(i, v)| self.costs[i] * v)
+            .sum::<f64>()
+            + if self.maximize {
+                -self.model.objective.constant()
+            } else {
+                self.model.objective.constant()
+            }
+    }
+
+    /// Admits `vals` as the incumbent if it strictly improves the current
+    /// one, recording a timeline event.
+    pub(crate) fn admit(
+        &self,
+        vals: Vec<f64>,
+        source: IncumbentSource,
+        inc: &mut Option<Incumbent>,
+        timeline: &mut Vec<IncumbentEvent>,
+    ) {
+        let obj = self.eval_obj(&vals);
+        if inc.as_ref().is_none_or(|(_, best, _)| obj < best - 1e-9) {
+            timeline.push(IncumbentEvent {
+                at: self.start.elapsed(),
+                objective: obj,
+                source,
+            });
+            *inc = Some((vals, obj, source));
+        }
+    }
+}
+
+/// Search telemetry counters, shared by both engines.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SearchCounters {
+    /// Nodes popped and processed (LP relaxation attempted).
+    pub(crate) explored: u64,
+    /// Nodes discarded without children (bound cutoff, empty box,
+    /// propagation/LP infeasibility, non-root unboundedness).
+    pub(crate) pruned: u64,
+    /// Nodes split into two children.
+    pub(crate) branched: u64,
+    /// Simplex iterations across all LP solves.
+    pub(crate) lp_iters: u64,
+}
+
+/// What a search engine hands back for final assembly.
+pub(crate) struct SearchOutcome {
+    pub(crate) incumbent: Option<Incumbent>,
+    /// Minimize-space timeline; flipped to caller space by [`finish`].
+    pub(crate) timeline: Vec<IncumbentEvent>,
+    pub(crate) counters: SearchCounters,
+    pub(crate) limit_hit: Option<String>,
+    pub(crate) best_open_bound: f64,
+    pub(crate) saw_unbounded_root: bool,
+}
+
+/// The model/config digest both engines start from.
+pub(crate) struct Prepared<'a> {
+    pub(crate) ctx: SearchCtx<'a>,
+    pub(crate) incumbent: Option<Incumbent>,
+    pub(crate) timeline: Vec<IncumbentEvent>,
+    pub(crate) warm_start: WarmStartStatus,
+}
+
+/// Presolves, standardizes and validates warm starts — everything up to
+/// (but not including) the node loop.
+fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a>, SolveError> {
     let start = Instant::now();
     let maximize = model.sense == Sense::Maximize;
     let budget = config.effective_budget();
@@ -316,27 +528,20 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
     };
     let obj_offset = std.obj_offset - model.objective.constant() + signed_const;
 
-    let mut lp_iters_total: u64 = 0;
-    let mut nodes_explored: u64 = 0;
-
-    // Incumbent tracking in minimize space.
-    type Incumbent = (Vec<f64>, f64, IncumbentSource);
-    let mut incumbent: Option<Incumbent> = None; // (full model values, minimize obj, source)
-    let record = |vals: Vec<f64>, source: IncumbentSource, inc: &mut Option<Incumbent>| {
-        let obj: f64 = vals
-            .iter()
-            .enumerate()
-            .map(|(i, v)| costs[i] * v)
-            .sum::<f64>()
-            + if maximize {
-                -model.objective.constant()
-            } else {
-                model.objective.constant()
-            };
-        if inc.as_ref().is_none_or(|(_, best, _)| obj < best - 1e-9) {
-            *inc = Some((vals, obj, source));
-        }
+    let ctx = SearchCtx {
+        model,
+        config,
+        maximize,
+        budget,
+        lp_opts,
+        costs,
+        std,
+        obj_offset,
+        start,
     };
+
+    let mut incumbent: Option<Incumbent> = None;
+    let mut timeline = Vec::new();
 
     // Validate any warm start up front; the outcome (with the exact
     // violation on rejection) is surfaced on the returned Solution instead
@@ -346,14 +551,19 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
         match certify_values(model, init, FEAS_TOL * 10.0) {
             Ok(_) => {
                 warm_start = WarmStartStatus::Accepted;
-                record(init.clone(), IncumbentSource::WarmStart, &mut incumbent);
+                ctx.admit(
+                    init.clone(),
+                    IncumbentSource::WarmStart,
+                    &mut incumbent,
+                    &mut timeline,
+                );
             }
             Err(why) => warm_start = WarmStartStatus::Rejected(why),
         }
     }
 
     // Handed-off incumbents: validated exactly like the warm start and
-    // admitted through `record`, which keeps whichever candidate has the
+    // admitted through `admit`, which keeps whichever candidate has the
     // best objective. An infeasible hand-off is simply ignored (the donor
     // solved a *neighboring* model, so mismatches are expected).
     for cand in &config.extra_starts {
@@ -361,9 +571,116 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
             if warm_start == WarmStartStatus::NotProvided {
                 warm_start = WarmStartStatus::Accepted;
             }
-            record(cand.clone(), IncumbentSource::WarmStart, &mut incumbent);
+            ctx.admit(
+                cand.clone(),
+                IncumbentSource::WarmStart,
+                &mut incumbent,
+                &mut timeline,
+            );
         }
     }
+
+    Ok(Prepared {
+        ctx,
+        incumbent,
+        timeline,
+        warm_start,
+    })
+}
+
+/// Assembles the final [`Solution`] (or error) from a finished search.
+pub(crate) fn finish(
+    ctx: &SearchCtx<'_>,
+    warm_start: WarmStartStatus,
+    out: SearchOutcome,
+) -> Result<Solution, SolveError> {
+    if out.saw_unbounded_root {
+        return Err(SolveError::Unbounded);
+    }
+    let flip = |v: f64| if ctx.maximize { -v } else { v };
+    let timeline: Vec<IncumbentEvent> = out
+        .timeline
+        .into_iter()
+        .map(|e| IncumbentEvent {
+            objective: flip(e.objective),
+            ..e
+        })
+        .collect();
+    let jobs = ctx.config.jobs.max(1);
+    match (out.incumbent, out.limit_hit) {
+        (Some((vals, obj, source)), None) => Ok(Solution {
+            values: vals,
+            objective: flip(obj),
+            best_bound: flip(obj),
+            status: SolveStatus::Optimal,
+            nodes: out.counters.explored,
+            nodes_pruned: out.counters.pruned,
+            nodes_branched: out.counters.branched,
+            lp_iterations: out.counters.lp_iters,
+            wall_time: ctx.start.elapsed(),
+            incumbent_source: source,
+            warm_start,
+            certificate: None,
+            timeline,
+            jobs,
+        }),
+        (Some((vals, obj, source)), Some(_)) => {
+            let bound = out.best_open_bound.min(obj);
+            Ok(Solution {
+                values: vals,
+                objective: flip(obj),
+                best_bound: flip(bound),
+                status: SolveStatus::Feasible,
+                nodes: out.counters.explored,
+                nodes_pruned: out.counters.pruned,
+                nodes_branched: out.counters.branched,
+                lp_iterations: out.counters.lp_iters,
+                wall_time: ctx.start.elapsed(),
+                incumbent_source: source,
+                warm_start,
+                certificate: None,
+                timeline,
+                jobs,
+            })
+        }
+        (None, None) => Err(SolveError::Infeasible),
+        (None, Some(l)) => Err(SolveError::Limit(l)),
+    }
+}
+
+/// Solves `model` by branch and bound.
+///
+/// # Errors
+///
+/// * [`SolveError::Infeasible`] / [`SolveError::Unbounded`] for models with
+///   no optimum.
+/// * [`SolveError::Limit`] when a limit fires before any feasible point.
+/// * [`SolveError::Numerical`] on simplex breakdown.
+pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveError> {
+    let prep = prepare(model, config)?;
+    let Prepared {
+        ctx,
+        incumbent,
+        timeline,
+        warm_start,
+    } = prep;
+    let out = if config.jobs > 1 {
+        crate::parallel::search(&ctx, incumbent, timeline)?
+    } else {
+        sequential(&ctx, incumbent, timeline)?
+    };
+    finish(&ctx, warm_start, out)
+}
+
+/// The legacy single-threaded best-first loop.
+fn sequential(
+    ctx: &SearchCtx<'_>,
+    mut incumbent: Option<Incumbent>,
+    mut timeline: Vec<IncumbentEvent>,
+) -> Result<SearchOutcome, SolveError> {
+    let config = ctx.config;
+    let std = &ctx.std;
+    let mut counters = SearchCounters::default();
 
     // Root node.
     let arena = &mut NodeArena { nodes: Vec::new() };
@@ -374,11 +691,7 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
         arena_idx: usize::MAX,
         branch: None,
     });
-    // Pseudocosts: average objective degradation per unit of fractional
-    // distance, per column and branching direction.
-    let ns = std.lp.num_structural;
-    let mut pc_up = vec![(0.0f64, 0u32); ns];
-    let mut pc_down = vec![(0.0f64, 0u32); ns];
+    let mut pc = PcTables::new(std.lp.num_structural);
 
     let mut best_open_bound = f64::NEG_INFINITY;
     let mut limit_hit: Option<String> = None;
@@ -391,20 +704,21 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
         // Prune against incumbent.
         if let Some((_, best, _)) = &incumbent {
             if node.bound >= best - config.gap_tol * best.abs().max(1.0) {
+                counters.pruned += 1;
                 continue;
             }
         }
-        if let Err(reason) = budget.check() {
+        if let Err(reason) = ctx.budget.check() {
             limit_hit = Some(reason.to_string());
             best_open_bound = node.bound;
             break;
         }
-        if nodes_explored >= config.node_limit {
+        if counters.explored >= config.node_limit {
             limit_hit = Some(format!("node limit {}", config.node_limit));
             best_open_bound = node.bound;
             break;
         }
-        nodes_explored += 1;
+        counters.explored += 1;
 
         // Materialize bounds for this node, then propagate them through
         // the rows (often fixes chains or proves the node empty cheaply).
@@ -416,16 +730,18 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
             .zip(ub_buf.iter())
             .any(|(l, u)| *l > u + FEAS_TOL)
         {
+            counters.pruned += 1;
             continue; // branching made it empty
         }
         if !propagate_bounds(&std.lp, &mut lb_buf, &mut ub_buf, &std.col_is_int, 3) {
+            counters.pruned += 1;
             continue; // propagation proved infeasibility
         }
 
         let mut lp = std.lp.clone();
         lp.lb = lb_buf.clone();
         lp.ub = ub_buf.clone();
-        let (outcome, iters) = match solve_lp(&lp, &lp_opts) {
+        let (outcome, iters) = match solve_lp(&lp, &ctx.lp_opts) {
             Ok(r) => r,
             Err(LpError::Budget(reason)) => {
                 // Budget ran out inside the pivot loop: stop gracefully with
@@ -436,105 +752,77 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
             }
             Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
         };
-        lp_iters_total += iters;
+        counters.lp_iters += iters;
         let (x, lp_obj) = match outcome {
-            LpOutcome::Infeasible => continue,
+            LpOutcome::Infeasible => {
+                counters.pruned += 1;
+                continue;
+            }
             LpOutcome::Unbounded => {
                 if node.depth == 0 && incumbent.is_none() {
                     saw_unbounded_root = true;
                     break;
                 }
+                counters.pruned += 1;
                 continue;
             }
-            LpOutcome::Optimal { x, obj } => (x, obj + obj_offset),
+            LpOutcome::Optimal { x, obj } => (x, checked_bound(obj + ctx.obj_offset)?),
         };
 
         // Pseudocost update from the branching that created this node.
         if let Some((col, up, parent_obj, dist)) = node.branch {
-            let gain = ((lp_obj - parent_obj) / dist.max(1e-6)).max(0.0);
-            let slot = if up {
-                &mut pc_up[col]
-            } else {
-                &mut pc_down[col]
-            };
-            slot.0 += gain;
-            slot.1 += 1;
+            pc.observe(col, up, parent_obj, dist, lp_obj);
         }
 
         if let Some((_, best, _)) = &incumbent {
             if lp_obj >= best - config.gap_tol * best.abs().max(1.0) {
+                counters.pruned += 1;
                 continue;
             }
         }
 
-        // Branching column: pseudocost product score, falling back to
-        // most-fractional while a column is unobserved.
-        let avg = |table: &[(f64, u32)]| -> f64 {
-            let (s, n) = table
-                .iter()
-                .fold((0.0, 0u32), |(s, n), &(ts, tn)| (s + ts, n + tn));
-            if n > 0 {
-                s / n as f64
-            } else {
-                1.0
-            }
-        };
-        let global_up = avg(&pc_up);
-        let global_down = avg(&pc_down);
-        let mut frac_col: Option<(usize, f64)> = None;
-        let mut best_score = -1.0f64;
-        for (c, &xi) in x.iter().enumerate() {
-            if std.col_is_int[c] {
-                let f = (xi - xi.round()).abs();
-                if f > FEAS_TOL {
-                    let d_up = xi.ceil() - xi;
-                    let d_down = xi - xi.floor();
-                    let e_up = if pc_up[c].1 > 0 {
-                        pc_up[c].0 / pc_up[c].1 as f64
-                    } else {
-                        global_up
-                    };
-                    let e_down = if pc_down[c].1 > 0 {
-                        pc_down[c].0 / pc_down[c].1 as f64
-                    } else {
-                        global_down
-                    };
-                    let score = (e_up * d_up).max(1e-8) * (e_down * d_down).max(1e-8);
-                    if score > best_score {
-                        best_score = score;
-                        frac_col = Some((c, f));
-                    }
-                }
-            }
-        }
-
-        match frac_col {
+        match pc.pick_branch(&x, &std.col_is_int) {
             None => {
                 // Integral LP optimum: new incumbent.
-                let mut vals = expand(&std, &x);
+                let mut vals = expand(std, &x);
                 for (i, v) in vals.iter_mut().enumerate() {
-                    if model.vars[i].kind != VarKind::Continuous {
+                    if ctx.model.vars[i].kind != VarKind::Continuous {
                         *v = v.round();
                     }
                 }
-                record(vals, IncumbentSource::LpIntegral, &mut incumbent);
+                ctx.admit(
+                    vals,
+                    IncumbentSource::LpIntegral,
+                    &mut incumbent,
+                    &mut timeline,
+                );
             }
             Some((c, _)) => {
                 // Heuristic: round and repair occasionally.
-                if config.heuristic_period > 0 && nodes_explored % config.heuristic_period == 1 {
+                if config.heuristic_period > 0 && counters.explored % config.heuristic_period == 1 {
                     if let Some(vals) =
-                        crate::heur::round_and_repair(&lp, &std.col_is_int, &x, &lp_opts)
+                        crate::heur::round_and_repair(&lp, &std.col_is_int, &x, &ctx.lp_opts)
                     {
-                        let full = expand(&std, &vals);
-                        if model.is_feasible(&full, FEAS_TOL * 10.0) {
-                            record(full, IncumbentSource::Heuristic, &mut incumbent);
+                        let full = expand(std, &vals);
+                        if ctx.model.is_feasible(&full, FEAS_TOL * 10.0) {
+                            ctx.admit(
+                                full,
+                                IncumbentSource::Heuristic,
+                                &mut incumbent,
+                                &mut timeline,
+                            );
                         }
                     }
                 }
+                counters.branched += 1;
                 let xi = x[c];
                 let down = xi.floor();
                 let up = xi.ceil();
                 let depth = node.depth + 1;
+                debug_assert!(
+                    lp_obj.is_finite(),
+                    "child node bound must be finite, got {lp_obj}"
+                );
                 for (is_lower, value, dist) in [(false, down, xi - down), (true, up, up - xi)] {
                     arena.nodes.push((
                         node.arena_idx,
@@ -555,42 +843,14 @@ pub fn solve(model: &Model, config: &BranchConfig) -> Result<Solution, SolveErro
         }
     }
 
-    if saw_unbounded_root {
-        return Err(SolveError::Unbounded);
-    }
-
-    let flip = |v: f64| if maximize { -v } else { v };
-    match (incumbent, limit_hit) {
-        (Some((vals, obj, source)), None) => Ok(Solution {
-            values: vals,
-            objective: flip(obj),
-            best_bound: flip(obj),
-            status: SolveStatus::Optimal,
-            nodes: nodes_explored,
-            lp_iterations: lp_iters_total,
-            wall_time: start.elapsed(),
-            incumbent_source: source,
-            warm_start,
-            certificate: None,
-        }),
-        (Some((vals, obj, source)), Some(_)) => {
-            let bound = best_open_bound.min(obj);
-            Ok(Solution {
-                values: vals,
-                objective: flip(obj),
-                best_bound: flip(bound),
-                status: SolveStatus::Feasible,
-                nodes: nodes_explored,
-                lp_iterations: lp_iters_total,
-                wall_time: start.elapsed(),
-                incumbent_source: source,
-                warm_start,
-                certificate: None,
-            })
-        }
-        (None, None) => Err(SolveError::Infeasible),
-        (None, Some(l)) => Err(SolveError::Limit(l)),
-    }
+    Ok(SearchOutcome {
+        incumbent,
+        timeline,
+        counters,
+        limit_hit,
+        best_open_bound,
+        saw_unbounded_root,
+    })
 }
 
 #[cfg(test)]
@@ -794,6 +1054,83 @@ mod tests {
         let s = m.solve().unwrap();
         assert_eq!(s.int_value(x), 4);
         assert_eq!(s.int_value(y), 3);
+    }
+
+    #[test]
+    fn nan_bound_is_rejected_not_enqueued() {
+        // Regression for the NaN-unsafe heap ordering: a NaN node bound is
+        // refused at admission (numerical failure) instead of entering the
+        // heap where it used to compare "equal" to everything.
+        assert!(matches!(
+            checked_bound(f64::NAN),
+            Err(SolveError::Numerical(_))
+        ));
+        assert_eq!(checked_bound(2.5).unwrap(), 2.5);
+        // Infinities are lawful bounds (root sentinel / empty relaxations).
+        assert!(checked_bound(f64::NEG_INFINITY).is_ok());
+        assert!(checked_bound(f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn open_node_order_is_total_even_with_nan_bounds() {
+        let node = |bound: f64| OpenNode {
+            bound,
+            depth: 0,
+            arena_idx: usize::MAX,
+            branch: None,
+        };
+        // Antisymmetry must hold where partial_cmp().unwrap_or(Equal) broke
+        // it: NaN vs real compared Equal both ways before, now the order is
+        // consistent and reversible.
+        let (a, b) = (node(f64::NAN), node(1.0));
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Pop order stays best-first (smallest bound first) with NaN last.
+        let mut heap = BinaryHeap::new();
+        for bound in [f64::NAN, 1.0, f64::NEG_INFINITY, -3.0] {
+            heap.push(node(bound));
+        }
+        let popped: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|n| n.bound)).collect();
+        assert_eq!(popped[0], f64::NEG_INFINITY);
+        assert_eq!(popped[1], -3.0);
+        assert_eq!(popped[2], 1.0);
+        assert!(popped[3].is_nan());
+    }
+
+    #[test]
+    fn nan_objective_is_a_numerical_error() {
+        let mut m = Model::new("t");
+        let x = m.add_integer("x", 0.0, 5.0);
+        m.set_objective(f64::NAN * x, Sense::Minimize);
+        assert!(matches!(m.solve().unwrap_err(), SolveError::Numerical(_)));
+    }
+
+    #[test]
+    fn telemetry_counters_are_reported() {
+        // The knapsack forces real branching, so explored/branched/pruned
+        // and the incumbent timeline must all be non-trivial.
+        let mut m = Model::new("knap");
+        let items: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let w = [2.0, 3.0, 4.0, 5.0, 7.0, 8.0];
+        let v = [3.0, 4.0, 5.0, 6.0, 9.0, 10.0];
+        let weight: crate::LinExpr = items.iter().zip(w.iter()).map(|(&x, &wi)| wi * x).sum();
+        let value: crate::LinExpr = items.iter().zip(v.iter()).map(|(&x, &vi)| vi * x).sum();
+        m.add_constraint("cap", weight, Cmp::Le, 11.0);
+        m.set_objective(value, Sense::Maximize);
+        let s = m.solve().unwrap();
+        assert!(s.is_optimal());
+        assert!(s.nodes() >= 1);
+        assert!(s.nodes_branched() >= 1, "expected at least one branching");
+        assert!(!s.incumbent_timeline().is_empty());
+        // The timeline must strictly improve toward the final objective.
+        let objs: Vec<f64> = s.incumbent_timeline().iter().map(|e| e.objective).collect();
+        for pair in objs.windows(2) {
+            assert!(
+                pair[1] > pair[0],
+                "maximize timeline not improving: {objs:?}"
+            );
+        }
+        assert_eq!(*objs.last().unwrap(), s.objective());
+        assert_eq!(s.jobs(), 1);
     }
 
     /// Brute-force cross-check on random small ILPs.

@@ -55,6 +55,7 @@ mod heur;
 mod linearize;
 mod lp_format;
 mod model;
+mod parallel;
 pub mod presolve;
 mod propagate;
 pub(crate) mod simplex;
@@ -63,8 +64,10 @@ mod solution;
 pub use branch::BranchConfig;
 pub use certify::{certify, certify_values, Certificate, CertifyError};
 pub use expr::{LinExpr, Var};
-pub use gomil_budget::{Budget, BudgetExceeded};
+pub use gomil_budget::{Budget, BudgetChecker, BudgetExceeded};
 pub use model::{Cmp, Model, Sense, VarKind};
 pub use presolve::Presolved;
 pub use simplex::FEAS_TOL;
-pub use solution::{IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus};
+pub use solution::{
+    IncumbentEvent, IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus,
+};

@@ -63,6 +63,22 @@ impl fmt::Display for WarmStartStatus {
     }
 }
 
+/// One incumbent improvement observed during the search.
+///
+/// The solver appends an event every time a strictly better feasible
+/// assignment is admitted (warm starts included), so the sequence of
+/// objectives is strictly improving in the model's optimization direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncumbentEvent {
+    /// When the improvement landed, measured from the start of the solve.
+    pub at: Duration,
+    /// The incumbent objective after the improvement, in the caller's
+    /// objective space (i.e. already un-negated for maximize models).
+    pub objective: f64,
+    /// Which mechanism produced the improvement.
+    pub source: IncumbentSource,
+}
+
 /// A (mixed-)integer solution returned by the solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
@@ -71,11 +87,15 @@ pub struct Solution {
     pub(crate) best_bound: f64,
     pub(crate) status: SolveStatus,
     pub(crate) nodes: u64,
+    pub(crate) nodes_pruned: u64,
+    pub(crate) nodes_branched: u64,
     pub(crate) lp_iterations: u64,
     pub(crate) wall_time: Duration,
     pub(crate) incumbent_source: IncumbentSource,
     pub(crate) warm_start: WarmStartStatus,
     pub(crate) certificate: Option<Certificate>,
+    pub(crate) timeline: Vec<IncumbentEvent>,
+    pub(crate) jobs: usize,
 }
 
 impl Solution {
@@ -129,14 +149,38 @@ impl Solution {
         self.status == SolveStatus::Optimal
     }
 
-    /// Number of branch-and-bound nodes explored.
+    /// Number of branch-and-bound nodes explored (LP relaxations attempted).
     pub fn nodes(&self) -> u64 {
         self.nodes
+    }
+
+    /// Number of nodes discarded without producing children: cut off by the
+    /// incumbent bound, proven empty by bound propagation, or LP-infeasible.
+    pub fn nodes_pruned(&self) -> u64 {
+        self.nodes_pruned
+    }
+
+    /// Number of nodes whose relaxation was split into two children.
+    pub fn nodes_branched(&self) -> u64 {
+        self.nodes_branched
     }
 
     /// Total simplex iterations across all LP relaxations.
     pub fn lp_iterations(&self) -> u64 {
         self.lp_iterations
+    }
+
+    /// Every incumbent improvement in admission order, ending at the
+    /// returned assignment. Empty only when the solve failed before any
+    /// feasible point (in which case there is no `Solution` to ask).
+    pub fn incumbent_timeline(&self) -> &[IncumbentEvent] {
+        &self.timeline
+    }
+
+    /// How many workers explored the tree (the effective
+    /// [`BranchConfig::jobs`](crate::BranchConfig::jobs), at least 1).
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Wall-clock time the search spent (including a numerical retry, when
@@ -168,8 +212,15 @@ impl fmt::Display for Solution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:?} objective={} bound={} nodes={} lp_iters={}",
-            self.status, self.objective, self.best_bound, self.nodes, self.lp_iterations
+            "{:?} objective={} bound={} nodes={} pruned={} branched={} lp_iters={} jobs={}",
+            self.status,
+            self.objective,
+            self.best_bound,
+            self.nodes,
+            self.nodes_pruned,
+            self.nodes_branched,
+            self.lp_iterations,
+            self.jobs
         )
     }
 }
@@ -221,14 +272,26 @@ mod tests {
             best_bound: 5.0,
             status: SolveStatus::Optimal,
             nodes: 1,
+            nodes_pruned: 0,
+            nodes_branched: 0,
             lp_iterations: 3,
             wall_time: Duration::from_millis(1),
             incumbent_source: IncumbentSource::LpIntegral,
             warm_start: WarmStartStatus::NotProvided,
             certificate: None,
+            timeline: vec![IncumbentEvent {
+                at: Duration::ZERO,
+                objective: 5.0,
+                source: IncumbentSource::LpIntegral,
+            }],
+            jobs: 1,
         };
         assert_eq!(s.gap(), 0.0);
         assert!(s.is_optimal());
+        assert_eq!(s.incumbent_timeline().len(), 1);
+        assert_eq!(s.jobs(), 1);
+        let text = s.to_string();
+        assert!(text.contains("pruned=0"), "{text}");
     }
 
     #[test]

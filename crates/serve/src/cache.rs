@@ -215,6 +215,9 @@ mod tests {
             objective: 100.0 + m as f64,
             degraded: false,
             vs_counts: vec![1, 2],
+            solver_nodes: 1,
+            solver_lp_iters: 7,
+            solver_gap: 0.0,
         }
     }
 

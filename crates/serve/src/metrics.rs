@@ -6,8 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Upper edges (milliseconds) of the latency histogram buckets; the last
-/// bucket is open-ended.
+/// *Inclusive* upper edges (milliseconds) of the latency histogram
+/// buckets, Prometheus `le` style: a sample lands in the first bucket
+/// whose edge it does not exceed. The last bucket is open-ended.
 pub const LATENCY_BUCKETS: [u64; 5] = [10, 100, 1_000, 10_000, u64::MAX];
 
 /// A latency histogram for one degradation-ladder rung (or the synthetic
@@ -25,9 +26,11 @@ pub struct RungLatency {
 impl RungLatency {
     fn record(&mut self, took: Duration) {
         let ms = took.as_millis() as u64;
+        // Prometheus `le` convention: edges are inclusive upper bounds,
+        // so an exactly-10ms sample counts in the ≤10ms bucket.
         let idx = LATENCY_BUCKETS
             .iter()
-            .position(|&edge| ms < edge)
+            .position(|&edge| ms <= edge)
             .unwrap_or(LATENCY_BUCKETS.len() - 1);
         self.buckets[idx] += 1;
         self.count += 1;
@@ -60,6 +63,10 @@ pub struct ServiceMetrics {
     pub warm_hints: AtomicU64,
     /// Peak depth of the bounded job queue.
     pub queue_peak: AtomicU64,
+    /// Branch-and-bound nodes explored across all executed solves.
+    pub solver_nodes: AtomicU64,
+    /// Simplex iterations spent across all executed solves.
+    pub solver_lp_iters: AtomicU64,
     latency: Mutex<BTreeMap<String, RungLatency>>,
 }
 
@@ -74,6 +81,13 @@ impl ServiceMetrics {
     /// Raises the recorded queue-depth peak to at least `depth`.
     pub fn note_queue_depth(&self, depth: usize) {
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Accumulates one solve's branch-and-bound telemetry (nodes explored
+    /// and simplex iterations) into the service-wide totals.
+    pub fn record_solver(&self, nodes: u64, lp_iters: u64) {
+        self.solver_nodes.fetch_add(nodes, Ordering::Relaxed);
+        self.solver_lp_iters.fetch_add(lp_iters, Ordering::Relaxed);
     }
 
     /// Snapshot of the per-rung latency histograms.
@@ -111,6 +125,10 @@ pub struct MetricsReport {
     pub warm_hints: u64,
     /// Peak job-queue depth.
     pub queue_peak: u64,
+    /// Branch-and-bound nodes explored across all executed solves.
+    pub solver_nodes: u64,
+    /// Simplex iterations spent across all executed solves.
+    pub solver_lp_iters: u64,
     /// Entries currently cached.
     pub cache_len: usize,
     /// Per-rung latency histograms, alphabetical by rung.
@@ -155,8 +173,13 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "B&B nodes {:>9}   simplex iterations {:>11}",
+            self.solver_nodes, self.solver_lp_iters
+        )?;
+        writeln!(
+            f,
             "{:<14} {:>6} {:>9} | {:>6} {:>7} {:>6} {:>6} {:>6}",
-            "latency/rung", "count", "mean", "<10ms", "<100ms", "<1s", "<10s", "≥10s"
+            "latency/rung", "count", "mean", "≤10ms", "≤100ms", "≤1s", "≤10s", ">10s"
         )?;
         for (rung, h) in &self.per_rung {
             writeln!(
@@ -197,6 +220,33 @@ mod tests {
     }
 
     #[test]
+    fn histogram_edges_are_inclusive_upper_bounds() {
+        // Prometheus `le` convention: a sample exactly on an edge belongs
+        // to that edge's bucket, and the first strictly-above value rolls
+        // into the next one.
+        let mut h = RungLatency::default();
+        h.record(Duration::from_millis(10));
+        h.record(Duration::from_millis(11));
+        h.record(Duration::from_millis(100));
+        h.record(Duration::from_millis(101));
+        h.record(Duration::from_millis(1_000));
+        h.record(Duration::from_millis(1_001));
+        h.record(Duration::from_millis(10_000));
+        h.record(Duration::from_millis(10_001));
+        assert_eq!(h.buckets, [1, 2, 2, 2, 1]);
+        assert_eq!(h.count, 8);
+    }
+
+    #[test]
+    fn solver_counters_accumulate_across_solves() {
+        let m = ServiceMetrics::default();
+        m.record_solver(120, 4_500);
+        m.record_solver(3, 80);
+        assert_eq!(m.solver_nodes.load(Ordering::Relaxed), 123);
+        assert_eq!(m.solver_lp_iters.load(Ordering::Relaxed), 4_580);
+    }
+
+    #[test]
     fn report_renders_every_counter() {
         let m = ServiceMetrics::default();
         m.requests.store(10, Ordering::Relaxed);
@@ -215,6 +265,8 @@ mod tests {
             errors: 0,
             warm_hints: 3,
             queue_peak: m.queue_peak.load(Ordering::Relaxed),
+            solver_nodes: 123,
+            solver_lp_iters: 4_580,
             cache_len: 5,
             per_rung: m.latency_snapshot(),
         };
@@ -227,6 +279,8 @@ mod tests {
             "joint-ilp",
             "cache-hit",
             "queue peak",
+            "B&B nodes",
+            "simplex iterations",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

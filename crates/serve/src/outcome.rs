@@ -36,6 +36,15 @@ pub struct ServeOutcome {
     /// Final BCV column counts (LSB first, entries 1 or 2) — the incumbent
     /// profile offered to neighbor requests as a warm start.
     pub vs_counts: Vec<u32>,
+    /// Branch-and-bound nodes the winning ILP rung explored (0 when a
+    /// non-ILP rung won, or for records persisted before telemetry).
+    pub solver_nodes: u64,
+    /// Simplex iterations the winning ILP rung spent (0 when a non-ILP
+    /// rung won, or for records persisted before telemetry).
+    pub solver_lp_iters: u64,
+    /// Final relative MIP gap of the winning ILP rung (0 for a proved
+    /// optimum, non-ILP rungs, or pre-telemetry records).
+    pub solver_gap: f64,
 }
 
 impl ServeOutcome {
@@ -45,7 +54,7 @@ impl ServeOutcome {
     pub fn to_line(&self) -> String {
         let counts: Vec<String> = self.vs_counts.iter().map(u32::to_string).collect();
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.name.replace(['\t', '\n'], " "),
             self.m,
             self.ppg.label(),
@@ -58,14 +67,20 @@ impl ServeOutcome {
             self.objective,
             self.degraded,
             counts.join(","),
+            self.solver_nodes,
+            self.solver_lp_iters,
+            self.solver_gap,
         )
     }
 
     /// Parses a [`to_line`](Self::to_line) record; `None` on any malformed
-    /// field (a corrupted persisted entry is skipped, not fatal).
+    /// field (a corrupted persisted entry is skipped, not fatal). Accepts
+    /// both the current 15-field format and the legacy 12-field one (from
+    /// caches persisted before solver telemetry existed), defaulting the
+    /// missing solver fields to zero.
     pub fn from_line(line: &str) -> Option<ServeOutcome> {
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 12 {
+        if f.len() != 12 && f.len() != 15 {
             return None;
         }
         let vs_counts = if f[11].is_empty() {
@@ -75,6 +90,15 @@ impl ServeOutcome {
                 .split(',')
                 .map(|c| c.parse::<u32>().ok())
                 .collect::<Option<Vec<u32>>>()?
+        };
+        let (solver_nodes, solver_lp_iters, solver_gap) = if f.len() == 15 {
+            (
+                f[12].parse().ok()?,
+                f[13].parse().ok()?,
+                f[14].parse().ok()?,
+            )
+        } else {
+            (0, 0, 0.0)
         };
         Some(ServeOutcome {
             name: f[0].to_string(),
@@ -91,6 +115,9 @@ impl ServeOutcome {
             objective: f[9].parse().ok()?,
             degraded: f[10].parse().ok()?,
             vs_counts,
+            solver_nodes,
+            solver_lp_iters,
+            solver_gap,
         })
     }
 }
@@ -130,6 +157,9 @@ mod tests {
             objective: 456.125,
             degraded: false,
             vs_counts: vec![1, 2, 2, 1],
+            solver_nodes: 42,
+            solver_lp_iters: 1_337,
+            solver_gap: 0.0625,
         }
     }
 
@@ -143,11 +173,27 @@ mod tests {
     }
 
     #[test]
+    fn legacy_twelve_field_lines_parse_with_zero_telemetry() {
+        let line = sample().to_line();
+        let legacy: Vec<&str> = line.split('\t').take(12).collect();
+        let back = ServeOutcome::from_line(&legacy.join("\t")).unwrap();
+        assert_eq!(back.name, "GOMIL-AND-8");
+        assert_eq!(back.vs_counts, vec![1, 2, 2, 1]);
+        assert_eq!(back.solver_nodes, 0);
+        assert_eq!(back.solver_lp_iters, 0);
+        assert_eq!(back.solver_gap, 0.0);
+    }
+
+    #[test]
     fn malformed_lines_are_rejected_not_fatal() {
         assert!(ServeOutcome::from_line("garbage").is_none());
         assert!(ServeOutcome::from_line("").is_none());
         let mut truncated = sample().to_line();
         truncated.truncate(truncated.len() / 2);
         assert!(ServeOutcome::from_line(&truncated).is_none());
+        // 13 or 14 fields is neither format.
+        let line = sample().to_line();
+        let thirteen: Vec<&str> = line.split('\t').take(13).collect();
+        assert!(ServeOutcome::from_line(&thirteen.join("\t")).is_none());
     }
 }

@@ -323,6 +323,8 @@ impl SolveService {
         match &result {
             Ok(outcome) => {
                 self.metrics.record_latency(&outcome.strategy, took);
+                self.metrics
+                    .record_solver(outcome.solver_nodes, outcome.solver_lp_iters);
                 if outcome.degraded {
                     self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
                 } else if outcome.verified {
@@ -401,6 +403,8 @@ impl SolveService {
             errors: self.metrics.errors.load(Ordering::Relaxed),
             warm_hints: self.metrics.warm_hints.load(Ordering::Relaxed),
             queue_peak: self.metrics.queue_peak.load(Ordering::Relaxed),
+            solver_nodes: self.metrics.solver_nodes.load(Ordering::Relaxed),
+            solver_lp_iters: self.metrics.solver_lp_iters.load(Ordering::Relaxed),
             cache_len: self.cache.len(),
             per_rung: self.metrics.latency_snapshot(),
         }
@@ -431,6 +435,9 @@ mod tests {
             objective: req.m as f64,
             degraded,
             vs_counts: vec![1; 2 * req.m - 1],
+            solver_nodes: 5,
+            solver_lp_iters: 40,
+            solver_gap: 0.0,
         }
     }
 

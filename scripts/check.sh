@@ -19,6 +19,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> jobs-matrix solver tests (release: parallel B&B vs sequential)"
+cargo test -q --release --test solver_parallel
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

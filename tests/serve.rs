@@ -112,6 +112,9 @@ fn synthetic_outcome(req: &SolveRequest) -> ServeOutcome {
         objective: req.m as f64,
         degraded: false,
         vs_counts: vec![2; 2 * req.m - 1],
+        solver_nodes: 9,
+        solver_lp_iters: 250,
+        solver_gap: 0.0,
     }
 }
 
