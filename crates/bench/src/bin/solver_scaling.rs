@@ -1,25 +1,36 @@
-//! Experiment: parallel versus sequential branch and bound on the GOMIL
-//! ILPs. Writes `BENCH_ilp.json`.
+//! Experiment: parallel versus sequential branch and bound, and
+//! warm-restart basis reuse, on the GOMIL ILPs. Writes `BENCH_ilp.json`.
 //!
-//! Three sections, honest about what each can show:
+//! Four sections, honest about what each can show:
 //!
-//! * **joint m=32** — the paper's Eq. 27 model at the acceptance width.
-//!   On this solver the root LP relaxation alone exceeds any sane time
-//!   budget at 8k+ columns, so the tree never opens and every job count
-//!   explores the same one node; the section records that plainly.
+//! * **basis reuse** — the headline of the sparse-core rework: every
+//!   family (joint Eq. 27, compressor-tree, prefix IP) at m ∈ {16, 32,
+//!   64} solved twice with identical node/time budgets, once from
+//!   scratch per node (`reuse_basis: false`) and once with parent-basis
+//!   dual-simplex restarts. Each entry records simplex iterations, the
+//!   warm-restart hit rate, and refactorization counts; the iteration
+//!   ratio is only meaningful when both runs explored comparable node
+//!   counts, so nodes are reported alongside.
+//! * **joint m=32** — the paper's Eq. 27 model at the acceptance width,
+//!   sequential versus parallel job counts.
 //! * **CT m=32** — the compressor-tree ILP, which is the model the
 //!   degradation ladder actually solves at this width (the `truncated-ilp`
-//!   rung). Node LPs take ~0.5 s, the tree opens, and the jobs comparison
-//!   is meaningful: on a multi-core host `jobs=N` explores ~N× nodes per
-//!   second; on a single-core host (see `host_cpus` in the output) the
-//!   parallel engine matches sequential within scheduling overhead.
+//!   rung). On a multi-core host `jobs=N` explores ~N× nodes per second;
+//!   on a single-core host (see `host_cpus`) the parallel engine matches
+//!   sequential within scheduling overhead.
 //! * **equality roster** — randomized MILPs sized m ∈ {8, 16, 32, 64}:
 //!   every job count must prove the same objective and certify.
 //!
+//! `--quick` runs only a small basis-reuse gate (CT m=16 plus a random
+//! MILP) and exits nonzero if warm-restart solves spend more than 3× the
+//! from-scratch pivot count — the CI smoke test against pivot-count
+//! regressions.
+//!
 //! Usage: `cargo run --release -p gomil-bench --bin solver_scaling --
-//! [--jobs N] [--ct-nodes N] [--joint-seconds S] [--json FILE]`
+//! [--quick] [--jobs N] [--ct-nodes N] [--joint-seconds S]
+//! [--reuse-seconds S] [--json FILE]`
 
-use gomil::{build_joint_model, Bcv, CtIlp, GomilConfig};
+use gomil::{add_prefix_constraints, build_joint_model, Bcv, CtIlp, GomilConfig, LeafB};
 use gomil_arith::dadda_schedule;
 use gomil_bench::timed;
 use gomil_ilp::{BranchConfig, Cmp, LinExpr, Model, Sense, Solution};
@@ -40,6 +51,9 @@ struct Run {
     pruned: u64,
     branched: u64,
     lp_iterations: u64,
+    warm_attempts: u64,
+    warm_hits: u64,
+    refactors: u64,
     objective: f64,
     gap: f64,
     proved_optimal: bool,
@@ -61,11 +75,22 @@ impl Run {
             pruned: sol.nodes_pruned(),
             branched: sol.nodes_branched(),
             lp_iterations: sol.lp_iterations(),
+            warm_attempts: sol.lp_warm_attempts(),
+            warm_hits: sol.lp_warm_hits(),
+            refactors: sol.lp_refactors(),
             objective: sol.objective(),
             gap: sol.gap(),
             proved_optimal: sol.is_optimal(),
             certified: sol.certificate().is_some(),
         })
+    }
+
+    fn warm_hit_rate(&self) -> f64 {
+        if self.warm_attempts == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.warm_attempts as f64
+        }
     }
 
     fn to_json(&self) -> String {
@@ -77,14 +102,20 @@ impl Run {
         };
         format!(
             "{{\"jobs\": {}, \"seconds\": {}, \"nodes\": {}, \"pruned\": {}, \
-             \"branched\": {}, \"lp_iterations\": {}, \"objective\": {}, \
-             \"gap\": {gap}, \"proved_optimal\": {}, \"certified\": {}}}",
+             \"branched\": {}, \"lp_iterations\": {}, \"warm_attempts\": {}, \
+             \"warm_hits\": {}, \"warm_hit_rate\": {:.4}, \"refactors\": {}, \
+             \"objective\": {}, \"gap\": {gap}, \"proved_optimal\": {}, \
+             \"certified\": {}}}",
             self.jobs,
             self.seconds,
             self.nodes,
             self.pruned,
             self.branched,
             self.lp_iterations,
+            self.warm_attempts,
+            self.warm_hits,
+            self.warm_hit_rate(),
+            self.refactors,
             self.objective,
             self.proved_optimal,
             self.certified,
@@ -115,8 +146,123 @@ fn random_knapsack(n: usize, seed: u64) -> Model {
     m
 }
 
+/// A width-`m` fixed-leaf prefix IP (the paper's prefix formulation with
+/// constant leaves, as `solve_fixed_prefix_ip` builds it), with the same
+/// DP-derived warm start production uses so every budgeted run has an
+/// incumbent from the first node.
+fn prefix_model(m: usize) -> (Model, Vec<f64>) {
+    let mut model = Model::new(format!("prefix{m}"));
+    let leaf_vals: Vec<bool> = (0..m).map(|i| i % 3 != 0).collect();
+    let leaf: Vec<LeafB> = leaf_vals.iter().map(|&b| LeafB::Const(b)).collect();
+    let vars = add_prefix_constraints(&mut model, &leaf, 4.0, m);
+    model.set_objective(vars.root_cost.clone(), Sense::Minimize);
+    let mut init = vec![0.0; model.num_vars()];
+    vars.warm_start_into(&mut init, &leaf_vals);
+    (model, init)
+}
+
+/// One before/after pair of a `basis_reuse` section entry: the same model
+/// under the same budget, solved from scratch per node versus with
+/// warm-restart basis reuse.
+struct ReusePair {
+    family: &'static str,
+    m: usize,
+    scratch: Run,
+    warm: Run,
+}
+
+impl ReusePair {
+    fn measure(
+        family: &'static str,
+        m: usize,
+        model: &Model,
+        base: &BranchConfig,
+    ) -> Result<ReusePair, String> {
+        let scratch_cfg = BranchConfig {
+            reuse_basis: false,
+            ..base.clone()
+        };
+        let warm_cfg = BranchConfig {
+            reuse_basis: true,
+            ..base.clone()
+        };
+        let scratch = Run::measure(model, &scratch_cfg, 1)?;
+        let warm = Run::measure(model, &warm_cfg, 1)?;
+        eprintln!(
+            "  {family} m={m}: {} iters from scratch vs {} warm \
+             ({:.0}% hit rate, {} refactors) over {} vs {} nodes",
+            scratch.lp_iterations,
+            warm.lp_iterations,
+            100.0 * warm.warm_hit_rate(),
+            warm.refactors,
+            scratch.nodes,
+            warm.nodes,
+        );
+        Ok(ReusePair {
+            family,
+            m,
+            scratch,
+            warm,
+        })
+    }
+
+    /// From-scratch iterations per warm iteration (> 1 means reuse wins);
+    /// `None` when the warm run spent no pivots.
+    fn iteration_ratio(&self) -> Option<f64> {
+        if self.warm.lp_iterations == 0 {
+            None
+        } else {
+            Some(self.scratch.lp_iterations as f64 / self.warm.lp_iterations as f64)
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let ratio = match self.iteration_ratio() {
+            Some(r) => format!("{r:.3}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "      {{\"family\": \"{}\", \"m\": {}, \"iteration_ratio\": {ratio},\n       \
+             \"from_scratch\": {},\n       \"warm_restart\": {}}}",
+            self.family,
+            self.m,
+            self.scratch.to_json(),
+            self.warm.to_json()
+        )
+    }
+}
+
+/// The `--quick` CI gate: warm-restart solves must not spend more than
+/// `3×` the from-scratch pivot count, and basis reuse must actually be
+/// exercised. Returns the offending message on regression.
+fn quick_gate(pairs: &[ReusePair]) -> Result<(), String> {
+    let scratch: u64 = pairs.iter().map(|p| p.scratch.lp_iterations).sum();
+    let warm: u64 = pairs.iter().map(|p| p.warm.lp_iterations).sum();
+    let attempts: u64 = pairs.iter().map(|p| p.warm.warm_attempts).sum();
+    eprintln!("quick gate: {scratch} iters from scratch, {warm} warm, {attempts} restart attempts");
+    if attempts == 0 {
+        return Err("basis reuse was never attempted — warm-restart plumbing is broken".into());
+    }
+    if warm > scratch.saturating_mul(3) {
+        return Err(format!(
+            "pivot-count regression: warm-restart solves spent {warm} simplex iterations, \
+             more than 3x the from-scratch {scratch}"
+        ));
+    }
+    for p in pairs {
+        if (p.scratch.objective - p.warm.objective).abs() > 1e-6 {
+            return Err(format!(
+                "objective mismatch on {} m={}: {} from scratch vs {} warm",
+                p.family, p.m, p.scratch.objective, p.warm.objective
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -125,14 +271,105 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let par_jobs = flag(&args, "--jobs").unwrap_or(2).max(2) as usize;
     let ct_nodes = flag(&args, "--ct-nodes").unwrap_or(60);
     let joint_secs = flag(&args, "--joint-seconds").unwrap_or(45);
+    let reuse_secs = flag(&args, "--reuse-seconds").unwrap_or(20);
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let jobs_compared = [1usize, par_jobs];
     let cfg = GomilConfig::fast();
+
+    if quick {
+        // Small, fast gate: one real GOMIL family plus one random MILP.
+        eprintln!("quick basis-reuse gate …");
+        let v16 = Bcv::and_ppg(16);
+        let ct = CtIlp::build(&v16, &cfg);
+        let ct_base = BranchConfig {
+            node_limit: 40,
+            time_limit: Some(Duration::from_secs(30)),
+            initial: ct.warm_start(&dadda_schedule(&v16)),
+            ..BranchConfig::default()
+        };
+        let knap = random_knapsack(32, 0xC0FFEE ^ 32);
+        let knap_base = BranchConfig::default();
+        let pairs = vec![
+            ReusePair::measure("ct", 16, &ct.model, &ct_base).map_err(std::io::Error::other)?,
+            ReusePair::measure("knapsack", 32, &knap, &knap_base).map_err(std::io::Error::other)?,
+        ];
+        quick_gate(&pairs)?;
+        eprintln!("quick gate passed");
+        return Ok(());
+    }
+
+    let jobs_compared = [1usize, par_jobs];
+
+    // --- Section 1: basis reuse, before/after per family and width ---
+    eprintln!("basis reuse m ∈ {{16, 32, 64}} ({reuse_secs}s + 200 nodes per run) …");
+    let mut reuse_pairs: Vec<ReusePair> = Vec::new();
+    // A run that cannot finish under the shared budget (e.g. no incumbent
+    // found in time) is recorded here instead of aborting the bench --
+    // dropped entries must be visible, not silent.
+    let mut reuse_skipped: Vec<(String, usize, String)> = Vec::new();
+    for m in [16usize, 32, 64] {
+        let vm = Bcv::and_ppg(m);
+        let reuse_base = BranchConfig {
+            node_limit: 200,
+            time_limit: Some(Duration::from_secs(reuse_secs)),
+            ..BranchConfig::default()
+        };
+        let jm = build_joint_model(&vm, &cfg, None)?;
+        let mut seeds = jm.seeds.clone().into_iter();
+        let joint_base = BranchConfig {
+            initial: seeds.next(),
+            extra_starts: seeds.collect(),
+            ..reuse_base.clone()
+        };
+        let ct = CtIlp::build(&vm, &cfg);
+        let ct_base = BranchConfig {
+            initial: ct.warm_start(&dadda_schedule(&vm)),
+            ..reuse_base.clone()
+        };
+        let (pm, pm_init) = prefix_model(m);
+        let prefix_base = BranchConfig {
+            initial: Some(pm_init),
+            ..reuse_base.clone()
+        };
+        let attempts: [(&'static str, &Model, &BranchConfig); 3] = [
+            ("joint", &jm.model, &joint_base),
+            ("ct", &ct.model, &ct_base),
+            ("prefix", &pm, &prefix_base),
+        ];
+        for (family, model, base) in attempts {
+            match ReusePair::measure(family, m, model, base) {
+                Ok(pair) => reuse_pairs.push(pair),
+                Err(e) => {
+                    eprintln!("  {family} m={m}: SKIPPED ({e})");
+                    reuse_skipped.push((family.to_string(), m, e));
+                }
+            }
+        }
+    }
+    let joint_m32_ratio = reuse_pairs
+        .iter()
+        .find(|p| p.family == "joint" && p.m == 32)
+        .and_then(ReusePair::iteration_ratio);
+    let reuse_json = reuse_pairs
+        .iter()
+        .map(ReusePair::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let skipped_json = reuse_skipped
+        .iter()
+        .map(|(family, m, e)| {
+            format!(
+                "      {{\"family\": \"{family}\", \"m\": {m}, \"error\": \"{}\"}}",
+                e.replace('"', "'")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let v0 = Bcv::and_ppg(32);
 
-    // --- Section 1: the joint Eq. 27 ILP at m = 32 -------------------
+    // --- Section 2: the joint Eq. 27 ILP at m = 32 -------------------
     eprintln!("joint m=32 ({joint_secs}s per run) …");
     let jm = build_joint_model(&v0, &cfg, None)?;
     let joint_vars = jm.model.num_vars();
@@ -153,7 +390,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         joint_runs.push(run);
     }
 
-    // --- Section 2: the CT ILP at m = 32 (the ladder's actual rung) --
+    // --- Section 3: the CT ILP at m = 32 (the ladder's actual rung) --
     eprintln!("CT m=32 ({ct_nodes} nodes per run) …");
     let ct = CtIlp::build(&v0, &cfg);
     let ct_vars = ct.model.num_vars();
@@ -177,7 +414,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ct_runs.push(run);
     }
 
-    // --- Section 3: proven-equality roster ---------------------------
+    // --- Section 4: proven-equality roster ---------------------------
     eprintln!("equality roster m ∈ {{8, 16, 32, 64}} …");
     let mut roster = Vec::new();
     for n in [8usize, 16, 32, 64] {
@@ -210,12 +447,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Vec<_>>()
         .join(",\n");
 
+    let joint_ratio_json = match joint_m32_ratio {
+        Some(r) => format!("{r:.3}"),
+        None => "null".to_string(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"solver_scaling\",\n  \"host_cpus\": {host_cpus},\n  \
          \"jobs_compared\": [1, {par_jobs}],\n  \
          \"note\": \"wall-clock speedup from jobs > 1 requires host_cpus > 1; on a single-core host the parallel engine matches sequential within scheduling overhead\",\n  \
+         \"basis_reuse\": {{\n    \
+         \"note\": \"same model, same budget, reuse_basis off vs on; iteration_ratio = from-scratch iters / warm iters, meaningful when node counts are comparable\",\n    \
+         \"joint_m32_iteration_ratio\": {joint_ratio_json},\n    \"entries\": [\n{reuse_json}\n    ],\n    \"skipped\": [\n{skipped_json}\n    ]\n  }},\n  \
          \"joint_ilp_m32\": {{\n    \"variables\": {joint_vars},\n    \"time_limit_seconds\": {joint_secs},\n    \
-         \"note\": \"the root LP relaxation alone exceeds the time budget at this width, so the tree never opens and node counts match at every job count\",\n    \
+         \"note\": \"at this width the root LP dominates the budget, so node counts stay close at every job count\",\n    \
          \"runs\": [\n{}\n    ]\n  }},\n  \
          \"ct_ilp_m32\": {{\n    \"variables\": {ct_vars},\n    \"node_limit\": {ct_nodes},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
          \"equality_roster\": {{\n    \"all_equal_and_proved\": {all_equal},\n    \"instances\": [\n{}\n    ]\n  }}\n}}\n",

@@ -209,6 +209,14 @@ pub struct SolveStats {
     pub nodes_branched: u64,
     /// Total simplex iterations across LP relaxations.
     pub lp_iterations: u64,
+    /// Warm-restart attempts: nodes that carried a parent basis into the
+    /// dual simplex.
+    pub lp_warm_attempts: u64,
+    /// Warm-restart hits: attempts that reoptimized without falling back
+    /// to the from-scratch primal.
+    pub lp_warm_hits: u64,
+    /// Basis refactorizations (eta-file rebuilds) across all LP solves.
+    pub lp_refactors: u64,
     /// Whether optimality was proven within the budget.
     pub proven_optimal: bool,
     /// Relative optimality gap of the returned incumbent.
@@ -234,6 +242,9 @@ impl From<&Solution> for SolveStats {
             nodes_pruned: s.nodes_pruned(),
             nodes_branched: s.nodes_branched(),
             lp_iterations: s.lp_iterations(),
+            lp_warm_attempts: s.lp_warm_attempts(),
+            lp_warm_hits: s.lp_warm_hits(),
+            lp_refactors: s.lp_refactors(),
             proven_optimal: s.is_optimal(),
             gap: s.gap(),
             incumbent_source: s.incumbent_source(),
@@ -245,11 +256,29 @@ impl From<&Solution> for SolveStats {
     }
 }
 
+impl SolveStats {
+    /// Average simplex pivots per branch-and-bound node.
+    pub fn pivots_per_node(&self) -> f64 {
+        self.lp_iterations as f64 / self.nodes.max(1) as f64
+    }
+
+    /// Fraction of warm-restart attempts that avoided a from-scratch
+    /// primal solve (0.0 when no attempt was made).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.lp_warm_attempts == 0 {
+            0.0
+        } else {
+            self.lp_warm_hits as f64 / self.lp_warm_attempts as f64
+        }
+    }
+}
+
 impl fmt::Display for SolveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} in {:.1?}: {} nodes ({} pruned, {} branched), {} LP iterations, gap {:.2}%, \
+            "{} in {:.1?}: {} nodes ({} pruned, {} branched), {} LP iterations \
+             ({:.1}/node, warm {}/{}, {} refactors), gap {:.2}%, \
              {} incumbent improvement(s), incumbent from {}, warm start {}, {}, jobs {}",
             if self.proven_optimal {
                 "optimal"
@@ -261,6 +290,10 @@ impl fmt::Display for SolveStats {
             self.nodes_pruned,
             self.nodes_branched,
             self.lp_iterations,
+            self.pivots_per_node(),
+            self.lp_warm_hits,
+            self.lp_warm_attempts,
+            self.lp_refactors,
             100.0 * self.gap,
             self.improvements.len(),
             self.incumbent_source,

@@ -183,6 +183,8 @@ mod tests {
                 "pruned",
                 "branched",
                 "LP iterations",
+                "warm",
+                "refactors",
                 "gap",
                 "jobs",
             ] {

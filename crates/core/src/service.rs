@@ -36,6 +36,14 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
         Some(stats) => (stats.nodes, stats.lp_iterations, stats.gap),
         None => (0, 0, 0.0),
     };
+    let (solver_warm_attempts, solver_warm_hits, solver_refactors) = match &sol.solver_stats {
+        Some(stats) => (
+            stats.lp_warm_attempts,
+            stats.lp_warm_hits,
+            stats.lp_refactors,
+        ),
+        None => (0, 0, 0),
+    };
     ServeOutcome {
         name: design.build.name.clone(),
         m: design.build.m,
@@ -50,6 +58,9 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
         solver_nodes,
         solver_lp_iters,
         solver_gap,
+        solver_warm_attempts,
+        solver_warm_hits,
+        solver_refactors,
     }
 }
 

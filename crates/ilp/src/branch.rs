@@ -32,12 +32,16 @@ use crate::certify::certify_values;
 use crate::model::{Cmp, Model, Sense, VarKind};
 use crate::presolve::presolve_with_budget;
 use crate::propagate::propagate_bounds;
-use crate::simplex::{solve_lp, LpError, LpOutcome, LpProblem, SimplexOpts, FEAS_TOL};
+use crate::simplex::{
+    resolve_lp, solve_lp_from, Basis, LpError, LpOutcome, LpProblem, LpResult, SimplexOpts,
+    FEAS_TOL,
+};
 use crate::solution::{
     IncumbentEvent, IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus,
 };
 use gomil_budget::Budget;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for [`Model::solve_with`].
@@ -87,6 +91,13 @@ pub struct BranchConfig {
     /// assignment when several exist, and node/iteration counts become
     /// timing-dependent.
     pub jobs: usize,
+    /// Carry the parent's optimal simplex basis into each child node and
+    /// reoptimize with the dual simplex instead of solving from scratch
+    /// (the sparse-LP warm-restart path). Stale or dual-infeasible bases
+    /// fall back to the two-phase primal automatically, so this is purely
+    /// a performance knob; the numerical-retry path disables it for
+    /// maximum-robustness re-solves.
+    pub reuse_basis: bool,
 }
 
 impl Default for BranchConfig {
@@ -104,6 +115,7 @@ impl Default for BranchConfig {
             tol_scale: 1.0,
             numerical_retry: true,
             jobs: 1,
+            reuse_basis: true,
         }
     }
 }
@@ -212,17 +224,8 @@ fn standardize(
         rhs.push(b);
     }
 
-    let num_cols = ns + rows.len();
     Standardized {
-        lp: LpProblem {
-            num_structural: ns,
-            num_cols,
-            costs,
-            lb: clb,
-            ub: cub,
-            rows,
-            rhs,
-        },
+        lp: LpProblem::new(ns, costs, clb, cub, rows, rhs),
         fixed_val,
         var_of_col,
         obj_offset,
@@ -285,7 +288,6 @@ pub(crate) fn checked_bound(bound: f64) -> Result<f64, SolveError> {
     Ok(bound)
 }
 
-#[derive(PartialEq)]
 struct OpenNode {
     bound: f64,
     depth: u32,
@@ -293,8 +295,16 @@ struct OpenNode {
     /// The branching that created this node, for pseudocost updates:
     /// `(column, went_up, parent LP objective, fractional distance)`.
     branch: Option<(usize, bool, f64, f64)>,
+    /// The parent's optimal basis, shared by both children: the dual
+    /// simplex warm-restarts from it instead of re-solving from scratch.
+    basis: Option<Arc<Basis>>,
 }
 
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 impl Eq for OpenNode {}
 impl Ord for OpenNode {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -473,6 +483,14 @@ pub(crate) struct SearchCounters {
     pub(crate) branched: u64,
     /// Simplex iterations across all LP solves.
     pub(crate) lp_iters: u64,
+    /// Nodes that arrived with a cached parent basis and tried the dual
+    /// warm restart.
+    pub(crate) warm_attempts: u64,
+    /// Warm-restart attempts that reoptimized without falling back to the
+    /// from-scratch primal.
+    pub(crate) warm_hits: u64,
+    /// Basis re-inversions (eta-file rebuilds) across all LP solves.
+    pub(crate) refactors: u64,
 }
 
 /// What a search engine hands back for final assembly.
@@ -617,6 +635,9 @@ pub(crate) fn finish(
             nodes_pruned: out.counters.pruned,
             nodes_branched: out.counters.branched,
             lp_iterations: out.counters.lp_iters,
+            lp_warm_attempts: out.counters.warm_attempts,
+            lp_warm_hits: out.counters.warm_hits,
+            lp_refactors: out.counters.refactors,
             wall_time: ctx.start.elapsed(),
             incumbent_source: source,
             warm_start,
@@ -635,6 +656,9 @@ pub(crate) fn finish(
                 nodes_pruned: out.counters.pruned,
                 nodes_branched: out.counters.branched,
                 lp_iterations: out.counters.lp_iters,
+                lp_warm_attempts: out.counters.warm_attempts,
+                lp_warm_hits: out.counters.warm_hits,
+                lp_refactors: out.counters.refactors,
                 wall_time: ctx.start.elapsed(),
                 incumbent_source: source,
                 warm_start,
@@ -690,6 +714,7 @@ fn sequential(
         depth: 0,
         arena_idx: usize::MAX,
         branch: None,
+        basis: None,
     });
     let mut pc = PcTables::new(std.lp.num_structural);
 
@@ -738,22 +763,47 @@ fn sequential(
             continue; // propagation proved infeasibility
         }
 
-        let mut lp = std.lp.clone();
-        lp.lb = lb_buf.clone();
-        lp.ub = ub_buf.clone();
-        let (outcome, iters) = match solve_lp(&lp, &ctx.lp_opts) {
-            Ok(r) => r,
-            Err(LpError::Budget(reason)) => {
-                // Budget ran out inside the pivot loop: stop gracefully with
-                // the incumbent found so far, like any other limit.
-                limit_hit = Some(reason.to_string());
-                best_open_bound = node.bound;
-                break;
+        // Warm restart from the parent's basis when the node carries one,
+        // falling back to the from-scratch two-phase primal on a miss.
+        let mut res: Option<LpResult> = None;
+        if ctx.config.reuse_basis {
+            if let Some(basis) = node.basis.as_deref() {
+                counters.warm_attempts += 1;
+                match resolve_lp(&std.lp, &lb_buf, &ub_buf, basis, &ctx.lp_opts) {
+                    Ok(Some(r)) => {
+                        counters.warm_hits += 1;
+                        res = Some(r);
+                    }
+                    Ok(None) => {} // stale basis: primal fallback below
+                    Err(LpError::Budget { reason, iterations }) => {
+                        counters.lp_iters += iterations;
+                        limit_hit = Some(reason.to_string());
+                        best_open_bound = node.bound;
+                        break;
+                    }
+                    Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
+                }
             }
-            Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
+        }
+        let res = match res {
+            Some(r) => r,
+            None => match solve_lp_from(&std.lp, &lb_buf, &ub_buf, &ctx.lp_opts) {
+                Ok(r) => r,
+                Err(LpError::Budget { reason, iterations }) => {
+                    // Budget ran out inside the pivot loop: stop gracefully
+                    // with the incumbent found so far, like any other limit.
+                    counters.lp_iters += iterations;
+                    limit_hit = Some(reason.to_string());
+                    best_open_bound = node.bound;
+                    break;
+                }
+                Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
+            },
         };
-        counters.lp_iters += iters;
-        let (x, lp_obj) = match outcome {
+        counters.lp_iters += res.iterations;
+        counters.refactors += res.refactors;
+        let child_basis = res.basis.map(Arc::new);
+        let (x, lp_obj) = match res.outcome {
             LpOutcome::Infeasible => {
                 counters.pruned += 1;
                 continue;
@@ -800,9 +850,14 @@ fn sequential(
             Some((c, _)) => {
                 // Heuristic: round and repair occasionally.
                 if config.heuristic_period > 0 && counters.explored % config.heuristic_period == 1 {
-                    if let Some(vals) =
-                        crate::heur::round_and_repair(&lp, &std.col_is_int, &x, &ctx.lp_opts)
-                    {
+                    if let Some(vals) = crate::heur::round_and_repair(
+                        &std.lp,
+                        &lb_buf,
+                        &ub_buf,
+                        &std.col_is_int,
+                        &x,
+                        &ctx.lp_opts,
+                    ) {
                         let full = expand(std, &vals);
                         if ctx.model.is_feasible(&full, FEAS_TOL * 10.0) {
                             ctx.admit(
@@ -837,6 +892,7 @@ fn sequential(
                         depth,
                         arena_idx: arena.nodes.len() - 1,
                         branch: Some((c, is_lower, lp_obj, dist)),
+                        basis: child_basis.clone(),
                     });
                 }
             }
@@ -1078,6 +1134,7 @@ mod tests {
             depth: 0,
             arena_idx: usize::MAX,
             branch: None,
+            basis: None,
         };
         // Antisymmetry must hold where partial_cmp().unwrap_or(Equal) broke
         // it: NaN vs real compared Equal both ways before, now the order is

@@ -1,39 +1,45 @@
 //! Primal heuristics for branch and bound.
 
-use crate::simplex::{solve_lp, LpOutcome, LpProblem, SimplexOpts, FEAS_TOL};
+use crate::simplex::{solve_lp_from, LpOutcome, LpProblem, SimplexOpts, FEAS_TOL};
 
 /// Round-and-repair heuristic.
 ///
-/// Rounds every integer column of `x` to the nearest integer, fixes those
-/// columns, and re-solves the LP over the remaining continuous columns so
-/// that derived variables (e.g. big-M linearization outputs) become
-/// consistent again. Returns the repaired structural assignment if the fixed
-/// LP is feasible. A budget failure inside the repair LP simply drops the
-/// heuristic result; the caller's main loop notices the exhausted budget on
-/// its next check.
+/// Rounds every integer column of `x` to the nearest integer (within the
+/// node bounds `lb`/`ub`), fixes those columns, and re-solves the LP over
+/// the remaining continuous columns so that derived variables (e.g. big-M
+/// linearization outputs) become consistent again. Returns the repaired
+/// structural assignment if the fixed LP is feasible. A budget failure
+/// inside the repair LP simply drops the heuristic result; the caller's
+/// main loop notices the exhausted budget on its next check.
 pub(crate) fn round_and_repair(
     lp: &LpProblem,
+    lb: &[f64],
+    ub: &[f64],
     col_is_int: &[bool],
     x: &[f64],
     opts: &SimplexOpts,
 ) -> Option<Vec<f64>> {
-    let mut fixed = lp.clone();
+    let mut flb = lb.to_vec();
+    let mut fub = ub.to_vec();
     let mut any_frac = false;
     for c in 0..lp.num_structural {
         if col_is_int[c] {
-            let v = x[c].round().clamp(lp.lb[c], lp.ub[c]);
+            let v = x[c].round().clamp(lb[c], ub[c]);
             if (v - x[c]).abs() > FEAS_TOL {
                 any_frac = true;
             }
-            fixed.lb[c] = v;
-            fixed.ub[c] = v;
+            flb[c] = v;
+            fub[c] = v;
         }
     }
     if !any_frac {
         return Some(x[..lp.num_structural].to_vec());
     }
-    match solve_lp(&fixed, opts) {
-        Ok((LpOutcome::Optimal { x, .. }, _)) => Some(x),
+    match solve_lp_from(lp, &flb, &fub, opts) {
+        Ok(res) => match res.outcome {
+            LpOutcome::Optimal { x, .. } => Some(x),
+            _ => None,
+        },
         _ => None,
     }
 }
@@ -42,27 +48,31 @@ pub(crate) fn round_and_repair(
 mod tests {
     use super::*;
 
+    fn repair(lp: &LpProblem, col_is_int: &[bool], x: &[f64]) -> Option<Vec<f64>> {
+        round_and_repair(
+            lp,
+            &lp.lb,
+            &lp.ub,
+            col_is_int,
+            x,
+            &SimplexOpts::with_max_iters(10_000),
+        )
+    }
+
     #[test]
     fn repair_recomputes_continuous_vars() {
         // Columns: b (int), y (cont), slack. Constraint: y - 2b + s = 0 with
         // s ∈ [0,0], i.e. y = 2b. Fractional b = 0.6 rounds to 1, repair
         // must set y = 2.
-        let lp = LpProblem {
-            num_structural: 2,
-            num_cols: 3,
-            costs: vec![0.0, 1.0, 0.0],
-            lb: vec![0.0, 0.0, 0.0],
-            ub: vec![1.0, 10.0, 0.0],
-            rows: vec![vec![(0, -2.0), (1, 1.0), (2, 1.0)]],
-            rhs: vec![0.0],
-        };
-        let out = round_and_repair(
-            &lp,
-            &[true, false],
-            &[0.6, 1.2],
-            &SimplexOpts::with_max_iters(10_000),
-        )
-        .unwrap();
+        let lp = LpProblem::new(
+            2,
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 10.0, 0.0],
+            vec![vec![(0, -2.0), (1, 1.0), (2, 1.0)]],
+            vec![0.0],
+        );
+        let out = repair(&lp, &[true, false], &[0.6, 1.2]).unwrap();
         assert_eq!(out[0], 1.0);
         assert!((out[1] - 2.0).abs() < 1e-6);
     }
@@ -70,17 +80,14 @@ mod tests {
     #[test]
     fn infeasible_rounding_returns_none() {
         // b rounds to 1 but constraint forces b <= 0.4: fixed LP infeasible.
-        let lp = LpProblem {
-            num_structural: 1,
-            num_cols: 2,
-            costs: vec![0.0, 0.0],
-            lb: vec![0.0, 0.0],
-            ub: vec![1.0, f64::INFINITY],
-            rows: vec![vec![(0, 1.0), (1, 1.0)]],
-            rhs: vec![0.4],
-        };
-        assert!(
-            round_and_repair(&lp, &[true], &[0.6], &SimplexOpts::with_max_iters(10_000)).is_none()
+        let lp = LpProblem::new(
+            1,
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![1.0, f64::INFINITY],
+            vec![vec![(0, 1.0), (1, 1.0)]],
+            vec![0.4],
         );
+        assert!(repair(&lp, &[true], &[0.6]).is_none());
     }
 }

@@ -7,9 +7,12 @@
 //!
 //! * a [`Model`] builder with continuous/integer/binary variables, linear
 //!   constraints and a linear objective;
-//! * a bounded-variable two-phase primal simplex engine;
+//! * a sparse revised-simplex engine (CSC constraint storage, product-form
+//!   inverse with periodic refactorization): a bounded-variable two-phase
+//!   primal plus a dual simplex for warm restarts from a cached basis;
 //! * activity-based [presolve](crate::presolve::presolve);
-//! * [branch and bound](crate::branch) with warm starts, round-and-repair
+//! * [branch and bound](crate::branch) with warm starts, parent-basis
+//!   dual-simplex reoptimization at child nodes, round-and-repair
 //!   heuristics, and time/node limits;
 //! * the standard [linearizations](crate::Model::and_binary) (binary
 //!   products, OR, exact max, big-M indicators) that the paper's prefix IP
@@ -39,11 +42,14 @@
 //! ## Scope and limitations
 //!
 //! The solver targets the model sizes that appear in this repository (up to
-//! a few thousand rows/columns after presolve). The LP engine keeps a dense
-//! tableau, so extremely large or very sparse models will be slow. Every
-//! structural variable must have at least one finite bound for the initial
-//! basis construction; unbounded-below-and-above variables are supported
-//! only while they stay basic.
+//! a few thousand rows/columns after presolve). The LP engine stores the
+//! constraint matrix once in compressed sparse column form and keeps `B⁻¹`
+//! as an eta file, so memory scales with the nonzero count rather than
+//! rows × columns; there is no LU factorization or Markowitz pivoting, so
+//! numerically hostile bases may still force a from-scratch primal solve.
+//! Every structural variable must have at least one finite bound for the
+//! initial basis construction; unbounded-below-and-above variables are
+//! supported only while they stay basic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

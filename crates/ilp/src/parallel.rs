@@ -21,7 +21,8 @@
 //!   owned by the loop; here each node carries an `Arc` parent-pointer
 //!   chain instead, so any worker can materialize any node's bounds without
 //!   touching shared mutable state. Per-worker `lb`/`ub` scratch buffers
-//!   and per-node LP clones keep simplex state thread-private.
+//!   keep simplex state thread-private, while parent bases travel with
+//!   stolen nodes (`Arc<Basis>`) so any worker can dual-warm-restart.
 //! * **Cancellation.** Workers share the solve's [`Budget`]: deadlines and
 //!   [`Budget::cancel`] are observed between nodes (via an amortized
 //!   [`BudgetChecker`]) and inside every simplex pivot loop, so one
@@ -43,7 +44,7 @@ use crate::branch::{
 };
 use crate::model::VarKind;
 use crate::propagate::propagate_bounds;
-use crate::simplex::{solve_lp, LpError, LpOutcome, FEAS_TOL};
+use crate::simplex::{resolve_lp, solve_lp_from, Basis, LpError, LpOutcome, LpResult, FEAS_TOL};
 use crate::solution::{IncumbentEvent, IncumbentSource, SolveError};
 use gomil_budget::BudgetChecker;
 use std::collections::BinaryHeap;
@@ -94,6 +95,10 @@ struct ParNode {
     /// `(column, went_up, parent LP objective, fractional distance)` for
     /// pseudocost updates, like the sequential engine.
     branch: Option<(usize, bool, f64, f64)>,
+    /// The parent's optimal basis; travels with the node so whichever
+    /// worker steals it can dual-warm-restart, exactly like the sequential
+    /// engine.
+    basis: Option<Arc<Basis>>,
 }
 
 impl PartialEq for ParNode {
@@ -158,6 +163,9 @@ struct Shared<'c, 'm> {
     pruned: AtomicU64,
     branched: AtomicU64,
     lp_iters: AtomicU64,
+    warm_attempts: AtomicU64,
+    warm_hits: AtomicU64,
+    refactors: AtomicU64,
 }
 
 /// What processing one node produced.
@@ -320,18 +328,41 @@ impl<'c, 'm> Shared<'c, 'm> {
             return NodeResult::Exhausted; // propagation proved infeasibility
         }
 
-        let mut lp = std.lp.clone();
-        lp.lb = lb_buf.to_vec();
-        lp.ub = ub_buf.to_vec();
-        let (outcome, iters) = match solve_lp(&lp, &ctx.lp_opts) {
-            Ok(r) => r,
-            Err(LpError::Budget(reason)) => {
-                return NodeResult::Stop(Stop::Limit(reason.to_string(), node.bound));
+        // Dual warm restart from the basis that traveled with the node;
+        // miss ⇒ from-scratch primal, exactly like the sequential engine.
+        let mut res: Option<LpResult> = None;
+        if ctx.config.reuse_basis {
+            if let Some(basis) = node.basis.as_deref() {
+                self.warm_attempts.fetch_add(1, Ordering::Relaxed);
+                match resolve_lp(&std.lp, lb_buf, ub_buf, basis, &ctx.lp_opts) {
+                    Ok(Some(r)) => {
+                        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                        res = Some(r);
+                    }
+                    Ok(None) => {}
+                    Err(LpError::Budget { reason, iterations }) => {
+                        self.lp_iters.fetch_add(iterations, Ordering::Relaxed);
+                        return NodeResult::Stop(Stop::Limit(reason.to_string(), node.bound));
+                    }
+                    Err(LpError::Numerical(msg)) => return NodeResult::Stop(Stop::Numerical(msg)),
+                }
             }
-            Err(LpError::Numerical(msg)) => return NodeResult::Stop(Stop::Numerical(msg)),
+        }
+        let res = match res {
+            Some(r) => r,
+            None => match solve_lp_from(&std.lp, lb_buf, ub_buf, &ctx.lp_opts) {
+                Ok(r) => r,
+                Err(LpError::Budget { reason, iterations }) => {
+                    self.lp_iters.fetch_add(iterations, Ordering::Relaxed);
+                    return NodeResult::Stop(Stop::Limit(reason.to_string(), node.bound));
+                }
+                Err(LpError::Numerical(msg)) => return NodeResult::Stop(Stop::Numerical(msg)),
+            },
         };
-        self.lp_iters.fetch_add(iters, Ordering::Relaxed);
-        let (x, lp_obj) = match outcome {
+        self.lp_iters.fetch_add(res.iterations, Ordering::Relaxed);
+        self.refactors.fetch_add(res.refactors, Ordering::Relaxed);
+        let child_basis = res.basis.map(Arc::new);
+        let (x, lp_obj) = match res.outcome {
             LpOutcome::Infeasible => {
                 self.pruned.fetch_add(1, Ordering::Relaxed);
                 return NodeResult::Exhausted;
@@ -375,9 +406,14 @@ impl<'c, 'm> Shared<'c, 'm> {
                 // Heuristic: round and repair on the same global cadence as
                 // the sequential engine (approximate under concurrency).
                 if config.heuristic_period > 0 && explored_now % config.heuristic_period == 1 {
-                    if let Some(vals) =
-                        crate::heur::round_and_repair(&lp, &std.col_is_int, &x, &ctx.lp_opts)
-                    {
+                    if let Some(vals) = crate::heur::round_and_repair(
+                        &std.lp,
+                        lb_buf,
+                        ub_buf,
+                        &std.col_is_int,
+                        &x,
+                        &ctx.lp_opts,
+                    ) {
                         let full = expand(std, &vals);
                         if ctx.model.is_feasible(&full, FEAS_TOL * 10.0) {
                             self.offer(full, IncumbentSource::Heuristic);
@@ -405,6 +441,7 @@ impl<'c, 'm> Shared<'c, 'm> {
                         },
                     })),
                     branch: Some((c, is_lower, lp_obj, dist)),
+                    basis: child_basis.clone(),
                 };
                 NodeResult::Children(child(false, down, xi - down), child(true, up, up - xi))
             }
@@ -439,6 +476,7 @@ pub(crate) fn search(
         depth: 0,
         path: None,
         branch: None,
+        basis: None,
     });
     let shared = Shared {
         ctx,
@@ -461,6 +499,9 @@ pub(crate) fn search(
         pruned: AtomicU64::new(0),
         branched: AtomicU64::new(0),
         lp_iters: AtomicU64::new(0),
+        warm_attempts: AtomicU64::new(0),
+        warm_hits: AtomicU64::new(0),
+        refactors: AtomicU64::new(0),
     };
 
     std::thread::scope(|s| {
@@ -476,6 +517,9 @@ pub(crate) fn search(
         pruned: shared.pruned.load(Ordering::Relaxed),
         branched: shared.branched.load(Ordering::Relaxed),
         lp_iters: shared.lp_iters.load(Ordering::Relaxed),
+        warm_attempts: shared.warm_attempts.load(Ordering::Relaxed),
+        warm_hits: shared.warm_hits.load(Ordering::Relaxed),
+        refactors: shared.refactors.load(Ordering::Relaxed),
     };
 
     let mut saw_unbounded_root = false;

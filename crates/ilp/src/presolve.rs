@@ -5,7 +5,8 @@
 //! detects trivially infeasible or redundant rows. On the GOMIL models this
 //! fixes a large fraction of variables outright (e.g. compressor counts in
 //! columns whose bit count is too small for any compressor), which directly
-//! shrinks the dense simplex tableau.
+//! shrinks the standardized LP: fixed columns are compressed out before the
+//! sparse column store is built, so they cost nothing in pricing or FTRAN.
 
 use crate::model::{Cmp, Model, VarKind};
 use crate::simplex::FEAS_TOL;

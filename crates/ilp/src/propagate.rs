@@ -110,15 +110,14 @@ mod tests {
     /// x,y integer in [0,10]. Fixing x ≥ 4 must force y ≤ 1.
     #[test]
     fn equality_chain_tightens() {
-        let lp = LpProblem {
-            num_structural: 2,
-            num_cols: 3,
-            costs: vec![0.0; 3],
-            lb: vec![0.0, 0.0, 0.0],
-            ub: vec![10.0, 10.0, 0.0],
-            rows: vec![vec![(0, 1.0), (1, 1.0), (2, 1.0)]],
-            rhs: vec![5.0],
-        };
+        let lp = LpProblem::new(
+            2,
+            vec![0.0; 3],
+            vec![0.0, 0.0, 0.0],
+            vec![10.0, 10.0, 0.0],
+            vec![vec![(0, 1.0), (1, 1.0), (2, 1.0)]],
+            vec![5.0],
+        );
         let mut lb = lp.lb.clone();
         let mut ub = lp.ub.clone();
         lb[0] = 4.0; // branch decision
@@ -128,15 +127,14 @@ mod tests {
 
     #[test]
     fn crossing_bounds_detected() {
-        let lp = LpProblem {
-            num_structural: 1,
-            num_cols: 2,
-            costs: vec![0.0; 2],
-            lb: vec![0.0, 0.0],
-            ub: vec![1.0, 0.0],
-            rows: vec![vec![(0, 1.0), (1, 1.0)]],
-            rhs: vec![3.0], // x = 3 impossible with x ≤ 1
-        };
+        let lp = LpProblem::new(
+            1,
+            vec![0.0; 2],
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![vec![(0, 1.0), (1, 1.0)]],
+            vec![3.0], // x = 3 impossible with x ≤ 1
+        );
         let mut lb = lp.lb.clone();
         let mut ub = lp.ub.clone();
         assert!(!propagate_bounds(&lp, &mut lb, &mut ub, &[true], 4));
@@ -145,15 +143,14 @@ mod tests {
     #[test]
     fn le_row_with_free_slack_does_not_overtighten() {
         // x + s = 4 with s ∈ [0, ∞): i.e. x ≤ 4; x ∈ [0, 10] integer.
-        let lp = LpProblem {
-            num_structural: 1,
-            num_cols: 2,
-            costs: vec![0.0; 2],
-            lb: vec![0.0, 0.0],
-            ub: vec![10.0, f64::INFINITY],
-            rows: vec![vec![(0, 1.0), (1, 1.0)]],
-            rhs: vec![4.0],
-        };
+        let lp = LpProblem::new(
+            1,
+            vec![0.0; 2],
+            vec![0.0, 0.0],
+            vec![10.0, f64::INFINITY],
+            vec![vec![(0, 1.0), (1, 1.0)]],
+            vec![4.0],
+        );
         let mut lb = lp.lb.clone();
         let mut ub = lp.ub.clone();
         assert!(propagate_bounds(&lp, &mut lb, &mut ub, &[true], 4));

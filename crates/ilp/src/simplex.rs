@@ -1,13 +1,29 @@
-//! Bounded-variable primal simplex.
+//! Sparse revised simplex with bounded variables, product-form inverse,
+//! and dual-simplex warm restarts.
 //!
 //! This is the LP engine underneath the branch-and-bound solver in
-//! [`branch`](crate::branch). It implements the classic two-phase tableau
-//! simplex generalized to variables with lower *and* upper bounds, which is
-//! essential here: almost every variable in the GOMIL formulations is a
-//! binary or a small bounded integer, and bounded-variable pivoting keeps
-//! those bounds out of the constraint matrix entirely.
+//! [`branch`](crate::branch). Two entry points:
 //!
-//! Algorithm outline:
+//! * [`solve_lp`] / [`solve_lp_from`] — the classic two-phase **primal**
+//!   simplex generalized to variables with lower *and* upper bounds
+//!   (bounded-variable pivoting keeps the binaries and small integers of
+//!   the GOMIL formulations out of the constraint matrix entirely).
+//! * [`resolve_lp`] — a bounded-variable **dual** simplex that restarts
+//!   from a cached [`Basis`]. Branch-and-bound children differ from their
+//!   parent by tightened column bounds only, so the parent's optimal basis
+//!   stays dual feasible and typically reoptimizes in a handful of pivots
+//!   instead of a full from-scratch solve.
+//!
+//! Unlike the previous dense-tableau engine, the constraint matrix is
+//! stored once in compressed sparse column form ([`ColMajor`], built by
+//! [`LpProblem::new`]) and never materialized as `rows × cols` floats.
+//! `B⁻¹` is kept as an eta file (product form of the inverse): every pivot
+//! appends one eta vector, and the file is rebuilt from the current basis
+//! columns every [`REFACTOR_PERIOD`] pivots to bound both memory and
+//! numerical drift. Memory is O(nnz + m·REFACTOR_PERIOD) instead of
+//! O(rows·cols).
+//!
+//! Algorithm outline (primal):
 //!
 //! 1. Convert `A·x {≤,≥,=} b` to equalities with one slack per row
 //!    (`s ∈ [0,∞)`, `(−∞,0]`, or `[0,0]` respectively).
@@ -15,13 +31,17 @@
 //!    whose slack value violates the slack bounds get an artificial column;
 //!    phase 1 minimizes the sum of artificials.
 //! 3. Phase 2 minimizes the true cost with artificials pinned to zero.
-//! 4. Entering-variable choice is Dantzig pricing with an automatic switch
-//!    to Bland's rule after a run of degenerate pivots (anti-cycling). The
+//! 4. Entering-variable choice is Dantzig pricing (one BTRAN plus one pass
+//!    over the sparse columns per iteration) with an automatic switch to
+//!    Bland's rule after a run of degenerate pivots (anti-cycling). The
 //!    ratio test breaks ties toward the largest pivot element for stability.
 //!
-//! The tableau is dense (`rows × cols` of `f64`); problem sizes in this
-//! repository stay within a few thousand rows, for which dense pivoting is
-//! both simple and fast.
+//! Dual restart outline ([`resolve_lp`]): re-invert the cached basis under
+//! the *new* bounds, verify the reduced costs are still dual feasible, then
+//! drive out primal bound violations with dual ratio-test pivots. Any
+//! staleness — singular basis, dual infeasibility, iteration trouble —
+//! makes `resolve_lp` return `Ok(None)` so the caller falls back to the
+//! two-phase primal (whose Bland retry path is unchanged).
 
 use gomil_budget::{Budget, BudgetExceeded};
 
@@ -31,11 +51,16 @@ pub const FEAS_TOL: f64 = 1e-6;
 pub const OPT_TOL: f64 = 1e-7;
 /// Smallest acceptable pivot magnitude.
 const PIVOT_TOL: f64 = 1e-8;
+/// Pivot magnitude below which a re-inversion declares the basis singular.
+const SINGULAR_TOL: f64 = 1e-10;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 const STALL_LIMIT: u32 = 60;
 /// Pivot iterations between wall-clock budget checks (a budget check costs
 /// a clock read, so it is amortized over a batch of pivots).
 const BUDGET_CHECK_PERIOD: u64 = 256;
+/// Eta vectors accumulated beyond the re-inversion floor (one eta per
+/// basis column) before the file is rebuilt from scratch.
+const REFACTOR_PERIOD: usize = 64;
 
 /// Knobs for one LP solve.
 #[derive(Debug, Clone)]
@@ -81,10 +106,85 @@ impl SimplexOpts {
 /// with its incumbent on the former and propagate the latter.
 #[derive(Debug, Clone)]
 pub(crate) enum LpError {
-    /// The shared wall-clock budget ran out mid-solve.
-    Budget(BudgetExceeded),
+    /// The shared wall-clock budget ran out mid-solve. `iterations` carries
+    /// the pivots already spent, so callers can account for partial work
+    /// instead of losing it from the telemetry.
+    Budget {
+        /// Which budget fired.
+        reason: BudgetExceeded,
+        /// Simplex iterations performed before the budget fired.
+        iterations: u64,
+    },
     /// Simplex breakdown (iteration cap, non-finite data).
     Numerical(String),
+}
+
+/// Compressed sparse column view of the full constraint matrix (structural
+/// and slack columns alike). Built once per [`LpProblem`]; every pricing
+/// pass and FTRAN scatters against these columns instead of a dense
+/// tableau.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ColMajor {
+    /// `col_ptr[j]..col_ptr[j+1]` indexes the entries of column `j`.
+    col_ptr: Vec<u32>,
+    /// Row index per entry.
+    row_idx: Vec<u32>,
+    /// Coefficient per entry.
+    val: Vec<f64>,
+}
+
+impl ColMajor {
+    /// Transposes sparse rows into CSC. Row entries are `(column, coeff)`.
+    fn build(num_cols: usize, rows: &[Vec<(u32, f64)>]) -> ColMajor {
+        let mut counts = vec![0u32; num_cols + 1];
+        for row in rows {
+            for &(c, _) in row {
+                counts[c as usize + 1] += 1;
+            }
+        }
+        for j in 0..num_cols {
+            counts[j + 1] += counts[j];
+        }
+        let nnz = counts[num_cols] as usize;
+        let mut row_idx = vec![0u32; nnz];
+        let mut val = vec![0.0f64; nnz];
+        let mut next = counts.clone();
+        for (r, row) in rows.iter().enumerate() {
+            for &(c, a) in row {
+                let slot = next[c as usize] as usize;
+                row_idx[slot] = r as u32;
+                val[slot] = a;
+                next[c as usize] += 1;
+            }
+        }
+        ColMajor {
+            col_ptr: counts,
+            row_idx,
+            val,
+        }
+    }
+
+    /// Iterates the `(row, coefficient)` entries of column `j`.
+    #[inline]
+    fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j] as usize;
+        let hi = self.col_ptr[j + 1] as usize;
+        self.row_idx[lo..hi]
+            .iter()
+            .zip(&self.val[lo..hi])
+            .map(|(&r, &v)| (r as usize, v))
+    }
+
+    /// Number of stored entries in column `j`.
+    #[inline]
+    fn col_nnz(&self, j: usize) -> usize {
+        (self.col_ptr[j + 1] - self.col_ptr[j]) as usize
+    }
+
+    /// Total stored entries.
+    fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
 }
 
 /// A standardized LP: minimize `costs·x` subject to sparse equality rows
@@ -102,10 +202,49 @@ pub(crate) struct LpProblem {
     /// Upper bound per column (may be `INFINITY`).
     pub ub: Vec<f64>,
     /// Sparse rows: `(column, coefficient)`; each row implicitly `= rhs`
-    /// and already includes its slack column.
+    /// and already includes its slack column. Kept for bound propagation;
+    /// the simplex engine works from [`cols`](Self::cols).
     pub rows: Vec<Vec<(u32, f64)>>,
     /// Right-hand sides.
     pub rhs: Vec<f64>,
+    /// The same matrix in compressed sparse column form.
+    pub cols: ColMajor,
+}
+
+impl LpProblem {
+    /// Assembles a problem and builds its CSC column store. `costs`, `lb`
+    /// and `ub` must all have length `num_cols`; every `rows` entry must
+    /// reference a column below `num_cols`.
+    pub fn new(
+        num_structural: usize,
+        costs: Vec<f64>,
+        lb: Vec<f64>,
+        ub: Vec<f64>,
+        rows: Vec<Vec<(u32, f64)>>,
+        rhs: Vec<f64>,
+    ) -> LpProblem {
+        let num_cols = costs.len();
+        debug_assert_eq!(lb.len(), num_cols);
+        debug_assert_eq!(ub.len(), num_cols);
+        debug_assert_eq!(rows.len(), rhs.len());
+        let cols = ColMajor::build(num_cols, &rows);
+        LpProblem {
+            num_structural,
+            num_cols,
+            costs,
+            lb,
+            ub,
+            rows,
+            rhs,
+            cols,
+        }
+    }
+
+    /// Number of nonzeros in the constraint matrix.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn nnz(&self) -> usize {
+        self.cols.nnz()
+    }
 }
 
 /// Outcome of an LP solve.
@@ -124,6 +263,20 @@ pub(crate) enum LpOutcome {
     Unbounded,
 }
 
+/// A finished LP solve: the outcome plus the work done and, for optimal
+/// outcomes without artificials left in the basis, a reusable [`Basis`].
+#[derive(Debug, Clone)]
+pub(crate) struct LpResult {
+    pub outcome: LpOutcome,
+    /// Simplex iterations across all phases of this solve.
+    pub iterations: u64,
+    /// Basis re-inversions (eta-file rebuilds) performed.
+    pub refactors: u64,
+    /// The final basis when it is warm-restartable (optimal, and no
+    /// artificial column basic); `None` otherwise.
+    pub basis: Option<Basis>,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ColStatus {
     Basic,
@@ -131,111 +284,277 @@ enum ColStatus {
     AtUpper,
 }
 
-struct Tableau {
-    rows: usize,
-    cols: usize,
-    /// Dense `rows × cols`, row-major: current `B⁻¹·A`.
-    t: Vec<f64>,
-    /// Reduced-cost row for the active phase objective.
-    d: Vec<f64>,
+/// A snapshot of an optimal simplex basis, detached from any particular
+/// bound vector: which column is basic in each row plus the bound side of
+/// every nonbasic column. Tightening bounds keeps such a basis *dual*
+/// feasible, which is exactly what [`resolve_lp`] exploits across
+/// branch-and-bound nodes.
+#[derive(Debug, Clone)]
+pub(crate) struct Basis {
+    /// Basic column per row (`len == rows`), artificials excluded.
+    cols: Vec<u32>,
+    /// Status per problem column (`len == num_cols`).
+    status: Vec<ColStatus>,
+}
+
+impl Basis {
+    /// Deliberately corrupts the basis for fallback testing: duplicates the
+    /// first basic column into every slot, which fails re-validation (and
+    /// would be singular even if it did not).
+    #[cfg(test)]
+    pub(crate) fn poison(&mut self) {
+        if let Some(&first) = self.cols.first() {
+            for c in self.cols.iter_mut() {
+                *c = first;
+            }
+        }
+    }
+}
+
+/// One product-form eta: applying the pivot `B⁻¹ ← E⁻¹·B⁻¹` where the
+/// pivot column `w = B⁻¹·a_q` entered at `row`.
+struct Eta {
+    row: u32,
+    /// `w[row]`, the pivot element.
+    pivot: f64,
+    /// Nonzeros of `w`, including the pivot row entry.
+    nz: Vec<(u32, f64)>,
+}
+
+/// Why a simplex phase stopped before proving optimality.
+enum SimplexStop {
+    Unbounded,
+    IterationLimit,
+    Budget(BudgetExceeded),
+    /// Basis re-inversion broke down (singular / vanished pivot).
+    Singular(String),
+}
+
+/// How a dual-simplex run ended.
+enum DualEnd {
+    /// All basic values are back within their bounds (primal feasible, and
+    /// dual feasibility was maintained throughout — i.e. optimal up to a
+    /// cleanup pass).
+    PrimalFeasible,
+    /// Dual unbounded: the LP is primal infeasible.
+    Infeasible,
+}
+
+/// The revised-simplex working state: problem reference, optional
+/// artificial columns, the eta file, and per-column status/value arrays.
+struct Core<'a> {
+    p: &'a LpProblem,
+    m: usize,
+    /// Total columns including artificials.
+    n: usize,
+    /// Row of artificial `k` (column index `p.num_cols + k`).
+    art_row: Vec<u32>,
+    /// Coefficient (±1) of artificial `k` in its row.
+    art_sign: Vec<f64>,
+    /// Active-phase costs, length `n`.
+    costs: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
     /// Basic column per row.
     basis: Vec<u32>,
-    /// Status of every column.
     status: Vec<ColStatus>,
     /// Current value of every column (authoritative for nonbasic columns;
     /// kept in sync for basic ones).
     val: Vec<f64>,
-    lb: Vec<f64>,
-    ub: Vec<f64>,
+    etas: Vec<Eta>,
     iterations: u64,
+    refactors: u64,
 }
 
-impl Tableau {
+impl Core<'_> {
+    /// Iterates the sparse entries of column `j` (artificials included).
     #[inline]
-    fn at(&self, r: usize, c: usize) -> f64 {
-        self.t[r * self.cols + c]
+    fn for_col(&self, j: usize, mut f: impl FnMut(usize, f64)) {
+        if j < self.p.num_cols {
+            for (r, a) in self.p.cols.col(j) {
+                f(r, a);
+            }
+        } else {
+            let k = j - self.p.num_cols;
+            f(self.art_row[k] as usize, self.art_sign[k]);
+        }
     }
 
-    /// Performs a pivot: column `q` enters the basis at row `r`.
-    fn pivot(&mut self, r: usize, q: usize) {
-        let cols = self.cols;
-        let piv = self.t[r * cols + q];
-        debug_assert!(piv.abs() > PIVOT_TOL, "pivot too small: {piv}");
-        let inv = 1.0 / piv;
-        // Normalize pivot row.
-        let (before, rest) = self.t.split_at_mut(r * cols);
-        let (prow, after) = rest.split_at_mut(cols);
-        for v in prow.iter_mut() {
-            *v *= inv;
+    /// Dot product of column `j` with a dense vector.
+    #[inline]
+    fn col_dot(&self, j: usize, v: &[f64]) -> f64 {
+        if j < self.p.num_cols {
+            self.p.cols.col(j).map(|(r, a)| a * v[r]).sum()
+        } else {
+            let k = j - self.p.num_cols;
+            self.art_sign[k] * v[self.art_row[k] as usize]
         }
-        prow[q] = 1.0; // exact
-                       // Eliminate q from all other rows.
-        let eliminate = |row: &mut [f64]| {
-            let f = row[q];
-            if f != 0.0 {
-                for (v, p) in row.iter_mut().zip(prow.iter()) {
-                    *v -= f * *p;
-                }
-                row[q] = 0.0; // exact
-            }
-        };
-        for row in before.chunks_exact_mut(cols) {
-            eliminate(row);
-        }
-        for row in after.chunks_exact_mut(cols) {
-            eliminate(row);
-        }
-        // Objective row.
-        let f = self.d[q];
-        if f != 0.0 {
-            for (v, p) in self.d.iter_mut().zip(prow.iter()) {
-                *v -= f * *p;
-            }
-            self.d[q] = 0.0;
-        }
-        self.basis[r] = q as u32;
     }
 
-    /// Rebuilds the reduced-cost row for a cost vector: `d = c − c_B·T`.
-    fn rebuild_costs(&mut self, costs: &[f64]) {
-        self.d.copy_from_slice(costs);
-        for r in 0..self.rows {
-            let cb = costs[self.basis[r] as usize];
-            if cb != 0.0 {
-                let row = &self.t[r * self.cols..(r + 1) * self.cols];
-                for (dv, tv) in self.d.iter_mut().zip(row.iter()) {
-                    *dv -= cb * tv;
+    #[inline]
+    fn col_nnz(&self, j: usize) -> usize {
+        if j < self.p.num_cols {
+            self.p.cols.col_nnz(j)
+        } else {
+            1
+        }
+    }
+
+    /// FTRAN: overwrites `v ← B⁻¹·v` by applying the eta file in creation
+    /// order.
+    fn ftran(&self, v: &mut [f64]) {
+        for e in &self.etas {
+            let r = e.row as usize;
+            let t = v[r] / e.pivot;
+            if t != 0.0 {
+                for &(i, w) in &e.nz {
+                    if i != e.row {
+                        v[i as usize] -= w * t;
+                    }
                 }
             }
-        }
-        for r in 0..self.rows {
-            self.d[self.basis[r] as usize] = 0.0;
+            v[r] = t;
         }
     }
 
-    /// Runs primal simplex on the current phase objective until optimal,
+    /// BTRAN: overwrites `v ← B⁻ᵀ·v` by applying the transposed etas in
+    /// reverse order.
+    fn btran(&self, v: &mut [f64]) {
+        for e in self.etas.iter().rev() {
+            let r = e.row as usize;
+            let mut s = v[r];
+            for &(i, w) in &e.nz {
+                if i != e.row {
+                    s -= w * v[i as usize];
+                }
+            }
+            v[r] = s / e.pivot;
+        }
+    }
+
+    /// Appends the eta recorded by a pivot on row `r` with FTRAN'd column
+    /// `w`.
+    fn push_eta(&mut self, r: usize, w: &[f64]) {
+        let nz: Vec<(u32, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        self.etas.push(Eta {
+            row: r as u32,
+            pivot: w[r],
+            nz,
+        });
+    }
+
+    /// Rebuilds the eta file from the current basis columns (product-form
+    /// re-inversion, sparsest column first). Fails if the basis is
+    /// singular. Row assignments may be permuted; `self.basis` is updated
+    /// to match.
+    fn refactorize(&mut self) -> Result<(), String> {
+        self.refactors += 1;
+        self.etas.clear();
+        let mut order: Vec<u32> = self.basis.clone();
+        order.sort_by_key(|&j| self.col_nnz(j as usize));
+        let mut taken = vec![false; self.m];
+        let mut new_basis = vec![0u32; self.m];
+        let mut w = vec![0.0f64; self.m];
+        for &j in &order {
+            for v in w.iter_mut() {
+                *v = 0.0;
+            }
+            self.for_col(j as usize, |r, a| w[r] = a);
+            self.ftran(&mut w);
+            let mut r_best: Option<usize> = None;
+            let mut a_best = SINGULAR_TOL;
+            for (i, &wi) in w.iter().enumerate() {
+                if !taken[i] && wi.abs() > a_best {
+                    a_best = wi.abs();
+                    r_best = Some(i);
+                }
+            }
+            let Some(r) = r_best else {
+                return Err(format!("singular basis: column {j} has no usable pivot"));
+            };
+            taken[r] = true;
+            new_basis[r] = j;
+            self.push_eta(r, &w);
+        }
+        self.basis = new_basis;
+        Ok(())
+    }
+
+    /// Recomputes every basic value as `x_B = B⁻¹(b − A_N·x_N)`, clearing
+    /// accumulated drift. Nonbasic values are authoritative inputs.
+    fn compute_basics(&mut self) {
+        let mut w = self.p.rhs.clone();
+        for j in 0..self.n {
+            if self.status[j] != ColStatus::Basic {
+                let vj = self.val[j];
+                if vj != 0.0 {
+                    self.for_col(j, |r, a| w[r] -= a * vj);
+                }
+            }
+        }
+        self.ftran(&mut w);
+        for (r, &wj) in w.iter().enumerate() {
+            self.val[self.basis[r] as usize] = wj;
+        }
+    }
+
+    /// Re-inverts when the eta file has grown past the refactor threshold,
+    /// then refreshes basic values.
+    fn maybe_refactor(&mut self) -> Result<(), SimplexStop> {
+        if self.etas.len() >= self.m + REFACTOR_PERIOD {
+            self.refactorize().map_err(SimplexStop::Singular)?;
+            self.compute_basics();
+        }
+        Ok(())
+    }
+
+    /// Iteration-cap and wall-clock checks shared by both pivot loops.
+    fn check_limits(&self, opts: &SimplexOpts) -> Result<(), SimplexStop> {
+        if self.iterations >= opts.max_iters {
+            return Err(SimplexStop::IterationLimit);
+        }
+        if self.iterations.is_multiple_of(BUDGET_CHECK_PERIOD) {
+            if let Err(reason) = opts.budget.check() {
+                return Err(SimplexStop::Budget(reason));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs primal simplex on the current phase costs until optimal,
     /// unbounded, or stopped by an iteration/budget limit.
-    fn optimize(&mut self, opts: &SimplexOpts) -> Result<(), SimplexStop> {
+    fn primal(&mut self, opts: &SimplexOpts) -> Result<(), SimplexStop> {
         let mut stalled: u32 = 0;
         let opt_tol = OPT_TOL * opts.tol_scale.max(1.0);
+        let mut y = vec![0.0f64; self.m];
+        let mut w = vec![0.0f64; self.m];
         loop {
-            if self.iterations >= opts.max_iters {
-                return Err(SimplexStop::IterationLimit);
-            }
-            if self.iterations.is_multiple_of(BUDGET_CHECK_PERIOD) {
-                if let Err(reason) = opts.budget.check() {
-                    return Err(SimplexStop::Budget(reason));
-                }
-            }
+            self.check_limits(opts)?;
             let bland = opts.force_bland || stalled >= STALL_LIMIT;
-            // --- Pricing: pick entering column.
-            let mut enter: Option<(usize, f64)> = None; // (col, signed direction)
+
+            // --- Pricing: y = B⁻ᵀ·c_B, then d_j = c_j − y·a_j on the fly.
+            for (r, yv) in y.iter_mut().enumerate() {
+                *yv = self.costs[self.basis[r] as usize];
+            }
+            self.btran(&mut y);
+            let mut enter: Option<(usize, f64)> = None; // (col, direction)
             let mut best_score = opt_tol;
-            for j in 0..self.cols {
-                let (dir, score) = match self.status[j] {
+            for j in 0..self.n {
+                match self.status[j] {
                     ColStatus::Basic => continue,
-                    ColStatus::AtLower => (1.0, -self.d[j]),
-                    ColStatus::AtUpper => (-1.0, self.d[j]),
+                    _ if self.lb[j] == self.ub[j] => continue, // fixed
+                    _ => {}
+                }
+                let d = self.costs[j] - self.col_dot(j, &y);
+                let (dir, score) = match self.status[j] {
+                    ColStatus::AtLower => (1.0, -d),
+                    ColStatus::AtUpper => (-1.0, d),
+                    ColStatus::Basic => unreachable!(),
                 };
                 if score > best_score {
                     enter = Some((j, dir));
@@ -250,13 +569,20 @@ impl Tableau {
             };
             self.iterations += 1;
 
+            // --- w = B⁻¹·a_q, the tableau column of q.
+            for v in w.iter_mut() {
+                *v = 0.0;
+            }
+            self.for_col(q, |r, a| w[r] = a);
+            self.ftran(&mut w);
+
             // --- Ratio test (bounded variables).
             // Entering variable moves by t ≥ 0 in direction `dir`.
             let mut t_max = self.ub[q] - self.lb[q]; // bound-flip distance
             let mut leave: Option<usize> = None; // limiting row
             let mut leave_piv: f64 = 0.0;
-            for r in 0..self.rows {
-                let alpha = dir * self.at(r, q);
+            for (r, &wr) in w.iter().enumerate() {
+                let alpha = dir * wr;
                 if alpha.abs() <= PIVOT_TOL {
                     continue;
                 }
@@ -280,7 +606,7 @@ impl Tableau {
                 if limit < t_max - 1e-9 || (limit < t_max + 1e-9 && alpha.abs() > leave_piv.abs()) {
                     t_max = limit.min(t_max);
                     leave = Some(r);
-                    leave_piv = self.at(r, q);
+                    leave_piv = wr;
                 }
             }
 
@@ -295,8 +621,7 @@ impl Tableau {
 
             // --- Apply the move.
             if t_max > 0.0 {
-                for r in 0..self.rows {
-                    let a = self.at(r, q);
+                for (r, &a) in w.iter().enumerate() {
                     if a != 0.0 {
                         let b = self.basis[r] as usize;
                         self.val[b] -= dir * t_max * a;
@@ -322,7 +647,7 @@ impl Tableau {
                 Some(r) => {
                     let b = self.basis[r] as usize;
                     // Leaving variable lands exactly on the bound it hit.
-                    let alpha = dir * self.at(r, q);
+                    let alpha = dir * w[r];
                     self.status[b] = if alpha > 0.0 {
                         self.val[b] = self.lb[b];
                         ColStatus::AtLower
@@ -331,21 +656,239 @@ impl Tableau {
                         ColStatus::AtUpper
                     };
                     self.status[q] = ColStatus::Basic;
-                    self.pivot(r, q);
+                    self.push_eta(r, &w);
+                    self.basis[r] = q as u32;
+                    self.maybe_refactor()?;
                 }
             }
         }
     }
+
+    /// Recomputes the full reduced-cost vector `d = c − AᵀB⁻ᵀc_B` into `d`
+    /// (basic entries forced to exactly zero).
+    fn recompute_reduced(&self, d: &mut [f64], y_buf: &mut [f64]) {
+        for (r, yv) in y_buf.iter_mut().enumerate() {
+            *yv = self.costs[self.basis[r] as usize];
+        }
+        self.btran(y_buf);
+        for (j, dj) in d.iter_mut().enumerate() {
+            *dj = if self.status[j] == ColStatus::Basic {
+                0.0
+            } else {
+                self.costs[j] - self.col_dot(j, y_buf)
+            };
+        }
+    }
+
+    /// Bounded-variable dual simplex: starting from a dual-feasible basis
+    /// whose basic values may violate their (tightened) bounds, drives the
+    /// violations out while preserving dual feasibility. `d` holds the
+    /// current reduced costs and is maintained incrementally from the pivot
+    /// row, with a full recompute at every re-inversion.
+    fn dual(&mut self, d: &mut [f64], opts: &SimplexOpts) -> Result<DualEnd, SimplexStop> {
+        let mut stalled: u32 = 0;
+        let mut rho = vec![0.0f64; self.m];
+        let mut w = vec![0.0f64; self.m];
+        let mut y = vec![0.0f64; self.m];
+        let mut alphas: Vec<(u32, f64)> = Vec::new();
+        loop {
+            self.check_limits(opts)?;
+            let bland = opts.force_bland || stalled >= STALL_LIMIT;
+
+            // --- Leaving row: the worst primal bound violation (smallest
+            // violating row index under the anti-cycling rule).
+            let mut r_sel: Option<(usize, bool)> = None; // (row, above upper?)
+            let mut worst = FEAS_TOL;
+            for (r, &bc) in self.basis.iter().enumerate() {
+                let b = bc as usize;
+                let x = self.val[b];
+                let over = x - self.ub[b];
+                let under = self.lb[b] - x;
+                let (viol, above) = if over >= under {
+                    (over, true)
+                } else {
+                    (under, false)
+                };
+                if viol > worst {
+                    r_sel = Some((r, above));
+                    if bland {
+                        break;
+                    }
+                    worst = viol;
+                }
+            }
+            let Some((r, above)) = r_sel else {
+                return Ok(DualEnd::PrimalFeasible);
+            };
+            self.iterations += 1;
+
+            // --- ρ = B⁻ᵀ·e_r, the r-th row of B⁻¹; α_j = ρ·a_j.
+            for v in rho.iter_mut() {
+                *v = 0.0;
+            }
+            rho[r] = 1.0;
+            self.btran(&mut rho);
+
+            // --- Dual ratio test over nonbasic, non-fixed columns.
+            alphas.clear();
+            let mut q_sel: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_mag = 0.0f64;
+            for (j, &dj) in d.iter().enumerate().take(self.n) {
+                let st = self.status[j];
+                if st == ColStatus::Basic || self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let a = self.col_dot(j, &rho);
+                if a.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                alphas.push((j as u32, a));
+                // The leaving basic moves down onto its upper bound
+                // (above) or up onto its lower bound (!above); an entering
+                // column moving off its bound must push it the right way.
+                let eligible = match (above, st) {
+                    (true, ColStatus::AtLower) => a > 0.0,
+                    (true, ColStatus::AtUpper) => a < 0.0,
+                    (false, ColStatus::AtLower) => a < 0.0,
+                    (false, ColStatus::AtUpper) => a > 0.0,
+                    (_, ColStatus::Basic) => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                if bland {
+                    if q_sel.is_none() {
+                        q_sel = Some(j);
+                    }
+                    continue;
+                }
+                let ratio = dj.abs() / a.abs();
+                if ratio < best_ratio - 1e-9 || (ratio < best_ratio + 1e-9 && a.abs() > best_mag) {
+                    best_ratio = ratio;
+                    best_mag = a.abs();
+                    q_sel = Some(j);
+                }
+            }
+            let Some(q) = q_sel else {
+                // Dual unbounded ⇒ primal infeasible: no entering column
+                // can repair the violated bound.
+                return Ok(DualEnd::Infeasible);
+            };
+
+            // --- w = B⁻¹·a_q; pivot on w[r].
+            for v in w.iter_mut() {
+                *v = 0.0;
+            }
+            self.for_col(q, |i, a| w[i] = a);
+            self.ftran(&mut w);
+            let piv = w[r];
+            if piv.abs() <= PIVOT_TOL {
+                // ρ-based α and the FTRAN column disagree: numerical
+                // breakdown, bail out to the primal fallback.
+                return Err(SimplexStop::Singular(
+                    "dual pivot vanished under FTRAN".into(),
+                ));
+            }
+            let b = self.basis[r] as usize;
+            let target = if above { self.ub[b] } else { self.lb[b] };
+            let step = (self.val[b] - target) / piv; // signed move of q
+            if step.abs() <= 1e-10 {
+                stalled += 1;
+            } else {
+                stalled = 0;
+            }
+
+            // --- Apply: basics move by −w·step, q moves by +step, the
+            // leaving column lands exactly on its violated bound.
+            for (i, &wi) in w.iter().enumerate() {
+                if wi != 0.0 {
+                    let bi = self.basis[i] as usize;
+                    self.val[bi] -= wi * step;
+                }
+            }
+            self.val[q] += step;
+            self.val[b] = target;
+            self.status[b] = if above {
+                ColStatus::AtUpper
+            } else {
+                ColStatus::AtLower
+            };
+            self.status[q] = ColStatus::Basic;
+
+            // --- Dual update from the pivot row: d ← d − θ·α, θ = d_q/α_q.
+            let theta = d[q] / piv;
+            for &(j, a) in &alphas {
+                d[j as usize] -= theta * a;
+            }
+            d[b] = -theta;
+            d[q] = 0.0;
+
+            self.push_eta(r, &w);
+            self.basis[r] = q as u32;
+            if self.etas.len() >= self.m + REFACTOR_PERIOD {
+                self.refactorize().map_err(SimplexStop::Singular)?;
+                self.compute_basics();
+                self.recompute_reduced(d, &mut y);
+            }
+        }
+    }
+
+    /// The final basis, if it can seed a future warm restart (no
+    /// artificial column basic).
+    fn snapshot(&self) -> Option<Basis> {
+        let n0 = self.p.num_cols;
+        if self.basis.iter().any(|&c| (c as usize) >= n0) {
+            return None;
+        }
+        Some(Basis {
+            cols: self.basis.clone(),
+            status: self.status[..n0].to_vec(),
+        })
+    }
+
+    /// Extracts the optimal result (structural values + objective).
+    fn optimal_result(&self) -> LpResult {
+        let x: Vec<f64> = self.val[..self.p.num_structural].to_vec();
+        let obj = x
+            .iter()
+            .zip(self.p.costs.iter())
+            .map(|(v, c)| v * c)
+            .sum::<f64>();
+        LpResult {
+            outcome: LpOutcome::Optimal { x, obj },
+            iterations: self.iterations,
+            refactors: self.refactors,
+            basis: self.snapshot(),
+        }
+    }
+
+    /// A non-optimal result carrying the work counters.
+    fn ended(&self, outcome: LpOutcome) -> LpResult {
+        LpResult {
+            outcome,
+            iterations: self.iterations,
+            refactors: self.refactors,
+            basis: None,
+        }
+    }
 }
 
-enum SimplexStop {
-    Unbounded,
-    IterationLimit,
-    Budget(BudgetExceeded),
+/// Solves a standardized LP under its own bounds.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn solve_lp(p: &LpProblem, opts: &SimplexOpts) -> Result<LpResult, LpError> {
+    solve_lp_from(p, &p.lb, &p.ub, opts)
 }
 
-/// Solves a standardized LP under the given options.
-pub(crate) fn solve_lp(p: &LpProblem, opts: &SimplexOpts) -> Result<(LpOutcome, u64), LpError> {
+/// Solves `p` under override bounds `lb`/`ub` (same length as
+/// `p.num_cols`). Branch-and-bound nodes call this with their tightened
+/// per-node bounds, avoiding a full problem clone per node.
+pub(crate) fn solve_lp_from(
+    p: &LpProblem,
+    lb: &[f64],
+    ub: &[f64],
+    opts: &SimplexOpts,
+) -> Result<LpResult, LpError> {
     let m = p.rows.len();
     let n = p.num_cols;
 
@@ -356,22 +899,32 @@ pub(crate) fn solve_lp(p: &LpProblem, opts: &SimplexOpts) -> Result<(LpOutcome, 
         for (j, xj) in x.iter_mut().enumerate() {
             let c = p.costs[j];
             let v = if c > 0.0 {
-                p.lb[j]
+                lb[j]
             } else if c < 0.0 {
-                p.ub[j]
-            } else if p.lb[j].is_finite() {
-                p.lb[j]
+                ub[j]
+            } else if lb[j].is_finite() {
+                lb[j]
             } else {
-                p.ub[j].min(0.0)
+                ub[j].min(0.0)
             };
             if !v.is_finite() && c != 0.0 {
-                return Ok((LpOutcome::Unbounded, 0));
+                return Ok(LpResult {
+                    outcome: LpOutcome::Unbounded,
+                    iterations: 0,
+                    refactors: 0,
+                    basis: None,
+                });
             }
             let v = if v.is_finite() { v } else { 0.0 };
             *xj = v;
             obj += c * v;
         }
-        return Ok((LpOutcome::Optimal { x, obj }, 0));
+        return Ok(LpResult {
+            outcome: LpOutcome::Optimal { x, obj },
+            iterations: 0,
+            refactors: 0,
+            basis: None,
+        });
     }
 
     for &c in &p.costs {
@@ -384,11 +937,11 @@ pub(crate) fn solve_lp(p: &LpProblem, opts: &SimplexOpts) -> Result<(LpOutcome, 
     let mut val = vec![0.0; n];
     let mut status = vec![ColStatus::AtLower; n];
     for j in 0..n {
-        if p.lb[j].is_finite() {
-            val[j] = p.lb[j];
+        if lb[j].is_finite() {
+            val[j] = lb[j];
             status[j] = ColStatus::AtLower;
-        } else if p.ub[j].is_finite() {
-            val[j] = p.ub[j];
+        } else if ub[j].is_finite() {
+            val[j] = ub[j];
             status[j] = ColStatus::AtUpper;
         } else {
             // Free column: model it nonbasic at 0 by treating it as at a
@@ -403,7 +956,8 @@ pub(crate) fn solve_lp(p: &LpProblem, opts: &SimplexOpts) -> Result<(LpOutcome, 
     // Residual per row given the nonbasic point (slacks included in rows).
     // We decide per row whether the slack can be basic (residual within its
     // bounds) or whether an artificial column is needed.
-    let mut artificial_rows: Vec<(usize, f64)> = Vec::new(); // (row, sign)
+    let mut art_row: Vec<u32> = Vec::new();
+    let mut art_sign: Vec<f64> = Vec::new();
     let mut basis: Vec<u32> = Vec::with_capacity(m);
     let slack_col = |r: usize| p.num_structural + r;
 
@@ -421,142 +975,285 @@ pub(crate) fn solve_lp(p: &LpProblem, opts: &SimplexOpts) -> Result<(LpOutcome, 
         *res = acc;
     }
 
+    let mut art_vals: Vec<f64> = Vec::new();
     for (r, &v) in residuals.iter().enumerate() {
         let s = slack_col(r);
-        if v >= p.lb[s] - FEAS_TOL && v <= p.ub[s] + FEAS_TOL {
+        if v >= lb[s] - FEAS_TOL && v <= ub[s] + FEAS_TOL {
             // Slack absorbs the residual and is basic.
             val[s] = v;
             status[s] = ColStatus::Basic;
             basis.push(s as u32);
         } else {
-            // Slack parks at its nearest bound; artificial covers the rest.
-            let sb = if v < p.lb[s] { p.lb[s] } else { p.ub[s] };
+            // Slack parks at its nearest bound; an artificial column with
+            // coefficient sign(gap) covers the rest at value |gap| ≥ 0.
+            let sb = if v < lb[s] { lb[s] } else { ub[s] };
             val[s] = sb;
-            status[s] = if sb == p.lb[s] {
+            status[s] = if sb == lb[s] {
                 ColStatus::AtLower
             } else {
                 ColStatus::AtUpper
             };
             let gap = v - sb;
-            artificial_rows.push((r, gap.signum()));
-            basis.push(u32::MAX); // patched below once artificials exist
+            let col = n + art_row.len();
+            art_row.push(r as u32);
+            art_sign.push(gap.signum());
+            art_vals.push(gap.abs());
+            basis.push(col as u32);
         }
     }
 
-    let num_art = artificial_rows.len();
+    let num_art = art_row.len();
     let total_cols = n + num_art;
 
-    // --- Build the dense tableau.
-    let mut t = vec![0.0; m * total_cols];
-    for r in 0..m {
-        for &(c, a) in &p.rows[r] {
-            t[r * total_cols + c as usize] = a;
-        }
+    let mut full_lb = lb.to_vec();
+    let mut full_ub = ub.to_vec();
+    full_lb.resize(total_cols, 0.0);
+    full_ub.resize(total_cols, f64::INFINITY);
+    val.resize(total_cols, 0.0);
+    status.resize(total_cols, ColStatus::AtLower);
+    for (k, &av) in art_vals.iter().enumerate() {
+        val[n + k] = av;
+        status[n + k] = ColStatus::Basic;
     }
-    let mut lb = p.lb.clone();
-    let mut ub = p.ub.clone();
+
     let mut phase1_costs = vec![0.0; total_cols];
-    let mut full_val = val;
-    full_val.resize(total_cols, 0.0);
-    let mut full_status = status;
-    full_status.resize(total_cols, ColStatus::AtLower);
-    lb.resize(total_cols, 0.0);
-    ub.resize(total_cols, f64::INFINITY);
-
-    for (k, &(r, sign)) in artificial_rows.iter().enumerate() {
-        let col = n + k;
-        // A basic column must read +1 in its own row (tableau = B⁻¹A), so
-        // rows whose artificial would carry −1 are negated wholesale.
-        if sign < 0.0 {
-            for v in &mut t[r * total_cols..(r + 1) * total_cols] {
-                *v = -*v;
-            }
-        }
-        t[r * total_cols + col] = 1.0;
-        phase1_costs[col] = 1.0;
-        let s = slack_col(r);
-        let gap = residuals[r] - full_val[s];
-        full_val[col] = gap * sign; // = |gap| ≥ 0
-        full_status[col] = ColStatus::Basic;
-        basis[r] = col as u32;
+    for c in phase1_costs.iter_mut().skip(n) {
+        *c = 1.0;
     }
 
-    let mut tab = Tableau {
-        rows: m,
-        cols: total_cols,
-        t,
-        d: vec![0.0; total_cols],
+    let mut core = Core {
+        p,
+        m,
+        n: total_cols,
+        art_row,
+        art_sign,
+        costs: if num_art > 0 {
+            phase1_costs
+        } else {
+            let mut c = p.costs.clone();
+            c.resize(total_cols, 0.0);
+            c
+        },
+        lb: full_lb,
+        ub: full_ub,
         basis,
-        status: full_status,
-        val: full_val,
-        lb,
-        ub,
+        status,
+        val,
+        etas: Vec::new(),
         iterations: 0,
+        refactors: 0,
+    };
+    // The initial basis (slacks at +1, artificials at ±1) is diagonal;
+    // re-inversion builds its trivial eta file and cannot fail.
+    if let Err(msg) = core.refactorize() {
+        return Err(LpError::Numerical(msg));
+    }
+    core.compute_basics();
+
+    let map_stop = |stop: SimplexStop, core: &Core<'_>, phase: u32| match stop {
+        SimplexStop::Unbounded => LpError::Numerical(format!(
+            "phase-{phase} objective unbounded (internal error)"
+        )),
+        SimplexStop::IterationLimit => LpError::Numerical(format!(
+            "simplex iteration limit {} hit in phase {phase}",
+            opts.max_iters
+        )),
+        SimplexStop::Budget(reason) => LpError::Budget {
+            reason,
+            iterations: core.iterations,
+        },
+        SimplexStop::Singular(msg) => LpError::Numerical(msg),
     };
 
     // --- Phase 1.
     if num_art > 0 {
-        tab.rebuild_costs(&phase1_costs);
-        match tab.optimize(opts) {
+        match core.primal(opts) {
             Ok(()) => {}
             Err(SimplexStop::Unbounded) => {
                 return Err(LpError::Numerical(
                     "phase-1 objective unbounded (internal error)".into(),
                 ))
             }
-            Err(SimplexStop::IterationLimit) => {
-                return Err(LpError::Numerical(format!(
-                    "simplex iteration limit {} hit in phase 1",
-                    opts.max_iters
-                )))
-            }
-            Err(SimplexStop::Budget(reason)) => return Err(LpError::Budget(reason)),
+            Err(stop) => return Err(map_stop(stop, &core, 1)),
         }
-        let infeas: f64 = (n..total_cols).map(|j| tab.val[j]).sum();
+        let infeas: f64 = (n..total_cols).map(|j| core.val[j]).sum();
         if infeas > FEAS_TOL * 10.0 {
-            return Ok((LpOutcome::Infeasible, tab.iterations));
+            return Ok(core.ended(LpOutcome::Infeasible));
         }
         // Pin artificials to zero so phase 2 cannot reuse them.
         for j in n..total_cols {
-            tab.lb[j] = 0.0;
-            tab.ub[j] = 0.0;
-            if tab.status[j] != ColStatus::Basic {
-                tab.status[j] = ColStatus::AtLower;
-                tab.val[j] = 0.0;
-            } else {
-                tab.val[j] = 0.0; // basic at zero: harmless (degenerate)
+            core.lb[j] = 0.0;
+            core.ub[j] = 0.0;
+            if core.status[j] != ColStatus::Basic {
+                core.status[j] = ColStatus::AtLower;
             }
+            core.val[j] = 0.0; // basic at zero: harmless (degenerate)
+        }
+        // Swap in the true costs for phase 2.
+        core.costs[..n].copy_from_slice(&p.costs);
+        for c in core.costs.iter_mut().skip(n) {
+            *c = 0.0;
         }
     }
 
     // --- Phase 2.
-    let mut phase2_costs = p.costs.clone();
-    phase2_costs.resize(total_cols, 0.0);
-    tab.rebuild_costs(&phase2_costs);
-    match tab.optimize(opts) {
+    match core.primal(opts) {
         Ok(()) => {}
-        Err(SimplexStop::Unbounded) => return Ok((LpOutcome::Unbounded, tab.iterations)),
-        Err(SimplexStop::IterationLimit) => {
-            return Err(LpError::Numerical(format!(
-                "simplex iteration limit {} hit in phase 2",
-                opts.max_iters
-            )))
-        }
-        Err(SimplexStop::Budget(reason)) => return Err(LpError::Budget(reason)),
+        Err(SimplexStop::Unbounded) => return Ok(core.ended(LpOutcome::Unbounded)),
+        Err(stop) => return Err(map_stop(stop, &core, 2)),
     }
 
-    let x: Vec<f64> = tab.val[..p.num_structural].to_vec();
-    let obj = x
+    Ok(core.optimal_result())
+}
+
+/// Dual-simplex warm restart: reoptimizes `p` under tightened bounds
+/// `lb`/`ub` starting from a cached `basis`.
+///
+/// Returns:
+///
+/// * `Ok(Some(result))` — the restart succeeded (optimal or proven
+///   infeasible, the latter being the fast node-pruning path: a dual
+///   unbounded ray is a primal infeasibility certificate);
+/// * `Ok(None)` — the basis is stale (fails validation, singular under
+///   re-inversion, dual infeasible under the new bounds, or the dual run
+///   hit numerical/iteration trouble). The caller must fall back to the
+///   from-scratch primal [`solve_lp_from`];
+/// * `Err(LpError::Budget {..})` — the shared wall-clock budget fired;
+///   iterations spent so far are in the payload.
+pub(crate) fn resolve_lp(
+    p: &LpProblem,
+    lb: &[f64],
+    ub: &[f64],
+    basis: &Basis,
+    opts: &SimplexOpts,
+) -> Result<Option<LpResult>, LpError> {
+    let m = p.rows.len();
+    let n = p.num_cols;
+    // Shape validation: the basis must cover every row with a distinct
+    // in-range column, and statuses must agree with the basic set.
+    if m == 0 || basis.cols.len() != m || basis.status.len() != n {
+        return Ok(None);
+    }
+    let mut seen = vec![false; n];
+    for &c in &basis.cols {
+        let c = c as usize;
+        if c >= n || seen[c] || basis.status[c] != ColStatus::Basic {
+            return Ok(None);
+        }
+        seen[c] = true;
+    }
+    if basis
+        .status
         .iter()
-        .zip(p.costs.iter())
-        .map(|(v, c)| v * c)
-        .sum::<f64>();
-    Ok((LpOutcome::Optimal { x, obj }, tab.iterations))
+        .filter(|&&s| s == ColStatus::Basic)
+        .count()
+        != m
+    {
+        return Ok(None);
+    }
+
+    // Nonbasic columns snap to their (new) bound per recorded status; the
+    // free-column phantom-zero convention matches `solve_lp_from`.
+    let mut val = vec![0.0f64; n];
+    for (j, &st) in basis.status.iter().enumerate() {
+        val[j] = match st {
+            ColStatus::Basic => 0.0, // recomputed below
+            ColStatus::AtLower => {
+                if lb[j].is_finite() {
+                    lb[j]
+                } else {
+                    0.0
+                }
+            }
+            ColStatus::AtUpper => {
+                if ub[j].is_finite() {
+                    ub[j]
+                } else {
+                    return Ok(None); // nonsense status for an unbounded column
+                }
+            }
+        };
+    }
+
+    let mut core = Core {
+        p,
+        m,
+        n,
+        art_row: Vec::new(),
+        art_sign: Vec::new(),
+        costs: p.costs.clone(),
+        lb: lb.to_vec(),
+        ub: ub.to_vec(),
+        basis: basis.cols.clone(),
+        status: basis.status.clone(),
+        val,
+        etas: Vec::new(),
+        iterations: 0,
+        refactors: 0,
+    };
+    if core.refactorize().is_err() {
+        return Ok(None); // singular cached basis
+    }
+    core.compute_basics();
+
+    // Dual feasibility check: the cached reduced-cost signs must survive
+    // under the (unchanged) costs. Violations mean the basis predates some
+    // structural change and a primal solve is required.
+    let mut d = vec![0.0f64; n];
+    let mut y = vec![0.0f64; core.m];
+    core.recompute_reduced(&mut d, &mut y);
+    let dual_tol = OPT_TOL * opts.tol_scale.max(1.0) * 10.0;
+    for (j, &dj) in d.iter().enumerate() {
+        if core.lb[j] == core.ub[j] {
+            continue; // fixed columns carry no dual requirement
+        }
+        let bad = match core.status[j] {
+            ColStatus::Basic => false,
+            ColStatus::AtLower => dj < -dual_tol,
+            ColStatus::AtUpper => dj > dual_tol,
+        };
+        if bad {
+            return Ok(None);
+        }
+    }
+
+    match core.dual(&mut d, opts) {
+        Ok(DualEnd::PrimalFeasible) => {}
+        Ok(DualEnd::Infeasible) => return Ok(Some(core.ended(LpOutcome::Infeasible))),
+        Err(SimplexStop::Budget(reason)) => {
+            return Err(LpError::Budget {
+                reason,
+                iterations: core.iterations,
+            })
+        }
+        // Iteration cap or numerical breakdown inside the dual run: report
+        // a miss; the fallback primal has its own (full) iteration budget.
+        Err(SimplexStop::IterationLimit) | Err(SimplexStop::Singular(_)) => return Ok(None),
+        Err(SimplexStop::Unbounded) => return Ok(None), // cannot happen in dual
+    }
+
+    // Cleanup: the dual run ends primal feasible and (up to drift) dual
+    // feasible; a primal pass certifies optimality, usually in 0 pivots.
+    match core.primal(opts) {
+        Ok(()) => Ok(Some(core.optimal_result())),
+        Err(SimplexStop::Unbounded) => Ok(Some(core.ended(LpOutcome::Unbounded))),
+        Err(SimplexStop::Budget(reason)) => Err(LpError::Budget {
+            reason,
+            iterations: core.iterations,
+        }),
+        Err(SimplexStop::IterationLimit) | Err(SimplexStop::Singular(_)) => Ok(None),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The one place tests build `SimplexOpts`: a plain iteration cap,
+    /// generous enough for every instance in this module.
+    fn topts() -> SimplexOpts {
+        SimplexOpts::with_max_iters(100_000)
+    }
 
     /// Builds an LpProblem from dense rows `a·x cmp rhs` with structural
     /// bounds; mirrors what `branch::standardize` does.
@@ -598,21 +1295,11 @@ mod tests {
         }
         let mut costs = costs;
         costs.resize(ns + m, 0.0);
-        LpProblem {
-            num_structural: ns,
-            num_cols: ns + m,
-            costs,
-            lb,
-            ub,
-            rows,
-            rhs,
-        }
+        LpProblem::new(ns, costs, lb, ub, rows, rhs)
     }
 
     fn solve(p: &LpProblem) -> LpOutcome {
-        solve_lp(p, &SimplexOpts::with_max_iters(100_000))
-            .expect("numerical failure")
-            .0
+        solve_lp(p, &topts()).expect("numerical failure").outcome
     }
 
     #[test]
@@ -626,7 +1313,7 @@ mod tests {
             budget: Budget::with_limit(std::time::Duration::ZERO),
             ..SimplexOpts::default()
         };
-        assert!(matches!(solve_lp(&p, &opts), Err(LpError::Budget(_))));
+        assert!(matches!(solve_lp(&p, &opts), Err(LpError::Budget { .. })));
     }
 
     #[test]
@@ -639,9 +1326,9 @@ mod tests {
         let opts = SimplexOpts {
             force_bland: true,
             tol_scale: 10.0,
-            ..SimplexOpts::with_max_iters(100_000)
+            ..topts()
         };
-        match solve_lp(&p, &opts).unwrap().0 {
+        match solve_lp(&p, &opts).unwrap().outcome {
             LpOutcome::Optimal { obj, .. } => assert!((obj + 12.0).abs() < 1e-6),
             other => panic!("unexpected: {other:?}"),
         }
@@ -790,6 +1477,35 @@ mod tests {
         }
     }
 
+    #[test]
+    fn csc_matches_rows() {
+        let p = lp(
+            vec![1.0, 2.0, 0.0],
+            vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)],
+            vec![
+                (vec![1.0, 0.0, 2.0], -1, 4.0),
+                (vec![0.0, -1.0, 1.0], 0, 1.0),
+            ],
+        );
+        // Reconstruct the dense matrix from both representations.
+        let m = p.rows.len();
+        let mut from_rows = vec![vec![0.0; p.num_cols]; m];
+        for (r, row) in p.rows.iter().enumerate() {
+            for &(c, a) in row {
+                from_rows[r][c as usize] = a;
+            }
+        }
+        let mut from_cols = vec![vec![0.0; p.num_cols]; m];
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..p.num_cols {
+            for (r, a) in p.cols.col(j) {
+                from_cols[r][j] = a;
+            }
+        }
+        assert_eq!(from_rows, from_cols);
+        assert_eq!(p.nnz(), p.rows.iter().map(Vec::len).sum::<usize>());
+    }
+
     /// Randomized cross-check: LPs whose optimum we can compute by brute
     /// force over basic feasible points of a transportation-like structure.
     #[test]
@@ -852,5 +1568,217 @@ mod tests {
                 "trial {trial}: simplex {obj} vs enumerated {best}"
             );
         }
+    }
+
+    // --- Basis-reuse / dual-simplex tests -----------------------------
+
+    /// Solves, snapshots the basis, tightens one bound, and checks the
+    /// dual restart against a from-scratch solve.
+    fn check_restart_matches(p: &LpProblem, lb: Vec<f64>, ub: Vec<f64>) {
+        let first = solve_lp(p, &topts()).expect("base solve");
+        let Some(basis) = first.basis else {
+            panic!("optimal solve must yield a reusable basis");
+        };
+        let scratch = solve_lp_from(p, &lb, &ub, &topts()).expect("scratch solve");
+        let restart = resolve_lp(p, &lb, &ub, &basis, &topts()).expect("restart solve");
+        match (restart, &scratch.outcome) {
+            (Some(res), LpOutcome::Optimal { obj: want, .. }) => match res.outcome {
+                LpOutcome::Optimal { obj, .. } => {
+                    assert!(
+                        (obj - want).abs() < FEAS_TOL,
+                        "restart obj {obj} vs scratch {want}"
+                    );
+                    assert!(res.basis.is_some(), "restart must re-snapshot its basis");
+                }
+                other => panic!("restart disagreed with scratch Optimal: {other:?}"),
+            },
+            (Some(res), LpOutcome::Infeasible) => {
+                assert!(
+                    matches!(res.outcome, LpOutcome::Infeasible),
+                    "restart must agree the tightened LP is infeasible"
+                );
+            }
+            (None, _) => {
+                // A fallback is always *allowed* (stale basis); correctness
+                // is then the primal path's job, which `scratch` just took.
+            }
+            (Some(res), other) => panic!("scratch {other:?} vs restart {:?}", res.outcome),
+        }
+    }
+
+    #[test]
+    fn dual_restart_matches_scratch_after_each_single_tightening() {
+        // The branching pattern B&B generates: one integer column clamped
+        // up or down. Every column, both directions.
+        let p = lp(
+            vec![-3.0, -2.0, -4.0],
+            vec![(0.0, 4.0), (0.0, 4.0), (0.0, 4.0)],
+            vec![
+                (vec![1.0, 1.0, 2.0], -1, 7.0),
+                (vec![2.0, 1.0, 1.0], -1, 8.0),
+            ],
+        );
+        for col in 0..3 {
+            for (is_lower, v) in [(true, 1.0), (false, 2.0)] {
+                let mut lb = p.lb.clone();
+                let mut ub = p.ub.clone();
+                if is_lower {
+                    lb[col] = v;
+                } else {
+                    ub[col] = v;
+                }
+                check_restart_matches(&p, lb, ub);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_restart_detects_infeasible_child() {
+        // x + y = 10 with both clamped to [0, 4]: child infeasible; the
+        // dual run must prune it without a primal fallback.
+        let p = lp(
+            vec![2.0, 3.0],
+            vec![(0.0, 20.0), (0.0, 20.0)],
+            vec![(vec![1.0, 1.0], 0, 10.0)],
+        );
+        let first = solve_lp(&p, &topts()).unwrap();
+        let basis = first.basis.expect("reusable basis");
+        let lb = p.lb.clone();
+        let mut ub = p.ub.clone();
+        ub[0] = 4.0;
+        ub[1] = 4.0;
+        let restart = resolve_lp(&p, &lb, &ub, &basis, &topts()).unwrap();
+        match restart {
+            Some(res) => assert!(matches!(res.outcome, LpOutcome::Infeasible)),
+            None => panic!("dual restart should prove infeasibility, not fall back"),
+        }
+    }
+
+    /// Property-style test (vendored proptest stand-in semantics: many
+    /// deterministic random cases, no shrinking): a random LP, a random
+    /// single-bound tightening, and the invariant that `resolve_lp` either
+    /// matches the from-scratch objective within `FEAS_TOL` or honestly
+    /// reports a miss.
+    #[test]
+    fn prop_dual_restart_matches_scratch_on_random_tightenings() {
+        use proptest::test_runner::TestRng;
+        let cases = proptest::case_count();
+        for case in 0..cases as u64 {
+            let mut rng = TestRng::for_case("prop_dual_restart", case);
+            let nv = 2 + rng.below(3) as usize; // 2..=4 vars
+            let nc = 1 + rng.below(3) as usize; // 1..=3 constraints
+            let costs: Vec<f64> = (0..nv).map(|_| rng.unit_f64() * 10.0 - 5.0).collect();
+            let bounds: Vec<(f64, f64)> =
+                (0..nv).map(|_| (0.0, 1.0 + rng.below(5) as f64)).collect();
+            let cons: Vec<(Vec<f64>, i8, f64)> = (0..nc)
+                .map(|_| {
+                    let a: Vec<f64> = (0..nv).map(|_| rng.unit_f64() * 3.0 + 0.1).collect();
+                    (a, -1i8, 1.0 + rng.unit_f64() * 7.0)
+                })
+                .collect();
+            let p = lp(costs, bounds.clone(), cons);
+            // Random single-bound tightening on a structural column.
+            let col = rng.below(nv as u64) as usize;
+            let (blo, bhi) = bounds[col];
+            let mut lb = p.lb.clone();
+            let mut ub = p.ub.clone();
+            if rng.below(2) == 0 {
+                lb[col] = (blo + 1.0).min(bhi);
+            } else {
+                ub[col] = (bhi - 1.0).max(blo);
+            }
+            check_restart_matches(&p, lb, ub);
+        }
+    }
+
+    #[test]
+    fn poisoned_basis_forces_primal_fallback() {
+        // Satellite: a corrupted cached basis must be reported as a miss
+        // (`Ok(None)`), and the primal path must still recover the optimum.
+        // Two rows so the poisoning (duplicating one basic column into
+        // every slot) genuinely corrupts the basis.
+        let p = lp(
+            vec![-3.0, -2.0],
+            vec![(0.0, 4.0), (0.0, 4.0)],
+            vec![(vec![1.0, 1.0], -1, 5.0), (vec![1.0, 1.0], -1, 6.0)],
+        );
+        let mut basis = solve_lp(&p, &topts()).unwrap().basis.expect("basis");
+        basis.poison();
+        let mut lb = p.lb.clone();
+        let ub = p.ub.clone();
+        lb[0] = 1.0;
+        let restart = resolve_lp(&p, &lb, &ub, &basis, &topts()).unwrap();
+        assert!(restart.is_none(), "poisoned basis must miss, not solve");
+        // The fallback path (exactly what branch.rs runs on a miss):
+        // maximize 3x+2y with x ∈ [1,4], y ∈ [0,4], x+y ≤ 5 → (4,1), −14.
+        let fallback = solve_lp_from(&p, &lb, &ub, &topts()).unwrap();
+        match fallback.outcome {
+            LpOutcome::Optimal { obj, .. } => assert!((obj + 14.0).abs() < 1e-6, "obj={obj}"),
+            other => panic!("fallback failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dual_budget_exhaustion_carries_iterations_spent() {
+        // Satellite: the budget-exhaustion path of the dual simplex must
+        // surface `LpError::Budget` with the iteration count payload.
+        let p = lp(
+            vec![-3.0, -2.0, -4.0],
+            vec![(0.0, 4.0), (0.0, 4.0), (0.0, 4.0)],
+            vec![
+                (vec![1.0, 1.0, 2.0], -1, 7.0),
+                (vec![2.0, 1.0, 1.0], -1, 8.0),
+            ],
+        );
+        let basis = solve_lp(&p, &topts()).unwrap().basis.expect("basis");
+        let mut lb = p.lb.clone();
+        let ub = p.ub.clone();
+        lb[2] = 3.0; // force some dual pivots
+        let opts = SimplexOpts {
+            budget: Budget::with_limit(std::time::Duration::ZERO),
+            ..SimplexOpts::default()
+        };
+        match resolve_lp(&p, &lb, &ub, &basis, &opts) {
+            Err(LpError::Budget { iterations, .. }) => {
+                // A dead budget fires on the first amortized check, before
+                // any pivot lands.
+                assert_eq!(iterations, 0, "budget error must carry pivots spent");
+            }
+            other => panic!("expected a budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refactorization_triggers_and_preserves_the_optimum() {
+        // A chain of equalities long enough that the pivot count crosses
+        // the refactor threshold (m + REFACTOR_PERIOD etas), exercising
+        // re-inversion mid-solve.
+        let n = 200usize;
+        let costs: Vec<f64> = (0..n)
+            .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let bounds = vec![(0.0, 10.0); n];
+        let mut cons = Vec::new();
+        // x_j + x_{j+1} <= 10 for all j; optimum pushes odd columns up.
+        for j in 0..n - 1 {
+            let mut a = vec![0.0; n];
+            a[j] = 1.0;
+            a[j + 1] = 1.0;
+            cons.push((a, -1i8, 10.0));
+        }
+        let p = lp(costs, bounds, cons);
+        let res = solve_lp(&p, &topts()).unwrap();
+        match res.outcome {
+            LpOutcome::Optimal { obj, .. } => {
+                // 100 odd columns at 10, even columns at 0: obj = -1000.
+                assert!((obj + 1000.0).abs() < 1e-6, "obj={obj}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(
+            res.refactors >= 2,
+            "expected mid-solve re-inversions, got {}",
+            res.refactors
+        );
     }
 }

@@ -90,6 +90,9 @@ pub struct Solution {
     pub(crate) nodes_pruned: u64,
     pub(crate) nodes_branched: u64,
     pub(crate) lp_iterations: u64,
+    pub(crate) lp_warm_attempts: u64,
+    pub(crate) lp_warm_hits: u64,
+    pub(crate) lp_refactors: u64,
     pub(crate) wall_time: Duration,
     pub(crate) incumbent_source: IncumbentSource,
     pub(crate) warm_start: WarmStartStatus,
@@ -170,6 +173,37 @@ impl Solution {
         self.lp_iterations
     }
 
+    /// Nodes that arrived carrying a parent basis and attempted a
+    /// dual-simplex warm restart.
+    pub fn lp_warm_attempts(&self) -> u64 {
+        self.lp_warm_attempts
+    }
+
+    /// Warm-restart attempts that reoptimized without falling back to the
+    /// from-scratch primal simplex.
+    pub fn lp_warm_hits(&self) -> u64 {
+        self.lp_warm_hits
+    }
+
+    /// Warm-restart hit rate in `[0, 1]`; `0` when no restart was tried.
+    pub fn lp_warm_hit_rate(&self) -> f64 {
+        if self.lp_warm_attempts == 0 {
+            0.0
+        } else {
+            self.lp_warm_hits as f64 / self.lp_warm_attempts as f64
+        }
+    }
+
+    /// Basis re-inversions (eta-file rebuilds) across all LP solves.
+    pub fn lp_refactors(&self) -> u64 {
+        self.lp_refactors
+    }
+
+    /// Average simplex pivots per explored node.
+    pub fn pivots_per_node(&self) -> f64 {
+        self.lp_iterations as f64 / self.nodes.max(1) as f64
+    }
+
     /// Every incumbent improvement in admission order, ending at the
     /// returned assignment. Empty only when the solve failed before any
     /// feasible point (in which case there is no `Solution` to ask).
@@ -212,7 +246,8 @@ impl fmt::Display for Solution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:?} objective={} bound={} nodes={} pruned={} branched={} lp_iters={} jobs={}",
+            "{:?} objective={} bound={} nodes={} pruned={} branched={} lp_iters={} \
+             warm={}/{} refactors={} jobs={}",
             self.status,
             self.objective,
             self.best_bound,
@@ -220,6 +255,9 @@ impl fmt::Display for Solution {
             self.nodes_pruned,
             self.nodes_branched,
             self.lp_iterations,
+            self.lp_warm_hits,
+            self.lp_warm_attempts,
+            self.lp_refactors,
             self.jobs
         )
     }
@@ -275,6 +313,9 @@ mod tests {
             nodes_pruned: 0,
             nodes_branched: 0,
             lp_iterations: 3,
+            lp_warm_attempts: 2,
+            lp_warm_hits: 1,
+            lp_refactors: 4,
             wall_time: Duration::from_millis(1),
             incumbent_source: IncumbentSource::LpIntegral,
             warm_start: WarmStartStatus::NotProvided,
@@ -290,8 +331,14 @@ mod tests {
         assert!(s.is_optimal());
         assert_eq!(s.incumbent_timeline().len(), 1);
         assert_eq!(s.jobs(), 1);
+        assert_eq!(s.lp_warm_attempts(), 2);
+        assert_eq!(s.lp_warm_hits(), 1);
+        assert_eq!(s.lp_warm_hit_rate(), 0.5);
+        assert_eq!(s.lp_refactors(), 4);
+        assert_eq!(s.pivots_per_node(), 3.0);
         let text = s.to_string();
         assert!(text.contains("pruned=0"), "{text}");
+        assert!(text.contains("warm=1/2"), "{text}");
     }
 
     #[test]

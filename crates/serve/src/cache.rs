@@ -218,6 +218,9 @@ mod tests {
             solver_nodes: 1,
             solver_lp_iters: 7,
             solver_gap: 0.0,
+            solver_warm_attempts: 0,
+            solver_warm_hits: 0,
+            solver_refactors: 0,
         }
     }
 

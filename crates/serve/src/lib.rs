@@ -47,7 +47,7 @@ mod singleflight;
 
 pub use cache::ShardedCache;
 pub use key::{fnv1a_64, SolveKey};
-pub use metrics::{MetricsReport, RungLatency, ServiceMetrics, LATENCY_BUCKETS};
+pub use metrics::{MetricsReport, RungLatency, ServiceMetrics, SolverSample, LATENCY_BUCKETS};
 pub use outcome::ServeOutcome;
 pub use service::{ServeConfig, ServeError, SolveRequest, SolveService, SolverFn, WarmHint};
 pub use singleflight::SingleFlight;

@@ -46,6 +46,22 @@ impl RungLatency {
     }
 }
 
+/// One solve's branch-and-bound telemetry, as fed to
+/// [`ServiceMetrics::record_solver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverSample {
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Simplex iterations spent.
+    pub lp_iters: u64,
+    /// Warm-restart attempts (nodes that carried a parent basis).
+    pub warm_attempts: u64,
+    /// Warm-restart hits (dual simplex succeeded, no primal fallback).
+    pub warm_hits: u64,
+    /// Basis refactorizations (eta-file rebuilds).
+    pub refactors: u64,
+}
+
 /// Thread-safe counters a [`SolveService`](crate::SolveService) maintains
 /// while draining batches.
 #[derive(Debug, Default)]
@@ -67,6 +83,13 @@ pub struct ServiceMetrics {
     pub solver_nodes: AtomicU64,
     /// Simplex iterations spent across all executed solves.
     pub solver_lp_iters: AtomicU64,
+    /// Warm-restart attempts (nodes that carried a parent basis) across
+    /// all executed solves.
+    pub solver_warm_attempts: AtomicU64,
+    /// Warm-restart hits (no from-scratch fallback) across all solves.
+    pub solver_warm_hits: AtomicU64,
+    /// Basis refactorizations across all executed solves.
+    pub solver_refactors: AtomicU64,
     latency: Mutex<BTreeMap<String, RungLatency>>,
 }
 
@@ -83,11 +106,19 @@ impl ServiceMetrics {
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
-    /// Accumulates one solve's branch-and-bound telemetry (nodes explored
-    /// and simplex iterations) into the service-wide totals.
-    pub fn record_solver(&self, nodes: u64, lp_iters: u64) {
-        self.solver_nodes.fetch_add(nodes, Ordering::Relaxed);
-        self.solver_lp_iters.fetch_add(lp_iters, Ordering::Relaxed);
+    /// Accumulates one solve's branch-and-bound telemetry (nodes explored,
+    /// simplex iterations, warm-restart attempts/hits, and basis
+    /// refactorizations) into the service-wide totals.
+    pub fn record_solver(&self, stats: SolverSample) {
+        self.solver_nodes.fetch_add(stats.nodes, Ordering::Relaxed);
+        self.solver_lp_iters
+            .fetch_add(stats.lp_iters, Ordering::Relaxed);
+        self.solver_warm_attempts
+            .fetch_add(stats.warm_attempts, Ordering::Relaxed);
+        self.solver_warm_hits
+            .fetch_add(stats.warm_hits, Ordering::Relaxed);
+        self.solver_refactors
+            .fetch_add(stats.refactors, Ordering::Relaxed);
     }
 
     /// Snapshot of the per-rung latency histograms.
@@ -129,6 +160,12 @@ pub struct MetricsReport {
     pub solver_nodes: u64,
     /// Simplex iterations spent across all executed solves.
     pub solver_lp_iters: u64,
+    /// Warm-restart attempts across all executed solves.
+    pub solver_warm_attempts: u64,
+    /// Warm-restart hits across all executed solves.
+    pub solver_warm_hits: u64,
+    /// Basis refactorizations across all executed solves.
+    pub solver_refactors: u64,
     /// Entries currently cached.
     pub cache_len: usize,
     /// Per-rung latency histograms, alphabetical by rung.
@@ -144,6 +181,21 @@ impl MetricsReport {
         } else {
             self.hits as f64 / lookups as f64
         }
+    }
+
+    /// Warm-restart hit rate across all executed solves (0 when no
+    /// restart was attempted).
+    pub fn warm_restart_rate(&self) -> f64 {
+        if self.solver_warm_attempts == 0 {
+            0.0
+        } else {
+            self.solver_warm_hits as f64 / self.solver_warm_attempts as f64
+        }
+    }
+
+    /// Average simplex pivots per branch-and-bound node.
+    pub fn pivots_per_node(&self) -> f64 {
+        self.solver_lp_iters as f64 / self.solver_nodes.max(1) as f64
     }
 }
 
@@ -173,8 +225,18 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
-            "B&B nodes {:>9}   simplex iterations {:>11}",
-            self.solver_nodes, self.solver_lp_iters
+            "B&B nodes {:>9}   simplex iterations {:>11}   ({:.1} pivots/node)",
+            self.solver_nodes,
+            self.solver_lp_iters,
+            self.pivots_per_node()
+        )?;
+        writeln!(
+            f,
+            "warm restarts {:>5}/{:<5} ({:>5.1}% hit)   refactorizations {:>6}",
+            self.solver_warm_hits,
+            self.solver_warm_attempts,
+            100.0 * self.warm_restart_rate(),
+            self.solver_refactors
         )?;
         writeln!(
             f,
@@ -240,10 +302,25 @@ mod tests {
     #[test]
     fn solver_counters_accumulate_across_solves() {
         let m = ServiceMetrics::default();
-        m.record_solver(120, 4_500);
-        m.record_solver(3, 80);
+        m.record_solver(SolverSample {
+            nodes: 120,
+            lp_iters: 4_500,
+            warm_attempts: 100,
+            warm_hits: 90,
+            refactors: 7,
+        });
+        m.record_solver(SolverSample {
+            nodes: 3,
+            lp_iters: 80,
+            warm_attempts: 2,
+            warm_hits: 1,
+            refactors: 1,
+        });
         assert_eq!(m.solver_nodes.load(Ordering::Relaxed), 123);
         assert_eq!(m.solver_lp_iters.load(Ordering::Relaxed), 4_580);
+        assert_eq!(m.solver_warm_attempts.load(Ordering::Relaxed), 102);
+        assert_eq!(m.solver_warm_hits.load(Ordering::Relaxed), 91);
+        assert_eq!(m.solver_refactors.load(Ordering::Relaxed), 8);
     }
 
     #[test]
@@ -267,11 +344,16 @@ mod tests {
             queue_peak: m.queue_peak.load(Ordering::Relaxed),
             solver_nodes: 123,
             solver_lp_iters: 4_580,
+            solver_warm_attempts: 102,
+            solver_warm_hits: 91,
+            solver_refactors: 8,
             cache_len: 5,
             per_rung: m.latency_snapshot(),
         };
         assert_eq!(report.queue_peak, 7);
         assert!((report.hit_rate() - 0.4).abs() < 1e-12);
+        assert!((report.warm_restart_rate() - 91.0 / 102.0).abs() < 1e-12);
+        assert!((report.pivots_per_node() - 4_580.0 / 123.0).abs() < 1e-12);
         let text = report.to_string();
         for needle in [
             "hits",
@@ -281,6 +363,8 @@ mod tests {
             "queue peak",
             "B&B nodes",
             "simplex iterations",
+            "warm restarts",
+            "refactorizations",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -45,6 +45,15 @@ pub struct ServeOutcome {
     /// Final relative MIP gap of the winning ILP rung (0 for a proved
     /// optimum, non-ILP rungs, or pre-telemetry records).
     pub solver_gap: f64,
+    /// Warm-restart attempts: nodes that carried a parent basis into the
+    /// dual simplex (0 for non-ILP rungs or pre-telemetry records).
+    pub solver_warm_attempts: u64,
+    /// Warm-restart hits: attempts that reoptimized without a from-scratch
+    /// primal fallback (0 for non-ILP rungs or pre-telemetry records).
+    pub solver_warm_hits: u64,
+    /// Basis refactorizations (eta-file rebuilds) the winning ILP rung
+    /// performed (0 for non-ILP rungs or pre-telemetry records).
+    pub solver_refactors: u64,
 }
 
 impl ServeOutcome {
@@ -54,7 +63,7 @@ impl ServeOutcome {
     pub fn to_line(&self) -> String {
         let counts: Vec<String> = self.vs_counts.iter().map(u32::to_string).collect();
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.name.replace(['\t', '\n'], " "),
             self.m,
             self.ppg.label(),
@@ -70,17 +79,20 @@ impl ServeOutcome {
             self.solver_nodes,
             self.solver_lp_iters,
             self.solver_gap,
+            self.solver_warm_attempts,
+            self.solver_warm_hits,
+            self.solver_refactors,
         )
     }
 
     /// Parses a [`to_line`](Self::to_line) record; `None` on any malformed
     /// field (a corrupted persisted entry is skipped, not fatal). Accepts
-    /// both the current 15-field format and the legacy 12-field one (from
-    /// caches persisted before solver telemetry existed), defaulting the
-    /// missing solver fields to zero.
+    /// the current 18-field format plus the two legacy ones: 15 fields
+    /// (before warm-restart telemetry) and 12 fields (before any solver
+    /// telemetry), defaulting the missing fields to zero.
     pub fn from_line(line: &str) -> Option<ServeOutcome> {
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 12 && f.len() != 15 {
+        if f.len() != 12 && f.len() != 15 && f.len() != 18 {
             return None;
         }
         let vs_counts = if f[11].is_empty() {
@@ -91,7 +103,7 @@ impl ServeOutcome {
                 .map(|c| c.parse::<u32>().ok())
                 .collect::<Option<Vec<u32>>>()?
         };
-        let (solver_nodes, solver_lp_iters, solver_gap) = if f.len() == 15 {
+        let (solver_nodes, solver_lp_iters, solver_gap) = if f.len() >= 15 {
             (
                 f[12].parse().ok()?,
                 f[13].parse().ok()?,
@@ -99,6 +111,15 @@ impl ServeOutcome {
             )
         } else {
             (0, 0, 0.0)
+        };
+        let (solver_warm_attempts, solver_warm_hits, solver_refactors) = if f.len() == 18 {
+            (
+                f[15].parse().ok()?,
+                f[16].parse().ok()?,
+                f[17].parse().ok()?,
+            )
+        } else {
+            (0, 0, 0)
         };
         Some(ServeOutcome {
             name: f[0].to_string(),
@@ -118,6 +139,9 @@ impl ServeOutcome {
             solver_nodes,
             solver_lp_iters,
             solver_gap,
+            solver_warm_attempts,
+            solver_warm_hits,
+            solver_refactors,
         })
     }
 }
@@ -160,6 +184,9 @@ mod tests {
             solver_nodes: 42,
             solver_lp_iters: 1_337,
             solver_gap: 0.0625,
+            solver_warm_attempts: 40,
+            solver_warm_hits: 36,
+            solver_refactors: 9,
         }
     }
 
@@ -182,6 +209,22 @@ mod tests {
         assert_eq!(back.solver_nodes, 0);
         assert_eq!(back.solver_lp_iters, 0);
         assert_eq!(back.solver_gap, 0.0);
+        assert_eq!(back.solver_warm_attempts, 0);
+        assert_eq!(back.solver_warm_hits, 0);
+        assert_eq!(back.solver_refactors, 0);
+    }
+
+    #[test]
+    fn legacy_fifteen_field_lines_parse_with_zero_warm_telemetry() {
+        let line = sample().to_line();
+        let legacy: Vec<&str> = line.split('\t').take(15).collect();
+        let back = ServeOutcome::from_line(&legacy.join("\t")).unwrap();
+        assert_eq!(back.solver_nodes, 42);
+        assert_eq!(back.solver_lp_iters, 1_337);
+        assert_eq!(back.solver_gap, 0.0625);
+        assert_eq!(back.solver_warm_attempts, 0);
+        assert_eq!(back.solver_warm_hits, 0);
+        assert_eq!(back.solver_refactors, 0);
     }
 
     #[test]
@@ -191,9 +234,14 @@ mod tests {
         let mut truncated = sample().to_line();
         truncated.truncate(truncated.len() / 2);
         assert!(ServeOutcome::from_line(&truncated).is_none());
-        // 13 or 14 fields is neither format.
+        // 13, 14, 16, or 17 fields is no known format.
         let line = sample().to_line();
-        let thirteen: Vec<&str> = line.split('\t').take(13).collect();
-        assert!(ServeOutcome::from_line(&thirteen.join("\t")).is_none());
+        for n in [13usize, 14, 16, 17] {
+            let partial: Vec<&str> = line.split('\t').take(n).collect();
+            assert!(
+                ServeOutcome::from_line(&partial.join("\t")).is_none(),
+                "{n}-field line must be rejected"
+            );
+        }
     }
 }

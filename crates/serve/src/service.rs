@@ -3,7 +3,7 @@
 
 use crate::cache::ShardedCache;
 use crate::key::SolveKey;
-use crate::metrics::{MetricsReport, ServiceMetrics};
+use crate::metrics::{MetricsReport, ServiceMetrics, SolverSample};
 use crate::outcome::ServeOutcome;
 use crate::singleflight::SingleFlight;
 use gomil_arith::PpgKind;
@@ -323,8 +323,13 @@ impl SolveService {
         match &result {
             Ok(outcome) => {
                 self.metrics.record_latency(&outcome.strategy, took);
-                self.metrics
-                    .record_solver(outcome.solver_nodes, outcome.solver_lp_iters);
+                self.metrics.record_solver(SolverSample {
+                    nodes: outcome.solver_nodes,
+                    lp_iters: outcome.solver_lp_iters,
+                    warm_attempts: outcome.solver_warm_attempts,
+                    warm_hits: outcome.solver_warm_hits,
+                    refactors: outcome.solver_refactors,
+                });
                 if outcome.degraded {
                     self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
                 } else if outcome.verified {
@@ -405,6 +410,9 @@ impl SolveService {
             queue_peak: self.metrics.queue_peak.load(Ordering::Relaxed),
             solver_nodes: self.metrics.solver_nodes.load(Ordering::Relaxed),
             solver_lp_iters: self.metrics.solver_lp_iters.load(Ordering::Relaxed),
+            solver_warm_attempts: self.metrics.solver_warm_attempts.load(Ordering::Relaxed),
+            solver_warm_hits: self.metrics.solver_warm_hits.load(Ordering::Relaxed),
+            solver_refactors: self.metrics.solver_refactors.load(Ordering::Relaxed),
             cache_len: self.cache.len(),
             per_rung: self.metrics.latency_snapshot(),
         }
@@ -438,6 +446,9 @@ mod tests {
             solver_nodes: 5,
             solver_lp_iters: 40,
             solver_gap: 0.0,
+            solver_warm_attempts: 4,
+            solver_warm_hits: 3,
+            solver_refactors: 2,
         }
     }
 

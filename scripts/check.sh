@@ -22,6 +22,9 @@ cargo test --workspace -q
 echo "==> jobs-matrix solver tests (release: parallel B&B vs sequential)"
 cargo test -q --release --test solver_parallel
 
+echo "==> basis-reuse smoke gate (release: pivot-count regression > 3x fails)"
+cargo run -q --release -p gomil-bench --bin solver_scaling -- --quick
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

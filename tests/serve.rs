@@ -115,6 +115,9 @@ fn synthetic_outcome(req: &SolveRequest) -> ServeOutcome {
         solver_nodes: 9,
         solver_lp_iters: 250,
         solver_gap: 0.0,
+        solver_warm_attempts: 8,
+        solver_warm_hits: 7,
+        solver_refactors: 3,
     }
 }
 
