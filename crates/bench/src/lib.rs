@@ -42,9 +42,9 @@ pub fn build_roster(m: usize, cfg: &GomilConfig) -> Result<Vec<DesignReport>, Go
     ) -> Result<DesignReport, GomilError> {
         let r = DesignReport::measure(build, power_vectors);
         if !r.verified {
-            return Err(GomilError::Verification(format!(
-                "{} failed functional verification",
-                r.name
+            return Err(GomilError::from(gomil::VerificationFailure::new(
+                &r.name,
+                "failed functional verification",
             )));
         }
         Ok(r)

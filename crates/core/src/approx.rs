@@ -136,6 +136,15 @@ pub fn build_gomil_truncated(
     nl.add_output("p", p);
     nl.prune_dead();
 
+    // Truncated designs are approximate by construction: exact
+    // equivalence would (correctly) fail, so the gate is not run and the
+    // verdict records why. Accuracy is certified by `error_stats` bounds
+    // instead.
+    let mut solution = solution;
+    solution.verdict = gomil_netlist::EquivVerdict::Skipped {
+        reason: "approximate design".into(),
+    };
+
     Ok(GomilDesign {
         build: MultiplierBuild {
             name: format!("GOMIL-TRUNC{k}-{m}"),

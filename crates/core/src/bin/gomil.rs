@@ -1,14 +1,15 @@
 //! `gomil` — command-line front end for the GOMIL reproduction.
 //!
 //! ```text
-//! gomil gen <m> [and|mbe] [--out FILE] [--no-verify] [--budget-ms N]
-//!             [--solver-jobs N]                        generate + export Verilog
+//! gomil gen <m> [and|mbe] [--out FILE] [--verify off|fast|strict] [--no-verify]
+//!             [--budget-ms N] [--solver-jobs N]        generate + export Verilog
 //! gomil compare <m>                                    Fig. 3-style table at one width
 //! gomil batch <m,m,…> [--all-ppg] [--jobs N] [--repeat K]
-//!             [--cache FILE|--no-cache-file] [--budget-ms N] [--solver-jobs N]
-//!                                                      concurrent batch via gomil-serve
+//!             [--cache FILE|--no-cache-file] [--verify off|fast|strict]
+//!             [--budget-ms N] [--solver-jobs N]        concurrent batch via gomil-serve
 //! gomil serve --requests FILE [--jobs N] [--cache FILE|--no-cache-file]
-//!             [--budget-ms N] [--solver-jobs N]        serve a request file
+//!             [--verify off|fast|strict] [--budget-ms N] [--solver-jobs N]
+//!                                                      serve a request file
 //! gomil prefix <heights MSB-first…> [--w W]            optimize a prefix BCV
 //! gomil trunc <m> <k>                                  truncated multiplier report
 //! gomil info                                           defaults and versions
@@ -18,10 +19,17 @@
 //! `--solver-jobs` sizes the *branch-and-bound* worker pool inside each
 //! individual ILP solve. They compose: `--jobs 4 --solver-jobs 2` runs up
 //! to four pipelines, each searching its tree with two threads.
+//!
+//! `--verify` selects the equivalence gate every emitted netlist must
+//! pass: `fast` (default) proves small widths exhaustively and samples
+//! corners + random vectors beyond; `strict` widens both budgets and
+//! additionally demands at least a `tested` verdict before a serve-layer
+//! result may be cached; `off` (alias `--no-verify`) disables the gate.
 
 use gomil::{
     build_baseline, build_gomil, build_gomil_truncated, normalize, serve_service, solve_summary,
-    BaselineKind, DesignReport, GomilConfig, PpgKind, ServeConfig, SolveRequest,
+    BaselineKind, DesignReport, GomilConfig, PpgKind, ServeConfig, SolveRequest, VerdictTier,
+    VerifyMode,
 };
 use gomil_prefix::{leaf_types, optimize_prefix_tree};
 use std::io::Write as _;
@@ -79,6 +87,14 @@ fn cfg_from_args(args: &[String]) -> GomilConfig {
     {
         cfg.solver_jobs = jobs.max(1);
     }
+    // `--no-verify` predates the tiered gate and is kept as an alias for
+    // `--verify off`; an explicit `--verify MODE` wins.
+    if args.iter().any(|a| a == "--no-verify") {
+        cfg.verify = VerifyMode::Off;
+    }
+    if let Some(mode) = flag_value(args, "--verify").and_then(|s| VerifyMode::from_name(s)) {
+        cfg.verify = mode;
+    }
     cfg
 }
 
@@ -100,14 +116,16 @@ fn cmd_gen(args: &[String]) -> CliResult {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1));
-    let verify = !args.iter().any(|a| a == "--no-verify");
 
     let cfg = cfg_from_args(args);
+    // The equivalence gate runs inside build_gomil: a Failed netlist is a
+    // hard error before this point, so reaching here means the verdict is
+    // at worst Skipped (when the gate is off).
     let design = build_gomil(m, ppg, &cfg)?;
-    if verify {
-        design.build.verify()?;
-        eprintln!("verified: {} computes correct products", design.build.name);
-    }
+    eprintln!(
+        "equivalence: {} — {}",
+        design.build.name, design.solution.verdict
+    );
     eprintln!(
         "V_s = {}  |  CT cost {}  |  prefix cost {}  [{}]",
         design.solution.vs,
@@ -186,6 +204,13 @@ fn serve_config_from_args(args: &[String]) -> ServeConfig {
     };
     if args.iter().any(|a| a == "--no-warm-start") {
         sc.warm_start = false;
+    }
+    // Strict verification also tightens the admission gate: nothing may
+    // be cached on a skipped verdict.
+    if let Some(VerifyMode::Strict) =
+        flag_value(args, "--verify").and_then(|s| VerifyMode::from_name(s))
+    {
+        sc.min_verdict = VerdictTier::Tested;
     }
     sc
 }
@@ -364,8 +389,9 @@ fn cmd_info() -> CliResult {
     let cfg = GomilConfig::default();
     println!("gomil reproduction of Xiao/Qian/Liu, DATE 2021");
     println!(
-        "defaults: w = {}, L = {}, α = {}, β = {}, solver budget = {:?}, arrival-aware = {}, solver jobs = {}",
-        cfg.w, cfg.l, cfg.alpha, cfg.beta, cfg.solver_budget, cfg.arrival_aware, cfg.solver_jobs
+        "defaults: w = {}, L = {}, α = {}, β = {}, solver budget = {:?}, arrival-aware = {}, solver jobs = {}, verify = {}",
+        cfg.w, cfg.l, cfg.alpha, cfg.beta, cfg.solver_budget, cfg.arrival_aware, cfg.solver_jobs,
+        cfg.verify.label()
     );
     Ok(())
 }

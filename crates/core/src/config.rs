@@ -1,5 +1,6 @@
 //! GOMIL configuration.
 
+use gomil_netlist::VerifyMode;
 use gomil_prefix::SelectStyle;
 use std::time::Duration;
 
@@ -46,6 +47,15 @@ pub struct GomilConfig {
     /// proves the same optima — so it is excluded from
     /// [`solve_fingerprint`](Self::solve_fingerprint).
     pub solver_jobs: usize,
+    /// Equivalence-verification effort (CLI `--verify {off,fast,strict}`).
+    /// Every emitted design carries the resulting
+    /// [`EquivVerdict`](gomil_netlist::EquivVerdict); a `Failed` verdict
+    /// aborts the build with [`GomilError::Verification`](crate::GomilError).
+    /// Unlike the budgets this *is* part of
+    /// [`solve_fingerprint`](Self::solve_fingerprint): the verdict tier is
+    /// part of the cached result, so outcomes produced under different
+    /// verification regimes must not share a cache line.
+    pub verify: VerifyMode,
 }
 
 impl Default for GomilConfig {
@@ -61,6 +71,7 @@ impl Default for GomilConfig {
             power_vectors: 512,
             arrival_aware: true,
             solver_jobs: 1,
+            verify: VerifyMode::Fast,
         }
     }
 }
@@ -109,8 +120,14 @@ impl GomilConfig {
             SelectStyle::SelectSkip => "select-skip",
         };
         format!(
-            "w={};l={};alpha={};beta={};style={style};arrival={};pv={}",
-            self.w, self.l, self.alpha, self.beta, self.arrival_aware, self.power_vectors
+            "w={};l={};alpha={};beta={};style={style};arrival={};pv={};verify={}",
+            self.w,
+            self.l,
+            self.alpha,
+            self.beta,
+            self.arrival_aware,
+            self.power_vectors,
+            self.verify.label()
         )
     }
 
@@ -154,5 +171,20 @@ mod tests {
         };
         assert_ne!(base.solve_fingerprint(), other_w.solve_fingerprint());
         assert!(!base.solve_fingerprint().contains(['\t', '\n']));
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_verification_mode() {
+        let base = GomilConfig::default();
+        for mode in [VerifyMode::Off, VerifyMode::Strict] {
+            let other = GomilConfig {
+                verify: mode,
+                ..GomilConfig::default()
+            };
+            assert_ne!(base.solve_fingerprint(), other.solve_fingerprint());
+            assert!(other
+                .solve_fingerprint()
+                .contains(&format!("verify={}", mode.label())));
+        }
     }
 }

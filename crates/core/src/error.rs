@@ -7,8 +7,46 @@
 
 use gomil_budget::BudgetExceeded;
 use gomil_ilp::SolveError;
+use gomil_netlist::Counterexample;
 use std::error::Error;
 use std::fmt;
+
+/// Details of a failed equivalence verification: which design, what went
+/// wrong, and — when the failure is functional rather than structural —
+/// the concrete operand pair that replays the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationFailure {
+    /// Name of the failing design.
+    pub design: String,
+    /// Human-readable description (includes the counterexample, if any).
+    pub message: String,
+    /// A replayable mismatch: feed `x`/`y` to the netlist and it produces
+    /// `got` instead of `want`. `None` for structural failures.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl VerificationFailure {
+    /// A structural failure (no single counterexample exists).
+    pub fn new(design: impl Into<String>, message: impl Into<String>) -> VerificationFailure {
+        VerificationFailure {
+            design: design.into(),
+            message: message.into(),
+            counterexample: None,
+        }
+    }
+
+    /// Attaches the replayable operand pair.
+    pub fn with_counterexample(mut self, cex: Counterexample) -> VerificationFailure {
+        self.counterexample = Some(cex);
+        self
+    }
+}
+
+impl fmt::Display for VerificationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.design, self.message)
+    }
+}
 
 /// Any failure of the GOMIL construction pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,9 +63,11 @@ pub enum GomilError {
     /// A validated schedule could not be realized as gates — an internal
     /// invariant violation, never expected on release builds.
     Realization(String),
-    /// Functional verification found a mismatching input pair; the message
-    /// names the design and the first counterexample.
-    Verification(String),
+    /// Equivalence verification rejected the constructed hardware; the
+    /// payload names the design and, for functional failures, carries the
+    /// replayable counterexample. Boxed so the happy-path `Result` stays
+    /// small — the counterexample alone is four `u128`s.
+    Verification(Box<VerificationFailure>),
 }
 
 impl fmt::Display for GomilError {
@@ -64,6 +104,12 @@ impl From<BudgetExceeded> for GomilError {
     }
 }
 
+impl From<VerificationFailure> for GomilError {
+    fn from(fail: VerificationFailure) -> GomilError {
+        GomilError::Verification(Box::new(fail))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,9 +122,32 @@ mod tests {
         assert!(GomilError::from(SolveError::Infeasible)
             .to_string()
             .contains("infeasible"));
-        assert!(GomilError::Verification("x".into())
-            .to_string()
-            .starts_with("verification failed"));
+        assert!(
+            GomilError::from(VerificationFailure::new("GOMIL-AND-4", "bad"))
+                .to_string()
+                .starts_with("verification failed")
+        );
+    }
+
+    #[test]
+    fn verification_failure_carries_a_replayable_counterexample() {
+        let cex = Counterexample {
+            x: 3,
+            y: 5,
+            got: 14,
+            want: 15,
+        };
+        let fail =
+            VerificationFailure::new("GOMIL-AND-4", cex.to_string()).with_counterexample(cex);
+        let err = GomilError::from(fail);
+        assert!(err.to_string().contains('×'), "{err}");
+        match &err {
+            GomilError::Verification(v) => {
+                assert_eq!(v.counterexample, Some(cex));
+                assert_eq!(v.design, "GOMIL-AND-4");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

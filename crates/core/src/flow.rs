@@ -5,15 +5,16 @@
 //! multiplication.
 
 use crate::config::GomilConfig;
-use crate::error::GomilError;
+use crate::error::{GomilError, VerificationFailure};
 use crate::global::{
     optimize_global_hinted, optimize_global_with_budget, GlobalSolution, WarmStartHint,
 };
 use gomil_arith::{and_ppg, baugh_wooley_ppg, booth4_ppg, booth8_ppg, realize_schedule, PpgKind};
 use gomil_budget::Budget;
-use gomil_netlist::{NetId, Netlist};
+use gomil_netlist::{verify_multiplier, EquivVerdict, NetId, Netlist, VerifyConfig};
 use gomil_prefix::{dp_tables_budgeted, leaf_types, ppf_csl_sum, PrefixTree, TwoRows};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Area split of a multiplier by pipeline region (paper Section III:
 /// "the CT dominates the area of a multiplier, while the CT and the
@@ -72,49 +73,56 @@ impl MultiplierBuild {
         }
     }
 
-    /// Functionally verifies the netlist: exhaustive for `m ≤ 6`, seeded
-    /// random sampling otherwise.
+    /// Functionally verifies the netlist against the reference product:
+    /// exhaustive for `m ≤ 6`, corner + seeded random sampling otherwise
+    /// (a quick spot check; the pipeline's admission gate runs the
+    /// configurable-budget [`verify_multiplier`] instead).
     ///
     /// # Errors
     ///
-    /// [`GomilError::Verification`] describing the first mismatching input
-    /// pair.
+    /// [`GomilError::Verification`] naming the design, with the first
+    /// mismatching input pair attached when one exists.
     pub fn verify(&self) -> Result<(), GomilError> {
-        let m = self.m;
-        let check = |x: u128, y: u128| -> Result<(), GomilError> {
-            let got = self.netlist.eval_ints(&[x, y], "p");
-            let want = self.expected_product(x, y);
-            if got != want {
-                return Err(GomilError::Verification(format!(
-                    "{}: {x} × {y} = {want}, netlist produced {got}",
-                    self.name
-                )));
-            }
-            Ok(())
+        let cfg = VerifyConfig {
+            exhaustive_limit: 6,
+            random_vectors: 300,
+            seed: 0xC0FFEE ^ self.m as u64,
+            jobs: 1,
         };
-        if m <= 6 {
-            for x in 0..(1u128 << m) {
-                for y in 0..(1u128 << m) {
-                    check(x, y)?;
-                }
-            }
-        } else {
-            use rand::rngs::StdRng;
-            use rand::{Rng, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ m as u64);
-            let mask = (1u128 << m) - 1;
-            // Corner cases plus random samples.
-            let corners = [0u128, 1, mask, mask - 1, 1 << (m - 1), (1 << (m - 1)) - 1];
-            for &x in &corners {
-                for &y in &corners {
-                    check(x, y)?;
-                }
-            }
-            for _ in 0..300 {
-                check(rng.gen::<u128>() & mask, rng.gen::<u128>() & mask)?;
-            }
+        match self.render_verdict(&cfg).1 {
+            Some(fail) => Err(GomilError::from(fail)),
+            None => Ok(()),
         }
-        Ok(())
+    }
+
+    /// Runs the equivalence gate with an explicit budget, returning both
+    /// the verdict and — when it is `Failed` — the typed failure ready to
+    /// become a [`GomilError::Verification`].
+    pub fn render_verdict(
+        &self,
+        cfg: &VerifyConfig,
+    ) -> (EquivVerdict, Option<VerificationFailure>) {
+        let verdict = verify_multiplier(&self.netlist, self.m, self.is_signed(), cfg);
+        let failure = match &verdict {
+            EquivVerdict::Failed {
+                reason,
+                counterexample,
+            } => {
+                let mut fail = VerificationFailure::new(
+                    &self.name,
+                    match counterexample {
+                        Some(cex) => format!("{reason}: {cex}"),
+                        None => reason.clone(),
+                    },
+                );
+                if let Some(cex) = counterexample {
+                    fail = fail.with_counterexample(*cex);
+                }
+                Some(fail)
+            }
+            _ => None,
+        };
+        (verdict, failure)
     }
 }
 
@@ -306,13 +314,36 @@ fn build_gomil_inner(
     };
     nl.prune_dead();
 
+    let build = MultiplierBuild {
+        name: format!("GOMIL-{}-{m}", ppg.label()),
+        netlist: nl,
+        m,
+        ppg,
+    };
+
+    // The equivalence gate: every emitted design carries a verdict, and a
+    // `Failed` one never leaves this function as a design at all.
+    let mut solution = solution;
+    match cfg.verify.config() {
+        None => {
+            solution.verdict = EquivVerdict::Skipped {
+                reason: "verification disabled".into(),
+            };
+            solution.verify_time = Duration::ZERO;
+        }
+        Some(vcfg) => {
+            let t0 = Instant::now();
+            let (verdict, failure) = build.render_verdict(&vcfg);
+            solution.verify_time = t0.elapsed();
+            if let Some(fail) = failure {
+                return Err(GomilError::from(fail));
+            }
+            solution.verdict = verdict;
+        }
+    }
+
     Ok(GomilDesign {
-        build: MultiplierBuild {
-            name: format!("GOMIL-{}-{m}", ppg.label()),
-            netlist: nl,
-            m,
-            ppg,
-        },
+        build,
         solution,
         realized_tree: tree,
         regions,
@@ -355,6 +386,14 @@ pub fn build_gomil_rect(m: usize, n: usize, cfg: &GomilConfig) -> Result<GomilDe
     }
     nl.add_output("p", sum);
     nl.prune_dead();
+
+    // The square-multiplier equivalence gate does not model unequal
+    // operand widths; rectangular designs are spot-checked by tests and
+    // carry an explicit Skipped verdict rather than a misleading one.
+    let mut solution = solution;
+    solution.verdict = EquivVerdict::Skipped {
+        reason: "rectangular design".into(),
+    };
 
     Ok(GomilDesign {
         build: MultiplierBuild {
@@ -480,6 +519,36 @@ mod tests {
         d.build.verify().unwrap();
         let report = &d.solution.degradation;
         assert_eq!(report.winner, Some(crate::global::Rung::DaddaPrefix));
+    }
+
+    #[test]
+    fn builds_carry_an_equivalence_verdict() {
+        use gomil_netlist::{VerdictTier, VerifyMode};
+        // m = 4 under Fast: within the exhaustive limit → Proved, 4^4 pairs.
+        let d = build_gomil(4, PpgKind::And, &GomilConfig::fast()).unwrap();
+        assert_eq!(d.solution.verdict.tier(), VerdictTier::Proved);
+        assert_eq!(d.solution.verdict.vectors(), 256);
+
+        // m = 12 exceeds Fast's exhaustive limit → sampled tier.
+        let d = build_gomil(12, PpgKind::And, &GomilConfig::fast()).unwrap();
+        assert_eq!(d.solution.verdict.tier(), VerdictTier::Tested);
+        assert!(d.solution.verdict.vectors() > 0);
+
+        // `--verify off` skips the gate and says so.
+        let off = GomilConfig {
+            verify: VerifyMode::Off,
+            ..GomilConfig::fast()
+        };
+        let d = build_gomil(4, PpgKind::And, &off).unwrap();
+        assert_eq!(d.solution.verdict.tier(), VerdictTier::Skipped);
+        assert_eq!(d.solution.verify_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn rectangular_builds_carry_a_skipped_verdict() {
+        use gomil_netlist::VerdictTier;
+        let d = build_gomil_rect(4, 3, &GomilConfig::fast()).unwrap();
+        assert_eq!(d.solution.verdict.tier(), VerdictTier::Skipped);
     }
 
     #[test]

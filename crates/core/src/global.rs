@@ -42,6 +42,7 @@ use gomil_ilp::{
     BranchConfig, IncumbentEvent, IncumbentSource, LinExpr, Model, Sense, Solution, SolveError,
     WarmStartStatus,
 };
+use gomil_netlist::EquivVerdict;
 use gomil_prefix::{dp_tables_budgeted, leaf_types, optimize_prefix_tree, PrefixTree};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -331,6 +332,13 @@ pub struct GlobalSolution {
     /// How the degradation ladder got here. Empty (no attempts) for
     /// solutions produced by calling a single strategy directly.
     pub degradation: DegradationReport,
+    /// Equivalence verdict of the realized netlist. Stamped by the build
+    /// pipeline after realization (`crates/core::build_gomil`); fresh
+    /// solutions straight out of the optimizer carry a `Skipped`
+    /// placeholder because there is no netlist to check yet.
+    pub verdict: EquivVerdict,
+    /// Wall-clock spent rendering [`verdict`](Self::verdict).
+    pub verify_time: Duration,
 }
 
 /// A completed solve's incumbent profile, offered to a *neighboring*
@@ -396,6 +404,15 @@ fn solution_from(
         strategy,
         solver_stats: None,
         degradation: DegradationReport::default(),
+        verdict: unverified(),
+        verify_time: Duration::ZERO,
+    }
+}
+
+/// The placeholder verdict for solutions whose netlist does not exist yet.
+pub(crate) fn unverified() -> EquivVerdict {
+    EquivVerdict::Skipped {
+        reason: "netlist not yet realized".into(),
     }
 }
 
@@ -424,6 +441,8 @@ fn solution_from_budgeted(
         strategy,
         solver_stats: None,
         degradation: DegradationReport::default(),
+        verdict: unverified(),
+        verify_time: Duration::ZERO,
     })
 }
 

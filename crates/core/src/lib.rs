@@ -63,7 +63,7 @@ pub use approx::{build_gomil_truncated, ErrorStats};
 pub use baselines::{build_baseline, BaselineKind};
 pub use config::GomilConfig;
 pub use ct_ilp::{CtIlp, CtSolution};
-pub use error::GomilError;
+pub use error::{GomilError, VerificationFailure};
 pub use flow::{
     build_gomil, build_gomil_rect, build_gomil_with_hint, GomilDesign, MultiplierBuild,
     RegionBreakdown,
@@ -82,7 +82,10 @@ pub use service::{gomil_solver, serve_service};
 pub use gomil_arith::{required_stages, schedule_toward_target, Bcv, CompressionSchedule, PpgKind};
 pub use gomil_budget::{Budget, BudgetExceeded};
 pub use gomil_ilp::{IncumbentSource, SolveError, WarmStartStatus};
-pub use gomil_netlist::DesignMetrics;
+pub use gomil_netlist::{
+    verify_multiplier, Counterexample, DesignMetrics, EquivVerdict, VerdictTier, VerifyConfig,
+    VerifyMode,
+};
 pub use gomil_prefix::{PrefixTree, SelectStyle};
 pub use gomil_serve::{
     MetricsReport, ServeConfig, ServeError, ServeOutcome, SolveKey, SolveRequest, SolveService,

@@ -80,6 +80,11 @@ pub fn solve_summary(sol: &GlobalSolution) -> String {
             }
         ));
     }
+    s.push_str(&format!(
+        "verdict:  {} ({:.1} ms)\n",
+        sol.verdict,
+        sol.verify_time.as_secs_f64() * 1e3
+    ));
     s
 }
 
@@ -175,6 +180,9 @@ mod tests {
         assert!(s.contains("strategy:"), "{s}");
         assert!(s.contains("ladder:"), "{s}");
         assert!(s.contains("winner"), "{s}");
+        // A solution straight out of the optimizer has no netlist yet, so
+        // the verdict line shows the Skipped placeholder.
+        assert!(s.contains("verdict:  skipped"), "{s}");
         if sol.solver_stats.is_some() {
             // The solver line carries the full branch-and-bound telemetry.
             for needle in [

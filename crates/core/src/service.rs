@@ -8,8 +8,10 @@
 //! per request, measured and flattened into a [`ServeOutcome`].
 
 use crate::config::GomilConfig;
+use crate::error::GomilError;
 use crate::flow::{build_gomil_with_hint, GomilDesign};
 use crate::global::{Rung, WarmStartHint};
+use gomil_netlist::VerdictTier;
 use gomil_serve::{ServeConfig, ServeError, ServeOutcome, SolveService, SolverFn};
 use std::io;
 
@@ -44,13 +46,23 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
         ),
         None => (0, 0, 0),
     };
+    // The verdict the admission gate stamped during the build. `Failed`
+    // cannot reach this point (the build errors out instead); `Skipped`
+    // (verification off / approximate design) falls back to the legacy
+    // spot check so the `verified` flag keeps its historical meaning.
+    let verdict = sol.verdict.tier();
+    let verified = match verdict {
+        VerdictTier::Proved | VerdictTier::Tested => true,
+        VerdictTier::Failed => false,
+        VerdictTier::Skipped => design.build.verify().is_ok(),
+    };
     ServeOutcome {
         name: design.build.name.clone(),
         m: design.build.m,
         ppg: design.build.ppg,
         metrics: design.build.netlist.metrics(cfg.power_vectors),
         gates: design.build.netlist.num_gates(),
-        verified: design.build.verify().is_ok(),
+        verified,
         strategy: sol.strategy.to_string(),
         objective: sol.objective,
         degraded,
@@ -61,6 +73,9 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
         solver_warm_attempts,
         solver_warm_hits,
         solver_refactors,
+        verdict,
+        verify_vectors: sol.verdict.vectors(),
+        verify_us: sol.verify_time.as_micros() as u64,
     }
 }
 
@@ -73,8 +88,11 @@ pub fn gomil_solver(cfg: &GomilConfig) -> Box<SolverFn> {
         let hint = warm.map(|h| WarmStartHint {
             counts: h.counts.clone(),
         });
-        let design = build_gomil_with_hint(req.m, req.ppg, &cfg, hint.as_ref())
-            .map_err(|e| ServeError::Solve(e.to_string()))?;
+        let design =
+            build_gomil_with_hint(req.m, req.ppg, &cfg, hint.as_ref()).map_err(|e| match e {
+                GomilError::Verification(_) => ServeError::Verification(e.to_string()),
+                other => ServeError::Solve(other.to_string()),
+            })?;
         Ok(outcome_from(&design, &cfg))
     })
 }
@@ -108,6 +126,12 @@ mod tests {
         let fresh = svc.serve_one(&req).unwrap();
         assert!(fresh.verified, "pipeline output must verify");
         assert!(!fresh.degraded, "unbudgeted small solve must not degrade");
+        assert_eq!(
+            fresh.verdict,
+            VerdictTier::Proved,
+            "m = 4 is inside Fast's exhaustive range"
+        );
+        assert_eq!(fresh.verify_vectors, 256, "4^4 operand pairs");
         let cached = svc.serve_one(&req).unwrap();
         assert_eq!(fresh, cached);
         assert_eq!(

@@ -39,7 +39,22 @@ fn gen_writes_verilog_to_stdout() {
     assert!(text.starts_with("module "));
     assert!(text.contains("output [7:0] p;"));
     let log = String::from_utf8_lossy(&out.stderr);
-    assert!(log.contains("verified"));
+    // The equivalence gate proves m = 4 exhaustively and says so.
+    assert!(log.contains("equivalence:"), "{log}");
+    assert!(log.contains("proved"), "{log}");
+    assert!(log.contains("verdict:"), "{log}");
+}
+
+#[test]
+fn gen_verify_off_reports_a_skipped_verdict() {
+    let out = gomil(&["gen", "4", "--verify", "off"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("skipped"), "{log}");
 }
 
 #[test]

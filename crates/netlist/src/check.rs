@@ -6,7 +6,7 @@
 //! real logic.
 
 use crate::gate::GateKind;
-use crate::netlist::Netlist;
+use crate::netlist::{NetId, Netlist};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -29,6 +29,15 @@ pub enum CheckIssue {
     },
     /// The netlist declares no outputs at all.
     NoOutputs,
+    /// A net that (transitively) depends on its own value. The builder's
+    /// define-before-use rule makes this impossible to construct, but
+    /// imported Verilog and fault-injected netlists carry no such
+    /// guarantee — and simulation silently reads stale values through a
+    /// back edge, so cycles must be surfaced structurally.
+    CombinationalCycle {
+        /// Index of a net on the cycle.
+        net: usize,
+    },
 }
 
 impl fmt::Display for CheckIssue {
@@ -41,6 +50,9 @@ impl fmt::Display for CheckIssue {
                 write!(f, "input bit {port}[{bit}] is never read")
             }
             CheckIssue::NoOutputs => f.write_str("netlist declares no outputs"),
+            CheckIssue::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net n{net}")
+            }
         }
     }
 }
@@ -53,6 +65,12 @@ impl Netlist {
         let mut issues = Vec::new();
         if self.outputs().is_empty() {
             issues.push(CheckIssue::NoOutputs);
+        }
+
+        // Combinational cycles: iterative three-color DFS over the net
+        // dependency graph (a net depends on its driver's inputs).
+        if let Some(net) = self.find_cycle() {
+            issues.push(CheckIssue::CombinationalCycle { net });
         }
 
         // Mark cone of influence of the outputs.
@@ -109,6 +127,42 @@ impl Netlist {
         }
         issues
     }
+
+    /// Returns a net on a combinational cycle, if one exists.
+    fn find_cycle(&self) -> Option<usize> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; self.num_nets()];
+        for root in 0..self.num_nets() {
+            if color[root] != WHITE {
+                continue;
+            }
+            // Frames of (net, next input pin to visit).
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            color[root] = GRAY;
+            while let Some(frame) = stack.last_mut() {
+                let (net, pin) = *frame;
+                let cell = self.driver_of(NetId(net as u32));
+                if pin < cell.kind.arity() {
+                    frame.1 += 1;
+                    let child = cell.inputs[pin].index();
+                    match color[child] {
+                        WHITE => {
+                            color[child] = GRAY;
+                            stack.push((child, 0));
+                        }
+                        GRAY => return Some(child),
+                        _ => {}
+                    }
+                } else {
+                    color[net] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +191,30 @@ mod tests {
         assert!(issues
             .iter()
             .any(|i| matches!(i, CheckIssue::UnusedInput { bit: 1, .. })));
+    }
+
+    #[test]
+    fn detects_a_combinational_cycle() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1);
+        let x = n.and(a[0], a[0]);
+        let y = n.or(x, a[0]);
+        n.add_output("o", vec![y]);
+        assert!(n.check().is_empty());
+        // Rewire the AND to read the OR's output: x → y → x.
+        let x_cell = n
+            .cells()
+            .iter()
+            .position(|c| c.output == x)
+            .expect("x has a driver");
+        n.inject_cell_input(x_cell, 1, y);
+        let issues = n.check();
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, CheckIssue::CombinationalCycle { .. })),
+            "{issues:?}"
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [switching-activity power estimation](Netlist::estimate_power) and
 //!   combined [`DesignMetrics`];
 //! * [structural Verilog export](Netlist::to_verilog) and
-//!   [sanity checks](Netlist::check).
+//!   [sanity checks](Netlist::check);
+//! * [equivalence verification](verify_multiplier) rendering a typed
+//!   [`EquivVerdict`] (exhaustive up to `m = 16`, layered corner/random/
+//!   structural checks beyond) — the admission gate for every design the
+//!   pipeline caches or serves.
 //!
 //! ## Example
 //!
@@ -51,6 +55,7 @@ mod netlist;
 mod power;
 mod sim;
 mod sta;
+mod verify;
 mod verilog;
 mod verilog_parse;
 
@@ -62,4 +67,7 @@ pub use netlist::{Cell, NetId, Netlist, Port};
 pub use power::PowerEstimate;
 pub use sim::SimVectors;
 pub use sta::Timing;
+pub use verify::{
+    verify_multiplier, Counterexample, EquivVerdict, VerdictTier, VerifyConfig, VerifyMode,
+};
 pub use verilog_parse::ParseVerilogError;

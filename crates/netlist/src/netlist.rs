@@ -330,6 +330,42 @@ impl Netlist {
         removed
     }
 
+    /// Fault-injection hook: replaces the gate kind of cell `index`,
+    /// returning the previous kind. Used by verification tests to plant
+    /// known-bad hardware; the new kind must have the same arity so the
+    /// netlist stays well-formed (only its *function* is corrupted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the arities differ.
+    pub fn inject_cell_kind(&mut self, index: usize, kind: GateKind) -> GateKind {
+        let cell = &mut self.cells[index];
+        assert_eq!(
+            cell.kind.arity(),
+            kind.arity(),
+            "fault injection must preserve arity ({} vs {})",
+            cell.kind,
+            kind
+        );
+        std::mem::replace(&mut cell.kind, kind)
+    }
+
+    /// Fault-injection hook: rewires input pin `pin` of cell `index` to
+    /// `net`. Unlike every builder method this does **not** enforce
+    /// define-before-use, so it can create backward references and
+    /// combinational cycles — exactly the corruptions
+    /// [`Netlist::check`] and the verifier must catch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index`, `pin`, or `net` is out of range.
+    pub fn inject_cell_input(&mut self, index: usize, pin: usize, net: NetId) {
+        assert!(net.index() < self.driver.len(), "unknown net {net}");
+        let cell = &mut self.cells[index];
+        assert!(pin < cell.kind.arity(), "pin {pin} out of range");
+        cell.inputs[pin] = net;
+    }
+
     /// Total cell area (sum of per-gate areas).
     pub fn area(&self) -> f64 {
         self.cells.iter().map(|c| c.kind.area()).sum()

@@ -221,6 +221,9 @@ mod tests {
             solver_warm_attempts: 0,
             solver_warm_hits: 0,
             solver_refactors: 0,
+            verdict: gomil_netlist::VerdictTier::Proved,
+            verify_vectors: 256,
+            verify_us: 12,
         }
     }
 

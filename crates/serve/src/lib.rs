@@ -34,6 +34,13 @@
 //! ([`ServeOutcome::degraded`]) are returned to their requester but never
 //! cached, so a batch run under a dead budget cannot poison later lookups.
 //! Budgets are therefore deliberately excluded from [`SolveKey`].
+//!
+//! On top of that, every outcome carries an equivalence verdict
+//! ([`ServeOutcome::verdict`], a [`VerdictTier`]): a `Failed` netlist
+//! never reaches the cache or the warm-hint pool (the production solver
+//! errors out with [`ServeError::Verification`] before an outcome even
+//! exists), and [`ServeConfig::min_verdict`] lets strict deployments
+//! demand `Tested` or `Proved` before an outcome may be pinned.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,4 +61,4 @@ pub use singleflight::SingleFlight;
 
 // Re-export the request vocabulary the service speaks.
 pub use gomil_arith::PpgKind;
-pub use gomil_netlist::DesignMetrics;
+pub use gomil_netlist::{DesignMetrics, VerdictTier};

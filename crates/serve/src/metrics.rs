@@ -1,5 +1,6 @@
 //! Service observability: counters and per-rung latency histograms.
 
+use gomil_netlist::VerdictTier;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,6 +91,19 @@ pub struct ServiceMetrics {
     pub solver_warm_hits: AtomicU64,
     /// Basis refactorizations across all executed solves.
     pub solver_refactors: AtomicU64,
+    /// Solves whose netlist equivalence was proved exhaustively.
+    pub verdict_proved: AtomicU64,
+    /// Solves whose netlist passed the sampled equivalence check.
+    pub verdict_tested: AtomicU64,
+    /// Solves whose netlist failed equivalence (these error out and are
+    /// never cached or served).
+    pub verdict_failed: AtomicU64,
+    /// Solves that skipped equivalence verification (disabled, or an
+    /// approximate/rectangular design).
+    pub verdict_skipped: AtomicU64,
+    /// Outcomes the admission gate refused to cache because their verdict
+    /// tier fell below [`ServeConfig::min_verdict`](crate::ServeConfig).
+    pub verify_rejected: AtomicU64,
     latency: Mutex<BTreeMap<String, RungLatency>>,
 }
 
@@ -119,6 +133,17 @@ impl ServiceMetrics {
             .fetch_add(stats.warm_hits, Ordering::Relaxed);
         self.solver_refactors
             .fetch_add(stats.refactors, Ordering::Relaxed);
+    }
+
+    /// Counts one solve's equivalence verdict toward the per-tier totals.
+    pub fn record_verdict(&self, tier: VerdictTier) {
+        let counter = match tier {
+            VerdictTier::Proved => &self.verdict_proved,
+            VerdictTier::Tested => &self.verdict_tested,
+            VerdictTier::Failed => &self.verdict_failed,
+            VerdictTier::Skipped => &self.verdict_skipped,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of the per-rung latency histograms.
@@ -166,6 +191,16 @@ pub struct MetricsReport {
     pub solver_warm_hits: u64,
     /// Basis refactorizations across all executed solves.
     pub solver_refactors: u64,
+    /// Solves with an exhaustively proved equivalence verdict.
+    pub verdict_proved: u64,
+    /// Solves with a sampled (tested) equivalence verdict.
+    pub verdict_tested: u64,
+    /// Solves whose netlist failed equivalence verification.
+    pub verdict_failed: u64,
+    /// Solves that skipped equivalence verification.
+    pub verdict_skipped: u64,
+    /// Outcomes refused by the verdict admission gate (not cached).
+    pub verify_rejected: u64,
     /// Entries currently cached.
     pub cache_len: usize,
     /// Per-rung latency histograms, alphabetical by rung.
@@ -237,6 +272,15 @@ impl fmt::Display for MetricsReport {
             self.solver_warm_attempts,
             100.0 * self.warm_restart_rate(),
             self.solver_refactors
+        )?;
+        writeln!(
+            f,
+            "verdicts: proved {:>5}  tested {:>5}  skipped {:>5}  failed {:>3}  gate-rejected {:>3}",
+            self.verdict_proved,
+            self.verdict_tested,
+            self.verdict_skipped,
+            self.verdict_failed,
+            self.verify_rejected
         )?;
         writeln!(
             f,
@@ -324,6 +368,21 @@ mod tests {
     }
 
     #[test]
+    fn verdict_counters_route_by_tier() {
+        let m = ServiceMetrics::default();
+        m.record_verdict(VerdictTier::Proved);
+        m.record_verdict(VerdictTier::Proved);
+        m.record_verdict(VerdictTier::Tested);
+        m.record_verdict(VerdictTier::Skipped);
+        m.record_verdict(VerdictTier::Failed);
+        assert_eq!(m.verdict_proved.load(Ordering::Relaxed), 2);
+        assert_eq!(m.verdict_tested.load(Ordering::Relaxed), 1);
+        assert_eq!(m.verdict_skipped.load(Ordering::Relaxed), 1);
+        assert_eq!(m.verdict_failed.load(Ordering::Relaxed), 1);
+        assert_eq!(m.verify_rejected.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn report_renders_every_counter() {
         let m = ServiceMetrics::default();
         m.requests.store(10, Ordering::Relaxed);
@@ -347,6 +406,11 @@ mod tests {
             solver_warm_attempts: 102,
             solver_warm_hits: 91,
             solver_refactors: 8,
+            verdict_proved: 4,
+            verdict_tested: 1,
+            verdict_failed: 0,
+            verdict_skipped: 1,
+            verify_rejected: 1,
             cache_len: 5,
             per_rung: m.latency_snapshot(),
         };
@@ -365,6 +429,8 @@ mod tests {
             "simplex iterations",
             "warm restarts",
             "refactorizations",
+            "verdicts:",
+            "gate-rejected",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -1,7 +1,7 @@
 //! The cacheable result of one solve.
 
 use gomil_arith::PpgKind;
-use gomil_netlist::DesignMetrics;
+use gomil_netlist::{DesignMetrics, VerdictTier};
 use std::fmt;
 
 /// Everything the service returns (and persists) for one request: the
@@ -54,6 +54,15 @@ pub struct ServeOutcome {
     /// Basis refactorizations (eta-file rebuilds) the winning ILP rung
     /// performed (0 for non-ILP rungs or pre-telemetry records).
     pub solver_refactors: u64,
+    /// Equivalence-verdict tier of the emitted netlist (`Skipped` for
+    /// records persisted before the verification gate existed).
+    pub verdict: VerdictTier,
+    /// Operand pairs the verifier simulated (0 for skipped verdicts and
+    /// pre-verification records).
+    pub verify_vectors: u64,
+    /// Verification wall-clock in microseconds (0 for skipped verdicts
+    /// and pre-verification records).
+    pub verify_us: u64,
 }
 
 impl ServeOutcome {
@@ -63,7 +72,7 @@ impl ServeOutcome {
     pub fn to_line(&self) -> String {
         let counts: Vec<String> = self.vs_counts.iter().map(u32::to_string).collect();
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.name.replace(['\t', '\n'], " "),
             self.m,
             self.ppg.label(),
@@ -82,17 +91,21 @@ impl ServeOutcome {
             self.solver_warm_attempts,
             self.solver_warm_hits,
             self.solver_refactors,
+            self.verdict.label(),
+            self.verify_vectors,
+            self.verify_us,
         )
     }
 
     /// Parses a [`to_line`](Self::to_line) record; `None` on any malformed
     /// field (a corrupted persisted entry is skipped, not fatal). Accepts
-    /// the current 18-field format plus the two legacy ones: 15 fields
-    /// (before warm-restart telemetry) and 12 fields (before any solver
-    /// telemetry), defaulting the missing fields to zero.
+    /// the current 21-field format plus the three legacy ones: 18 fields
+    /// (before verification verdicts), 15 fields (before warm-restart
+    /// telemetry) and 12 fields (before any solver telemetry), defaulting
+    /// the missing verdict to `Skipped` and missing counters to zero.
     pub fn from_line(line: &str) -> Option<ServeOutcome> {
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 12 && f.len() != 15 && f.len() != 18 {
+        if f.len() != 12 && f.len() != 15 && f.len() != 18 && f.len() != 21 {
             return None;
         }
         let vs_counts = if f[11].is_empty() {
@@ -112,7 +125,7 @@ impl ServeOutcome {
         } else {
             (0, 0, 0.0)
         };
-        let (solver_warm_attempts, solver_warm_hits, solver_refactors) = if f.len() == 18 {
+        let (solver_warm_attempts, solver_warm_hits, solver_refactors) = if f.len() >= 18 {
             (
                 f[15].parse().ok()?,
                 f[16].parse().ok()?,
@@ -120,6 +133,15 @@ impl ServeOutcome {
             )
         } else {
             (0, 0, 0)
+        };
+        let (verdict, verify_vectors, verify_us) = if f.len() == 21 {
+            (
+                VerdictTier::from_label(f[18])?,
+                f[19].parse().ok()?,
+                f[20].parse().ok()?,
+            )
+        } else {
+            (VerdictTier::Skipped, 0, 0)
         };
         Some(ServeOutcome {
             name: f[0].to_string(),
@@ -142,6 +164,9 @@ impl ServeOutcome {
             solver_warm_attempts,
             solver_warm_hits,
             solver_refactors,
+            verdict,
+            verify_vectors,
+            verify_us,
         })
     }
 }
@@ -150,13 +175,14 @@ impl fmt::Display for ServeOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<16} m={:<3} {} gates={} [{}{}]",
+            "{:<16} m={:<3} {} gates={} [{}{}, {}]",
             self.name,
             self.m,
             self.metrics,
             self.gates,
             self.strategy,
             if self.degraded { ", degraded" } else { "" },
+            self.verdict,
         )
     }
 }
@@ -187,6 +213,9 @@ mod tests {
             solver_warm_attempts: 40,
             solver_warm_hits: 36,
             solver_refactors: 9,
+            verdict: VerdictTier::Proved,
+            verify_vectors: 65_536,
+            verify_us: 4_200,
         }
     }
 
@@ -212,6 +241,8 @@ mod tests {
         assert_eq!(back.solver_warm_attempts, 0);
         assert_eq!(back.solver_warm_hits, 0);
         assert_eq!(back.solver_refactors, 0);
+        assert_eq!(back.verdict, VerdictTier::Skipped);
+        assert_eq!(back.verify_vectors, 0);
     }
 
     #[test]
@@ -225,6 +256,30 @@ mod tests {
         assert_eq!(back.solver_warm_attempts, 0);
         assert_eq!(back.solver_warm_hits, 0);
         assert_eq!(back.solver_refactors, 0);
+        assert_eq!(back.verdict, VerdictTier::Skipped);
+    }
+
+    #[test]
+    fn legacy_eighteen_field_lines_parse_with_a_skipped_verdict() {
+        let line = sample().to_line();
+        let legacy: Vec<&str> = line.split('\t').take(18).collect();
+        let back = ServeOutcome::from_line(&legacy.join("\t")).unwrap();
+        assert_eq!(back.solver_warm_attempts, 40);
+        assert_eq!(back.solver_warm_hits, 36);
+        assert_eq!(back.solver_refactors, 9);
+        assert_eq!(back.verdict, VerdictTier::Skipped);
+        assert_eq!(back.verify_vectors, 0);
+        assert_eq!(back.verify_us, 0);
+    }
+
+    #[test]
+    fn current_lines_carry_the_verdict_fields() {
+        let line = sample().to_line();
+        assert_eq!(line.split('\t').count(), 21);
+        let back = ServeOutcome::from_line(&line).unwrap();
+        assert_eq!(back.verdict, VerdictTier::Proved);
+        assert_eq!(back.verify_vectors, 65_536);
+        assert_eq!(back.verify_us, 4_200);
     }
 
     #[test]
@@ -234,14 +289,20 @@ mod tests {
         let mut truncated = sample().to_line();
         truncated.truncate(truncated.len() / 2);
         assert!(ServeOutcome::from_line(&truncated).is_none());
-        // 13, 14, 16, or 17 fields is no known format.
+        // Field counts between (or beyond) the known formats are no format.
         let line = sample().to_line();
-        for n in [13usize, 14, 16, 17] {
+        for n in [13usize, 14, 16, 17, 19, 20] {
             let partial: Vec<&str> = line.split('\t').take(n).collect();
             assert!(
                 ServeOutcome::from_line(&partial.join("\t")).is_none(),
                 "{n}-field line must be rejected"
             );
         }
+        let overlong = format!("{line}\t0");
+        assert!(ServeOutcome::from_line(&overlong).is_none());
+        // An unknown verdict label is a malformed field, not Skipped.
+        let bad = line.replace("\tproved\t", "\tmaybe\t");
+        assert_ne!(bad, line);
+        assert!(ServeOutcome::from_line(&bad).is_none());
     }
 }

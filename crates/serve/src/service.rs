@@ -7,6 +7,7 @@ use crate::metrics::{MetricsReport, ServiceMetrics, SolverSample};
 use crate::outcome::ServeOutcome;
 use crate::singleflight::SingleFlight;
 use gomil_arith::PpgKind;
+use gomil_netlist::VerdictTier;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
@@ -14,7 +15,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One multiplier-generation request.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -37,6 +38,10 @@ pub enum ServeError {
     /// The solve pipeline returned an error (message from the underlying
     /// `GomilError`).
     Solve(String),
+    /// The emitted netlist failed equivalence verification: the request
+    /// errors out and nothing is cached, served onward, or offered as a
+    /// warm start. The message carries the counterexample.
+    Verification(String),
     /// The solver panicked; the panic was contained to this request and
     /// the worker kept draining the queue.
     Panic(String),
@@ -46,6 +51,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Solve(m) => write!(f, "solve failed: {m}"),
+            ServeError::Verification(m) => write!(f, "verification rejected the netlist: {m}"),
             ServeError::Panic(m) => write!(f, "solver panicked: {m}"),
         }
     }
@@ -91,6 +97,12 @@ pub struct ServeConfig {
     pub cache_path: Option<PathBuf>,
     /// Offer completed incumbents to neighbor requests as warm starts.
     pub warm_start: bool,
+    /// Minimum equivalence-verdict tier an outcome must carry to be
+    /// admitted into the cache and warm-hint pool. The default `Skipped`
+    /// preserves the historical contract (anything non-failed may be
+    /// cached); a strict deployment sets `Tested` or `Proved` so
+    /// unverified outcomes are served once but never pinned.
+    pub min_verdict: VerdictTier,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +114,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_path: None,
             warm_start: true,
+            min_verdict: VerdictTier::Skipped,
         }
     }
 }
@@ -186,9 +199,11 @@ impl<T> JobQueue<T> {
 ///    seeded with a completed *neighbor* solve's incumbent (same `m` with
 ///    a different PPG, or `m ± 1` — profiles close enough that the
 ///    steered schedule generator can adapt them);
-/// 4. **publish** — certified, non-degraded outcomes enter the cache and
-///    the warm-hint pool; degraded outcomes are returned to their
-///    requester only, so budget-starved batches never poison the cache.
+/// 4. **publish** — certified, non-degraded outcomes whose equivalence
+///    verdict clears [`ServeConfig::min_verdict`] enter the cache and the
+///    warm-hint pool; degraded or under-verified outcomes are returned to
+///    their requester only, so budget-starved batches and unverified
+///    netlists never poison the cache.
 ///
 /// The service is driven batch-at-a-time by [`run_batch`]
 /// (`jobs` worker threads draining a bounded queue); all state — cache,
@@ -330,15 +345,24 @@ impl SolveService {
                     warm_hits: outcome.solver_warm_hits,
                     refactors: outcome.solver_refactors,
                 });
+                self.metrics.record_verdict(outcome.verdict);
+                if outcome.verify_us > 0 {
+                    self.metrics
+                        .record_latency("verify", Duration::from_micros(outcome.verify_us));
+                }
                 if outcome.degraded {
                     self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
-                } else if outcome.verified {
+                } else if outcome.verified && outcome.verdict.admits(self.config.min_verdict) {
                     self.cache.insert(key, outcome.clone());
                     self.offer_hint(WarmHint {
                         m: outcome.m,
                         ppg: outcome.ppg,
                         counts: outcome.vs_counts.clone(),
                     });
+                } else {
+                    // The verdict gate: unverified or under-tier outcomes
+                    // answer their requester but are never pinned.
+                    self.metrics.verify_rejected.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Err(_) => {
@@ -413,6 +437,11 @@ impl SolveService {
             solver_warm_attempts: self.metrics.solver_warm_attempts.load(Ordering::Relaxed),
             solver_warm_hits: self.metrics.solver_warm_hits.load(Ordering::Relaxed),
             solver_refactors: self.metrics.solver_refactors.load(Ordering::Relaxed),
+            verdict_proved: self.metrics.verdict_proved.load(Ordering::Relaxed),
+            verdict_tested: self.metrics.verdict_tested.load(Ordering::Relaxed),
+            verdict_failed: self.metrics.verdict_failed.load(Ordering::Relaxed),
+            verdict_skipped: self.metrics.verdict_skipped.load(Ordering::Relaxed),
+            verify_rejected: self.metrics.verify_rejected.load(Ordering::Relaxed),
             cache_len: self.cache.len(),
             per_rung: self.metrics.latency_snapshot(),
         }
@@ -449,6 +478,9 @@ mod tests {
             solver_warm_attempts: 4,
             solver_warm_hits: 3,
             solver_refactors: 2,
+            verdict: VerdictTier::Tested,
+            verify_vectors: 1_024,
+            verify_us: 150,
         }
     }
 
@@ -509,6 +541,70 @@ mod tests {
         assert_eq!(solves.load(Ordering::SeqCst), 2, "nothing was cached");
         assert_eq!(svc.cache_len(), 0);
         assert_eq!(svc.report().degraded, 2);
+    }
+
+    #[test]
+    fn failed_verdicts_never_enter_the_cache_or_warm_pool() {
+        let solver: Box<SolverFn> = Box::new(|req, _| {
+            let mut o = outcome_for(req, false);
+            o.verdict = VerdictTier::Failed;
+            o.verified = false;
+            Ok(o)
+        });
+        let svc = SolveService::new("t".into(), solver, ServeConfig::default()).unwrap();
+        let req = SolveRequest {
+            m: 8,
+            ppg: PpgKind::And,
+        };
+        let out = svc.serve_one(&req).unwrap();
+        assert_eq!(out.verdict, VerdictTier::Failed);
+        assert_eq!(svc.cache_len(), 0, "a failed netlist must never be cached");
+        // A second identical request must re-solve — nothing was pinned —
+        // and must not be seeded by the failed outcome's profile.
+        svc.serve_one(&SolveRequest {
+            m: 9,
+            ppg: PpgKind::And,
+        })
+        .unwrap();
+        let r = svc.report();
+        assert_eq!(r.solves, 2);
+        assert_eq!(r.verdict_failed, 2, "both solves carried a failed verdict");
+        assert_eq!(r.verify_rejected, 2, "both under-gate outcomes rejected");
+        assert_eq!(
+            r.warm_hints, 0,
+            "a rejected outcome must not donate a warm hint"
+        );
+    }
+
+    #[test]
+    fn strict_min_verdict_rejects_tested_outcomes() {
+        let solver: Box<SolverFn> = Box::new(|req, _| Ok(outcome_for(req, false)));
+        let svc = SolveService::new(
+            "t".into(),
+            solver,
+            ServeConfig {
+                min_verdict: VerdictTier::Proved,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let req = SolveRequest {
+            m: 8,
+            ppg: PpgKind::And,
+        };
+        // outcome_for carries a Tested verdict — below the Proved floor.
+        assert_eq!(svc.serve_one(&req).unwrap().verdict, VerdictTier::Tested);
+        assert_eq!(svc.cache_len(), 0);
+        svc.serve_one(&req).unwrap();
+        let r = svc.report();
+        assert_eq!(r.solves, 2, "nothing was cached under the strict floor");
+        assert_eq!(r.verdict_tested, 2);
+        assert_eq!(r.verify_rejected, 2);
+        // The verify histogram saw both samples (verify_us = 150 > 0).
+        assert!(r
+            .per_rung
+            .iter()
+            .any(|(k, h)| k == "verify" && h.count == 2));
     }
 
     #[test]

@@ -25,6 +25,9 @@ cargo test -q --release --test solver_parallel
 echo "==> basis-reuse smoke gate (release: pivot-count regression > 3x fails)"
 cargo run -q --release -p gomil-bench --bin solver_scaling -- --quick
 
+echo "==> equivalence smoke gate (release: strict-verify roster, proved/tested tiers)"
+cargo run -q --release -p gomil-bench --bin equiv_smoke -- --quick
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -4,11 +4,11 @@
 
 use gomil::{
     build_gomil, build_gomil_truncated, GomilConfig, GomilError, MultiplierBuild, PpgKind, Rung,
-    RungOutcome,
+    RungOutcome, VerdictTier, VerifyConfig, VerifyMode,
 };
 use gomil_arith::{and_ppg, Bcv, CompressionSchedule, StageCounts};
 use gomil_ilp::{certify_values, CertifyError, Cmp, LinExpr, Model, Sense};
-use gomil_netlist::Netlist;
+use gomil_netlist::{GateKind, Netlist};
 use std::time::Duration;
 
 fn cfg() -> GomilConfig {
@@ -187,4 +187,60 @@ fn schedule_for_wrong_width_is_rejected_by_realization() {
     // A Dadda schedule computed for a *different* (taller) matrix.
     let wrong = gomil_arith::dadda_schedule(&Bcv::and_ppg(6));
     assert!(gomil_arith::realize_schedule(&mut nl, &pp, &wrong).is_err());
+}
+
+#[test]
+fn a_single_flipped_gate_is_caught_with_a_replayable_counterexample() {
+    // Build a correct design with the construction-time gate off, then
+    // corrupt exactly one gate (XOR → XNOR, same arity) — the smallest
+    // fault a netlist can suffer without changing its shape at all.
+    let mut design = build_gomil(
+        4,
+        PpgKind::And,
+        &GomilConfig {
+            verify: VerifyMode::Off,
+            ..cfg()
+        },
+    )
+    .unwrap();
+    let (clean, clean_failure) = design.build.render_verdict(&VerifyConfig::fast());
+    assert!(
+        clean_failure.is_none(),
+        "uncorrupted build must pass: {clean}"
+    );
+    assert_eq!(clean.tier(), VerdictTier::Proved, "m = 4 is exhaustive");
+
+    let idx = design
+        .build
+        .netlist
+        .cells()
+        .iter()
+        .position(|c| c.kind == GateKind::Xor2)
+        .expect("a multiplier contains XOR gates");
+    let old = design.build.netlist.inject_cell_kind(idx, GateKind::Xnor2);
+    assert_eq!(old, GateKind::Xor2);
+
+    let (verdict, failure) = design.build.render_verdict(&VerifyConfig::fast());
+    assert_eq!(verdict.tier(), VerdictTier::Failed, "{verdict}");
+    let failure = failure.expect("a failed verdict carries a typed failure");
+    let cex = failure
+        .counterexample
+        .expect("a simulation mismatch carries a counterexample");
+
+    // The counterexample is replayable: feeding it back into the corrupted
+    // netlist reproduces the wrong product, which differs from the true
+    // product at exactly the recorded value.
+    let got = design.build.netlist.eval_ints(&[cex.x, cex.y], "p");
+    assert_eq!(got, cex.got, "counterexample must replay bit-exactly");
+    assert_ne!(cex.got, cex.want);
+    assert_eq!(
+        design.build.expected_product(cex.x, cex.y),
+        cex.want,
+        "the recorded want is the true product"
+    );
+    // And the typed error message carries the whole story.
+    let err = GomilError::from(failure);
+    let msg = err.to_string();
+    assert!(msg.contains('×'), "{msg}");
+    assert!(msg.contains("netlist produced"), "{msg}");
 }

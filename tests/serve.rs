@@ -4,9 +4,11 @@
 //! byte-equality of cached versus fresh solves across persistence.
 
 use gomil::{
-    serve_service, DesignMetrics, GomilConfig, PpgKind, SelectStyle, ServeConfig, ServeOutcome,
-    SolveKey, SolveRequest, SolveService, SolverFn,
+    build_gomil, serve_service, DesignMetrics, GomilConfig, PpgKind, SelectStyle, ServeConfig,
+    ServeError, ServeOutcome, SolveKey, SolveRequest, SolveService, SolverFn, VerdictTier,
+    VerifyConfig, VerifyMode,
 };
+use gomil_netlist::GateKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,6 +63,10 @@ fn every_solve_relevant_field_changes_the_key() {
         },
         GomilConfig {
             power_vectors: 64,
+            ..GomilConfig::default()
+        },
+        GomilConfig {
+            verify: VerifyMode::Off,
             ..GomilConfig::default()
         },
     ];
@@ -118,6 +124,9 @@ fn synthetic_outcome(req: &SolveRequest) -> ServeOutcome {
         solver_warm_attempts: 8,
         solver_warm_hits: 7,
         solver_refactors: 3,
+        verdict: VerdictTier::Tested,
+        verify_vectors: 512,
+        verify_us: 90,
     }
 }
 
@@ -294,4 +303,62 @@ fn cached_results_are_byte_equal_to_fresh_solves_across_persistence() {
     );
     assert_eq!(second.report().solves, 0, "no new ILP solve after reload");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// The equivalence gate blocks corrupted netlists end to end: a typed
+// verification error surfaces to the requester and nothing is cached.
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupted_netlists_surface_typed_verification_errors_and_stay_uncached() {
+    // A saboteur solver: build the real design with the construction-time
+    // gate disabled, flip one gate, then run the same verdict path the
+    // production solver uses — simulating a netlist corrupted after the
+    // optimizer but before publication.
+    let solver: Box<SolverFn> = Box::new(|req, _| {
+        let cfg = GomilConfig {
+            verify: VerifyMode::Off,
+            ..GomilConfig::fast()
+        };
+        let mut design =
+            build_gomil(req.m, req.ppg, &cfg).map_err(|e| ServeError::Solve(e.to_string()))?;
+        let idx = design
+            .build
+            .netlist
+            .cells()
+            .iter()
+            .position(|c| c.kind == GateKind::Xor2)
+            .expect("a multiplier contains XOR gates");
+        design.build.netlist.inject_cell_kind(idx, GateKind::Xnor2);
+        let (verdict, failure) = design.build.render_verdict(&VerifyConfig::fast());
+        assert_eq!(
+            verdict.tier(),
+            VerdictTier::Failed,
+            "the flipped gate must be caught"
+        );
+        Err(ServeError::Verification(
+            gomil::GomilError::from(failure.expect("a failed verdict carries a typed failure"))
+                .to_string(),
+        ))
+    });
+    let svc = SolveService::new("sabotage".into(), solver, ServeConfig::default()).unwrap();
+    let req = SolveRequest {
+        m: 4,
+        ppg: PpgKind::And,
+    };
+    let err = svc.serve_one(&req).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Verification(_)),
+        "typed verification error must surface: {err:?}"
+    );
+    assert!(
+        err.to_string().contains('×'),
+        "the error must carry the counterexample: {err}"
+    );
+    assert_eq!(svc.cache_len(), 0, "a failed netlist must never be cached");
+    let r = svc.report();
+    assert_eq!(r.errors, 1);
+    assert_eq!(r.solves, 1);
+    assert_eq!(r.warm_hints, 0, "no warm hint may be donated");
 }
