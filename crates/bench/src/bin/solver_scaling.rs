@@ -1,16 +1,22 @@
-//! Experiment: parallel versus sequential branch and bound, and
-//! warm-restart basis reuse, on the GOMIL ILPs. Writes `BENCH_ilp.json`.
+//! Experiment: parallel versus sequential branch and bound, warm-restart
+//! basis reuse, and the root-node stage (pricing, presolve, cuts) on the
+//! GOMIL ILPs. Writes `BENCH_ilp.json`.
 //!
-//! Four sections, honest about what each can show:
+//! Five sections, honest about what each can show:
 //!
 //! * **basis reuse** — the headline of the sparse-core rework: every
 //!   family (joint Eq. 27, compressor-tree, prefix IP) at m ∈ {16, 32,
 //!   64} solved twice with identical node/time budgets, once from
 //!   scratch per node (`reuse_basis: false`) and once with parent-basis
 //!   dual-simplex restarts. Each entry records simplex iterations, the
-//!   warm-restart hit rate, and refactorization counts; the iteration
-//!   ratio is only meaningful when both runs explored comparable node
-//!   counts, so nodes are reported alongside.
+//!   warm-restart hit rate, and refactorization counts. Two ratios are
+//!   reported: `iteration_ratio_total` (raw iteration quotient, which is
+//!   misleading when the two runs explored different node counts) and
+//!   `iteration_ratio_per_node` (iterations-per-node quotient); entries
+//!   with mismatched node counts carry `node_counts_match: false`.
+//! * **root profile** — the per-phase breakdown (model build, presolve,
+//!   first factorization, root LP, cut rounds) of the widest models,
+//!   where the root node dominates the whole budget.
 //! * **joint m=32** — the paper's Eq. 27 model at the acceptance width,
 //!   sequential versus parallel job counts.
 //! * **CT m=32** — the compressor-tree ILP, which is the model the
@@ -19,21 +25,25 @@
 //!   on a single-core host (see `host_cpus`) the parallel engine matches
 //!   sequential within scheduling overhead.
 //! * **equality roster** — randomized MILPs sized m ∈ {8, 16, 32, 64}:
-//!   every job count must prove the same objective and certify.
+//!   every job count and every pricing/cut configuration must prove the
+//!   same objective and certify.
 //!
-//! `--quick` runs only a small basis-reuse gate (CT m=16 plus a random
-//! MILP) and exits nonzero if warm-restart solves spend more than 3× the
-//! from-scratch pivot count — the CI smoke test against pivot-count
-//! regressions.
+//! `--quick` runs the CI gates and exits nonzero on regression: the
+//! basis-reuse pivot-count gate (warm-restart pivots ≤ 3× from-scratch),
+//! the root-LP pricing gate (devex root iterations ≤ 1.2× Dantzig on the
+//! CT m=32 reference), and the cut-safety gate (root cuts must not change
+//! certified objectives anywhere on the proved roster).
 //!
 //! Usage: `cargo run --release -p gomil-bench --bin solver_scaling --
 //! [--quick] [--jobs N] [--ct-nodes N] [--joint-seconds S]
-//! [--reuse-seconds S] [--json FILE]`
+//! [--reuse-seconds S] [--root-seconds S] [--json FILE]`
 
 use gomil::{add_prefix_constraints, build_joint_model, Bcv, CtIlp, GomilConfig, LeafB};
 use gomil_arith::dadda_schedule;
 use gomil_bench::timed;
-use gomil_ilp::{BranchConfig, Cmp, LinExpr, Model, Sense, Solution};
+use gomil_ilp::{
+    BranchConfig, Cmp, CutMode, LinExpr, Model, Pricing, RootProfile, Sense, Solution,
+};
 use std::time::Duration;
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
@@ -58,6 +68,7 @@ struct Run {
     gap: f64,
     proved_optimal: bool,
     certified: bool,
+    root: RootProfile,
 }
 
 impl Run {
@@ -82,6 +93,7 @@ impl Run {
             gap: sol.gap(),
             proved_optimal: sol.is_optimal(),
             certified: sol.certificate().is_some(),
+            root: sol.root_profile(),
         })
     }
 
@@ -94,18 +106,21 @@ impl Run {
     }
 
     fn to_json(&self) -> String {
-        // An infinite gap (no dual bound yet) has no JSON literal; emit null.
+        // A root-only solve has no dual bound yet, so its gap is infinite.
+        // JSON has no literal for that; the earlier `null` was
+        // indistinguishable from a missing field, so emit an explicit
+        // string sentinel instead.
         let gap = if self.gap.is_finite() {
             self.gap.to_string()
         } else {
-            "null".to_string()
+            "\"infinite\"".to_string()
         };
         format!(
             "{{\"jobs\": {}, \"seconds\": {}, \"nodes\": {}, \"pruned\": {}, \
              \"branched\": {}, \"lp_iterations\": {}, \"warm_attempts\": {}, \
              \"warm_hits\": {}, \"warm_hit_rate\": {:.4}, \"refactors\": {}, \
              \"objective\": {}, \"gap\": {gap}, \"proved_optimal\": {}, \
-             \"certified\": {}}}",
+             \"certified\": {}, \"root_profile\": {}}}",
             self.jobs,
             self.seconds,
             self.nodes,
@@ -119,8 +134,25 @@ impl Run {
             self.objective,
             self.proved_optimal,
             self.certified,
+            root_json(&self.root),
         )
     }
+}
+
+fn root_json(r: &RootProfile) -> String {
+    format!(
+        "{{\"build_us\": {}, \"presolve_us\": {}, \"first_factor_us\": {}, \
+         \"root_lp_us\": {}, \"root_lp_iters\": {}, \"cut_rounds\": {}, \
+         \"cuts_added\": {}, \"cut_us\": {}}}",
+        r.build_us,
+        r.presolve_us,
+        r.first_factor_us,
+        r.root_lp_us,
+        r.root_lp_iters,
+        r.cut_rounds,
+        r.cuts_added,
+        r.cut_us,
+    )
 }
 
 fn runs_json(runs: &[Run]) -> String {
@@ -149,16 +181,20 @@ fn random_knapsack(n: usize, seed: u64) -> Model {
 /// A width-`m` fixed-leaf prefix IP (the paper's prefix formulation with
 /// constant leaves, as `solve_fixed_prefix_ip` builds it), with the same
 /// DP-derived warm start production uses so every budgeted run has an
-/// incumbent from the first node.
-fn prefix_model(m: usize) -> (Model, Vec<f64>) {
-    let mut model = Model::new(format!("prefix{m}"));
-    let leaf_vals: Vec<bool> = (0..m).map(|i| i % 3 != 0).collect();
-    let leaf: Vec<LeafB> = leaf_vals.iter().map(|&b| LeafB::Const(b)).collect();
-    let vars = add_prefix_constraints(&mut model, &leaf, 4.0, m);
-    model.set_objective(vars.root_cost.clone(), Sense::Minimize);
-    let mut init = vec![0.0; model.num_vars()];
-    vars.warm_start_into(&mut init, &leaf_vals);
-    (model, init)
+/// incumbent from the first node. Returns the model, the warm start, and
+/// the model-build wall-clock.
+fn prefix_model(m: usize) -> (Model, Vec<f64>, Duration) {
+    let ((model, init), build_time) = timed(|| {
+        let mut model = Model::new(format!("prefix{m}"));
+        let leaf_vals: Vec<bool> = (0..m).map(|i| i % 3 != 0).collect();
+        let leaf: Vec<LeafB> = leaf_vals.iter().map(|&b| LeafB::Const(b)).collect();
+        let vars = add_prefix_constraints(&mut model, &leaf, 4.0, m);
+        model.set_objective(vars.root_cost.clone(), Sense::Minimize);
+        let mut init = vec![0.0; model.num_vars()];
+        vars.warm_start_into(&mut init, &leaf_vals);
+        (model, init)
+    });
+    (model, init, build_time)
 }
 
 /// One before/after pair of a `basis_reuse` section entry: the same model
@@ -207,8 +243,10 @@ impl ReusePair {
     }
 
     /// From-scratch iterations per warm iteration (> 1 means reuse wins);
-    /// `None` when the warm run spent no pivots.
-    fn iteration_ratio(&self) -> Option<f64> {
+    /// `None` when the warm run spent no pivots. Misleading when the two
+    /// runs explored different node counts — see
+    /// [`iteration_ratio_per_node`](Self::iteration_ratio_per_node).
+    fn iteration_ratio_total(&self) -> Option<f64> {
         if self.warm.lp_iterations == 0 {
             None
         } else {
@@ -216,25 +254,47 @@ impl ReusePair {
         }
     }
 
+    /// From-scratch iterations *per node* over warm iterations per node:
+    /// the per-node resolve cost quotient, which stays meaningful when the
+    /// budget let one run explore more nodes than the other.
+    fn iteration_ratio_per_node(&self) -> Option<f64> {
+        if self.warm.lp_iterations == 0 || self.scratch.nodes == 0 || self.warm.nodes == 0 {
+            return None;
+        }
+        let scratch_per_node = self.scratch.lp_iterations as f64 / self.scratch.nodes as f64;
+        let warm_per_node = self.warm.lp_iterations as f64 / self.warm.nodes as f64;
+        Some(scratch_per_node / warm_per_node)
+    }
+
+    fn node_counts_match(&self) -> bool {
+        self.scratch.nodes == self.warm.nodes
+    }
+
     fn to_json(&self) -> String {
-        let ratio = match self.iteration_ratio() {
+        let opt = |r: Option<f64>| match r {
             Some(r) => format!("{r:.3}"),
             None => "null".to_string(),
         };
         format!(
-            "      {{\"family\": \"{}\", \"m\": {}, \"iteration_ratio\": {ratio},\n       \
+            "      {{\"family\": \"{}\", \"m\": {}, \
+             \"iteration_ratio_total\": {}, \"iteration_ratio_per_node\": {}, \
+             \"node_counts_match\": {},\n       \
              \"from_scratch\": {},\n       \"warm_restart\": {}}}",
             self.family,
             self.m,
+            opt(self.iteration_ratio_total()),
+            opt(self.iteration_ratio_per_node()),
+            self.node_counts_match(),
             self.scratch.to_json(),
             self.warm.to_json()
         )
     }
 }
 
-/// The `--quick` CI gate: warm-restart solves must not spend more than
-/// `3×` the from-scratch pivot count, and basis reuse must actually be
-/// exercised. Returns the offending message on regression.
+/// The basis-reuse half of the `--quick` CI gate: warm-restart solves must
+/// not spend more than `3×` the from-scratch pivot count, and basis reuse
+/// must actually be exercised. Returns the offending message on
+/// regression.
 fn quick_gate(pairs: &[ReusePair]) -> Result<(), String> {
     let scratch: u64 = pairs.iter().map(|p| p.scratch.lp_iterations).sum();
     let warm: u64 = pairs.iter().map(|p| p.warm.lp_iterations).sum();
@@ -260,6 +320,106 @@ fn quick_gate(pairs: &[ReusePair]) -> Result<(), String> {
     Ok(())
 }
 
+/// The root-LP pricing half of the `--quick` gate: on the CT m=32
+/// reference model, devex pricing must not need more than 1.2× the
+/// Dantzig root-LP iteration count (it usually needs far fewer).
+fn quick_root_lp_gate(cfg: &GomilConfig) -> Result<(), String> {
+    let v32 = Bcv::and_ppg(32);
+    let ct = CtIlp::build(&v32, cfg);
+    let mut iters = Vec::new();
+    for pricing in [Pricing::Dantzig, Pricing::Devex] {
+        let base = BranchConfig {
+            node_limit: 1,
+            time_limit: Some(Duration::from_secs(120)),
+            initial: ct.warm_start(&dadda_schedule(&v32)),
+            pricing,
+            cuts: CutMode::Off,
+            ..BranchConfig::default()
+        };
+        let run = Run::measure(&ct.model, &base, 1)?;
+        eprintln!(
+            "  CT m=32 root LP [{}]: {} iterations in {}µs",
+            pricing.name(),
+            run.root.root_lp_iters,
+            run.root.root_lp_us
+        );
+        iters.push(run.root.root_lp_iters);
+    }
+    let (dantzig, devex) = (iters[0], iters[1]);
+    if devex as f64 > dantzig as f64 * 1.2 {
+        return Err(format!(
+            "root-LP pricing regression: devex took {devex} iterations on CT m=32, \
+             more than 1.2x the Dantzig {dantzig}"
+        ));
+    }
+    Ok(())
+}
+
+/// The cut-safety half of the `--quick` gate: on the proved roster, root
+/// cuts (and either pricing rule) must not change the certified objective.
+fn quick_cut_safety_gate() -> Result<(), String> {
+    for n in [8usize, 16, 32, 64] {
+        let model = random_knapsack(n, 0xC0FFEE ^ n as u64);
+        let mut reference: Option<f64> = None;
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            for cuts in [CutMode::Off, CutMode::Root] {
+                let base = BranchConfig {
+                    pricing,
+                    cuts,
+                    ..BranchConfig::default()
+                };
+                let run = Run::measure(&model, &base, 1)?;
+                if !run.proved_optimal || !run.certified {
+                    return Err(format!(
+                        "roster m={n} [{} / {}]: solve was not proved-and-certified",
+                        pricing.name(),
+                        cuts.name()
+                    ));
+                }
+                match reference {
+                    None => reference = Some(run.objective),
+                    Some(obj) if (obj - run.objective).abs() > 1e-6 => {
+                        return Err(format!(
+                            "cut-safety regression on roster m={n}: objective {} under \
+                             [{} / {}] vs reference {obj}",
+                            run.objective,
+                            pricing.name(),
+                            cuts.name()
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        eprintln!(
+            "  roster m={n}: all pricing/cut configs proved objective {}",
+            reference.unwrap()
+        );
+    }
+    Ok(())
+}
+
+/// One `root_profile` section entry: the widest models solved under a root
+/// budget, with the per-phase breakdown attached.
+struct RootEntry {
+    family: &'static str,
+    m: usize,
+    budget_secs: u64,
+    run: Run,
+}
+
+impl RootEntry {
+    fn to_json(&self) -> String {
+        format!(
+            "      {{\"family\": \"{}\", \"m\": {}, \"budget_seconds\": {},\n       \"run\": {}}}",
+            self.family,
+            self.m,
+            self.budget_secs,
+            self.run.to_json()
+        )
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -272,13 +432,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ct_nodes = flag(&args, "--ct-nodes").unwrap_or(60);
     let joint_secs = flag(&args, "--joint-seconds").unwrap_or(45);
     let reuse_secs = flag(&args, "--reuse-seconds").unwrap_or(20);
+    let root_secs = flag(&args, "--root-seconds").unwrap_or(45);
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let cfg = GomilConfig::fast();
 
     if quick {
-        // Small, fast gate: one real GOMIL family plus one random MILP.
+        // Small, fast gates: one real GOMIL family plus one random MILP
+        // for basis reuse, then the root-LP pricing and cut-safety gates.
         eprintln!("quick basis-reuse gate …");
         let v16 = Bcv::and_ppg(16);
         let ct = CtIlp::build(&v16, &cfg);
@@ -295,7 +457,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ReusePair::measure("knapsack", 32, &knap, &knap_base).map_err(std::io::Error::other)?,
         ];
         quick_gate(&pairs)?;
-        eprintln!("quick gate passed");
+        eprintln!("quick root-LP pricing gate …");
+        quick_root_lp_gate(&cfg)?;
+        eprintln!("quick cut-safety gate …");
+        quick_cut_safety_gate()?;
+        eprintln!("quick gates passed");
         return Ok(());
     }
 
@@ -327,7 +493,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             initial: ct.warm_start(&dadda_schedule(&vm)),
             ..reuse_base.clone()
         };
-        let (pm, pm_init) = prefix_model(m);
+        let (pm, pm_init, _) = prefix_model(m);
         let prefix_base = BranchConfig {
             initial: Some(pm_init),
             ..reuse_base.clone()
@@ -350,7 +516,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let joint_m32_ratio = reuse_pairs
         .iter()
         .find(|p| p.family == "joint" && p.m == 32)
-        .and_then(ReusePair::iteration_ratio);
+        .and_then(ReusePair::iteration_ratio_per_node);
     let reuse_json = reuse_pairs
         .iter()
         .map(ReusePair::to_json)
@@ -367,9 +533,87 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Vec<_>>()
         .join(",\n");
 
+    // --- Section 2: root-stage breakdown on the widest models ---------
+    eprintln!("root profiles at m=64 ({root_secs}s per family) …");
+    let mut root_entries: Vec<RootEntry> = Vec::new();
+    {
+        let v64 = Bcv::and_ppg(64);
+        let root_base = BranchConfig {
+            time_limit: Some(Duration::from_secs(root_secs)),
+            ..BranchConfig::default()
+        };
+        let (jm_res, joint_build) = timed(|| build_joint_model(&v64, &cfg, None));
+        let jm = jm_res?;
+        let mut seeds = jm.seeds.clone().into_iter();
+        let (ct, ct_build) = timed(|| CtIlp::build(&v64, &cfg));
+        let (pm, pm_init, prefix_build) = prefix_model(64);
+        let attempts: [(&'static str, &Model, BranchConfig, Duration); 3] = [
+            (
+                "joint",
+                &jm.model,
+                BranchConfig {
+                    initial: seeds.next(),
+                    extra_starts: seeds.collect(),
+                    ..root_base.clone()
+                },
+                joint_build,
+            ),
+            (
+                "ct",
+                &ct.model,
+                BranchConfig {
+                    initial: ct.warm_start(&dadda_schedule(&v64)),
+                    ..root_base.clone()
+                },
+                ct_build,
+            ),
+            (
+                "prefix",
+                &pm,
+                BranchConfig {
+                    initial: Some(pm_init.clone()),
+                    ..root_base.clone()
+                },
+                prefix_build,
+            ),
+        ];
+        for (family, model, base, build) in attempts {
+            match Run::measure(model, &base, 1) {
+                Ok(mut run) => {
+                    run.root.build_us = build.as_micros() as u64;
+                    eprintln!(
+                        "  {family} m=64: {:.1}s, {} nodes, root LP {} iters in {}µs \
+                         (build {}µs, presolve {}µs, first factor {}µs, {} cuts), proved={}",
+                        run.seconds,
+                        run.nodes,
+                        run.root.root_lp_iters,
+                        run.root.root_lp_us,
+                        run.root.build_us,
+                        run.root.presolve_us,
+                        run.root.first_factor_us,
+                        run.root.cuts_added,
+                        run.proved_optimal,
+                    );
+                    root_entries.push(RootEntry {
+                        family,
+                        m: 64,
+                        budget_secs: root_secs,
+                        run,
+                    });
+                }
+                Err(e) => eprintln!("  {family} m=64: SKIPPED ({e})"),
+            }
+        }
+    }
+    let root_profile_json = root_entries
+        .iter()
+        .map(RootEntry::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let v0 = Bcv::and_ppg(32);
 
-    // --- Section 2: the joint Eq. 27 ILP at m = 32 -------------------
+    // --- Section 3: the joint Eq. 27 ILP at m = 32 -------------------
     eprintln!("joint m=32 ({joint_secs}s per run) …");
     let jm = build_joint_model(&v0, &cfg, None)?;
     let joint_vars = jm.model.num_vars();
@@ -390,7 +634,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         joint_runs.push(run);
     }
 
-    // --- Section 3: the CT ILP at m = 32 (the ladder's actual rung) --
+    // --- Section 4: the CT ILP at m = 32 (the ladder's actual rung) --
     eprintln!("CT m=32 ({ct_nodes} nodes per run) …");
     let ct = CtIlp::build(&v0, &cfg);
     let ct_vars = ct.model.num_vars();
@@ -414,9 +658,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ct_runs.push(run);
     }
 
-    // --- Section 4: proven-equality roster ---------------------------
-    eprintln!("equality roster m ∈ {{8, 16, 32, 64}} …");
+    // --- Section 5: proven-equality roster ---------------------------
+    eprintln!("equality roster m ∈ {{8, 16, 32, 64}} (jobs × pricing × cuts) …");
     let mut roster = Vec::new();
+    let mut all_configs_equal = true;
     for n in [8usize, 16, 32, 64] {
         let model = random_knapsack(n, 0xC0FFEE ^ n as u64);
         let base = BranchConfig::default();
@@ -425,21 +670,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let equal = (seq.objective - par.objective).abs() < 1e-6
             && seq.proved_optimal
             && par.proved_optimal;
+        // Every pricing/cut combination must prove the same objective.
+        let mut configs_equal = true;
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            for cuts in [CutMode::Off, CutMode::Root] {
+                let cfg_base = BranchConfig {
+                    pricing,
+                    cuts,
+                    ..BranchConfig::default()
+                };
+                let run = Run::measure(&model, &cfg_base, 1).map_err(std::io::Error::other)?;
+                if (run.objective - seq.objective).abs() > 1e-6
+                    || !run.proved_optimal
+                    || !run.certified
+                {
+                    configs_equal = false;
+                }
+            }
+        }
+        all_configs_equal &= configs_equal;
         eprintln!(
-            "  m={n}: objective {} (jobs=1) vs {} (jobs={par_jobs}) — {}",
+            "  m={n}: objective {} (jobs=1) vs {} (jobs={par_jobs}) — {}; configs {}",
             seq.objective,
             par.objective,
-            if equal { "equal, proved" } else { "MISMATCH" }
+            if equal { "equal, proved" } else { "MISMATCH" },
+            if configs_equal { "equal" } else { "MISMATCH" }
         );
-        roster.push((n, seq, par, equal));
+        roster.push((n, seq, par, equal, configs_equal));
     }
-    let all_equal = roster.iter().all(|(_, _, _, eq)| *eq);
+    let all_equal = roster.iter().all(|(_, _, _, eq, _)| *eq);
 
     let roster_json = roster
         .iter()
-        .map(|(n, seq, par, eq)| {
+        .map(|(n, seq, par, eq, cfg_eq)| {
             format!(
-                "      {{\"m\": {n}, \"equal_and_proved\": {eq},\n       \"sequential\": {},\n       \"parallel\": {}}}",
+                "      {{\"m\": {n}, \"equal_and_proved\": {eq}, \"all_configs_equal\": {cfg_eq},\n       \"sequential\": {},\n       \"parallel\": {}}}",
                 seq.to_json(),
                 par.to_json()
             )
@@ -456,13 +721,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"jobs_compared\": [1, {par_jobs}],\n  \
          \"note\": \"wall-clock speedup from jobs > 1 requires host_cpus > 1; on a single-core host the parallel engine matches sequential within scheduling overhead\",\n  \
          \"basis_reuse\": {{\n    \
-         \"note\": \"same model, same budget, reuse_basis off vs on; iteration_ratio = from-scratch iters / warm iters, meaningful when node counts are comparable\",\n    \
-         \"joint_m32_iteration_ratio\": {joint_ratio_json},\n    \"entries\": [\n{reuse_json}\n    ],\n    \"skipped\": [\n{skipped_json}\n    ]\n  }},\n  \
+         \"note\": \"same model, same budget, reuse_basis off vs on; iteration_ratio_per_node = from-scratch iters/node over warm iters/node (meaningful even when node counts differ); iteration_ratio_total is the raw quotient and is only meaningful when node_counts_match\",\n    \
+         \"joint_m32_iteration_ratio_per_node\": {joint_ratio_json},\n    \"entries\": [\n{reuse_json}\n    ],\n    \"skipped\": [\n{skipped_json}\n    ]\n  }},\n  \
+         \"root_profile\": {{\n    \
+         \"note\": \"widest models under a {root_secs}s budget; build_us is model construction, presolve/first-factor/root-LP/cuts are the in-solver root stage; gap may be the string sentinel 'infinite' when no dual bound exists yet\",\n    \
+         \"entries\": [\n{root_profile_json}\n    ]\n  }},\n  \
          \"joint_ilp_m32\": {{\n    \"variables\": {joint_vars},\n    \"time_limit_seconds\": {joint_secs},\n    \
          \"note\": \"at this width the root LP dominates the budget, so node counts stay close at every job count\",\n    \
          \"runs\": [\n{}\n    ]\n  }},\n  \
          \"ct_ilp_m32\": {{\n    \"variables\": {ct_vars},\n    \"node_limit\": {ct_nodes},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
-         \"equality_roster\": {{\n    \"all_equal_and_proved\": {all_equal},\n    \"instances\": [\n{}\n    ]\n  }}\n}}\n",
+         \"equality_roster\": {{\n    \"all_equal_and_proved\": {all_equal},\n    \"all_configs_equal\": {all_configs_equal},\n    \"instances\": [\n{}\n    ]\n  }}\n}}\n",
         runs_json(&joint_runs),
         runs_json(&ct_runs),
         roster_json,
@@ -471,6 +739,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("wrote {json_path}");
     if !all_equal {
         return Err("equality roster found an objective mismatch".into());
+    }
+    if !all_configs_equal {
+        return Err("equality roster found a pricing/cut configuration mismatch".into());
     }
     Ok(())
 }

@@ -2,13 +2,18 @@
 //!
 //! ```text
 //! gomil gen <m> [and|mbe] [--out FILE] [--verify off|fast|strict] [--no-verify]
-//!             [--budget-ms N] [--solver-jobs N]        generate + export Verilog
+//!             [--budget-ms N] [--solver-jobs N]
+//!             [--pricing dantzig|devex] [--cuts off|root]
+//!                                                      generate + export Verilog
 //! gomil compare <m>                                    Fig. 3-style table at one width
 //! gomil batch <m,m,…> [--all-ppg] [--jobs N] [--repeat K]
 //!             [--cache FILE|--no-cache-file] [--verify off|fast|strict]
-//!             [--budget-ms N] [--solver-jobs N]        concurrent batch via gomil-serve
+//!             [--budget-ms N] [--solver-jobs N]
+//!             [--pricing dantzig|devex] [--cuts off|root]
+//!                                                      concurrent batch via gomil-serve
 //! gomil serve --requests FILE [--jobs N] [--cache FILE|--no-cache-file]
 //!             [--verify off|fast|strict] [--budget-ms N] [--solver-jobs N]
+//!             [--pricing dantzig|devex] [--cuts off|root]
 //!                                                      serve a request file
 //! gomil prefix <heights MSB-first…> [--w W]            optimize a prefix BCV
 //! gomil trunc <m> <k>                                  truncated multiplier report
@@ -19,6 +24,11 @@
 //! `--solver-jobs` sizes the *branch-and-bound* worker pool inside each
 //! individual ILP solve. They compose: `--jobs 4 --solver-jobs 2` runs up
 //! to four pipelines, each searching its tree with two threads.
+//!
+//! `--pricing` picks the simplex pricing rule (`devex` default; `dantzig`
+//! for A/B comparison) and `--cuts` toggles root-node cut separation
+//! (`root` default). Both are latency knobs: every setting proves the
+//! same certified optima, so they do not enter the solve fingerprint.
 //!
 //! `--verify` selects the equivalence gate every emitted netlist must
 //! pass: `fast` (default) proves small widths exhaustively and samples
@@ -66,9 +76,12 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 /// Parses shared optimizer flags: `--budget-ms N` bounds the whole
 /// pipeline with a wall-clock deadline (expiry degrades the optimizer
-/// down its fallback ladder instead of failing the command), and
+/// down its fallback ladder instead of failing the command),
 /// `--solver-jobs N` runs each branch-and-bound solve with `N` worker
-/// threads (1, the default, is the sequential solver).
+/// threads (1, the default, is the sequential solver),
+/// `--pricing {dantzig,devex}` picks the simplex pricing rule, and
+/// `--cuts {off,root}` toggles root cut separation. All four are latency
+/// knobs: every setting proves the same certified optima.
 fn cfg_from_args(args: &[String]) -> GomilConfig {
     let mut cfg = GomilConfig::default();
     if let Some(ms) = args
@@ -86,6 +99,12 @@ fn cfg_from_args(args: &[String]) -> GomilConfig {
         .and_then(|s| s.parse::<usize>().ok())
     {
         cfg.solver_jobs = jobs.max(1);
+    }
+    if let Some(p) = flag_value(args, "--pricing").and_then(|s| gomil_ilp::Pricing::from_name(s)) {
+        cfg.pricing = p;
+    }
+    if let Some(c) = flag_value(args, "--cuts").and_then(|s| gomil_ilp::CutMode::from_name(s)) {
+        cfg.cuts = c;
     }
     // `--no-verify` predates the tiered gate and is kept as an alias for
     // `--verify off`; an explicit `--verify MODE` wins.
@@ -389,9 +408,11 @@ fn cmd_info() -> CliResult {
     let cfg = GomilConfig::default();
     println!("gomil reproduction of Xiao/Qian/Liu, DATE 2021");
     println!(
-        "defaults: w = {}, L = {}, α = {}, β = {}, solver budget = {:?}, arrival-aware = {}, solver jobs = {}, verify = {}",
+        "defaults: w = {}, L = {}, α = {}, β = {}, solver budget = {:?}, arrival-aware = {}, solver jobs = {}, verify = {}, pricing = {}, cuts = {}",
         cfg.w, cfg.l, cfg.alpha, cfg.beta, cfg.solver_budget, cfg.arrival_aware, cfg.solver_jobs,
-        cfg.verify.label()
+        cfg.verify.label(),
+        cfg.pricing.name(),
+        cfg.cuts.name()
     );
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! GOMIL configuration.
 
+use gomil_ilp::{CutMode, Pricing};
 use gomil_netlist::VerifyMode;
 use gomil_prefix::SelectStyle;
 use std::time::Duration;
@@ -47,6 +48,16 @@ pub struct GomilConfig {
     /// proves the same optima — so it is excluded from
     /// [`solve_fingerprint`](Self::solve_fingerprint).
     pub solver_jobs: usize,
+    /// Simplex pricing rule for every branch-and-bound LP (CLI
+    /// `--pricing {dantzig,devex}`). Like `solver_jobs` this is a latency
+    /// knob, not a result knob — both rules prove the same optima — so it
+    /// is excluded from [`solve_fingerprint`](Self::solve_fingerprint).
+    pub pricing: Pricing,
+    /// Root cut separation (CLI `--cuts {off,root}`). Gomory and cover
+    /// cuts only tighten the LP relaxation; certified objectives are
+    /// identical either way, so this too stays out of
+    /// [`solve_fingerprint`](Self::solve_fingerprint).
+    pub cuts: CutMode,
     /// Equivalence-verification effort (CLI `--verify {off,fast,strict}`).
     /// Every emitted design carries the resulting
     /// [`EquivVerdict`](gomil_netlist::EquivVerdict); a `Failed` verdict
@@ -71,6 +82,8 @@ impl Default for GomilConfig {
             power_vectors: 512,
             arrival_aware: true,
             solver_jobs: 1,
+            pricing: Pricing::default(),
+            cuts: CutMode::default(),
             verify: VerifyMode::Fast,
         }
     }
@@ -162,6 +175,8 @@ mod tests {
             solver_budget: Duration::from_millis(1),
             pipeline_budget: Some(Duration::from_millis(2)),
             solver_jobs: 8,
+            pricing: Pricing::Dantzig,
+            cuts: CutMode::Off,
             ..GomilConfig::default()
         };
         assert_eq!(base.solve_fingerprint(), budgeted.solve_fingerprint());

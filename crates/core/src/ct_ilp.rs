@@ -17,6 +17,7 @@ use crate::global::SolveStats;
 use gomil_arith::{dadda_schedule, required_stages, Bcv, CompressionSchedule, StageCounts};
 use gomil_budget::Budget;
 use gomil_ilp::{BranchConfig, Cmp, LinExpr, Model, Sense, SolveError, Var};
+use std::time::{Duration, Instant};
 
 /// Handles to the CT ILP's variables, for embedding into the global model.
 #[derive(Debug, Clone)]
@@ -36,6 +37,9 @@ pub struct CtIlp {
     pub v0: Bcv,
     /// Stage count `s`.
     pub stages: usize,
+    /// Wall-clock spent assembling the model, stamped into the root
+    /// profile of any solve run on it.
+    pub build_time: Duration,
 }
 
 impl CtIlp {
@@ -58,6 +62,7 @@ impl CtIlp {
     /// Panics if `v0` is empty or `stages == 0` while `v0` is not already
     /// reduced.
     pub fn build_with_stages(v0: &Bcv, stages: usize, cfg: &GomilConfig) -> CtIlp {
+        let t_build = Instant::now();
         let n = v0.len();
         assert!(n > 0, "initial BCV must be non-empty");
         assert!(
@@ -140,6 +145,7 @@ impl CtIlp {
             objective,
             v0: v0.clone(),
             stages,
+            build_time: t_build.elapsed(),
         }
     }
 
@@ -205,9 +211,12 @@ impl CtIlp {
             budget: budget.clone(),
             initial,
             jobs: cfg.solver_jobs,
+            pricing: cfg.pricing,
+            cuts: cfg.cuts,
             ..BranchConfig::default()
         };
-        let sol = self.model.solve_with(&branch)?;
+        let mut sol = self.model.solve_with(&branch)?;
+        sol.set_build_time(self.build_time);
         let schedule = self.extract_schedule(sol.values());
         Ok(CtSolution {
             objective: sol.objective(),

@@ -39,8 +39,8 @@ use gomil_arith::{
 };
 use gomil_budget::{Budget, BudgetExceeded};
 use gomil_ilp::{
-    BranchConfig, IncumbentEvent, IncumbentSource, LinExpr, Model, Sense, Solution, SolveError,
-    WarmStartStatus,
+    BranchConfig, IncumbentEvent, IncumbentSource, LinExpr, Model, RootProfile, Sense, Solution,
+    SolveError, WarmStartStatus,
 };
 use gomil_netlist::EquivVerdict;
 use gomil_prefix::{dp_tables_budgeted, leaf_types, optimize_prefix_tree, PrefixTree};
@@ -233,6 +233,9 @@ pub struct SolveStats {
     pub improvements: Vec<IncumbentEvent>,
     /// Worker threads that explored the branch-and-bound tree.
     pub jobs: usize,
+    /// Per-phase root breakdown: model build, presolve, first
+    /// factorization, root LP, and cut separation.
+    pub root: RootProfile,
 }
 
 impl From<&Solution> for SolveStats {
@@ -253,6 +256,7 @@ impl From<&Solution> for SolveStats {
             certified: s.certificate().is_some(),
             improvements: s.incumbent_timeline().to_vec(),
             jobs: s.jobs(),
+            root: s.root_profile(),
         }
     }
 }
@@ -305,6 +309,20 @@ impl fmt::Display for SolveStats {
                 "uncertified"
             },
             self.jobs,
+        )?;
+        let r = &self.root;
+        write!(
+            f,
+            "; root [build {}µs, presolve {}µs, factor {}µs, lp {}µs/{} iters, \
+             {} cuts in {} rounds ({}µs)]",
+            r.build_us,
+            r.presolve_us,
+            r.first_factor_us,
+            r.root_lp_us,
+            r.root_lp_iters,
+            r.cuts_added,
+            r.cut_rounds,
+            r.cut_us,
         )
     }
 }
@@ -617,7 +635,9 @@ pub fn joint_ilp_hinted(
     budget: &Budget,
     hint: Option<&WarmStartHint>,
 ) -> Result<GlobalSolution, SolveError> {
+    let t_build = std::time::Instant::now();
     let jm = build_joint_model(v0, cfg, hint)?;
+    let build_time = t_build.elapsed();
     let mut seeds = jm.seeds.into_iter();
     let initial = seeds.next();
 
@@ -627,9 +647,12 @@ pub fn joint_ilp_hinted(
         initial,
         extra_starts: seeds.collect(),
         jobs: cfg.solver_jobs,
+        pricing: cfg.pricing,
+        cuts: cfg.cuts,
         ..BranchConfig::default()
     };
-    let sol = jm.model.solve_with(&branch)?;
+    let mut sol = jm.model.solve_with(&branch)?;
+    sol.set_build_time(build_time);
     let schedule = jm.ct.extract_schedule(sol.values());
     let vs = schedule.final_bcv(v0).expect("solver output is feasible");
     let mut out = solution_from(vs, schedule, cfg, "joint-ilp");

@@ -68,6 +68,19 @@ pub fn solve_summary(sol: &GlobalSolution) -> String {
     );
     if let Some(stats) = &sol.solver_stats {
         s.push_str(&format!("solver:   {stats}\n"));
+        let r = &stats.root;
+        s.push_str(&format!(
+            "root:     build {}µs, presolve {}µs, first factor {}µs, \
+             root LP {}µs ({} iters), {} cuts in {} rounds ({}µs)\n",
+            r.build_us,
+            r.presolve_us,
+            r.first_factor_us,
+            r.root_lp_us,
+            r.root_lp_iters,
+            r.cuts_added,
+            r.cut_rounds,
+            r.cut_us,
+        ));
     }
     if !sol.degradation.attempts.is_empty() {
         s.push_str(&format!(
@@ -195,6 +208,12 @@ mod tests {
                 "refactors",
                 "gap",
                 "jobs",
+                "root:",
+                "presolve",
+                "first factor",
+                "root LP",
+                "cuts",
+                "rounds",
             ] {
                 assert!(s.contains(needle), "missing {needle} in:\n{s}");
             }

@@ -46,6 +46,19 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
         ),
         None => (0, 0, 0),
     };
+    // Root-stage breakdown: total wall-clock from model build through the
+    // cut loop (first factorization is inside the root LP time).
+    let (root_us, root_lp_iters, cuts_added) = match &sol.solver_stats {
+        Some(stats) => {
+            let r = &stats.root;
+            (
+                r.build_us + r.presolve_us + r.root_lp_us + r.cut_us,
+                r.root_lp_iters,
+                r.cuts_added,
+            )
+        }
+        None => (0, 0, 0),
+    };
     // The verdict the admission gate stamped during the build. `Failed`
     // cannot reach this point (the build errors out instead); `Skipped`
     // (verification off / approximate design) falls back to the legacy
@@ -76,6 +89,9 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
         verdict,
         verify_vectors: sol.verdict.vectors(),
         verify_us: sol.verify_time.as_micros() as u64,
+        root_us,
+        root_lp_iters,
+        cuts_added,
     }
 }
 

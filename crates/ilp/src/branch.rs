@@ -29,20 +29,54 @@
 //! is reported as a numerical failure instead of being enqueued.
 
 use crate::certify::certify_values;
+use crate::expr::Var;
 use crate::model::{Cmp, Model, Sense, VarKind};
-use crate::presolve::presolve_with_budget;
+use crate::presolve::{presolve_with_opts, PresolveOpts, StrengthenedRow};
 use crate::propagate::propagate_bounds;
 use crate::simplex::{
-    resolve_lp, solve_lp_from, Basis, LpError, LpOutcome, LpProblem, LpResult, SimplexOpts,
-    FEAS_TOL,
+    cover_cuts, gomory_cuts, resolve_lp, solve_lp_from, with_cut_rows, Basis, LpError, LpOutcome,
+    LpProblem, LpResult, Pricing, SimplexOpts, FEAS_TOL,
 };
 use crate::solution::{
-    IncumbentEvent, IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus,
+    IncumbentEvent, IncumbentSource, RootProfile, Solution, SolveError, SolveStatus,
+    WarmStartStatus,
 };
 use gomil_budget::Budget;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Where cutting planes are separated during the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CutMode {
+    /// No cut separation; the relaxation is tightened only by branching.
+    Off,
+    /// Separate Gomory mixed-integer and knapsack-cover cuts at the root
+    /// node (bounded rounds), so the relaxation prunes instead of
+    /// branching. Cuts are derived under the root's globally valid bounds
+    /// and therefore hold tree-wide.
+    #[default]
+    Root,
+}
+
+impl CutMode {
+    /// Parses a CLI-style name (`"off"` / `"root"`).
+    pub fn from_name(name: &str) -> Option<CutMode> {
+        match name {
+            "off" => Some(CutMode::Off),
+            "root" => Some(CutMode::Root),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            CutMode::Off => "off",
+            CutMode::Root => "root",
+        }
+    }
+}
 
 /// Configuration for [`Model::solve_with`].
 #[derive(Debug, Clone)]
@@ -98,6 +132,17 @@ pub struct BranchConfig {
     /// a performance knob; the numerical-retry path disables it for
     /// maximum-robustness re-solves.
     pub reuse_basis: bool,
+    /// Simplex pricing rule. Devex (the default) spends a little more per
+    /// pivot to pick much better pivots; Dantzig remains available for A/B
+    /// comparisons and is forced by the numerical-retry path.
+    pub pricing: Pricing,
+    /// Cutting-plane separation mode (see [`CutMode`]). The numerical-retry
+    /// path forces [`CutMode::Off`].
+    pub cuts: CutMode,
+    /// Run the MIP presolve reductions (binary probing + coefficient
+    /// strengthening) on top of the activity-bound fixpoint. Off on the
+    /// numerical-retry path.
+    pub probing: bool,
 }
 
 impl Default for BranchConfig {
@@ -116,6 +161,9 @@ impl Default for BranchConfig {
             numerical_retry: true,
             jobs: 1,
             reuse_basis: true,
+            pricing: Pricing::default(),
+            cuts: CutMode::default(),
+            probing: true,
         }
     }
 }
@@ -153,13 +201,16 @@ pub(crate) struct Standardized {
 }
 
 /// Builds the slack-augmented LP, dropping presolve-fixed columns and
-/// redundant rows.
+/// redundant rows. `strengthened` (sorted by row index, from
+/// [`Presolved::strengthened`](crate::presolve::Presolved::strengthened))
+/// substitutes coefficient-strengthened replacements for the rows it names.
 fn standardize(
     model: &Model,
     lb: &[f64],
     ub: &[f64],
     redundant: &[bool],
     minimize_costs: &[f64],
+    strengthened: &[StrengthenedRow],
 ) -> Standardized {
     let n = model.num_vars();
     let mut col_of_var: Vec<Option<u32>> = vec![None; n]; // local compression map
@@ -188,16 +239,38 @@ fn standardize(
 
     let mut rows = Vec::new();
     let mut rhs = Vec::new();
+    let mut si = 0usize;
     for (ci, c) in model.constraints.iter().enumerate() {
+        let strong = if si < strengthened.len() && strengthened[si].0 == ci {
+            si += 1;
+            Some(&strengthened[si - 1])
+        } else {
+            None
+        };
         if redundant[ci] {
             continue;
         }
         let mut row: Vec<(u32, f64)> = Vec::with_capacity(c.expr.len() + 1);
-        let mut b = c.rhs;
-        for (v, coef) in c.expr.iter() {
-            match col_of_var[v.index()] {
-                Some(col) => row.push((col, coef)),
-                None => b -= coef * fixed_val[v.index()],
+        let mut b = match strong {
+            Some((_, _, srhs)) => *srhs,
+            None => c.rhs,
+        };
+        let add = |row: &mut Vec<(u32, f64)>, b: &mut f64, v: Var, coef: f64| match col_of_var
+            [v.index()]
+        {
+            Some(col) => row.push((col, coef)),
+            None => *b -= coef * fixed_val[v.index()],
+        };
+        match strong {
+            Some((_, terms, _)) => {
+                for &(v, coef) in terms {
+                    add(&mut row, &mut b, v, coef);
+                }
+            }
+            None => {
+                for (v, coef) in c.expr.iter() {
+                    add(&mut row, &mut b, v, coef);
+                }
             }
         }
         if row.is_empty() {
@@ -434,6 +507,13 @@ pub(crate) struct SearchCtx<'a> {
     /// model objective terms.
     pub(crate) obj_offset: f64,
     pub(crate) start: Instant,
+    /// Optimal basis of the (cut-augmented) root LP, solved once during
+    /// [`prepare`]; both engines seed their root node with it so the first
+    /// node is a near-free dual warm restart instead of a from-scratch
+    /// solve.
+    pub(crate) root_basis: Option<Arc<Basis>>,
+    /// Per-phase breakdown of the work done in [`prepare`].
+    pub(crate) root_profile: RootProfile,
 }
 
 impl SearchCtx<'_> {
@@ -523,6 +603,7 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
         force_bland: config.force_bland,
         tol_scale: config.tol_scale,
         budget: budget.clone(),
+        pricing: config.pricing,
     };
 
     // Internal costs are always "minimize".
@@ -531,11 +612,25 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
         costs[v.index()] = if maximize { -c } else { c };
     }
 
-    let pre = presolve_with_budget(model, &budget);
+    let mut profile = RootProfile::default();
+    let t_pre = Instant::now();
+    let popts = PresolveOpts {
+        probing: config.probing,
+        strengthen: config.probing,
+    };
+    let pre = presolve_with_opts(model, &budget, &popts);
     if pre.infeasible {
         return Err(SolveError::Infeasible);
     }
-    let std = standardize(model, &pre.lb, &pre.ub, &pre.redundant, &costs);
+    let mut std = standardize(
+        model,
+        &pre.lb,
+        &pre.ub,
+        &pre.redundant,
+        &costs,
+        &pre.strengthened,
+    );
+    profile.presolve_us = t_pre.elapsed().as_micros() as u64;
     // `std.obj_offset` holds the raw model constant plus fixed-variable cost
     // contributions (the latter already in minimize space). In maximize mode
     // the constant must enter minimize space negated.
@@ -545,6 +640,10 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
         model.objective.constant()
     };
     let obj_offset = std.obj_offset - model.objective.constant() + signed_const;
+
+    // Solve the root LP once, run the cut loop on it, and hand the final
+    // basis to the engines so their root node is a near-free warm restart.
+    let root_basis = root_stage(&mut std, &lp_opts, config.cuts, &mut profile)?;
 
     let ctx = SearchCtx {
         model,
@@ -556,6 +655,8 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
         std,
         obj_offset,
         start,
+        root_basis,
+        root_profile: profile,
     };
 
     let mut incumbent: Option<Incumbent> = None;
@@ -606,6 +707,147 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
     })
 }
 
+/// Bounded number of root cut-separation rounds.
+const MAX_CUT_ROUNDS: usize = 8;
+/// Cuts of each family separated per round.
+const MAX_CUTS_PER_ROUND: usize = 16;
+
+/// Solves the root LP and, when enabled, runs the root cut loop: separate
+/// Gomory + cover cuts from the optimal basis, append them (each with its
+/// own slack column), and reoptimize with the dual simplex from the
+/// extended basis. Mutates `std.lp` — the engines then search the
+/// cut-augmented LP — and returns the final root basis.
+///
+/// Root conditions the engines already handle (budget exhausted,
+/// infeasible or unbounded relaxation) return `Ok(None)` so the node loop
+/// rediscovers them through its normal reporting paths; only numerical
+/// breakdown is an error here.
+fn root_stage(
+    std: &mut Standardized,
+    lp_opts: &SimplexOpts,
+    cuts: CutMode,
+    profile: &mut RootProfile,
+) -> Result<Option<Arc<Basis>>, SolveError> {
+    let t0 = Instant::now();
+    let result = root_stage_inner(std, lp_opts, cuts, profile);
+    profile.root_lp_us = (t0.elapsed().as_micros() as u64).saturating_sub(profile.cut_us);
+    result
+}
+
+fn root_stage_inner(
+    std: &mut Standardized,
+    lp_opts: &SimplexOpts,
+    cuts: CutMode,
+    profile: &mut RootProfile,
+) -> Result<Option<Arc<Basis>>, SolveError> {
+    let res = match solve_lp_from(&std.lp, &std.lp.lb, &std.lp.ub, lp_opts) {
+        Ok(r) => r,
+        Err(LpError::Budget { iterations, .. }) => {
+            profile.root_lp_iters += iterations;
+            return Ok(None);
+        }
+        Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
+    };
+    profile.root_lp_iters += res.iterations;
+    profile.first_factor_us = res.first_factor_us;
+    let (mut x, mut obj) = match res.outcome {
+        LpOutcome::Optimal { x, obj } => (x, obj),
+        // Infeasible / unbounded root: let the engines rediscover it.
+        _ => return Ok(None),
+    };
+    let mut basis = match res.basis {
+        Some(b) => b,
+        None => return Ok(None),
+    };
+
+    if cuts != CutMode::Root {
+        return Ok(Some(Arc::new(basis)));
+    }
+
+    let mut stall = 0u32;
+    for _round in 0..MAX_CUT_ROUNDS {
+        if lp_opts.budget.exhausted() {
+            break;
+        }
+        // Nothing to cut once the relaxation is integral.
+        let fractional = x
+            .iter()
+            .zip(std.col_is_int.iter())
+            .any(|(xi, &int)| int && (xi - xi.round()).abs() > FEAS_TOL);
+        if !fractional {
+            break;
+        }
+        let t_cut = Instant::now();
+        let mut new_cuts = gomory_cuts(
+            &std.lp,
+            &std.lp.lb,
+            &std.lp.ub,
+            &basis,
+            &std.col_is_int,
+            MAX_CUTS_PER_ROUND,
+        );
+        new_cuts.extend(cover_cuts(
+            &std.lp,
+            &std.lp.lb,
+            &std.lp.ub,
+            &x,
+            &std.col_is_int,
+            MAX_CUTS_PER_ROUND,
+        ));
+        profile.cut_us += t_cut.elapsed().as_micros() as u64;
+        if new_cuts.is_empty() {
+            break;
+        }
+        let first_new_col = std.lp.num_cols;
+        std.lp = with_cut_rows(&std.lp, &new_cuts);
+        basis = basis.extended_with_cut_slacks(first_new_col, new_cuts.len());
+        profile.cut_rounds += 1;
+        profile.cuts_added += new_cuts.len() as u64;
+
+        // Reoptimize from the extended basis (dual simplex), falling back
+        // to a from-scratch solve when the restart goes stale.
+        let resolved = match resolve_lp(&std.lp, &std.lp.lb, &std.lp.ub, &basis, lp_opts) {
+            Ok(Some(r)) => r,
+            Ok(None) => match solve_lp_from(&std.lp, &std.lp.lb, &std.lp.ub, lp_opts) {
+                Ok(r) => r,
+                Err(LpError::Budget { iterations, .. }) => {
+                    profile.root_lp_iters += iterations;
+                    break;
+                }
+                Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
+            },
+            Err(LpError::Budget { iterations, .. }) => {
+                profile.root_lp_iters += iterations;
+                break;
+            }
+            Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
+        };
+        profile.root_lp_iters += resolved.iterations;
+        let (nx, nobj) = match resolved.outcome {
+            LpOutcome::Optimal { x, obj } => (x, obj),
+            // Cuts hold for every integer point, so a cut-infeasible
+            // relaxation means the integer problem is infeasible; hand the
+            // augmented LP back basis-less and let the engines report it.
+            LpOutcome::Infeasible | LpOutcome::Unbounded => return Ok(None),
+        };
+        let Some(nb) = resolved.basis else { break };
+        // Minimize space: cuts can only raise the root bound. Stop after
+        // two rounds without measurable progress.
+        if nobj <= obj + 1e-7 * obj.abs().max(1.0) {
+            stall += 1;
+        } else {
+            stall = 0;
+        }
+        x = nx;
+        obj = nobj;
+        basis = nb;
+        if stall >= 2 {
+            break;
+        }
+    }
+    Ok(Some(Arc::new(basis)))
+}
+
 /// Assembles the final [`Solution`] (or error) from a finished search.
 pub(crate) fn finish(
     ctx: &SearchCtx<'_>,
@@ -625,6 +867,9 @@ pub(crate) fn finish(
         })
         .collect();
     let jobs = ctx.config.jobs.max(1);
+    // Root-stage LP iterations happened before the engines took over, so
+    // the node-loop counters do not include them.
+    let lp_iterations = out.counters.lp_iters + ctx.root_profile.root_lp_iters;
     match (out.incumbent, out.limit_hit) {
         (Some((vals, obj, source)), None) => Ok(Solution {
             values: vals,
@@ -634,7 +879,7 @@ pub(crate) fn finish(
             nodes: out.counters.explored,
             nodes_pruned: out.counters.pruned,
             nodes_branched: out.counters.branched,
-            lp_iterations: out.counters.lp_iters,
+            lp_iterations,
             lp_warm_attempts: out.counters.warm_attempts,
             lp_warm_hits: out.counters.warm_hits,
             lp_refactors: out.counters.refactors,
@@ -644,6 +889,7 @@ pub(crate) fn finish(
             certificate: None,
             timeline,
             jobs,
+            root_profile: ctx.root_profile,
         }),
         (Some((vals, obj, source)), Some(_)) => {
             let bound = out.best_open_bound.min(obj);
@@ -655,7 +901,7 @@ pub(crate) fn finish(
                 nodes: out.counters.explored,
                 nodes_pruned: out.counters.pruned,
                 nodes_branched: out.counters.branched,
-                lp_iterations: out.counters.lp_iters,
+                lp_iterations,
                 lp_warm_attempts: out.counters.warm_attempts,
                 lp_warm_hits: out.counters.warm_hits,
                 lp_refactors: out.counters.refactors,
@@ -665,6 +911,7 @@ pub(crate) fn finish(
                 certificate: None,
                 timeline,
                 jobs,
+                root_profile: ctx.root_profile,
             })
         }
         (None, None) => Err(SolveError::Infeasible),
@@ -714,7 +961,9 @@ fn sequential(
         depth: 0,
         arena_idx: usize::MAX,
         branch: None,
-        basis: None,
+        // The root LP was already solved (and cut) in `prepare`; restarting
+        // from its basis makes the first node a handful of dual pivots.
+        basis: ctx.root_basis.clone(),
     });
     let mut pc = PcTables::new(std.lp.num_structural);
 
@@ -1173,7 +1422,14 @@ mod tests {
         let value: crate::LinExpr = items.iter().zip(v.iter()).map(|(&x, &vi)| vi * x).sum();
         m.add_constraint("cap", weight, Cmp::Le, 11.0);
         m.set_objective(value, Sense::Maximize);
-        let s = m.solve().unwrap();
+        // Root cuts can make this knapsack integral at the root; disable
+        // them (and probing) so the search genuinely branches.
+        let cfg = BranchConfig {
+            cuts: CutMode::Off,
+            probing: false,
+            ..BranchConfig::default()
+        };
+        let s = m.solve_with(&cfg).unwrap();
         assert!(s.is_optimal());
         assert!(s.nodes() >= 1);
         assert!(s.nodes_branched() >= 1, "expected at least one branching");
@@ -1188,6 +1444,65 @@ mod tests {
         }
         assert_eq!(*objs.last().unwrap(), s.objective());
         assert_eq!(s.jobs(), 1);
+    }
+
+    #[test]
+    fn all_pricing_and_cut_configs_agree() {
+        // The same knapsack solved under every pricing × cuts × probing
+        // combination must prove the same optimum.
+        let build = || {
+            let mut m = Model::new("knap");
+            let items: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"))).collect();
+            let w = [2.0, 3.0, 4.0, 5.0, 7.0, 8.0];
+            let v = [3.0, 4.0, 5.0, 6.0, 9.0, 10.0];
+            let weight: crate::LinExpr = items.iter().zip(w.iter()).map(|(&x, &wi)| wi * x).sum();
+            let value: crate::LinExpr = items.iter().zip(v.iter()).map(|(&x, &vi)| vi * x).sum();
+            m.add_constraint("cap", weight, Cmp::Le, 11.0);
+            m.set_objective(value, Sense::Maximize);
+            m
+        };
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            for cuts in [CutMode::Off, CutMode::Root] {
+                for probing in [false, true] {
+                    let cfg = BranchConfig {
+                        pricing,
+                        cuts,
+                        probing,
+                        ..BranchConfig::default()
+                    };
+                    let s = build().solve_with(&cfg).unwrap();
+                    assert!(s.is_optimal(), "{pricing:?}/{cuts:?}/probing={probing}");
+                    assert!(
+                        (s.objective() - 14.0).abs() < 1e-6,
+                        "{pricing:?}/{cuts:?}/probing={probing}: {}",
+                        s.objective()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_profile_reports_root_lp_work() {
+        let mut m = Model::new("knap");
+        let items: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let w = [2.0, 3.0, 4.0, 5.0, 7.0, 8.0];
+        let v = [3.0, 4.0, 5.0, 6.0, 9.0, 10.0];
+        let weight: crate::LinExpr = items.iter().zip(w.iter()).map(|(&x, &wi)| wi * x).sum();
+        let value: crate::LinExpr = items.iter().zip(v.iter()).map(|(&x, &vi)| vi * x).sum();
+        m.add_constraint("cap", weight, Cmp::Le, 11.0);
+        m.set_objective(value, Sense::Maximize);
+        let s = m.solve().unwrap();
+        let p = s.root_profile();
+        assert!(p.root_lp_iters > 0, "root LP must do work: {p:?}");
+        assert!(
+            s.lp_iterations() >= p.root_lp_iters,
+            "totals include the root stage: {} < {}",
+            s.lp_iterations(),
+            p.root_lp_iters
+        );
+        // Cut telemetry is consistent: rounds imply cuts and vice versa.
+        assert_eq!(p.cut_rounds == 0, p.cuts_added == 0, "{p:?}");
     }
 
     /// Brute-force cross-check on random small ILPs.

@@ -67,13 +67,14 @@ mod propagate;
 pub(crate) mod simplex;
 mod solution;
 
-pub use branch::BranchConfig;
+pub use branch::{BranchConfig, CutMode};
 pub use certify::{certify, certify_values, Certificate, CertifyError};
 pub use expr::{LinExpr, Var};
 pub use gomil_budget::{Budget, BudgetChecker, BudgetExceeded};
 pub use model::{Cmp, Model, Sense, VarKind};
-pub use presolve::Presolved;
-pub use simplex::FEAS_TOL;
+pub use presolve::{PresolveOpts, Presolved};
+pub use simplex::{Pricing, FEAS_TOL};
 pub use solution::{
-    IncumbentEvent, IncumbentSource, Solution, SolveError, SolveStatus, WarmStartStatus,
+    IncumbentEvent, IncumbentSource, RootProfile, Solution, SolveError, SolveStatus,
+    WarmStartStatus,
 };

@@ -328,13 +328,17 @@ impl Model {
         let mut sol = match branch::solve(self, config) {
             Ok(sol) => sol,
             Err(SolveError::Numerical(first)) if config.numerical_retry && !config.force_bland => {
-                // Maximum-robustness retry: Bland's rule, relaxed
-                // tolerances, and no basis reuse (a drifted cached basis
-                // must not re-trigger the failure being retried).
+                // Maximum-robustness retry: Bland's rule, Dantzig pricing,
+                // relaxed tolerances, no basis reuse, no cuts and no
+                // presolve reductions — none of the performance machinery
+                // may re-trigger the failure being retried.
                 let retry = BranchConfig {
                     force_bland: true,
                     tol_scale: 10.0,
                     reuse_basis: false,
+                    pricing: crate::simplex::Pricing::Dantzig,
+                    cuts: branch::CutMode::Off,
+                    probing: false,
                     ..config.clone()
                 };
                 branch::solve(self, &retry).map_err(|e| match e {

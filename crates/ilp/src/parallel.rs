@@ -476,7 +476,9 @@ pub(crate) fn search(
         depth: 0,
         path: None,
         branch: None,
-        basis: None,
+        // The root LP was already solved (and cut) in `prepare`; whichever
+        // worker claims the root dual-warm-restarts from its basis.
+        basis: ctx.root_basis.clone(),
     });
     let shared = Shared {
         ctx,

@@ -44,6 +44,7 @@
 //! two-phase primal (whose Bland retry path is unchanged).
 
 use gomil_budget::{Budget, BudgetExceeded};
+use std::time::Instant;
 
 /// Feasibility / integrality tolerance used throughout the solver.
 pub const FEAS_TOL: f64 = 1e-6;
@@ -55,12 +56,56 @@ const PIVOT_TOL: f64 = 1e-8;
 const SINGULAR_TOL: f64 = 1e-10;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 const STALL_LIMIT: u32 = 60;
-/// Pivot iterations between wall-clock budget checks (a budget check costs
-/// a clock read, so it is amortized over a batch of pivots).
-const BUDGET_CHECK_PERIOD: u64 = 256;
-/// Eta vectors accumulated beyond the re-inversion floor (one eta per
-/// basis column) before the file is rebuilt from scratch.
+/// Work units (pivots × rows) between wall-clock budget checks. A budget
+/// check costs a clock read, so it is amortized over a batch of pivots —
+/// but the batch must shrink as rows grow, or a wide model's expensive
+/// iterations overshoot the deadline by minutes (256 pivots at ~1 s each
+/// on the prefix m=64 LP blew a 120 s budget out to 257 s).
+const BUDGET_CHECK_WORK: u64 = 1 << 20;
+/// Eta vectors accumulated since the last re-inversion (i.e. pivots
+/// performed on top of the factorized basis) before the file is rebuilt
+/// from scratch.
 const REFACTOR_PERIOD: usize = 64;
+
+/// Devex weights are clamped here; runaway reference weights degrade the
+/// rule toward Dantzig instead of overflowing.
+const DEVEX_MAX: f64 = 1e12;
+
+/// Pricing rule for the entering choice (primal) and the leaving-row
+/// choice (dual).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pricing {
+    /// Classic most-negative-reduced-cost / worst-violation pricing: the
+    /// cheapest rule per iteration, kept for A/B comparison and for the
+    /// numerical-retry rung (together with Bland's rule).
+    Dantzig,
+    /// Devex: approximate steepest edge over a reference framework
+    /// (Forrest–Goldfarb). Weights reset to the current frame at every
+    /// re-inversion. Costs one extra BTRAN plus a column pass per primal
+    /// pivot (and almost nothing in the dual), and typically saves far
+    /// more pivots than it spends on the wide GOMIL root LPs.
+    #[default]
+    Devex,
+}
+
+impl Pricing {
+    /// Parses the CLI spelling (`dantzig` / `devex`).
+    pub fn from_name(name: &str) -> Option<Pricing> {
+        match name {
+            "dantzig" => Some(Pricing::Dantzig),
+            "devex" => Some(Pricing::Devex),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pricing::Dantzig => "dantzig",
+            Pricing::Devex => "devex",
+        }
+    }
+}
 
 /// Knobs for one LP solve.
 #[derive(Debug, Clone)]
@@ -74,7 +119,10 @@ pub(crate) struct SimplexOpts {
     /// Multiplier on the reduced-cost optimality tolerance. Values > 1
     /// terminate earlier on numerically marginal problems.
     pub tol_scale: f64,
-    /// Wall-clock budget checked every [`BUDGET_CHECK_PERIOD`] pivots.
+    /// Entering/leaving pricing rule (Bland's rule overrides it).
+    pub pricing: Pricing,
+    /// Wall-clock budget checked every few pivots (amortized by
+    /// [`BUDGET_CHECK_WORK`] over the row count).
     pub budget: Budget,
 }
 
@@ -84,6 +132,7 @@ impl Default for SimplexOpts {
             max_iters: u64::MAX,
             force_bland: false,
             tol_scale: 1.0,
+            pricing: Pricing::default(),
             budget: Budget::unlimited(),
         }
     }
@@ -272,6 +321,9 @@ pub(crate) struct LpResult {
     pub iterations: u64,
     /// Basis re-inversions (eta-file rebuilds) performed.
     pub refactors: u64,
+    /// Microseconds spent in the first basis factorization of this solve
+    /// (0 when the trivial no-constraint path skipped factorization).
+    pub first_factor_us: u64,
     /// The final basis when it is warm-restartable (optimal, and no
     /// artificial column basic); `None` otherwise.
     pub basis: Option<Basis>,
@@ -362,8 +414,17 @@ struct Core<'a> {
     /// kept in sync for basic ones).
     val: Vec<f64>,
     etas: Vec<Eta>,
+    /// Eta-file length right after the last re-inversion; pivots since then
+    /// is `etas.len() - etas_base`, which drives the refactor cadence.
+    etas_base: usize,
     iterations: u64,
     refactors: u64,
+    /// Devex reference weights per column (primal pricing).
+    devex_w: Vec<f64>,
+    /// Devex reference weights per row (dual leaving-row pricing).
+    dual_w: Vec<f64>,
+    /// Microseconds spent in the first `refactorize` call.
+    first_factor_us: u64,
 }
 
 impl Core<'_> {
@@ -452,25 +513,107 @@ impl Core<'_> {
     /// re-inversion, sparsest column first). Fails if the basis is
     /// singular. Row assignments may be permuted; `self.basis` is updated
     /// to match.
+    ///
+    /// The working column is kept sparse throughout: only touched entries
+    /// are scattered, transformed, scanned for a pivot, and reset, and the
+    /// eta file is applied in Gilbert–Peierls fashion — a min-heap fires
+    /// exactly the etas whose pivot row carries a nonzero, in creation
+    /// order. Columns that transform to an exact unit column (the common
+    /// slack case) contribute no eta at all. The dense variant was O(m²)
+    /// even for a diagonal basis, which at the prefix m=64 LP's 133 k rows
+    /// burned ~51 s before the first simplex pivot.
     fn refactorize(&mut self) -> Result<(), String> {
+        let t0 = if self.refactors == 0 {
+            Some(Instant::now())
+        } else {
+            None
+        };
         self.refactors += 1;
         self.etas.clear();
+        // Devex weights are relative to a reference framework that a
+        // re-inversion invalidates (row assignments may permute below):
+        // reset both frames to the current point.
+        self.devex_w.fill(1.0);
+        self.dual_w.fill(1.0);
         let mut order: Vec<u32> = self.basis.clone();
         order.sort_by_key(|&j| self.col_nnz(j as usize));
         let mut taken = vec![false; self.m];
         let mut new_basis = vec![0u32; self.m];
         let mut w = vec![0.0f64; self.m];
-        for &j in &order {
-            for v in w.iter_mut() {
-                *v = 0.0;
+        let mut touched: Vec<u32> = Vec::new();
+        let mut is_touched = vec![false; self.m];
+        // Eta index pivoting on each row (every re-inversion eta has a
+        // distinct pivot row), or `u32::MAX` when the row has none.
+        let mut row_eta = vec![u32::MAX; self.m];
+        // Candidate etas to fire for the current column, popped in
+        // creation order; `queued` dedupes pushes.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+            std::collections::BinaryHeap::new();
+        let mut queued = vec![false; self.m];
+        let touch = |r: usize,
+                     is_touched: &mut [bool],
+                     touched: &mut Vec<u32>,
+                     heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+                     queued: &mut [bool],
+                     after: u32,
+                     row_eta: &[u32]| {
+            if !is_touched[r] {
+                is_touched[r] = true;
+                touched.push(r as u32);
             }
-            self.for_col(j as usize, |r, a| w[r] = a);
-            self.ftran(&mut w);
+            let e = row_eta[r];
+            if e != u32::MAX && e >= after && !queued[e as usize] {
+                queued[e as usize] = true;
+                heap.push(std::cmp::Reverse(e));
+            }
+        };
+        for &j in &order {
+            self.for_col(j as usize, |r, a| {
+                w[r] = a;
+                touch(
+                    r,
+                    &mut is_touched,
+                    &mut touched,
+                    &mut heap,
+                    &mut queued,
+                    0,
+                    &row_eta,
+                );
+            });
+            // Fire only the etas reachable from the column's pattern; fill
+            // can only trigger etas created later than the one producing it.
+            while let Some(std::cmp::Reverse(ei)) = heap.pop() {
+                queued[ei as usize] = false;
+                let e = &self.etas[ei as usize];
+                let r = e.row as usize;
+                let t = w[r] / e.pivot;
+                w[r] = t;
+                if t != 0.0 {
+                    // The eta's own nz list is borrowed from self.etas, so
+                    // fill bookkeeping is inlined rather than via `touch`.
+                    for &(i, ww) in &e.nz {
+                        if i != e.row {
+                            let iu = i as usize;
+                            if !is_touched[iu] {
+                                is_touched[iu] = true;
+                                touched.push(i);
+                            }
+                            w[iu] -= ww * t;
+                            let re = row_eta[iu];
+                            if re != u32::MAX && re > ei && !queued[re as usize] {
+                                queued[re as usize] = true;
+                                heap.push(std::cmp::Reverse(re));
+                            }
+                        }
+                    }
+                }
+            }
             let mut r_best: Option<usize> = None;
             let mut a_best = SINGULAR_TOL;
-            for (i, &wi) in w.iter().enumerate() {
-                if !taken[i] && wi.abs() > a_best {
-                    a_best = wi.abs();
+            for &ti in &touched {
+                let i = ti as usize;
+                if !taken[i] && w[i].abs() > a_best {
+                    a_best = w[i].abs();
                     r_best = Some(i);
                 }
             }
@@ -479,9 +622,36 @@ impl Core<'_> {
             };
             taken[r] = true;
             new_basis[r] = j;
-            self.push_eta(r, &w);
+            // A transformed column that is exactly the unit vector e_r
+            // (slack columns, typically) has an identity eta: skip it.
+            let unit = w[r] == 1.0
+                && touched
+                    .iter()
+                    .all(|&ti| ti as usize == r || w[ti as usize] == 0.0);
+            if !unit {
+                let nz: Vec<(u32, f64)> = touched
+                    .iter()
+                    .filter(|&&ti| w[ti as usize] != 0.0)
+                    .map(|&ti| (ti, w[ti as usize]))
+                    .collect();
+                row_eta[r] = self.etas.len() as u32;
+                self.etas.push(Eta {
+                    row: r as u32,
+                    pivot: w[r],
+                    nz,
+                });
+            }
+            for &ti in &touched {
+                w[ti as usize] = 0.0;
+                is_touched[ti as usize] = false;
+            }
+            touched.clear();
         }
         self.basis = new_basis;
+        self.etas_base = self.etas.len();
+        if let Some(t0) = t0 {
+            self.first_factor_us = t0.elapsed().as_micros() as u64;
+        }
         Ok(())
     }
 
@@ -506,7 +676,7 @@ impl Core<'_> {
     /// Re-inverts when the eta file has grown past the refactor threshold,
     /// then refreshes basic values.
     fn maybe_refactor(&mut self) -> Result<(), SimplexStop> {
-        if self.etas.len() >= self.m + REFACTOR_PERIOD {
+        if self.etas.len() >= self.etas_base + REFACTOR_PERIOD {
             self.refactorize().map_err(SimplexStop::Singular)?;
             self.compute_basics();
         }
@@ -518,7 +688,10 @@ impl Core<'_> {
         if self.iterations >= opts.max_iters {
             return Err(SimplexStop::IterationLimit);
         }
-        if self.iterations.is_multiple_of(BUDGET_CHECK_PERIOD) {
+        // Amortize clock reads over ~BUDGET_CHECK_WORK row-operations: tiny
+        // LPs check every few hundred pivots, wide ones every pivot.
+        let period = (BUDGET_CHECK_WORK / self.m.max(1) as u64).clamp(1, 256);
+        if self.iterations.is_multiple_of(period) {
             if let Err(reason) = opts.budget.check() {
                 return Err(SimplexStop::Budget(reason));
             }
@@ -533,17 +706,22 @@ impl Core<'_> {
         let opt_tol = OPT_TOL * opts.tol_scale.max(1.0);
         let mut y = vec![0.0f64; self.m];
         let mut w = vec![0.0f64; self.m];
+        let mut rho = vec![0.0f64; self.m];
         loop {
             self.check_limits(opts)?;
             let bland = opts.force_bland || stalled >= STALL_LIMIT;
+            let devex = !bland && opts.pricing == Pricing::Devex;
 
             // --- Pricing: y = B⁻ᵀ·c_B, then d_j = c_j − y·a_j on the fly.
+            // Dantzig picks the worst reduced cost; devex divides its
+            // square by the reference weight (approximate steepest edge).
             for (r, yv) in y.iter_mut().enumerate() {
                 *yv = self.costs[self.basis[r] as usize];
             }
             self.btran(&mut y);
             let mut enter: Option<(usize, f64)> = None; // (col, direction)
             let mut best_score = opt_tol;
+            let mut best_ratio = 0.0f64;
             for j in 0..self.n {
                 match self.status[j] {
                     ColStatus::Basic => continue,
@@ -556,12 +734,22 @@ impl Core<'_> {
                     ColStatus::AtUpper => (-1.0, d),
                     ColStatus::Basic => unreachable!(),
                 };
-                if score > best_score {
+                if score <= opt_tol {
+                    continue;
+                }
+                if bland {
                     enter = Some((j, dir));
-                    if bland {
-                        break; // lowest eligible index
+                    break; // lowest eligible index
+                }
+                if devex {
+                    let ratio = score * score / self.devex_w[j];
+                    if ratio > best_ratio {
+                        best_ratio = ratio;
+                        enter = Some((j, dir));
                     }
+                } else if score > best_score {
                     best_score = score;
+                    enter = Some((j, dir));
                 }
             }
             let Some((q, dir)) = enter else {
@@ -646,6 +834,9 @@ impl Core<'_> {
                 }
                 Some(r) => {
                     let b = self.basis[r] as usize;
+                    if devex {
+                        self.update_devex_primal(q, r, &w, &mut rho);
+                    }
                     // Leaving variable lands exactly on the bound it hit.
                     let alpha = dir * w[r];
                     self.status[b] = if alpha > 0.0 {
@@ -662,6 +853,39 @@ impl Core<'_> {
                 }
             }
         }
+    }
+
+    /// Devex reference-framework update after a primal pivot decision:
+    /// column `q` enters on row `r`, `w = B⁻¹·a_q` (the *current* basis —
+    /// call before `push_eta`). One BTRAN builds the pivot row
+    /// `α_r = eᵣᵀB⁻¹A`; every nonbasic weight takes
+    /// `max(w_j, (α_rj/α_rq)²·w_q)` and the leaving column gets
+    /// `max(w_q/α_rq², 1)` (Forrest & Goldfarb 1992).
+    fn update_devex_primal(&mut self, q: usize, r: usize, w: &[f64], rho: &mut [f64]) {
+        let piv = w[r];
+        if piv.abs() <= PIVOT_TOL {
+            return;
+        }
+        let wq = self.devex_w[q].max(1.0);
+        for v in rho.iter_mut() {
+            *v = 0.0;
+        }
+        rho[r] = 1.0;
+        self.btran(rho);
+        let b = self.basis[r] as usize; // leaving column, still basic here
+        for j in 0..self.n {
+            if self.status[j] == ColStatus::Basic || j == q || self.lb[j] == self.ub[j] {
+                continue;
+            }
+            let a = self.col_dot(j, rho);
+            if a != 0.0 {
+                let cand = ((a / piv) * (a / piv) * wq).min(DEVEX_MAX);
+                if cand > self.devex_w[j] {
+                    self.devex_w[j] = cand;
+                }
+            }
+        }
+        self.devex_w[b] = (wq / (piv * piv)).clamp(1.0, DEVEX_MAX);
     }
 
     /// Recomputes the full reduced-cost vector `d = c − AᵀB⁻ᵀc_B` into `d`
@@ -694,11 +918,14 @@ impl Core<'_> {
         loop {
             self.check_limits(opts)?;
             let bland = opts.force_bland || stalled >= STALL_LIMIT;
+            let devex = !bland && opts.pricing == Pricing::Devex;
 
             // --- Leaving row: the worst primal bound violation (smallest
-            // violating row index under the anti-cycling rule).
+            // violating row index under the anti-cycling rule). Devex
+            // divides the squared violation by the row's reference weight.
             let mut r_sel: Option<(usize, bool)> = None; // (row, above upper?)
             let mut worst = FEAS_TOL;
+            let mut best_ratio = 0.0f64;
             for (r, &bc) in self.basis.iter().enumerate() {
                 let b = bc as usize;
                 let x = self.val[b];
@@ -709,12 +936,22 @@ impl Core<'_> {
                 } else {
                     (under, false)
                 };
-                if viol > worst {
+                if viol <= FEAS_TOL {
+                    continue;
+                }
+                if bland {
                     r_sel = Some((r, above));
-                    if bland {
-                        break;
+                    break;
+                }
+                if devex {
+                    let ratio = viol * viol / self.dual_w[r];
+                    if ratio > best_ratio {
+                        best_ratio = ratio;
+                        r_sel = Some((r, above));
                     }
+                } else if viol > worst {
                     worst = viol;
+                    r_sel = Some((r, above));
                 }
             }
             let Some((r, above)) = r_sel else {
@@ -824,6 +1061,21 @@ impl Core<'_> {
             d[b] = -theta;
             d[q] = 0.0;
 
+            // --- Devex row-weight update: essentially free, because the
+            // FTRAN'd entering column `w` is already in hand.
+            if devex {
+                let wr = self.dual_w[r].max(1.0);
+                for (i, &wi) in w.iter().enumerate() {
+                    if i != r && wi != 0.0 {
+                        let cand = ((wi / piv) * (wi / piv) * wr).min(DEVEX_MAX);
+                        if cand > self.dual_w[i] {
+                            self.dual_w[i] = cand;
+                        }
+                    }
+                }
+                self.dual_w[r] = (wr / (piv * piv)).clamp(1.0, DEVEX_MAX);
+            }
+
             self.push_eta(r, &w);
             self.basis[r] = q as u32;
             if self.etas.len() >= self.m + REFACTOR_PERIOD {
@@ -859,6 +1111,7 @@ impl Core<'_> {
             outcome: LpOutcome::Optimal { x, obj },
             iterations: self.iterations,
             refactors: self.refactors,
+            first_factor_us: self.first_factor_us,
             basis: self.snapshot(),
         }
     }
@@ -869,6 +1122,7 @@ impl Core<'_> {
             outcome,
             iterations: self.iterations,
             refactors: self.refactors,
+            first_factor_us: self.first_factor_us,
             basis: None,
         }
     }
@@ -912,6 +1166,7 @@ pub(crate) fn solve_lp_from(
                     outcome: LpOutcome::Unbounded,
                     iterations: 0,
                     refactors: 0,
+                    first_factor_us: 0,
                     basis: None,
                 });
             }
@@ -923,6 +1178,7 @@ pub(crate) fn solve_lp_from(
             outcome: LpOutcome::Optimal { x, obj },
             iterations: 0,
             refactors: 0,
+            first_factor_us: 0,
             basis: None,
         });
     }
@@ -1040,8 +1296,12 @@ pub(crate) fn solve_lp_from(
         status,
         val,
         etas: Vec::new(),
+        etas_base: 0,
         iterations: 0,
         refactors: 0,
+        devex_w: vec![1.0; total_cols],
+        dual_w: vec![1.0; m],
+        first_factor_us: 0,
     };
     // The initial basis (slacks at +1, artificials at ±1) is diagonal;
     // re-inversion builds its trivial eta file and cannot fail.
@@ -1188,8 +1448,12 @@ pub(crate) fn resolve_lp(
         status: basis.status.clone(),
         val,
         etas: Vec::new(),
+        etas_base: 0,
         iterations: 0,
         refactors: 0,
+        devex_w: vec![1.0; n],
+        dual_w: vec![1.0; m],
+        first_factor_us: 0,
     };
     if core.refactorize().is_err() {
         return Ok(None); // singular cached basis
@@ -1243,6 +1507,371 @@ pub(crate) fn resolve_lp(
         }),
         Err(SimplexStop::IterationLimit) | Err(SimplexStop::Singular(_)) => Ok(None),
     }
+}
+
+// --- Root cutting planes ------------------------------------------------
+//
+// Cuts separated at the root of the branch-and-bound tree. Both families
+// below are derived from *globally valid* bounds, so they hold for every
+// integer-feasible point of the model and may stay in the LP for the
+// whole tree. Cuts are expressed over the existing columns in `≤` form
+// and appended via [`with_cut_rows`], which preserves the
+// slack-of-row-`r`-is-column-`num_structural + r` invariant that
+// `solve_lp_from` relies on.
+
+/// One cut row `Σ aⱼ·xⱼ ≤ rhs` over *structural* columns only, before its
+/// own slack column is appended. Keeping cuts slack-free preserves the
+/// "each row touches only structural columns plus its own slack"
+/// invariant that `solve_lp`'s crash-basis construction relies on.
+pub(crate) type CutRow = (Vec<(u32, f64)>, f64);
+
+/// Largest cut coefficient magnitude accepted; anything wilder is a sign
+/// of numerical trouble in the tableau row and the cut is discarded.
+const CUT_COEF_MAX: f64 = 1e8;
+/// A basic integer column must be at least this fractional for its
+/// tableau row to seed a Gomory cut.
+const GOMORY_MIN_FRAC: f64 = 0.01;
+/// Minimum violation (in the shifted space) for a cut to be kept.
+const CUT_MIN_VIOLATION: f64 = 1e-4;
+
+/// Returns `p` extended with `cuts` as new `≤` rows, each with a fresh
+/// slack column `s ∈ [0, ∞)` appended after the existing columns.
+/// Existing column indices are untouched, and because every problem built
+/// by `standardize` (or this function) has exactly one slack per row, the
+/// new slack of cut `k` lands at column `num_structural + num_rows + k` —
+/// keeping the `slack_col(r) = num_structural + r` invariant intact.
+pub(crate) fn with_cut_rows(p: &LpProblem, cuts: &[CutRow]) -> LpProblem {
+    debug_assert_eq!(p.num_cols, p.num_structural + p.rows.len());
+    debug_assert!(
+        cuts.iter()
+            .all(|(coefs, _)| coefs.iter().all(|&(j, _)| (j as usize) < p.num_structural)),
+        "cut rows must reference structural columns only"
+    );
+    let mut costs = p.costs.clone();
+    let mut lb = p.lb.clone();
+    let mut ub = p.ub.clone();
+    let mut rows = p.rows.clone();
+    let mut rhs = p.rhs.clone();
+    costs.reserve(cuts.len());
+    for (k, (coefs, b)) in cuts.iter().enumerate() {
+        let slack = (p.num_cols + k) as u32;
+        let mut row = coefs.clone();
+        row.push((slack, 1.0));
+        rows.push(row);
+        rhs.push(*b);
+        costs.push(0.0);
+        lb.push(0.0);
+        ub.push(f64::INFINITY);
+    }
+    LpProblem::new(p.num_structural, costs, lb, ub, rows, rhs)
+}
+
+impl Basis {
+    /// Extends an optimal basis of the pre-cut problem to the cut-augmented
+    /// one: each appended slack column (starting at `first_new_col`) goes
+    /// basic in its own row. The extended basis matrix is block triangular
+    /// (old basis + identity block), hence nonsingular, and the zero-cost
+    /// slacks keep the reduced costs — and thus dual feasibility — intact,
+    /// so [`resolve_lp`] can reoptimize it with dual pivots.
+    pub(crate) fn extended_with_cut_slacks(&self, first_new_col: usize, k: usize) -> Basis {
+        let mut cols = self.cols.clone();
+        let mut status = self.status.clone();
+        cols.reserve(k);
+        status.reserve(k);
+        for i in 0..k {
+            cols.push((first_new_col + i) as u32);
+            status.push(ColStatus::Basic);
+        }
+        Basis { cols, status }
+    }
+}
+
+/// Separates Gomory mixed-integer cuts from an optimal `basis` of `p`
+/// under (globally valid) bounds `lb`/`ub`. `col_is_int[j]` flags the
+/// integer structural columns. Returns up to `max_cuts` cuts in `≤` form,
+/// each violated by the basic solution the basis encodes; every cut is
+/// valid for all integer-feasible points under the given bounds, so
+/// root-derived cuts hold tree-wide.
+pub(crate) fn gomory_cuts(
+    p: &LpProblem,
+    lb: &[f64],
+    ub: &[f64],
+    basis: &Basis,
+    col_is_int: &[bool],
+    max_cuts: usize,
+) -> Vec<CutRow> {
+    let m = p.rows.len();
+    let n = p.num_cols;
+    if m == 0 || max_cuts == 0 || basis.cols.len() != m || basis.status.len() != n {
+        return Vec::new();
+    }
+    let mut val = vec![0.0f64; n];
+    for (j, &st) in basis.status.iter().enumerate() {
+        val[j] = match st {
+            ColStatus::Basic => 0.0,
+            ColStatus::AtLower => {
+                if lb[j].is_finite() {
+                    lb[j]
+                } else {
+                    0.0
+                }
+            }
+            ColStatus::AtUpper => {
+                if ub[j].is_finite() {
+                    ub[j]
+                } else {
+                    return Vec::new();
+                }
+            }
+        };
+    }
+    let mut core = Core {
+        p,
+        m,
+        n,
+        art_row: Vec::new(),
+        art_sign: Vec::new(),
+        costs: p.costs.clone(),
+        lb: lb.to_vec(),
+        ub: ub.to_vec(),
+        basis: basis.cols.clone(),
+        status: basis.status.clone(),
+        val,
+        etas: Vec::new(),
+        etas_base: 0,
+        iterations: 0,
+        refactors: 0,
+        devex_w: vec![1.0; n],
+        dual_w: vec![1.0; m],
+        first_factor_us: 0,
+    };
+    if core.refactorize().is_err() {
+        return Vec::new();
+    }
+    core.compute_basics();
+
+    // Candidate rows: basic structural integer columns at a usefully
+    // fractional value, most fractional first.
+    let mut cand: Vec<(usize, f64)> = Vec::new();
+    for (r, &bc) in core.basis.iter().enumerate() {
+        let b = bc as usize;
+        if b >= p.num_structural || !col_is_int[b] {
+            continue;
+        }
+        let x = core.val[b];
+        let f0 = x - x.floor();
+        let dist = f0.min(1.0 - f0);
+        if dist >= GOMORY_MIN_FRAC {
+            cand.push((r, dist));
+        }
+    }
+    cand.sort_by(|a, b| b.1.total_cmp(&a.1));
+    cand.truncate(max_cuts);
+
+    let mut rho = vec![0.0f64; m];
+    let mut cuts: Vec<CutRow> = Vec::new();
+    'rows: for &(r, _) in &cand {
+        for v in rho.iter_mut() {
+            *v = 0.0;
+        }
+        rho[r] = 1.0;
+        core.btran(&mut rho);
+        let xb = core.val[core.basis[r] as usize];
+        let f0 = xb - xb.floor();
+        if !(GOMORY_MIN_FRAC..=1.0 - GOMORY_MIN_FRAC).contains(&f0) {
+            continue;
+        }
+        // The tableau row reads x_B(r) + Σ_nonbasic ᾱ_j·x_j = β. Shift
+        // every nonbasic column onto its bound (x̃_j ≥ 0), apply the GMI
+        // formula in the shifted space (integer columns get the mixed
+        // strengthening, everything else the continuous term), then map
+        // back and flip to `≤` form.
+        let mut coefs: Vec<(u32, f64)> = Vec::new();
+        let mut rhs = -f0; // accumulates relax − f0 − Σγl + Σγu (≤ form)
+                           // `col_is_int` covers structural columns only (guarded below), so
+                           // iterating it instead of the index range would stop short of the
+                           // slack columns.
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..n {
+            if core.status[j] == ColStatus::Basic || core.lb[j] == core.ub[j] {
+                continue;
+            }
+            let alpha = core.col_dot(j, &rho);
+            if alpha.abs() <= 1e-11 {
+                continue;
+            }
+            let at_upper = core.status[j] == ColStatus::AtUpper;
+            let bound = if at_upper { core.ub[j] } else { core.lb[j] };
+            if !bound.is_finite() {
+                continue 'rows; // free phantom column: no valid shift
+            }
+            let a = if at_upper { -alpha } else { alpha };
+            let gamma = if j < p.num_structural && col_is_int[j] {
+                let fj = a - a.floor();
+                fj.min(f0 * (1.0 - fj) / (1.0 - f0))
+            } else if a >= 0.0 {
+                a
+            } else {
+                f0 * (-a) / (1.0 - f0)
+            };
+            if !gamma.is_finite() || gamma > CUT_COEF_MAX {
+                continue 'rows;
+            }
+            if gamma <= 1e-12 {
+                // Dropping a γ·x̃ term from the `≥` left-hand side needs a
+                // compensating rhs relaxation of γ·(range); with an
+                // infinite range the term must stay.
+                let range = core.ub[j] - core.lb[j];
+                if range.is_finite() {
+                    rhs += gamma * range;
+                    continue;
+                }
+            }
+            if at_upper {
+                coefs.push((j as u32, gamma));
+                rhs += gamma * bound;
+            } else {
+                coefs.push((j as u32, -gamma));
+                rhs -= gamma * bound;
+            }
+        }
+        // The current point has every x̃_j at 0, so the cut is violated by
+        // f0 minus any rhs relaxation. Substitute slack columns away (the
+        // row equations hold with equality everywhere, so this is exact),
+        // then recompute the violation in structural space as a final
+        // numerical sanity check.
+        if coefs.is_empty() {
+            continue;
+        }
+        let (coefs, rhs) = expand_to_structural(p, &coefs, rhs);
+        if coefs.is_empty() || coefs.iter().any(|&(_, c)| c.abs() > CUT_COEF_MAX) {
+            continue;
+        }
+        let lhs: f64 = coefs.iter().map(|&(j, c)| c * core.val[j as usize]).sum();
+        if lhs - rhs < CUT_MIN_VIOLATION {
+            continue;
+        }
+        cuts.push((coefs, rhs));
+    }
+    cuts
+}
+
+/// Rewrites a `Σ cⱼ·xⱼ ≤ rhs` row over arbitrary problem columns into an
+/// equivalent one over structural columns only, by substituting each slack
+/// via its defining row (`s_r = rhs_r − Σ aⱼ·xⱼ`). Every row references
+/// only columns with smaller indices than its own slack, so one backward
+/// sweep over the slack columns eliminates them all.
+fn expand_to_structural(
+    p: &LpProblem,
+    coefs: &[(u32, f64)],
+    mut rhs: f64,
+) -> (Vec<(u32, f64)>, f64) {
+    let ns = p.num_structural;
+    let mut acc = vec![0.0f64; p.num_cols];
+    for &(j, c) in coefs {
+        acc[j as usize] += c;
+    }
+    for j in (ns..p.num_cols).rev() {
+        let c = acc[j];
+        if c == 0.0 {
+            continue;
+        }
+        acc[j] = 0.0;
+        let r = j - ns;
+        rhs -= c * p.rhs[r];
+        for &(cc, a) in &p.rows[r] {
+            if cc as usize != j {
+                acc[cc as usize] -= c * a;
+            }
+        }
+    }
+    let out: Vec<(u32, f64)> = acc
+        .iter()
+        .take(ns)
+        .enumerate()
+        .filter(|&(_, &v)| v.abs() > 1e-12)
+        .map(|(j, &v)| (j as u32, v))
+        .collect();
+    (out, rhs)
+}
+
+/// Separates knapsack cover cuts: for every pure-binary `≤` row
+/// `Σ aⱼxⱼ ≤ b` (all structural coefficients positive, all structural
+/// columns binary), a greedy minimal cover `C` with `Σ_C aⱼ > b` yields
+/// the valid cut `Σ_C xⱼ ≤ |C| − 1`; it is kept when the LP point `x`
+/// (structural values) violates it.
+pub(crate) fn cover_cuts(
+    p: &LpProblem,
+    lb: &[f64],
+    ub: &[f64],
+    x: &[f64],
+    col_is_int: &[bool],
+    max_cuts: usize,
+) -> Vec<CutRow> {
+    let mut out: Vec<CutRow> = Vec::new();
+    for (r, row) in p.rows.iter().enumerate() {
+        if out.len() >= max_cuts {
+            break;
+        }
+        let slack = p.num_structural + r;
+        // Only `≤` rows: slack ∈ [0, ∞).
+        if lb[slack] != 0.0 || ub[slack].is_finite() {
+            continue;
+        }
+        let b = p.rhs[r];
+        if !b.is_finite() || b <= 0.0 {
+            continue;
+        }
+        let mut items: Vec<(u32, f64)> = Vec::new();
+        let mut ok = true;
+        for &(c, a) in row {
+            let cu = c as usize;
+            if cu == slack {
+                continue;
+            }
+            if cu >= p.num_structural
+                || !col_is_int[cu]
+                || lb[cu] < -FEAS_TOL
+                || ub[cu] > 1.0 + FEAS_TOL
+                || a <= 0.0
+            {
+                ok = false;
+                break;
+            }
+            items.push((c, a));
+        }
+        if !ok || items.len() < 2 {
+            continue;
+        }
+        // Greedy cover: cheapest (1 − x̄)/a first, until the weights
+        // overflow the capacity.
+        items.sort_by(|i, j| {
+            let ci = (1.0 - x[i.0 as usize]).max(0.0) / i.1;
+            let cj = (1.0 - x[j.0 as usize]).max(0.0) / j.1;
+            ci.total_cmp(&cj)
+        });
+        let mut wsum = 0.0;
+        let mut slackness = 0.0;
+        let mut cover: Vec<u32> = Vec::new();
+        for &(c, a) in &items {
+            cover.push(c);
+            wsum += a;
+            slackness += (1.0 - x[c as usize]).max(0.0);
+            if wsum > b + FEAS_TOL {
+                break;
+            }
+        }
+        if wsum <= b + FEAS_TOL {
+            continue; // the whole row fits: no cover exists
+        }
+        // Cut Σ_C x ≤ |C|−1 is violated iff Σ_C (1 − x̄) < 1.
+        if slackness >= 1.0 - CUT_MIN_VIOLATION {
+            continue;
+        }
+        let coefs: Vec<(u32, f64)> = cover.iter().map(|&c| (c, 1.0)).collect();
+        out.push((coefs, cover.len() as f64 - 1.0));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1780,5 +2409,236 @@ mod tests {
             "expected mid-solve re-inversions, got {}",
             res.refactors
         );
+    }
+
+    // --- Pricing / cut tests ------------------------------------------
+
+    #[test]
+    fn devex_and_dantzig_agree_on_random_lps() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..40 {
+            let nv = 3;
+            let costs: Vec<f64> = (0..nv).map(|_| rng.gen_range(-5.0..5.0f64)).collect();
+            let bounds = vec![(0.0, 6.0); nv];
+            let cons: Vec<(Vec<f64>, i8, f64)> = (0..3)
+                .map(|_| {
+                    (
+                        (0..nv).map(|_| rng.gen_range(0.1..3.0f64)).collect(),
+                        -1i8,
+                        rng.gen_range(1.0..8.0f64),
+                    )
+                })
+                .collect();
+            let p = lp(costs, bounds, cons);
+            let dantzig = SimplexOpts {
+                pricing: Pricing::Dantzig,
+                ..topts()
+            };
+            let devex = SimplexOpts {
+                pricing: Pricing::Devex,
+                ..topts()
+            };
+            match (
+                solve_lp(&p, &dantzig).unwrap().outcome,
+                solve_lp(&p, &devex).unwrap().outcome,
+            ) {
+                (LpOutcome::Optimal { obj: a, .. }, LpOutcome::Optimal { obj: b, .. }) => {
+                    assert!(
+                        (a - b).abs() < 1e-6,
+                        "trial {trial}: dantzig {a} vs devex {b}"
+                    );
+                }
+                (a, b) => panic!("trial {trial}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn devex_dual_restart_matches_dantzig_restart() {
+        let p = lp(
+            vec![-3.0, -2.0, -4.0],
+            vec![(0.0, 4.0), (0.0, 4.0), (0.0, 4.0)],
+            vec![
+                (vec![1.0, 1.0, 2.0], -1, 7.0),
+                (vec![2.0, 1.0, 1.0], -1, 8.0),
+            ],
+        );
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            let opts = SimplexOpts { pricing, ..topts() };
+            let first = solve_lp(&p, &opts).unwrap();
+            let basis = first.basis.expect("reusable basis");
+            let mut lb = p.lb.clone();
+            lb[2] = 3.0;
+            let restart = resolve_lp(&p, &lb, &p.ub, &basis, &opts)
+                .unwrap()
+                .expect("restart should succeed");
+            let scratch = solve_lp_from(&p, &lb, &p.ub, &opts).unwrap();
+            match (restart.outcome, scratch.outcome) {
+                (LpOutcome::Optimal { obj: a, .. }, LpOutcome::Optimal { obj: b, .. }) => {
+                    assert!(
+                        (a - b).abs() < 1e-6,
+                        "{pricing:?}: restart {a} vs scratch {b}"
+                    )
+                }
+                (a, b) => panic!("{pricing:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn first_factorization_time_is_recorded() {
+        let p = lp(
+            vec![-3.0, -2.0],
+            vec![(0.0, f64::INFINITY), (0.0, f64::INFINITY)],
+            vec![(vec![1.0, 1.0], -1, 4.0), (vec![1.0, 3.0], -1, 6.0)],
+        );
+        let res = solve_lp(&p, &topts()).unwrap();
+        // Timing is environment-dependent; the field just must be present
+        // and sane (the first factorization of a 2-row LP is ≪ 1 s).
+        assert!(res.first_factor_us < 1_000_000);
+    }
+
+    /// Enumerates the feasible binary points of a pure-binary `lp()`
+    /// problem (structural columns all in [0,1]).
+    fn binary_points(p: &LpProblem) -> Vec<Vec<f64>> {
+        let ns = p.num_structural;
+        let mut out = Vec::new();
+        'pts: for mask in 0..(1u32 << ns) {
+            let x: Vec<f64> = (0..ns).map(|j| ((mask >> j) & 1) as f64).collect();
+            for (r, row) in p.rows.iter().enumerate() {
+                let mut act = 0.0;
+                for &(c, a) in row {
+                    let cu = c as usize;
+                    if cu < ns {
+                        act += a * x[cu];
+                    }
+                }
+                // Row is act + slack = rhs with slack ∈ [lb, ub].
+                let s = ns + r;
+                let slack = p.rhs[r] - act;
+                if slack < p.lb[s] - 1e-9 || slack > p.ub[s] + 1e-9 {
+                    continue 'pts;
+                }
+            }
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn gomory_cuts_are_violated_by_lp_and_satisfied_by_integers() {
+        // max 5x0 + 4x1 + 3x2 over binaries with two knapsack rows; the
+        // LP relaxation is fractional.
+        let p = lp(
+            vec![-5.0, -4.0, -3.0],
+            vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)],
+            vec![
+                (vec![2.0, 3.0, 1.0], -1, 4.0),
+                (vec![4.0, 1.0, 2.0], -1, 5.0),
+            ],
+        );
+        let res = solve_lp(&p, &topts()).unwrap();
+        let basis = res.basis.expect("basis");
+        let LpOutcome::Optimal { x, .. } = &res.outcome else {
+            panic!("expected optimal");
+        };
+        let is_int = vec![true; 3];
+        let cuts = gomory_cuts(&p, &p.lb, &p.ub, &basis, &is_int, 8);
+        assert!(!cuts.is_empty(), "fractional LP optimum must yield cuts");
+        let full = |xs: &[f64], j: usize, r_of: &dyn Fn(usize) -> f64| {
+            if j < p.num_structural {
+                xs[j]
+            } else {
+                r_of(j - p.num_structural)
+            }
+        };
+        for (coefs, rhs) in &cuts {
+            // Violated by the LP point (slack values from row residuals).
+            let slack_at = |xs: &[f64], r: usize| {
+                let mut act = 0.0;
+                for &(c, a) in &p.rows[r] {
+                    let cu = c as usize;
+                    if cu < p.num_structural {
+                        act += a * xs[cu];
+                    }
+                }
+                p.rhs[r] - act
+            };
+            let eval = |xs: &[f64]| {
+                coefs
+                    .iter()
+                    .map(|&(j, c)| c * full(xs, j as usize, &|r| slack_at(xs, r)))
+                    .sum::<f64>()
+            };
+            assert!(eval(x) > rhs + 1e-5, "cut must be violated by the LP point");
+            // Satisfied by every feasible binary point.
+            for pt in binary_points(&p) {
+                assert!(
+                    eval(&pt) <= rhs + 1e-6,
+                    "cut {coefs:?} ≤ {rhs} kills integer point {pt:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cover_cuts_are_valid_for_binary_knapsacks() {
+        let p = lp(
+            vec![-5.0, -4.0, -3.0],
+            vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)],
+            vec![(vec![2.0, 3.0, 2.0], -1, 4.0)],
+        );
+        let res = solve_lp(&p, &topts()).unwrap();
+        let LpOutcome::Optimal { x, .. } = &res.outcome else {
+            panic!("expected optimal");
+        };
+        let is_int = vec![true; 3];
+        let cuts = cover_cuts(&p, &p.lb, &p.ub, x, &is_int, 8);
+        for (coefs, rhs) in &cuts {
+            let viol: f64 = coefs.iter().map(|&(j, c)| c * x[j as usize]).sum();
+            assert!(viol > rhs + 1e-6, "cover cut must be violated by x̄");
+            for pt in binary_points(&p) {
+                let v: f64 = coefs.iter().map(|&(j, c)| c * pt[j as usize]).sum();
+                assert!(v <= rhs + 1e-9, "cover cut kills integer point {pt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_rows_append_and_extended_basis_resolves() {
+        let p = lp(
+            vec![-5.0, -4.0, -3.0],
+            vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)],
+            vec![
+                (vec![2.0, 3.0, 1.0], -1, 4.0),
+                (vec![4.0, 1.0, 2.0], -1, 5.0),
+            ],
+        );
+        let res = solve_lp(&p, &topts()).unwrap();
+        let basis = res.basis.expect("basis");
+        let LpOutcome::Optimal { obj: base_obj, .. } = res.outcome else {
+            panic!("expected optimal");
+        };
+        let is_int = vec![true; 3];
+        let cuts = gomory_cuts(&p, &p.lb, &p.ub, &basis, &is_int, 8);
+        assert!(!cuts.is_empty());
+        let aug = with_cut_rows(&p, &cuts);
+        assert_eq!(aug.num_cols, p.num_cols + cuts.len());
+        assert_eq!(aug.rows.len(), p.rows.len() + cuts.len());
+        let ext = basis.extended_with_cut_slacks(p.num_cols, cuts.len());
+        let restart = resolve_lp(&aug, &aug.lb, &aug.ub, &ext, &topts())
+            .unwrap()
+            .expect("extended basis must warm-restart the cut LP");
+        let scratch = solve_lp(&aug, &topts()).unwrap();
+        match (restart.outcome, scratch.outcome) {
+            (LpOutcome::Optimal { obj: a, .. }, LpOutcome::Optimal { obj: b, .. }) => {
+                assert!((a - b).abs() < 1e-6, "restart {a} vs scratch {b}");
+                // Cuts tighten a minimization relaxation: bound can only rise.
+                assert!(a >= base_obj - 1e-9);
+            }
+            (a, b) => panic!("{a:?} vs {b:?}"),
+        }
     }
 }

@@ -79,6 +79,40 @@ pub struct IncumbentEvent {
     pub source: IncumbentSource,
 }
 
+/// Per-phase timing and work breakdown for the root node of the search.
+///
+/// Wide models can spend their entire budget before the first branch:
+/// building the model, presolving it, factorizing the first basis, and
+/// grinding through the root LP. This profile makes that spend visible so
+/// regressions in any one phase show up in benchmarks instead of hiding
+/// inside total wall-clock. All durations are in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RootProfile {
+    /// Time spent constructing the [`Model`](crate::Model) (variables,
+    /// linearized constraints) before the solver saw it. Stamped by the
+    /// caller via [`Solution::set_build_time`]; `0` when the caller did
+    /// not measure it.
+    pub build_us: u64,
+    /// Time spent in presolve (activity bound tightening, probing,
+    /// coefficient strengthening) plus LP standardization.
+    pub presolve_us: u64,
+    /// Time the first basis factorization took inside the root LP solve.
+    pub first_factor_us: u64,
+    /// Wall-clock of the root LP solve, including cut-round resolves.
+    pub root_lp_us: u64,
+    /// Simplex iterations spent on the root LP, including cut-round
+    /// resolves (these are also included in
+    /// [`Solution::lp_iterations`]).
+    pub root_lp_iters: u64,
+    /// Cut separation rounds that generated at least one cut.
+    pub cut_rounds: u64,
+    /// Total Gomory + cover cuts appended to the root relaxation.
+    pub cuts_added: u64,
+    /// Time spent separating cuts (excluding the resolves they trigger,
+    /// which are counted in [`root_lp_us`](Self::root_lp_us)).
+    pub cut_us: u64,
+}
+
 /// A (mixed-)integer solution returned by the solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
@@ -99,6 +133,7 @@ pub struct Solution {
     pub(crate) certificate: Option<Certificate>,
     pub(crate) timeline: Vec<IncumbentEvent>,
     pub(crate) jobs: usize,
+    pub(crate) root_profile: RootProfile,
 }
 
 impl Solution {
@@ -240,6 +275,21 @@ impl Solution {
     pub fn certificate(&self) -> Option<&Certificate> {
         self.certificate.as_ref()
     }
+
+    /// Per-phase breakdown of the root-node work (presolve, first
+    /// factorization, root LP, cuts). `build_us` is `0` unless the caller
+    /// stamped it with [`set_build_time`](Self::set_build_time).
+    pub fn root_profile(&self) -> RootProfile {
+        self.root_profile
+    }
+
+    /// Records how long the caller spent constructing the model before the
+    /// solve, so [`root_profile`](Self::root_profile) covers the full path
+    /// from formulation to first branch. The solver cannot measure this
+    /// itself — it only sees the finished model.
+    pub fn set_build_time(&mut self, build: Duration) {
+        self.root_profile.build_us = build.as_micros() as u64;
+    }
 }
 
 impl fmt::Display for Solution {
@@ -326,6 +376,10 @@ mod tests {
                 source: IncumbentSource::LpIntegral,
             }],
             jobs: 1,
+            root_profile: RootProfile {
+                root_lp_iters: 2,
+                ..RootProfile::default()
+            },
         };
         assert_eq!(s.gap(), 0.0);
         assert!(s.is_optimal());
@@ -336,6 +390,8 @@ mod tests {
         assert_eq!(s.lp_warm_hit_rate(), 0.5);
         assert_eq!(s.lp_refactors(), 4);
         assert_eq!(s.pivots_per_node(), 3.0);
+        assert_eq!(s.root_profile().root_lp_iters, 2);
+        assert_eq!(s.root_profile().cuts_added, 0);
         let text = s.to_string();
         assert!(text.contains("pruned=0"), "{text}");
         assert!(text.contains("warm=1/2"), "{text}");

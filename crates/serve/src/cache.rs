@@ -224,6 +224,9 @@ mod tests {
             verdict: gomil_netlist::VerdictTier::Proved,
             verify_vectors: 256,
             verify_us: 12,
+            root_us: 800,
+            root_lp_iters: 9,
+            cuts_added: 0,
         }
     }
 

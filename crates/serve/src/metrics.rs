@@ -61,6 +61,13 @@ pub struct SolverSample {
     pub warm_hits: u64,
     /// Basis refactorizations (eta-file rebuilds).
     pub refactors: u64,
+    /// Root-stage wall-clock in microseconds (build + presolve + root LP
+    /// + cut separation).
+    pub root_us: u64,
+    /// Simplex iterations of the root LP alone.
+    pub root_lp_iters: u64,
+    /// Cutting planes appended at the root.
+    pub cuts_added: u64,
 }
 
 /// Thread-safe counters a [`SolveService`](crate::SolveService) maintains
@@ -91,6 +98,12 @@ pub struct ServiceMetrics {
     pub solver_warm_hits: AtomicU64,
     /// Basis refactorizations across all executed solves.
     pub solver_refactors: AtomicU64,
+    /// Root-stage wall-clock (µs) across all executed solves.
+    pub solver_root_us: AtomicU64,
+    /// Root-LP simplex iterations across all executed solves.
+    pub solver_root_lp_iters: AtomicU64,
+    /// Root cutting planes appended across all executed solves.
+    pub solver_cuts_added: AtomicU64,
     /// Solves whose netlist equivalence was proved exhaustively.
     pub verdict_proved: AtomicU64,
     /// Solves whose netlist passed the sampled equivalence check.
@@ -133,6 +146,12 @@ impl ServiceMetrics {
             .fetch_add(stats.warm_hits, Ordering::Relaxed);
         self.solver_refactors
             .fetch_add(stats.refactors, Ordering::Relaxed);
+        self.solver_root_us
+            .fetch_add(stats.root_us, Ordering::Relaxed);
+        self.solver_root_lp_iters
+            .fetch_add(stats.root_lp_iters, Ordering::Relaxed);
+        self.solver_cuts_added
+            .fetch_add(stats.cuts_added, Ordering::Relaxed);
     }
 
     /// Counts one solve's equivalence verdict toward the per-tier totals.
@@ -191,6 +210,12 @@ pub struct MetricsReport {
     pub solver_warm_hits: u64,
     /// Basis refactorizations across all executed solves.
     pub solver_refactors: u64,
+    /// Root-stage wall-clock (µs) across all executed solves.
+    pub solver_root_us: u64,
+    /// Root-LP simplex iterations across all executed solves.
+    pub solver_root_lp_iters: u64,
+    /// Root cutting planes appended across all executed solves.
+    pub solver_cuts_added: u64,
     /// Solves with an exhaustively proved equivalence verdict.
     pub verdict_proved: u64,
     /// Solves with a sampled (tested) equivalence verdict.
@@ -275,6 +300,11 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "root stage {:>9}µs   root LP iterations {:>9}   cuts added {:>6}",
+            self.solver_root_us, self.solver_root_lp_iters, self.solver_cuts_added
+        )?;
+        writeln!(
+            f,
             "verdicts: proved {:>5}  tested {:>5}  skipped {:>5}  failed {:>3}  gate-rejected {:>3}",
             self.verdict_proved,
             self.verdict_tested,
@@ -352,6 +382,9 @@ mod tests {
             warm_attempts: 100,
             warm_hits: 90,
             refactors: 7,
+            root_us: 900,
+            root_lp_iters: 60,
+            cuts_added: 4,
         });
         m.record_solver(SolverSample {
             nodes: 3,
@@ -359,12 +392,18 @@ mod tests {
             warm_attempts: 2,
             warm_hits: 1,
             refactors: 1,
+            root_us: 100,
+            root_lp_iters: 12,
+            cuts_added: 0,
         });
         assert_eq!(m.solver_nodes.load(Ordering::Relaxed), 123);
         assert_eq!(m.solver_lp_iters.load(Ordering::Relaxed), 4_580);
         assert_eq!(m.solver_warm_attempts.load(Ordering::Relaxed), 102);
         assert_eq!(m.solver_warm_hits.load(Ordering::Relaxed), 91);
         assert_eq!(m.solver_refactors.load(Ordering::Relaxed), 8);
+        assert_eq!(m.solver_root_us.load(Ordering::Relaxed), 1_000);
+        assert_eq!(m.solver_root_lp_iters.load(Ordering::Relaxed), 72);
+        assert_eq!(m.solver_cuts_added.load(Ordering::Relaxed), 4);
     }
 
     #[test]
@@ -406,6 +445,9 @@ mod tests {
             solver_warm_attempts: 102,
             solver_warm_hits: 91,
             solver_refactors: 8,
+            solver_root_us: 1_000,
+            solver_root_lp_iters: 72,
+            solver_cuts_added: 4,
             verdict_proved: 4,
             verdict_tested: 1,
             verdict_failed: 0,
@@ -429,6 +471,9 @@ mod tests {
             "simplex iterations",
             "warm restarts",
             "refactorizations",
+            "root stage",
+            "root LP iterations",
+            "cuts added",
             "verdicts:",
             "gate-rejected",
         ] {

@@ -43,7 +43,10 @@ pub struct ServeOutcome {
     /// rung won, or for records persisted before telemetry).
     pub solver_lp_iters: u64,
     /// Final relative MIP gap of the winning ILP rung (0 for a proved
-    /// optimum, non-ILP rungs, or pre-telemetry records).
+    /// optimum, non-ILP rungs, or pre-telemetry records). A root-only
+    /// solve with no dual bound yet has an *infinite* gap, which the wire
+    /// format carries as the explicit sentinel `inf` — distinguishable
+    /// from both 0 and a missing field.
     pub solver_gap: f64,
     /// Warm-restart attempts: nodes that carried a parent basis into the
     /// dual simplex (0 for non-ILP rungs or pre-telemetry records).
@@ -63,6 +66,16 @@ pub struct ServeOutcome {
     /// Verification wall-clock in microseconds (0 for skipped verdicts
     /// and pre-verification records).
     pub verify_us: u64,
+    /// Root-stage wall-clock of the winning ILP rung in microseconds:
+    /// model build + presolve + root LP + cut separation (0 for non-ILP
+    /// rungs or pre-root-profile records).
+    pub root_us: u64,
+    /// Simplex iterations of the root LP alone (0 for non-ILP rungs or
+    /// pre-root-profile records).
+    pub root_lp_iters: u64,
+    /// Cutting planes appended at the root (0 when cuts were off, a
+    /// non-ILP rung won, or the record predates root profiles).
+    pub cuts_added: u64,
 }
 
 impl ServeOutcome {
@@ -72,7 +85,7 @@ impl ServeOutcome {
     pub fn to_line(&self) -> String {
         let counts: Vec<String> = self.vs_counts.iter().map(u32::to_string).collect();
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.name.replace(['\t', '\n'], " "),
             self.m,
             self.ppg.label(),
@@ -94,18 +107,22 @@ impl ServeOutcome {
             self.verdict.label(),
             self.verify_vectors,
             self.verify_us,
+            self.root_us,
+            self.root_lp_iters,
+            self.cuts_added,
         )
     }
 
     /// Parses a [`to_line`](Self::to_line) record; `None` on any malformed
     /// field (a corrupted persisted entry is skipped, not fatal). Accepts
-    /// the current 21-field format plus the three legacy ones: 18 fields
-    /// (before verification verdicts), 15 fields (before warm-restart
-    /// telemetry) and 12 fields (before any solver telemetry), defaulting
-    /// the missing verdict to `Skipped` and missing counters to zero.
+    /// the current 24-field format plus the four legacy ones: 21 fields
+    /// (before root-LP profiles), 18 fields (before verification
+    /// verdicts), 15 fields (before warm-restart telemetry) and 12 fields
+    /// (before any solver telemetry), defaulting the missing verdict to
+    /// `Skipped` and missing counters to zero.
     pub fn from_line(line: &str) -> Option<ServeOutcome> {
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 12 && f.len() != 15 && f.len() != 18 && f.len() != 21 {
+        if ![12, 15, 18, 21, 24].contains(&f.len()) {
             return None;
         }
         let vs_counts = if f[11].is_empty() {
@@ -134,7 +151,7 @@ impl ServeOutcome {
         } else {
             (0, 0, 0)
         };
-        let (verdict, verify_vectors, verify_us) = if f.len() == 21 {
+        let (verdict, verify_vectors, verify_us) = if f.len() >= 21 {
             (
                 VerdictTier::from_label(f[18])?,
                 f[19].parse().ok()?,
@@ -142,6 +159,15 @@ impl ServeOutcome {
             )
         } else {
             (VerdictTier::Skipped, 0, 0)
+        };
+        let (root_us, root_lp_iters, cuts_added) = if f.len() == 24 {
+            (
+                f[21].parse().ok()?,
+                f[22].parse().ok()?,
+                f[23].parse().ok()?,
+            )
+        } else {
+            (0, 0, 0)
         };
         Some(ServeOutcome {
             name: f[0].to_string(),
@@ -167,6 +193,9 @@ impl ServeOutcome {
             verdict,
             verify_vectors,
             verify_us,
+            root_us,
+            root_lp_iters,
+            cuts_added,
         })
     }
 }
@@ -216,6 +245,9 @@ mod tests {
             verdict: VerdictTier::Proved,
             verify_vectors: 65_536,
             verify_us: 4_200,
+            root_us: 12_500,
+            root_lp_iters: 96,
+            cuts_added: 5,
         }
     }
 
@@ -273,13 +305,49 @@ mod tests {
     }
 
     #[test]
-    fn current_lines_carry_the_verdict_fields() {
+    fn legacy_twentyone_field_lines_parse_with_zero_root_profile() {
         let line = sample().to_line();
-        assert_eq!(line.split('\t').count(), 21);
+        let legacy: Vec<&str> = line.split('\t').take(21).collect();
+        let back = ServeOutcome::from_line(&legacy.join("\t")).unwrap();
+        assert_eq!(back.verdict, VerdictTier::Proved);
+        assert_eq!(back.verify_vectors, 65_536);
+        assert_eq!(back.verify_us, 4_200);
+        assert_eq!(back.root_us, 0);
+        assert_eq!(back.root_lp_iters, 0);
+        assert_eq!(back.cuts_added, 0);
+    }
+
+    #[test]
+    fn current_lines_carry_the_root_profile_fields() {
+        let line = sample().to_line();
+        assert_eq!(line.split('\t').count(), 24);
         let back = ServeOutcome::from_line(&line).unwrap();
         assert_eq!(back.verdict, VerdictTier::Proved);
         assert_eq!(back.verify_vectors, 65_536);
         assert_eq!(back.verify_us, 4_200);
+        assert_eq!(back.root_us, 12_500);
+        assert_eq!(back.root_lp_iters, 96);
+        assert_eq!(back.cuts_added, 5);
+    }
+
+    #[test]
+    fn infinite_gap_roundtrips_as_an_explicit_sentinel() {
+        // A root-only solve has no dual bound, so its gap is infinite.
+        // The wire format must carry that as a real sentinel (`inf`),
+        // not collapse it to something indistinguishable from a missing
+        // or zero field.
+        let mut o = sample();
+        o.solver_gap = f64::INFINITY;
+        let line = o.to_line();
+        assert!(
+            line.split('\t').nth(14) == Some("inf"),
+            "gap field must be the explicit sentinel, got {:?}",
+            line.split('\t').nth(14)
+        );
+        let back = ServeOutcome::from_line(&line).unwrap();
+        assert!(back.solver_gap.is_infinite() && back.solver_gap > 0.0);
+        assert_eq!(o, back);
+        assert_eq!(line, back.to_line());
     }
 
     #[test]
@@ -291,7 +359,7 @@ mod tests {
         assert!(ServeOutcome::from_line(&truncated).is_none());
         // Field counts between (or beyond) the known formats are no format.
         let line = sample().to_line();
-        for n in [13usize, 14, 16, 17, 19, 20] {
+        for n in [13usize, 14, 16, 17, 19, 20, 22, 23] {
             let partial: Vec<&str> = line.split('\t').take(n).collect();
             assert!(
                 ServeOutcome::from_line(&partial.join("\t")).is_none(),

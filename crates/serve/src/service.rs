@@ -344,6 +344,9 @@ impl SolveService {
                     warm_attempts: outcome.solver_warm_attempts,
                     warm_hits: outcome.solver_warm_hits,
                     refactors: outcome.solver_refactors,
+                    root_us: outcome.root_us,
+                    root_lp_iters: outcome.root_lp_iters,
+                    cuts_added: outcome.cuts_added,
                 });
                 self.metrics.record_verdict(outcome.verdict);
                 if outcome.verify_us > 0 {
@@ -437,6 +440,9 @@ impl SolveService {
             solver_warm_attempts: self.metrics.solver_warm_attempts.load(Ordering::Relaxed),
             solver_warm_hits: self.metrics.solver_warm_hits.load(Ordering::Relaxed),
             solver_refactors: self.metrics.solver_refactors.load(Ordering::Relaxed),
+            solver_root_us: self.metrics.solver_root_us.load(Ordering::Relaxed),
+            solver_root_lp_iters: self.metrics.solver_root_lp_iters.load(Ordering::Relaxed),
+            solver_cuts_added: self.metrics.solver_cuts_added.load(Ordering::Relaxed),
             verdict_proved: self.metrics.verdict_proved.load(Ordering::Relaxed),
             verdict_tested: self.metrics.verdict_tested.load(Ordering::Relaxed),
             verdict_failed: self.metrics.verdict_failed.load(Ordering::Relaxed),
@@ -481,6 +487,9 @@ mod tests {
             verdict: VerdictTier::Tested,
             verify_vectors: 1_024,
             verify_us: 150,
+            root_us: 300,
+            root_lp_iters: 12,
+            cuts_added: 1,
         }
     }
 

@@ -22,7 +22,7 @@ cargo test --workspace -q
 echo "==> jobs-matrix solver tests (release: parallel B&B vs sequential)"
 cargo test -q --release --test solver_parallel
 
-echo "==> basis-reuse smoke gate (release: pivot-count regression > 3x fails)"
+echo "==> solver smoke gates (release: basis-reuse pivots > 3x, devex root-LP iters > 1.2x Dantzig, or a cut-changed certified objective fails)"
 cargo run -q --release -p gomil-bench --bin solver_scaling -- --quick
 
 echo "==> equivalence smoke gate (release: strict-verify roster, proved/tested tiers)"

@@ -127,6 +127,9 @@ fn synthetic_outcome(req: &SolveRequest) -> ServeOutcome {
         verdict: VerdictTier::Tested,
         verify_vectors: 512,
         verify_us: 90,
+        root_us: 4_200,
+        root_lp_iters: 33,
+        cuts_added: 2,
     }
 }
 
