@@ -135,6 +135,33 @@ impl Budget {
     }
 }
 
+/// Parses a client-supplied per-request deadline expressed in whole
+/// milliseconds (the value of an HTTP `X-Gomil-Deadline-Ms` header or a
+/// `budget_ms` body field) into a [`Duration`].
+///
+/// The format is deliberately strict — an optional surrounding-whitespace
+/// trim, then nothing but ASCII digits — because the value arrives from
+/// the network: `None` means "malformed, reject the request", never
+/// "treat as unlimited". Values above [`MAX_DEADLINE_MS`] also come back
+/// as `None` so a client cannot pin a worker thread for a week by asking
+/// politely.
+pub fn parse_deadline_ms(value: &str) -> Option<Duration> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() || !trimmed.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let ms: u64 = trimmed.parse().ok()?;
+    if ms > MAX_DEADLINE_MS {
+        return None;
+    }
+    Some(Duration::from_millis(ms))
+}
+
+/// Upper bound accepted by [`parse_deadline_ms`]: one hour, far above any
+/// sane solve request but low enough that a parsed deadline can always be
+/// added to `Instant::now()` without overflow games.
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
 /// Amortizes [`Budget::check`] for very hot loops.
 ///
 /// `Budget::check` reads the clock on every call; inner loops that run
@@ -247,6 +274,35 @@ mod tests {
         assert_eq!(c.check(), Err(BudgetExceeded::Cancelled));
         // Tripped verdict is sticky regardless of phase.
         assert_eq!(c.check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn deadline_header_parses_strict_millisecond_integers() {
+        assert_eq!(parse_deadline_ms("250"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_deadline_ms(" 42 "), Some(Duration::from_millis(42)));
+        assert_eq!(parse_deadline_ms("0"), Some(Duration::ZERO));
+        assert_eq!(
+            parse_deadline_ms(&MAX_DEADLINE_MS.to_string()),
+            Some(Duration::from_millis(MAX_DEADLINE_MS))
+        );
+    }
+
+    #[test]
+    fn deadline_header_rejects_malformed_and_oversized_values() {
+        for bad in [
+            "",
+            " ",
+            "-5",
+            "+5",
+            "1.5",
+            "1e3",
+            "12ms",
+            "0x10",
+            "9999999999999999999999999",
+        ] {
+            assert_eq!(parse_deadline_ms(bad), None, "{bad:?} must be rejected");
+        }
+        assert_eq!(parse_deadline_ms(&(MAX_DEADLINE_MS + 1).to_string()), None);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!             [--verify off|fast|strict] [--budget-ms N] [--solver-jobs N]
 //!             [--pricing dantzig|devex] [--cuts off|root]
 //!                                                      serve a request file
+//! gomil serve --listen ADDR [--http-inflight N] [--http-queue N]
+//!             [--drain-ms N] [--deadline-ms N] [serve flags as above]
+//!                                                      HTTP solve service (gomil-httpd)
 //! gomil prefix <heights MSB-first…> [--w W]            optimize a prefix BCV
 //! gomil trunc <m> <k>                                  truncated multiplier report
 //! gomil info                                           defaults and versions
@@ -322,9 +325,46 @@ fn cmd_batch(args: &[String]) -> CliResult {
     finish_service(&svc)
 }
 
+/// `gomil serve --listen ADDR`: run the long-lived HTTP front end
+/// (`gomil-httpd`) instead of a one-shot request file. Blocks until a
+/// `POST /shutdown` drains the server, then exits 0.
+fn cmd_serve_http(args: &[String], addr: &str) -> CliResult {
+    let mut httpd = gomil_httpd::HttpdConfig::default();
+    if let Some(n) = flag_value(args, "--http-inflight").and_then(|s| s.parse().ok()) {
+        httpd.max_inflight = n;
+    }
+    if let Some(n) = flag_value(args, "--http-queue").and_then(|s| s.parse().ok()) {
+        httpd.max_queue = n;
+    }
+    if let Some(ms) = flag_value(args, "--drain-ms").and_then(|s| s.parse::<u64>().ok()) {
+        httpd.drain_budget = std::time::Duration::from_millis(ms);
+    }
+    if let Some(raw) = flag_value(args, "--deadline-ms") {
+        let deadline = gomil_budget::parse_deadline_ms(raw).ok_or_else(|| {
+            format!(
+                "--deadline-ms: expected integral milliseconds ≤ {}, got {raw:?}",
+                gomil_budget::MAX_DEADLINE_MS
+            )
+        })?;
+        httpd.default_deadline = Some(deadline);
+    }
+    let cfg = cfg_from_args(args);
+    let svc = std::sync::Arc::new(serve_service(&cfg, serve_config_from_args(args))?);
+    let server = gomil_httpd::Server::bind(std::sync::Arc::clone(&svc), addr, httpd)?;
+    let local = server.local_addr()?;
+    eprintln!("listening on http://{local}  (POST /shutdown to drain)");
+    server.run()?;
+    eprintln!("drained cleanly");
+    println!("\n{}", svc.report());
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> CliResult {
+    if let Some(addr) = flag_value(args, "--listen") {
+        return cmd_serve_http(args, addr);
+    }
     let path = flag_value(args, "--requests")
-        .ok_or("usage: gomil serve --requests FILE [--jobs N] [--cache FILE]")?;
+        .ok_or("usage: gomil serve --requests FILE | --listen ADDR [--jobs N] [--cache FILE]")?;
     let text = std::fs::read_to_string(path)?;
     let mut requests = Vec::new();
     for (idx, raw) in text.lines().enumerate() {

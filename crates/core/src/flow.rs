@@ -262,6 +262,33 @@ pub fn build_gomil_with_hint(
     cfg: &GomilConfig,
     hint: Option<&WarmStartHint>,
 ) -> Result<GomilDesign, GomilError> {
+    // An unlimited external budget narrowed by `cfg.pipeline_budget` is
+    // exactly the classic standalone budget.
+    build_gomil_budgeted(m, ppg, cfg, hint, &Budget::unlimited())
+}
+
+/// [`build_gomil_with_hint`] governed by an *external* [`Budget`] — the
+/// entry point for network serving, where the caller owns a per-request
+/// deadline and a cancellation flag (client disconnect, server drain).
+///
+/// The effective budget is the external one narrowed to
+/// [`pipeline_budget`](GomilConfig::pipeline_budget) when that is set: the
+/// earlier of the two deadlines wins, and cancelling `budget` cancels the
+/// solve. Cancellation is *not* failure — the optimizer unwinds down its
+/// degradation ladder to the always-feasible Dadda + prefix rung, so a
+/// cancelled request still returns a correct (degraded, never-cached)
+/// multiplier quickly.
+///
+/// # Errors
+///
+/// Same contract as [`build_gomil`].
+pub fn build_gomil_budgeted(
+    m: usize,
+    ppg: PpgKind,
+    cfg: &GomilConfig,
+    hint: Option<&WarmStartHint>,
+    budget: &Budget,
+) -> Result<GomilDesign, GomilError> {
     if m < 2 {
         return Err(GomilError::InvalidInput(format!(
             "word length must be at least 2, got {m}"
@@ -277,8 +304,14 @@ pub fn build_gomil_with_hint(
             "radix-8 Booth needs at least 3-bit operands, got {m}"
         )));
     }
-    catch_unwind(AssertUnwindSafe(|| build_gomil_inner(m, ppg, cfg, hint)))
-        .unwrap_or_else(|payload| Err(panic_to_error(payload)))
+    let effective = match cfg.pipeline_budget {
+        Some(limit) => budget.child_with_limit(limit),
+        None => budget.clone(),
+    };
+    catch_unwind(AssertUnwindSafe(|| {
+        build_gomil_inner(m, ppg, cfg, hint, &effective)
+    }))
+    .unwrap_or_else(|payload| Err(panic_to_error(payload)))
 }
 
 fn build_gomil_inner(
@@ -286,8 +319,8 @@ fn build_gomil_inner(
     ppg: PpgKind,
     cfg: &GomilConfig,
     hint: Option<&WarmStartHint>,
+    budget: &Budget,
 ) -> Result<GomilDesign, GomilError> {
-    let budget = pipeline_budget(cfg);
     let mut nl = Netlist::new(format!("gomil_{}_{m}", ppg.label().to_lowercase()));
     let a = nl.add_input("a", m);
     let b = nl.add_input("b", m);
@@ -295,7 +328,7 @@ fn build_gomil_inner(
     let v0 = pp.heights();
     let area_after_ppg = nl.area();
 
-    let solution = optimize_global_hinted(&v0, cfg, &budget, hint)?;
+    let solution = optimize_global_hinted(&v0, cfg, budget, hint)?;
     let reduced = realize_schedule(&mut nl, &pp, &solution.schedule)
         .map_err(|e| GomilError::Realization(format!("{}: {e}", nl.name())))?;
     let area_after_ct = nl.area();
@@ -303,7 +336,7 @@ fn build_gomil_inner(
 
     // Optionally re-optimize the tree against the CT's realized arrival
     // profile (extension; see `GomilConfig::arrival_aware`).
-    let tree = choose_realized_tree(&nl, &rows, &solution, cfg, &budget);
+    let tree = choose_realized_tree(&nl, &rows, &solution, cfg, budget);
     let sum = ppf_csl_sum(&mut nl, &rows, &tree, cfg.select_style);
     let p = finish_product(&mut nl, sum, m);
     nl.add_output("p", p);
@@ -519,6 +552,36 @@ mod tests {
         d.build.verify().unwrap();
         let report = &d.solution.degradation;
         assert_eq!(report.winner, Some(crate::global::Rung::DaddaPrefix));
+    }
+
+    #[test]
+    fn cancelled_external_budget_degrades_but_stays_correct() {
+        // The network path: a client disconnect cancels the request budget
+        // mid-solve. The build must unwind to the Dadda rung, not error.
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let d = build_gomil_budgeted(6, PpgKind::And, &GomilConfig::fast(), None, &budget).unwrap();
+        d.build.verify().unwrap();
+        assert_eq!(
+            d.solution.degradation.winner,
+            Some(crate::global::Rung::DaddaPrefix)
+        );
+    }
+
+    #[test]
+    fn external_budget_narrows_to_the_pipeline_budget() {
+        // pipeline_budget = ZERO must bind even under an unlimited
+        // external budget (the earlier deadline wins).
+        let cfg = GomilConfig {
+            pipeline_budget: Some(std::time::Duration::ZERO),
+            ..GomilConfig::fast()
+        };
+        let d = build_gomil_budgeted(6, PpgKind::And, &cfg, None, &Budget::unlimited()).unwrap();
+        d.build.verify().unwrap();
+        assert_eq!(
+            d.solution.degradation.winner,
+            Some(crate::global::Rung::DaddaPrefix)
+        );
     }
 
     #[test]

@@ -65,8 +65,8 @@ pub use config::GomilConfig;
 pub use ct_ilp::{CtIlp, CtSolution};
 pub use error::{GomilError, VerificationFailure};
 pub use flow::{
-    build_gomil, build_gomil_rect, build_gomil_with_hint, GomilDesign, MultiplierBuild,
-    RegionBreakdown,
+    build_gomil, build_gomil_budgeted, build_gomil_rect, build_gomil_with_hint, GomilDesign,
+    MultiplierBuild, RegionBreakdown,
 };
 pub use global::{
     build_joint_model, joint_ilp, joint_ilp_budgeted, joint_ilp_hinted, optimize_global,

@@ -4,13 +4,14 @@
 //! `gomil-serve` is deliberately solver-agnostic (it depends only on the
 //! arithmetic/netlist/budget crates), so the cache + singleflight + worker
 //! pool can be tested with synthetic solvers. This module supplies the
-//! production [`SolverFn`]: one end-to-end [`build_gomil_with_hint`] run
+//! production [`SolverFn`]: one end-to-end [`build_gomil_budgeted`] run
 //! per request, measured and flattened into a [`ServeOutcome`].
 
 use crate::config::GomilConfig;
 use crate::error::GomilError;
-use crate::flow::{build_gomil_with_hint, GomilDesign};
+use crate::flow::{build_gomil_budgeted, GomilDesign};
 use crate::global::{Rung, WarmStartHint};
+use gomil_budget::Budget;
 use gomil_netlist::VerdictTier;
 use gomil_serve::{ServeConfig, ServeError, ServeOutcome, SolveService, SolverFn};
 use std::io;
@@ -92,23 +93,39 @@ fn outcome_from(design: &GomilDesign, cfg: &GomilConfig) -> ServeOutcome {
         root_us,
         root_lp_iters,
         cuts_added,
+        improvements: sol
+            .solver_stats
+            .as_ref()
+            .map(|stats| {
+                stats
+                    .improvements
+                    .iter()
+                    .map(|ev| (ev.at.as_micros() as u64, ev.objective))
+                    .collect()
+            })
+            .unwrap_or_default(),
     }
 }
 
 /// The production solver for a [`SolveService`]: each request runs the
 /// full GOMIL pipeline under `cfg`, seeded with the neighbor incumbent the
-/// service hands over (see [`build_gomil_with_hint`]).
+/// service hands over and governed by the caller's per-request budget when
+/// one is supplied (see [`build_gomil_budgeted`] — cancelling that budget
+/// degrades the solve rather than failing it).
 pub fn gomil_solver(cfg: &GomilConfig) -> Box<SolverFn> {
     let cfg = cfg.clone();
-    Box::new(move |req, warm| {
+    Box::new(move |req, warm, budget| {
         let hint = warm.map(|h| WarmStartHint {
             counts: h.counts.clone(),
         });
-        let design =
-            build_gomil_with_hint(req.m, req.ppg, &cfg, hint.as_ref()).map_err(|e| match e {
+        let unlimited = Budget::unlimited();
+        let budget = budget.unwrap_or(&unlimited);
+        let design = build_gomil_budgeted(req.m, req.ppg, &cfg, hint.as_ref(), budget).map_err(
+            |e| match e {
                 GomilError::Verification(_) => ServeError::Verification(e.to_string()),
                 other => ServeError::Solve(other.to_string()),
-            })?;
+            },
+        )?;
         Ok(outcome_from(&design, &cfg))
     })
 }

@@ -1,0 +1,159 @@
+//! A minimal blocking HTTP/1.1 client for tests, benches, and smoke
+//! checks — the consumer side of exactly the protocol subset the server
+//! speaks (`Content-Length` and chunked framing, one request per call).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One complete HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lowercased header `(name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request to `addr` and reads the full response.
+///
+/// # Errors
+///
+/// Transport failures and malformed responses surface as `io::Error`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_nodelay(true).ok();
+    write!(stream, "{method} {path} HTTP/1.1\r\n")?;
+    write!(stream, "Host: {addr}\r\n")?;
+    write!(stream, "Connection: close\r\n")?;
+    for (name, value) in headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    if !body.is_empty() || method == "POST" {
+        write!(stream, "Content-Length: {}\r\n", body.len())?;
+    }
+    write!(stream, "\r\n")?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Convenience: POST a JSON body.
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn post_json(addr: &str, path: &str, json: &str) -> io::Result<HttpResponse> {
+    request(
+        addr,
+        "POST",
+        path,
+        &[("Content-Type", "application/json")],
+        json.as_bytes(),
+    )
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(bad("unexpected EOF"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Parses one response (status line, headers, framed body) from `r`.
+///
+/// # Errors
+///
+/// Transport failures and malformed responses surface as `io::Error`.
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<HttpResponse> {
+    let status_line = read_line(r)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(bad("malformed status line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP/1.x response"));
+    }
+    let status: u16 = code.parse().map_err(|_| bad("non-numeric status"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("header line without a colon"));
+        };
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let size_line = read_line(r)?;
+            let size =
+                usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad("bad chunk size"))?;
+            if size == 0 {
+                let _ = read_line(r); // trailing CRLF after the last chunk
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            r.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            r.read_exact(&mut crlf)?;
+        }
+    } else if let Some(length) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        body = vec![0u8; length];
+        r.read_exact(&mut body)?;
+    } else {
+        r.read_to_end(&mut body)?;
+    }
+
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}

@@ -1,0 +1,137 @@
+//! Property tests for the HTTP/1.1 request parser: arbitrary and
+//! adversarial input must produce a typed error (→ 4xx) or a valid
+//! request — never a panic, never an unbounded read, and round-trips of
+//! well-formed requests must be lossless.
+
+use gomil_httpd::{read_request, HttpError, MAX_BODY};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn parse(bytes: &[u8]) -> Result<gomil_httpd::Request, HttpError> {
+    read_request(&mut BufReader::new(bytes))
+}
+
+/// A generated header name: mostly valid tokens, sometimes hostile.
+fn header_name(seed: u64) -> String {
+    match seed % 5 {
+        0 => "Content-Length".into(),
+        1 => "X-Gomil-Deadline-Ms".into(),
+        2 => format!("X-Fuzz-{}", seed),
+        3 => "Bad Name".into(),          // space → must be rejected
+        _ => "Transfer-Encoding".into(), // unsupported → must be rejected
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes never panic or hang the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..512)) {
+        let _ = parse(&bytes);
+    }
+
+    /// Mostly-structured garbage (method-ish line + random header lines +
+    /// folds) never panics, and any `Ok` parse yields sane fields.
+    #[test]
+    fn structured_garbage_is_rejected_or_sane(
+        method_seed in 0u64..6,
+        names in vec(any::<u64>(), 0..8),
+        fold in any::<bool>(),
+        pipeline_tail in vec(any::<u8>(), 0..64),
+    ) {
+        let method = ["GET", "POST", "get", "G@T", "", "DELETE"][method_seed as usize];
+        let mut raw = format!("{method} /solve HTTP/1.1\r\n");
+        for (i, seed) in names.iter().enumerate() {
+            raw.push_str(&format!("{}: v{i}\r\n", header_name(*seed)));
+            if fold && i == 0 {
+                raw.push_str("  folded continuation\r\n");
+            }
+        }
+        raw.push_str("\r\n");
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(&pipeline_tail);
+        match parse(&bytes) {
+            Ok(req) => {
+                prop_assert!(req.method == "GET" || req.method == "POST" || req.method == "DELETE");
+                prop_assert_eq!(req.path(), "/solve");
+                for (name, _) in &req.headers {
+                    prop_assert_eq!(name.to_ascii_lowercase(), name.clone());
+                    prop_assert!(!name.contains(' '));
+                }
+            }
+            Err(e) => {
+                // Every rejection carries a 4xx status (or is a transport
+                // condition that gets no reply) — never a 5xx, because the
+                // peer is at fault.
+                let status = e.status();
+                prop_assert!(status == 0 || (400..500).contains(&status),
+                    "unexpected status {status}");
+            }
+        }
+    }
+
+    /// Bad content-length values are always a 400-class rejection.
+    #[test]
+    fn bad_content_length_is_rejected(value in vec(any::<u8>(), 1..12)) {
+        let printable: String = value
+            .iter()
+            .map(|b| (b'!' + (b % 90)) as char)
+            .collect();
+        // Skip the (rare) case where the fuzz value is a small valid number.
+        if printable.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = printable.parse::<usize>() {
+                if n <= MAX_BODY {
+                    return Ok(());
+                }
+            }
+        }
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {printable}\r\n\r\n");
+        let result = parse(raw.as_bytes());
+        prop_assert!(result.is_err(), "CL {printable:?} must be rejected");
+    }
+
+    /// Valid requests round-trip: method, target, headers (with folds
+    /// joined), and an exact-length body survive parsing.
+    #[test]
+    fn valid_requests_round_trip(
+        m in 2usize..64,
+        body_len in 0usize..256,
+        deadline_ms in 0u64..100_000,
+        folded in any::<bool>(),
+    ) {
+        let body: Vec<u8> = (0..body_len).map(|i| b'a' + (i % 26) as u8).collect();
+        let mut raw = format!(
+            "POST /solve?stream=1 HTTP/1.1\r\nHost: test\r\nX-Gomil-Deadline-Ms: {deadline_ms}\r\nX-M: {m}\r\n"
+        );
+        if folded {
+            raw.push_str("X-Folded: one\r\n two\r\n");
+        }
+        raw.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(&body);
+        let req = parse(&bytes).expect("well-formed request must parse");
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.path(), "/solve");
+        prop_assert!(req.query_flag("stream", "1"));
+        let deadline_text = deadline_ms.to_string();
+        let m_text = m.to_string();
+        prop_assert_eq!(req.header("x-gomil-deadline-ms"), Some(deadline_text.as_str()));
+        prop_assert_eq!(req.header("X-M"), Some(m_text.as_str()));
+        if folded {
+            prop_assert_eq!(req.header("x-folded"), Some("one two"));
+        }
+        prop_assert_eq!(req.body, body);
+    }
+
+    /// Pipelined garbage after a valid request leaves the first request
+    /// intact and fails (or cleanly ends) on the second — never a panic.
+    #[test]
+    fn pipelined_garbage_cannot_corrupt_the_first_request(tail in vec(any::<u8>(), 0..128)) {
+        let mut bytes = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+        bytes.extend_from_slice(&tail);
+        let mut reader = BufReader::new(&bytes[..]);
+        let first = read_request(&mut reader).expect("valid first request");
+        prop_assert_eq!(first.path(), "/healthz");
+        let _ = read_request(&mut reader); // must not panic
+    }
+}

@@ -21,8 +21,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Version tag of the persisted format; bumped on incompatible changes so
-/// stale files are ignored rather than misparsed.
-const PERSIST_HEADER: &str = "gomil-serve-cache v1";
+/// stale files are ignored rather than misparsed. v2 appends a per-line
+/// FNV-1a checksum so a torn line (truncated mid-float by a crashed or
+/// interrupted writer) is *rejected* instead of loading as a plausible but
+/// wrong value; v1 files (no checksums) still load best-effort.
+const PERSIST_HEADER: &str = "gomil-serve-cache v2";
+
+/// The pre-checksum header, still accepted on load.
+const PERSIST_HEADER_V1: &str = "gomil-serve-cache v1";
 
 struct Entry {
     value: ServeOutcome,
@@ -86,6 +92,37 @@ impl ShardedCache {
         }
     }
 
+    /// Like [`get`](Self::get) but *silent on a miss*: a hit refreshes
+    /// recency and counts, a miss counts nothing. Used by the HTTP fast
+    /// path, which probes the cache before deciding whether a request
+    /// must pass admission control — a probe miss is not a lookup miss,
+    /// because the same request is immediately looked up again inside the
+    /// solve path.
+    pub fn probe(&self, key: &SolveKey) -> Option<ServeOutcome> {
+        let mut shard = self.lock(key);
+        let e = shard.get_mut(key.canonical())?;
+        e.last_used = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(e.value.clone())
+    }
+
+    /// Finds the entry whose canonical key hashes (stable FNV-1a) to
+    /// `hash`: a read-only linear scan across the shards, no recency
+    /// refresh, no hit/miss accounting. `O(entries)` — fine at the
+    /// few-thousand-entry capacities this cache runs, and only used by
+    /// the `GET /design/{fingerprint}` endpoint.
+    pub fn find_by_hash(&self, hash: u64) -> Option<ServeOutcome> {
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for (canonical, entry) in shard.iter() {
+                if crate::key::fnv1a_64(canonical.as_bytes()) == hash {
+                    return Some(entry.value.clone());
+                }
+            }
+        }
+        None
+    }
+
     /// Inserts (or refreshes) `key → value`, evicting the shard's
     /// least-recently-used entry if the shard is full.
     pub fn insert(&self, key: &SolveKey, value: ServeOutcome) {
@@ -132,28 +169,47 @@ impl ShardedCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Writes every entry to `path` (atomically via a sibling `.tmp` file
-    /// renamed into place). Returns the number of entries written.
+    /// Writes every entry to `path`, atomically: the data goes to a
+    /// sibling temp file (suffixed with this process's PID, so two
+    /// services persisting to the same path never interleave into one
+    /// temp file), is flushed *and fsynced*, and only then renamed into
+    /// place. A crash at any point leaves either the old complete file or
+    /// the new complete file — never a torn mix — and a stray temp file
+    /// from a crashed writer is invisible to [`load`](Self::load).
+    /// Returns the number of entries written.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors (the temp file is removed on error).
     pub fn save(&self, path: &Path) -> io::Result<usize> {
-        let tmp = path.with_extension("tmp");
-        let mut written = 0usize;
-        {
-            let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
-            writeln!(out, "{PERSIST_HEADER}")?;
-            for shard in &self.shards {
-                let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
-                for (canonical, entry) in shard.iter() {
-                    writeln!(out, "{canonical}\t{}", entry.value.to_line())?;
-                    written += 1;
-                }
-            }
-            out.flush()?;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = self.save_to_tmp(&tmp, path);
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
         }
-        std::fs::rename(&tmp, path)?;
+        result
+    }
+
+    fn save_to_tmp(&self, tmp: &Path, path: &Path) -> io::Result<usize> {
+        let mut written = 0usize;
+        let file = std::fs::File::create(tmp)?;
+        let mut out = io::BufWriter::new(file);
+        writeln!(out, "{PERSIST_HEADER}")?;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for (canonical, entry) in shard.iter() {
+                let content = format!("{canonical}\t{}", entry.value.to_line());
+                let sum = crate::key::fnv1a_64(content.as_bytes());
+                writeln!(out, "{content}\t#{sum:016x}")?;
+                written += 1;
+            }
+        }
+        out.flush()?;
+        // The rename only commits bytes that are durably on disk: without
+        // the fsync a crash shortly after rename could surface a complete-
+        // looking file with a zeroed tail.
+        out.get_ref().sync_all()?;
+        std::fs::rename(tmp, path)?;
         Ok(written)
     }
 
@@ -173,13 +229,32 @@ impl ShardedCache {
             Err(e) => return Err(e),
         };
         let mut lines = io::BufReader::new(file).lines();
-        match lines.next() {
-            Some(Ok(header)) if header == PERSIST_HEADER => {}
+        let checksummed = match lines.next() {
+            Some(Ok(header)) if header == PERSIST_HEADER => true,
+            Some(Ok(header)) if header == PERSIST_HEADER_V1 => false,
             _ => return Ok(0),
-        }
+        };
         let mut loaded = 0usize;
         for line in lines {
-            let line = line?;
+            let mut line = line?;
+            if checksummed {
+                // A v2 line must end with `\t#<16-hex fnv of everything
+                // before it>`; a torn tail fails this gate instead of
+                // parsing as a plausible shorter number.
+                let Some((content, tag)) = line.rsplit_once('\t') else {
+                    continue;
+                };
+                let Some(hex) = tag.strip_prefix('#') else {
+                    continue;
+                };
+                let Ok(sum) = u64::from_str_radix(hex, 16) else {
+                    continue;
+                };
+                if hex.len() != 16 || crate::key::fnv1a_64(content.as_bytes()) != sum {
+                    continue;
+                }
+                line.truncate(content.len());
+            }
             let Some((canonical, rest)) = line.split_once('\t') else {
                 continue;
             };
@@ -227,6 +302,7 @@ mod tests {
             root_us: 800,
             root_lp_iters: 9,
             cuts_added: 0,
+            improvements: vec![(25, 110.0 + m as f64), (80, 100.0 + m as f64)],
         }
     }
 
@@ -279,6 +355,97 @@ mod tests {
     }
 
     #[test]
+    fn probe_hits_without_counting_misses() {
+        let c = ShardedCache::new(2, 8);
+        assert!(c.probe(&key(8)).is_none());
+        assert_eq!(c.misses(), 0, "a probe miss is not a lookup miss");
+        c.insert(&key(8), outcome(8, "p"));
+        assert_eq!(c.probe(&key(8)).unwrap().name, "D-p-8");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn find_by_hash_scans_all_shards_without_touching_counters() {
+        let c = ShardedCache::new(4, 16);
+        for m in [4usize, 5, 6, 7] {
+            c.insert(&key(m), outcome(m, "h"));
+        }
+        let k = key(6);
+        let found = c.find_by_hash(k.hash64()).unwrap();
+        assert_eq!(found, outcome(6, "h"));
+        assert!(c.find_by_hash(k.hash64() ^ 1).is_none());
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    /// The crash simulation behind the atomic-persistence contract: a
+    /// writer dying mid-save leaves only a temp file (the real path keeps
+    /// its previous complete contents), and even if a torn file somehow
+    /// reached the real path — a crashed pre-hardening writer, a copy cut
+    /// short — loading it can never corrupt the cache: every byte-level
+    /// truncation of a valid file loads some prefix of the saved entries,
+    /// each bit-exact, and never errors or panics.
+    #[test]
+    fn torn_writes_can_never_corrupt_the_load_path() {
+        let dir = std::env::temp_dir().join(format!("gomil-serve-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        let c = ShardedCache::new(2, 16);
+        for m in [4usize, 6, 8, 10] {
+            c.insert(&key(m), outcome(m, "t"));
+        }
+        assert_eq!(c.save(&path).unwrap(), 4);
+        let full = std::fs::read(&path).unwrap();
+
+        // A stray temp file from a crashed writer must not affect loads.
+        std::fs::write(dir.join("cache.tsv.tmp.12345"), b"half a hea").unwrap();
+
+        let torn_path = dir.join("torn.tsv");
+        for cut in 0..=full.len() {
+            std::fs::write(&torn_path, &full[..cut]).unwrap();
+            let d = ShardedCache::new(4, 16);
+            let loaded = d.load(&torn_path).expect("a torn file is not an I/O error");
+            assert_eq!(loaded, d.len());
+            // Every entry that did survive the tear is bit-exact.
+            let mut found = 0;
+            for m in [4usize, 6, 8, 10] {
+                if let Some(v) = d.probe(&key(m)) {
+                    assert_eq!(v.to_line(), outcome(m, "t").to_line());
+                    found += 1;
+                }
+            }
+            assert_eq!(found, loaded, "nothing bogus may be loaded");
+            if cut == full.len() {
+                assert_eq!(loaded, 4, "the untorn file loads everything");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_replaces_the_old_file_atomically_not_in_place() {
+        let dir = std::env::temp_dir().join(format!("gomil-serve-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        let c = ShardedCache::new(1, 8);
+        c.insert(&key(4), outcome(4, "a"));
+        assert_eq!(c.save(&path).unwrap(), 1);
+        c.insert(&key(5), outcome(5, "a"));
+        assert_eq!(c.save(&path).unwrap(), 2);
+        // No temp residue after a successful save.
+        let residue: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(residue.is_empty(), "temp files must be renamed away");
+        let d = ShardedCache::new(1, 8);
+        assert_eq!(d.load(&path).unwrap(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn missing_and_corrupt_files_load_cold() {
         let c = ShardedCache::new(2, 8);
         let missing = std::env::temp_dir().join("gomil-serve-does-not-exist.cache");
@@ -292,5 +459,23 @@ mod tests {
         std::fs::write(&bad, format!("{PERSIST_HEADER}\nnot-a-valid-entry\n")).unwrap();
         assert_eq!(c.load(&bad).unwrap(), 0);
         std::fs::remove_file(&bad).unwrap();
+    }
+
+    #[test]
+    fn v1_files_without_checksums_still_load() {
+        let dir = std::env::temp_dir().join(format!("gomil-serve-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.cache");
+        let k = key(4);
+        let body = format!(
+            "{PERSIST_HEADER_V1}\n{}\t{}\n",
+            k.canonical(),
+            outcome(4, "v1").to_line()
+        );
+        std::fs::write(&path, body).unwrap();
+        let c = ShardedCache::new(2, 8);
+        assert_eq!(c.load(&path).unwrap(), 1);
+        assert_eq!(c.probe(&k).unwrap(), outcome(4, "v1"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

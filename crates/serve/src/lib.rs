@@ -17,7 +17,9 @@
 //!   offers completed incumbents to queued *neighbor* requests as warm
 //!   starts, and records [`ServiceMetrics`];
 //! * [`MetricsReport`] — hits/misses/evictions/dedup joins/queue depth and
-//!   a per-rung latency histogram, rendered as a summary table.
+//!   a per-rung latency histogram, rendered as a summary table or as
+//!   Prometheus text exposition ([`MetricsReport::to_prometheus`]) for the
+//!   `gomil-httpd` network layer.
 //!
 //! The crate is deliberately **solver-agnostic**: the actual GOMIL
 //! pipeline is injected as a [`SolverFn`] closure (the `gomil` crate
@@ -55,7 +57,7 @@ mod singleflight;
 pub use cache::ShardedCache;
 pub use key::{fnv1a_64, SolveKey};
 pub use metrics::{MetricsReport, RungLatency, ServiceMetrics, SolverSample, LATENCY_BUCKETS};
-pub use outcome::ServeOutcome;
+pub use outcome::{json_string, ServeOutcome};
 pub use service::{ServeConfig, ServeError, SolveRequest, SolveService, SolverFn, WarmHint};
 pub use singleflight::SingleFlight;
 

@@ -117,6 +117,12 @@ pub struct ServiceMetrics {
     /// Outcomes the admission gate refused to cache because their verdict
     /// tier fell below [`ServeConfig::min_verdict`](crate::ServeConfig).
     pub verify_rejected: AtomicU64,
+    /// Requests refused by HTTP admission control (429 load shedding).
+    /// Bumped by the `gomil-httpd` layer, not by the in-process service.
+    pub shed: AtomicU64,
+    /// Requests whose solve was cancelled because the per-request deadline
+    /// passed or the client disconnected. Bumped by the HTTP layer.
+    pub deadline_cancelled: AtomicU64,
     latency: Mutex<BTreeMap<String, RungLatency>>,
 }
 
@@ -226,6 +232,10 @@ pub struct MetricsReport {
     pub verdict_skipped: u64,
     /// Outcomes refused by the verdict admission gate (not cached).
     pub verify_rejected: u64,
+    /// Requests shed by HTTP admission control (429).
+    pub shed: u64,
+    /// Solves cancelled on deadline or client disconnect.
+    pub deadline_cancelled: u64,
     /// Entries currently cached.
     pub cache_len: usize,
     /// Per-rung latency histograms, alphabetical by rung.
@@ -256,6 +266,123 @@ impl MetricsReport {
     /// Average simplex pivots per branch-and-bound node.
     pub fn pivots_per_node(&self) -> f64 {
         self.solver_lp_iters as f64 / self.solver_nodes.max(1) as f64
+    }
+
+    /// Renders the report in the Prometheus text exposition format
+    /// (version 0.0.4), served by `GET /metrics`. Counters become
+    /// `gomil_*_total`, gauges keep their name, and each per-rung
+    /// histogram becomes a `gomil_rung_latency_ms` histogram family with a
+    /// `rung` label — [`LATENCY_BUCKETS`] already uses Prometheus's
+    /// inclusive-`le` convention, so the cumulative buckets here are a
+    /// running sum, with the final open bucket rendered as `le="+Inf"`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("gomil_requests_total", "Requests accepted.", self.requests);
+        counter(
+            "gomil_shed_total",
+            "Requests shed by admission control (HTTP 429).",
+            self.shed,
+        );
+        counter(
+            "gomil_deadline_cancelled_total",
+            "Solves cancelled on deadline or client disconnect.",
+            self.deadline_cancelled,
+        );
+        counter("gomil_solves_total", "Solves executed.", self.solves);
+        counter(
+            "gomil_degraded_total",
+            "Degraded solves (served, never cached).",
+            self.degraded,
+        );
+        counter("gomil_errors_total", "Failed requests.", self.errors);
+        counter("gomil_cache_hits_total", "Cache hits.", self.hits);
+        counter("gomil_cache_misses_total", "Cache misses.", self.misses);
+        counter(
+            "gomil_cache_evictions_total",
+            "LRU evictions.",
+            self.evictions,
+        );
+        counter(
+            "gomil_dedup_joins_total",
+            "Singleflight joins (deduplicated concurrent requests).",
+            self.dedup_joins,
+        );
+        counter(
+            "gomil_warm_hints_total",
+            "Solves offered a warm-start hint.",
+            self.warm_hints,
+        );
+        counter(
+            "gomil_solver_nodes_total",
+            "Branch-and-bound nodes explored.",
+            self.solver_nodes,
+        );
+        counter(
+            "gomil_solver_lp_iters_total",
+            "Simplex iterations spent.",
+            self.solver_lp_iters,
+        );
+        counter(
+            "gomil_verify_rejected_total",
+            "Outcomes refused by the verdict admission gate.",
+            self.verify_rejected,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP gomil_verdicts_total Equivalence verdicts by tier."
+        );
+        let _ = writeln!(out, "# TYPE gomil_verdicts_total counter");
+        for (tier, value) in [
+            ("proved", self.verdict_proved),
+            ("tested", self.verdict_tested),
+            ("failed", self.verdict_failed),
+            ("skipped", self.verdict_skipped),
+        ] {
+            let _ = writeln!(out, "gomil_verdicts_total{{tier=\"{tier}\"}} {value}");
+        }
+        let _ = writeln!(out, "# HELP gomil_cache_entries Entries currently cached.");
+        let _ = writeln!(out, "# TYPE gomil_cache_entries gauge");
+        let _ = writeln!(out, "gomil_cache_entries {}", self.cache_len);
+        let _ = writeln!(out, "# HELP gomil_queue_peak Peak job-queue depth.");
+        let _ = writeln!(out, "# TYPE gomil_queue_peak gauge");
+        let _ = writeln!(out, "gomil_queue_peak {}", self.queue_peak);
+        let _ = writeln!(
+            out,
+            "# HELP gomil_rung_latency_ms Request latency by degradation rung."
+        );
+        let _ = writeln!(out, "# TYPE gomil_rung_latency_ms histogram");
+        for (rung, h) in &self.per_rung {
+            let mut cumulative = 0u64;
+            for (i, &edge) in LATENCY_BUCKETS.iter().enumerate() {
+                cumulative += h.buckets[i];
+                let le = if edge == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    edge.to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "gomil_rung_latency_ms_bucket{{rung=\"{rung}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "gomil_rung_latency_ms_sum{{rung=\"{rung}\"}} {}",
+                h.total_us as f64 / 1_000.0
+            );
+            let _ = writeln!(
+                out,
+                "gomil_rung_latency_ms_count{{rung=\"{rung}\"}} {}",
+                h.count
+            );
+        }
+        out
     }
 }
 
@@ -311,6 +438,11 @@ impl fmt::Display for MetricsReport {
             self.verdict_skipped,
             self.verdict_failed,
             self.verify_rejected
+        )?;
+        writeln!(
+            f,
+            "admission: shed {:>6}   deadline-cancelled {:>6}",
+            self.shed, self.deadline_cancelled
         )?;
         writeln!(
             f,
@@ -453,6 +585,8 @@ mod tests {
             verdict_failed: 0,
             verdict_skipped: 1,
             verify_rejected: 1,
+            shed: 9,
+            deadline_cancelled: 2,
             cache_len: 5,
             per_rung: m.latency_snapshot(),
         };
@@ -476,8 +610,70 @@ mod tests {
             "cuts added",
             "verdicts:",
             "gate-rejected",
+            "admission:",
+            "deadline-cancelled",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_and_labelled() {
+        let m = ServiceMetrics::default();
+        m.record_latency("joint-ilp", Duration::from_millis(3));
+        m.record_latency("joint-ilp", Duration::from_millis(50));
+        m.record_latency("joint-ilp", Duration::from_secs(50));
+        let report = MetricsReport {
+            requests: 10,
+            hits: 4,
+            misses: 6,
+            evictions: 1,
+            dedup_joins: 2,
+            solves: 6,
+            degraded: 1,
+            errors: 0,
+            warm_hints: 3,
+            queue_peak: 7,
+            solver_nodes: 123,
+            solver_lp_iters: 4_580,
+            solver_warm_attempts: 102,
+            solver_warm_hits: 91,
+            solver_refactors: 8,
+            solver_root_us: 1_000,
+            solver_root_lp_iters: 72,
+            solver_cuts_added: 4,
+            verdict_proved: 4,
+            verdict_tested: 1,
+            verdict_failed: 0,
+            verdict_skipped: 1,
+            verify_rejected: 1,
+            shed: 9,
+            deadline_cancelled: 2,
+            cache_len: 5,
+            per_rung: m.latency_snapshot(),
+        };
+        let text = report.to_prometheus();
+        for needle in [
+            "gomil_requests_total 10",
+            "gomil_shed_total 9",
+            "gomil_deadline_cancelled_total 2",
+            "gomil_verdicts_total{tier=\"proved\"} 4",
+            "gomil_cache_entries 5",
+            // Cumulative buckets: 1 sample ≤10ms, 2 ≤100ms, still 2 at
+            // ≤1000/≤10000, all 3 at +Inf.
+            "gomil_rung_latency_ms_bucket{rung=\"joint-ilp\",le=\"10\"} 1",
+            "gomil_rung_latency_ms_bucket{rung=\"joint-ilp\",le=\"100\"} 2",
+            "gomil_rung_latency_ms_bucket{rung=\"joint-ilp\",le=\"10000\"} 2",
+            "gomil_rung_latency_ms_bucket{rung=\"joint-ilp\",le=\"+Inf\"} 3",
+            "gomil_rung_latency_ms_count{rung=\"joint-ilp\"} 3",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Every non-comment line is `name{labels} value` with a parseable
+        // float value — the shape a Prometheus scraper requires.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
         }
     }
 }

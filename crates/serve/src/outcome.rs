@@ -76,6 +76,12 @@ pub struct ServeOutcome {
     /// Cutting planes appended at the root (0 when cuts were off, a
     /// non-ILP rung won, or the record predates root profiles).
     pub cuts_added: u64,
+    /// Incumbent-improvement timeline of the winning ILP rung: one
+    /// `(microseconds from solve start, objective)` pair per admitted
+    /// improvement, in admission order (empty for non-ILP rungs and
+    /// pre-timeline records). This is what `POST /solve?stream=1` replays
+    /// as chunked progress events.
+    pub improvements: Vec<(u64, f64)>,
 }
 
 impl ServeOutcome {
@@ -84,8 +90,13 @@ impl ServeOutcome {
     /// [`from_line`](Self::from_line) reproduces them bit-exactly).
     pub fn to_line(&self) -> String {
         let counts: Vec<String> = self.vs_counts.iter().map(u32::to_string).collect();
+        let improvements: Vec<String> = self
+            .improvements
+            .iter()
+            .map(|(at_us, obj)| format!("{at_us}:{obj}"))
+            .collect();
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.name.replace(['\t', '\n'], " "),
             self.m,
             self.ppg.label(),
@@ -110,19 +121,21 @@ impl ServeOutcome {
             self.root_us,
             self.root_lp_iters,
             self.cuts_added,
+            improvements.join(","),
         )
     }
 
     /// Parses a [`to_line`](Self::to_line) record; `None` on any malformed
     /// field (a corrupted persisted entry is skipped, not fatal). Accepts
-    /// the current 24-field format plus the four legacy ones: 21 fields
-    /// (before root-LP profiles), 18 fields (before verification
-    /// verdicts), 15 fields (before warm-restart telemetry) and 12 fields
-    /// (before any solver telemetry), defaulting the missing verdict to
-    /// `Skipped` and missing counters to zero.
+    /// the current 25-field format plus the five legacy ones: 24 fields
+    /// (before incumbent timelines), 21 fields (before root-LP profiles),
+    /// 18 fields (before verification verdicts), 15 fields (before
+    /// warm-restart telemetry) and 12 fields (before any solver
+    /// telemetry), defaulting the missing verdict to `Skipped` and missing
+    /// counters and timelines to empty.
     pub fn from_line(line: &str) -> Option<ServeOutcome> {
         let f: Vec<&str> = line.split('\t').collect();
-        if ![12, 15, 18, 21, 24].contains(&f.len()) {
+        if ![12, 15, 18, 21, 24, 25].contains(&f.len()) {
             return None;
         }
         let vs_counts = if f[11].is_empty() {
@@ -160,7 +173,7 @@ impl ServeOutcome {
         } else {
             (VerdictTier::Skipped, 0, 0)
         };
-        let (root_us, root_lp_iters, cuts_added) = if f.len() == 24 {
+        let (root_us, root_lp_iters, cuts_added) = if f.len() >= 24 {
             (
                 f[21].parse().ok()?,
                 f[22].parse().ok()?,
@@ -168,6 +181,17 @@ impl ServeOutcome {
             )
         } else {
             (0, 0, 0)
+        };
+        let improvements = if f.len() == 25 && !f[24].is_empty() {
+            f[24]
+                .split(',')
+                .map(|pair| {
+                    let (at_us, obj) = pair.split_once(':')?;
+                    Some((at_us.parse::<u64>().ok()?, obj.parse::<f64>().ok()?))
+                })
+                .collect::<Option<Vec<(u64, f64)>>>()?
+        } else {
+            Vec::new()
         };
         Some(ServeOutcome {
             name: f[0].to_string(),
@@ -196,7 +220,93 @@ impl ServeOutcome {
             root_us,
             root_lp_iters,
             cuts_added,
+            improvements,
         })
+    }
+
+    /// Serializes to a JSON object — the body of the HTTP service's
+    /// `POST /solve` and `GET /design/{fingerprint}` replies.
+    ///
+    /// Hand-rolled (the workspace runs offline with no `serde_json`):
+    /// strings are escaped per RFC 8259, and non-finite floats — which
+    /// JSON cannot represent as numbers — are emitted as the same quoted
+    /// sentinels the TSV wire format uses (`"inf"`, `"-inf"`, `"NaN"`),
+    /// so a root-only solve's infinite gap survives the trip.
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = self.vs_counts.iter().map(u32::to_string).collect();
+        let improvements: Vec<String> = self
+            .improvements
+            .iter()
+            .map(|(at_us, obj)| format!("{{\"at_us\":{at_us},\"objective\":{}}}", json_f64(*obj)))
+            .collect();
+        format!(
+            "{{\"name\":{},\"m\":{},\"ppg\":{},\"area\":{},\"delay\":{},\"power\":{},\
+             \"gates\":{},\"verified\":{},\"strategy\":{},\"objective\":{},\"degraded\":{},\
+             \"vs_counts\":[{}],\"solver_nodes\":{},\"solver_lp_iters\":{},\"solver_gap\":{},\
+             \"solver_warm_attempts\":{},\"solver_warm_hits\":{},\"solver_refactors\":{},\
+             \"verdict\":{},\"verify_vectors\":{},\"verify_us\":{},\"root_us\":{},\
+             \"root_lp_iters\":{},\"cuts_added\":{},\"improvements\":[{}]}}",
+            json_string(&self.name),
+            self.m,
+            json_string(self.ppg.label()),
+            json_f64(self.metrics.area),
+            json_f64(self.metrics.delay),
+            json_f64(self.metrics.power),
+            self.gates,
+            self.verified,
+            json_string(&self.strategy),
+            json_f64(self.objective),
+            self.degraded,
+            counts.join(","),
+            self.solver_nodes,
+            self.solver_lp_iters,
+            json_f64(self.solver_gap),
+            self.solver_warm_attempts,
+            self.solver_warm_hits,
+            self.solver_refactors,
+            json_string(self.verdict.label()),
+            self.verify_vectors,
+            self.verify_us,
+            self.root_us,
+            self.root_lp_iters,
+            self.cuts_added,
+            improvements.join(","),
+        )
+    }
+}
+
+/// RFC 8259 string escaping (quotes included in the output).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A float as a JSON value: a bare number when finite (Rust's shortest
+/// roundtrip formatting is valid JSON for every finite `f64`), otherwise
+/// the quoted TSV sentinel.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `75.0` formats as `75`, which JSON accepts as a number.
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
     }
 }
 
@@ -248,6 +358,7 @@ mod tests {
             root_us: 12_500,
             root_lp_iters: 96,
             cuts_added: 5,
+            improvements: vec![(1_500, 512.5), (9_000, 456.125)],
         }
     }
 
@@ -318,9 +429,20 @@ mod tests {
     }
 
     #[test]
-    fn current_lines_carry_the_root_profile_fields() {
+    fn legacy_twentyfour_field_lines_parse_with_an_empty_timeline() {
         let line = sample().to_line();
-        assert_eq!(line.split('\t').count(), 24);
+        let legacy: Vec<&str> = line.split('\t').take(24).collect();
+        let back = ServeOutcome::from_line(&legacy.join("\t")).unwrap();
+        assert_eq!(back.root_us, 12_500);
+        assert_eq!(back.root_lp_iters, 96);
+        assert_eq!(back.cuts_added, 5);
+        assert!(back.improvements.is_empty());
+    }
+
+    #[test]
+    fn current_lines_carry_the_incumbent_timeline() {
+        let line = sample().to_line();
+        assert_eq!(line.split('\t').count(), 25);
         let back = ServeOutcome::from_line(&line).unwrap();
         assert_eq!(back.verdict, VerdictTier::Proved);
         assert_eq!(back.verify_vectors, 65_536);
@@ -328,6 +450,31 @@ mod tests {
         assert_eq!(back.root_us, 12_500);
         assert_eq!(back.root_lp_iters, 96);
         assert_eq!(back.cuts_added, 5);
+        assert_eq!(back.improvements, vec![(1_500, 512.5), (9_000, 456.125)]);
+        // An empty timeline roundtrips as an empty field, not a parse error.
+        let mut o = sample();
+        o.improvements.clear();
+        let back = ServeOutcome::from_line(&o.to_line()).unwrap();
+        assert!(back.improvements.is_empty());
+        assert_eq!(o, back);
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_complete() {
+        let mut o = sample();
+        o.name = "GOMIL \"quoted\"\t8".into();
+        o.solver_gap = f64::INFINITY;
+        let json = o.to_json();
+        // Structural sanity a real JSON parser would enforce: balanced
+        // braces/brackets, escaped quotes, sentinel for the infinite gap.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"name\":\"GOMIL \\\"quoted\\\"\\t8\""));
+        assert!(json.contains("\"solver_gap\":\"inf\""));
+        assert!(json.contains("\"verdict\":\"proved\""));
+        assert!(json.contains("\"improvements\":[{\"at_us\":1500,\"objective\":512.5}"));
+        assert!(json.contains("\"vs_counts\":[1,2,2,1]"));
+        assert!(!json.contains('\n'), "JSON body must be single-line");
     }
 
     #[test]
@@ -368,6 +515,14 @@ mod tests {
         }
         let overlong = format!("{line}\t0");
         assert!(ServeOutcome::from_line(&overlong).is_none());
+        // A corrupted timeline field is malformed, not silently empty.
+        let head: Vec<&str> = line.split('\t').take(24).collect();
+        for bad in ["garbage", "12:x", ":1.0", "5:1.0,7"] {
+            assert!(
+                ServeOutcome::from_line(&format!("{}\t{bad}", head.join("\t"))).is_none(),
+                "timeline {bad:?} must be rejected"
+            );
+        }
         // An unknown verdict label is a malformed field, not Skipped.
         let bad = line.replace("\tproved\t", "\tmaybe\t");
         assert_ne!(bad, line);

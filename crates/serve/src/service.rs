@@ -7,6 +7,7 @@ use crate::metrics::{MetricsReport, ServiceMetrics, SolverSample};
 use crate::outcome::ServeOutcome;
 use crate::singleflight::SingleFlight;
 use gomil_arith::PpgKind;
+use gomil_budget::Budget;
 use gomil_netlist::VerdictTier;
 use std::collections::VecDeque;
 use std::fmt;
@@ -72,13 +73,20 @@ pub struct WarmHint {
 }
 
 /// The solver injected into a [`SolveService`]: runs one full pipeline for
-/// `request`, optionally seeded with a neighbor's incumbent profile.
+/// `request`, optionally seeded with a neighbor's incumbent profile and
+/// bounded by a caller-supplied per-request [`Budget`].
 ///
 /// Must be pure up to the warm start: the same request must yield an
 /// equivalent certified result regardless of the hint (hints may only
-/// change *how fast* branch and bound closes, never what is optimal).
-pub type SolverFn =
-    dyn Fn(&SolveRequest, Option<&WarmHint>) -> Result<ServeOutcome, ServeError> + Send + Sync;
+/// change *how fast* branch and bound closes, never what is optimal). The
+/// budget is a latency bound with shared cancellation — the HTTP layer
+/// cancels it when a client disconnects or the server drains, and the
+/// solver must then unwind promptly (degrading down its fallback ladder
+/// rather than erroring, so joined duplicate requests still get an
+/// answer). `None` means the service imposes no per-request bound.
+pub type SolverFn = dyn Fn(&SolveRequest, Option<&WarmHint>, Option<&Budget>) -> Result<ServeOutcome, ServeError>
+    + Send
+    + Sync;
 
 /// Tuning knobs of a [`SolveService`].
 #[derive(Debug, Clone)]
@@ -290,6 +298,21 @@ impl SolveService {
 
     /// Serves one request through cache → singleflight → solver.
     pub fn serve_one(&self, request: &SolveRequest) -> Result<ServeOutcome, ServeError> {
+        self.serve_with(request, None)
+    }
+
+    /// [`serve_one`](Self::serve_one) bounded by a per-request [`Budget`].
+    ///
+    /// When concurrent duplicates coalesce through singleflight, the
+    /// *leader's* budget governs the shared solve: cancelling it (client
+    /// disconnect, server drain) degrades the result for every joiner
+    /// rather than failing them, and a degraded result is never cached —
+    /// so one impatient client cannot poison the cache for the rest.
+    pub fn serve_with(
+        &self,
+        request: &SolveRequest,
+        budget: Option<&Budget>,
+    ) -> Result<ServeOutcome, ServeError> {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let key = self.key_for(request);
         let t0 = Instant::now();
@@ -297,10 +320,32 @@ impl SolveService {
             self.metrics.record_latency("cache-hit", t0.elapsed());
             return Ok(cached);
         }
-        let (result, _led) = self
-            .flights
-            .run(key.canonical(), || self.solve_and_publish(request, &key));
+        let (result, _led) = self.flights.run(key.canonical(), || {
+            self.solve_and_publish(request, &key, budget)
+        });
         result
+    }
+
+    /// A cache-only probe: answers (and counts a request + hit) iff the
+    /// result is already cached, touching neither the miss counter nor
+    /// the singleflight table. The HTTP layer uses this as its fast path
+    /// so cached answers bypass admission control entirely — a full cache
+    /// must stay servable even while the solve queue is shedding.
+    pub fn cached(&self, request: &SolveRequest) -> Option<ServeOutcome> {
+        let key = self.key_for(request);
+        let t0 = Instant::now();
+        let hit = self.cache.probe(&key)?;
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.record_latency("cache-hit", t0.elapsed());
+        Some(hit)
+    }
+
+    /// Looks a cached outcome up by the 64-bit fingerprint of its
+    /// canonical key (the `fingerprint` field of the HTTP solve reply) —
+    /// a linear scan over the shards, read-only and recency-neutral.
+    /// `None` is the HTTP layer's 404.
+    pub fn lookup_fingerprint(&self, fingerprint: u64) -> Option<ServeOutcome> {
+        self.cache.find_by_hash(fingerprint)
     }
 
     /// Leader path: run the solver (panic-contained), then publish the
@@ -309,6 +354,7 @@ impl SolveService {
         &self,
         request: &SolveRequest,
         key: &SolveKey,
+        budget: Option<&Budget>,
     ) -> Result<ServeOutcome, ServeError> {
         // Double-check the cache: a previous flight for this key may have
         // completed between our miss and our flight registration.
@@ -325,15 +371,17 @@ impl SolveService {
         }
         self.metrics.solves.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| (self.solver)(request, hint.as_ref())))
-            .unwrap_or_else(|payload| {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(ServeError::Panic(msg))
-            });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            (self.solver)(request, hint.as_ref(), budget)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(ServeError::Panic(msg))
+        });
         let took = t0.elapsed();
         match &result {
             Ok(outcome) => {
@@ -448,6 +496,8 @@ impl SolveService {
             verdict_failed: self.metrics.verdict_failed.load(Ordering::Relaxed),
             verdict_skipped: self.metrics.verdict_skipped.load(Ordering::Relaxed),
             verify_rejected: self.metrics.verify_rejected.load(Ordering::Relaxed),
+            shed: self.metrics.shed.load(Ordering::Relaxed),
+            deadline_cancelled: self.metrics.deadline_cancelled.load(Ordering::Relaxed),
             cache_len: self.cache.len(),
             per_rung: self.metrics.latency_snapshot(),
         }
@@ -490,6 +540,7 @@ mod tests {
             root_us: 300,
             root_lp_iters: 12,
             cuts_added: 1,
+            improvements: vec![(40, req.m as f64 + 1.0), (90, req.m as f64)],
         }
     }
 
@@ -498,7 +549,7 @@ mod tests {
     fn counting_service(delay: Duration, degraded: bool) -> (SolveService, Arc<AtomicUsize>) {
         let solves = Arc::new(AtomicUsize::new(0));
         let counter = Arc::clone(&solves);
-        let solver: Box<SolverFn> = Box::new(move |req, _hint| {
+        let solver: Box<SolverFn> = Box::new(move |req, _hint, _budget| {
             counter.fetch_add(1, Ordering::SeqCst);
             std::thread::sleep(delay);
             Ok(outcome_for(req, degraded))
@@ -554,7 +605,7 @@ mod tests {
 
     #[test]
     fn failed_verdicts_never_enter_the_cache_or_warm_pool() {
-        let solver: Box<SolverFn> = Box::new(|req, _| {
+        let solver: Box<SolverFn> = Box::new(|req, _, _| {
             let mut o = outcome_for(req, false);
             o.verdict = VerdictTier::Failed;
             o.verified = false;
@@ -587,7 +638,7 @@ mod tests {
 
     #[test]
     fn strict_min_verdict_rejects_tested_outcomes() {
-        let solver: Box<SolverFn> = Box::new(|req, _| Ok(outcome_for(req, false)));
+        let solver: Box<SolverFn> = Box::new(|req, _, _| Ok(outcome_for(req, false)));
         let svc = SolveService::new(
             "t".into(),
             solver,
@@ -618,7 +669,7 @@ mod tests {
 
     #[test]
     fn worker_panics_are_contained_per_request() {
-        let solver: Box<SolverFn> = Box::new(|req, _| {
+        let solver: Box<SolverFn> = Box::new(|req, _, _| {
             if req.m == 13 {
                 panic!("unlucky width");
             }
@@ -644,7 +695,7 @@ mod tests {
     fn neighbor_hints_flow_to_same_m_and_adjacent_m() {
         let hints_seen = Arc::new(Mutex::new(Vec::new()));
         let log = Arc::clone(&hints_seen);
-        let solver: Box<SolverFn> = Box::new(move |req, hint| {
+        let solver: Box<SolverFn> = Box::new(move |req, hint, _budget| {
             log.lock().unwrap().push((req.clone(), hint.cloned()));
             Ok(outcome_for(req, false))
         });

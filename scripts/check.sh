@@ -28,6 +28,9 @@ cargo run -q --release -p gomil-bench --bin solver_scaling -- --quick
 echo "==> equivalence smoke gate (release: strict-verify roster, proved/tested tiers)"
 cargo run -q --release -p gomil-bench --bin equiv_smoke -- --quick
 
+echo "==> HTTP smoke (gomil serve --listen: solve over a socket, metrics, graceful drain)"
+scripts/http_smoke.sh
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

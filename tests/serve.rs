@@ -130,6 +130,7 @@ fn synthetic_outcome(req: &SolveRequest) -> ServeOutcome {
         root_us: 4_200,
         root_lp_iters: 33,
         cuts_added: 2,
+        improvements: vec![(40, req.m as f64 + 2.0), (90, req.m as f64)],
     }
 }
 
@@ -137,7 +138,7 @@ fn synthetic_outcome(req: &SolveRequest) -> ServeOutcome {
 fn thirty_two_threads_on_four_keys_solve_exactly_four_times() {
     let invocations = Arc::new(AtomicUsize::new(0));
     let counter = Arc::clone(&invocations);
-    let solver: Box<SolverFn> = Box::new(move |req, _| {
+    let solver: Box<SolverFn> = Box::new(move |req, _, _| {
         counter.fetch_add(1, Ordering::SeqCst);
         // Long enough that all duplicates of a key are in flight together.
         std::thread::sleep(Duration::from_millis(50));
@@ -176,6 +177,78 @@ fn thirty_two_threads_on_four_keys_solve_exactly_four_times() {
         28,
         "the other 28 requests joined a flight or hit the cache"
     );
+}
+
+// ---------------------------------------------------------------------
+// Singleflight holds across the network path too: concurrent identical
+// HTTP requests over real sockets coalesce to one solver invocation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_identical_http_posts_coalesce_to_one_solve() {
+    let invocations = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&invocations);
+    let solver: Box<SolverFn> = Box::new(move |req, _, _| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        // Long enough that every client is in flight before the leader
+        // finishes: latecomers must join the flight, not re-solve.
+        std::thread::sleep(Duration::from_millis(300));
+        Ok(synthetic_outcome(req))
+    });
+    let svc = SolveService::new(
+        "http-fan-in".into(),
+        solver,
+        ServeConfig {
+            jobs: 8,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server = gomil_httpd::Server::bind(
+        Arc::new(svc),
+        "127.0.0.1:0",
+        gomil_httpd::HttpdConfig {
+            max_inflight: 8,
+            max_queue: 16,
+            ..gomil_httpd::HttpdConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                gomil_httpd::client::post_json(&addr, "/solve", r#"{"m": 12, "ppg": "and"}"#)
+                    .expect("transport must not fail")
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = clients
+        .into_iter()
+        .map(|c| {
+            let resp = c.join().unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            resp.text()
+        })
+        .collect();
+    for body in &bodies {
+        assert_eq!(
+            body, &bodies[0],
+            "all eight clients receive byte-identical replies"
+        );
+    }
+    assert_eq!(
+        invocations.load(Ordering::SeqCst),
+        1,
+        "the network path must preserve singleflight: one solve for eight sockets"
+    );
+    handle.shutdown();
+    join.join().unwrap().unwrap();
 }
 
 // ---------------------------------------------------------------------
@@ -319,7 +392,7 @@ fn corrupted_netlists_surface_typed_verification_errors_and_stay_uncached() {
     // gate disabled, flip one gate, then run the same verdict path the
     // production solver uses — simulating a netlist corrupted after the
     // optimizer but before publication.
-    let solver: Box<SolverFn> = Box::new(|req, _| {
+    let solver: Box<SolverFn> = Box::new(|req, _, _| {
         let cfg = GomilConfig {
             verify: VerifyMode::Off,
             ..GomilConfig::fast()
