@@ -18,10 +18,18 @@
 //! gomil serve --listen ADDR [--http-inflight N] [--http-queue N]
 //!             [--drain-ms N] [--deadline-ms N] [serve flags as above]
 //!                                                      HTTP solve service (gomil-httpd)
+//! gomil mart build [--out FILE] [--ms m,m,…] [--refresh] [solver flags]
+//!                                                      precompute the design mart
+//! gomil mart stats <FILE>                              mart summary
+//! gomil mart verify <FILE>                             mart integrity audit
 //! gomil prefix <heights MSB-first…> [--w W]            optimize a prefix BCV
 //! gomil trunc <m> <k>                                  truncated multiplier report
 //! gomil info                                           defaults and versions
 //! ```
+//!
+//! `--mart FILE` on `batch` and `serve` attaches a read-only precomputed
+//! design mart: covered requests are served with zero solver invocations
+//! (and, over HTTP, zero admission permits).
 //!
 //! `--jobs` sizes the *service* worker pool (requests in flight);
 //! `--solver-jobs` sizes the *branch-and-bound* worker pool inside each
@@ -56,12 +64,13 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("mart") => cmd_mart(&args[1..]),
         Some("prefix") => cmd_prefix(&args[1..]),
         Some("trunc") => cmd_trunc(&args[1..]),
         Some("info") => cmd_info(),
         _ => {
             eprintln!(
-                "usage: gomil <gen|compare|batch|serve|prefix|trunc|info> …  (see --help in README)"
+                "usage: gomil <gen|compare|batch|serve|mart|prefix|trunc|info> …  (see --help in README)"
             );
             return ExitCode::from(2);
         }
@@ -237,6 +246,31 @@ fn serve_config_from_args(args: &[String]) -> ServeConfig {
     sc
 }
 
+/// Attaches the `--mart FILE` precomputed design store, when given: the
+/// service then answers covered requests without touching the solver.
+fn attach_mart(
+    svc: gomil::SolveService,
+    args: &[String],
+) -> Result<gomil::SolveService, Box<dyn std::error::Error>> {
+    let Some(path) = flag_value(args, "--mart") else {
+        return Ok(svc);
+    };
+    let mart = gomil_mart::Mart::load(std::path::Path::new(path))
+        .map_err(|e| format!("--mart {path}: {e}"))?;
+    if mart.skipped() > 0 {
+        eprintln!(
+            "warning: {path}: skipped {} corrupt mart entries",
+            mart.skipped()
+        );
+    }
+    eprintln!(
+        "mart: {} precomputed designs from {path} (solver version {})",
+        gomil_serve::DesignStore::len(&mart),
+        mart.solver_version()
+    );
+    Ok(svc.with_mart(std::sync::Arc::new(mart)))
+}
+
 /// Whether `build_gomil` accepts this (m, PPG) pair — mirrors its input
 /// validation so `batch --all-ppg` can skip unsupported combinations
 /// instead of printing per-request errors.
@@ -286,7 +320,7 @@ fn cmd_batch(args: &[String]) -> CliResult {
         .unwrap_or(2)
         .max(1);
     let cfg = cfg_from_args(args);
-    let svc = serve_service(&cfg, serve_config_from_args(args))?;
+    let svc = attach_mart(serve_service(&cfg, serve_config_from_args(args))?, args)?;
 
     let ppgs: &[PpgKind] = if all_ppg {
         &PpgKind::all()
@@ -349,7 +383,10 @@ fn cmd_serve_http(args: &[String], addr: &str) -> CliResult {
         httpd.default_deadline = Some(deadline);
     }
     let cfg = cfg_from_args(args);
-    let svc = std::sync::Arc::new(serve_service(&cfg, serve_config_from_args(args))?);
+    let svc = std::sync::Arc::new(attach_mart(
+        serve_service(&cfg, serve_config_from_args(args))?,
+        args,
+    )?);
     let server = gomil_httpd::Server::bind(std::sync::Arc::clone(&svc), addr, httpd)?;
     let local = server.local_addr()?;
     eprintln!("listening on http://{local}  (POST /shutdown to drain)");
@@ -389,7 +426,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         return Err(format!("{path}: no requests (lines are `<m> [ppg]`)").into());
     }
     let cfg = cfg_from_args(args);
-    let svc = serve_service(&cfg, serve_config_from_args(args))?;
+    let svc = attach_mart(serve_service(&cfg, serve_config_from_args(args))?, args)?;
     let results = svc.run_batch(&requests);
     print_results(&requests, &results);
     let failed = results.iter().filter(|r| r.is_err()).count();
@@ -397,6 +434,181 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if failed > 0 {
         return Err(format!("{failed} of {} requests failed", results.len()).into());
     }
+    Ok(())
+}
+
+fn cmd_mart(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_mart_build(&args[1..]),
+        Some("stats") => cmd_mart_stats(&args[1..]),
+        Some("verify") => cmd_mart_verify(&args[1..]),
+        _ => Err("usage: gomil mart <build|stats|verify> …".into()),
+    }
+}
+
+fn mart_path_arg(args: &[String]) -> Result<PathBuf, Box<dyn std::error::Error>> {
+    args.iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing mart file argument".into())
+}
+
+/// The strongest verdict tier the current verify mode could certify for
+/// an `m × m` design — the refresh bar: a mart entry below it is worth
+/// re-solving even if its solver version is current.
+fn achievable_tier(m: usize, cfg: &GomilConfig) -> VerdictTier {
+    match cfg.verify.config() {
+        None => VerdictTier::Skipped,
+        // Mirrors `verify_multiplier`'s exhaustive gate: `4^m` operand
+        // pairs up to the mode's limit (hard-capped at 16), sampled past
+        // it.
+        Some(vc) => {
+            if m <= vc.exhaustive_limit && m <= 16 {
+                VerdictTier::Proved
+            } else {
+                VerdictTier::Tested
+            }
+        }
+    }
+}
+
+/// `gomil mart build`: sweep the (m ∈ roster, PPG ∈ all, config) lattice
+/// through the parallel solve/ladder/verify pipeline and persist every
+/// certified outcome. With `--refresh` an existing mart at `--out` is
+/// updated incrementally: entries whose recorded solver version is
+/// current *and* whose verdict tier is already the best achievable are
+/// carried over byte-for-byte; everything else is re-solved.
+fn cmd_mart_build(args: &[String]) -> CliResult {
+    let out = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("gomil-designs.mart"));
+    let ms: Vec<usize> = flag_value(args, "--ms")
+        .map(String::as_str)
+        .unwrap_or("4,8,16")
+        .split(',')
+        .map(|s| s.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad --ms list: {e}"))?;
+    let refresh = args.iter().any(|a| a == "--refresh");
+    let cfg = cfg_from_args(args);
+    // The mart is its own persistence: the builder service runs without a
+    // cache file so a stale TSV cannot leak into the store.
+    let mut sc = serve_config_from_args(args);
+    sc.cache_path = None;
+    let svc = serve_service(&cfg, sc)?;
+
+    let lattice: Vec<SolveRequest> = ms
+        .iter()
+        .flat_map(|&m| {
+            PpgKind::all()
+                .into_iter()
+                .map(move |ppg| SolveRequest { m, ppg })
+        })
+        .filter(|r| ppg_supported(r.m, r.ppg))
+        .collect();
+    if lattice.is_empty() {
+        return Err("no valid (m, PPG) pairs in the roster".into());
+    }
+
+    let existing = if refresh && out.exists() {
+        Some(gomil_mart::Mart::load(&out)?)
+    } else {
+        None
+    };
+    let mut builder = gomil_mart::MartBuilder::new(gomil::SOLVER_VERSION);
+    let mut to_solve = Vec::new();
+    let mut carried = 0usize;
+    for req in &lattice {
+        let key = svc.key_for(req);
+        let keep = existing.as_ref().and_then(|mart| {
+            mart.entries()
+                .find(|(k, _, _)| *k == key.canonical())
+                .map(|(_, version, outcome)| (version, outcome.clone()))
+        });
+        match keep {
+            Some((version, outcome))
+                if version >= gomil::SOLVER_VERSION
+                    && !outcome.degraded
+                    && outcome.verdict >= achievable_tier(req.m, &cfg) =>
+            {
+                builder.insert_with_version(&key, &outcome, version);
+                carried += 1;
+            }
+            _ => to_solve.push(req.clone()),
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let results = svc.run_batch(&to_solve);
+    let mut solved = 0usize;
+    let mut rejected = 0usize;
+    for (req, result) in to_solve.iter().zip(&results) {
+        match result {
+            Ok(outcome) if !outcome.degraded => {
+                builder.insert(&svc.key_for(req), outcome);
+                solved += 1;
+            }
+            Ok(_) => {
+                eprintln!("warning: {req}: degraded outcome, not stored (raise --budget-ms)");
+                rejected += 1;
+            }
+            Err(e) => {
+                eprintln!("warning: {req}: {e}");
+                rejected += 1;
+            }
+        }
+    }
+    let written = builder.write(&out)?;
+    eprintln!(
+        "mart: wrote {written} designs to {} ({} solved in {:?}, {carried} carried over, {rejected} rejected; solver version {})",
+        out.display(),
+        solved,
+        t0.elapsed(),
+        gomil::SOLVER_VERSION
+    );
+    if rejected > 0 {
+        return Err(format!("{rejected} lattice points could not be certified").into());
+    }
+    Ok(())
+}
+
+fn cmd_mart_stats(args: &[String]) -> CliResult {
+    let path = mart_path_arg(args)?;
+    let mart = gomil_mart::Mart::load(&path)?;
+    let stats = mart.stats(gomil::SOLVER_VERSION);
+    println!("mart {}", path.display());
+    println!(
+        "entries {}   skipped {}   solver version {} (current {})",
+        stats.entries,
+        stats.skipped,
+        stats.solver_version,
+        gomil::SOLVER_VERSION
+    );
+    println!(
+        "verdicts: proved {}  tested {}  skipped {}  failed {}",
+        stats.verdicts[0], stats.verdicts[1], stats.verdicts[2], stats.verdicts[3]
+    );
+    println!(
+        "stale (older solver version) {}   m range {}..={}",
+        stats.stale, stats.m_range.0, stats.m_range.1
+    );
+    Ok(())
+}
+
+fn cmd_mart_verify(args: &[String]) -> CliResult {
+    let path = mart_path_arg(args)?;
+    let report = gomil_mart::Mart::verify_file(&path)?;
+    println!(
+        "{}: {} ok, {} corrupt, {} index-hash mismatches",
+        path.display(),
+        report.ok,
+        report.corrupt,
+        report.hash_mismatch
+    );
+    if !report.clean() {
+        return Err("mart verification failed".into());
+    }
+    println!("mart verified clean");
     Ok(())
 }
 

@@ -76,7 +76,7 @@ pub use global::{
 };
 pub use prefix_ilp::{add_prefix_constraints, solve_fixed_prefix_ip, LeafB, PrefixVars};
 pub use report::{format_table, normalize, solve_summary, DesignReport, NormalizedRow};
-pub use service::{gomil_solver, serve_service};
+pub use service::{gomil_solver, serve_service, SOLVER_VERSION};
 
 // Re-export the things downstream code almost always needs alongside.
 pub use gomil_arith::{required_stages, schedule_toward_target, Bcv, CompressionSchedule, PpgKind};
@@ -88,6 +88,6 @@ pub use gomil_netlist::{
 };
 pub use gomil_prefix::{PrefixTree, SelectStyle};
 pub use gomil_serve::{
-    MetricsReport, ServeConfig, ServeError, ServeOutcome, SolveKey, SolveRequest, SolveService,
-    SolverFn, WarmHint,
+    DesignStore, MetricsReport, ServeConfig, ServeError, ServeOutcome, SolveKey, SolveRequest,
+    SolveService, SolverFn, WarmHint,
 };

@@ -16,6 +16,16 @@ use gomil_netlist::VerdictTier;
 use gomil_serve::{ServeConfig, ServeError, ServeOutcome, SolveService, SolverFn};
 use std::io;
 
+/// Generation stamp of the solve pipeline, recorded per entry in the
+/// precomputed design mart. Bump it whenever a solver or verifier change
+/// could *improve* an already-certified outcome (better objective, higher
+/// verdict tier, richer telemetry) — `gomil mart build --refresh` then
+/// re-solves exactly the entries whose recorded stamp is older. Latency
+/// knobs (pricing, cuts, budgets) do not warrant a bump, for the same
+/// reason they are excluded from the solve fingerprint: they never change
+/// the certified optimum.
+pub const SOLVER_VERSION: u32 = 1;
+
 /// Flattens a finished design into the service's cacheable record.
 ///
 /// The `degraded` flag implements the serving layer's caching contract: a

@@ -35,7 +35,9 @@ use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Reques
 use crate::json::{self, Json};
 use gomil_arith::PpgKind;
 use gomil_budget::{parse_deadline_ms, Budget};
-use gomil_serve::{json_string, ServeError, ServeOutcome, SolveRequest, SolveService};
+use gomil_serve::{
+    json_string, RungLatency, ServeError, ServeOutcome, SolveKey, SolveRequest, SolveService,
+};
 use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -217,20 +219,35 @@ impl Shared {
     fn retry_after_secs(&self) -> u64 {
         let (_, waiting, _) = self.admission.snapshot();
         let report = self.service.report();
-        let (mut total_us, mut count) = (0u64, 0u64);
-        for (rung, h) in &report.per_rung {
-            if rung != "cache-hit" {
-                total_us += h.total_us;
-                count += h.count;
-            }
-        }
-        let mean_secs = if count == 0 {
-            1.0
-        } else {
-            (total_us as f64 / count as f64) / 1e6
-        };
+        let mean_secs = mean_solve_secs(&report.per_rung);
         let backlog = (waiting + 1) as f64 / self.cfg.max_inflight.max(1) as f64;
         (mean_secs * backlog).ceil().clamp(1.0, 60.0) as u64
+    }
+}
+
+/// Whether a per-rung latency row measures an actual solver run.
+/// `cache-hit` and `mart-hit` rows time fast-path lookups and `verify`
+/// times per-netlist equivalence checks — averaging any of them into the
+/// solve latency would drag the mean down and under-estimate
+/// `Retry-After` exactly when the server is overloaded.
+fn is_solver_rung(rung: &str) -> bool {
+    !matches!(rung, "cache-hit" | "mart-hit" | "verify")
+}
+
+/// Mean solve latency in seconds across actual solver rungs (1s when no
+/// solver latency history exists yet).
+fn mean_solve_secs(per_rung: &[(String, RungLatency)]) -> f64 {
+    let (mut total_us, mut count) = (0u64, 0u64);
+    for (rung, h) in per_rung {
+        if is_solver_rung(rung) {
+            total_us += h.total_us;
+            count += h.count;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        (total_us as f64 / count as f64) / 1e6
     }
 }
 
@@ -463,9 +480,12 @@ fn route(
                 return reply_error(stream, 400, "fingerprint must be hexadecimal", close);
             };
             match shared.service.lookup_fingerprint(fingerprint) {
-                Some(outcome) => {
-                    reply_json(stream, 200, &solve_reply_json(fingerprint, &outcome), close)
-                }
+                Some((key, outcome)) => reply_json(
+                    stream,
+                    200,
+                    &solve_reply_json(&key, fingerprint, &outcome),
+                    close,
+                ),
                 None => reply_error(stream, 404, "no cached design with that fingerprint", close),
             }
         }
@@ -483,10 +503,14 @@ fn route(
 }
 
 /// The solve reply: the outcome plus the cache fingerprint a client can
-/// later `GET /design/{fingerprint}` with.
-fn solve_reply_json(fingerprint: u64, outcome: &ServeOutcome) -> String {
+/// later `GET /design/{fingerprint}` with — and the full canonical `key`,
+/// because the 64-bit fingerprint is not an identity (two keys can
+/// collide on it): a client that remembers the key it solved for can
+/// compare it against a later `/design` reply and detect a mismatch.
+fn solve_reply_json(key: &str, fingerprint: u64, outcome: &ServeOutcome) -> String {
     format!(
-        "{{\"fingerprint\":\"{fingerprint:016x}\",\"outcome\":{}}}\n",
+        "{{\"fingerprint\":\"{fingerprint:016x}\",\"key\":{},\"outcome\":{}}}\n",
+        json_string(key),
         outcome.to_json()
     )
 }
@@ -562,15 +586,17 @@ fn handle_solve(
         Err(message) => return reply_error(stream, 400, &message, close),
     };
     let streaming = request.query_flag("stream", "1");
-    let fingerprint = shared.service.key_for(&solve_req).hash64();
+    let key = shared.service.key_for(&solve_req);
+    let fingerprint = key.hash64();
 
-    // Cached answers bypass admission control entirely: a full cache must
-    // stay servable even while the solve queue sheds.
+    // Precomputed (mart) and cached answers bypass admission control
+    // entirely: a full mart or cache must stay servable even while the
+    // solve queue sheds.
     if let Some(hit) = shared.service.cached(&solve_req) {
-        let body = solve_reply_json(fingerprint, &hit);
+        let body = solve_reply_json(key.canonical(), fingerprint, &hit);
         if streaming {
             let mut cw = ChunkedWriter::start(&mut *stream, 200, "application/x-ndjson")?;
-            cw.chunk(done_event(fingerprint, &hit).as_bytes())?;
+            cw.chunk(done_event(key.canonical(), fingerprint, &hit).as_bytes())?;
             return cw.finish();
         }
         return reply_json(stream, 200, &body, close);
@@ -604,9 +630,9 @@ fn handle_solve(
         Ticket::Draining => reply_error(stream, 503, "server is draining", close),
         Ticket::Admitted => {
             let result = if streaming {
-                stream_solve(shared, stream, &solve_req, &budget, fingerprint)
+                stream_solve(shared, stream, &solve_req, &budget, &key)
             } else {
-                blocking_solve(shared, stream, &solve_req, &budget, fingerprint, close)
+                blocking_solve(shared, stream, &solve_req, &budget, &key, close)
             };
             shared.admission.release();
             if budget.check().is_err() {
@@ -626,21 +652,27 @@ fn blocking_solve(
     stream: &mut TcpStream,
     solve_req: &SolveRequest,
     budget: &Budget,
-    fingerprint: u64,
+    key: &SolveKey,
     close: bool,
 ) -> io::Result<()> {
     let id = shared.register_budget(budget);
     let result = shared.service.serve_with(solve_req, Some(budget));
     shared.unregister_budget(id);
     match result {
-        Ok(outcome) => reply_json(stream, 200, &solve_reply_json(fingerprint, &outcome), close),
+        Ok(outcome) => reply_json(
+            stream,
+            200,
+            &solve_reply_json(key.canonical(), key.hash64(), &outcome),
+            close,
+        ),
         Err(e) => reply_error(stream, serve_error_status(&e), &e.to_string(), close),
     }
 }
 
-fn done_event(fingerprint: u64, outcome: &ServeOutcome) -> String {
+fn done_event(key: &str, fingerprint: u64, outcome: &ServeOutcome) -> String {
     format!(
-        "{{\"event\":\"done\",\"fingerprint\":\"{fingerprint:016x}\",\"outcome\":{}}}\n",
+        "{{\"event\":\"done\",\"fingerprint\":\"{fingerprint:016x}\",\"key\":{},\"outcome\":{}}}\n",
+        json_string(key),
         outcome.to_json()
     )
 }
@@ -655,7 +687,7 @@ fn stream_solve(
     stream: &mut TcpStream,
     solve_req: &SolveRequest,
     budget: &Budget,
-    fingerprint: u64,
+    key: &SolveKey,
 ) -> io::Result<()> {
     let id = shared.register_budget(budget);
     let (tx, rx) = mpsc::channel();
@@ -708,7 +740,7 @@ fn stream_solve(
                 );
                 cw.chunk(event.as_bytes())?;
             }
-            cw.chunk(done_event(fingerprint, &outcome).as_bytes())?;
+            cw.chunk(done_event(key.canonical(), key.hash64(), &outcome).as_bytes())?;
         }
         Err(e) => {
             let event = format!(
@@ -763,5 +795,36 @@ mod tests {
         assert!(matches!(waiter.join().unwrap(), Ticket::Admitted));
         let (inflight, waiting, _) = adm.snapshot();
         assert_eq!((inflight, waiting), (1, 0));
+    }
+
+    /// Regression for the Retry-After under-estimate: the mean solve
+    /// latency used to average every per-rung row except `cache-hit`, so
+    /// the per-netlist `verify` row (and the `mart-hit` row) dragged the
+    /// mean toward zero exactly when the server was overloaded. Only
+    /// actual solver rungs may contribute.
+    #[test]
+    fn retry_after_mean_ignores_fast_path_and_verify_rows() {
+        let row = |count: u64, total_us: u64| RungLatency {
+            buckets: [count, 0, 0, 0, 0],
+            count,
+            total_us,
+        };
+        let per_rung = vec![
+            ("cache-hit".to_string(), row(50, 500)),
+            ("joint-ilp".to_string(), row(2, 4_000_000)), // mean 2s
+            ("mart-hit".to_string(), row(50, 250)),
+            ("verify".to_string(), row(2, 3_000)),
+        ];
+        let mean = mean_solve_secs(&per_rung);
+        assert!((mean - 2.0).abs() < 1e-9, "solver rows only, got {mean}s");
+        // The buggy filter (everything but cache-hit) would have reported
+        // (4_000_000 + 250 + 3_000) / 54 ≈ 0.074s — a 27× under-estimate.
+        assert!(
+            mean_solve_secs(&per_rung[..1]) == 1.0 && mean_solve_secs(&[]) == 1.0,
+            "no solver history falls back to 1s"
+        );
+        assert!(is_solver_rung("joint-ilp") && is_solver_rung("error"));
+        assert!(!is_solver_rung("cache-hit") && !is_solver_rung("mart-hit"));
+        assert!(!is_solver_rung("verify"));
     }
 }

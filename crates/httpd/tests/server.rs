@@ -3,6 +3,7 @@
 //! drain are deterministic and fast.
 
 use gomil_httpd::{client, HttpdConfig, Server};
+use gomil_mart::{Mart, MartBuilder};
 use gomil_serve::{DesignMetrics, PpgKind, ServeConfig, ServeOutcome, SolveService, VerdictTier};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -209,6 +210,137 @@ fn bursts_past_the_queue_shed_with_429_and_retry_after() {
 
     handle.shutdown();
     join.join().unwrap().unwrap();
+}
+
+/// A request covered by the precomputed design mart must be served with
+/// zero solver invocations and zero admission permits — even while the
+/// queue is actively shedding — and the hit must show up in `/metrics`.
+#[test]
+fn mart_hits_bypass_admission_while_the_queue_sheds() {
+    // Build a tiny mart covering m=8 on disk, exactly as `gomil mart
+    // build` would.
+    let dir = std::env::temp_dir().join(format!("gomil-httpd-mart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mart_path = dir.join("designs.mart");
+    let probe = SolveService::new(
+        "httpd-test".into(),
+        Box::new(|req, _, _| Ok(outcome_for(req.m))),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let covered_key = probe.key_for(&gomil_serve::SolveRequest {
+        m: 8,
+        ppg: PpgKind::And,
+    });
+    let mut precomputed = outcome_for(8);
+    precomputed.name = "MART-8".into();
+    let mut builder = MartBuilder::new(1);
+    builder.insert(&covered_key, &precomputed);
+    builder.write(&mart_path).unwrap();
+
+    // One permit, zero queue, slow solver — same shedding setup as the
+    // 429 test, but with the mart attached.
+    let invocations = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&invocations);
+    let service = SolveService::new(
+        "httpd-test".into(),
+        Box::new(move |req, _hint, _budget| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(300));
+            Ok(outcome_for(req.m))
+        }),
+        ServeConfig {
+            jobs: 1,
+            warm_start: false,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap()
+    .with_mart(Arc::new(Mart::load(&mart_path).unwrap()));
+    let server = Server::bind(
+        Arc::new(service),
+        "127.0.0.1:0",
+        HttpdConfig {
+            max_inflight: 1,
+            max_queue: 0,
+            ..HttpdConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    // Occupy the only permit with a slow solve.
+    let addr2 = addr.clone();
+    let slow =
+        std::thread::spawn(move || client::post_json(&addr2, "/solve", r#"{"m": 10}"#).unwrap());
+    while invocations.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // An uncovered request sheds: the queue really is full.
+    let shed = client::post_json(&addr, "/solve", r#"{"m": 12}"#).unwrap();
+    assert_eq!(shed.status, 429, "{}", shed.text());
+
+    // The mart-covered request is served *now*, despite zero available
+    // permits, with zero extra solver invocations.
+    let hit = client::post_json(&addr, "/solve", r#"{"m": 8, "ppg": "and"}"#).unwrap();
+    assert_eq!(hit.status, 200, "{}", hit.text());
+    let body = hit.text();
+    assert!(body.contains("\"name\":\"MART-8\""), "{body}");
+    assert!(
+        body.contains(&format!("\"key\":\"{}\"", covered_key.canonical())),
+        "solve reply echoes the canonical key: {body}"
+    );
+    assert_eq!(
+        invocations.load(Ordering::SeqCst),
+        1,
+        "only the slow leader ever reached the solver"
+    );
+
+    // The hit resolves through GET /design/ too, key echoed.
+    let fp = format!("{:016x}", covered_key.hash64());
+    let design = client::request(&addr, "GET", &format!("/design/{fp}"), &[], b"").unwrap();
+    assert_eq!(design.status, 200);
+    assert!(
+        design.text().contains("\"name\":\"MART-8\""),
+        "{}",
+        design.text()
+    );
+    assert!(
+        design
+            .text()
+            .contains(&format!("\"key\":\"{}\"", covered_key.canonical())),
+        "design reply echoes the canonical key: {}",
+        design.text()
+    );
+
+    let slow_resp = slow.join().unwrap();
+    assert_eq!(slow_resp.status, 200);
+
+    // Mart serving is visible in /metrics.
+    let metrics = client::request(&addr, "GET", "/metrics", &[], b"").unwrap();
+    let text = metrics.text();
+    assert!(text.contains("gomil_mart_entries 1"), "{text}");
+    let hits: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("gomil_mart_hits_total "))
+        .expect("gomil_mart_hits_total exported")
+        .parse()
+        .unwrap();
+    assert!(hits >= 1, "the covered solve hit the mart, got {hits}");
+    let coverage: f64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("gomil_mart_coverage "))
+        .expect("gomil_mart_coverage exported")
+        .parse()
+        .unwrap();
+    assert!(coverage > 0.0, "{text}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -106,18 +106,40 @@ impl ShardedCache {
         Some(e.value.clone())
     }
 
-    /// Finds the entry whose canonical key hashes (stable FNV-1a) to
+    /// Finds an entry whose canonical key hashes (stable FNV-1a) to
     /// `hash`: a read-only linear scan across the shards, no recency
     /// refresh, no hit/miss accounting. `O(entries)` — fine at the
     /// few-thousand-entry capacities this cache runs, and only used by
     /// the `GET /design/{fingerprint}` endpoint.
-    pub fn find_by_hash(&self, hash: u64) -> Option<ServeOutcome> {
+    ///
+    /// Returns the *canonical key alongside the outcome*: a 64-bit hash is
+    /// an index hint, not an identity — two distinct keys can collide — so
+    /// a caller that knows the full key must compare it (see
+    /// [`find_by_hash_checked`](Self::find_by_hash_checked)), and a caller
+    /// that doesn't must surface the key so its own client can.
+    pub fn find_by_hash(&self, hash: u64) -> Option<(String, ServeOutcome)> {
+        self.find_by_hash_checked(hash, None)
+    }
+
+    /// [`find_by_hash`](Self::find_by_hash) with an authoritative key
+    /// compare: when `expected_key` is supplied, only the entry whose full
+    /// canonical key matches is returned — a hash-colliding sibling is
+    /// skipped instead of being served silently as the wrong design.
+    pub fn find_by_hash_checked(
+        &self,
+        hash: u64,
+        expected_key: Option<&str>,
+    ) -> Option<(String, ServeOutcome)> {
         for shard in &self.shards {
             let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
             for (canonical, entry) in shard.iter() {
-                if crate::key::fnv1a_64(canonical.as_bytes()) == hash {
-                    return Some(entry.value.clone());
+                if crate::key::fnv1a_64(canonical.as_bytes()) != hash {
+                    continue;
                 }
+                if expected_key.is_some_and(|k| k != canonical) {
+                    continue; // hash collision: not the design asked for
+                }
+                return Some((canonical.clone(), entry.value.clone()));
             }
         }
         None
@@ -372,11 +394,40 @@ mod tests {
             c.insert(&key(m), outcome(m, "h"));
         }
         let k = key(6);
-        let found = c.find_by_hash(k.hash64()).unwrap();
+        let (canonical, found) = c.find_by_hash(k.hash64()).unwrap();
+        assert_eq!(canonical, k.canonical());
         assert_eq!(found, outcome(6, "h"));
         assert!(c.find_by_hash(k.hash64() ^ 1).is_none());
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 0);
+    }
+
+    /// Regression for the hash-only `/design` lookup: a 64-bit FNV-1a
+    /// collision between two cached keys would have served whichever
+    /// entry the shard scan reached first. Constructing a real 64-bit
+    /// FNV collision is computationally impractical in a unit test, so
+    /// this forces the exact code path a collision takes: a lookup whose
+    /// hash resolves to an entry but whose full key belongs to a
+    /// *different* design must refuse the hash match instead of serving
+    /// the wrong outcome.
+    #[test]
+    fn forced_hash_collision_is_detected_by_the_key_compare() {
+        let c = ShardedCache::new(4, 16);
+        c.insert(&key(6), outcome(6, "h"));
+        c.insert(&key(7), outcome(7, "h"));
+        // Caller knows the full key and it matches: served.
+        let (canonical, found) = c
+            .find_by_hash_checked(key(6).hash64(), Some(key(6).canonical()))
+            .unwrap();
+        assert_eq!(canonical, key(6).canonical());
+        assert_eq!(found, outcome(6, "h"));
+        // Collision scenario: the hash resolves (to m=6's entry) but the
+        // caller's full key names m=7 — the key compare must win.
+        assert!(
+            c.find_by_hash_checked(key(6).hash64(), Some(key(7).canonical()))
+                .is_none(),
+            "a hash match with a mismatched key must never be served"
+        );
     }
 
     /// The crash simulation behind the atomic-persistence contract: a

@@ -26,6 +26,27 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Injective single-line encoding of a caller fingerprint: `\` → `\\`,
+/// tab → `\t`, newline → `\n`, carriage return → `\r`. Well-formed
+/// fingerprints (no backslash, no control delimiters) pass through
+/// unchanged, so existing persisted canonical keys stay valid.
+fn escape_fingerprint(fingerprint: &str) -> std::borrow::Cow<'_, str> {
+    if !fingerprint.contains(['\\', '\t', '\n', '\r']) {
+        return std::borrow::Cow::Borrowed(fingerprint);
+    }
+    let mut out = String::with_capacity(fingerprint.len() + 8);
+    for c in fingerprint.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
 /// The canonical identity of one solve request.
 ///
 /// Two keys are equal iff the solves they describe are guaranteed to
@@ -43,13 +64,17 @@ impl SolveKey {
     ///
     /// `fingerprint` must be a canonical encoding of every solve-relevant
     /// configuration field (same fields ⇒ same string, any differing field
-    /// ⇒ different string) and must not contain tab or newline characters
-    /// (they delimit the persisted cache format).
+    /// ⇒ different string). Tab, newline and carriage-return characters —
+    /// which delimit the persisted cache TSV and the mart index — are
+    /// escaped here, in every build profile, so a hostile fingerprint can
+    /// never corrupt a persisted store: the escaping is injective
+    /// (backslash itself is escaped), so distinct fingerprints still map
+    /// to distinct canonical keys, and fingerprints that were already
+    /// single-line and backslash-free (every fingerprint the `gomil`
+    /// crate produces) keep their historical canonical form byte for
+    /// byte.
     pub fn new(m: usize, ppg: PpgKind, fingerprint: &str) -> SolveKey {
-        debug_assert!(
-            !fingerprint.contains(['\t', '\n']),
-            "fingerprint must stay single-line and tab-free"
-        );
+        let fingerprint = escape_fingerprint(fingerprint);
         let canonical = format!("v1;m={m};ppg={};{fingerprint}", ppg.label());
         let hash = fnv1a_64(canonical.as_bytes());
         SolveKey { canonical, hash }
@@ -103,6 +128,37 @@ mod tests {
         assert_ne!(k, SolveKey::new(9, PpgKind::And, "w=8"));
         assert_ne!(k, SolveKey::new(8, PpgKind::Booth4, "w=8"));
         assert_ne!(k, SolveKey::new(8, PpgKind::And, "w=9"));
+    }
+
+    /// Regression for the release-mode sanitizer hole: `SolveKey::new`
+    /// used to only `debug_assert!` the fingerprint was tab/newline-free,
+    /// so in release builds a tab-bearing fingerprint flowed straight into
+    /// the canonical string and corrupted the persisted TSV (the tab reads
+    /// as a field delimiter) and would have corrupted the mart index. The
+    /// key must now be single-line and tab-free in every build profile.
+    #[test]
+    fn hostile_fingerprints_are_escaped_in_all_builds() {
+        let hostile = SolveKey::new(8, PpgKind::And, "w=8\tinjected\nline");
+        assert!(
+            !hostile.canonical().contains(['\t', '\n', '\r']),
+            "canonical key must never carry TSV delimiters: {:?}",
+            hostile.canonical()
+        );
+        // The escaping is injective: a fingerprint containing a literal
+        // tab and one containing the two-character sequence `\t` must not
+        // collide (backslash itself is escaped).
+        let tab = SolveKey::new(8, PpgKind::And, "a\tb");
+        let literal = SolveKey::new(8, PpgKind::And, "a\\tb");
+        assert_ne!(tab, literal, "escaping must not introduce collisions");
+        assert_ne!(tab.hash64(), literal.hash64());
+        // Round trip through the persistence form stays exact.
+        let back = SolveKey::from_canonical(hostile.canonical().to_string());
+        assert_eq!(hostile, back);
+        // Benign fingerprints keep their historical canonical form.
+        assert_eq!(
+            SolveKey::new(8, PpgKind::And, "w=8").canonical(),
+            "v1;m=8;ppg=AND;w=8"
+        );
     }
 
     #[test]

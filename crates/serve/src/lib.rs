@@ -58,7 +58,9 @@ pub use cache::ShardedCache;
 pub use key::{fnv1a_64, SolveKey};
 pub use metrics::{MetricsReport, RungLatency, ServiceMetrics, SolverSample, LATENCY_BUCKETS};
 pub use outcome::{json_string, ServeOutcome};
-pub use service::{ServeConfig, ServeError, SolveRequest, SolveService, SolverFn, WarmHint};
+pub use service::{
+    DesignStore, ServeConfig, ServeError, SolveRequest, SolveService, SolverFn, WarmHint,
+};
 pub use singleflight::SingleFlight;
 
 // Re-export the request vocabulary the service speaks.

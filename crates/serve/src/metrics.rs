@@ -123,6 +123,9 @@ pub struct ServiceMetrics {
     /// Requests whose solve was cancelled because the per-request deadline
     /// passed or the client disconnected. Bumped by the HTTP layer.
     pub deadline_cancelled: AtomicU64,
+    /// Requests answered from the precomputed design mart (recency-neutral:
+    /// these never touch the LRU cache or the solver).
+    pub mart_hits: AtomicU64,
     latency: Mutex<BTreeMap<String, RungLatency>>,
 }
 
@@ -236,6 +239,10 @@ pub struct MetricsReport {
     pub shed: u64,
     /// Solves cancelled on deadline or client disconnect.
     pub deadline_cancelled: u64,
+    /// Requests answered from the precomputed design mart.
+    pub mart_hits: u64,
+    /// Entries available in the attached mart (0 when none is attached).
+    pub mart_entries: usize,
     /// Entries currently cached.
     pub cache_len: usize,
     /// Per-rung latency histograms, alphabetical by rung.
@@ -250,6 +257,16 @@ impl MetricsReport {
             0.0
         } else {
             self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Fraction of accepted requests answered straight from the mart
+    /// (0 when no requests were accepted).
+    pub fn mart_coverage(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.mart_hits as f64 / self.requests as f64
         }
     }
 
@@ -301,6 +318,11 @@ impl MetricsReport {
             self.degraded,
         );
         counter("gomil_errors_total", "Failed requests.", self.errors);
+        counter(
+            "gomil_mart_hits_total",
+            "Requests answered from the precomputed design mart.",
+            self.mart_hits,
+        );
         counter("gomil_cache_hits_total", "Cache hits.", self.hits);
         counter("gomil_cache_misses_total", "Cache misses.", self.misses);
         counter(
@@ -349,6 +371,18 @@ impl MetricsReport {
         let _ = writeln!(out, "# HELP gomil_cache_entries Entries currently cached.");
         let _ = writeln!(out, "# TYPE gomil_cache_entries gauge");
         let _ = writeln!(out, "gomil_cache_entries {}", self.cache_len);
+        let _ = writeln!(
+            out,
+            "# HELP gomil_mart_entries Entries available in the attached design mart."
+        );
+        let _ = writeln!(out, "# TYPE gomil_mart_entries gauge");
+        let _ = writeln!(out, "gomil_mart_entries {}", self.mart_entries);
+        let _ = writeln!(
+            out,
+            "# HELP gomil_mart_coverage Fraction of requests answered from the mart."
+        );
+        let _ = writeln!(out, "# TYPE gomil_mart_coverage gauge");
+        let _ = writeln!(out, "gomil_mart_coverage {}", self.mart_coverage());
         let _ = writeln!(out, "# HELP gomil_queue_peak Peak job-queue depth.");
         let _ = writeln!(out, "# TYPE gomil_queue_peak gauge");
         let _ = writeln!(out, "gomil_queue_peak {}", self.queue_peak);
@@ -443,6 +477,13 @@ impl fmt::Display for MetricsReport {
             f,
             "admission: shed {:>6}   deadline-cancelled {:>6}",
             self.shed, self.deadline_cancelled
+        )?;
+        writeln!(
+            f,
+            "mart: hits {:>6}   entries {:>6}   coverage {:>5.1}%",
+            self.mart_hits,
+            self.mart_entries,
+            100.0 * self.mart_coverage()
         )?;
         writeln!(
             f,
@@ -587,10 +628,13 @@ mod tests {
             verify_rejected: 1,
             shed: 9,
             deadline_cancelled: 2,
+            mart_hits: 3,
+            mart_entries: 12,
             cache_len: 5,
             per_rung: m.latency_snapshot(),
         };
         assert_eq!(report.queue_peak, 7);
+        assert!((report.mart_coverage() - 0.3).abs() < 1e-12);
         assert!((report.hit_rate() - 0.4).abs() < 1e-12);
         assert!((report.warm_restart_rate() - 91.0 / 102.0).abs() < 1e-12);
         assert!((report.pivots_per_node() - 4_580.0 / 123.0).abs() < 1e-12);
@@ -612,6 +656,7 @@ mod tests {
             "gate-rejected",
             "admission:",
             "deadline-cancelled",
+            "mart:",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
@@ -649,6 +694,8 @@ mod tests {
             verify_rejected: 1,
             shed: 9,
             deadline_cancelled: 2,
+            mart_hits: 3,
+            mart_entries: 12,
             cache_len: 5,
             per_rung: m.latency_snapshot(),
         };
@@ -659,6 +706,9 @@ mod tests {
             "gomil_deadline_cancelled_total 2",
             "gomil_verdicts_total{tier=\"proved\"} 4",
             "gomil_cache_entries 5",
+            "gomil_mart_hits_total 3",
+            "gomil_mart_entries 12",
+            "gomil_mart_coverage 0.3",
             // Cumulative buckets: 1 sample ≤10ms, 2 ≤100ms, still 2 at
             // ≤1000/≤10000, all 3 at +Inf.
             "gomil_rung_latency_ms_bucket{rung=\"joint-ilp\",le=\"10\"} 1",

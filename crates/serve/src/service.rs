@@ -88,6 +88,47 @@ pub type SolverFn = dyn Fn(&SolveRequest, Option<&WarmHint>, Option<&Budget>) ->
     + Send
     + Sync;
 
+/// A read-only precomputed design store consulted *before* the LRU cache
+/// and the solver (the lookup order is mart → cache → solve). The
+/// `gomil-mart` crate provides the production implementation — a
+/// versioned, checksummed, offline-built store over the hot
+/// (m, PPG, config) lattice — while tests inject synthetic maps.
+///
+/// Contract: lookups are identity-exact (the store compares the *full
+/// canonical key*, never just its 64-bit hash), immutable for the life of
+/// the service, and cheap enough to sit on the request fast path. Store
+/// hits are recency-neutral: they never touch the LRU cache, so a mart
+/// deployment cannot distort eviction order for the long tail.
+pub trait DesignStore: Send + Sync {
+    /// The outcome stored for `key`, compared by full canonical key.
+    fn get(&self, key: &SolveKey) -> Option<ServeOutcome>;
+    /// Resolves a 64-bit key hash to `(canonical key, outcome)` — the
+    /// key comes back so callers can detect hash collisions.
+    fn find_by_hash(&self, hash: u64) -> Option<(String, ServeOutcome)>;
+    /// [`find_by_hash`](Self::find_by_hash) with an authoritative key
+    /// compare: when `expected_key` is given, only an entry matching both
+    /// the hash and the key is returned. Stores that can hold several
+    /// entries under one hash (a real collision, or a forged index)
+    /// should override this to scan all of them.
+    fn find_by_hash_checked(
+        &self,
+        hash: u64,
+        expected_key: Option<&str>,
+    ) -> Option<(String, ServeOutcome)> {
+        let (canonical, outcome) = self.find_by_hash(hash)?;
+        if expected_key.is_some_and(|k| k != canonical) {
+            return None;
+        }
+        Some((canonical, outcome))
+    }
+    /// Number of designs in the store.
+    fn len(&self) -> usize;
+    /// Whether the store holds no designs.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Tuning knobs of a [`SolveService`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -224,6 +265,7 @@ pub struct SolveService {
     solver: Box<SolverFn>,
     config: ServeConfig,
     cache: ShardedCache,
+    mart: Option<std::sync::Arc<dyn DesignStore>>,
     flights: SingleFlight<Result<ServeOutcome, ServeError>>,
     warm: Mutex<VecDeque<WarmHint>>,
     metrics: ServiceMetrics,
@@ -252,10 +294,34 @@ impl SolveService {
             solver,
             config,
             cache,
+            mart: None,
             flights: SingleFlight::new(),
             warm: Mutex::new(VecDeque::new()),
             metrics: ServiceMetrics::default(),
         })
+    }
+
+    /// Attaches a read-only precomputed design store: every request is
+    /// checked against it before the LRU cache and the solver, so a
+    /// mart-covered request is served with zero solver invocations (and,
+    /// in the HTTP layer, zero admission permits).
+    pub fn with_mart(mut self, mart: std::sync::Arc<dyn DesignStore>) -> SolveService {
+        self.mart = Some(mart);
+        self
+    }
+
+    /// Number of designs in the attached mart (0 without one).
+    pub fn mart_len(&self) -> usize {
+        self.mart.as_ref().map_or(0, |m| m.len())
+    }
+
+    /// Mart fast path: a hit is counted (`mart_hits`, `mart-hit` latency
+    /// row) and served recency-neutrally — the LRU cache is not touched.
+    fn mart_lookup(&self, key: &SolveKey, t0: Instant) -> Option<ServeOutcome> {
+        let hit = self.mart.as_ref()?.get(key)?;
+        self.metrics.mart_hits.fetch_add(1, Ordering::Relaxed);
+        self.metrics.record_latency("mart-hit", t0.elapsed());
+        Some(hit)
     }
 
     /// The cache key for `request` under this service's configuration.
@@ -316,6 +382,9 @@ impl SolveService {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let key = self.key_for(request);
         let t0 = Instant::now();
+        if let Some(hit) = self.mart_lookup(&key, t0) {
+            return Ok(hit);
+        }
         if let Some(cached) = self.cache.get(&key) {
             self.metrics.record_latency("cache-hit", t0.elapsed());
             return Ok(cached);
@@ -326,26 +395,56 @@ impl SolveService {
         result
     }
 
-    /// A cache-only probe: answers (and counts a request + hit) iff the
-    /// result is already cached, touching neither the miss counter nor
-    /// the singleflight table. The HTTP layer uses this as its fast path
-    /// so cached answers bypass admission control entirely — a full cache
-    /// must stay servable even while the solve queue is shedding.
+    /// A mart/cache-only probe: answers (and counts a request + hit) iff
+    /// the result is precomputed or already cached, touching neither the
+    /// miss counter nor the singleflight table. The HTTP layer uses this
+    /// as its fast path so precomputed and cached answers bypass admission
+    /// control entirely — a full mart or cache must stay servable even
+    /// while the solve queue is shedding.
     pub fn cached(&self, request: &SolveRequest) -> Option<ServeOutcome> {
         let key = self.key_for(request);
         let t0 = Instant::now();
+        if let Some(hit) = self.mart_lookup(&key, t0) {
+            self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
         let hit = self.cache.probe(&key)?;
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         self.metrics.record_latency("cache-hit", t0.elapsed());
         Some(hit)
     }
 
-    /// Looks a cached outcome up by the 64-bit fingerprint of its
-    /// canonical key (the `fingerprint` field of the HTTP solve reply) —
-    /// a linear scan over the shards, read-only and recency-neutral.
-    /// `None` is the HTTP layer's 404.
-    pub fn lookup_fingerprint(&self, fingerprint: u64) -> Option<ServeOutcome> {
-        self.cache.find_by_hash(fingerprint)
+    /// Looks a precomputed or cached outcome up by the 64-bit fingerprint
+    /// of its canonical key (the `fingerprint` field of the HTTP solve
+    /// reply) — mart first, then a linear scan over the cache shards,
+    /// read-only and recency-neutral. `None` is the HTTP layer's 404.
+    ///
+    /// Returns the *canonical key alongside the outcome*: a 64-bit hash is
+    /// not an identity (two keys can collide), so the key travels with the
+    /// reply for clients — and callers who know the full key should use
+    /// [`lookup_design`](Self::lookup_design) instead.
+    pub fn lookup_fingerprint(&self, fingerprint: u64) -> Option<(String, ServeOutcome)> {
+        self.lookup_design(fingerprint, None)
+    }
+
+    /// [`lookup_fingerprint`](Self::lookup_fingerprint) with an
+    /// authoritative key compare: when the caller knows the full
+    /// canonical key, only an entry matching *both* the hash and the key
+    /// is returned — a hash-colliding sibling yields `None` instead of
+    /// silently serving the wrong design.
+    pub fn lookup_design(
+        &self,
+        fingerprint: u64,
+        expected_key: Option<&str>,
+    ) -> Option<(String, ServeOutcome)> {
+        if let Some(found) = self
+            .mart
+            .as_ref()
+            .and_then(|m| m.find_by_hash_checked(fingerprint, expected_key))
+        {
+            return Some(found);
+        }
+        self.cache.find_by_hash_checked(fingerprint, expected_key)
     }
 
     /// Leader path: run the solver (panic-contained), then publish the
@@ -498,6 +597,8 @@ impl SolveService {
             verify_rejected: self.metrics.verify_rejected.load(Ordering::Relaxed),
             shed: self.metrics.shed.load(Ordering::Relaxed),
             deadline_cancelled: self.metrics.deadline_cancelled.load(Ordering::Relaxed),
+            mart_hits: self.metrics.mart_hits.load(Ordering::Relaxed),
+            mart_entries: self.mart_len(),
             cache_len: self.cache.len(),
             per_rung: self.metrics.latency_snapshot(),
         }
@@ -757,6 +858,126 @@ mod tests {
             svc.report().queue_peak <= 3,
             "peak {} exceeds capacity",
             svc.report().queue_peak
+        );
+    }
+
+    /// An in-memory [`DesignStore`] for exercising the mart layer without
+    /// the on-disk format.
+    struct MapStore {
+        entries: Vec<(SolveKey, ServeOutcome)>,
+    }
+
+    impl DesignStore for MapStore {
+        fn get(&self, key: &SolveKey) -> Option<ServeOutcome> {
+            self.entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, o)| o.clone())
+        }
+
+        fn find_by_hash(&self, hash: u64) -> Option<(String, ServeOutcome)> {
+            self.entries
+                .iter()
+                .find(|(k, _)| k.hash64() == hash)
+                .map(|(k, o)| (k.canonical().to_string(), o.clone()))
+        }
+
+        fn len(&self) -> usize {
+            self.entries.len()
+        }
+    }
+
+    fn mart_for(svc: &SolveService, reqs: &[SolveRequest]) -> Arc<MapStore> {
+        let entries = reqs
+            .iter()
+            .map(|req| {
+                let mut o = outcome_for(req, false);
+                o.strategy = "mart".into();
+                (svc.key_for(req), o)
+            })
+            .collect();
+        Arc::new(MapStore { entries })
+    }
+
+    #[test]
+    fn mart_hits_bypass_solver_and_stay_recency_neutral() {
+        let (svc, solves) = counting_service(Duration::ZERO, false);
+        let covered = SolveRequest {
+            m: 8,
+            ppg: PpgKind::And,
+        };
+        let uncovered = SolveRequest {
+            m: 10,
+            ppg: PpgKind::And,
+        };
+        let mart = mart_for(&svc, std::slice::from_ref(&covered));
+        let svc = svc.with_mart(mart);
+        let hit = svc.serve_one(&covered).unwrap();
+        assert_eq!(hit.strategy, "mart", "served from the mart, not solved");
+        assert_eq!(solves.load(Ordering::SeqCst), 0, "zero solver invocations");
+        assert_eq!(svc.cache_len(), 0, "mart hits never touch the LRU cache");
+        // The probe fast path answers from the mart too.
+        assert_eq!(svc.cached(&covered).unwrap().strategy, "mart");
+        // Uncovered requests still flow to the solver as before.
+        assert!(svc.cached(&uncovered).is_none());
+        svc.serve_one(&uncovered).unwrap();
+        assert_eq!(solves.load(Ordering::SeqCst), 1);
+        let r = svc.report();
+        assert_eq!(r.mart_hits, 2);
+        assert_eq!(r.mart_entries, 1);
+        // serve_one(covered) + cached(covered) + serve_one(uncovered); a
+        // missed probe is not an accepted request.
+        assert_eq!(r.requests, 3);
+        assert!((r.mart_coverage() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(
+            r.per_rung
+                .iter()
+                .any(|(rung, h)| rung == "mart-hit" && h.count == 2),
+            "mart hits get their own latency row"
+        );
+    }
+
+    /// The mart is consulted *before* the LRU cache, so a key present in
+    /// both is answered from the mart (the precomputed store is the
+    /// authoritative, highest-quality tier).
+    #[test]
+    fn lookup_order_is_mart_before_cache() {
+        let (svc, solves) = counting_service(Duration::ZERO, false);
+        let req = SolveRequest {
+            m: 8,
+            ppg: PpgKind::And,
+        };
+        svc.serve_one(&req).unwrap(); // populate the cache
+        assert_eq!(svc.cache_len(), 1);
+        let mart = mart_for(&svc, std::slice::from_ref(&req));
+        let svc = svc.with_mart(mart);
+        assert_eq!(svc.serve_one(&req).unwrap().strategy, "mart");
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "no re-solve");
+        assert_eq!(svc.report().mart_hits, 1);
+    }
+
+    /// `lookup_design` must refuse a mart entry whose hash matches but
+    /// whose canonical key does not — the hash-collision identity bug the
+    /// `/design` endpoint used to have.
+    #[test]
+    fn lookup_design_compares_the_full_key_against_the_mart() {
+        let (svc, _) = counting_service(Duration::ZERO, false);
+        let req = SolveRequest {
+            m: 8,
+            ppg: PpgKind::And,
+        };
+        let key = svc.key_for(&req);
+        let mart = mart_for(&svc, &[req]);
+        let svc = svc.with_mart(mart);
+        let (canonical, _) = svc.lookup_fingerprint(key.hash64()).unwrap();
+        assert_eq!(canonical, key.canonical());
+        assert!(svc
+            .lookup_design(key.hash64(), Some(key.canonical()))
+            .is_some());
+        assert!(
+            svc.lookup_design(key.hash64(), Some("v1;m=9;ppg=AND;other"))
+                .is_none(),
+            "matching hash with a different key must not serve the design"
         );
     }
 }

@@ -31,6 +31,9 @@ cargo run -q --release -p gomil-bench --bin equiv_smoke -- --quick
 echo "==> HTTP smoke (gomil serve --listen: solve over a socket, metrics, graceful drain)"
 scripts/http_smoke.sh
 
+echo "==> mart smoke (gomil mart build + serve --mart: covered solve with zero solver invocations)"
+scripts/mart_smoke.sh
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
