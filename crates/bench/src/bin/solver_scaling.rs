@@ -31,8 +31,13 @@
 //! `--quick` runs the CI gates and exits nonzero on regression: the
 //! basis-reuse pivot-count gate (warm-restart pivots ≤ 3× from-scratch),
 //! the root-LP pricing gate (devex root iterations ≤ 1.2× Dantzig on the
-//! CT m=32 reference), and the cut-safety gate (root cuts must not change
-//! certified objectives anywhere on the proved roster).
+//! CT m=32 reference), the cut-safety gate (root cuts must not change
+//! certified objectives anywhere on the proved roster), the hypersparse
+//! gate (sparse FTRAN/BTRAN kernels must fire on the CT m=32 root and
+//! its iterations/wall-clock must stay within fixed ratios of the
+//! recorded baseline), and the reduction-safety gate (LP reduction
+//! presolve and equilibration scaling must not change certified
+//! objectives on the quick roster).
 //!
 //! Usage: `cargo run --release -p gomil-bench --bin solver_scaling --
 //! [--quick] [--jobs N] [--ct-nodes N] [--joint-seconds S]
@@ -64,6 +69,11 @@ struct Run {
     warm_attempts: u64,
     warm_hits: u64,
     refactors: u64,
+    ftran: u64,
+    ftran_hyper: u64,
+    btran: u64,
+    btran_hyper: u64,
+    hyper_rate: f64,
     objective: f64,
     gap: f64,
     proved_optimal: bool,
@@ -89,6 +99,11 @@ impl Run {
             warm_attempts: sol.lp_warm_attempts(),
             warm_hits: sol.lp_warm_hits(),
             refactors: sol.lp_refactors(),
+            ftran: sol.lp_ftran(),
+            ftran_hyper: sol.lp_ftran_hyper(),
+            btran: sol.lp_btran(),
+            btran_hyper: sol.lp_btran_hyper(),
+            hyper_rate: sol.lp_hyper_rate(),
             objective: sol.objective(),
             gap: sol.gap(),
             proved_optimal: sol.is_optimal(),
@@ -119,6 +134,8 @@ impl Run {
             "{{\"jobs\": {}, \"seconds\": {}, \"nodes\": {}, \"pruned\": {}, \
              \"branched\": {}, \"lp_iterations\": {}, \"warm_attempts\": {}, \
              \"warm_hits\": {}, \"warm_hit_rate\": {:.4}, \"refactors\": {}, \
+             \"ftran\": {}, \"ftran_hyper\": {}, \"btran\": {}, \
+             \"btran_hyper\": {}, \"hyper_rate\": {:.4}, \
              \"objective\": {}, \"gap\": {gap}, \"proved_optimal\": {}, \
              \"certified\": {}, \"root_profile\": {}}}",
             self.jobs,
@@ -131,6 +148,11 @@ impl Run {
             self.warm_hits,
             self.warm_hit_rate(),
             self.refactors,
+            self.ftran,
+            self.ftran_hyper,
+            self.btran,
+            self.btran_hyper,
+            self.hyper_rate,
             self.objective,
             self.proved_optimal,
             self.certified,
@@ -143,7 +165,9 @@ fn root_json(r: &RootProfile) -> String {
     format!(
         "{{\"build_us\": {}, \"presolve_us\": {}, \"first_factor_us\": {}, \
          \"root_lp_us\": {}, \"root_lp_iters\": {}, \"cut_rounds\": {}, \
-         \"cuts_added\": {}, \"cut_us\": {}}}",
+         \"cuts_added\": {}, \"cut_us\": {}, \"reduce_rows\": {}, \
+         \"reduce_cols\": {}, \"scale_rows\": {}, \"scale_range_before\": {}, \
+         \"scale_range_after\": {}}}",
         r.build_us,
         r.presolve_us,
         r.first_factor_us,
@@ -152,6 +176,11 @@ fn root_json(r: &RootProfile) -> String {
         r.cut_rounds,
         r.cuts_added,
         r.cut_us,
+        r.reduce_rows,
+        r.reduce_cols,
+        r.scale_rows,
+        r.scale_range_before,
+        r.scale_range_after,
     )
 }
 
@@ -399,6 +428,100 @@ fn quick_cut_safety_gate() -> Result<(), String> {
     Ok(())
 }
 
+/// The hypersparse-kernel half of the `--quick` gate: on the CT m=32
+/// reference root solve, the sparse FTRAN/BTRAN kernels must actually
+/// fire (a zero hyper counter means the sparse-rhs plumbing fell back to
+/// dense everywhere) and the root must stay within fixed ratios of the
+/// recorded baseline — root LP iterations ≤ `2×` the recorded 1.3k and
+/// root wall-clock ≤ 30 s (the baseline root solves in well under 3 s;
+/// the slack absorbs slow CI hosts without masking an order-of-magnitude
+/// regression).
+fn quick_hypersparse_gate(cfg: &GomilConfig) -> Result<(), String> {
+    const BASELINE_ROOT_ITERS: u64 = 1_300;
+    const ITER_RATIO: u64 = 2;
+    const ROOT_WALL_SECS: f64 = 30.0;
+    let v32 = Bcv::and_ppg(32);
+    let ct = CtIlp::build(&v32, cfg);
+    let base = BranchConfig {
+        node_limit: 1,
+        time_limit: Some(Duration::from_secs(120)),
+        initial: ct.warm_start(&dadda_schedule(&v32)),
+        cuts: CutMode::Off,
+        ..BranchConfig::default()
+    };
+    let run = Run::measure(&ct.model, &base, 1)?;
+    eprintln!(
+        "  CT m=32 root: {} iters in {:.2}s, ftran {}/{} hyper, btran {}/{} hyper ({:.0}% rate)",
+        run.root.root_lp_iters,
+        run.seconds,
+        run.ftran_hyper,
+        run.ftran,
+        run.btran_hyper,
+        run.btran,
+        100.0 * run.hyper_rate,
+    );
+    if run.ftran_hyper == 0 && run.btran_hyper == 0 {
+        return Err(
+            "hypersparse regression: no FTRAN/BTRAN took the sparse kernel path on CT m=32"
+                .into(),
+        );
+    }
+    if run.root.root_lp_iters > BASELINE_ROOT_ITERS * ITER_RATIO {
+        return Err(format!(
+            "hypersparse regression: CT m=32 root LP took {} iterations, more than {ITER_RATIO}x \
+             the recorded baseline {BASELINE_ROOT_ITERS}",
+            run.root.root_lp_iters
+        ));
+    }
+    if run.seconds > ROOT_WALL_SECS {
+        return Err(format!(
+            "hypersparse regression: CT m=32 root solve took {:.1}s, budget {ROOT_WALL_SECS}s",
+            run.seconds
+        ));
+    }
+    Ok(())
+}
+
+/// The reduction-safety half of the `--quick` gate: LP reduction presolve
+/// and equilibration scaling are exact reformulations, so switching them
+/// on must never change a certified objective on the quick roster.
+fn quick_reduction_safety_gate() -> Result<(), String> {
+    for n in [8usize, 16, 32, 64] {
+        let model = random_knapsack(n, 0xC0FFEE ^ n as u64);
+        let mut reference: Option<f64> = None;
+        for (reduce, scaling) in [(false, false), (true, false), (false, true), (true, true)] {
+            let base = BranchConfig {
+                reduce,
+                scaling,
+                ..BranchConfig::default()
+            };
+            let run = Run::measure(&model, &base, 1)?;
+            if !run.proved_optimal || !run.certified {
+                return Err(format!(
+                    "roster m={n} [reduce={reduce} scaling={scaling}]: solve was not \
+                     proved-and-certified"
+                ));
+            }
+            match reference {
+                None => reference = Some(run.objective),
+                Some(obj) if (obj - run.objective).abs() > 1e-6 => {
+                    return Err(format!(
+                        "reduction-safety regression on roster m={n}: objective {} under \
+                         [reduce={reduce} scaling={scaling}] vs reference {obj}",
+                        run.objective
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        eprintln!(
+            "  roster m={n}: all reduce/scaling configs proved objective {}",
+            reference.unwrap()
+        );
+    }
+    Ok(())
+}
+
 /// One `root_profile` section entry: the widest models solved under a root
 /// budget, with the per-phase breakdown attached.
 struct RootEntry {
@@ -461,6 +584,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         quick_root_lp_gate(&cfg)?;
         eprintln!("quick cut-safety gate …");
         quick_cut_safety_gate()?;
+        eprintln!("quick hypersparse gate …");
+        quick_hypersparse_gate(&cfg)?;
+        eprintln!("quick reduction-safety gate …");
+        quick_reduction_safety_gate()?;
         eprintln!("quick gates passed");
         return Ok(());
     }

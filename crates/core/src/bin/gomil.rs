@@ -4,16 +4,19 @@
 //! gomil gen <m> [and|mbe] [--out FILE] [--verify off|fast|strict] [--no-verify]
 //!             [--budget-ms N] [--solver-jobs N]
 //!             [--pricing dantzig|devex] [--cuts off|root]
+//!             [--scaling on|off] [--reduce on|off]
 //!                                                      generate + export Verilog
 //! gomil compare <m>                                    Fig. 3-style table at one width
 //! gomil batch <m,m,…> [--all-ppg] [--jobs N] [--repeat K]
 //!             [--cache FILE|--no-cache-file] [--verify off|fast|strict]
 //!             [--budget-ms N] [--solver-jobs N]
 //!             [--pricing dantzig|devex] [--cuts off|root]
+//!             [--scaling on|off] [--reduce on|off]
 //!                                                      concurrent batch via gomil-serve
 //! gomil serve --requests FILE [--jobs N] [--cache FILE|--no-cache-file]
 //!             [--verify off|fast|strict] [--budget-ms N] [--solver-jobs N]
 //!             [--pricing dantzig|devex] [--cuts off|root]
+//!             [--scaling on|off] [--reduce on|off]
 //!                                                      serve a request file
 //! gomil serve --listen ADDR [--http-inflight N] [--http-queue N]
 //!             [--drain-ms N] [--deadline-ms N] [serve flags as above]
@@ -37,9 +40,12 @@
 //! to four pipelines, each searching its tree with two threads.
 //!
 //! `--pricing` picks the simplex pricing rule (`devex` default; `dantzig`
-//! for A/B comparison) and `--cuts` toggles root-node cut separation
-//! (`root` default). Both are latency knobs: every setting proves the
-//! same certified optima, so they do not enter the solve fingerprint.
+//! for A/B comparison), `--cuts` toggles root-node cut separation
+//! (`root` default), `--reduce` toggles the LP reduction presolve
+//! (row/column elimination with a basis-lifting postsolve; `on` default),
+//! and `--scaling` toggles geometric-mean power-of-two row equilibration
+//! (`on` default). All are latency knobs: every setting proves the same
+//! certified optima, so none of them enters the solve fingerprint.
 //!
 //! `--verify` selects the equivalence gate every emitted netlist must
 //! pass: `fast` (default) proves small widths exhaustively and samples
@@ -91,9 +97,11 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 /// down its fallback ladder instead of failing the command),
 /// `--solver-jobs N` runs each branch-and-bound solve with `N` worker
 /// threads (1, the default, is the sequential solver),
-/// `--pricing {dantzig,devex}` picks the simplex pricing rule, and
-/// `--cuts {off,root}` toggles root cut separation. All four are latency
-/// knobs: every setting proves the same certified optima.
+/// `--pricing {dantzig,devex}` picks the simplex pricing rule,
+/// `--cuts {off,root}` toggles root cut separation, and
+/// `--scaling {on,off}` / `--reduce {on,off}` toggle LP equilibration
+/// scaling and the reduction presolve. All are latency knobs: every
+/// setting proves the same certified optima.
 fn cfg_from_args(args: &[String]) -> GomilConfig {
     let mut cfg = GomilConfig::default();
     if let Some(ms) = args
@@ -118,6 +126,12 @@ fn cfg_from_args(args: &[String]) -> GomilConfig {
     if let Some(c) = flag_value(args, "--cuts").and_then(|s| gomil_ilp::CutMode::from_name(s)) {
         cfg.cuts = c;
     }
+    if let Some(s) = flag_value(args, "--scaling").and_then(|v| on_off(v)) {
+        cfg.scaling = s;
+    }
+    if let Some(r) = flag_value(args, "--reduce").and_then(|v| on_off(v)) {
+        cfg.reduce = r;
+    }
     // `--no-verify` predates the tiered gate and is kept as an alias for
     // `--verify off`; an explicit `--verify MODE` wins.
     if args.iter().any(|a| a == "--no-verify") {
@@ -127,6 +141,15 @@ fn cfg_from_args(args: &[String]) -> GomilConfig {
         cfg.verify = mode;
     }
     cfg
+}
+
+/// Parses an `on`/`off` flag value (`true`/`false` accepted as aliases).
+fn on_off(s: &str) -> Option<bool> {
+    match s {
+        "on" | "true" => Some(true),
+        "off" | "false" => Some(false),
+        _ => None,
+    }
 }
 
 fn parse_m(args: &[String]) -> Result<usize, Box<dyn std::error::Error>> {

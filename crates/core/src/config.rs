@@ -58,6 +58,17 @@ pub struct GomilConfig {
     /// identical either way, so this too stays out of
     /// [`solve_fingerprint`](Self::solve_fingerprint).
     pub cuts: CutMode,
+    /// Geometric-mean power-of-two row equilibration of every LP basis
+    /// matrix before the solve (CLI `--scaling {on,off}`). An exact
+    /// reformulation — scaled and unscaled solves certify the same
+    /// objectives — so like `pricing` it is a latency knob excluded from
+    /// [`solve_fingerprint`](Self::solve_fingerprint).
+    pub scaling: bool,
+    /// LP reduction presolve (CLI `--reduce {on,off}`): empty/singleton/
+    /// duplicate-row elimination and fixed-column substitution with full
+    /// postsolve, applied per LP relaxation. Also an exact reformulation
+    /// and hence a latency knob outside the fingerprint.
+    pub reduce: bool,
     /// Equivalence-verification effort (CLI `--verify {off,fast,strict}`).
     /// Every emitted design carries the resulting
     /// [`EquivVerdict`](gomil_netlist::EquivVerdict); a `Failed` verdict
@@ -84,6 +95,8 @@ impl Default for GomilConfig {
             solver_jobs: 1,
             pricing: Pricing::default(),
             cuts: CutMode::default(),
+            scaling: true,
+            reduce: true,
             verify: VerifyMode::Fast,
         }
     }
@@ -177,6 +190,8 @@ mod tests {
             solver_jobs: 8,
             pricing: Pricing::Dantzig,
             cuts: CutMode::Off,
+            scaling: false,
+            reduce: false,
             ..GomilConfig::default()
         };
         assert_eq!(base.solve_fingerprint(), budgeted.solve_fingerprint());

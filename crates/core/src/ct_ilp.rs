@@ -213,6 +213,8 @@ impl CtIlp {
             jobs: cfg.solver_jobs,
             pricing: cfg.pricing,
             cuts: cfg.cuts,
+            scaling: cfg.scaling,
+            reduce: cfg.reduce,
             ..BranchConfig::default()
         };
         let mut sol = self.model.solve_with(&branch)?;

@@ -218,6 +218,14 @@ pub struct SolveStats {
     pub lp_warm_hits: u64,
     /// Basis refactorizations (eta-file rebuilds) across all LP solves.
     pub lp_refactors: u64,
+    /// Forward transformations (FTRAN) across all LP solves.
+    pub lp_ftran: u64,
+    /// FTRANs that took the hypersparse (sparse-rhs) kernel path.
+    pub lp_ftran_hyper: u64,
+    /// Backward transformations (BTRAN) across all LP solves.
+    pub lp_btran: u64,
+    /// BTRANs that took the hypersparse kernel path.
+    pub lp_btran_hyper: u64,
     /// Whether optimality was proven within the budget.
     pub proven_optimal: bool,
     /// Relative optimality gap of the returned incumbent.
@@ -249,6 +257,10 @@ impl From<&Solution> for SolveStats {
             lp_warm_attempts: s.lp_warm_attempts(),
             lp_warm_hits: s.lp_warm_hits(),
             lp_refactors: s.lp_refactors(),
+            lp_ftran: s.lp_ftran(),
+            lp_ftran_hyper: s.lp_ftran_hyper(),
+            lp_btran: s.lp_btran(),
+            lp_btran_hyper: s.lp_btran_hyper(),
             proven_optimal: s.is_optimal(),
             gap: s.gap(),
             incumbent_source: s.incumbent_source(),
@@ -274,6 +286,17 @@ impl SolveStats {
             0.0
         } else {
             self.lp_warm_hits as f64 / self.lp_warm_attempts as f64
+        }
+    }
+
+    /// Fraction of FTRAN/BTRAN applications that ran on the hypersparse
+    /// kernel path (0.0 when no transformations were recorded).
+    pub fn hyper_rate(&self) -> f64 {
+        let total = self.lp_ftran + self.lp_btran;
+        if total == 0 {
+            0.0
+        } else {
+            (self.lp_ftran_hyper + self.lp_btran_hyper) as f64 / total as f64
         }
     }
 }
@@ -649,6 +672,8 @@ pub fn joint_ilp_hinted(
         jobs: cfg.solver_jobs,
         pricing: cfg.pricing,
         cuts: cfg.cuts,
+        scaling: cfg.scaling,
+        reduce: cfg.reduce,
         ..BranchConfig::default()
     };
     let mut sol = jm.model.solve_with(&branch)?;

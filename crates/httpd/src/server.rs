@@ -35,6 +35,9 @@ use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Reques
 use crate::json::{self, Json};
 use gomil_arith::PpgKind;
 use gomil_budget::{parse_deadline_ms, Budget};
+use gomil_ilp::{
+    BranchConfig, Model, Solution as IlpSolution, SolveError as IlpSolveError,
+};
 use gomil_serve::{
     json_string, RungLatency, ServeError, ServeOutcome, SolveKey, SolveRequest, SolveService,
 };
@@ -495,7 +498,8 @@ fn route(
             reply_json(stream, 200, "{\"status\":\"draining\"}\n", close)
         }
         ("POST", "/solve") => handle_solve(shared, stream, request, close),
-        ("GET", "/solve") | ("POST", "/healthz" | "/metrics") => {
+        ("POST", "/lp") => handle_lp(shared, stream, request, close),
+        ("GET", "/solve" | "/lp") | ("POST", "/healthz" | "/metrics") => {
             reply_error(stream, 405, "method not allowed", close)
         }
         _ => reply_error(stream, 404, "unknown endpoint", close),
@@ -666,6 +670,138 @@ fn blocking_solve(
             close,
         ),
         Err(e) => reply_error(stream, serve_error_status(&e), &e.to_string(), close),
+    }
+}
+
+/// `POST /lp`: solve a raw CPLEX LP-format model uploaded as the request
+/// body. Unlike `/solve` there is no cache (arbitrary models have no
+/// design identity), but the request goes through the same admission
+/// control and honors the same `X-Gomil-Deadline-Ms` header — an
+/// uploaded model competes for the same solver permits as a design
+/// solve, so a flood of `/lp` posts sheds instead of piling up.
+fn handle_lp(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    close: bool,
+) -> io::Result<()> {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return reply_error(stream, 400, "body is not UTF-8", close);
+    };
+    if text.trim().is_empty() {
+        return reply_error(stream, 400, "empty body: expected an LP-format model", close);
+    }
+    let model = match Model::from_lp_format(text) {
+        Ok(m) => m,
+        Err(e) => return reply_error(stream, 400, &e.to_string(), close),
+    };
+    let deadline = match request.header("x-gomil-deadline-ms") {
+        Some(value) => match parse_deadline_ms(value) {
+            Some(d) => Some(d),
+            None => {
+                return reply_error(
+                    stream,
+                    400,
+                    &format!("invalid X-Gomil-Deadline-Ms {value:?}"),
+                    close,
+                )
+            }
+        },
+        None => None,
+    };
+    let budget = match deadline.or(shared.cfg.default_deadline) {
+        Some(limit) => Budget::with_limit(limit),
+        None => Budget::unlimited(),
+    };
+    match shared.admission.acquire(
+        shared.cfg.max_inflight.max(1),
+        shared.cfg.max_queue,
+        budget.deadline(),
+    ) {
+        Ticket::Shed => {
+            shared
+                .service
+                .metrics()
+                .shed
+                .fetch_add(1, Ordering::Relaxed);
+            let retry = shared.retry_after_secs().to_string();
+            write_response(
+                stream,
+                429,
+                "application/json",
+                b"{\"error\":\"overloaded, retry later\"}\n",
+                &[("Retry-After", &retry)],
+                close,
+            )
+        }
+        Ticket::Draining => reply_error(stream, 503, "server is draining", close),
+        Ticket::Admitted => {
+            let id = shared.register_budget(&budget);
+            let cfg = BranchConfig {
+                budget: budget.clone(),
+                ..BranchConfig::default()
+            };
+            // An arbitrary uploaded model can trip solver panics the
+            // design pipeline never would; contain them to a 500.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                model.solve_with(&cfg)
+            }));
+            shared.unregister_budget(id);
+            shared.admission.release();
+            if budget.check().is_err() {
+                shared
+                    .service
+                    .metrics()
+                    .deadline_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            match result {
+                Ok(solved) => reply_json(stream, 200, &lp_reply_json(&model, &solved), close),
+                Err(_) => reply_error(stream, 500, "solver panicked", close),
+            }
+        }
+    }
+}
+
+/// The `POST /lp` reply. Model outcomes (infeasible, unbounded, limit)
+/// are 200s with a `status` field — they are answers about the uploaded
+/// model, not transport failures.
+fn lp_reply_json(model: &Model, result: &Result<IlpSolution, IlpSolveError>) -> String {
+    match result {
+        Ok(sol) => {
+            let mut vars = String::new();
+            for (i, v) in sol.values().iter().enumerate() {
+                if i > 0 {
+                    vars.push(',');
+                }
+                let name = model.var_name(gomil_ilp::Var::from_index(i));
+                vars.push_str(&format!("{}:{}", json_string(name), json_number(*v)));
+            }
+            format!(
+                "{{\"status\":{},\"objective\":{},\"gap\":{},\"nodes\":{},\"certified\":{},\"vars\":{{{vars}}}}}\n",
+                json_string(if sol.is_optimal() { "optimal" } else { "feasible" }),
+                json_number(sol.objective()),
+                json_number(sol.gap()),
+                sol.nodes(),
+                sol.certificate().is_some(),
+            )
+        }
+        Err(IlpSolveError::Infeasible) => "{\"status\":\"infeasible\"}\n".to_string(),
+        Err(IlpSolveError::Unbounded) => "{\"status\":\"unbounded\"}\n".to_string(),
+        Err(e) => format!(
+            "{{\"status\":\"error\",\"error\":{}}}\n",
+            json_string(&e.to_string())
+        ),
+    }
+}
+
+/// JSON-safe float rendering: finite values via shortest round-trip,
+/// non-finite as null (JSON has no Infinity/NaN literals).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 

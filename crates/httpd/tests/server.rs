@@ -212,6 +212,46 @@ fn bursts_past_the_queue_shed_with_429_and_retry_after() {
     join.join().unwrap().unwrap();
 }
 
+/// `POST /lp` solves an uploaded LP-format model with the real branch
+/// and bound (no synthetic solver in this path) and reports model
+/// outcomes — optimal, infeasible — as 200s with a status field.
+#[test]
+fn post_lp_solves_uploaded_models() {
+    let (addr, handle, join, invocations) = start_server(1, HttpdConfig::default());
+
+    let knap = "Maximize\n obj: +3 a +4 b +2 c\n\
+                Subject To\n weight: +2 a +3 b +1 c <= 4\n\
+                Binaries\n a b c\nEnd\n";
+    let resp = client::request(&addr, "POST", "/lp", &[], knap.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let body = resp.text();
+    assert!(body.contains("\"status\":\"optimal\""), "{body}");
+    assert!(body.contains("\"objective\":6"), "{body}");
+    assert!(body.contains("\"certified\":true"), "{body}");
+    assert!(body.contains("\"b\":1"), "{body}");
+
+    // An infeasible model is an answer, not an error.
+    let infeasible = "Minimize\n obj: x\nSubject To\n lo: x >= 2\n hi: x <= 1\nEnd\n";
+    let resp = client::request(&addr, "POST", "/lp", &[], infeasible.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("\"status\":\"infeasible\""));
+
+    // Unparseable text and empty bodies are client errors.
+    let bad = client::request(&addr, "POST", "/lp", &[], b"this is not an lp file").unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("error"));
+    let empty = client::request(&addr, "POST", "/lp", &[], b"").unwrap();
+    assert_eq!(empty.status, 400);
+    let wrong_method = client::request(&addr, "GET", "/lp", &[], b"").unwrap();
+    assert_eq!(wrong_method.status, 405);
+
+    // /lp never touches the design pipeline or its cache.
+    assert_eq!(invocations.load(Ordering::SeqCst), 0);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
 /// A request covered by the precomputed design mart must be served with
 /// zero solver invocations and zero admission permits — even while the
 /// queue is actively shedding — and the hit must show up in `/metrics`.

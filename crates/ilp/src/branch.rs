@@ -31,11 +31,13 @@
 use crate::certify::certify_values;
 use crate::expr::Var;
 use crate::model::{Cmp, Model, Sense, VarKind};
-use crate::presolve::{presolve_with_opts, PresolveOpts, StrengthenedRow};
+use crate::presolve::{
+    presolve_with_opts, reduce_lp, LpReduction, PresolveOpts, ReductionStats, StrengthenedRow,
+};
 use crate::propagate::propagate_bounds;
 use crate::simplex::{
-    cover_cuts, gomory_cuts, resolve_lp, solve_lp_from, with_cut_rows, Basis, LpError, LpOutcome,
-    LpProblem, LpResult, Pricing, SimplexOpts, FEAS_TOL,
+    cover_cuts, gomory_cuts, resolve_lp, solve_lp_from, with_cut_rows, Basis, KernelStats, LpError,
+    LpOutcome, LpProblem, LpResult, Pricing, SimplexOpts, FEAS_TOL,
 };
 use crate::solution::{
     IncumbentEvent, IncumbentSource, RootProfile, Solution, SolveError, SolveStatus,
@@ -143,6 +145,14 @@ pub struct BranchConfig {
     /// strengthening) on top of the activity-bound fixpoint. Off on the
     /// numerical-retry path.
     pub probing: bool,
+    /// Geometric-mean row equilibration of the standardized LP (exact
+    /// power-of-two factors, no unscaling needed). Off on the
+    /// numerical-retry path so retries see the untouched coefficients.
+    pub scaling: bool,
+    /// LP reduction presolve (empty/singleton/redundant/duplicate row and
+    /// fixed/empty column elimination with full basis postsolve) before
+    /// every from-scratch LP solve. Off on the numerical-retry path.
+    pub reduce: bool,
 }
 
 impl Default for BranchConfig {
@@ -164,6 +174,8 @@ impl Default for BranchConfig {
             pricing: Pricing::default(),
             cuts: CutMode::default(),
             probing: true,
+            scaling: true,
+            reduce: true,
         }
     }
 }
@@ -514,6 +526,9 @@ pub(crate) struct SearchCtx<'a> {
     pub(crate) root_basis: Option<Arc<Basis>>,
     /// Per-phase breakdown of the work done in [`prepare`].
     pub(crate) root_profile: RootProfile,
+    /// Kernel hypersparsity counters of the root stage (the engines add
+    /// their own node-loop counters on top in [`finish`]).
+    pub(crate) root_kernel: KernelStats,
 }
 
 impl SearchCtx<'_> {
@@ -571,6 +586,8 @@ pub(crate) struct SearchCounters {
     pub(crate) warm_hits: u64,
     /// Basis re-inversions (eta-file rebuilds) across all LP solves.
     pub(crate) refactors: u64,
+    /// FTRAN/BTRAN hypersparsity counters across all LP solves.
+    pub(crate) kernel: KernelStats,
 }
 
 /// What a search engine hands back for final assembly.
@@ -630,6 +647,12 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
         &costs,
         &pre.strengthened,
     );
+    if config.scaling {
+        let ss = std.lp.equilibrate();
+        profile.scale_rows = ss.rows_scaled;
+        profile.scale_range_before = ss.range_before;
+        profile.scale_range_after = ss.range_after;
+    }
     profile.presolve_us = t_pre.elapsed().as_micros() as u64;
     // `std.obj_offset` holds the raw model constant plus fixed-variable cost
     // contributions (the latter already in minimize space). In maximize mode
@@ -643,7 +666,15 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
 
     // Solve the root LP once, run the cut loop on it, and hand the final
     // basis to the engines so their root node is a near-free warm restart.
-    let root_basis = root_stage(&mut std, &lp_opts, config.cuts, &mut profile)?;
+    let mut root_kernel = KernelStats::default();
+    let root_basis = root_stage(
+        &mut std,
+        &lp_opts,
+        config.cuts,
+        config.reduce,
+        &mut profile,
+        &mut root_kernel,
+    )?;
 
     let ctx = SearchCtx {
         model,
@@ -657,6 +688,7 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
         start,
         root_basis,
         root_profile: profile,
+        root_kernel,
     };
 
     let mut incumbent: Option<Incumbent> = None;
@@ -707,6 +739,63 @@ fn prepare<'a>(model: &'a Model, config: &'a BranchConfig) -> Result<Prepared<'a
     })
 }
 
+/// `solve_lp_from` behind the LP reduction presolve: shrink the problem
+/// (empty/redundant/singleton/duplicate rows, fixed/empty columns), solve
+/// the reduction, then lift the solution *and basis* back to the full
+/// space so certification, warm restarts and cut separation all keep
+/// operating on the original rows. With `reduce` off — or when reduction
+/// removes nothing — this is exactly `solve_lp_from`. `stats_out`, when
+/// given, receives the reduction counters of this call.
+pub(crate) fn solve_lp_reduced(
+    p: &LpProblem,
+    lb: &[f64],
+    ub: &[f64],
+    opts: &SimplexOpts,
+    reduce: bool,
+    stats_out: Option<&mut ReductionStats>,
+) -> Result<LpResult, LpError> {
+    if !reduce {
+        return solve_lp_from(p, lb, ub, opts);
+    }
+    let red = match reduce_lp(p, lb, ub) {
+        LpReduction::Infeasible => {
+            return Ok(LpResult {
+                outcome: LpOutcome::Infeasible,
+                iterations: 0,
+                refactors: 0,
+                first_factor_us: 0,
+                kernel: KernelStats::default(),
+                basis: None,
+            })
+        }
+        LpReduction::Reduced(r) => r,
+    };
+    if let Some(s) = stats_out {
+        *s = red.stats;
+    }
+    if red.is_noop() {
+        return solve_lp_from(p, lb, ub, opts);
+    }
+    let mut res = solve_lp_from(&red.lp, &red.lb, &red.ub, opts)?;
+    res.outcome = match res.outcome {
+        LpOutcome::Optimal { x, obj } => {
+            let (xf, bf) = red.postsolve(lb, ub, &x, res.basis.as_ref());
+            res.basis = bf;
+            LpOutcome::Optimal {
+                x: xf,
+                obj: obj + red.obj_offset,
+            }
+        }
+        other => {
+            // Infeasible/unbounded transfer verbatim (the reduction is an
+            // exact reformulation), but a reduced-space basis is useless.
+            res.basis = None;
+            other
+        }
+    };
+    Ok(res)
+}
+
 /// Bounded number of root cut-separation rounds.
 const MAX_CUT_ROUNDS: usize = 8;
 /// Cuts of each family separated per round.
@@ -726,10 +815,12 @@ fn root_stage(
     std: &mut Standardized,
     lp_opts: &SimplexOpts,
     cuts: CutMode,
+    reduce: bool,
     profile: &mut RootProfile,
+    kernel: &mut KernelStats,
 ) -> Result<Option<Arc<Basis>>, SolveError> {
     let t0 = Instant::now();
-    let result = root_stage_inner(std, lp_opts, cuts, profile);
+    let result = root_stage_inner(std, lp_opts, cuts, reduce, profile, kernel);
     profile.root_lp_us = (t0.elapsed().as_micros() as u64).saturating_sub(profile.cut_us);
     result
 }
@@ -738,9 +829,19 @@ fn root_stage_inner(
     std: &mut Standardized,
     lp_opts: &SimplexOpts,
     cuts: CutMode,
+    reduce: bool,
     profile: &mut RootProfile,
+    kernel: &mut KernelStats,
 ) -> Result<Option<Arc<Basis>>, SolveError> {
-    let res = match solve_lp_from(&std.lp, &std.lp.lb, &std.lp.ub, lp_opts) {
+    let mut red_stats = ReductionStats::default();
+    let res = match solve_lp_reduced(
+        &std.lp,
+        &std.lp.lb,
+        &std.lp.ub,
+        lp_opts,
+        reduce,
+        Some(&mut red_stats),
+    ) {
         Ok(r) => r,
         Err(LpError::Budget { iterations, .. }) => {
             profile.root_lp_iters += iterations;
@@ -748,8 +849,11 @@ fn root_stage_inner(
         }
         Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
     };
+    profile.reduce_rows = red_stats.rows_dropped;
+    profile.reduce_cols = red_stats.cols_dropped;
     profile.root_lp_iters += res.iterations;
     profile.first_factor_us = res.first_factor_us;
+    kernel.absorb(&res.kernel);
     let (mut x, mut obj) = match res.outcome {
         LpOutcome::Optimal { x, obj } => (x, obj),
         // Infeasible / unbounded root: let the engines rediscover it.
@@ -808,14 +912,16 @@ fn root_stage_inner(
         // to a from-scratch solve when the restart goes stale.
         let resolved = match resolve_lp(&std.lp, &std.lp.lb, &std.lp.ub, &basis, lp_opts) {
             Ok(Some(r)) => r,
-            Ok(None) => match solve_lp_from(&std.lp, &std.lp.lb, &std.lp.ub, lp_opts) {
-                Ok(r) => r,
-                Err(LpError::Budget { iterations, .. }) => {
-                    profile.root_lp_iters += iterations;
-                    break;
+            Ok(None) => {
+                match solve_lp_reduced(&std.lp, &std.lp.lb, &std.lp.ub, lp_opts, reduce, None) {
+                    Ok(r) => r,
+                    Err(LpError::Budget { iterations, .. }) => {
+                        profile.root_lp_iters += iterations;
+                        break;
+                    }
+                    Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
                 }
-                Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
-            },
+            }
             Err(LpError::Budget { iterations, .. }) => {
                 profile.root_lp_iters += iterations;
                 break;
@@ -823,6 +929,7 @@ fn root_stage_inner(
             Err(LpError::Numerical(msg)) => return Err(SolveError::Numerical(msg)),
         };
         profile.root_lp_iters += resolved.iterations;
+        kernel.absorb(&resolved.kernel);
         let (nx, nobj) = match resolved.outcome {
             LpOutcome::Optimal { x, obj } => (x, obj),
             // Cuts hold for every integer point, so a cut-infeasible
@@ -870,6 +977,8 @@ pub(crate) fn finish(
     // Root-stage LP iterations happened before the engines took over, so
     // the node-loop counters do not include them.
     let lp_iterations = out.counters.lp_iters + ctx.root_profile.root_lp_iters;
+    let mut kernel = ctx.root_kernel;
+    kernel.absorb(&out.counters.kernel);
     match (out.incumbent, out.limit_hit) {
         (Some((vals, obj, source)), None) => Ok(Solution {
             values: vals,
@@ -883,6 +992,10 @@ pub(crate) fn finish(
             lp_warm_attempts: out.counters.warm_attempts,
             lp_warm_hits: out.counters.warm_hits,
             lp_refactors: out.counters.refactors,
+            lp_ftran: kernel.ftran,
+            lp_ftran_hyper: kernel.ftran_hyper,
+            lp_btran: kernel.btran,
+            lp_btran_hyper: kernel.btran_hyper,
             wall_time: ctx.start.elapsed(),
             incumbent_source: source,
             warm_start,
@@ -905,6 +1018,10 @@ pub(crate) fn finish(
                 lp_warm_attempts: out.counters.warm_attempts,
                 lp_warm_hits: out.counters.warm_hits,
                 lp_refactors: out.counters.refactors,
+                lp_ftran: kernel.ftran,
+                lp_ftran_hyper: kernel.ftran_hyper,
+                lp_btran: kernel.btran,
+                lp_btran_hyper: kernel.btran_hyper,
                 wall_time: ctx.start.elapsed(),
                 incumbent_source: source,
                 warm_start,
@@ -1036,7 +1153,14 @@ fn sequential(
         }
         let res = match res {
             Some(r) => r,
-            None => match solve_lp_from(&std.lp, &lb_buf, &ub_buf, &ctx.lp_opts) {
+            None => match solve_lp_reduced(
+                &std.lp,
+                &lb_buf,
+                &ub_buf,
+                &ctx.lp_opts,
+                ctx.config.reduce,
+                None,
+            ) {
                 Ok(r) => r,
                 Err(LpError::Budget { reason, iterations }) => {
                     // Budget ran out inside the pivot loop: stop gracefully
@@ -1051,6 +1175,7 @@ fn sequential(
         };
         counters.lp_iters += res.iterations;
         counters.refactors += res.refactors;
+        counters.kernel.absorb(&res.kernel);
         let child_basis = res.basis.map(Arc::new);
         let (x, lp_obj) = match res.outcome {
             LpOutcome::Infeasible => {

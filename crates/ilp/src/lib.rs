@@ -71,8 +71,9 @@ pub use branch::{BranchConfig, CutMode};
 pub use certify::{certify, certify_values, Certificate, CertifyError};
 pub use expr::{LinExpr, Var};
 pub use gomil_budget::{Budget, BudgetChecker, BudgetExceeded};
+pub use lp_format::LpParseError;
 pub use model::{Cmp, Model, Sense, VarKind};
-pub use presolve::{PresolveOpts, Presolved};
+pub use presolve::{PresolveOpts, Presolved, ReductionStats};
 pub use simplex::{Pricing, FEAS_TOL};
 pub use solution::{
     IncumbentEvent, IncumbentSource, RootProfile, Solution, SolveError, SolveStatus,

@@ -339,6 +339,8 @@ impl Model {
                     pricing: crate::simplex::Pricing::Dantzig,
                     cuts: branch::CutMode::Off,
                     probing: false,
+                    scaling: false,
+                    reduce: false,
                     ..config.clone()
                 };
                 branch::solve(self, &retry).map_err(|e| match e {

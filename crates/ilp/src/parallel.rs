@@ -39,12 +39,12 @@
 //! [`BudgetChecker`]: gomil_budget::BudgetChecker
 
 use crate::branch::{
-    checked_bound, expand, BoundDelta, Incumbent, PcTables, SearchCounters, SearchCtx,
-    SearchOutcome,
+    checked_bound, expand, solve_lp_reduced, BoundDelta, Incumbent, PcTables, SearchCounters,
+    SearchCtx, SearchOutcome,
 };
 use crate::model::VarKind;
 use crate::propagate::propagate_bounds;
-use crate::simplex::{resolve_lp, solve_lp_from, Basis, LpError, LpOutcome, LpResult, FEAS_TOL};
+use crate::simplex::{resolve_lp, Basis, KernelStats, LpError, LpOutcome, LpResult, FEAS_TOL};
 use crate::solution::{IncumbentEvent, IncumbentSource, SolveError};
 use gomil_budget::BudgetChecker;
 use std::collections::BinaryHeap;
@@ -166,6 +166,10 @@ struct Shared<'c, 'm> {
     warm_attempts: AtomicU64,
     warm_hits: AtomicU64,
     refactors: AtomicU64,
+    ftran: AtomicU64,
+    ftran_hyper: AtomicU64,
+    btran: AtomicU64,
+    btran_hyper: AtomicU64,
 }
 
 /// What processing one node produced.
@@ -350,7 +354,14 @@ impl<'c, 'm> Shared<'c, 'm> {
         }
         let res = match res {
             Some(r) => r,
-            None => match solve_lp_from(&std.lp, lb_buf, ub_buf, &ctx.lp_opts) {
+            None => match solve_lp_reduced(
+                &std.lp,
+                lb_buf,
+                ub_buf,
+                &ctx.lp_opts,
+                ctx.config.reduce,
+                None,
+            ) {
                 Ok(r) => r,
                 Err(LpError::Budget { reason, iterations }) => {
                     self.lp_iters.fetch_add(iterations, Ordering::Relaxed);
@@ -361,6 +372,12 @@ impl<'c, 'm> Shared<'c, 'm> {
         };
         self.lp_iters.fetch_add(res.iterations, Ordering::Relaxed);
         self.refactors.fetch_add(res.refactors, Ordering::Relaxed);
+        self.ftran.fetch_add(res.kernel.ftran, Ordering::Relaxed);
+        self.ftran_hyper
+            .fetch_add(res.kernel.ftran_hyper, Ordering::Relaxed);
+        self.btran.fetch_add(res.kernel.btran, Ordering::Relaxed);
+        self.btran_hyper
+            .fetch_add(res.kernel.btran_hyper, Ordering::Relaxed);
         let child_basis = res.basis.map(Arc::new);
         let (x, lp_obj) = match res.outcome {
             LpOutcome::Infeasible => {
@@ -504,6 +521,10 @@ pub(crate) fn search(
         warm_attempts: AtomicU64::new(0),
         warm_hits: AtomicU64::new(0),
         refactors: AtomicU64::new(0),
+        ftran: AtomicU64::new(0),
+        ftran_hyper: AtomicU64::new(0),
+        btran: AtomicU64::new(0),
+        btran_hyper: AtomicU64::new(0),
     };
 
     std::thread::scope(|s| {
@@ -522,6 +543,12 @@ pub(crate) fn search(
         warm_attempts: shared.warm_attempts.load(Ordering::Relaxed),
         warm_hits: shared.warm_hits.load(Ordering::Relaxed),
         refactors: shared.refactors.load(Ordering::Relaxed),
+        kernel: KernelStats {
+            ftran: shared.ftran.load(Ordering::Relaxed),
+            ftran_hyper: shared.ftran_hyper.load(Ordering::Relaxed),
+            btran: shared.btran.load(Ordering::Relaxed),
+            btran_hyper: shared.btran_hyper.load(Ordering::Relaxed),
+        },
     };
 
     let mut saw_unbounded_root = false;

@@ -236,6 +236,27 @@ impl ColMajor {
     }
 }
 
+/// Telemetry from [`LpProblem::equilibrate`]: how many rows were rescaled
+/// and the coefficient range (max |a| / min |a| over structural entries)
+/// before and after. A shrinking range is the whole point — it is what
+/// keeps pivot magnitudes away from `PIVOT_TOL` on badly-ranged models.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct ScaleStats {
+    /// Rows whose scale factor came out different from 1.0.
+    pub rows_scaled: u64,
+    /// Row-geomean spread before scaling (1.0 for an empty matrix); see
+    /// [`LpProblem::row_geomean_spread`].
+    pub range_before: f64,
+    /// Row-geomean spread after scaling (≤ 2 up to the power-of-two
+    /// rounding whenever scaling actually ran).
+    pub range_after: f64,
+}
+
+/// Row-geomean spread below which [`LpProblem::equilibrate`] leaves the
+/// matrix alone: after a real equilibration the spread is ≤ 2, so a matrix
+/// already within 4× is as good as scaled.
+const SCALE_SKIP_SPREAD: f64 = 4.0;
+
 /// A standardized LP: minimize `costs·x` subject to sparse equality rows
 /// (after slack augmentation) and column bounds.
 #[derive(Debug, Clone)]
@@ -258,6 +279,10 @@ pub(crate) struct LpProblem {
     pub rhs: Vec<f64>,
     /// The same matrix in compressed sparse column form.
     pub cols: ColMajor,
+    /// `Some` once [`equilibrate`](Self::equilibrate) has run, carrying its
+    /// telemetry. Scaling is a pure reformulation over the same structural
+    /// columns (see `equilibrate`), so no unscaling is needed anywhere.
+    pub scaling: Option<ScaleStats>,
 }
 
 impl LpProblem {
@@ -286,6 +311,7 @@ impl LpProblem {
             rows,
             rhs,
             cols,
+            scaling: None,
         }
     }
 
@@ -293,6 +319,101 @@ impl LpProblem {
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn nnz(&self) -> usize {
         self.cols.nnz()
+    }
+
+    /// Spread of the per-row geometric coefficient means: `max/min` over
+    /// rows of `geomean(|a|)` across structural entries (1.0 when no row
+    /// has any). This is the quantity row equilibration controls — the
+    /// within-row relative range is scale-invariant, so a global
+    /// coefficient range would misreport a pure row scaling.
+    fn row_geomean_spread(&self) -> f64 {
+        let mut gmin = f64::INFINITY;
+        let mut gmax = 0.0f64;
+        for (r, row) in self.rows.iter().enumerate() {
+            let slack = (self.num_structural + r) as u32;
+            let mut log_sum = 0.0f64;
+            let mut cnt = 0u32;
+            for &(c, a) in row {
+                if c != slack && a != 0.0 {
+                    log_sum += a.abs().log2();
+                    cnt += 1;
+                }
+            }
+            if cnt > 0 {
+                let g = (log_sum / cnt as f64).exp2();
+                gmin = gmin.min(g);
+                gmax = gmax.max(g);
+            }
+        }
+        if gmax > 0.0 {
+            gmax / gmin
+        } else {
+            1.0
+        }
+    }
+
+    /// Geometric-mean row equilibration with power-of-two factors.
+    ///
+    /// Each row `r` is multiplied by `ρ = 2^(-round(log2 geomean(|a|)))`
+    /// over its structural entries; the slack coefficient is left at 1.0,
+    /// which amounts to the substitution `s' = ρ·s`. Every slack bound set
+    /// produced by `standardize` — `[0, ∞)`, `(-∞, 0]`, `[0, 0]` — is
+    /// invariant under positive scaling, so the scaled problem has exactly
+    /// the same feasible structural points and objective as the original:
+    /// nothing downstream (extraction, certify, cuts) needs to unscale.
+    /// Power-of-two factors make the rescaling FP-exact, and a second call
+    /// is a near-no-op (the post-scale geomean sits in `[2^-½, 2^½]`).
+    ///
+    /// A matrix whose row-geomean spread is already ≤ [`SCALE_SKIP_SPREAD`]
+    /// is left untouched: scaling cannot meaningfully improve it, and the
+    /// perturbed pivot magnitudes would only shift tolerance behavior for
+    /// nothing (measured as a ~2× node-throughput loss on the
+    /// small-integer-coefficient CT models).
+    pub fn equilibrate(&mut self) -> ScaleStats {
+        let before = self.row_geomean_spread();
+        let mut stats = ScaleStats {
+            rows_scaled: 0,
+            range_before: before,
+            range_after: before,
+        };
+        if before <= SCALE_SKIP_SPREAD {
+            self.scaling = Some(stats);
+            return stats;
+        }
+
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            let slack = (self.num_structural + r) as u32;
+            let mut log_sum = 0.0f64;
+            let mut cnt = 0u32;
+            for &(c, a) in row.iter() {
+                if c != slack && a != 0.0 {
+                    log_sum += a.abs().log2();
+                    cnt += 1;
+                }
+            }
+            if cnt == 0 {
+                continue;
+            }
+            let shift = -(log_sum / cnt as f64).round();
+            if shift == 0.0 {
+                continue;
+            }
+            let rho = shift.exp2();
+            for (c, a) in row.iter_mut() {
+                if *c != slack {
+                    *a *= rho;
+                }
+            }
+            self.rhs[r] *= rho;
+            stats.rows_scaled += 1;
+        }
+
+        if stats.rows_scaled > 0 {
+            self.cols = ColMajor::build(self.num_cols, &self.rows);
+        }
+        stats.range_after = self.row_geomean_spread();
+        self.scaling = Some(stats);
+        stats
     }
 }
 
@@ -324,13 +445,15 @@ pub(crate) struct LpResult {
     /// Microseconds spent in the first basis factorization of this solve
     /// (0 when the trivial no-constraint path skipped factorization).
     pub first_factor_us: u64,
+    /// Hypersparsity counters for the FTRAN/BTRAN kernels of this solve.
+    pub kernel: KernelStats,
     /// The final basis when it is warm-restartable (optimal, and no
     /// artificial column basic); `None` otherwise.
     pub basis: Option<Basis>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ColStatus {
+pub(crate) enum ColStatus {
     Basic,
     AtLower,
     AtUpper,
@@ -344,9 +467,9 @@ enum ColStatus {
 #[derive(Debug, Clone)]
 pub(crate) struct Basis {
     /// Basic column per row (`len == rows`), artificials excluded.
-    cols: Vec<u32>,
+    pub(crate) cols: Vec<u32>,
     /// Status per problem column (`len == num_cols`).
-    status: Vec<ColStatus>,
+    pub(crate) status: Vec<ColStatus>,
 }
 
 impl Basis {
@@ -369,8 +492,139 @@ struct Eta {
     row: u32,
     /// `w[row]`, the pivot element.
     pivot: f64,
-    /// Nonzeros of `w`, including the pivot row entry.
+    /// Off-pivot nonzeros of `w`. The pivot-row entry lives in `pivot`
+    /// only, so the FTRAN/BTRAN inner loops need no `i != row` branch.
     nz: Vec<(u32, f64)>,
+}
+
+/// Pattern size past which the hypersparse kernels stop maintaining the
+/// index list and fall back to dense bookkeeping, as a fraction of the row
+/// count. HiGHS uses the same ~10% heuristic: past that density the
+/// pattern upkeep costs more than the dense scan it avoids.
+const HYPER_DENSITY: f64 = 0.1;
+
+#[inline]
+fn hyper_cut(m: usize) -> usize {
+    ((m as f64 * HYPER_DENSITY) as usize).max(16)
+}
+
+/// Per-solve kernel telemetry: total FTRAN/BTRAN applications through the
+/// sparse-capable entry points, and how many stayed on the hypersparse
+/// path (pattern below the density cutover for the whole application).
+/// Dense utility solves (`compute_basics`, `recompute_reduced`) are not
+/// counted — the counters measure the per-pivot kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct KernelStats {
+    pub(crate) ftran: u64,
+    pub(crate) ftran_hyper: u64,
+    pub(crate) btran: u64,
+    pub(crate) btran_hyper: u64,
+}
+
+impl KernelStats {
+    pub(crate) fn absorb(&mut self, o: &KernelStats) {
+        self.ftran += o.ftran;
+        self.ftran_hyper += o.ftran_hyper;
+        self.btran += o.btran;
+        self.btran_hyper += o.btran_hyper;
+    }
+}
+
+/// Sparse working vector for the hypersparse kernels: dense value storage
+/// plus the list of positions that may hold a nonzero (`in_pat` keeps the
+/// list duplicate-free, so consumers may apply non-idempotent updates per
+/// pattern entry). Once the pattern outgrows [`hyper_cut`] the kernels set
+/// `dense` and stop maintaining the list; values stay exact either way —
+/// the flag only switches bookkeeping, and consumers then scan the full
+/// length via [`pattern`](WorkVec::pattern).
+struct WorkVec {
+    vals: Vec<f64>,
+    idx: Vec<u32>,
+    in_pat: Vec<bool>,
+    dense: bool,
+}
+
+impl WorkVec {
+    fn new(m: usize) -> WorkVec {
+        WorkVec {
+            vals: vec![0.0; m],
+            idx: Vec::new(),
+            in_pat: vec![false; m],
+            dense: false,
+        }
+    }
+
+    /// Resets to the zero vector, clearing only the recorded pattern when
+    /// it is still sparse.
+    fn clear(&mut self) {
+        if self.dense {
+            self.vals.fill(0.0);
+            self.in_pat.fill(false);
+        } else {
+            for &i in &self.idx {
+                self.vals[i as usize] = 0.0;
+                self.in_pat[i as usize] = false;
+            }
+        }
+        self.idx.clear();
+        self.dense = false;
+    }
+
+    /// Adds `v` at position `i`, recording the position in the pattern.
+    #[inline]
+    fn add(&mut self, i: usize, v: f64) {
+        if !self.dense && !self.in_pat[i] {
+            self.in_pat[i] = true;
+            self.idx.push(i as u32);
+        }
+        self.vals[i] += v;
+    }
+
+    /// Iterates the positions that may hold a nonzero (all of them once
+    /// dense). Positions may carry an exact zero after cancellation;
+    /// consumers check the value.
+    #[inline]
+    fn pattern(&self) -> impl Iterator<Item = usize> + '_ {
+        let dense_range = if self.dense { 0..self.vals.len() } else { 0..0 };
+        let sparse: &[u32] = if self.dense { &[] } else { &self.idx };
+        dense_range.chain(sparse.iter().map(|&i| i as usize))
+    }
+}
+
+/// Scatter accumulator for row-sweep pricing (`α = ρᵀ·A` over the rows in
+/// ρ's pattern): dense values over the columns plus a duplicate-free list
+/// of touched columns.
+struct Sweep {
+    acc: Vec<f64>,
+    idx: Vec<u32>,
+    mark: Vec<bool>,
+}
+
+impl Sweep {
+    fn new(n: usize) -> Sweep {
+        Sweep {
+            acc: vec![0.0; n],
+            idx: Vec::new(),
+            mark: vec![false; n],
+        }
+    }
+
+    fn clear(&mut self) {
+        for &c in &self.idx {
+            self.acc[c as usize] = 0.0;
+            self.mark[c as usize] = false;
+        }
+        self.idx.clear();
+    }
+
+    #[inline]
+    fn add(&mut self, c: usize, v: f64) {
+        if !self.mark[c] {
+            self.mark[c] = true;
+            self.idx.push(c as u32);
+        }
+        self.acc[c] += v;
+    }
 }
 
 /// Why a simplex phase stopped before proving optimality.
@@ -425,6 +679,18 @@ struct Core<'a> {
     dual_w: Vec<f64>,
     /// Microseconds spent in the first `refactorize` call.
     first_factor_us: u64,
+    /// Eta index pivoting on each row among the *factorization* etas
+    /// (indices `< etas_base`, each with a distinct pivot row), or
+    /// `u32::MAX` when the row has none. Rebuilt by `refactorize`; update
+    /// etas appended since then are not mapped — the hypersparse FTRAN
+    /// scans them sequentially with an O(1) skip.
+    row_eta: Vec<u32>,
+    /// Scratch for Gilbert–Peierls firing in `ftran_sparse`: candidate
+    /// etas in creation order, plus the dedup marks.
+    fire_heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    fire_queued: Vec<bool>,
+    /// Hypersparsity counters for this solve.
+    kernel: KernelStats,
 }
 
 impl Core<'_> {
@@ -462,16 +728,17 @@ impl Core<'_> {
     }
 
     /// FTRAN: overwrites `v ← B⁻¹·v` by applying the eta file in creation
-    /// order.
+    /// order. Dense variant for full-length right-hand sides
+    /// (`compute_basics`); the pivot loops use [`ftran_sparse`].
+    ///
+    /// [`ftran_sparse`]: Core::ftran_sparse
     fn ftran(&self, v: &mut [f64]) {
         for e in &self.etas {
             let r = e.row as usize;
             let t = v[r] / e.pivot;
             if t != 0.0 {
                 for &(i, w) in &e.nz {
-                    if i != e.row {
-                        v[i as usize] -= w * t;
-                    }
+                    v[i as usize] -= w * t;
                 }
             }
             v[r] = t;
@@ -479,32 +746,183 @@ impl Core<'_> {
     }
 
     /// BTRAN: overwrites `v ← B⁻ᵀ·v` by applying the transposed etas in
-    /// reverse order.
+    /// reverse order. Dense variant for full-length vectors (pricing `y`,
+    /// `recompute_reduced`); the dual's `ρ = B⁻ᵀ·e_r` uses
+    /// [`btran_sparse`](Core::btran_sparse).
     fn btran(&self, v: &mut [f64]) {
         for e in self.etas.iter().rev() {
             let r = e.row as usize;
             let mut s = v[r];
             for &(i, w) in &e.nz {
-                if i != e.row {
-                    s -= w * v[i as usize];
-                }
+                s -= w * v[i as usize];
             }
             v[r] = s / e.pivot;
         }
     }
 
+    /// Hypersparse FTRAN: `v ← B⁻¹·v` where `v` carries its own nonzero
+    /// pattern.
+    ///
+    /// Factorization etas (indices `< etas_base`) have distinct pivot
+    /// rows, mapped in `row_eta`; a min-heap fires exactly the etas whose
+    /// pivot row holds a nonzero, in creation order, so the cost is
+    /// proportional to the fill path reached from the rhs pattern rather
+    /// than the whole eta file (Gilbert–Peierls, the same scheme
+    /// `refactorize` uses internally). This is valid because an eta whose
+    /// pivot-row value is exactly zero is a no-op, and fill produced by a
+    /// fired eta can only trigger etas created later. Update etas appended
+    /// since the last re-inversion (at most [`REFACTOR_PERIOD`], possibly
+    /// with repeated pivot rows) are scanned sequentially with an O(1)
+    /// zero-pivot-row skip. When the pattern outgrows [`hyper_cut`] the
+    /// remaining etas are applied densely — the arithmetic is identical
+    /// either way.
+    fn ftran_sparse(&mut self, v: &mut WorkVec) {
+        self.kernel.ftran += 1;
+        let cut = hyper_cut(self.m);
+        // First factorization eta still to be applied densely after a
+        // cutover; etas_base when the hypersparse pass ran to completion.
+        let mut resume = 0usize;
+        if !v.dense && v.idx.len() <= cut {
+            debug_assert!(self.fire_heap.is_empty());
+            for &i in &v.idx {
+                let e = self.row_eta[i as usize];
+                if e != u32::MAX && !self.fire_queued[e as usize] {
+                    self.fire_queued[e as usize] = true;
+                    self.fire_heap.push(std::cmp::Reverse(e));
+                }
+            }
+            resume = self.etas_base;
+            while let Some(std::cmp::Reverse(ei)) = self.fire_heap.pop() {
+                self.fire_queued[ei as usize] = false;
+                let e = &self.etas[ei as usize];
+                let r = e.row as usize;
+                let t = v.vals[r] / e.pivot;
+                v.vals[r] = t;
+                if t != 0.0 {
+                    for &(i, w) in &e.nz {
+                        let iu = i as usize;
+                        if !v.in_pat[iu] {
+                            v.in_pat[iu] = true;
+                            v.idx.push(i);
+                        }
+                        v.vals[iu] -= w * t;
+                        let re = self.row_eta[iu];
+                        if re != u32::MAX && re > ei && !self.fire_queued[re as usize] {
+                            self.fire_queued[re as usize] = true;
+                            self.fire_heap.push(std::cmp::Reverse(re));
+                        }
+                    }
+                }
+                if v.idx.len() > cut {
+                    // Pattern went dense mid-firing. Values are exact and
+                    // every eta ≤ ei that had to fire has fired (pop order
+                    // is increasing), so the rest of the factorization
+                    // file applies densely from ei + 1.
+                    v.dense = true;
+                    resume = ei as usize + 1;
+                    while let Some(std::cmp::Reverse(e)) = self.fire_heap.pop() {
+                        self.fire_queued[e as usize] = false;
+                    }
+                    break;
+                }
+            }
+        } else {
+            v.dense = true;
+        }
+        if v.dense {
+            for e in &self.etas[resume..self.etas_base] {
+                let r = e.row as usize;
+                let t = v.vals[r] / e.pivot;
+                if t != 0.0 {
+                    for &(i, w) in &e.nz {
+                        v.vals[i as usize] -= w * t;
+                    }
+                }
+                v.vals[r] = t;
+            }
+        }
+        // Update etas: applied in append order; a zero pivot-row value is
+        // a no-op in O(1).
+        for e in &self.etas[self.etas_base..] {
+            let r = e.row as usize;
+            if v.vals[r] == 0.0 {
+                continue;
+            }
+            let t = v.vals[r] / e.pivot;
+            v.vals[r] = t;
+            if t == 0.0 {
+                continue;
+            }
+            if v.dense {
+                for &(i, w) in &e.nz {
+                    v.vals[i as usize] -= w * t;
+                }
+            } else {
+                for &(i, w) in &e.nz {
+                    let iu = i as usize;
+                    if !v.in_pat[iu] {
+                        v.in_pat[iu] = true;
+                        v.idx.push(i);
+                    }
+                    v.vals[iu] -= w * t;
+                }
+                if v.idx.len() > cut {
+                    v.dense = true;
+                }
+            }
+        }
+        if !v.dense {
+            self.kernel.ftran_hyper += 1;
+        }
+    }
+
+    /// BTRAN with pattern tracking: `v ← B⁻ᵀ·v`, recording which positions
+    /// become nonzero. Each eta still costs O(|nz|) — the transposed
+    /// dependency graph is not materialized — so unlike FTRAN the win is
+    /// not in the eta pass but in what the caller does with the resulting
+    /// pattern: row-sweep pricing over only the rows with `ρ_r ≠ 0`
+    /// instead of a dot product against every column.
+    fn btran_sparse(&mut self, v: &mut WorkVec) {
+        self.kernel.btran += 1;
+        let cut = hyper_cut(self.m);
+        for e in self.etas.iter().rev() {
+            let r = e.row as usize;
+            let mut s = v.vals[r];
+            for &(i, w) in &e.nz {
+                s -= w * v.vals[i as usize];
+            }
+            let s = s / e.pivot;
+            if !v.dense && s != 0.0 && !v.in_pat[r] {
+                v.in_pat[r] = true;
+                v.idx.push(r as u32);
+                if v.idx.len() > cut {
+                    v.dense = true;
+                }
+            }
+            v.vals[r] = s;
+        }
+        if !v.dense {
+            self.kernel.btran_hyper += 1;
+        }
+    }
+
     /// Appends the eta recorded by a pivot on row `r` with FTRAN'd column
-    /// `w`.
-    fn push_eta(&mut self, r: usize, w: &[f64]) {
-        let nz: Vec<(u32, f64)> = w
-            .iter()
-            .enumerate()
-            .filter(|&(_, &v)| v != 0.0)
-            .map(|(i, &v)| (i as u32, v))
-            .collect();
+    /// `w`. The nonzero list is pre-sized from the touched count and
+    /// excludes the pivot-row entry (it lives in `pivot`).
+    fn push_eta(&mut self, r: usize, w: &WorkVec) {
+        let mut nz: Vec<(u32, f64)> = Vec::with_capacity(if w.dense {
+            16
+        } else {
+            w.idx.len().saturating_sub(1)
+        });
+        for i in w.pattern() {
+            if i != r && w.vals[i] != 0.0 {
+                nz.push((i as u32, w.vals[i]));
+            }
+        }
         self.etas.push(Eta {
             row: r as u32,
-            pivot: w[r],
+            pivot: w.vals[r],
             nz,
         });
     }
@@ -542,9 +960,10 @@ impl Core<'_> {
         let mut w = vec![0.0f64; self.m];
         let mut touched: Vec<u32> = Vec::new();
         let mut is_touched = vec![false; self.m];
-        // Eta index pivoting on each row (every re-inversion eta has a
-        // distinct pivot row), or `u32::MAX` when the row has none.
-        let mut row_eta = vec![u32::MAX; self.m];
+        // Rebuild the row → eta map (every re-inversion eta has a distinct
+        // pivot row); `ftran_sparse` keeps using it after we return.
+        self.row_eta.clear();
+        self.row_eta.resize(self.m, u32::MAX);
         // Candidate etas to fire for the current column, popped in
         // creation order; `queued` dedupes pushes.
         let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
@@ -577,7 +996,7 @@ impl Core<'_> {
                     &mut heap,
                     &mut queued,
                     0,
-                    &row_eta,
+                    &self.row_eta,
                 );
             });
             // Fire only the etas reachable from the column's pattern; fill
@@ -592,18 +1011,16 @@ impl Core<'_> {
                     // The eta's own nz list is borrowed from self.etas, so
                     // fill bookkeeping is inlined rather than via `touch`.
                     for &(i, ww) in &e.nz {
-                        if i != e.row {
-                            let iu = i as usize;
-                            if !is_touched[iu] {
-                                is_touched[iu] = true;
-                                touched.push(i);
-                            }
-                            w[iu] -= ww * t;
-                            let re = row_eta[iu];
-                            if re != u32::MAX && re > ei && !queued[re as usize] {
-                                queued[re as usize] = true;
-                                heap.push(std::cmp::Reverse(re));
-                            }
+                        let iu = i as usize;
+                        if !is_touched[iu] {
+                            is_touched[iu] = true;
+                            touched.push(i);
+                        }
+                        w[iu] -= ww * t;
+                        let re = self.row_eta[iu];
+                        if re != u32::MAX && re > ei && !queued[re as usize] {
+                            queued[re as usize] = true;
+                            heap.push(std::cmp::Reverse(re));
                         }
                     }
                 }
@@ -629,12 +1046,14 @@ impl Core<'_> {
                     .iter()
                     .all(|&ti| ti as usize == r || w[ti as usize] == 0.0);
             if !unit {
-                let nz: Vec<(u32, f64)> = touched
-                    .iter()
-                    .filter(|&&ti| w[ti as usize] != 0.0)
-                    .map(|&ti| (ti, w[ti as usize]))
-                    .collect();
-                row_eta[r] = self.etas.len() as u32;
+                let mut nz: Vec<(u32, f64)> = Vec::with_capacity(touched.len().saturating_sub(1));
+                for &ti in &touched {
+                    let i = ti as usize;
+                    if i != r && w[i] != 0.0 {
+                        nz.push((ti, w[i]));
+                    }
+                }
+                self.row_eta[r] = self.etas.len() as u32;
                 self.etas.push(Eta {
                     row: r as u32,
                     pivot: w[r],
@@ -705,8 +1124,9 @@ impl Core<'_> {
         let mut stalled: u32 = 0;
         let opt_tol = OPT_TOL * opts.tol_scale.max(1.0);
         let mut y = vec![0.0f64; self.m];
-        let mut w = vec![0.0f64; self.m];
-        let mut rho = vec![0.0f64; self.m];
+        let mut w = WorkVec::new(self.m);
+        let mut rho = WorkVec::new(self.m);
+        let mut sweep = Sweep::new(self.n);
         loop {
             self.check_limits(opts)?;
             let bland = opts.force_bland || stalled >= STALL_LIMIT;
@@ -758,18 +1178,17 @@ impl Core<'_> {
             self.iterations += 1;
 
             // --- w = B⁻¹·a_q, the tableau column of q.
-            for v in w.iter_mut() {
-                *v = 0.0;
-            }
-            self.for_col(q, |r, a| w[r] = a);
-            self.ftran(&mut w);
+            w.clear();
+            self.for_col(q, |r, a| w.add(r, a));
+            self.ftran_sparse(&mut w);
 
-            // --- Ratio test (bounded variables).
+            // --- Ratio test (bounded variables), over w's pattern only.
             // Entering variable moves by t ≥ 0 in direction `dir`.
             let mut t_max = self.ub[q] - self.lb[q]; // bound-flip distance
             let mut leave: Option<usize> = None; // limiting row
             let mut leave_piv: f64 = 0.0;
-            for (r, &wr) in w.iter().enumerate() {
+            for r in w.pattern() {
+                let wr = w.vals[r];
                 let alpha = dir * wr;
                 if alpha.abs() <= PIVOT_TOL {
                     continue;
@@ -809,7 +1228,8 @@ impl Core<'_> {
 
             // --- Apply the move.
             if t_max > 0.0 {
-                for (r, &a) in w.iter().enumerate() {
+                for r in w.pattern() {
+                    let a = w.vals[r];
                     if a != 0.0 {
                         let b = self.basis[r] as usize;
                         self.val[b] -= dir * t_max * a;
@@ -835,10 +1255,10 @@ impl Core<'_> {
                 Some(r) => {
                     let b = self.basis[r] as usize;
                     if devex {
-                        self.update_devex_primal(q, r, &w, &mut rho);
+                        self.update_devex_primal(q, r, &w, &mut rho, &mut sweep);
                     }
                     // Leaving variable lands exactly on the bound it hit.
-                    let alpha = dir * w[r];
+                    let alpha = dir * w.vals[r];
                     self.status[b] = if alpha > 0.0 {
                         self.val[b] = self.lb[b];
                         ColStatus::AtLower
@@ -861,28 +1281,67 @@ impl Core<'_> {
     /// `α_r = eᵣᵀB⁻¹A`; every nonbasic weight takes
     /// `max(w_j, (α_rj/α_rq)²·w_q)` and the leaving column gets
     /// `max(w_q/α_rq², 1)` (Forrest & Goldfarb 1992).
-    fn update_devex_primal(&mut self, q: usize, r: usize, w: &[f64], rho: &mut [f64]) {
-        let piv = w[r];
+    fn update_devex_primal(
+        &mut self,
+        q: usize,
+        r: usize,
+        w: &WorkVec,
+        rho: &mut WorkVec,
+        sweep: &mut Sweep,
+    ) {
+        let piv = w.vals[r];
         if piv.abs() <= PIVOT_TOL {
             return;
         }
         let wq = self.devex_w[q].max(1.0);
-        for v in rho.iter_mut() {
-            *v = 0.0;
-        }
-        rho[r] = 1.0;
-        self.btran(rho);
+        rho.clear();
+        rho.add(r, 1.0);
+        self.btran_sparse(rho);
         let b = self.basis[r] as usize; // leaving column, still basic here
-        for j in 0..self.n {
-            if self.status[j] == ColStatus::Basic || j == q || self.lb[j] == self.ub[j] {
-                continue;
-            }
-            let a = self.col_dot(j, rho);
+        let bump = |this: &mut Core<'_>, j: usize, a: f64| {
             if a != 0.0 {
                 let cand = ((a / piv) * (a / piv) * wq).min(DEVEX_MAX);
-                if cand > self.devex_w[j] {
-                    self.devex_w[j] = cand;
+                if cand > this.devex_w[j] {
+                    this.devex_w[j] = cand;
                 }
+            }
+        };
+        if rho.dense {
+            for j in 0..self.n {
+                if self.status[j] == ColStatus::Basic || j == q || self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let a = self.col_dot(j, &rho.vals);
+                bump(self, j, a);
+            }
+        } else {
+            // Row sweep: scatter ρ_i·row_i for only the rows with ρ ≠ 0,
+            // then update the touched nonbasic columns. Artificial columns
+            // are not in `p.rows`; their α is read off ρ directly.
+            sweep.clear();
+            for i in rho.pattern() {
+                let rv = rho.vals[i];
+                if rv != 0.0 {
+                    for &(c, a) in &self.p.rows[i] {
+                        sweep.add(c as usize, a * rv);
+                    }
+                }
+            }
+            for k in 0..sweep.idx.len() {
+                let j = sweep.idx[k] as usize;
+                if self.status[j] == ColStatus::Basic || j == q || self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let a = sweep.acc[j];
+                bump(self, j, a);
+            }
+            for k in 0..self.art_row.len() {
+                let j = self.p.num_cols + k;
+                if self.status[j] == ColStatus::Basic || j == q || self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let a = self.art_sign[k] * rho.vals[self.art_row[k] as usize];
+                bump(self, j, a);
             }
         }
         self.devex_w[b] = (wq / (piv * piv)).clamp(1.0, DEVEX_MAX);
@@ -911,10 +1370,15 @@ impl Core<'_> {
     /// row, with a full recompute at every re-inversion.
     fn dual(&mut self, d: &mut [f64], opts: &SimplexOpts) -> Result<DualEnd, SimplexStop> {
         let mut stalled: u32 = 0;
-        let mut rho = vec![0.0f64; self.m];
-        let mut w = vec![0.0f64; self.m];
+        let mut rho = WorkVec::new(self.m);
+        let mut w = WorkVec::new(self.m);
+        let mut fb = WorkVec::new(self.m);
+        let mut sweep = Sweep::new(self.n);
         let mut y = vec![0.0f64; self.m];
         let mut alphas: Vec<(u32, f64)> = Vec::new();
+        // Eligible breakpoints of the long-step ratio test: (ratio, j, α).
+        let mut bps: Vec<(f64, u32, f64)> = Vec::new();
+        let mut flips: Vec<u32> = Vec::new();
         loop {
             self.check_limits(opts)?;
             let bland = opts.force_bland || stalled >= STALL_LIMIT;
@@ -923,7 +1387,7 @@ impl Core<'_> {
             // --- Leaving row: the worst primal bound violation (smallest
             // violating row index under the anti-cycling rule). Devex
             // divides the squared violation by the row's reference weight.
-            let mut r_sel: Option<(usize, bool)> = None; // (row, above upper?)
+            let mut r_sel: Option<(usize, bool, f64)> = None; // (row, above upper?, viol)
             let mut worst = FEAS_TOL;
             let mut best_ratio = 0.0f64;
             for (r, &bc) in self.basis.iter().enumerate() {
@@ -940,86 +1404,171 @@ impl Core<'_> {
                     continue;
                 }
                 if bland {
-                    r_sel = Some((r, above));
+                    r_sel = Some((r, above, viol));
                     break;
                 }
                 if devex {
                     let ratio = viol * viol / self.dual_w[r];
                     if ratio > best_ratio {
                         best_ratio = ratio;
-                        r_sel = Some((r, above));
+                        r_sel = Some((r, above, viol));
                     }
                 } else if viol > worst {
                     worst = viol;
-                    r_sel = Some((r, above));
+                    r_sel = Some((r, above, viol));
                 }
             }
-            let Some((r, above)) = r_sel else {
+            let Some((r, above, viol)) = r_sel else {
                 return Ok(DualEnd::PrimalFeasible);
             };
             self.iterations += 1;
 
-            // --- ρ = B⁻ᵀ·e_r, the r-th row of B⁻¹; α_j = ρ·a_j.
-            for v in rho.iter_mut() {
-                *v = 0.0;
-            }
-            rho[r] = 1.0;
-            self.btran(&mut rho);
-
-            // --- Dual ratio test over nonbasic, non-fixed columns.
+            // --- ρ = B⁻ᵀ·e_r, the r-th row of B⁻¹; α_j = ρ·a_j, via a
+            // row sweep over ρ's pattern when it stayed sparse (the dual
+            // runs artificial-free, so every column is in `p.rows`), or a
+            // dot product against every nonbasic column otherwise.
+            rho.clear();
+            rho.add(r, 1.0);
+            self.btran_sparse(&mut rho);
             alphas.clear();
-            let mut q_sel: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            let mut best_mag = 0.0f64;
-            for (j, &dj) in d.iter().enumerate().take(self.n) {
-                let st = self.status[j];
-                if st == ColStatus::Basic || self.lb[j] == self.ub[j] {
-                    continue;
-                }
-                let a = self.col_dot(j, &rho);
-                if a.abs() <= PIVOT_TOL {
-                    continue;
-                }
-                alphas.push((j as u32, a));
-                // The leaving basic moves down onto its upper bound
-                // (above) or up onto its lower bound (!above); an entering
-                // column moving off its bound must push it the right way.
-                let eligible = match (above, st) {
-                    (true, ColStatus::AtLower) => a > 0.0,
-                    (true, ColStatus::AtUpper) => a < 0.0,
-                    (false, ColStatus::AtLower) => a < 0.0,
-                    (false, ColStatus::AtUpper) => a > 0.0,
-                    (_, ColStatus::Basic) => unreachable!(),
-                };
-                if !eligible {
-                    continue;
-                }
-                if bland {
-                    if q_sel.is_none() {
-                        q_sel = Some(j);
+            if !rho.dense && self.art_row.is_empty() {
+                sweep.clear();
+                for i in rho.pattern() {
+                    let rv = rho.vals[i];
+                    if rv != 0.0 {
+                        for &(c, a) in &self.p.rows[i] {
+                            sweep.add(c as usize, a * rv);
+                        }
                     }
-                    continue;
                 }
-                let ratio = dj.abs() / a.abs();
-                if ratio < best_ratio - 1e-9 || (ratio < best_ratio + 1e-9 && a.abs() > best_mag) {
-                    best_ratio = ratio;
-                    best_mag = a.abs();
-                    q_sel = Some(j);
+                for &c in &sweep.idx {
+                    let j = c as usize;
+                    if self.status[j] == ColStatus::Basic || self.lb[j] == self.ub[j] {
+                        continue;
+                    }
+                    let a = sweep.acc[j];
+                    if a.abs() > PIVOT_TOL {
+                        alphas.push((c, a));
+                    }
+                }
+                // Row-sweep order follows the scatter; the ratio test
+                // below is order-independent, but Bland's first-eligible
+                // rule is not — sort to keep it deterministic.
+                if bland {
+                    alphas.sort_unstable_by_key(|&(j, _)| j);
+                }
+            } else {
+                for j in 0..self.n {
+                    if self.status[j] == ColStatus::Basic || self.lb[j] == self.ub[j] {
+                        continue;
+                    }
+                    let a = self.col_dot(j, &rho.vals);
+                    if a.abs() > PIVOT_TOL {
+                        alphas.push((j as u32, a));
+                    }
+                }
+            }
+
+            // --- Dual ratio test. The classic (Bland) test picks the
+            // tightest breakpoint; the long-step variant walks the sorted
+            // breakpoints and *flips* every boxed column it passes, so one
+            // pivot can cross many degenerate breakpoints at once
+            // (bound-flipping ratio test). The violation shrinks by
+            // |α|·(ub−lb) per flip; we stop at the breakpoint where it
+            // would go nonpositive, or at any infinite-range column.
+            flips.clear();
+            let mut q_sel: Option<usize> = None;
+            if bland {
+                for &(ju, a) in &alphas {
+                    let j = ju as usize;
+                    let eligible = match (above, self.status[j]) {
+                        (true, ColStatus::AtLower) => a > 0.0,
+                        (true, ColStatus::AtUpper) => a < 0.0,
+                        (false, ColStatus::AtLower) => a < 0.0,
+                        (false, ColStatus::AtUpper) => a > 0.0,
+                        (_, ColStatus::Basic) => unreachable!(),
+                    };
+                    if eligible {
+                        q_sel = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                bps.clear();
+                for &(ju, a) in &alphas {
+                    let j = ju as usize;
+                    let eligible = match (above, self.status[j]) {
+                        (true, ColStatus::AtLower) => a > 0.0,
+                        (true, ColStatus::AtUpper) => a < 0.0,
+                        (false, ColStatus::AtLower) => a < 0.0,
+                        (false, ColStatus::AtUpper) => a > 0.0,
+                        (_, ColStatus::Basic) => unreachable!(),
+                    };
+                    if eligible {
+                        bps.push((d[j].abs() / a.abs(), ju, a));
+                    }
+                }
+                // Ascending ratio; near-ties toward the larger pivot
+                // magnitude for stability (matches the old tie-break).
+                bps.sort_unstable_by(|x, z| {
+                    x.0.total_cmp(&z.0).then(z.2.abs().total_cmp(&x.2.abs()))
+                });
+                let mut slope = viol;
+                for &(_, ju, a) in &bps {
+                    let j = ju as usize;
+                    let range = self.ub[j] - self.lb[j];
+                    let drop = a.abs() * range;
+                    if !range.is_finite() || slope - drop <= FEAS_TOL {
+                        q_sel = Some(j);
+                        break;
+                    }
+                    flips.push(ju);
+                    slope -= drop;
                 }
             }
             let Some(q) = q_sel else {
                 // Dual unbounded ⇒ primal infeasible: no entering column
-                // can repair the violated bound.
+                // can repair the violated bound (passing every finite
+                // breakpoint leaves the violation positive). Flips are
+                // *not* applied on this path.
                 return Ok(DualEnd::Infeasible);
             };
 
-            // --- w = B⁻¹·a_q; pivot on w[r].
-            for v in w.iter_mut() {
-                *v = 0.0;
+            // --- Apply the bound flips first: each passed column jumps to
+            // its opposite bound, and the basics absorb −B⁻¹·A·Δx_N in one
+            // accumulated FTRAN.
+            if !flips.is_empty() {
+                fb.clear();
+                for &ju in &flips {
+                    let j = ju as usize;
+                    let (target, st) = match self.status[j] {
+                        ColStatus::AtLower => (self.ub[j], ColStatus::AtUpper),
+                        ColStatus::AtUpper => (self.lb[j], ColStatus::AtLower),
+                        ColStatus::Basic => unreachable!(),
+                    };
+                    let delta = target - self.val[j];
+                    if delta != 0.0 {
+                        self.for_col(j, |i, a| fb.add(i, a * delta));
+                    }
+                    self.val[j] = target;
+                    self.status[j] = st;
+                }
+                self.ftran_sparse(&mut fb);
+                for i in fb.pattern() {
+                    let v = fb.vals[i];
+                    if v != 0.0 {
+                        let bi = self.basis[i] as usize;
+                        self.val[bi] -= v;
+                    }
+                }
+                stalled = 0;
             }
-            self.for_col(q, |i, a| w[i] = a);
-            self.ftran(&mut w);
-            let piv = w[r];
+
+            // --- w = B⁻¹·a_q; pivot on w[r].
+            w.clear();
+            self.for_col(q, |i, a| w.add(i, a));
+            self.ftran_sparse(&mut w);
+            let piv = w.vals[r];
             if piv.abs() <= PIVOT_TOL {
                 // ρ-based α and the FTRAN column disagree: numerical
                 // breakdown, bail out to the primal fallback.
@@ -1030,7 +1579,7 @@ impl Core<'_> {
             let b = self.basis[r] as usize;
             let target = if above { self.ub[b] } else { self.lb[b] };
             let step = (self.val[b] - target) / piv; // signed move of q
-            if step.abs() <= 1e-10 {
+            if step.abs() <= 1e-10 && flips.is_empty() {
                 stalled += 1;
             } else {
                 stalled = 0;
@@ -1038,7 +1587,8 @@ impl Core<'_> {
 
             // --- Apply: basics move by −w·step, q moves by +step, the
             // leaving column lands exactly on its violated bound.
-            for (i, &wi) in w.iter().enumerate() {
+            for i in w.pattern() {
+                let wi = w.vals[i];
                 if wi != 0.0 {
                     let bi = self.basis[i] as usize;
                     self.val[bi] -= wi * step;
@@ -1054,6 +1604,9 @@ impl Core<'_> {
             self.status[q] = ColStatus::Basic;
 
             // --- Dual update from the pivot row: d ← d − θ·α, θ = d_q/α_q.
+            // Columns flipped above sit at their new bound with the sign
+            // of d_j − θ·α_j, which is exactly what their new status
+            // requires (they were passed because θ exceeds their ratio).
             let theta = d[q] / piv;
             for &(j, a) in &alphas {
                 d[j as usize] -= theta * a;
@@ -1065,7 +1618,8 @@ impl Core<'_> {
             // FTRAN'd entering column `w` is already in hand.
             if devex {
                 let wr = self.dual_w[r].max(1.0);
-                for (i, &wi) in w.iter().enumerate() {
+                for i in w.pattern() {
+                    let wi = w.vals[i];
                     if i != r && wi != 0.0 {
                         let cand = ((wi / piv) * (wi / piv) * wr).min(DEVEX_MAX);
                         if cand > self.dual_w[i] {
@@ -1112,6 +1666,7 @@ impl Core<'_> {
             iterations: self.iterations,
             refactors: self.refactors,
             first_factor_us: self.first_factor_us,
+            kernel: self.kernel,
             basis: self.snapshot(),
         }
     }
@@ -1123,6 +1678,7 @@ impl Core<'_> {
             iterations: self.iterations,
             refactors: self.refactors,
             first_factor_us: self.first_factor_us,
+            kernel: self.kernel,
             basis: None,
         }
     }
@@ -1167,6 +1723,7 @@ pub(crate) fn solve_lp_from(
                     iterations: 0,
                     refactors: 0,
                     first_factor_us: 0,
+                    kernel: KernelStats::default(),
                     basis: None,
                 });
             }
@@ -1179,6 +1736,7 @@ pub(crate) fn solve_lp_from(
             iterations: 0,
             refactors: 0,
             first_factor_us: 0,
+            kernel: KernelStats::default(),
             basis: None,
         });
     }
@@ -1302,6 +1860,10 @@ pub(crate) fn solve_lp_from(
         devex_w: vec![1.0; total_cols],
         dual_w: vec![1.0; m],
         first_factor_us: 0,
+        row_eta: Vec::new(),
+        fire_heap: std::collections::BinaryHeap::new(),
+        fire_queued: vec![false; m],
+        kernel: KernelStats::default(),
     };
     // The initial basis (slacks at +1, artificials at ±1) is diagonal;
     // re-inversion builds its trivial eta file and cannot fail.
@@ -1454,6 +2016,10 @@ pub(crate) fn resolve_lp(
         devex_w: vec![1.0; n],
         dual_w: vec![1.0; m],
         first_factor_us: 0,
+        row_eta: Vec::new(),
+        fire_heap: std::collections::BinaryHeap::new(),
+        fire_queued: vec![false; m],
+        kernel: KernelStats::default(),
     };
     if core.refactorize().is_err() {
         return Ok(None); // singular cached basis
@@ -1563,7 +2129,15 @@ pub(crate) fn with_cut_rows(p: &LpProblem, cuts: &[CutRow]) -> LpProblem {
         lb.push(0.0);
         ub.push(f64::INFINITY);
     }
-    LpProblem::new(p.num_structural, costs, lb, ub, rows, rhs)
+    let mut aug = LpProblem::new(p.num_structural, costs, lb, ub, rows, rhs);
+    // Cut rows join *unscaled*, even when the base matrix was equilibrated.
+    // Gomory rows routinely carry geomeans orders of magnitude from 1;
+    // rescaling them by the matching power of two amplifies their roundoff
+    // relative to the absolute pivot/feasibility tolerances, and measured
+    // ~1.5× slower warm restarts on the cut-augmented CT models. The stats
+    // carry over so the root profile still reports the base-matrix scaling.
+    aug.scaling = p.scaling;
+    aug
 }
 
 impl Basis {
@@ -1644,6 +2218,10 @@ pub(crate) fn gomory_cuts(
         devex_w: vec![1.0; n],
         dual_w: vec![1.0; m],
         first_factor_us: 0,
+        row_eta: Vec::new(),
+        fire_heap: std::collections::BinaryHeap::new(),
+        fire_queued: vec![false; m],
+        kernel: KernelStats::default(),
     };
     if core.refactorize().is_err() {
         return Vec::new();

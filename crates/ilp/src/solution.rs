@@ -86,7 +86,7 @@ pub struct IncumbentEvent {
 /// grinding through the root LP. This profile makes that spend visible so
 /// regressions in any one phase show up in benchmarks instead of hiding
 /// inside total wall-clock. All durations are in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RootProfile {
     /// Time spent constructing the [`Model`](crate::Model) (variables,
     /// linearized constraints) before the solver saw it. Stamped by the
@@ -111,6 +111,23 @@ pub struct RootProfile {
     /// Time spent separating cuts (excluding the resolves they trigger,
     /// which are counted in [`root_lp_us`](Self::root_lp_us)).
     pub cut_us: u64,
+    /// Rows the LP reduction presolve removed before the root solve
+    /// (empty, redundant, singleton and dominated-duplicate rows).
+    pub reduce_rows: u64,
+    /// Structural columns the LP reduction presolve substituted out before
+    /// the root solve (node-fixed and empty columns).
+    pub reduce_cols: u64,
+    /// Rows rescaled by geometric-mean equilibration (0 when scaling is
+    /// disabled or every row already had unit geometric mean).
+    pub scale_rows: u64,
+    /// Spread of per-row geometric coefficient means (`max/min` over rows
+    /// of `geomean(|a|)`) before equilibration (0.0 when scaling did not
+    /// run; 1.0 for an empty matrix). A spread already ≤ 4 skips the
+    /// rescaling entirely (`rows_scaled` stays 0).
+    pub scale_range_before: f64,
+    /// Row-geomean spread after equilibration (≤ 2 up to the power-of-two
+    /// rounding whenever rescaling actually ran).
+    pub scale_range_after: f64,
 }
 
 /// A (mixed-)integer solution returned by the solver.
@@ -127,6 +144,10 @@ pub struct Solution {
     pub(crate) lp_warm_attempts: u64,
     pub(crate) lp_warm_hits: u64,
     pub(crate) lp_refactors: u64,
+    pub(crate) lp_ftran: u64,
+    pub(crate) lp_ftran_hyper: u64,
+    pub(crate) lp_btran: u64,
+    pub(crate) lp_btran_hyper: u64,
     pub(crate) wall_time: Duration,
     pub(crate) incumbent_source: IncumbentSource,
     pub(crate) warm_start: WarmStartStatus,
@@ -237,6 +258,41 @@ impl Solution {
     /// Average simplex pivots per explored node.
     pub fn pivots_per_node(&self) -> f64 {
         self.lp_iterations as f64 / self.nodes.max(1) as f64
+    }
+
+    /// FTRAN kernel applications across all LP solves (entering columns
+    /// and bound-flip accumulators; dense utility solves excluded).
+    pub fn lp_ftran(&self) -> u64 {
+        self.lp_ftran
+    }
+
+    /// FTRAN applications that stayed on the hypersparse path — the result
+    /// pattern never crossed the density cutover, so cost was proportional
+    /// to the nonzeros touched rather than the row count.
+    pub fn lp_ftran_hyper(&self) -> u64 {
+        self.lp_ftran_hyper
+    }
+
+    /// BTRAN kernel applications across all LP solves (pricing rows).
+    pub fn lp_btran(&self) -> u64 {
+        self.lp_btran
+    }
+
+    /// BTRAN applications whose result pattern stayed below the density
+    /// cutover, enabling sparse row-sweep pricing.
+    pub fn lp_btran_hyper(&self) -> u64 {
+        self.lp_btran_hyper
+    }
+
+    /// Fraction of FTRAN+BTRAN applications served hypersparsely, in
+    /// `[0, 1]`; `0` when no kernel call was made.
+    pub fn lp_hyper_rate(&self) -> f64 {
+        let total = self.lp_ftran + self.lp_btran;
+        if total == 0 {
+            0.0
+        } else {
+            (self.lp_ftran_hyper + self.lp_btran_hyper) as f64 / total as f64
+        }
     }
 
     /// Every incumbent improvement in admission order, ending at the
@@ -366,6 +422,10 @@ mod tests {
             lp_warm_attempts: 2,
             lp_warm_hits: 1,
             lp_refactors: 4,
+            lp_ftran: 6,
+            lp_ftran_hyper: 3,
+            lp_btran: 2,
+            lp_btran_hyper: 1,
             wall_time: Duration::from_millis(1),
             incumbent_source: IncumbentSource::LpIntegral,
             warm_start: WarmStartStatus::NotProvided,
@@ -390,6 +450,9 @@ mod tests {
         assert_eq!(s.lp_warm_hit_rate(), 0.5);
         assert_eq!(s.lp_refactors(), 4);
         assert_eq!(s.pivots_per_node(), 3.0);
+        assert_eq!(s.lp_ftran(), 6);
+        assert_eq!(s.lp_btran(), 2);
+        assert_eq!(s.lp_hyper_rate(), 0.5);
         assert_eq!(s.root_profile().root_lp_iters, 2);
         assert_eq!(s.root_profile().cuts_added, 0);
         let text = s.to_string();

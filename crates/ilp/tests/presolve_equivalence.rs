@@ -56,6 +56,10 @@ fn solve_objective(model: &Model, probing: bool) -> f64 {
         jobs: 1,
         ..BranchConfig::default()
     };
+    solve_objective_with(model, &cfg)
+}
+
+fn solve_objective_with(model: &Model, cfg: &BranchConfig) -> f64 {
     let sol = model.solve_with(&cfg).expect("roster instance must solve");
     assert!(sol.is_optimal(), "{}: must prove optimality", model.name());
     assert!(
@@ -64,6 +68,47 @@ fn solve_objective(model: &Model, probing: bool) -> f64 {
         model.name()
     );
     sol.objective()
+}
+
+/// The LP reduction presolve and equilibration scaling are exact
+/// reformulations: solving with both engaged — which also makes every
+/// branch-and-bound child warm-restart from a *postsolved* basis — must
+/// certify the same objective as the plain solver on the whole
+/// m ∈ {8, 16} roster.
+#[test]
+fn reduction_and_scaling_never_change_certified_objectives() {
+    let plain = BranchConfig {
+        cuts: CutMode::Off,
+        pricing: Pricing::Devex,
+        jobs: 1,
+        scaling: false,
+        reduce: false,
+        ..BranchConfig::default()
+    };
+    let engaged = BranchConfig {
+        cuts: CutMode::Off,
+        pricing: Pricing::Devex,
+        jobs: 1,
+        scaling: true,
+        reduce: true,
+        ..BranchConfig::default()
+    };
+    for n in [8usize, 16] {
+        for seed in 0..8u64 {
+            for model in [
+                random_knapsack(n, 0xC0FFEE ^ (seed << 8) ^ n as u64),
+                random_mixed(n, 0xBEEF ^ (seed << 8) ^ n as u64),
+            ] {
+                let base = solve_objective_with(&model, &plain);
+                let with = solve_objective_with(&model, &engaged);
+                assert!(
+                    (with - base).abs() <= 1e-6,
+                    "{} n={n} seed={seed}: reduced/scaled objective {with} vs plain {base}",
+                    model.name()
+                );
+            }
+        }
+    }
 }
 
 #[test]
